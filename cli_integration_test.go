@@ -1,0 +1,247 @@
+// End-to-end tests of the command-line tools: the binaries are built once
+// and driven through the paper's workflows — generate experiments, diff,
+// mean, merge, view, info — over real files.
+package cube_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildTools compiles all cmd/ binaries into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "cube-bin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./cmd/...")
+		cmd.Dir = "."
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			_ = out
+			buildErr = &buildFailure{err: err, out: string(out)}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+type buildFailure struct {
+	err error
+	out string
+}
+
+func (b *buildFailure) Error() string { return b.err.Error() + "\n" + b.out }
+
+// run executes a tool and returns its combined output, failing the test on
+// non-zero exit.
+func run(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), tool), args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+// runExpectError executes a tool expecting a non-zero exit.
+func runExpectError(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), tool), args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+func TestCLIPescanDiffWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+
+	// Generate the two §5.1 experiments (few iterations for speed: the
+	// shape survives).
+	run(t, dir, "cube-gen", "-app", "pescan", "-barriers", "-seed", "1", "-o", "before.cube")
+	run(t, dir, "cube-gen", "-app", "pescan", "-seed", "9", "-o", "after.cube")
+
+	// Difference.
+	out := run(t, dir, "cube-diff", "-o", "diff.cube", "before.cube", "after.cube")
+	if !strings.Contains(out, "difference(") {
+		t.Errorf("cube-diff output: %q", out)
+	}
+
+	// View the derived experiment like an original one.
+	view := run(t, dir, "cube-view", "-metric", "Wait at Barrier", "-mode", "percent", "-hidezero", "diff.cube")
+	for _, want := range []string{"Wait at Barrier", "derived: difference", "Metric tree", "System tree"} {
+		if !strings.Contains(view, want) {
+			t.Errorf("cube-view lacks %q:\n%s", want, view)
+		}
+	}
+
+	// Flat-profile view.
+	flat := run(t, dir, "cube-view", "-flat", "-hidezero", "diff.cube")
+	if !strings.Contains(flat, "derived: flatten") {
+		t.Errorf("flat view not derived by flatten:\n%s", flat)
+	}
+
+	// Info on one file and structural comparison of two.
+	info := run(t, dir, "cube-info", "before.cube", "after.cube")
+	for _, want := range []string{"metrics:", "structural comparison", "similarity"} {
+		if !strings.Contains(info, want) {
+			t.Errorf("cube-info lacks %q:\n%s", want, info)
+		}
+	}
+}
+
+func TestCLIMeanAndMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+
+	// Three perturbed runs, averaged two ways.
+	for i, seed := range []string{"1", "2", "3"} {
+		run(t, dir, "cube-gen", "-app", "sweep3d", "-seed", seed, "-noise", "0.1",
+			"-o", "run"+string(rune('0'+i))+".cube")
+	}
+	run(t, dir, "cube-mean", "-o", "mean.cube", "run0.cube", "run1.cube", "run2.cube")
+	run(t, dir, "cube-mean", "-min", "-o", "min.cube", "run0.cube", "run1.cube", "run2.cube")
+	out := run(t, dir, "cube-info", "mean.cube", "min.cube")
+	if !strings.Contains(out, `derived by "mean"`) || !strings.Contains(out, `derived by "min"`) {
+		t.Errorf("mean/min provenance missing:\n%s", out)
+	}
+
+	// Conflicting counters force two CONE files; merging them with the
+	// trace analysis yields the Fig. 3 experiment.
+	genOut := run(t, dir, "cube-gen", "-app", "sweep3d", "-tool", "cone",
+		"-events", "PAPI_FP_INS,PAPI_L1_DCM", "-seed", "4", "-o", "prof.cube")
+	if !strings.Contains(genOut, "prof-set0.cube") || !strings.Contains(genOut, "prof-set1.cube") {
+		t.Fatalf("event sets not split into files:\n%s", genOut)
+	}
+	run(t, dir, "cube-merge", "-o", "merged.cube", "mean.cube", "prof-set0.cube", "prof-set1.cube")
+	info := run(t, dir, "cube-info", "merged.cube")
+	for _, want := range []string{"PAPI_FP_INS", "PAPI_L1_DCM", "Time"} {
+		if !strings.Contains(info, want) {
+			t.Errorf("merged experiment lacks %q:\n%s", want, info)
+		}
+	}
+}
+
+func TestCLIHybridAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	run(t, dir, "cube-gen", "-app", "hybrid", "-np", "4", "-threads", "3",
+		"-seed", "2", "-o", "hybrid.cube", "-trace", "hybrid.epgo")
+	if _, err := os.Stat(filepath.Join(dir, "hybrid.epgo")); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	info := run(t, dir, "cube-info", "hybrid.cube")
+	if !strings.Contains(info, "12 threads") {
+		t.Errorf("hybrid system shape wrong:\n%s", info)
+	}
+	view := run(t, dir, "cube-view", "-metric", "Wait at OpenMP Barrier",
+		"-mode", "percent", "-hidezero", "hybrid.cube")
+	if !strings.Contains(view, "thread 1") {
+		t.Errorf("thread level missing from view:\n%s", view)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	runExpectError(t, dir, "cube-diff", "missing-a.cube", "missing-b.cube")
+	runExpectError(t, dir, "cube-gen", "-app", "nope", "-o", "x.cube")
+	runExpectError(t, dir, "cube-gen", "-app", "pescan", "-events", "PAPI_FP_INS,PAPI_L1_DCM", "-o", "x.cube")
+	os.WriteFile(filepath.Join(dir, "bad.cube"), []byte("not xml"), 0o644)
+	runExpectError(t, dir, "cube-view", "bad.cube")
+	runExpectError(t, dir, "cube-mean", "-min", "-max", "bad.cube")
+}
+
+func TestCLIInteractiveView(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	run(t, dir, "cube-gen", "-app", "sweep3d", "-seed", "6", "-o", "s.cube")
+	cmd := exec.Command(filepath.Join(buildTools(t), "cube-view"), "-i", "s.cube")
+	cmd.Dir = dir
+	cmd.Stdin = strings.NewReader("metric Late Sender\nmode percent\ntopology\nquit\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("interactive session: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Call tree (metric: Late Sender", "mode: percent", `Topology "sweep grid"`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("interactive output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLITraceTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	run(t, dir, "cube-gen", "-app", "sweep3d", "-seed", "5", "-o", "x.cube", "-trace", "x.epgo")
+	stats := run(t, dir, "cube-trace", "stats", "x.epgo")
+	for _, want := range []string{"program:", "events:", "duration:", "threads per rank"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats lacks %q:\n%s", want, stats)
+		}
+	}
+	if out := run(t, dir, "cube-trace", "validate", "x.epgo"); !strings.Contains(out, "valid") {
+		t.Errorf("validate output: %s", out)
+	}
+	dump := run(t, dir, "cube-trace", "dump", "-n", "5", "x.epgo")
+	if !strings.Contains(dump, "ENTER") || !strings.Contains(dump, "more") {
+		t.Errorf("dump output:\n%s", dump)
+	}
+	out := run(t, dir, "cube-trace", "analyze", "-o", "fromtrace.cube", "-nodes", "4", "x.epgo")
+	if !strings.Contains(out, "wrote fromtrace.cube") {
+		t.Errorf("analyze output: %s", out)
+	}
+	info := run(t, dir, "cube-info", "fromtrace.cube")
+	if !strings.Contains(info, "Late Sender") && !strings.Contains(info, "Time") {
+		t.Errorf("analyzed experiment odd:\n%s", info)
+	}
+	runExpectError(t, dir, "cube-trace", "stats", "missing.epgo")
+}
+
+func TestCLIRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	out := run(t, dir, "cube-repro", "-fig", "1")
+	if !strings.Contains(out, "paper 13.2%") {
+		t.Errorf("cube-repro fig1 output:\n%s", out)
+	}
+	out = run(t, dir, "cube-repro", "-tracesize")
+	if !strings.Contains(out, "CONE call-graph profile") {
+		t.Errorf("cube-repro tracesize output:\n%s", out)
+	}
+}

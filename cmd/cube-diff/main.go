@@ -1,0 +1,51 @@
+// Command cube-diff computes the difference of two CUBE experiments:
+//
+//	cube-diff [flags] minuend.cube subtrahend.cube
+//
+// The result is a complete derived experiment (closure property) that can
+// be viewed with cube-view or fed into further operations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cube"
+	"cube/internal/cli"
+)
+
+func main() {
+	out := flag.String("o", "diff.cube", "output file")
+	callMatch := flag.String("callmatch", "callee", "call-tree equality relation: callee | callee+line")
+	system := flag.String("system", "auto", "system integration: auto | collapse | copy-first")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cube-diff [flags] minuend.cube subtrahend.cube\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts, err := cli.ParseOptions(*callMatch, *system)
+	if err != nil {
+		cli.Fatal("cube-diff", err)
+	}
+	a, err := cube.ReadFile(flag.Arg(0))
+	if err != nil {
+		cli.Fatal("cube-diff", err)
+	}
+	b, err := cube.ReadFile(flag.Arg(1))
+	if err != nil {
+		cli.Fatal("cube-diff", err)
+	}
+	d, err := cube.Difference(a, b, opts)
+	if err != nil {
+		cli.Fatal("cube-diff", err)
+	}
+	if err := cube.WriteFile(*out, d); err != nil {
+		cli.Fatal("cube-diff", err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, d.Title)
+}

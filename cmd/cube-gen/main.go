@@ -1,0 +1,146 @@
+// Command cube-gen runs a synthetic workload on the MPI simulator, feeds
+// it through a measurement tool — the EXPERT-like trace analyzer or the
+// CONE-like call-graph profiler — and writes the resulting experiment(s) in
+// CUBE XML format:
+//
+//	cube-gen -app pescan -barriers -tool expert -o before.cube
+//	cube-gen -app pescan -tool expert -o after.cube
+//	cube-gen -app sweep3d -tool cone -events PAPI_FP_INS,PAPI_L1_DCM -o prof.cube
+//
+// With -runs N and -mean the tool performs N perturbed runs and writes
+// their element-wise mean (the paper's recipe for smoothing random errors
+// before further processing). With -tool cone and conflicting events the
+// necessary number of measurement runs is planned automatically and one
+// file per event set is written (suffix -set0, -set1, ...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"cube"
+	"cube/internal/apps"
+	"cube/internal/cli"
+	"cube/internal/cone"
+	"cube/internal/counters"
+	"cube/internal/expert"
+	"cube/internal/mpisim"
+)
+
+func main() {
+	app := flag.String("app", "pescan", "workload: pescan | sweep3d | hybrid | masterworker")
+	barriers := flag.Bool("barriers", false, "pescan: original version with barriers")
+	np := flag.Int("np", 16, "number of processes")
+	nodes := flag.Int("nodes", 4, "number of SMP nodes")
+	threads := flag.Int("threads", 4, "hybrid: OpenMP threads per process")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	noise := flag.Float64("noise", 0.02, "compute-phase noise amplitude (fraction)")
+	tool := flag.String("tool", "expert", "measurement tool: expert | cone")
+	events := flag.String("events", "", "cone: comma-separated hardware events (conflicts are split into runs)")
+	runs := flag.Int("runs", 1, "number of perturbed runs")
+	mean := flag.Bool("mean", false, "write the mean of the runs instead of the last run")
+	out := flag.String("o", "out.cube", "output file")
+	tracePath := flag.String("trace", "", "also write the binary event trace of the last run")
+	machine := flag.String("machine", "cluster", "machine name for the system dimension")
+	flag.Parse()
+
+	gen := func(runSeed int64, set counters.EventSet) (*cube.Experiment, *mpisim.Run, error) {
+		var cfg mpisim.Config
+		var prog mpisim.Program
+		var topology *cube.Topology
+		switch *app {
+		case "pescan":
+			pc := apps.PescanConfig{NP: *np, Nodes: *nodes, Barriers: *barriers, Seed: runSeed, NoiseAmp: *noise}
+			cfg, prog = apps.PescanSimConfig(pc), apps.Pescan(pc)
+		case "sweep3d":
+			sc := apps.Sweep3DConfig{Nodes: *nodes, Seed: runSeed, NoiseAmp: *noise}
+			sc = sc.WithDefaults()
+			if *np != sc.PX*sc.PY {
+				return nil, nil, fmt.Errorf("sweep3d uses a %dx%d grid; -np must be %d", sc.PX, sc.PY, sc.PX*sc.PY)
+			}
+			cfg, prog = apps.Sweep3DSimConfig(sc), apps.Sweep3D(sc)
+			topology = apps.Sweep3DTopology(sc)
+		case "hybrid":
+			hc := apps.HybridConfig{NP: *np, Nodes: *nodes, Threads: *threads, Seed: runSeed, NoiseAmp: *noise}
+			cfg, prog = apps.HybridSimConfig(hc), apps.Hybrid(hc)
+		case "masterworker":
+			mc := apps.MasterWorkerConfig{NP: *np, Nodes: *nodes, Seed: runSeed, NoiseAmp: *noise}
+			cfg, prog = apps.MasterWorkerSimConfig(mc), apps.MasterWorker(mc)
+		default:
+			return nil, nil, fmt.Errorf("unknown -app %q", *app)
+		}
+		cfg.TraceCounters = set
+		run, err := mpisim.Simulate(cfg, prog)
+		if err != nil {
+			return nil, nil, err
+		}
+		var e *cube.Experiment
+		switch *tool {
+		case "expert":
+			e, err = expert.Analyze(run.Trace, &expert.Options{Machine: *machine, Nodes: *nodes, Topology: topology})
+		case "cone":
+			e, err = cone.Profile(run.Trace, &cone.Options{Machine: *machine, Nodes: *nodes, Topology: topology})
+		default:
+			err = fmt.Errorf("unknown -tool %q", *tool)
+		}
+		return e, run, err
+	}
+
+	var sets []counters.EventSet
+	if *events != "" {
+		var evs []counters.Event
+		for _, s := range strings.Split(*events, ",") {
+			evs = append(evs, counters.Event(strings.TrimSpace(s)))
+		}
+		var err error
+		sets, err = counters.Partition(evs)
+		if err != nil {
+			cli.Fatal("cube-gen", err)
+		}
+		if *tool != "cone" {
+			// EXPERT can also record counters in the trace, but only one
+			// compatible set per run.
+			if len(sets) > 1 {
+				cli.Fatal("cube-gen", fmt.Errorf("events %s cannot be measured in one run; use -tool cone", *events))
+			}
+		}
+	} else {
+		sets = []counters.EventSet{nil}
+	}
+
+	for si, set := range sets {
+		var series []*cube.Experiment
+		var lastRun *mpisim.Run
+		for i := 0; i < *runs; i++ {
+			e, run, err := gen(*seed+int64(i)*101+int64(si)*100003, set)
+			if err != nil {
+				cli.Fatal("cube-gen", err)
+			}
+			series = append(series, e)
+			lastRun = run
+		}
+		result := series[len(series)-1]
+		if *mean && len(series) > 1 {
+			var err error
+			result, err = cube.Mean(nil, series...)
+			if err != nil {
+				cli.Fatal("cube-gen", err)
+			}
+		}
+		path := *out
+		if len(sets) > 1 {
+			path = strings.TrimSuffix(path, ".cube") + fmt.Sprintf("-set%d.cube", si)
+		}
+		if err := cube.WriteFile(path, result); err != nil {
+			cli.Fatal("cube-gen", err)
+		}
+		fmt.Printf("wrote %s (%s, events %v)\n", path, result.Title, set)
+		if *tracePath != "" && si == len(sets)-1 {
+			if err := lastRun.Trace.WriteFile(*tracePath); err != nil {
+				cli.Fatal("cube-gen", err)
+			}
+			fmt.Printf("wrote %s (%d events, %d bytes)\n", *tracePath, len(lastRun.Trace.Events), lastRun.Trace.EncodedSize())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command cube-info summarises CUBE experiment files. With one argument it
+// prints the experiment's provenance, dimension sizes, and per-root metric
+// totals; with two arguments it additionally reports the structural
+// relation between the two metadata sets (shared and unique metrics, call
+// paths, and ranks), helping judge whether an arithmetic operator across
+// them is meaningful:
+//
+//	cube-info run.cube
+//	cube-info before.cube after.cube
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cube"
+	"cube/internal/cli"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cube-info a.cube [b.cube]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := cube.ReadFile(flag.Arg(0))
+	if err != nil {
+		cli.Fatal("cube-info", err)
+	}
+	describe(flag.Arg(0), a)
+
+	if flag.NArg() == 2 {
+		b, err := cube.ReadFile(flag.Arg(1))
+		if err != nil {
+			cli.Fatal("cube-info", err)
+		}
+		fmt.Println()
+		describe(flag.Arg(1), b)
+		rep, err := cube.StructuralDiff(a, b, nil)
+		if err != nil {
+			cli.Fatal("cube-info", err)
+		}
+		fmt.Printf("\nstructural comparison:\n%s", rep.Summary())
+	}
+}
+
+func describe(path string, e *cube.Experiment) {
+	fmt.Printf("%s: %q\n", path, e.Title)
+	if e.Derived {
+		fmt.Printf("  derived by %q from %v\n", e.Operation, e.Parents)
+	}
+	fmt.Printf("  metrics: %d (%d roots)   call paths: %d (%d roots)\n",
+		len(e.Metrics()), len(e.MetricRoots()), len(e.CallNodes()), len(e.CallRoots()))
+	procs := e.Processes()
+	fmt.Printf("  system: %d machines, %d processes, %d threads\n",
+		len(e.Machines()), len(procs), len(e.Threads()))
+	fmt.Printf("  non-zero severity tuples: %d\n", e.NonZeroCount())
+	for _, root := range e.MetricRoots() {
+		fmt.Printf("  %-28s total %g %s\n", root.Name, e.MetricInclusive(root), root.Unit)
+	}
+}

@@ -1,0 +1,63 @@
+// Command cube-mean averages an arbitrary number of CUBE experiments,
+// smoothing the effects of random perturbation across repeated runs or
+// summarising across a range of execution parameters:
+//
+//	cube-mean [flags] run1.cube run2.cube [run3.cube ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cube"
+	"cube/internal/cli"
+)
+
+func main() {
+	out := flag.String("o", "mean.cube", "output file")
+	callMatch := flag.String("callmatch", "callee", "call-tree equality relation: callee | callee+line")
+	system := flag.String("system", "auto", "system integration: auto | collapse | copy-first")
+	useMin := flag.Bool("min", false, "compute the element-wise minimum instead of the mean")
+	useMax := flag.Bool("max", false, "compute the element-wise maximum instead of the mean")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cube-mean [flags] run1.cube run2.cube [...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *useMin && *useMax {
+		cli.Fatal("cube-mean", fmt.Errorf("-min and -max are mutually exclusive"))
+	}
+	opts, err := cli.ParseOptions(*callMatch, *system)
+	if err != nil {
+		cli.Fatal("cube-mean", err)
+	}
+	operands := make([]*cube.Experiment, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		e, err := cube.ReadFile(path)
+		if err != nil {
+			cli.Fatal("cube-mean", err)
+		}
+		operands = append(operands, e)
+	}
+	var m *cube.Experiment
+	switch {
+	case *useMin:
+		m, err = cube.Min(opts, operands...)
+	case *useMax:
+		m, err = cube.Max(opts, operands...)
+	default:
+		m, err = cube.Mean(opts, operands...)
+	}
+	if err != nil {
+		cli.Fatal("cube-mean", err)
+	}
+	if err := cube.WriteFile(*out, m); err != nil {
+		cli.Fatal("cube-mean", err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, m.Title)
+}

@@ -1,0 +1,52 @@
+// Command cube-merge integrates two or more CUBE experiments with
+// different or overlapping metric sets into one derived experiment:
+//
+//	cube-merge [flags] a.cube b.cube [c.cube ...]
+//
+// Metrics provided by several operands are taken from the first one that
+// provides them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cube"
+	"cube/internal/cli"
+)
+
+func main() {
+	out := flag.String("o", "merge.cube", "output file")
+	callMatch := flag.String("callmatch", "callee", "call-tree equality relation: callee | callee+line")
+	system := flag.String("system", "auto", "system integration: auto | collapse | copy-first")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cube-merge [flags] a.cube b.cube [c.cube ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts, err := cli.ParseOptions(*callMatch, *system)
+	if err != nil {
+		cli.Fatal("cube-merge", err)
+	}
+	operands := make([]*cube.Experiment, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		e, err := cube.ReadFile(path)
+		if err != nil {
+			cli.Fatal("cube-merge", err)
+		}
+		operands = append(operands, e)
+	}
+	m, err := cube.MergeAll(opts, operands...)
+	if err != nil {
+		cli.Fatal("cube-merge", err)
+	}
+	if err := cube.WriteFile(*out, m); err != nil {
+		cli.Fatal("cube-merge", err)
+	}
+	fmt.Printf("wrote %s: %s (%d metric roots)\n", *out, m.Title, len(m.MetricRoots()))
+}

@@ -1,0 +1,128 @@
+// Command cube-repro regenerates the paper's evaluation artifacts and
+// prints paper-reported versus measured values:
+//
+//	cube-repro              # everything
+//	cube-repro -fig 1       # Figure 1 only
+//	cube-repro -speedup     # §5.1 solver speedup only
+//	cube-repro -tracesize   # §5.2 trace-size comparison only
+//
+// With -outdir the underlying experiments are additionally written as CUBE
+// XML files for inspection with cube-view.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cube"
+	"cube/internal/cli"
+	"cube/internal/core"
+	"cube/internal/repro"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate only this figure (1, 2, or 3)")
+	speedup := flag.Bool("speedup", false, "regenerate only the solver speedup measurement")
+	tracesize := flag.Bool("tracesize", false, "regenerate only the trace-size comparison")
+	runs := flag.Int("runs", repro.PaperValues.SeriesRuns, "runs per series for the speedup measurement")
+	meanRuns := flag.Int("meanruns", 1, "perturbed runs averaged per measurement before merging (Fig. 3)")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	outdir := flag.String("outdir", "", "write generated experiments as CUBE XML files into this directory")
+	render := flag.Bool("render", false, "print the display renderings of the figures")
+	flag.Parse()
+
+	all := *fig == 0 && !*speedup && !*tracesize
+	write := func(name string, e *core.Experiment) {
+		if *outdir == "" {
+			return
+		}
+		path := filepath.Join(*outdir, name)
+		if err := cube.WriteFile(path, e); err != nil {
+			cli.Fatal("cube-repro", err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+
+	if all || *fig == 1 {
+		r, err := repro.Fig1(*seed)
+		if err != nil {
+			cli.Fatal("cube-repro", err)
+		}
+		fmt.Println("== Figure 1: CUBE display of unoptimized PESCAN ==")
+		fmt.Printf("  Wait at Barrier share of execution time: paper %.1f%%, measured %.1f%%\n",
+			repro.PaperValues.WaitAtBarrierPct, r.WaitAtBarrierPct)
+		if *render {
+			fmt.Println(r.Rendering)
+		}
+		write("fig1-pescan-barrier.cube", r.Exp)
+	}
+
+	if all || *fig == 2 {
+		r, err := repro.Fig2(*seed)
+		if err != nil {
+			cli.Fatal("cube-repro", err)
+		}
+		fmt.Println("== Figure 2: difference experiment (original - optimized) ==")
+		fmt.Println("  improvements in % of the previous execution time (positive = gain):")
+		for _, name := range repro.Fig2Metrics {
+			fmt.Printf("    %-26s %+.2f%%\n", name, r.ImprovementPct[name])
+		}
+		fmt.Printf("  gross balance: %+.1f%% (paper: clearly positive)\n", r.GrossBalancePct)
+		if *render {
+			fmt.Println(r.Rendering)
+		}
+		write("fig2-before.cube", r.Before)
+		write("fig2-after.cube", r.After)
+		write("fig2-diff.cube", r.Diff)
+	}
+
+	if all || *speedup {
+		r, err := repro.Speedup(*runs, *seed)
+		if err != nil {
+			cli.Fatal("cube-repro", err)
+		}
+		fmt.Println("== §5.1: solver speedup after barrier removal ==")
+		fmt.Printf("  %d runs per configuration, minimum as representative\n", r.Runs)
+		fmt.Printf("  before: min %.4fs   after: min %.4fs\n", r.BeforeMin, r.AfterMin)
+		fmt.Printf("  speedup: paper ~%.0f%%, measured %.1f%%\n",
+			repro.PaperValues.SolverSpeedupPct, r.SpeedupPct)
+	}
+
+	if all || *fig == 3 {
+		r, err := repro.Fig3(*seed, *meanRuns)
+		if err != nil {
+			cli.Fatal("cube-repro", err)
+		}
+		fmt.Println("== Figure 3: merge of EXPERT and CONE outputs ==")
+		fmt.Printf("  counter conflict forces %d CONE measurement runs: %v\n", len(r.ConeSets), r.ConeSets)
+		fmt.Printf("  merged metric roots: %v\n", r.MetricRoots)
+		fmt.Printf("  L1 data-cache misses at MPI_Recv: %.1f%% (paper: high concentration)\n", r.L1MissAtRecvPct)
+		fmt.Printf("  late-sender waiting share of time: %.1f%% (paper: MPI_Recv also a Late-Sender source)\n", r.LateSenderPct)
+		if *render {
+			fmt.Println(r.Rendering)
+		}
+		write("fig3-expert.cube", r.Expert)
+		for i, p := range r.ConeProfiles {
+			write(fmt.Sprintf("fig3-cone-set%d.cube", i), p)
+		}
+		write("fig3-merged.cube", r.Merged)
+	}
+
+	if all || *tracesize {
+		r, err := repro.TraceSize(*seed)
+		if err != nil {
+			cli.Fatal("cube-repro", err)
+		}
+		fmt.Println("== §5.2: trace-size comparison ==")
+		fmt.Printf("  events: %d\n", r.Events)
+		fmt.Printf("  trace without counters: %9d bytes\n", r.PlainTraceBytes)
+		fmt.Printf("  trace with %d counters: %9d bytes (+%.0f%%)\n",
+			len(repro.TraceSizeEvents), r.CounterTraceBytes, r.EnlargementPct)
+		fmt.Printf("  CONE call-graph profile: %8d bytes (trace is %.0fx larger)\n",
+			r.ProfileBytes, r.TraceOverProfile)
+	}
+
+	_ = os.Stdout
+}

@@ -1,0 +1,26 @@
+// Command cube-server exposes the CUBE algebra as an HTTP service (the
+// paper's Grid-service integration, on plain HTTP): clients POST
+// experiments in the CUBE XML format and receive derived experiments or
+// renderings. Example:
+//
+//	cube-server -addr :8080 &
+//	curl -F operand=@before.cube -F operand=@after.cube \
+//	     'http://localhost:8080/op/difference' > diff.cube
+//	curl -F operand=@diff.cube 'http://localhost:8080/view?metric=Time&mode=percent'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"cube/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7654", "listen address")
+	flag.Parse()
+	log.Printf("cube-server listening on %s", *addr)
+	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	log.Fatal(srv.ListenAndServe())
+}

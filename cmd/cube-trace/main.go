@@ -1,0 +1,127 @@
+// Command cube-trace inspects binary event traces (the EPILOG-like format
+// written by cube-gen -trace):
+//
+//	cube-trace stats run.epgo          # header, record mix, sizes
+//	cube-trace validate run.epgo       # structural checks
+//	cube-trace dump -n 20 run.epgo     # first records, human-readable
+//	cube-trace matrix run.epgo         # p2p communication matrix
+//	cube-trace analyze -o out.cube run.epgo   # run the EXPERT analyzer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cube"
+	"cube/internal/cli"
+	"cube/internal/expert"
+	"cube/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cube-trace <stats|validate|dump|analyze> [flags] trace.epgo\n")
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	switch cmd {
+	case "stats":
+		withTrace(args, func(tr *trace.Trace, _ []string) {
+			s := tr.ComputeStats()
+			fmt.Printf("program: %q   ranks: %d   counters: %v\n", tr.Program, tr.NumRanks, tr.Counters)
+			fmt.Printf("regions: %d\n", len(tr.Regions))
+			fmt.Printf("events: %d (enter %d, exit %d, send %d, recv %d, collective exits %d)\n",
+				s.Events, s.Enters, s.Exits, s.Sends, s.Recvs, s.Collectives)
+			fmt.Printf("duration: %.6fs   encoded size: %d bytes\n", s.Duration, s.EncodedBytes)
+			fmt.Printf("threads per rank: %v\n", tr.ThreadsPerRank())
+		})
+	case "validate":
+		withTrace(args, func(tr *trace.Trace, _ []string) {
+			if err := tr.Validate(); err != nil {
+				cli.Fatal("cube-trace", err)
+			}
+			fmt.Printf("%d events: structurally valid\n", len(tr.Events))
+		})
+	case "dump":
+		fs := flag.NewFlagSet("dump", flag.ExitOnError)
+		n := fs.Int("n", 20, "number of records to print")
+		withTraceFS(fs, args, func(tr *trace.Trace, _ []string) {
+			for i, ev := range tr.Events {
+				if i >= *n {
+					fmt.Printf("... %d more\n", len(tr.Events)-*n)
+					break
+				}
+				switch ev.Kind {
+				case trace.Enter, trace.Exit:
+					extra := ""
+					if ev.Coll != trace.CollNone {
+						extra = fmt.Sprintf(" coll=%v seq=%d", ev.Coll, ev.CollSeq)
+					}
+					fmt.Printf("%12.6f r%d.%d %-5v %s%s\n", ev.Time, ev.Rank, ev.Thread, ev.Kind, tr.RegionName(ev.Region), extra)
+				default:
+					fmt.Printf("%12.6f r%d.%d %-5v partner=%d tag=%d bytes=%d\n",
+						ev.Time, ev.Rank, ev.Thread, ev.Kind, ev.Partner, ev.Tag, ev.Bytes)
+				}
+			}
+		})
+	case "matrix":
+		fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+		byBytes := fs.Bool("bytes", false, "scale by transferred bytes instead of message counts")
+		withTraceFS(fs, args, func(tr *trace.Trace, _ []string) {
+			if err := tr.BuildCommMatrix().Render(os.Stdout, *byBytes); err != nil {
+				cli.Fatal("cube-trace", err)
+			}
+		})
+	case "analyze":
+		fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+		out := fs.String("o", "out.cube", "output experiment file")
+		machine := fs.String("machine", "cluster", "machine name")
+		nodes := fs.Int("nodes", 1, "number of SMP nodes")
+		withTraceFS(fs, args, func(tr *trace.Trace, _ []string) {
+			e, err := expert.Analyze(tr, &expert.Options{Machine: *machine, Nodes: *nodes})
+			if err != nil {
+				cli.Fatal("cube-trace", err)
+			}
+			if err := cube.WriteFile(*out, e); err != nil {
+				cli.Fatal("cube-trace", err)
+			}
+			fmt.Printf("wrote %s (%d metrics, %d call paths)\n", *out, len(e.Metrics()), len(e.CallNodes()))
+		})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func withTrace(args []string, fn func(*trace.Trace, []string)) {
+	if len(args) != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr, err := trace.ReadFile(args[0])
+	if err != nil {
+		cli.Fatal("cube-trace", err)
+	}
+	fn(tr, nil)
+}
+
+func withTraceFS(fs *flag.FlagSet, args []string, fn func(*trace.Trace, []string)) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		cli.Fatal("cube-trace", err)
+	}
+	fn(tr, nil)
+}

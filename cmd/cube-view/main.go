@@ -1,0 +1,137 @@
+// Command cube-view renders a CUBE experiment — original or derived — as
+// the three coupled tree browsers of the CUBE display:
+//
+//	cube-view [flags] experiment.cube
+//
+// Values can be shown as absolute numbers, as percentages of the selected
+// metric root's total, or normalized with respect to an external total
+// (e.g. another experiment's execution time) to simplify comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cube"
+	"cube/internal/cli"
+	"cube/internal/display"
+	"cube/internal/report"
+)
+
+func main() {
+	metric := flag.String("metric", "", "selected metric (name or root/.../name path; default: first root)")
+	metricState := flag.String("metricstate", "collapsed", "selection state of the metric: collapsed (aggregate subtree) | expanded")
+	cnode := flag.String("cnode", "", "selected call path (callee/.../callee); default: first call root")
+	cnodeState := flag.String("cnodestate", "collapsed", "selection state of the call path: collapsed | expanded")
+	mode := flag.String("mode", "absolute", "value mode: absolute | percent | external")
+	base := flag.Float64("base", 0, "100% reference for -mode external")
+	collapse := flag.String("collapse", "", "comma-separated metric/call paths to render collapsed")
+	hideZero := flag.Bool("hidezero", false, "hide subtrees with zero severity")
+	flat := flag.Bool("flat", false, "switch the program dimension to the flat-profile view")
+	topo := flag.Bool("topology", false, "additionally render the selection over the process topology")
+	interactive := flag.Bool("i", false, "interactive browsing session (reads commands from stdin; try 'help')")
+	top := flag.Int("top", 0, "additionally list the top N (metric, call path) severities by magnitude")
+	htmlOut := flag.String("html", "", "write a self-contained HTML report to this file instead of rendering text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cube-view [flags] experiment.cube\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	e, err := cube.ReadFile(flag.Arg(0))
+	if err != nil {
+		cli.Fatal("cube-view", err)
+	}
+	if *flat {
+		if e, err = cube.Flatten(e); err != nil {
+			cli.Fatal("cube-view", err)
+		}
+	}
+	if *interactive {
+		b, err := display.NewBrowser(e)
+		if err != nil {
+			cli.Fatal("cube-view", err)
+		}
+		if err := b.Run(os.Stdin, os.Stdout); err != nil {
+			cli.Fatal("cube-view", err)
+		}
+		return
+	}
+
+	sel := display.Selection{
+		MetricCollapsed: *metricState == "collapsed",
+		CNodeCollapsed:  *cnodeState == "collapsed",
+	}
+	if *metric != "" {
+		if sel.Metric = e.FindMetric(*metric); sel.Metric == nil {
+			sel.Metric = e.FindMetricByName(*metric)
+		}
+		if sel.Metric == nil {
+			cli.Fatal("cube-view", fmt.Errorf("metric %q not found", *metric))
+		}
+	} else if len(e.MetricRoots()) > 0 {
+		sel.Metric = e.MetricRoots()[0]
+	}
+	if *cnode != "" {
+		if sel.CNode = e.FindCallNode(*cnode); sel.CNode == nil {
+			cli.Fatal("cube-view", fmt.Errorf("call path %q not found", *cnode))
+		}
+	} else if len(e.CallRoots()) > 0 {
+		sel.CNode = e.CallRoots()[0]
+	}
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			cli.Fatal("cube-view", err)
+		}
+		rerr := report.Write(f, e, &report.Options{Selection: sel, TopN: *top})
+		if cerr := f.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			cli.Fatal("cube-view", rerr)
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+		return
+	}
+
+	cfg := &display.Config{HideZero: *hideZero}
+	switch *mode {
+	case "absolute":
+		cfg.Mode = display.Absolute
+	case "percent":
+		cfg.Mode = display.Percent
+	case "external":
+		cfg.Mode = display.External
+		cfg.Base = *base
+	default:
+		cli.Fatal("cube-view", fmt.Errorf("unknown -mode %q", *mode))
+	}
+	if *collapse != "" {
+		cfg.Collapsed = map[string]bool{}
+		for _, p := range strings.Split(*collapse, ",") {
+			cfg.Collapsed[strings.TrimSpace(p)] = true
+		}
+	}
+	if err := display.Render(os.Stdout, e, sel, cfg); err != nil {
+		cli.Fatal("cube-view", err)
+	}
+	if *topo {
+		fmt.Println()
+		if err := display.RenderTopology(os.Stdout, e, sel, cfg); err != nil {
+			cli.Fatal("cube-view", err)
+		}
+	}
+	if *top > 0 {
+		fmt.Println()
+		if err := display.RenderHotspots(os.Stdout, e, sel, cfg, *top); err != nil {
+			cli.Fatal("cube-view", err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package cube is the public API of the CUBE performance algebra: a data
+// model for representing performance experiments of message-passing and/or
+// multi-threaded applications in a platform-independent fashion, arithmetic
+// operations to subtract, merge, and average experiments from multiple
+// sources, and file I/O in the CUBE XML format.
+//
+// An experiment consists of metadata — a metric forest, a program dimension
+// (regions, call sites, call trees), and a system forest (machine → node →
+// process → thread) — plus a severity function mapping (metric, call path,
+// thread) tuples onto accumulated metric values.
+//
+// All operators are closed: they integrate the operands' metadata and
+// return a complete derived experiment that can be processed, stored, and
+// displayed exactly like original data, so complex composite operations
+// (e.g. the difference of averaged experiments) compose freely:
+//
+//	avgA, _ := cube.Mean(nil, a1, a2, a3)
+//	avgB, _ := cube.Mean(nil, b1, b2, b3)
+//	diff, _ := cube.Difference(avgA, avgB, nil)
+//	cube.WriteFile("diff.cube", diff)
+//
+// The subsystems that produce experiments — the discrete-event MPI
+// simulator, the EXPERT-like trace analyzer, and the CONE-like call-graph
+// profiler — live in the internal packages and are exercised by the
+// binaries under cmd/ and the programs under examples/.
+package cube
+
+import (
+	"io"
+
+	"cube/internal/core"
+	"cube/internal/cubexml"
+)
+
+// Core data model types, re-exported.
+type (
+	// Experiment is a valid instance of the CUBE data model: metadata
+	// plus a severity function.
+	Experiment = core.Experiment
+	// Metric is a node of the metric dimension.
+	Metric = core.Metric
+	// Unit is a metric's unit of measurement.
+	Unit = core.Unit
+	// Region is a code section of the program dimension.
+	Region = core.Region
+	// CallSite is a source location where control moves between regions.
+	CallSite = core.CallSite
+	// CallNode is a call-tree node; the path to it is a call path.
+	CallNode = core.CallNode
+	// Machine, SystemNode, Process, and Thread form the system dimension.
+	Machine = core.Machine
+	// SystemNode is an SMP node of a machine.
+	SystemNode = core.SystemNode
+	// Process is an application process identified by its global rank.
+	Process = core.Process
+	// Thread is the mandatory leaf level of the system dimension.
+	Thread = core.Thread
+	// Options control metadata integration during operator application.
+	Options = core.Options
+	// CallMatchMode selects the call-tree equality relation.
+	CallMatchMode = core.CallMatchMode
+	// SystemMode selects machine/node integration behaviour.
+	SystemMode = core.SystemMode
+	// Dense is a dense 3-D snapshot of a severity function.
+	Dense = core.Dense
+	// ValidationError reports a violated data-model constraint.
+	ValidationError = core.ValidationError
+)
+
+// Units of measurement.
+const (
+	Seconds     = core.Seconds
+	Bytes       = core.Bytes
+	Occurrences = core.Occurrences
+)
+
+// Call-tree matching modes.
+const (
+	CallMatchCallee     = core.CallMatchCallee
+	CallMatchCalleeLine = core.CallMatchCalleeLine
+)
+
+// System integration modes.
+const (
+	SystemAuto      = core.SystemAuto
+	SystemCollapse  = core.SystemCollapse
+	SystemCopyFirst = core.SystemCopyFirst
+)
+
+// New returns an empty experiment with the given title.
+func New(title string) *Experiment { return core.New(title) }
+
+// NewMetric returns a fresh root metric.
+func NewMetric(name string, unit Unit, description string) *Metric {
+	return core.NewMetric(name, unit, description)
+}
+
+// Difference computes minuend - subtrahend as a derived experiment.
+func Difference(minuend, subtrahend *Experiment, opts *Options) (*Experiment, error) {
+	return core.Difference(minuend, subtrahend, opts)
+}
+
+// Merge integrates experiments with different or overlapping metric sets.
+func Merge(a, b *Experiment, opts *Options) (*Experiment, error) {
+	return core.Merge(a, b, opts)
+}
+
+// MergeAll merges an arbitrary number of experiments left to right.
+func MergeAll(opts *Options, operands ...*Experiment) (*Experiment, error) {
+	return core.MergeAll(opts, operands...)
+}
+
+// Mean computes the element-wise mean of an arbitrary number of operands.
+func Mean(opts *Options, operands ...*Experiment) (*Experiment, error) {
+	return core.Mean(opts, operands...)
+}
+
+// Sum computes the element-wise sum of the operands.
+func Sum(opts *Options, operands ...*Experiment) (*Experiment, error) {
+	return core.Sum(opts, operands...)
+}
+
+// Min computes the element-wise minimum of the operands.
+func Min(opts *Options, operands ...*Experiment) (*Experiment, error) {
+	return core.Min(opts, operands...)
+}
+
+// Max computes the element-wise maximum of the operands.
+func Max(opts *Options, operands ...*Experiment) (*Experiment, error) {
+	return core.Max(opts, operands...)
+}
+
+// StdDev computes the element-wise sample standard deviation of the
+// operands (at least two), quantifying run-to-run perturbation per tuple.
+func StdDev(opts *Options, operands ...*Experiment) (*Experiment, error) {
+	return core.StdDev(opts, operands...)
+}
+
+// Scale multiplies every severity of x by factor.
+func Scale(x *Experiment, factor float64, opts *Options) (*Experiment, error) {
+	return core.Scale(x, factor, opts)
+}
+
+// Flatten converts an experiment into its flat-profile form: one trivial
+// single-node call tree per region, severities accumulated per region.
+func Flatten(x *Experiment) (*Experiment, error) { return core.Flatten(x) }
+
+// ExtractMetrics restricts an experiment to the metric subtrees rooted at
+// the given metric paths (data reduction).
+func ExtractMetrics(x *Experiment, paths ...string) (*Experiment, error) {
+	return core.ExtractMetrics(x, paths...)
+}
+
+// ExtractCallSubtree restricts an experiment to the call subtree rooted at
+// the given call path.
+func ExtractCallSubtree(x *Experiment, path string) (*Experiment, error) {
+	return core.ExtractCallSubtree(x, path)
+}
+
+// Prune collapses call subtrees whose inclusive severity for the selected
+// metric falls below threshold x the metric's grand total, re-attributing
+// their severities to the nearest kept ancestor (lossless data reduction in
+// resolution, not in totals).
+func Prune(x *Experiment, metricPath string, threshold float64) (*Experiment, error) {
+	return core.Prune(x, metricPath, threshold)
+}
+
+// Topology is an optional Cartesian process topology attached to an
+// experiment.
+type Topology = core.Topology
+
+// NewCartesian builds a dense Cartesian topology for ranks 0..n-1 laid out
+// row-major over the given dims.
+func NewCartesian(name string, dims ...int) (*Topology, error) {
+	return core.NewCartesian(name, dims...)
+}
+
+// StructuralReport describes how the metadata of two experiments relate.
+type StructuralReport = core.StructuralReport
+
+// StructuralDiff compares the metadata sets of two experiments without
+// touching their severities (Karavanic & Miller's structural operators).
+func StructuralDiff(a, b *Experiment, opts *Options) (*StructuralReport, error) {
+	return core.StructuralDiff(a, b, opts)
+}
+
+// AlmostEqual reports whether two experiments have identical metadata
+// structure and element-wise severity agreement within eps (relative plus
+// absolute tolerance) — useful for regression-testing analysis pipelines.
+func AlmostEqual(a, b *Experiment, eps float64) bool {
+	return core.AlmostEqual(a, b, eps)
+}
+
+// Read parses a CUBE XML document.
+func Read(r io.Reader) (*Experiment, error) { return cubexml.Read(r) }
+
+// Write serialises an experiment as CUBE XML.
+func Write(w io.Writer, e *Experiment) error { return cubexml.Write(w, e) }
+
+// ReadFile reads an experiment from a CUBE XML file.
+func ReadFile(path string) (*Experiment, error) { return cubexml.ReadFile(path) }
+
+// WriteFile writes an experiment to a CUBE XML file.
+func WriteFile(path string, e *Experiment) error { return cubexml.WriteFile(path, e) }

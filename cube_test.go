@@ -1,0 +1,140 @@
+package cube_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cube"
+)
+
+// buildPublic builds an experiment exclusively through the public API.
+func buildPublic(title string, waitSec float64) *cube.Experiment {
+	e := cube.New(title)
+	time := e.NewMetric("Time", cube.Seconds, "total time")
+	comm := time.NewChild("Communication", "")
+	wait := comm.NewChild("Late Sender", "")
+
+	mainR := e.NewRegion("main", "app.c", 1, 100)
+	recvR := e.NewRegion("MPI_Recv", "libmpi", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	recv := root.NewChild(e.NewCallSite("app.c", 42, recvR))
+
+	for _, th := range e.SingleThreadedSystem("cluster", 2, 4) {
+		e.SetSeverity(time, root, th, 1)
+		e.SetSeverity(comm, recv, th, 0.5)
+		e.SetSeverity(wait, recv, th, waitSec)
+	}
+	return e
+}
+
+func TestPublicWorkflow(t *testing.T) {
+	before := buildPublic("before", 0.4)
+	after := buildPublic("after", 0.1)
+	if err := before.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := cube.Difference(before, after, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := d.FindMetricByName("Late Sender")
+	if got := d.MetricTotal(wait); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("difference = %v, want 1.2", got)
+	}
+
+	m, err := cube.Mean(nil, before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MetricTotal(m.FindMetricByName("Late Sender")); got != 4*0.25 {
+		t.Errorf("mean = %v, want 1.0", got)
+	}
+
+	// Composite via closure: difference of scaled experiments.
+	s, err := cube.Scale(before, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := cube.Difference(s, before, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Fingerprint() != before.Fingerprint() {
+		t.Errorf("2a - a != a")
+	}
+
+	// Min/Max/Sum/MergeAll all exposed.
+	if _, err := cube.Min(nil, before, after); err != nil {
+		t.Errorf("Min: %v", err)
+	}
+	if _, err := cube.Max(nil, before, after); err != nil {
+		t.Errorf("Max: %v", err)
+	}
+	if _, err := cube.Sum(nil, before, after); err != nil {
+		t.Errorf("Sum: %v", err)
+	}
+	if _, err := cube.MergeAll(nil, before, after); err != nil {
+		t.Errorf("MergeAll: %v", err)
+	}
+	if _, err := cube.Merge(before, after, nil); err != nil {
+		t.Errorf("Merge: %v", err)
+	}
+}
+
+func TestPublicIO(t *testing.T) {
+	e := buildPublic("io", 0.2)
+	var buf bytes.Buffer
+	if err := cube.Write(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<cube") {
+		t.Errorf("not a cube document")
+	}
+	back, err := cube.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != e.Fingerprint() {
+		t.Errorf("round-trip mismatch")
+	}
+
+	path := filepath.Join(t.TempDir(), "x.cube")
+	if err := cube.WriteFile(path, e); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := cube.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Title != "io" {
+		t.Errorf("file round-trip lost title")
+	}
+}
+
+func TestPublicOptions(t *testing.T) {
+	a := buildPublic("a", 0.1)
+	b := buildPublic("b", 0.2)
+	opts := &cube.Options{
+		CallMatch:        cube.CallMatchCalleeLine,
+		System:           cube.SystemCollapse,
+		CollapsedMachine: "flat",
+	}
+	d, err := cube.Difference(a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Machines()[0].Name != "flat" {
+		t.Errorf("options not honoured: machine %q", d.Machines()[0].Name)
+	}
+}
+
+func TestPublicNewMetricStandalone(t *testing.T) {
+	m := cube.NewMetric("Time", cube.Seconds, "d")
+	if m.Name != "Time" || m.Unit != cube.Seconds {
+		t.Errorf("NewMetric wrong")
+	}
+}

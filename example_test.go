@@ -1,0 +1,104 @@
+package cube_test
+
+import (
+	"fmt"
+
+	"cube"
+)
+
+// twoRunExperiment builds a small experiment; wait varies between "runs".
+func twoRunExperiment(title string, wait float64) *cube.Experiment {
+	e := cube.New(title)
+	time := e.NewMetric("Time", cube.Seconds, "total time")
+	ls := time.NewChild("Late Sender", "waiting on late sends")
+	mainR := e.NewRegion("main", "app.c", 1, 80)
+	recvR := e.NewRegion("MPI_Recv", "libmpi", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	recv := root.NewChild(e.NewCallSite("app.c", 42, recvR))
+	for _, th := range e.SingleThreadedSystem("cluster", 1, 2) {
+		e.SetSeverity(time, root, th, 1.0)
+		e.SetSeverity(ls, recv, th, wait)
+	}
+	return e
+}
+
+func ExampleDifference() {
+	before := twoRunExperiment("before", 0.40)
+	after := twoRunExperiment("after", 0.15)
+
+	diff, err := cube.Difference(before, after, nil)
+	if err != nil {
+		panic(err)
+	}
+	ls := diff.FindMetricByName("Late Sender")
+	fmt.Printf("%s: Late Sender improved by %.2fs\n", diff.Title, diff.MetricTotal(ls))
+	// Output:
+	// difference(before, after): Late Sender improved by 0.50s
+}
+
+func ExampleMean() {
+	r1 := twoRunExperiment("run 1", 0.30)
+	r2 := twoRunExperiment("run 2", 0.50)
+
+	avg, err := cube.Mean(nil, r1, r2)
+	if err != nil {
+		panic(err)
+	}
+	ls := avg.FindMetricByName("Late Sender")
+	fmt.Printf("averaged Late Sender: %.2fs per thread\n", avg.MetricTotal(ls)/2)
+	// Output:
+	// averaged Late Sender: 0.40s per thread
+}
+
+func ExampleMerge() {
+	traceExp := twoRunExperiment("trace analysis", 0.4)
+
+	// A counter profile from a separate run: different metrics, same
+	// program.
+	prof := cube.New("counter profile")
+	fp := prof.NewMetric("PAPI_FP_INS", cube.Occurrences, "")
+	mainR := prof.NewRegion("main", "app.c", 1, 80)
+	root := prof.NewCallRoot(prof.NewCallSite("", 0, mainR))
+	for _, th := range prof.SingleThreadedSystem("cluster", 1, 2) {
+		prof.SetSeverity(fp, root, th, 1e6)
+	}
+
+	merged, err := cube.Merge(traceExp, prof, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range merged.MetricRoots() {
+		fmt.Println(r.Name)
+	}
+	// Output:
+	// Time
+	// PAPI_FP_INS
+}
+
+func ExampleFlatten() {
+	e := twoRunExperiment("profiled", 0.25)
+	flat, err := cube.Flatten(e)
+	if err != nil {
+		panic(err)
+	}
+	for _, root := range flat.CallRoots() {
+		fmt.Println(root.Callee().Name)
+	}
+	// Output:
+	// main
+	// MPI_Recv
+}
+
+func ExampleStructuralDiff() {
+	a := twoRunExperiment("a", 0.1)
+	b := twoRunExperiment("b", 0.1)
+	b.NewMetric("PAPI_L1_DCM", cube.Occurrences, "")
+
+	rep, err := cube.StructuralDiff(a, b, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("shared metrics: %d, only in b: %v\n", len(rep.SharedMetrics), rep.OnlyBMetrics)
+	// Output:
+	// shared metrics: 2, only in b: [PAPI_L1_DCM]
+}

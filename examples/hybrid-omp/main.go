@@ -1,0 +1,73 @@
+// hybrid-omp demonstrates the multi-threaded side of the data model: a
+// hybrid MPI+OpenMP workload is analyzed into an experiment whose system
+// dimension carries the full machine → node → process → thread hierarchy,
+// and whose metric tree includes the OpenMP patterns — Idle Threads (time
+// worker threads idle during serial phases) and Wait at OpenMP Barrier
+// (thread imbalance materialised at the parallel region's join). A
+// difference experiment against a balanced variant isolates the imbalance.
+// Run:
+//
+//	go run ./examples/hybrid-omp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cube"
+	"cube/internal/apps"
+	"cube/internal/display"
+	"cube/internal/expert"
+)
+
+func analyze(imbalance float64, seed int64) *cube.Experiment {
+	cfg := apps.HybridConfig{ThreadImbalance: imbalance, Seed: seed, NoiseAmp: 0.02}
+	run, err := apps.RunHybrid(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := expert.Analyze(run.Trace, &expert.Options{Machine: "smp-cluster", Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}
+
+func main() {
+	imbalanced := analyze(0.25, 1)
+	balanced := analyze(1e-9, 77)
+
+	report := func(e *cube.Experiment, label string) {
+		total := e.MetricInclusive(e.FindMetricByName(expert.MetricTime))
+		idle := e.MetricInclusive(e.FindMetricByName(expert.MetricIdleThreads))
+		wait := e.MetricInclusive(e.FindMetricByName(expert.MetricOMPBarrier))
+		fmt.Printf("%-12s total allocation %.4fs | idle threads %5.1f%% | OMP join waiting %5.1f%%\n",
+			label, total, 100*idle/total, 100*wait/total)
+	}
+	report(imbalanced, "imbalanced:")
+	report(balanced, "balanced:")
+
+	diff, err := cube.Difference(imbalanced, balanced, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nderived: %s\n\n", diff.Title)
+
+	// Browse the thread-level system dimension: the join-barrier waiting
+	// of each thread for the solve region.
+	wait := diff.FindMetricByName(expert.MetricOMPBarrier)
+	bar := diff.FindCallNode("main/iterate/!$omp parallel solve/!$omp ibarrier")
+	if bar == nil {
+		log.Fatal("barrier call path missing")
+	}
+	sel := display.Selection{Metric: wait, MetricCollapsed: true, CNode: bar, CNodeCollapsed: true}
+	out, err := display.RenderString(diff, sel, &display.Config{
+		Mode:     display.External,
+		Base:     balanced.MetricInclusive(balanced.FindMetricByName(expert.MetricTime)),
+		HideZero: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

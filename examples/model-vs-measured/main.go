@@ -1,0 +1,81 @@
+// model-vs-measured compares an analytical performance model against a
+// measured experiment — the paper's third data class ("data coming from
+// analytical models or simulations") handled through the same algebra:
+// the prediction is built as an ordinary CUBE experiment, so
+// Difference(measured, predicted) is the model-validation view. The model
+// deliberately contains no waiting terms, which makes the residual a map of
+// exactly the imbalance- and synchronisation-induced overheads. Run:
+//
+//	go run ./examples/model-vs-measured
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cube"
+	"cube/internal/apps"
+	"cube/internal/display"
+	"cube/internal/expert"
+	"cube/internal/perfmodel"
+)
+
+func main() {
+	cfg := apps.PescanConfig{Barriers: true, Seed: 21, NoiseAmp: 0.01}.WithDefaults()
+
+	// Measurement: simulate and analyze.
+	run, err := apps.RunPescan(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := expert.Analyze(run.Trace, &expert.Options{Machine: "torc", Nodes: cfg.Nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prediction: evaluate the first-order analytical model.
+	predicted, err := perfmodel.PescanModel(cfg, apps.PescanSimConfig(cfg)).Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mTotal := measured.MetricInclusive(measured.FindMetricByName("Time"))
+	pTotal := predicted.MetricInclusive(predicted.FindMetricByName("Time"))
+	fmt.Printf("measured total  %.4fs\n", mTotal)
+	fmt.Printf("predicted total %.4fs  (model explains %.1f%%)\n", pTotal, 100*pTotal/mTotal)
+
+	// The residual experiment: measured minus predicted.
+	residual, err := cube.Difference(measured, predicted, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("residual        %.4fs  = un-modeled overheads\n\n", residual.MetricInclusive(residual.FindMetricByName("Time")))
+
+	// Where does the model deviate? Browse the residual per call path,
+	// normalized by the measured total.
+	fmt.Println("residual per call path (percent of measured total, [+] under-predicted):")
+	sel := display.Selection{
+		Metric:          residual.FindMetricByName("Time"),
+		MetricCollapsed: true, // inclusive Time: measured - predicted
+		CNode:           residual.CallRoots()[0],
+		CNodeCollapsed:  true,
+	}
+	out, err := display.RenderString(residual, sel, &display.Config{
+		Mode: display.External, Base: mTotal, HideZero: true,
+		Collapsed: map[string]bool{"Time": true, "Visits": true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	// Sanity cross-check: the residual at the barriers should equal the
+	// waiting the trace analysis attributes there.
+	wab := measured.MetricInclusive(measured.FindMetricByName(expert.MetricWaitAtBarrier))
+	bar := residual.FindCallNode("main/solver/iterate/MPI_Barrier")
+	var barResidual float64
+	residual.FindMetricByName("Time").Walk(func(m *cube.Metric) {
+		barResidual += residual.MetricValue(m, bar)
+	})
+	fmt.Printf("barrier residual %.4fs vs trace-detected barrier waiting %.4fs\n", barResidual, wab)
+}

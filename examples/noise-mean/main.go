@@ -1,0 +1,104 @@
+// noise-mean demonstrates the mean operator's purpose: unrelated system
+// activity perturbs individual runs, so a single experiment can mislead.
+// Averaging a series of experiments smooths the random errors, and the
+// closure property lets the averaged experiments feed straight into a
+// difference — the composite operation the paper highlights
+// ("the difference of averaged data"). Run:
+//
+//	go run ./examples/noise-mean
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cube"
+	"cube/internal/apps"
+	"cube/internal/expert"
+)
+
+func analyze(barriers bool, seed int64, noise float64) *cube.Experiment {
+	cfg := apps.PescanConfig{Barriers: barriers, Seed: seed, NoiseAmp: noise,
+		Iterations: 15}
+	run, err := apps.RunPescan(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := expert.Analyze(run.Trace, &expert.Options{Machine: "torc", Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}
+
+func main() {
+	const runs = 8
+	const noise = 0.25 // heavy perturbation to make the point visible
+
+	series := func(barriers bool, base int64) []*cube.Experiment {
+		var out []*cube.Experiment
+		for i := int64(0); i < runs; i++ {
+			out = append(out, analyze(barriers, base+i*31, noise))
+		}
+		return out
+	}
+	timeOf := func(e *cube.Experiment) float64 {
+		return e.MetricInclusive(e.FindMetricByName(expert.MetricTime))
+	}
+
+	beforeRuns := series(true, 100)
+	afterRuns := series(false, 900)
+
+	fmt.Printf("individual run totals (accumulated Time, seconds):\n  before:")
+	for _, e := range beforeRuns {
+		fmt.Printf(" %.3f", timeOf(e))
+	}
+	fmt.Printf("\n  after: ")
+	for _, e := range afterRuns {
+		fmt.Printf(" %.3f", timeOf(e))
+	}
+	fmt.Println()
+
+	// Single-run difference: noisy.
+	single, err := cube.Difference(beforeRuns[0], afterRuns[0], nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Composite operation: difference of means.
+	avgBefore, err := cube.Mean(nil, beforeRuns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avgAfter, err := cube.Mean(nil, afterRuns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smooth, err := cube.Difference(avgBefore, avgAfter, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nderived composite: %s\n", smooth.Title)
+
+	exec := func(e *cube.Experiment) float64 {
+		return e.MetricTotal(e.FindMetricByName(expert.MetricExecution))
+	}
+	fmt.Printf("\npure-computation change (should be ~0, both versions compute the same):\n")
+	fmt.Printf("  single-run difference:     %+8.4fs of Execution\n", exec(single))
+	fmt.Printf("  difference of %d-run means: %+8.4fs of Execution\n", runs, exec(smooth))
+
+	wab := func(e *cube.Experiment) float64 {
+		return e.MetricTotal(e.FindMetricByName(expert.MetricWaitAtBarrier))
+	}
+	fmt.Printf("\nbarrier-waiting change (the real effect, stable under averaging):\n")
+	fmt.Printf("  single-run difference:     %+8.4fs\n", wab(single))
+	fmt.Printf("  difference of means:       %+8.4fs\n", wab(smooth))
+
+	// Min is the other classical de-noising operator.
+	minBefore, err := cube.Min(nil, beforeRuns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nelement-wise minimum of the before-series: Execution %.4fs (mean %.4fs)\n",
+		exec(minBefore), exec(avgBefore))
+}

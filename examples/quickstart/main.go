@@ -1,0 +1,109 @@
+// Quickstart: build two small experiments against the public API, apply
+// the algebra (difference, mean), and round-trip through the CUBE XML
+// format. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"cube"
+	"cube/internal/display"
+)
+
+// buildExperiment creates a toy experiment: a Time metric tree, a three-node
+// call tree (main → {compute, MPI_Recv}), and four single-threaded
+// processes. scale stretches all severities, extraWait adds waiting time —
+// so two calls produce "before" and "after" versions of the same program.
+func buildExperiment(title string, scale, extraWait float64) *cube.Experiment {
+	e := cube.New(title)
+
+	// Metric dimension: Time includes Communication, which includes the
+	// waiting-time pattern.
+	time := e.NewMetric("Time", cube.Seconds, "total time")
+	comm := time.NewChild("Communication", "time in MPI")
+	wait := comm.NewChild("Late Sender", "receiver blocked early")
+
+	// Program dimension.
+	mainR := e.NewRegion("main", "app.c", 1, 100)
+	compR := e.NewRegion("compute", "app.c", 10, 40)
+	recvR := e.NewRegion("MPI_Recv", "libmpi", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	comp := root.NewChild(e.NewCallSite("app.c", 12, compR))
+	recv := root.NewChild(e.NewCallSite("app.c", 30, recvR))
+
+	// System dimension: 4 single-threaded processes on one node.
+	threads := e.SingleThreadedSystem("toycluster", 1, 4)
+
+	// Severity function.
+	for rank, t := range threads {
+		e.SetSeverity(time, root, t, 0.1*scale)
+		e.SetSeverity(time, comp, t, (2.0+0.1*float64(rank))*scale)
+		e.SetSeverity(comm, recv, t, 0.5*scale)
+		e.SetSeverity(wait, recv, t, (0.2+extraWait)*scale)
+	}
+	if err := e.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return e
+}
+
+func main() {
+	before := buildExperiment("toy before", 1.0, 0.3)
+	after := buildExperiment("toy after", 1.0, 0.0)
+
+	// Difference: a complete derived experiment — browse it like any
+	// original one.
+	diff, err := cube.Difference(before, after, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived experiment: %s (operation=%s, parents=%v)\n\n",
+		diff.Title, diff.Operation, diff.Parents)
+
+	wait := diff.FindMetricByName("Late Sender")
+	sel := display.Selection{
+		Metric: wait, MetricCollapsed: true,
+		CNode: diff.CallRoots()[0], CNodeCollapsed: true,
+	}
+	out, err := display.RenderString(diff, sel,
+		&display.Config{Mode: display.External, Base: before.MetricInclusive(before.FindMetricByName("Time"))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	// Composite operation thanks to closure: mean of (before, after),
+	// then difference against before.
+	avg, err := cube.Mean(nil, before, after)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := cube.Difference(before, avg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("composite %s: Late Sender total %+.2fs (half the change)\n",
+		comp.Title, comp.MetricTotal(comp.FindMetricByName("Late Sender")))
+
+	// Round-trip through the CUBE XML format.
+	dir, err := os.MkdirTemp("", "cube-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "diff.cube")
+	if err := cube.WriteFile(path, diff); err != nil {
+		log.Fatal(err)
+	}
+	back, err := cube.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round-trip: %q, %d severity tuples, derived=%v\n",
+		back.Title, back.NonZeroCount(), back.Derived)
+}

@@ -1,0 +1,92 @@
+// scaling-study analyzes the solver at several process counts and uses the
+// algebra to summarise across the range of execution parameters — the mean
+// operator's second purpose in the paper ("a user might want to combine
+// several execution parameters in an overall picture in order to make a
+// single statement about the performance for a range of execution
+// parameters"). Experiments with different process counts have
+// incompatible node partitions, so metadata integration automatically
+// collapses the machine/node levels and unions the ranks. StdDev over
+// repeated perturbed runs quantifies measurement noise per call path. Run:
+//
+//	go run ./examples/scaling-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cube"
+	"cube/internal/apps"
+	"cube/internal/expert"
+)
+
+func analyze(np int, seed int64) (*cube.Experiment, float64) {
+	cfg := apps.PescanConfig{NP: np, Nodes: (np + 3) / 4, Barriers: false,
+		Seed: seed, NoiseAmp: 0.05, Iterations: 15}
+	run, err := apps.RunPescan(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := expert.Analyze(run.Trace, &expert.Options{Machine: "torc", Nodes: cfg.Nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e, run.Elapsed
+}
+
+func main() {
+	counts := []int{4, 8, 16}
+	var exps []*cube.Experiment
+	var elapsed []float64
+	for _, np := range counts {
+		e, el := analyze(np, int64(np))
+		exps = append(exps, e)
+		elapsed = append(elapsed, el)
+	}
+
+	fmt.Println("strong-ish scaling of the solver (fixed per-rank work: times grow with comm):")
+	fmt.Printf("%6s %12s %14s %12s\n", "np", "elapsed", "MPI fraction", "NxN wait")
+	for i, np := range counts {
+		e := exps[i]
+		total := e.MetricInclusive(e.FindMetricByName(expert.MetricTime))
+		mpi := e.MetricInclusive(e.FindMetricByName(expert.MetricMPI))
+		nxn := e.MetricInclusive(e.FindMetricByName(expert.MetricWaitAtNxN))
+		fmt.Printf("%6d %10.4fs %13.1f%% %11.2f%%\n",
+			np, elapsed[i], 100*mpi/total, 100*nxn/total)
+	}
+
+	// One overall picture across the parameter range: the mean operator
+	// integrates the three experiments; the incompatible node partitions
+	// collapse automatically.
+	summary, err := cube.Mean(nil, exps...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsummary experiment: %s\n", summary.Title)
+	fmt.Printf("  machines: %d (%q)   ranks: %d (union)\n",
+		len(summary.Machines()), summary.Machines()[0].Name, len(summary.Processes()))
+	total := summary.MetricInclusive(summary.FindMetricByName(expert.MetricTime))
+	mpi := summary.MetricInclusive(summary.FindMetricByName(expert.MetricMPI))
+	fmt.Printf("  mean accumulated time %.4fs, MPI share %.1f%%\n", total, 100*mpi/total)
+
+	// Noise characterisation at np=16: stddev over repeated runs.
+	var series []*cube.Experiment
+	for i := int64(0); i < 5; i++ {
+		e, _ := analyze(16, 100+i*13)
+		series = append(series, e)
+	}
+	sd, err := cube.StdDev(nil, series...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, err := cube.Mean(nil, series...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdExec := sd.MetricTotal(sd.FindMetricByName(expert.MetricExecution))
+	meanExec := mean.MetricTotal(mean.FindMetricByName(expert.MetricExecution))
+	fmt.Printf("\nnoise at np=16 over 5 runs: Execution %.4fs ± %.4fs (%.1f%% CoV)\n",
+		meanExec, sdExec, 100*sdExec/meanExec)
+	sdWait := sd.MetricInclusive(sd.FindMetricByName(expert.MetricWaitAtNxN))
+	fmt.Printf("Wait-at-NxN stddev %.4fs — perturbation concentrates in waiting times\n", sdWait)
+}

@@ -1,0 +1,99 @@
+// service-client demonstrates the algebra as a network service (the
+// paper's Grid-service integration): it starts the cube-server handler on
+// a loopback listener, uploads two experiments, requests their difference,
+// and feeds the derived result straight back into the service for a
+// rendering — the closure property working across process boundaries. Run:
+//
+//	go run ./examples/service-client
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"cube"
+	"cube/internal/apps"
+	"cube/internal/expert"
+	"cube/internal/server"
+)
+
+func analyze(barriers bool, seed int64) *cube.Experiment {
+	run, err := apps.RunPescan(apps.PescanConfig{Barriers: barriers, Seed: seed, Iterations: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := expert.Analyze(run.Trace, &expert.Options{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}
+
+// post uploads experiments as multipart operands and returns the body.
+func post(url string, exps ...*cube.Experiment) []byte {
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for i, e := range exps {
+		fw, err := mw.CreateFormFile("operand", fmt.Sprintf("op%d.cube", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cube.Write(fw, e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mw.Close()
+	resp, err := http.Post(url, mw.FormDataContentType(), &body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("service error %d: %s", resp.StatusCode, out)
+	}
+	return out
+}
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("cube service listening on %s\n\n", base)
+
+	before := analyze(true, 1)
+	after := analyze(false, 2)
+
+	// Remote difference.
+	diffXML := post(base+"/op/difference", before, after)
+	fmt.Printf("received derived experiment: %d bytes of CUBE XML\n", len(diffXML))
+	diff, err := cube.Read(bytes.NewReader(diffXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s (derived=%v)\n\n", diff.Title, diff.Derived)
+
+	// Closure across the wire: the derived experiment is a valid operand
+	// for the next request — render it remotely with a hotspot list.
+	view := post(base+"/view?metric="+url.QueryEscape("Wait at Barrier")+"&mode=percent&top=3", diff)
+	for _, line := range strings.Split(string(view), "\n") {
+		if strings.TrimSpace(line) != "" {
+			fmt.Println(line)
+		}
+	}
+}

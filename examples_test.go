@@ -1,0 +1,105 @@
+// Regression tests for the runnable examples: each one must build, run to
+// completion, and print its headline output. This keeps the documentation
+// executable.
+package cube_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cmd := exec.Command("go", "run", "./examples/"+name)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runExample(t, "quickstart")
+	for _, want := range []string{"derived experiment", "round-trip", "composite"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart lacks %q", want)
+		}
+	}
+}
+
+func TestExamplePescanDiff(t *testing.T) {
+	out := runExample(t, "pescan-diff")
+	for _, want := range []string{"side-by-side", "Wait at Barrier", "gross balance", "derived: difference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pescan-diff lacks %q", want)
+		}
+	}
+}
+
+func TestExampleSweep3DMerge(t *testing.T) {
+	out := runExample(t, "sweep3d-merge")
+	for _, want := range []string{"2 measurement runs", "PAPI_L1_DCM", "MPI_Recv", `Topology "sweep grid"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep3d-merge lacks %q", want)
+		}
+	}
+}
+
+func TestExampleNoiseMean(t *testing.T) {
+	out := runExample(t, "noise-mean")
+	for _, want := range []string{"difference of", "element-wise minimum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("noise-mean lacks %q", want)
+		}
+	}
+}
+
+func TestExampleCounterSplit(t *testing.T) {
+	out := runExample(t, "counter-split")
+	for _, want := range []string{"measurement plan", "hits (exclusive)", "miss rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("counter-split lacks %q", want)
+		}
+	}
+}
+
+func TestExampleHybridOMP(t *testing.T) {
+	out := runExample(t, "hybrid-omp")
+	for _, want := range []string{"idle threads", "OMP join waiting", "thread 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hybrid-omp lacks %q", want)
+		}
+	}
+}
+
+func TestExampleModelVsMeasured(t *testing.T) {
+	out := runExample(t, "model-vs-measured")
+	for _, want := range []string{"model explains", "residual", "MPI_Barrier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("model-vs-measured lacks %q", want)
+		}
+	}
+}
+
+func TestExampleScalingStudy(t *testing.T) {
+	out := runExample(t, "scaling-study")
+	for _, want := range []string{"MPI fraction", "summary experiment", "noise at np=16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scaling-study lacks %q", want)
+		}
+	}
+}
+
+func TestExampleServiceClient(t *testing.T) {
+	out := runExample(t, "service-client")
+	for _, want := range []string{"cube service listening", "derived experiment", "top 1 severities"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("service-client lacks %q", want)
+		}
+	}
+}

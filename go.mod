@@ -1,0 +1,3 @@
+module cube
+
+go 1.22

@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"cube/internal/counters"
+	"cube/internal/mpisim"
+)
+
+// HybridConfig parameterises a hybrid MPI+OpenMP workload: each process
+// alternates serial phases (master only — worker threads idle), OpenMP
+// parallel loops with optional thread-level load imbalance (threads wait at
+// the region's implicit join barrier), and funnelled MPI communication.
+// It exercises the multi-threaded side of the CUBE data model: the system
+// dimension carries a thread level and the EXPERT analyzer derives the
+// OpenMP patterns (Idle Threads, Wait at OpenMP Barrier).
+type HybridConfig struct {
+	// NP is the number of processes; Nodes the number of SMP nodes;
+	// Threads the OpenMP thread count per process.
+	NP, Nodes, Threads int
+	// Iterations is the number of outer iterations.
+	Iterations int
+	// SerialSec is the master-only serial time per iteration.
+	SerialSec float64
+	// ParallelSec is the per-thread nominal time of the parallel loop.
+	ParallelSec float64
+	// ThreadImbalance spreads the parallel loop across threads: thread t
+	// computes ParallelSec * (1 + ThreadImbalance*t/(Threads-1)).
+	ThreadImbalance float64
+	// HaloBytes is the per-iteration neighbor exchange volume.
+	HaloBytes int64
+	// Seed and NoiseAmp configure the simulator's noise.
+	Seed     int64
+	NoiseAmp float64
+}
+
+// WithDefaults returns cfg with zero fields replaced by defaults: four
+// 4-way SMP nodes running one 4-thread process each.
+func (c HybridConfig) WithDefaults() HybridConfig {
+	if c.NP == 0 {
+		c.NP = 4
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.SerialSec == 0 {
+		c.SerialSec = 0.6e-3
+	}
+	if c.ParallelSec == 0 {
+		c.ParallelSec = 2.0e-3
+	}
+	if c.ThreadImbalance == 0 {
+		c.ThreadImbalance = 0.25
+	}
+	if c.HaloBytes == 0 {
+		c.HaloBytes = 16 << 10
+	}
+	return c
+}
+
+// Hybrid builds the per-rank program.
+func Hybrid(c HybridConfig) mpisim.Program {
+	c = c.WithDefaults()
+	return func(b *mpisim.B) {
+		r := b.Rank()
+		np := b.NP()
+		left, right := r-1, r+1
+
+		b.At(10).Enter("main")
+		for it := 0; it < c.Iterations; it++ {
+			b.At(20).Enter("iterate")
+			b.At(22).Region("pack_boundaries", func() {
+				// Serial phase: worker threads idle.
+				b.Compute(c.SerialSec, fftWork(c.SerialSec))
+			})
+			b.At(26).Parallel("solve", c.Threads, func(tid int) (float64, counters.Work) {
+				sec := c.ParallelSec
+				if c.Threads > 1 {
+					sec *= 1 + c.ThreadImbalance*float64(tid)/float64(c.Threads-1)
+				}
+				return sec, fftWork(sec)
+			})
+			b.At(32).Region("exchange", func() {
+				if right < np {
+					b.Send(right, 300, c.HaloBytes)
+				}
+				if left >= 0 {
+					b.Send(left, 301, c.HaloBytes)
+					b.Recv(left, 300)
+				}
+				if right < np {
+					b.Recv(right, 301)
+				}
+			})
+			b.At(38).Region("residual", func() {
+				b.AllReduce(8)
+			})
+			b.Exit() // iterate
+		}
+		b.Exit() // main
+	}
+}
+
+// HybridSimConfig returns the simulator configuration for the workload.
+func HybridSimConfig(c HybridConfig) mpisim.Config {
+	c = c.WithDefaults()
+	return mpisim.Config{
+		Program:  "hybrid",
+		NumRanks: c.NP,
+		NumNodes: c.Nodes,
+		Seed:     c.Seed,
+		NoiseAmp: c.NoiseAmp,
+	}
+}
+
+// RunHybrid simulates one execution of the workload.
+func RunHybrid(c HybridConfig) (*mpisim.Run, error) {
+	c = c.WithDefaults()
+	return mpisim.Simulate(HybridSimConfig(c), Hybrid(c))
+}

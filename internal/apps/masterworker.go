@@ -1,0 +1,131 @@
+package apps
+
+import (
+	"cube/internal/counters"
+	"cube/internal/mpisim"
+)
+
+// MasterWorkerConfig parameterises a master/worker load balancer: rank 0
+// hands out task batches and collects results; workers compute. Because
+// result messages from differently-loaded workers race each other while
+// the master collects them in a fixed order, this workload is a natural
+// generator of the Messages-in-Wrong-Order pattern (late-sender waiting
+// caused by consuming messages in the "wrong" order), and its star-shaped
+// communication matrix contrasts with the stencil workloads.
+type MasterWorkerConfig struct {
+	// NP is the number of processes (1 master + NP-1 workers); Nodes the
+	// number of SMP nodes.
+	NP, Nodes int
+	// Batches is the number of task batches each worker processes.
+	Batches int
+	// TaskSec is the nominal compute time per batch; worker w is slowed
+	// by a factor (1 + Skew*w/(NP-2)).
+	TaskSec float64
+	Skew    float64
+	// TaskBytes and ResultBytes are the message sizes.
+	TaskBytes, ResultBytes int64
+	// Seed and NoiseAmp configure the simulator's noise.
+	Seed     int64
+	NoiseAmp float64
+}
+
+// WithDefaults returns cfg with zero fields replaced by defaults.
+func (c MasterWorkerConfig) WithDefaults() MasterWorkerConfig {
+	if c.NP == 0 {
+		c.NP = 8
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.Batches == 0 {
+		c.Batches = 10
+	}
+	if c.TaskSec == 0 {
+		c.TaskSec = 1.5e-3
+	}
+	if c.Skew == 0 {
+		c.Skew = 0.6
+	}
+	if c.TaskBytes == 0 {
+		c.TaskBytes = 4 << 10
+	}
+	if c.ResultBytes == 0 {
+		c.ResultBytes = 16 << 10
+	}
+	return c
+}
+
+// MasterWorker builds the per-rank program. The master distributes one
+// batch to every worker, then collects the results in worker-rank order —
+// while the fastest workers' results arrived long ago (wrong-order
+// consumption whenever a slow low-rank worker holds up queued results of
+// fast high-rank ones... here skew grows with rank, so collection order
+// matches completion order of the *first* batch but later batches drift).
+func MasterWorker(c MasterWorkerConfig) mpisim.Program {
+	c = c.WithDefaults()
+	return func(b *mpisim.B) {
+		r := b.Rank()
+		np := b.NP()
+		const (
+			tagTask   = 700
+			tagResult = 701
+		)
+		b.At(10).Enter("main")
+		if r == 0 {
+			for batch := 0; batch < c.Batches; batch++ {
+				b.At(20).Region("distribute", func() {
+					for w := 1; w < np; w++ {
+						b.Send(w, tagTask, c.TaskBytes)
+					}
+				})
+				b.At(26).Region("collect", func() {
+					// Fixed collection order: rank np-1 (the slowest
+					// worker) first, so the faster workers' results wait
+					// in the queue — wrong-order late-sender waiting.
+					for w := np - 1; w >= 1; w-- {
+						b.Recv(w, tagResult)
+					}
+				})
+				b.At(30).Region("reduce_results", func() {
+					b.Compute(0.1e-3, counters.Work{Flops: 5e4, MemBytes: float64(c.ResultBytes)})
+				})
+			}
+		} else {
+			slow := 1.0
+			if np > 2 {
+				slow += c.Skew * float64(r-1) / float64(np-2)
+			}
+			for batch := 0; batch < c.Batches; batch++ {
+				b.At(40).Region("get_task", func() {
+					b.Recv(0, tagTask)
+				})
+				b.At(44).Region("work", func() {
+					sec := c.TaskSec * slow
+					b.Compute(sec, counters.Work{Flops: sec * 250e6, LocalBytes: sec * 30e6})
+				})
+				b.At(48).Region("send_result", func() {
+					b.Send(0, tagResult, c.ResultBytes)
+				})
+			}
+		}
+		b.Exit()
+	}
+}
+
+// MasterWorkerSimConfig returns the simulator configuration.
+func MasterWorkerSimConfig(c MasterWorkerConfig) mpisim.Config {
+	c = c.WithDefaults()
+	return mpisim.Config{
+		Program:  "masterworker",
+		NumRanks: c.NP,
+		NumNodes: c.Nodes,
+		Seed:     c.Seed,
+		NoiseAmp: c.NoiseAmp,
+	}
+}
+
+// RunMasterWorker simulates one execution of the workload.
+func RunMasterWorker(c MasterWorkerConfig) (*mpisim.Run, error) {
+	c = c.WithDefaults()
+	return mpisim.Simulate(MasterWorkerSimConfig(c), MasterWorker(c))
+}

@@ -1,0 +1,160 @@
+package apps
+
+import (
+	"fmt"
+
+	"cube/internal/core"
+	"cube/internal/counters"
+	"cube/internal/mpisim"
+)
+
+// Sweep3DConfig parameterises the SWEEP3D-like wavefront workload: a
+// discrete-ordinates transport sweep over a PX×PY process grid. For each of
+// eight octants the sweep pipelines angle blocks diagonally across the
+// grid: every rank receives its upstream boundary fluxes, computes its
+// subdomain, and sends the downstream boundaries. During pipeline fill the
+// downstream ranks block in MPI_Recv before the corresponding sends have
+// started — the classical Late Sender pattern — and unpacking the received
+// boundary data is the cache-unfriendly part of the code, so level-1 data
+// cache misses concentrate at the MPI_Recv call paths (§5.2).
+type Sweep3DConfig struct {
+	// PX and PY are the process-grid dimensions (NP = PX*PY); Nodes the
+	// number of SMP nodes.
+	PX, PY, Nodes int
+	// Octants is the number of sweep directions (the benchmark uses 8).
+	Octants int
+	// Blocks is the number of pipelined angle blocks per octant.
+	Blocks int
+	// CellSec is the compute time per rank per block.
+	CellSec float64
+	// BoundaryBytes is the boundary exchange volume per direction.
+	BoundaryBytes int64
+	// Seed and NoiseAmp configure the simulator's noise.
+	Seed     int64
+	NoiseAmp float64
+}
+
+// WithDefaults returns cfg with zero fields replaced by defaults (a 4×4
+// grid on four nodes, 8 octants, 6 angle blocks).
+func (c Sweep3DConfig) WithDefaults() Sweep3DConfig {
+	if c.PX == 0 {
+		c.PX = 4
+	}
+	if c.PY == 0 {
+		c.PY = 4
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Octants == 0 {
+		c.Octants = 8
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 6
+	}
+	if c.CellSec == 0 {
+		c.CellSec = 1.2e-3
+	}
+	if c.BoundaryBytes == 0 {
+		c.BoundaryBytes = 64 << 10
+	}
+	return c
+}
+
+// sweepWork is the compute work of one angle block: flop-heavy with mostly
+// cache-resident data, so cache misses stay low outside MPI_Recv.
+func sweepWork(sec float64) counters.Work {
+	return counters.Work{Flops: sec * 260e6, LocalBytes: sec * 30e6, MemBytes: sec * 0.5e6}
+}
+
+// Sweep3D builds the per-rank program.
+func Sweep3D(c Sweep3DConfig) mpisim.Program {
+	c = c.WithDefaults()
+	return func(b *mpisim.B) {
+		np := b.NP()
+		if np != c.PX*c.PY {
+			// Builder-level validation: misconfigured grids fail fast.
+			b.At(1).Enter("main")
+			b.Exit()
+			if np != c.PX*c.PY {
+				panic(fmt.Sprintf("apps: sweep3d grid %dx%d does not match np=%d", c.PX, c.PY, np))
+			}
+			return
+		}
+		r := b.Rank()
+		ix, iy := r%c.PX, r/c.PX
+
+		b.At(10).Enter("main")
+		b.At(12).Region("source", func() {
+			b.Compute(c.CellSec, sweepWork(c.CellSec))
+		})
+		b.At(15).Enter("sweep")
+		for oct := 0; oct < c.Octants; oct++ {
+			// Sweep direction alternates per octant.
+			dx := 1
+			if oct&1 != 0 {
+				dx = -1
+			}
+			dy := 1
+			if oct&2 != 0 {
+				dy = -1
+			}
+			upX, downX := ix-dx, ix+dx
+			upY, downY := iy-dy, iy+dy
+			tag := 200 + oct
+			b.At(20+oct).Region("octant", func() {
+				for blk := 0; blk < c.Blocks; blk++ {
+					if upX >= 0 && upX < c.PX {
+						b.At(30).Recv(iy*c.PX+upX, tag)
+					}
+					if upY >= 0 && upY < c.PY {
+						b.At(31).Recv(upY*c.PX+ix, tag+100)
+					}
+					b.At(33).Region("compute_block", func() {
+						b.Compute(c.CellSec, sweepWork(c.CellSec))
+					})
+					if downX >= 0 && downX < c.PX {
+						b.At(36).Send(iy*c.PX+downX, tag, c.BoundaryBytes)
+					}
+					if downY >= 0 && downY < c.PY {
+						b.At(37).Send(downY*c.PX+ix, tag+100, c.BoundaryBytes)
+					}
+				}
+			})
+		}
+		b.Exit() // sweep
+		b.At(50).Region("flux_err", func() {
+			b.AllReduce(8)
+		})
+		b.Exit() // main
+	}
+}
+
+// Sweep3DSimConfig returns the simulator configuration for the workload.
+func Sweep3DSimConfig(c Sweep3DConfig) mpisim.Config {
+	c = c.WithDefaults()
+	return mpisim.Config{
+		Program:  "sweep3d",
+		NumRanks: c.PX * c.PY,
+		NumNodes: c.Nodes,
+		Seed:     c.Seed,
+		NoiseAmp: c.NoiseAmp,
+	}
+}
+
+// RunSweep3D simulates one execution of the workload.
+func RunSweep3D(c Sweep3DConfig) (*mpisim.Run, error) {
+	c = c.WithDefaults()
+	return mpisim.Simulate(Sweep3DSimConfig(c), Sweep3D(c))
+}
+
+// Sweep3DTopology returns the PY x PX Cartesian process topology of the
+// workload (rank = iy*PX + ix), for attachment to analyzed experiments.
+func Sweep3DTopology(c Sweep3DConfig) *core.Topology {
+	c = c.WithDefaults()
+	t, err := core.NewCartesian("sweep grid", c.PY, c.PX)
+	if err != nil {
+		panic(err) // defaults are always valid
+	}
+	return t
+}

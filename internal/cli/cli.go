@@ -1,0 +1,40 @@
+// Package cli holds small helpers shared by the cube command-line tools.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"cube/internal/core"
+)
+
+// ParseOptions translates the -callmatch and -system flag values into
+// operator options.
+func ParseOptions(callMatch, system string) (*core.Options, error) {
+	opts := &core.Options{}
+	switch callMatch {
+	case "callee":
+		opts.CallMatch = core.CallMatchCallee
+	case "callee+line":
+		opts.CallMatch = core.CallMatchCalleeLine
+	default:
+		return nil, fmt.Errorf("unknown -callmatch %q (want callee or callee+line)", callMatch)
+	}
+	switch system {
+	case "auto":
+		opts.System = core.SystemAuto
+	case "collapse":
+		opts.System = core.SystemCollapse
+	case "copy-first":
+		opts.System = core.SystemCopyFirst
+	default:
+		return nil, fmt.Errorf("unknown -system %q (want auto, collapse, or copy-first)", system)
+	}
+	return opts, nil
+}
+
+// Fatal prints the error prefixed with the tool name and exits.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+package cli
+
+import (
+	"testing"
+
+	"cube/internal/core"
+)
+
+func TestParseOptions(t *testing.T) {
+	opts, err := ParseOptions("callee", "auto")
+	if err != nil || opts.CallMatch != core.CallMatchCallee || opts.System != core.SystemAuto {
+		t.Errorf("defaults: %+v, %v", opts, err)
+	}
+	opts, err = ParseOptions("callee+line", "collapse")
+	if err != nil || opts.CallMatch != core.CallMatchCalleeLine || opts.System != core.SystemCollapse {
+		t.Errorf("callee+line/collapse: %+v, %v", opts, err)
+	}
+	opts, err = ParseOptions("callee", "copy-first")
+	if err != nil || opts.System != core.SystemCopyFirst {
+		t.Errorf("copy-first: %+v, %v", opts, err)
+	}
+	if _, err := ParseOptions("bogus", "auto"); err == nil {
+		t.Errorf("bad callmatch accepted")
+	}
+	if _, err := ParseOptions("callee", "bogus"); err == nil {
+		t.Errorf("bad system accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package cone is a call-graph profiler in the style of CONE: it maps
+// wall-clock time and hardware-counter data onto the application's full
+// call graph, including line numbers. Where the real tool instruments the
+// binary with DPCL probes, this implementation consumes the instrumentation
+// event stream of a simulated run directly — the stream is never written to
+// disk, which is exactly the space advantage over counter-carrying traces
+// that motivates combining CONE profiles with trace analysis through the
+// CUBE merge operator.
+//
+// Counter metrics are arranged in hierarchies of more general and more
+// specific events (cache accesses include cache misses, instructions
+// include floating-point instructions), so the CUBE display derives
+// exclusive values — e.g. cache hits — automatically.
+package cone
+
+import (
+	"fmt"
+
+	"cube/internal/core"
+	"cube/internal/counters"
+	"cube/internal/mpisim"
+	"cube/internal/trace"
+)
+
+// Options configure profile construction.
+type Options struct {
+	// Machine and Nodes describe the system dimension. Defaults:
+	// "cluster", 1.
+	Machine string
+	Nodes   int
+	// Title overrides the experiment title; default "<program> (cone)".
+	Title string
+	// Topology optionally attaches a Cartesian process topology to the
+	// produced profile.
+	Topology *core.Topology
+}
+
+func (o *Options) orDefault(program string) Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Machine == "" {
+		out.Machine = "cluster"
+	}
+	if out.Nodes <= 0 {
+		out.Nodes = 1
+	}
+	if out.Title == "" {
+		out.Title = program + " (cone)"
+	}
+	return out
+}
+
+// eventParent defines the specialization hierarchy among counter events:
+// a child event is a subset of its parent's count.
+var eventParent = map[counters.Event]counters.Event{
+	counters.FPIns:      counters.TotalIns,
+	counters.LoadIns:    counters.TotalIns,
+	counters.StoreIns:   counters.TotalIns,
+	counters.L1DataMiss: counters.L1DataAccess,
+	counters.L2DataMiss: counters.L2DataAccess,
+}
+
+// Profile builds a call-path profile from the instrumentation stream of one
+// run: a Time root metric (wall-clock, exclusive per call path), a Visits
+// root, and one metric per hardware counter carried by the stream, arranged
+// in the event specialization hierarchy. Parent counter severities are
+// stored exclusively (accesses minus misses), so inclusive aggregation
+// reproduces the raw counts.
+func Profile(tr *trace.Trace, opts *Options) (*core.Experiment, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("cone: %w", err)
+	}
+	o := opts.orDefault(tr.Program)
+	e := core.New(o.Title)
+	if o.Topology != nil {
+		e.SetTopology(o.Topology.Clone())
+	}
+	e.Attrs["cone.program"] = tr.Program
+	e.Attrs["cone.ranks"] = fmt.Sprintf("%d", tr.NumRanks)
+	e.Attrs["cone.events"] = fmt.Sprintf("%v", tr.Counters)
+
+	timeM := e.NewMetric("Time", core.Seconds, "Wall-clock time per call path")
+	visitsM := e.NewMetric("Visits", core.Occurrences, "Number of visits of a call path")
+
+	// Counter metrics: attach each event under its most specific present
+	// ancestor, creating roots for events whose parents are absent.
+	present := map[counters.Event]int{}
+	for i, name := range tr.Counters {
+		present[counters.Event(name)] = i
+	}
+	cntM := make([]*core.Metric, len(tr.Counters))
+	var attach func(ev counters.Event) *core.Metric
+	attach = func(ev counters.Event) *core.Metric {
+		i := present[ev]
+		if cntM[i] != nil {
+			return cntM[i]
+		}
+		desc := "Hardware counter " + string(ev)
+		if p, ok := eventParent[ev]; ok {
+			if _, inSet := present[p]; inSet {
+				cntM[i] = attach(p).NewChild(string(ev), desc)
+				return cntM[i]
+			}
+		}
+		cntM[i] = e.NewMetric(string(ev), core.Occurrences, desc)
+		return cntM[i]
+	}
+	for _, name := range tr.Counters {
+		attach(counters.Event(name))
+	}
+
+	threads := e.ThreadedSystem(o.Machine, o.Nodes, tr.ThreadsPerRank())
+
+	type frame struct {
+		cn       *core.CallNode
+		enter    float64
+		childDur float64
+		enterCnt []int64
+		childCnt []int64
+	}
+	roots := map[int32]*core.CallNode{}
+	children := map[*core.CallNode]map[int32]*core.CallNode{}
+	regions := map[int32]*core.Region{}
+	regionFor := func(id int32) *core.Region {
+		if r, ok := regions[id]; ok {
+			return r
+		}
+		ri := tr.Regions[id]
+		r := e.NewRegion(ri.Name, ri.Module, ri.Line, 0)
+		regions[id] = r
+		return r
+	}
+	nodeFor := func(parent *core.CallNode, id int32) *core.CallNode {
+		if parent == nil {
+			if cn, ok := roots[id]; ok {
+				return cn
+			}
+			r := regionFor(id)
+			cn := e.NewCallRoot(e.NewCallSite(r.Module, tr.Regions[id].Line, r))
+			roots[id] = cn
+			return cn
+		}
+		kids := children[parent]
+		if kids == nil {
+			kids = map[int32]*core.CallNode{}
+			children[parent] = kids
+		}
+		if cn, ok := kids[id]; ok {
+			return cn
+		}
+		r := regionFor(id)
+		cn := parent.NewChild(e.NewCallSite(parent.Callee().Module, tr.Regions[id].Line, r))
+		e.Invalidate()
+		kids[id] = cn
+		return cn
+	}
+
+	// Each location (rank, thread) replays independently. Worker-thread
+	// lanes of hybrid codes contain only parallel-region instances; their
+	// first entered region becomes a call-graph root (the profiler has no
+	// cross-thread context, so "!$omp parallel ..." constructs appear as
+	// roots in the profile, as a sampling profiler would show them).
+	for rank, lanes := range tr.PerLocation() {
+		for tid, idx := range lanes {
+			th := threads[rank][tid]
+			var stack []frame
+			for _, i := range idx {
+				ev := &tr.Events[i]
+				switch ev.Kind {
+				case trace.Enter:
+					var parent *core.CallNode
+					if len(stack) > 0 {
+						parent = stack[len(stack)-1].cn
+					}
+					cn := nodeFor(parent, ev.Region)
+					f := frame{cn: cn, enter: ev.Time, enterCnt: ev.Counters}
+					if len(cntM) > 0 {
+						f.childCnt = make([]int64, len(cntM))
+					}
+					stack = append(stack, f)
+					e.AddSeverity(visitsM, cn, th, 1)
+				case trace.Exit:
+					f := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					dur := ev.Time - f.enter
+					e.AddSeverity(timeM, f.cn, th, dur-f.childDur)
+					if len(stack) > 0 {
+						stack[len(stack)-1].childDur += dur
+					}
+					if len(cntM) > 0 && len(ev.Counters) == len(cntM) && len(f.enterCnt) == len(cntM) {
+						for ci := range cntM {
+							total := ev.Counters[ci] - f.enterCnt[ci]
+							e.AddSeverity(cntM[ci], f.cn, th, float64(total-f.childCnt[ci]))
+							if len(stack) > 0 {
+								stack[len(stack)-1].childCnt[ci] += total
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Convert counter severities from raw counts to exclusive values with
+	// respect to the metric hierarchy: subtract each child's raw count
+	// from its parent so that inclusive aggregation reproduces the raw
+	// values (cache hits = accesses - misses).
+	for i, name := range tr.Counters {
+		ev := counters.Event(name)
+		p, ok := eventParent[ev]
+		if !ok {
+			continue
+		}
+		pi, inSet := present[p]
+		if !inSet {
+			continue
+		}
+		for _, cn := range e.CallNodes() {
+			for _, th := range e.Threads() {
+				if v := e.Severity(cntM[i], cn, th); v != 0 {
+					e.AddSeverity(cntM[pi], cn, th, -v)
+				}
+			}
+		}
+	}
+
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("cone: produced invalid experiment: %w", err)
+	}
+	return e, nil
+}
+
+// Collect plans and executes the measurement runs needed to obtain the
+// requested hardware events: it partitions the events into sets measurable
+// in a single run (respecting the platform's conflict rules), simulates one
+// instrumented run per set — each with a distinct seed, as separate real
+// executions would be — and profiles each run. The resulting experiments
+// are intended to be combined with the CUBE merge operator (optionally
+// after applying Mean over repeated runs).
+func Collect(cfg mpisim.Config, prog mpisim.Program, events []counters.Event, opts *Options) ([]*core.Experiment, error) {
+	sets, err := counters.Partition(events)
+	if err != nil {
+		return nil, err
+	}
+	var out []*core.Experiment
+	for i, set := range sets {
+		c := cfg
+		c.TraceCounters = set
+		c.Seed = cfg.Seed + int64(i)*101
+		run, err := mpisim.Simulate(c, prog)
+		if err != nil {
+			return nil, fmt.Errorf("cone: measurement run %d: %w", i, err)
+		}
+		o := opts.orDefault(c.Program)
+		o.Title = fmt.Sprintf("%s (cone run %d: %v)", c.Program, i, set)
+		exp, err := Profile(run.Trace, &o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, exp)
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package cone
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cube/internal/apps"
+	"cube/internal/core"
+	"cube/internal/counters"
+	"cube/internal/mpisim"
+	"cube/internal/trace"
+)
+
+func handTrace(withCounters bool) *trace.Trace {
+	tr := trace.New("hand", 1)
+	if withCounters {
+		tr.Counters = []string{"PAPI_L1_DCA", "PAPI_L1_DCM"}
+	}
+	mainID := tr.DefineRegion("main", "app", 1)
+	innerID := tr.DefineRegion("inner", "app", 10)
+	cnt := func(a, b int64) []int64 {
+		if !withCounters {
+			return nil
+		}
+		return []int64{a, b}
+	}
+	tr.Append(trace.Event{Kind: trace.Enter, Time: 0, Rank: 0, Region: mainID, Partner: trace.NoPartner, Counters: cnt(0, 0)})
+	tr.Append(trace.Event{Kind: trace.Enter, Time: 2, Rank: 0, Region: innerID, Partner: trace.NoPartner, Counters: cnt(1000, 100)})
+	tr.Append(trace.Event{Kind: trace.Exit, Time: 5, Rank: 0, Region: innerID, Partner: trace.NoPartner, Counters: cnt(4000, 400)})
+	tr.Append(trace.Event{Kind: trace.Exit, Time: 10, Rank: 0, Region: mainID, Partner: trace.NoPartner, Counters: cnt(5000, 450)})
+	tr.Sort()
+	return tr
+}
+
+func val(e *core.Experiment, metric, call string) float64 {
+	m := e.FindMetricByName(metric)
+	c := e.FindCallNode(call)
+	if m == nil || c == nil {
+		return math.NaN()
+	}
+	return e.MetricValue(m, c)
+}
+
+func TestProfileTimeAndVisits(t *testing.T) {
+	e, err := Profile(handTrace(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := val(e, "Time", "main"); got != 7 {
+		t.Errorf("main exclusive time = %v, want 7", got)
+	}
+	if got := val(e, "Time", "main/inner"); got != 3 {
+		t.Errorf("inner time = %v, want 3", got)
+	}
+	if got := val(e, "Visits", "main/inner"); got != 1 {
+		t.Errorf("visits = %v", got)
+	}
+	if err := e.Validate(); err != nil {
+		t.Errorf("profile invalid: %v", err)
+	}
+	if e.Title != "hand (cone)" {
+		t.Errorf("default title = %q", e.Title)
+	}
+}
+
+func TestProfileCounterHierarchyAndExclusiveness(t *testing.T) {
+	e, err := Profile(handTrace(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := e.FindMetricByName("PAPI_L1_DCA")
+	miss := e.FindMetricByName("PAPI_L1_DCM")
+	if miss.Parent() != acc {
+		t.Fatalf("miss metric not child of access metric")
+	}
+	// Raw counts: main total 5000 accesses / 450 misses; inner 3000/300.
+	// Stored exclusively along both trees:
+	//   inner: acc-excl = 3000-300 = 2700, miss 300
+	//   main:  acc raw  = 5000-3000 = 2000, excl = 2000-150 = 1850, miss 150
+	if got := val(e, "PAPI_L1_DCM", "main/inner"); got != 300 {
+		t.Errorf("inner misses = %v, want 300", got)
+	}
+	if got := val(e, "PAPI_L1_DCA", "main/inner"); got != 2700 {
+		t.Errorf("inner access excl (hits) = %v, want 2700", got)
+	}
+	if got := val(e, "PAPI_L1_DCM", "main"); got != 150 {
+		t.Errorf("main misses = %v, want 150", got)
+	}
+	if got := val(e, "PAPI_L1_DCA", "main"); got != 1850 {
+		t.Errorf("main access excl = %v, want 1850", got)
+	}
+	// Inclusive aggregation reproduces the raw counter values.
+	if got := e.MetricInclusive(acc); got != 5000 {
+		t.Errorf("inclusive accesses = %v, want 5000", got)
+	}
+	if got := e.MetricInclusive(miss); got != 450 {
+		t.Errorf("inclusive misses = %v, want 450", got)
+	}
+}
+
+func TestProfileRootWhenParentAbsent(t *testing.T) {
+	tr := handTrace(true)
+	tr.Counters = []string{"PAPI_L1_DCM", "PAPI_FP_INS"} // no L1_DCA, no TOT_INS
+	e, err := Profile(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"PAPI_L1_DCM", "PAPI_FP_INS"} {
+		m := e.FindMetricByName(name)
+		if m == nil || m.Parent() != nil {
+			t.Errorf("%s should be a root metric", name)
+		}
+	}
+}
+
+func TestProfileRejectsInvalidTrace(t *testing.T) {
+	tr := trace.New("bad", 1)
+	id := tr.DefineRegion("main", "app", 0)
+	tr.Append(trace.Event{Kind: trace.Enter, Time: 0, Rank: 0, Region: id, Partner: trace.NoPartner})
+	if _, err := Profile(tr, nil); err == nil {
+		t.Errorf("unbalanced trace accepted")
+	}
+}
+
+func TestCollectPlansConflictingEvents(t *testing.T) {
+	scfg := apps.Sweep3DConfig{Seed: 1, Blocks: 2, Octants: 2}
+	profiles, err := Collect(apps.Sweep3DSimConfig(scfg), apps.Sweep3D(scfg),
+		[]counters.Event{counters.FPIns, counters.L1DataMiss}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d, want 2 (conflict split)", len(profiles))
+	}
+	if profiles[0].FindMetricByName("PAPI_FP_INS") == nil {
+		t.Errorf("first profile lacks FP_INS")
+	}
+	if profiles[1].FindMetricByName("PAPI_L1_DCM") == nil {
+		t.Errorf("second profile lacks L1_DCM")
+	}
+	for i, p := range profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %d invalid: %v", i, err)
+		}
+		if !strings.Contains(p.Title, "cone run") {
+			t.Errorf("profile %d title = %q", i, p.Title)
+		}
+	}
+}
+
+func TestCollectUnknownEvent(t *testing.T) {
+	scfg := apps.Sweep3DConfig{Seed: 1}
+	if _, err := Collect(apps.Sweep3DSimConfig(scfg), apps.Sweep3D(scfg),
+		[]counters.Event{"PAPI_NOPE"}, nil); err == nil {
+		t.Errorf("unknown event accepted")
+	}
+}
+
+// Integration: profile of a simulated run conserves time and counters.
+func TestProfileConservation(t *testing.T) {
+	cfg := mpisim.Config{Program: "p", NumRanks: 4, Seed: 3,
+		TraceCounters: counters.EventSet{counters.TotalCycles, counters.FPIns}}
+	run, err := mpisim.Simulate(cfg, func(b *mpisim.B) {
+		b.Enter("main")
+		b.Compute(0.01*float64(1+b.Rank()), counters.Work{Flops: 1e6})
+		b.Barrier()
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Profile(run.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inclusive Time equals summed per-rank wall time.
+	var wall float64
+	for _, d := range run.RankEnd {
+		wall += d
+	}
+	total := e.MetricInclusive(e.FindMetricByName("Time"))
+	if math.Abs(total-wall) > 1e-9*wall {
+		t.Errorf("time not conserved: %v vs %v", total, wall)
+	}
+	// Inclusive FP_INS equals the per-rank final work (4 ranks x 1e6).
+	fp := e.MetricInclusive(e.FindMetricByName("PAPI_FP_INS"))
+	if fp != 4e6 {
+		t.Errorf("FP_INS total = %v, want 4e6", fp)
+	}
+}

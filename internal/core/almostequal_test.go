@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+func TestAlmostEqualIdentical(t *testing.T) {
+	a := buildSmall("a")
+	b := buildSmall("b")
+	if !AlmostEqual(a, b, 0) {
+		t.Errorf("identical experiments not almost-equal at eps 0")
+	}
+}
+
+func TestAlmostEqualTolerance(t *testing.T) {
+	a := buildSmall("a")
+	b := buildSmall("b")
+	m, c, th := b.FindMetricByName("Time"), b.FindCallNode("main"), b.Threads()[0]
+	b.SetSeverity(m, c, th, b.Severity(m, c, th)+1e-9)
+	if AlmostEqual(a, b, 0) {
+		t.Errorf("perturbed experiments equal at eps 0")
+	}
+	if !AlmostEqual(a, b, 1e-6) {
+		t.Errorf("perturbation within tolerance rejected")
+	}
+	b.SetSeverity(m, c, th, 100)
+	if AlmostEqual(a, b, 1e-6) {
+		t.Errorf("large difference accepted")
+	}
+}
+
+func TestAlmostEqualStructure(t *testing.T) {
+	a := buildSmall("a")
+
+	b := buildSmall("b")
+	b.NewMetric("Extra", Seconds, "")
+	if AlmostEqual(a, b, 1) {
+		t.Errorf("different metric sets accepted")
+	}
+
+	c := buildSmall("c")
+	c.FindMetricByName("Wait").Name = "Renamed"
+	c.Invalidate()
+	if AlmostEqual(a, c, 1) {
+		t.Errorf("renamed metric accepted")
+	}
+
+	d := buildSmall("d")
+	d.CallRoots()[0].NewChild(d.NewCallSite("app", 1, d.NewRegion("extra", "app", 0, 0)))
+	d.Invalidate()
+	if AlmostEqual(a, d, 1) {
+		t.Errorf("different call trees accepted")
+	}
+
+	e := buildSmall("e")
+	topo, _ := NewCartesian("g", 2, 2)
+	e.SetTopology(topo)
+	if AlmostEqual(a, e, 1) {
+		t.Errorf("topology mismatch accepted")
+	}
+	a2 := buildSmall("a2")
+	a2.SetTopology(topo.Clone())
+	if !AlmostEqual(a2, e, 0) {
+		t.Errorf("equal topologies rejected")
+	}
+}
+
+func TestOperatorsOnSystemlessExperiments(t *testing.T) {
+	// Experiments without system (and hence without severities) are valid
+	// degenerate inputs; operators must handle them gracefully.
+	mk := func(title string) *Experiment {
+		e := New(title)
+		e.NewMetric("Time", Seconds, "")
+		mainR := e.NewRegion("main", "app", 0, 0)
+		e.NewCallRoot(e.NewCallSite("", 0, mainR))
+		return e
+	}
+	a, b := mk("a"), mk("b")
+	for name, op := range map[string]func() (*Experiment, error){
+		"difference": func() (*Experiment, error) { return Difference(a, b, nil) },
+		"merge":      func() (*Experiment, error) { return Merge(a, b, nil) },
+		"mean":       func() (*Experiment, error) { return Mean(nil, a, b) },
+		"min":        func() (*Experiment, error) { return Min(nil, a, b) },
+		"stddev":     func() (*Experiment, error) { return StdDev(nil, a, b) },
+		"flatten":    func() (*Experiment, error) { return Flatten(a) },
+		"prune":      func() (*Experiment, error) { return Prune(a, "Time", 0.5) },
+	} {
+		out, err := op()
+		if err != nil {
+			t.Errorf("%s on system-less experiments: %v", name, err)
+			continue
+		}
+		if err := out.Validate(); err != nil {
+			t.Errorf("%s output invalid: %v", name, err)
+		}
+	}
+}

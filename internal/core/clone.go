@@ -1,0 +1,106 @@
+package core
+
+// Clone returns a deep copy of the experiment: fresh metadata trees and a
+// fresh severity store. The copy is independent of the original; mutating
+// one never affects the other.
+func (e *Experiment) Clone() *Experiment {
+	out := New(e.Title)
+	out.Derived = e.Derived
+	out.Operation = e.Operation
+	out.Parents = append([]string(nil), e.Parents...)
+	out.topology = e.topology.Clone()
+	for k, v := range e.Attrs {
+		out.Attrs[k] = v
+	}
+
+	// Metric forest.
+	mMap := map[*Metric]*Metric{}
+	for _, root := range e.metricRoots {
+		out.metricRoots = append(out.metricRoots, cloneMetric(root, nil, mMap))
+	}
+
+	// Regions and call sites.
+	rMap := map[*Region]*Region{}
+	for _, r := range e.regions {
+		nr := *r
+		rMap[r] = &nr
+		out.regions = append(out.regions, &nr)
+	}
+	sMap := map[*CallSite]*CallSite{}
+	cloneSite := func(s *CallSite) *CallSite {
+		if s == nil {
+			return nil
+		}
+		if ns, ok := sMap[s]; ok {
+			return ns
+		}
+		ns := &CallSite{File: s.File, Line: s.Line}
+		if s.Callee != nil {
+			if nr, ok := rMap[s.Callee]; ok {
+				ns.Callee = nr
+			} else {
+				// Callee not registered as a region: copy it privately so
+				// the clone never aliases the original's metadata.
+				nr := *s.Callee
+				rMap[s.Callee] = &nr
+				ns.Callee = &nr
+			}
+		}
+		sMap[s] = ns
+		return ns
+	}
+	for _, s := range e.callSites {
+		out.callSites = append(out.callSites, cloneSite(s))
+	}
+
+	// Call forest.
+	cMap := map[*CallNode]*CallNode{}
+	var cloneCall func(n *CallNode, parent *CallNode) *CallNode
+	cloneCall = func(n *CallNode, parent *CallNode) *CallNode {
+		nn := &CallNode{Site: cloneSite(n.Site), parent: parent}
+		cMap[n] = nn
+		for _, c := range n.children {
+			nn.children = append(nn.children, cloneCall(c, nn))
+		}
+		return nn
+	}
+	for _, root := range e.callRoots {
+		out.callRoots = append(out.callRoots, cloneCall(root, nil))
+	}
+
+	// System forest.
+	tMap := map[*Thread]*Thread{}
+	for _, mach := range e.machines {
+		nm := out.NewMachine(mach.Name)
+		for _, nd := range mach.Nodes() {
+			nnd := nm.NewNode(nd.Name)
+			for _, p := range nd.Processes() {
+				np := nnd.NewProcess(p.Rank, p.Name)
+				for _, t := range p.Threads() {
+					tMap[t] = np.NewThread(t.ID, t.Name)
+				}
+			}
+		}
+	}
+
+	// Severity.
+	for k, v := range e.sev {
+		nm, ok1 := mMap[k.m]
+		nc, ok2 := cMap[k.c]
+		nt, ok3 := tMap[k.t]
+		if ok1 && ok2 && ok3 {
+			out.sev[sevKey{nm, nc, nt}] = v
+		}
+	}
+	out.dirty = true
+	return out
+}
+
+func cloneMetric(m *Metric, parent *Metric, mMap map[*Metric]*Metric) *Metric {
+	nm := &Metric{Name: m.Name, Unit: m.Unit, Description: m.Description, parent: parent}
+	mMap[m] = nm
+	for _, c := range m.children {
+		nm.children = append(nm.children, cloneMetric(c, nm, mMap))
+	}
+	return nm
+}

@@ -1,0 +1,64 @@
+package core
+
+import "testing"
+
+func TestCloneEquality(t *testing.T) {
+	e := buildSmall("orig")
+	e.Derived = true
+	e.Operation = "mean"
+	e.Parents = []string{"a", "b"}
+	e.Attrs["k"] = "v"
+	c := e.Clone()
+	if c.Fingerprint() != e.Fingerprint() {
+		t.Fatalf("clone fingerprint differs:\n%s\nvs\n%s", c.Fingerprint(), e.Fingerprint())
+	}
+	if c.Title != e.Title || !c.Derived || c.Operation != "mean" || len(c.Parents) != 2 || c.Attrs["k"] != "v" {
+		t.Errorf("provenance not cloned")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := buildSmall("orig")
+	c := e.Clone()
+
+	// Mutating the clone must not affect the original and vice versa.
+	c.SetSeverity(c.FindMetricByName("Time"), c.FindCallNode("main"), c.Threads()[0], 999)
+	if e.Severity(e.FindMetricByName("Time"), e.FindCallNode("main"), e.Threads()[0]) == 999 {
+		t.Errorf("severity mutation leaked to the original")
+	}
+	c.FindMetricByName("Time").Name = "Zeit"
+	if e.FindMetricByName("Time") == nil {
+		t.Errorf("metric rename leaked to the original")
+	}
+	c.FindRegion("compute").Name = "mutated"
+	if e.FindRegion("compute") == nil {
+		t.Errorf("region mutation leaked to the original")
+	}
+	c.Attrs["new"] = "x"
+	if _, ok := e.Attrs["new"]; ok {
+		t.Errorf("attrs map shared")
+	}
+}
+
+func TestCloneUnregisteredCallee(t *testing.T) {
+	// A call node whose callee was never registered as a region must
+	// still be deep-copied, not aliased.
+	e := New("x")
+	e.NewMetric("T", Seconds, "")
+	alien := &Region{Name: "alien"}
+	root := e.NewCallRoot(&CallSite{Callee: alien})
+	th := e.NewMachine("m").NewNode("n").NewProcess(0, "").NewThread(0, "")
+	e.SetSeverity(e.Metrics()[0], root, th, 1)
+
+	c := e.Clone()
+	c.CallRoots()[0].Callee().Name = "mutated"
+	if alien.Name != "alien" {
+		t.Errorf("unregistered callee aliased by clone")
+	}
+	if c.Fingerprint() == e.Fingerprint() {
+		t.Errorf("rename should change the clone's fingerprint")
+	}
+}

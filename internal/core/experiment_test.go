@@ -1,0 +1,281 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildSmall constructs a compact experiment used by many tests:
+//
+//	metrics: Time{Comm{Wait}}, Visits
+//	calls:   main{compute, MPI_Recv}
+//	system:  1 machine, 2 nodes, 4 single-threaded ranks
+func buildSmall(title string) *Experiment {
+	e := New(title)
+	time := e.NewMetric("Time", Seconds, "")
+	comm := time.NewChild("Comm", "")
+	wait := comm.NewChild("Wait", "")
+	e.NewMetric("Visits", Occurrences, "")
+
+	mainR := e.NewRegion("main", "app.c", 1, 99)
+	compR := e.NewRegion("compute", "app.c", 10, 20)
+	recvR := e.NewRegion("MPI_Recv", "libmpi", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	comp := root.NewChild(e.NewCallSite("app.c", 12, compR))
+	recv := root.NewChild(e.NewCallSite("app.c", 30, recvR))
+
+	threads := e.SingleThreadedSystem("mach", 2, 4)
+	for i, th := range threads {
+		e.SetSeverity(time, root, th, 0.5)
+		e.SetSeverity(time, comp, th, float64(i+1))
+		e.SetSeverity(comm, recv, th, 0.25)
+		e.SetSeverity(wait, recv, th, 0.125)
+	}
+	return e
+}
+
+func TestEnumerationOrders(t *testing.T) {
+	e := buildSmall("t")
+	var names []string
+	for _, m := range e.Metrics() {
+		names = append(names, m.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"Time", "Comm", "Wait", "Visits"}) {
+		t.Errorf("metric order = %v", names)
+	}
+	var paths []string
+	for _, c := range e.CallNodes() {
+		paths = append(paths, c.Path())
+	}
+	if !reflect.DeepEqual(paths, []string{"main", "main/compute", "main/MPI_Recv"}) {
+		t.Errorf("call order = %v", paths)
+	}
+	if len(e.Threads()) != 4 || len(e.Processes()) != 4 {
+		t.Errorf("system sizes: %d threads, %d procs", len(e.Threads()), len(e.Processes()))
+	}
+	// Two nodes, block distribution 2+2.
+	nodes := e.Machines()[0].Nodes()
+	if len(nodes) != 2 || len(nodes[0].Processes()) != 2 || len(nodes[1].Processes()) != 2 {
+		t.Errorf("node distribution wrong")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	e := buildSmall("t")
+	for i, m := range e.Metrics() {
+		if j, ok := e.MetricIndex(m); !ok || j != i {
+			t.Errorf("MetricIndex(%s) = %d,%v want %d", m.Name, j, ok, i)
+		}
+	}
+	if _, ok := e.MetricIndex(NewMetric("alien", Seconds, "")); ok {
+		t.Errorf("foreign metric indexed")
+	}
+	for i, c := range e.CallNodes() {
+		if j, ok := e.CallNodeIndex(c); !ok || j != i {
+			t.Errorf("CallNodeIndex wrong at %d", i)
+		}
+	}
+	for i, th := range e.Threads() {
+		if j, ok := e.ThreadIndex(th); !ok || j != i {
+			t.Errorf("ThreadIndex wrong at %d", i)
+		}
+	}
+}
+
+func TestInvalidateAfterExternalMutation(t *testing.T) {
+	e := buildSmall("t")
+	n := len(e.Metrics())
+	e.MetricRoots()[0].NewChild("Late", "")
+	e.Invalidate()
+	if len(e.Metrics()) != n+1 {
+		t.Errorf("metric added externally not visible after Invalidate")
+	}
+}
+
+func TestSeverityStore(t *testing.T) {
+	e := buildSmall("t")
+	m := e.FindMetricByName("Time")
+	c := e.FindCallNode("main/compute")
+	th := e.Threads()[0]
+	if got := e.Severity(m, c, th); got != 1 {
+		t.Errorf("Severity = %v, want 1", got)
+	}
+	e.AddSeverity(m, c, th, 2)
+	if got := e.Severity(m, c, th); got != 3 {
+		t.Errorf("after Add: %v, want 3", got)
+	}
+	before := e.NonZeroCount()
+	e.SetSeverity(m, c, th, 0)
+	if e.NonZeroCount() != before-1 {
+		t.Errorf("zero set should delete the tuple")
+	}
+	e.AddSeverity(m, c, th, 0)
+	if e.NonZeroCount() != before-1 {
+		t.Errorf("adding zero should not create a tuple")
+	}
+	e.SetSeverity(m, c, th, 5)
+	e.AddSeverity(m, c, th, -5)
+	if e.NonZeroCount() != before-1 {
+		t.Errorf("add to exactly zero should delete the tuple")
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	e := buildSmall("t")
+	time := e.FindMetricByName("Time")
+	comm := e.FindMetricByName("Comm")
+	wait := e.FindMetricByName("Wait")
+	root := e.FindCallNode("main")
+	recv := e.FindCallNode("main/MPI_Recv")
+
+	// MetricValue: exclusive metric at exclusive cnode over all threads.
+	if got := e.MetricValue(time, root); got != 4*0.5 {
+		t.Errorf("MetricValue(time,root) = %v", got)
+	}
+	// MetricTotal: 0.5*4 (root) + (1+2+3+4) (compute) = 12.
+	if got := e.MetricTotal(time); got != 12 {
+		t.Errorf("MetricTotal(time) = %v", got)
+	}
+	// Inclusive adds Comm (1) and Wait (0.5).
+	if got := e.MetricInclusive(time); got != 13.5 {
+		t.Errorf("MetricInclusive(time) = %v", got)
+	}
+	if got := e.MetricInclusive(comm); got != 1.5 {
+		t.Errorf("MetricInclusive(comm) = %v", got)
+	}
+	// CallInclusive at root for Time = 12 (whole call tree).
+	if got := e.CallInclusive(time, root); got != 12 {
+		t.Errorf("CallInclusive = %v", got)
+	}
+	if got := e.CallInclusive(wait, recv); got != 0.5 {
+		t.Errorf("CallInclusive(wait,recv) = %v", got)
+	}
+	// ThreadTotal for thread 2: 0.5 + 3 = 3.5.
+	if got := e.ThreadTotal(time, e.Threads()[2]); got != 3.5 {
+		t.Errorf("ThreadTotal = %v", got)
+	}
+	if got := e.GrandTotal(time); got != 13.5 {
+		t.Errorf("GrandTotal = %v", got)
+	}
+}
+
+func TestEachSeverityDeterministic(t *testing.T) {
+	e := buildSmall("t")
+	var a, b []string
+	e.EachSeverity(func(m *Metric, c *CallNode, th *Thread, v float64) {
+		a = append(a, m.Name+c.Path())
+	})
+	e.EachSeverity(func(m *Metric, c *CallNode, th *Thread, v float64) {
+		b = append(b, m.Name+c.Path())
+	})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("EachSeverity order not deterministic")
+	}
+	if len(a) != e.NonZeroCount() {
+		t.Errorf("EachSeverity visited %d tuples, store has %d", len(a), e.NonZeroCount())
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	e := buildSmall("t")
+	d := e.Dense()
+	if len(d.Values) != len(e.Metrics()) || len(d.Values[0]) != len(e.CallNodes()) || len(d.Values[0][0]) != len(e.Threads()) {
+		t.Fatalf("dense shape wrong")
+	}
+	fp := e.Fingerprint()
+	if err := e.SetDense(d); err != nil {
+		t.Fatalf("SetDense: %v", err)
+	}
+	if e.Fingerprint() != fp {
+		t.Errorf("dense round-trip changed the experiment")
+	}
+}
+
+func TestSetDenseShapeMismatch(t *testing.T) {
+	e := buildSmall("t")
+	d := e.Dense()
+	other := buildSmall("other")
+	other.NewMetric("Extra", Seconds, "")
+	if err := other.SetDense(d); err == nil {
+		t.Errorf("shape mismatch accepted")
+	}
+}
+
+func TestFindHelpers(t *testing.T) {
+	e := buildSmall("t")
+	if e.FindMetric("Time/Comm/Wait") == nil || e.FindMetric("nope") != nil {
+		t.Errorf("FindMetric wrong")
+	}
+	if e.FindMetricByName("Wait") == nil {
+		t.Errorf("FindMetricByName wrong")
+	}
+	if e.FindRegion("compute") == nil || e.FindRegion("nope") != nil {
+		t.Errorf("FindRegion wrong")
+	}
+	if e.FindCallNode("main/MPI_Recv") == nil || e.FindCallNode("main/x") != nil {
+		t.Errorf("FindCallNode wrong")
+	}
+	if e.FindProcess(3) == nil || e.FindProcess(77) != nil {
+		t.Errorf("FindProcess wrong")
+	}
+	if e.FindThread(2, 0) == nil || e.FindThread(2, 1) != nil {
+		t.Errorf("FindThread wrong")
+	}
+}
+
+func TestSingleThreadedSystemShapes(t *testing.T) {
+	e := New("s")
+	threads := e.SingleThreadedSystem("m", 3, 7) // 3 nodes, ceil(7/3)=3 per node
+	if len(threads) != 7 {
+		t.Fatalf("threads = %d", len(threads))
+	}
+	sizes := []int{}
+	for _, nd := range e.Machines()[0].Nodes() {
+		sizes = append(sizes, len(nd.Processes()))
+	}
+	if !reflect.DeepEqual(sizes, []int{3, 3, 1}) {
+		t.Errorf("node sizes = %v", sizes)
+	}
+	// Degenerate node count.
+	e2 := New("s2")
+	e2.SingleThreadedSystem("m", 0, 2)
+	if len(e2.Machines()[0].Nodes()) != 1 {
+		t.Errorf("zero nodes should clamp to one")
+	}
+}
+
+func TestAddRootValidation(t *testing.T) {
+	e := New("x")
+	root := NewMetric("Time", Seconds, "")
+	child := root.NewChild("C", "")
+	if err := e.AddMetricRoot(child); err == nil {
+		t.Errorf("non-root metric accepted as root")
+	}
+	if err := e.AddMetricRoot(root); err != nil {
+		t.Errorf("AddMetricRoot: %v", err)
+	}
+	croot := NewCallNode(&CallSite{Callee: &Region{Name: "m"}})
+	cchild := croot.NewChild(&CallSite{Callee: &Region{Name: "c"}})
+	if err := e.AddCallRoot(cchild); err == nil {
+		t.Errorf("non-root call node accepted as root")
+	}
+	if err := e.AddCallRoot(croot); err != nil {
+		t.Errorf("AddCallRoot: %v", err)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := buildSmall("a")
+	b := buildSmall("b")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("titles must not affect fingerprints")
+	}
+	b.SetSeverity(b.FindMetricByName("Time"), b.FindCallNode("main"), b.Threads()[0], 99)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Errorf("severity change not reflected in fingerprint")
+	}
+	if !strings.Contains(a.Fingerprint(), "Time/Comm/Wait") {
+		t.Errorf("fingerprint lacks metric paths")
+	}
+}

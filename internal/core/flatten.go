@@ -1,0 +1,157 @@
+package core
+
+import "fmt"
+
+// This file implements structural operators beyond the paper's three
+// arithmetic ones ("others may follow in the future"): the flat-profile
+// representation the data model describes — "every flat profile can be
+// represented using multiple trivial call trees (one for each region)
+// consisting only of a single node" — and data-reduction operators that
+// restrict an experiment to a metric subtree or a call subtree. All of
+// them are closed: their results are complete derived experiments.
+
+// Flatten converts an experiment into its flat-profile form: the severity
+// of every call path is accumulated onto the path's callee region, and the
+// call dimension becomes a forest of trivial single-node call trees, one
+// per region (in first-appearance order of the original call tree). The
+// metric and system dimensions are preserved. Displays use this to offer
+// the flat-profile view of the program dimension.
+func Flatten(x *Experiment) (*Experiment, error) {
+	if x == nil {
+		return nil, fmt.Errorf("core: Flatten of nil experiment")
+	}
+	in, err := integrate(nil, x)
+	if err != nil {
+		return nil, err
+	}
+	out := in.out
+
+	// Replace the call forest with one trivial tree per callee region of
+	// the integrated tree, mapping every original call node onto its
+	// region's node.
+	regionNode := map[*Region]*CallNode{}
+	flatFor := map[*CallNode]*CallNode{}
+	var flatRoots []*CallNode
+	var sites []*CallSite
+	for _, cn := range out.CallNodes() {
+		reg := cn.Callee()
+		fn, ok := regionNode[reg]
+		if !ok {
+			site := &CallSite{File: reg.Module, Line: reg.BeginLine, Callee: reg}
+			sites = append(sites, site)
+			fn = NewCallNode(site)
+			regionNode[reg] = fn
+			flatRoots = append(flatRoots, fn)
+		}
+		flatFor[cn] = fn
+	}
+
+	// Re-route severities through the flattening before swapping forests.
+	newSev := make(map[sevKey]float64, len(x.sev))
+	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
+	for k, v := range x.sev {
+		nk := sevKey{mf[k.m], flatFor[cf[k.c]], tf[k.t]}
+		newSev[nk] += v
+	}
+	out.callRoots = flatRoots
+	out.callSites = sites
+	out.sev = newSev
+	out.dirty = true
+
+	out.Derived = true
+	out.Operation = "flatten"
+	out.Parents = []string{x.Title}
+	out.Title = fmt.Sprintf("flatten(%s)", x.Title)
+	out.Attrs["cube.operation"] = "flatten"
+	return out, nil
+}
+
+// ExtractMetrics restricts an experiment to the metric subtrees rooted at
+// the metrics with the given paths (see Metric.Path), discarding all other
+// metrics and their severities — a simple data-reduction operator in the
+// spirit of the paper's future-work discussion. The extracted roots become
+// the roots of the result's metric forest; program and system dimensions
+// are preserved.
+func ExtractMetrics(x *Experiment, paths ...string) (*Experiment, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: ExtractMetrics requires at least one metric path")
+	}
+	in, err := integrate(nil, x)
+	if err != nil {
+		return nil, err
+	}
+	out := in.out
+
+	keep := map[*Metric]bool{}
+	var newRoots []*Metric
+	for _, p := range paths {
+		m := out.FindMetric(p)
+		if m == nil {
+			return nil, fmt.Errorf("core: metric %q not found", p)
+		}
+		if keep[m] {
+			continue
+		}
+		m.Walk(func(d *Metric) { keep[d] = true })
+		m.parent = nil
+		newRoots = append(newRoots, m)
+	}
+	out.metricRoots = newRoots
+	out.dirty = true
+
+	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
+	newSev := make(map[sevKey]float64)
+	for k, v := range x.sev {
+		rm := mf[k.m]
+		if keep[rm] {
+			newSev[sevKey{rm, cf[k.c], tf[k.t]}] = v
+		}
+	}
+	out.sev = newSev
+
+	out.Derived = true
+	out.Operation = "extract"
+	out.Parents = []string{x.Title}
+	out.Title = fmt.Sprintf("extract(%s)", x.Title)
+	out.Attrs["cube.operation"] = "extract"
+	return out, nil
+}
+
+// ExtractCallSubtree restricts an experiment to the call subtree rooted at
+// the call node with the given path (see CallNode.Path); the subtree root
+// becomes the only call root of the result. Severities outside the subtree
+// are discarded.
+func ExtractCallSubtree(x *Experiment, path string) (*Experiment, error) {
+	in, err := integrate(nil, x)
+	if err != nil {
+		return nil, err
+	}
+	out := in.out
+
+	root := out.FindCallNode(path)
+	if root == nil {
+		return nil, fmt.Errorf("core: call path %q not found", path)
+	}
+	keep := map[*CallNode]bool{}
+	root.Walk(func(d *CallNode) { keep[d] = true })
+	root.parent = nil
+	out.callRoots = []*CallNode{root}
+	out.dirty = true
+
+	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
+	newSev := make(map[sevKey]float64)
+	for k, v := range x.sev {
+		rc := cf[k.c]
+		if keep[rc] {
+			newSev[sevKey{mf[k.m], rc, tf[k.t]}] = v
+		}
+	}
+	out.sev = newSev
+
+	out.Derived = true
+	out.Operation = "extract-call"
+	out.Parents = []string{x.Title}
+	out.Title = fmt.Sprintf("extract-call(%s, %s)", x.Title, path)
+	out.Attrs["cube.operation"] = "extract-call"
+	return out, nil
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cube/internal/treemerge"
+)
+
+// Options control metadata integration. The zero value (or nil) selects the
+// defaults: call-tree matching by callee, and automatic system handling
+// (copy the first operand's machine/node hierarchy when the partitioning of
+// processes into nodes is compatible among the operands, collapse to a
+// single machine and node otherwise).
+type Options struct {
+	// CallMatch selects the call-tree equality relation.
+	CallMatch CallMatchMode
+	// System selects how machine/node hierarchies are integrated.
+	System SystemMode
+	// CollapsedMachine names the machine created when hierarchies are
+	// collapsed; defaults to "merged machine".
+	CollapsedMachine string
+}
+
+func (o *Options) orDefault() *Options {
+	if o == nil {
+		return &Options{}
+	}
+	return o
+}
+
+func (o *Options) collapsedMachine() string {
+	if o != nil && o.CollapsedMachine != "" {
+		return o.CollapsedMachine
+	}
+	return "merged machine"
+}
+
+// ErrNoOperands is returned by operators invoked without operands.
+var ErrNoOperands = errors.New("core: operator requires at least one operand")
+
+// integration is the outcome of integrating the metadata of several operand
+// experiments: a fresh result experiment with merged metadata, plus mappings
+// from every operand's metadata nodes to the result's, which extend each
+// operand's severity function onto the integrated domain (undefined tuples
+// are implicitly zero).
+type integration struct {
+	out *Experiment
+	// metricFrom[i] maps operand i's metrics to result metrics.
+	metricFrom []map[*Metric]*Metric
+	// cnodeFrom[i] maps operand i's call nodes to result call nodes.
+	cnodeFrom []map[*CallNode]*CallNode
+	// threadFrom[i] maps operand i's threads to result threads.
+	threadFrom []map[*Thread]*Thread
+	// metricSource maps each result metric to the smallest operand index
+	// that provides it (used by Merge's "take it from the first" rule).
+	metricSource map[*Metric]int
+	// cnodeSource likewise for call nodes.
+	cnodeSource map[*CallNode]int
+}
+
+// integrate merges the metadata sets of the operands into a fresh
+// experiment, dimension by dimension: the metric forest and the call forest
+// via top-down structural tree merges with dimension-specific equality
+// relations, and the system dimension by matching processes and threads on
+// their application-level identifiers while copying or collapsing the upper
+// machine/node levels.
+func integrate(opts *Options, operands ...*Experiment) (*integration, error) {
+	if len(operands) == 0 {
+		return nil, ErrNoOperands
+	}
+	for i, x := range operands {
+		if x == nil {
+			return nil, fmt.Errorf("core: operand %d is nil", i)
+		}
+	}
+	opts = opts.orDefault()
+	in := &integration{
+		out:          New(""),
+		metricFrom:   make([]map[*Metric]*Metric, len(operands)),
+		cnodeFrom:    make([]map[*CallNode]*CallNode, len(operands)),
+		threadFrom:   make([]map[*Thread]*Thread, len(operands)),
+		metricSource: map[*Metric]int{},
+		cnodeSource:  map[*CallNode]int{},
+	}
+	in.mergeMetrics(operands)
+	in.mergeProgram(opts, operands)
+	if err := in.mergeSystem(opts, operands); err != nil {
+		return nil, err
+	}
+	// A topology survives integration only when every operand agrees on
+	// it (coordinates are meaningless across different layouts).
+	topo := operands[0].topology
+	for _, x := range operands[1:] {
+		if !topo.Equal(x.topology) {
+			topo = nil
+			break
+		}
+	}
+	in.out.topology = topo.Clone()
+	in.out.dirty = true
+	return in, nil
+}
+
+// --- Metric dimension -------------------------------------------------------
+
+func metricToTM(m *Metric, reg map[*Metric]*treemerge.Node) *treemerge.Node {
+	n := treemerge.New(metricKey(m), m)
+	reg[m] = n
+	for _, c := range m.Children() {
+		n.Add(metricToTM(c, reg))
+	}
+	return n
+}
+
+func (in *integration) mergeMetrics(operands []*Experiment) {
+	forests := make([][]*treemerge.Node, len(operands))
+	tmOf := make([]map[*Metric]*treemerge.Node, len(operands))
+	for i, x := range operands {
+		tmOf[i] = map[*Metric]*treemerge.Node{}
+		for _, r := range x.MetricRoots() {
+			forests[i] = append(forests[i], metricToTM(r, tmOf[i]))
+		}
+	}
+	merged, maps := treemerge.MergeAll(forests...)
+
+	// Rebuild a metric forest from the merged neutral forest.
+	built := map[*treemerge.Node]*Metric{}
+	var build func(n *treemerge.Node, parent *Metric) *Metric
+	build = func(n *treemerge.Node, parent *Metric) *Metric {
+		proto := n.Payload.(*Metric)
+		nm := &Metric{Name: proto.Name, Unit: proto.Unit, Description: proto.Description, parent: parent}
+		built[n] = nm
+		for _, c := range n.Children {
+			nm.children = append(nm.children, build(c, nm))
+		}
+		return nm
+	}
+	for _, r := range merged {
+		in.out.metricRoots = append(in.out.metricRoots, build(r, nil))
+	}
+	for i := range operands {
+		in.metricFrom[i] = map[*Metric]*Metric{}
+		for m, tm := range tmOf[i] {
+			res := built[maps[i][tm]]
+			in.metricFrom[i][m] = res
+			if cur, ok := in.metricSource[res]; !ok || i < cur {
+				in.metricSource[res] = i
+			}
+		}
+	}
+}
+
+// --- Program dimension --------------------------------------------------------
+
+func (in *integration) mergeProgram(opts *Options, operands []*Experiment) {
+	// Regions: union by (name, module); first occurrence provides the
+	// prototype (description, line numbers).
+	regionBy := map[string]*Region{}
+	regionFrom := make([]map[*Region]*Region, len(operands))
+	internRegion := func(i int, r *Region) *Region {
+		if r == nil {
+			return nil
+		}
+		if nr, ok := regionFrom[i][r]; ok {
+			return nr
+		}
+		k := regionKey(r)
+		nr, ok := regionBy[k]
+		if !ok {
+			cp := *r
+			nr = &cp
+			regionBy[k] = nr
+			in.out.regions = append(in.out.regions, nr)
+		}
+		regionFrom[i][r] = nr
+		return nr
+	}
+	for i, x := range operands {
+		regionFrom[i] = map[*Region]*Region{}
+		for _, r := range x.Regions() {
+			internRegion(i, r)
+		}
+	}
+
+	// Call forest: top-down structural merge keyed by the configured
+	// equality relation.
+	forests := make([][]*treemerge.Node, len(operands))
+	tmOf := make([]map[*CallNode]*treemerge.Node, len(operands))
+	var toTM func(i int, n *CallNode) *treemerge.Node
+	toTM = func(i int, n *CallNode) *treemerge.Node {
+		tn := treemerge.New(callNodeKey(n, opts.CallMatch), n)
+		tmOf[i][n] = tn
+		for _, c := range n.Children() {
+			tn.Add(toTM(i, c))
+		}
+		return tn
+	}
+	operandOf := map[*CallNode]int{}
+	for i, x := range operands {
+		tmOf[i] = map[*CallNode]*treemerge.Node{}
+		for _, r := range x.CallRoots() {
+			forests[i] = append(forests[i], toTM(i, r))
+		}
+		for _, cn := range x.CallNodes() {
+			operandOf[cn] = i
+		}
+	}
+	merged, maps := treemerge.MergeAll(forests...)
+
+	siteFor := map[*CallSite]*CallSite{}
+	built := map[*treemerge.Node]*CallNode{}
+	var build func(n *treemerge.Node, parent *CallNode) *CallNode
+	build = func(n *treemerge.Node, parent *CallNode) *CallNode {
+		proto := n.Payload.(*CallNode)
+		op := operandOf[proto]
+		ns, ok := siteFor[proto.Site]
+		if !ok {
+			ns = &CallSite{
+				File:   proto.Site.File,
+				Line:   proto.Site.Line,
+				Callee: internRegion(op, proto.Site.Callee),
+			}
+			siteFor[proto.Site] = ns
+			in.out.callSites = append(in.out.callSites, ns)
+		}
+		nn := &CallNode{Site: ns, parent: parent}
+		built[n] = nn
+		for _, c := range n.Children {
+			nn.children = append(nn.children, build(c, nn))
+		}
+		return nn
+	}
+	for _, r := range merged {
+		in.out.callRoots = append(in.out.callRoots, build(r, nil))
+	}
+	for i := range operands {
+		in.cnodeFrom[i] = map[*CallNode]*CallNode{}
+		for cn, tm := range tmOf[i] {
+			res := built[maps[i][tm]]
+			in.cnodeFrom[i][cn] = res
+			if cur, ok := in.cnodeSource[res]; !ok || i < cur {
+				in.cnodeSource[res] = i
+			}
+		}
+	}
+}
+
+// --- System dimension ---------------------------------------------------------
+
+// partitionSignature canonically describes how an experiment partitions
+// process ranks into nodes: one sorted rank list per node, nodes in
+// machine/node order.
+func partitionSignature(x *Experiment) string {
+	var sig []byte
+	for _, mach := range x.Machines() {
+		for _, nd := range mach.Nodes() {
+			ranks := make([]int, 0, len(nd.Processes()))
+			for _, p := range nd.Processes() {
+				ranks = append(ranks, p.Rank)
+			}
+			sort.Ints(ranks)
+			sig = append(sig, '[')
+			for _, r := range ranks {
+				sig = append(sig, fmt.Sprintf("%d,", r)...)
+			}
+			sig = append(sig, ']')
+		}
+	}
+	return string(sig)
+}
+
+func (in *integration) mergeSystem(opts *Options, operands []*Experiment) error {
+	// Union of threads keyed by (rank, thread id).
+	type rankInfo struct {
+		name    string
+		threads map[int]string // thread id -> name
+	}
+	union := map[int]*rankInfo{}
+	var rankOrder []int
+	for _, x := range operands {
+		for _, p := range x.Processes() {
+			ri, ok := union[p.Rank]
+			if !ok {
+				ri = &rankInfo{name: p.Name, threads: map[int]string{}}
+				union[p.Rank] = ri
+				rankOrder = append(rankOrder, p.Rank)
+			}
+			for _, t := range p.Threads() {
+				if _, ok := ri.threads[t.ID]; !ok {
+					ri.threads[t.ID] = t.Name
+				}
+			}
+		}
+	}
+	sort.Ints(rankOrder)
+
+	mode := opts.System
+	if mode == SystemAuto {
+		mode = SystemCopyFirst
+		if len(operands) > 1 {
+			sig := partitionSignature(operands[0])
+			for _, x := range operands[1:] {
+				if partitionSignature(x) != sig {
+					mode = SystemCollapse
+					break
+				}
+			}
+		}
+	}
+
+	// threadOf returns (and lazily creates nothing — all threads are created
+	// below) the result thread for a (rank, id) pair.
+	resultThread := map[threadKey]*Thread{}
+	newThreads := func(p *Process, rank int) {
+		ri := union[rank]
+		ids := make([]int, 0, len(ri.threads))
+		for id := range ri.threads {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			t := p.NewThread(id, ri.threads[id])
+			resultThread[threadKey{rank, id}] = t
+		}
+	}
+
+	switch mode {
+	case SystemCollapse:
+		mach := in.out.NewMachine(opts.collapsedMachine())
+		nd := mach.NewNode("merged node")
+		for _, rank := range rankOrder {
+			p := nd.NewProcess(rank, union[rank].name)
+			newThreads(p, rank)
+		}
+	case SystemCopyFirst:
+		placed := map[int]bool{}
+		var lastNode *SystemNode
+		for _, mach := range operands[0].Machines() {
+			nm := in.out.NewMachine(mach.Name)
+			for _, nd := range mach.Nodes() {
+				nnd := nm.NewNode(nd.Name)
+				lastNode = nnd
+				for _, p := range nd.Processes() {
+					np := nnd.NewProcess(p.Rank, union[p.Rank].name)
+					newThreads(np, p.Rank)
+					placed[p.Rank] = true
+				}
+			}
+		}
+		// Ranks present only in later operands go to the last node.
+		var extra []int
+		for _, rank := range rankOrder {
+			if !placed[rank] {
+				extra = append(extra, rank)
+			}
+		}
+		if len(extra) > 0 {
+			if lastNode == nil {
+				mach := in.out.NewMachine(opts.collapsedMachine())
+				lastNode = mach.NewNode("merged node")
+			}
+			for _, rank := range extra {
+				p := lastNode.NewProcess(rank, union[rank].name)
+				newThreads(p, rank)
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown system mode %v", opts.System)
+	}
+
+	for i, x := range operands {
+		in.threadFrom[i] = map[*Thread]*Thread{}
+		for _, t := range x.Threads() {
+			rt := resultThread[threadKey{t.proc.Rank, t.ID}]
+			if rt == nil {
+				return fmt.Errorf("core: internal error: no result thread for rank %d id %d", t.proc.Rank, t.ID)
+			}
+			in.threadFrom[i][t] = rt
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package core implements the CUBE performance algebra: a platform-neutral
+// data model for performance experiments (a metric dimension, a program
+// dimension, and a system dimension, each organised hierarchically, plus a
+// severity function mapping (metric, call path, thread) tuples to values)
+// and closed arithmetic operators — Difference, Merge, and Mean — whose
+// results are themselves valid experiments.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Unit is the unit of measurement of a metric. All metrics within one metric
+// tree must share the same unit (a constraint of the data model: a parent
+// metric must *include* its children, which is only meaningful within a
+// single unit).
+type Unit string
+
+// The three units of measurement admitted by the data model.
+const (
+	Seconds     Unit = "sec"   // wall-clock or CPU time
+	Bytes       Unit = "bytes" // data volume
+	Occurrences Unit = "occ"   // number of event occurrences (e.g. counters)
+)
+
+// ValidUnit reports whether u is one of the admitted units.
+func ValidUnit(u Unit) bool {
+	switch u {
+	case Seconds, Bytes, Occurrences:
+		return true
+	}
+	return false
+}
+
+// Metric is a node of the metric dimension. Metrics form a forest; within a
+// tree a parent metric semantically includes each child metric (execution
+// time includes communication time, cache accesses include cache misses).
+// Arranging metrics this way lets tools compute exclusive values
+// automatically: cache hits are accesses minus misses.
+type Metric struct {
+	// Name identifies the metric; together with Unit it forms the
+	// equality relation used when metric trees of two experiments are
+	// integrated.
+	Name string
+	// Unit is the metric's unit of measurement.
+	Unit Unit
+	// Description is free-form documentation shown by displays.
+	Description string
+
+	parent   *Metric
+	children []*Metric
+}
+
+// NewMetric returns a fresh root metric. It panics if the unit is not one of
+// the admitted units; use Experiment.AddMetric for error-returning
+// construction tied to an experiment.
+func NewMetric(name string, unit Unit, description string) *Metric {
+	if !ValidUnit(unit) {
+		panic(fmt.Sprintf("core: invalid metric unit %q", unit))
+	}
+	return &Metric{Name: name, Unit: unit, Description: description}
+}
+
+// ErrUnitMismatch reports an attempt to place metrics with different units
+// of measurement in the same metric tree.
+var ErrUnitMismatch = errors.New("core: metrics within one tree must share a unit of measurement")
+
+// NewChild creates a metric as a child of m and returns it. The child
+// inherits m's unit; the data model forbids mixing units within a tree.
+func (m *Metric) NewChild(name, description string) *Metric {
+	c := &Metric{Name: name, Unit: m.Unit, Description: description, parent: m}
+	m.children = append(m.children, c)
+	return c
+}
+
+// AddChild attaches an existing root metric c as a child of m. It returns
+// ErrUnitMismatch if the units differ and an error if c already has a
+// parent.
+func (m *Metric) AddChild(c *Metric) error {
+	if c.Unit != m.Unit {
+		return ErrUnitMismatch
+	}
+	if c.parent != nil {
+		return fmt.Errorf("core: metric %q already has parent %q", c.Name, c.parent.Name)
+	}
+	c.parent = m
+	m.children = append(m.children, c)
+	return nil
+}
+
+// Parent returns the metric's parent, or nil for a root.
+func (m *Metric) Parent() *Metric { return m.parent }
+
+// Children returns the metric's children in insertion order. The returned
+// slice is owned by the metric and must not be modified.
+func (m *Metric) Children() []*Metric { return m.children }
+
+// Root returns the root of the tree containing m.
+func (m *Metric) Root() *Metric {
+	for m.parent != nil {
+		m = m.parent
+	}
+	return m
+}
+
+// Path returns the names from the root down to m, separated by "/".
+func (m *Metric) Path() string {
+	if m.parent == nil {
+		return m.Name
+	}
+	return m.parent.Path() + "/" + m.Name
+}
+
+// Walk visits m and all of its descendants in pre-order.
+func (m *Metric) Walk(fn func(*Metric)) {
+	fn(m)
+	for _, c := range m.children {
+		c.Walk(fn)
+	}
+}
+
+// Depth returns the number of ancestors of m (0 for a root).
+func (m *Metric) Depth() int {
+	d := 0
+	for p := m.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// IsAncestorOf reports whether m is a proper ancestor of other.
+func (m *Metric) IsAncestorOf(other *Metric) bool {
+	for p := other.parent; p != nil; p = p.parent {
+		if p == m {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (m *Metric) String() string {
+	return fmt.Sprintf("%s [%s]", m.Path(), m.Unit)
+}
+
+// metricKey is the equality relation for metric-tree integration: metrics
+// match when both name and unit of measurement agree.
+func metricKey(m *Metric) string {
+	return m.Name + "\x00" + string(m.Unit)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestValidUnit(t *testing.T) {
+	for _, u := range []Unit{Seconds, Bytes, Occurrences} {
+		if !ValidUnit(u) {
+			t.Errorf("ValidUnit(%q) = false", u)
+		}
+	}
+	for _, u := range []Unit{"", "hours", "flops"} {
+		if ValidUnit(u) {
+			t.Errorf("ValidUnit(%q) = true", u)
+		}
+	}
+}
+
+func TestNewMetricPanicsOnBadUnit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewMetric with bad unit did not panic")
+		}
+	}()
+	NewMetric("x", "furlongs", "")
+}
+
+func TestMetricChildren(t *testing.T) {
+	root := NewMetric("Time", Seconds, "total")
+	comm := root.NewChild("Communication", "")
+	if comm.Unit != Seconds {
+		t.Errorf("child unit = %q, want inherited %q", comm.Unit, Seconds)
+	}
+	if comm.Parent() != root {
+		t.Errorf("child parent wrong")
+	}
+	if root.Children()[0] != comm {
+		t.Errorf("children order wrong")
+	}
+
+	other := NewMetric("Visits", Occurrences, "")
+	if err := root.AddChild(other); !errors.Is(err, ErrUnitMismatch) {
+		t.Errorf("AddChild with unit mismatch: err = %v, want ErrUnitMismatch", err)
+	}
+	ok := NewMetric("Sync", Seconds, "")
+	if err := root.AddChild(ok); err != nil {
+		t.Errorf("AddChild: %v", err)
+	}
+	if err := root.AddChild(ok); err == nil {
+		t.Errorf("re-parenting accepted")
+	}
+}
+
+func TestMetricPathDepthRoot(t *testing.T) {
+	root := NewMetric("Time", Seconds, "")
+	a := root.NewChild("A", "")
+	b := a.NewChild("B", "")
+	if b.Path() != "Time/A/B" {
+		t.Errorf("Path = %q", b.Path())
+	}
+	if b.Depth() != 2 || root.Depth() != 0 {
+		t.Errorf("Depth wrong: %d, %d", b.Depth(), root.Depth())
+	}
+	if b.Root() != root {
+		t.Errorf("Root wrong")
+	}
+	if !root.IsAncestorOf(b) || root.IsAncestorOf(root) || b.IsAncestorOf(root) {
+		t.Errorf("IsAncestorOf wrong")
+	}
+}
+
+func TestMetricWalkPreOrder(t *testing.T) {
+	root := NewMetric("r", Seconds, "")
+	a := root.NewChild("a", "")
+	a.NewChild("a1", "")
+	root.NewChild("b", "")
+	var names []string
+	root.Walk(func(m *Metric) { names = append(names, m.Name) })
+	if !reflect.DeepEqual(names, []string{"r", "a", "a1", "b"}) {
+		t.Errorf("pre-order = %v", names)
+	}
+}
+
+func TestMetricKeyIncludesUnit(t *testing.T) {
+	a := NewMetric("X", Seconds, "")
+	b := NewMetric("X", Bytes, "")
+	if metricKey(a) == metricKey(b) {
+		t.Errorf("metrics with equal names but different units must not match")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	m := NewMetric("Time", Seconds, "")
+	c := m.NewChild("MPI", "")
+	if got := c.String(); got != "Time/MPI [sec]" {
+		t.Errorf("String = %q", got)
+	}
+}

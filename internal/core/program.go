@@ -1,0 +1,186 @@
+package core
+
+import "fmt"
+
+// The program dimension describes the static and dynamic program structure:
+// modules, regions, call sites, and call-tree nodes (call paths).
+
+// Module is a compilation unit (a source file or library) containing
+// regions. Modules exist mainly to disambiguate regions with equal names.
+type Module struct {
+	// Name is the module's path or label, e.g. "solver.f90".
+	Name string
+}
+
+// Region is a general code section: a function, a loop, or another kind of
+// basic block. Regions must be properly nested in the source, but the data
+// model stores them as a flat set; nesting is expressed by call paths.
+type Region struct {
+	// Name is the region's label, e.g. a function name such as "MPI_Recv".
+	Name string
+	// Module names the module the region belongs to (may be empty).
+	Module string
+	// BeginLine and EndLine delimit the region in its module; zero when
+	// unknown.
+	BeginLine, EndLine int
+	// Description is free-form documentation.
+	Description string
+}
+
+// String implements fmt.Stringer.
+func (r *Region) String() string {
+	if r.Module == "" {
+		return r.Name
+	}
+	return r.Module + ":" + r.Name
+}
+
+// CallSite denotes a source-code location where control flow may move from
+// one region into another (a call statement, but also e.g. a loop entry).
+// The region reached by executing the call site is its callee.
+type CallSite struct {
+	// File and Line locate the call site in the source; Line is zero when
+	// unknown. Line numbers can change across code versions while still
+	// denoting the "same" call site, so they participate in call-tree
+	// matching only under CallMatchCalleeLine.
+	File string
+	Line int
+	// Callee is the region the call site enters. It must be non-nil and
+	// registered with the owning experiment.
+	Callee *Region
+}
+
+// String implements fmt.Stringer.
+func (s *CallSite) String() string {
+	if s.File == "" && s.Line == 0 {
+		return s.Callee.String()
+	}
+	return fmt.Sprintf("%s (%s:%d)", s.Callee, s.File, s.Line)
+}
+
+// CallNode is a node of the call tree; the path from a root to a CallNode is
+// a call path. The set of all call-tree nodes forms a forest: usually a
+// single root (the invocation of main), but parallel programs with several
+// executables may need more roots, and flat profiles are represented as one
+// trivial single-node tree per region. Multiple nodes may point to the same
+// call site. Recursive call structures must be mapped onto a tree by the
+// producer (e.g. by collapsing cycles into a single leaf).
+type CallNode struct {
+	// Site is the call site from which this node was entered.
+	Site *CallSite
+
+	parent   *CallNode
+	children []*CallNode
+}
+
+// NewCallNode returns a fresh root call node entered via the given site.
+func NewCallNode(site *CallSite) *CallNode {
+	return &CallNode{Site: site}
+}
+
+// NewChild creates a call node as a child of n, entered via the given site.
+func (n *CallNode) NewChild(site *CallSite) *CallNode {
+	c := &CallNode{Site: site, parent: n}
+	n.children = append(n.children, c)
+	return c
+}
+
+// AddChild attaches an existing root call node as a child of n.
+func (n *CallNode) AddChild(c *CallNode) error {
+	if c.parent != nil {
+		return fmt.Errorf("core: call node %q already has a parent", c.Site)
+	}
+	c.parent = n
+	n.children = append(n.children, c)
+	return nil
+}
+
+// Parent returns the node's parent, or nil for a root.
+func (n *CallNode) Parent() *CallNode { return n.parent }
+
+// Children returns the node's children in insertion order. The returned
+// slice is owned by the node and must not be modified.
+func (n *CallNode) Children() []*CallNode { return n.children }
+
+// Callee returns the region this node executes in.
+func (n *CallNode) Callee() *Region { return n.Site.Callee }
+
+// Walk visits n and all of its descendants in pre-order.
+func (n *CallNode) Walk(fn func(*CallNode)) {
+	fn(n)
+	for _, c := range n.children {
+		c.Walk(fn)
+	}
+}
+
+// Path returns the callee names from the root down to n, separated by "/".
+func (n *CallNode) Path() string {
+	if n.parent == nil {
+		return n.Callee().Name
+	}
+	return n.parent.Path() + "/" + n.Callee().Name
+}
+
+// Depth returns the number of ancestors of n (0 for a root).
+func (n *CallNode) Depth() int {
+	d := 0
+	for p := n.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// FindChild returns the first child whose callee has the given name, or nil.
+func (n *CallNode) FindChild(calleeName string) *CallNode {
+	for _, c := range n.children {
+		if c.Callee().Name == calleeName {
+			return c
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (n *CallNode) String() string { return n.Path() }
+
+// CallMatchMode selects the equality relation used when call trees of two
+// experiments are integrated.
+type CallMatchMode int
+
+const (
+	// CallMatchCallee matches call-tree nodes by callee identity (region
+	// name and module). This is the default: call-site attributes such as
+	// line numbers can change across code versions while still denoting
+	// the same call site.
+	CallMatchCallee CallMatchMode = iota
+	// CallMatchCalleeLine additionally requires call-site file and line to
+	// agree. Useful when comparing runs of the identical binary.
+	CallMatchCalleeLine
+)
+
+// String implements fmt.Stringer.
+func (m CallMatchMode) String() string {
+	switch m {
+	case CallMatchCallee:
+		return "callee"
+	case CallMatchCalleeLine:
+		return "callee+line"
+	}
+	return fmt.Sprintf("CallMatchMode(%d)", int(m))
+}
+
+// callNodeKey is the equality relation for call-tree integration under the
+// given mode.
+func callNodeKey(n *CallNode, mode CallMatchMode) string {
+	r := n.Callee()
+	k := r.Name + "\x00" + r.Module
+	if mode == CallMatchCalleeLine {
+		k += fmt.Sprintf("\x00%s\x00%d", n.Site.File, n.Site.Line)
+	}
+	return k
+}
+
+// regionKey is the equality relation for regions: name plus module.
+func regionKey(r *Region) string {
+	return r.Name + "\x00" + r.Module
+}

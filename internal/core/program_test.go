@@ -1,0 +1,94 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func makeCallTree() (*CallNode, *CallNode, *CallNode) {
+	mainR := &Region{Name: "main", Module: "app.c"}
+	fooR := &Region{Name: "foo", Module: "app.c"}
+	root := NewCallNode(&CallSite{Callee: mainR})
+	foo := root.NewChild(&CallSite{File: "app.c", Line: 10, Callee: fooR})
+	bar := root.NewChild(&CallSite{File: "app.c", Line: 20, Callee: &Region{Name: "bar"}})
+	return root, foo, bar
+}
+
+func TestCallNodeStructure(t *testing.T) {
+	root, foo, bar := makeCallTree()
+	if foo.Parent() != root || bar.Parent() != root {
+		t.Errorf("parent links wrong")
+	}
+	if root.Depth() != 0 || foo.Depth() != 1 {
+		t.Errorf("depth wrong")
+	}
+	if foo.Path() != "main/foo" {
+		t.Errorf("Path = %q", foo.Path())
+	}
+	if root.FindChild("bar") != bar || root.FindChild("nope") != nil {
+		t.Errorf("FindChild wrong")
+	}
+	if foo.Callee().Name != "foo" {
+		t.Errorf("Callee wrong")
+	}
+	var paths []string
+	root.Walk(func(n *CallNode) { paths = append(paths, n.Path()) })
+	if !reflect.DeepEqual(paths, []string{"main", "main/foo", "main/bar"}) {
+		t.Errorf("pre-order = %v", paths)
+	}
+}
+
+func TestCallNodeAddChild(t *testing.T) {
+	root, foo, _ := makeCallTree()
+	orphan := NewCallNode(&CallSite{Callee: &Region{Name: "x"}})
+	if err := root.AddChild(orphan); err != nil {
+		t.Fatalf("AddChild: %v", err)
+	}
+	if err := root.AddChild(foo); err == nil {
+		t.Errorf("re-parenting accepted")
+	}
+}
+
+func TestCallNodeKeyModes(t *testing.T) {
+	r := &Region{Name: "f", Module: "m.c"}
+	a := NewCallNode(&CallSite{File: "m.c", Line: 10, Callee: r})
+	b := NewCallNode(&CallSite{File: "m.c", Line: 99, Callee: r})
+	if callNodeKey(a, CallMatchCallee) != callNodeKey(b, CallMatchCallee) {
+		t.Errorf("callee matching must ignore line numbers")
+	}
+	if callNodeKey(a, CallMatchCalleeLine) == callNodeKey(b, CallMatchCalleeLine) {
+		t.Errorf("callee+line matching must distinguish lines")
+	}
+	other := NewCallNode(&CallSite{Callee: &Region{Name: "f", Module: "other.c"}})
+	if callNodeKey(a, CallMatchCallee) == callNodeKey(other, CallMatchCallee) {
+		t.Errorf("regions in different modules must not match")
+	}
+}
+
+func TestRegionAndSiteStrings(t *testing.T) {
+	r := &Region{Name: "foo", Module: "a.c"}
+	if r.String() != "a.c:foo" {
+		t.Errorf("Region.String = %q", r.String())
+	}
+	bare := &Region{Name: "foo"}
+	if bare.String() != "foo" {
+		t.Errorf("bare Region.String = %q", bare.String())
+	}
+	s := &CallSite{File: "a.c", Line: 3, Callee: r}
+	if s.String() != "a.c:foo (a.c:3)" {
+		t.Errorf("CallSite.String = %q", s.String())
+	}
+	noLoc := &CallSite{Callee: bare}
+	if noLoc.String() != "foo" {
+		t.Errorf("location-free CallSite.String = %q", noLoc.String())
+	}
+}
+
+func TestCallMatchModeString(t *testing.T) {
+	if CallMatchCallee.String() != "callee" || CallMatchCalleeLine.String() != "callee+line" {
+		t.Errorf("CallMatchMode strings wrong")
+	}
+	if CallMatchMode(99).String() == "" {
+		t.Errorf("unknown mode should still render")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "fmt"
+
+// Prune is a data-reduction operator in the spirit of the paper's
+// future-work discussion ("new operators which perform data reduction …
+// might further help manage size"): call subtrees whose inclusive severity
+// for the selected metric subtree falls below threshold × (the metric's
+// grand total) are collapsed into their nearest kept ancestor. Severities
+// are re-attributed, not dropped, so every metric's grand total is
+// preserved; only the call-tree resolution shrinks. Call roots are always
+// kept (possibly as leaves). The result is a complete derived experiment.
+//
+// The monotonicity argument behind the cut (a subtree below the threshold
+// has only subtrees below the threshold) holds for non-negative
+// severities; for difference experiments the magnitude of the selected
+// metric is used.
+func Prune(x *Experiment, metricPath string, threshold float64) (*Experiment, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("core: prune threshold %g outside [0,1]", threshold)
+	}
+	in, err := integrate(nil, x)
+	if err != nil {
+		return nil, err
+	}
+	out := in.out
+
+	sel := out.FindMetric(metricPath)
+	if sel == nil {
+		return nil, fmt.Errorf("core: metric %q not found", metricPath)
+	}
+	var metrics []*Metric
+	sel.Walk(func(m *Metric) { metrics = append(metrics, m) })
+
+	// Re-route the operand's severities onto the integrated copy first so
+	// inclusive values can be computed on out.
+	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
+	presize(out, []*Experiment{x})
+	for k, v := range x.sev {
+		out.AddSeverity(mf[k.m], cf[k.c], tf[k.t], v)
+	}
+
+	// |inclusive| of the selected metric subtree per call node.
+	absIncl := func(c *CallNode) float64 {
+		var s float64
+		c.Walk(func(d *CallNode) {
+			for _, m := range metrics {
+				v := out.MetricValue(m, d)
+				if v < 0 {
+					v = -v
+				}
+				s += v
+			}
+		})
+		return s
+	}
+	var total float64
+	for _, r := range out.CallRoots() {
+		total += absIncl(r)
+	}
+	cut := threshold * total
+
+	// Decide survivors top-down and collapse the rest.
+	target := map[*CallNode]*CallNode{} // pruned node -> kept ancestor
+	var walk func(n *CallNode, keptAncestor *CallNode)
+	walk = func(n *CallNode, keptAncestor *CallNode) {
+		kept := keptAncestor == nil || absIncl(n) >= cut
+		if kept {
+			var survivors []*CallNode
+			for _, c := range n.children {
+				walk(c, n)
+				if target[c] == nil { // child survived
+					survivors = append(survivors, c)
+				}
+			}
+			n.children = survivors
+			return
+		}
+		// Collapse this whole subtree into the kept ancestor.
+		n.Walk(func(d *CallNode) { target[d] = keptAncestor })
+	}
+	for _, r := range out.CallRoots() {
+		walk(r, nil)
+	}
+	out.dirty = true
+
+	// Re-attribute severities of collapsed nodes.
+	moves := map[sevKey]float64{}
+	for k, v := range out.sev {
+		if tgt := target[k.c]; tgt != nil {
+			moves[k] = v
+		}
+	}
+	for k, v := range moves {
+		out.SetSeverity(k.m, k.c, k.t, 0)
+		out.AddSeverity(k.m, target[k.c], k.t, v)
+	}
+
+	out.Derived = true
+	out.Operation = "prune"
+	out.Parents = []string{x.Title}
+	out.Title = fmt.Sprintf("prune(%s, %s < %g)", x.Title, metricPath, threshold)
+	out.Attrs["cube.operation"] = "prune"
+	out.Attrs["cube.prune.metric"] = metricPath
+	out.Attrs["cube.prune.threshold"] = fmt.Sprintf("%g", threshold)
+	return out, nil
+}

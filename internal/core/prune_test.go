@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// buildDeep: main{ heavy{ leaf }, light } with Time severities per thread:
+// main=1, heavy=10, leaf=5, light=0.1 on 2 threads.
+func buildDeep() *Experiment {
+	e := New("deep")
+	time := e.NewMetric("Time", Seconds, "")
+	reg := func(n string) *Region { return e.NewRegion(n, "app", 0, 0) }
+	root := e.NewCallRoot(e.NewCallSite("app", 0, reg("main")))
+	heavy := root.NewChild(e.NewCallSite("app", 1, reg("heavy")))
+	leaf := heavy.NewChild(e.NewCallSite("app", 2, reg("leaf")))
+	light := root.NewChild(e.NewCallSite("app", 3, reg("light")))
+	e.Invalidate()
+	for _, th := range e.SingleThreadedSystem("m", 1, 2) {
+		e.SetSeverity(time, root, th, 1)
+		e.SetSeverity(time, heavy, th, 10)
+		e.SetSeverity(time, leaf, th, 5)
+		e.SetSeverity(time, light, th, 0.1)
+	}
+	return e
+}
+
+func TestPruneCollapsesLightSubtrees(t *testing.T) {
+	e := buildDeep()
+	total := e.MetricInclusive(e.FindMetricByName("Time")) // 32.2
+	p, err := Prune(e, "Time", 0.05)                       // cut = 1.61
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Derived || p.Operation != "prune" {
+		t.Errorf("provenance wrong")
+	}
+	// light (0.2 inclusive) collapses into main; heavy (30) and leaf (10)
+	// survive.
+	if p.FindCallNode("main/light") != nil {
+		t.Errorf("light subtree survived")
+	}
+	if p.FindCallNode("main/heavy/leaf") == nil {
+		t.Errorf("heavy/leaf pruned although above threshold")
+	}
+	// Totals preserved: light's severity re-attributed to main.
+	if got := p.MetricInclusive(p.FindMetricByName("Time")); math.Abs(got-total) > 1e-12 {
+		t.Errorf("prune changed the total: %v vs %v", got, total)
+	}
+	time := p.FindMetricByName("Time")
+	main := p.FindCallNode("main")
+	if got := p.MetricValue(time, main); math.Abs(got-2.2) > 1e-12 {
+		t.Errorf("main after collapse = %v, want 2.2 (1+0.1 per thread)", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("pruned experiment invalid: %v", err)
+	}
+	// Operand untouched.
+	if e.FindCallNode("main/light") == nil {
+		t.Errorf("prune mutated its operand")
+	}
+}
+
+func TestPruneHighThresholdKeepsRoots(t *testing.T) {
+	e := buildDeep()
+	p, err := Prune(e, "Time", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CallRoots()) != 1 || len(p.CallRoots()[0].Children()) != 0 {
+		t.Errorf("threshold 1.0 should collapse everything into the root")
+	}
+	total := e.MetricInclusive(e.FindMetricByName("Time"))
+	if got := p.MetricInclusive(p.FindMetricByName("Time")); math.Abs(got-total) > 1e-12 {
+		t.Errorf("total changed: %v vs %v", got, total)
+	}
+}
+
+func TestPruneZeroThresholdIsIdentity(t *testing.T) {
+	e := buildDeep()
+	p, err := Prune(e, "Time", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint() != e.Fingerprint() {
+		t.Errorf("threshold 0 must not change the experiment")
+	}
+}
+
+func TestPruneNegativeSeverities(t *testing.T) {
+	// Prune of a difference experiment uses magnitudes.
+	a := buildDeep()
+	b := buildDeep()
+	b.SetSeverity(b.FindMetricByName("Time"), b.FindCallNode("main/heavy"), b.Threads()[0], 30)
+	d, err := Difference(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prune(d, "Time", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FindCallNode("main/heavy") == nil {
+		t.Errorf("large negative subtree pruned (magnitude must count)")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestPruneErrors(t *testing.T) {
+	e := buildDeep()
+	if _, err := Prune(e, "Nope", 0.1); err == nil {
+		t.Errorf("unknown metric accepted")
+	}
+	if _, err := Prune(e, "Time", -0.1); err == nil {
+		t.Errorf("negative threshold accepted")
+	}
+	if _, err := Prune(e, "Time", 1.5); err == nil {
+		t.Errorf("threshold > 1 accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStructuralDiffIdentical(t *testing.T) {
+	a := buildSmall("a")
+	b := buildSmall("b")
+	rep, err := StructuralDiff(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OnlyAMetrics) != 0 || len(rep.OnlyBMetrics) != 0 ||
+		len(rep.OnlyACalls) != 0 || len(rep.OnlyBCalls) != 0 ||
+		len(rep.OnlyARanks) != 0 || len(rep.OnlyBRanks) != 0 {
+		t.Errorf("identical experiments report unique nodes: %+v", rep)
+	}
+	if rep.Similarity() != 1 {
+		t.Errorf("similarity = %v, want 1", rep.Similarity())
+	}
+	if !rep.PartitionsCompatible {
+		t.Errorf("identical partitions reported incompatible")
+	}
+}
+
+func TestStructuralDiffPartialOverlap(t *testing.T) {
+	a := newCallExp("a", "main/onlyA", "main/shared")
+	b := newCallExp("b", "main/onlyB", "main/shared")
+	b.NewMetric("PAPI_FP_INS", Occurrences, "")
+
+	rep, err := StructuralDiff(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SharedCalls) != 2 { // main, main/shared
+		t.Errorf("shared calls = %v", rep.SharedCalls)
+	}
+	if len(rep.OnlyACalls) != 1 || rep.OnlyACalls[0] != "main/onlyA" {
+		t.Errorf("only-A calls = %v", rep.OnlyACalls)
+	}
+	if len(rep.OnlyBCalls) != 1 || rep.OnlyBCalls[0] != "main/onlyB" {
+		t.Errorf("only-B calls = %v", rep.OnlyBCalls)
+	}
+	if len(rep.OnlyBMetrics) != 1 || rep.OnlyBMetrics[0] != "PAPI_FP_INS" {
+		t.Errorf("only-B metrics = %v", rep.OnlyBMetrics)
+	}
+	if s := rep.Similarity(); s <= 0 || s >= 1 {
+		t.Errorf("similarity = %v, want in (0,1)", s)
+	}
+	sum := rep.Summary()
+	for _, frag := range []string{"metrics:", "call paths:", "ranks:", "similarity:"} {
+		if !strings.Contains(sum, frag) {
+			t.Errorf("summary lacks %q:\n%s", frag, sum)
+		}
+	}
+}
+
+func TestStructuralDiffRanksAndPartitions(t *testing.T) {
+	a := New("a")
+	a.NewMetric("T", Seconds, "")
+	a.SingleThreadedSystem("m", 2, 4)
+	b := New("b")
+	b.NewMetric("T", Seconds, "")
+	b.SingleThreadedSystem("m", 1, 6)
+
+	rep, err := StructuralDiff(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SharedRanks) != 4 || len(rep.OnlyBRanks) != 2 || len(rep.OnlyARanks) != 0 {
+		t.Errorf("rank partition wrong: %+v", rep)
+	}
+	if rep.PartitionsCompatible {
+		t.Errorf("2-node vs 1-node partitions reported compatible")
+	}
+}
+
+func TestStructuralDiffEmpty(t *testing.T) {
+	rep, err := StructuralDiff(New("a"), New("b"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Similarity() != 1 {
+		t.Errorf("empty experiments should be trivially similar")
+	}
+}

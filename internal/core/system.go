@@ -1,0 +1,166 @@
+package core
+
+import "fmt"
+
+// The system dimension defines the hard- and software entities of the system
+// the program ran on: a forest with the levels machine, node, process, and
+// thread from top to bottom. Machines and nodes are treated mainly as a
+// logical grouping of processes for the purpose of aggregating performance
+// data; the thread level is mandatory, so pure message-passing applications
+// are represented as collections of single-threaded processes.
+
+// Machine is a collection of nodes (a cluster or an MPP system).
+type Machine struct {
+	// Name labels the machine, e.g. "torc" or "collapsed".
+	Name string
+
+	nodes []*SystemNode
+}
+
+// NewMachine returns a fresh machine with no nodes.
+func NewMachine(name string) *Machine { return &Machine{Name: name} }
+
+// NewNode creates a system node attached to m and returns it.
+func (m *Machine) NewNode(name string) *SystemNode {
+	n := &SystemNode{Name: name, machine: m}
+	m.nodes = append(m.nodes, n)
+	return n
+}
+
+// Nodes returns the machine's nodes in insertion order. The returned slice
+// is owned by the machine and must not be modified.
+func (m *Machine) Nodes() []*SystemNode { return m.nodes }
+
+// String implements fmt.Stringer.
+func (m *Machine) String() string { return "machine " + m.Name }
+
+// SystemNode is a node of a machine (e.g. an SMP node) hosting processes.
+// It is named SystemNode to avoid confusion with tree nodes elsewhere.
+type SystemNode struct {
+	// Name labels the node, e.g. "node03".
+	Name string
+
+	machine *Machine
+	procs   []*Process
+}
+
+// Machine returns the machine the node belongs to.
+func (n *SystemNode) Machine() *Machine { return n.machine }
+
+// NewProcess creates a process with the given application-level rank hosted
+// on n and returns it.
+func (n *SystemNode) NewProcess(rank int, name string) *Process {
+	p := &Process{Rank: rank, Name: name, node: n}
+	n.procs = append(n.procs, p)
+	return p
+}
+
+// Processes returns the node's processes in insertion order. The returned
+// slice is owned by the node and must not be modified.
+func (n *SystemNode) Processes() []*Process { return n.procs }
+
+// String implements fmt.Stringer.
+func (n *SystemNode) String() string { return "node " + n.Name }
+
+// Process is an application process, identified across experiments by its
+// application-level identifier (its global MPI rank). A process may be split
+// into multiple threads.
+type Process struct {
+	// Rank is the process's global application-level rank (MPI rank).
+	// Processes of two experiments are matched by rank during system
+	// integration.
+	Rank int
+	// Name is an optional label, e.g. "rank 3".
+	Name string
+
+	node    *SystemNode
+	threads []*Thread
+}
+
+// Node returns the system node hosting the process.
+func (p *Process) Node() *SystemNode { return p.node }
+
+// NewThread creates a thread with the given application-level id (OpenMP
+// thread number) belonging to p and returns it.
+func (p *Process) NewThread(id int, name string) *Thread {
+	t := &Thread{ID: id, Name: name, proc: p}
+	p.threads = append(p.threads, t)
+	return t
+}
+
+// Threads returns the process's threads in insertion order. The returned
+// slice is owned by the process and must not be modified.
+func (p *Process) Threads() []*Thread { return p.threads }
+
+// String implements fmt.Stringer.
+func (p *Process) String() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return fmt.Sprintf("process %d", p.Rank)
+}
+
+// Thread is the mandatory leaf level of the system dimension. Severity
+// values always refer to threads; single-threaded processes own exactly one
+// thread with ID 0. Nested thread-level parallelism is not supported.
+type Thread struct {
+	// ID is the application-level thread identifier within its process
+	// (the OpenMP thread number). Threads of two experiments are matched
+	// by (process rank, thread id).
+	ID int
+	// Name is an optional label, e.g. "thread 0".
+	Name string
+
+	proc *Process
+}
+
+// Process returns the process owning the thread.
+func (t *Thread) Process() *Process { return t.proc }
+
+// String implements fmt.Stringer.
+func (t *Thread) String() string {
+	if t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("rank %d thread %d", t.proc.Rank, t.ID)
+}
+
+// threadKey is the equality relation for system integration: threads match
+// on (process rank, thread id), independent of the node/machine grouping.
+type threadKey struct {
+	rank, id int
+}
+
+// SystemMode selects how the upper levels of the system hierarchy (machines
+// and nodes) are treated during metadata integration. Processes and threads
+// are always matched on their application-level identifiers; the upper
+// levels are never matched node-by-node. Instead the integrated experiment
+// either copies the node/machine grouping of one operand or collapses the
+// hierarchy to a single machine with a single node.
+type SystemMode int
+
+const (
+	// SystemAuto copies the first operand's machine/node hierarchy when
+	// every operand partitions the same set of processes into nodes the
+	// same way, and collapses to a single machine and node otherwise.
+	// This is the default.
+	SystemAuto SystemMode = iota
+	// SystemCollapse always collapses to a single machine and node.
+	SystemCollapse
+	// SystemCopyFirst always copies the first operand's hierarchy; ranks
+	// present only in later operands are appended to the last node.
+	SystemCopyFirst
+)
+
+// String implements fmt.Stringer.
+func (m SystemMode) String() string {
+	switch m {
+	case SystemAuto:
+		return "auto"
+	case SystemCollapse:
+		return "collapse"
+	case SystemCopyFirst:
+		return "copy-first"
+	}
+	return fmt.Sprintf("SystemMode(%d)", int(m))
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewCartesian(t *testing.T) {
+	topo, err := NewCartesian("grid", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Coords) != 6 {
+		t.Fatalf("coords = %d, want 6", len(topo.Coords))
+	}
+	// Row-major: rank = y*3 + x.
+	if got := topo.Coords[4]; got[0] != 1 || got[1] != 1 {
+		t.Errorf("rank 4 coord = %v, want [1 1]", got)
+	}
+	if topo.RankAt(1, 2) != 5 {
+		t.Errorf("RankAt(1,2) = %d, want 5", topo.RankAt(1, 2))
+	}
+	if topo.RankAt(9, 9) != -1 || topo.RankAt(0) != -1 {
+		t.Errorf("out-of-grid lookups must return -1")
+	}
+	if _, err := NewCartesian("bad"); err == nil {
+		t.Errorf("empty dims accepted")
+	}
+	if _, err := NewCartesian("bad", 0); err == nil {
+		t.Errorf("zero dim accepted")
+	}
+}
+
+func TestTopologyEqualClone(t *testing.T) {
+	a, _ := NewCartesian("g", 2, 2)
+	b, _ := NewCartesian("g", 2, 2)
+	if !a.Equal(b) {
+		t.Errorf("identical topologies unequal")
+	}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Errorf("clone unequal")
+	}
+	c.Coords[3][1] = 0 // corrupt (duplicate coordinate)
+	if a.Equal(c) {
+		t.Errorf("mutated clone still equal")
+	}
+	d, _ := NewCartesian("g", 4)
+	if a.Equal(d) {
+		t.Errorf("different dims equal")
+	}
+	var nilT *Topology
+	if nilT.Equal(a) || a.Equal(nil) {
+		t.Errorf("nil comparisons wrong")
+	}
+	if !nilT.Equal(nil) {
+		t.Errorf("nil-nil must be equal")
+	}
+	if nilT.Clone() != nil {
+		t.Errorf("nil clone must be nil")
+	}
+}
+
+func attachTopo(t *testing.T, e *Experiment, dims ...int) *Topology {
+	t.Helper()
+	topo, err := NewCartesian("grid", dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTopology(topo)
+	return topo
+}
+
+func TestTopologyValidation(t *testing.T) {
+	e := buildSmall("t") // 4 ranks
+	attachTopo(t, e, 2, 2)
+	if err := e.Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+
+	// Unknown rank.
+	topo := e.Topology()
+	topo.Coords[99] = []int{0, 0}
+	if err := e.Validate(); err == nil || !strings.Contains(err.Error(), "unknown rank") {
+		t.Errorf("unknown rank: %v", err)
+	}
+	delete(topo.Coords, 99)
+
+	// Out-of-bounds coordinate.
+	topo.Coords[0] = []int{5, 0}
+	if err := e.Validate(); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("out of bounds: %v", err)
+	}
+	topo.Coords[0] = []int{0, 0}
+
+	// Duplicate coordinate.
+	topo.Coords[1] = []int{0, 0}
+	if err := e.Validate(); err == nil || !strings.Contains(err.Error(), "share coordinate") {
+		t.Errorf("duplicate coordinate: %v", err)
+	}
+	topo.Coords[1] = []int{0, 1}
+
+	// Wrong arity.
+	topo.Coords[2] = []int{1}
+	if err := e.Validate(); err == nil || !strings.Contains(err.Error(), "coordinates") {
+		t.Errorf("wrong arity: %v", err)
+	}
+}
+
+func TestTopologySurvivesOperators(t *testing.T) {
+	a := buildSmall("a")
+	attachTopo(t, a, 2, 2)
+	b := buildSmall("b")
+	attachTopo(t, b, 2, 2)
+
+	d, err := Difference(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Topology().Equal(a.Topology()) {
+		t.Errorf("matching topologies must survive the operator")
+	}
+	// Result owns a copy, not the operand's instance.
+	d.Topology().Coords[0][0] = 1
+	if a.Topology().Coords[0][0] != 0 {
+		t.Errorf("operator aliased the operand topology")
+	}
+
+	// Disagreeing topologies are dropped.
+	c := buildSmall("c")
+	attachTopo(t, c, 4)
+	d2, err := Difference(a, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Topology() != nil {
+		t.Errorf("mismatching topologies must be dropped")
+	}
+	// Operand without topology also drops it.
+	d3, err := Difference(a, buildSmall("x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Topology() != nil {
+		t.Errorf("absent topology in one operand must drop it")
+	}
+}
+
+func TestTopologyCloneAndFlatten(t *testing.T) {
+	e := buildSmall("e")
+	attachTopo(t, e, 2, 2)
+	c := e.Clone()
+	if !c.Topology().Equal(e.Topology()) {
+		t.Errorf("clone lost topology")
+	}
+	f, err := Flatten(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Topology().Equal(e.Topology()) {
+		t.Errorf("flatten lost topology")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func wantInvalid(t *testing.T, e *Experiment, dim, fragment string) {
+	t.Helper()
+	err := e.Validate()
+	if err == nil {
+		t.Fatalf("Validate accepted an invalid experiment (want %s error %q)", dim, fragment)
+	}
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error type %T, want *ValidationError", err)
+	}
+	if ve.Dimension != dim {
+		t.Errorf("dimension = %q, want %q", ve.Dimension, dim)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Errorf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	e := buildSmall("ok")
+	if err := e.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateMetricViolations(t *testing.T) {
+	e := New("x")
+	m := e.NewMetric("Time", Seconds, "")
+	c := m.NewChild("C", "")
+	c.Unit = Bytes // corrupt the tree
+	wantInvalid(t, e, "metric", "unit")
+
+	e2 := New("x")
+	e2.NewMetric("", Seconds, "")
+	wantInvalid(t, e2, "metric", "empty name")
+
+	e3 := New("x")
+	m3 := e3.NewMetric("T", Seconds, "")
+	m3.Unit = "bogus"
+	wantInvalid(t, e3, "metric", "invalid unit")
+
+	e4 := New("x")
+	shared := NewMetric("S", Seconds, "")
+	_ = e4.AddMetricRoot(shared, shared)
+	wantInvalid(t, e4, "metric", "more than once")
+}
+
+func TestValidateProgramViolations(t *testing.T) {
+	e := New("x")
+	e.NewMetric("T", Seconds, "")
+	// Call node referencing an unregistered region while others are
+	// registered.
+	e.NewRegion("known", "", 0, 0)
+	alien := &Region{Name: "alien"}
+	e.NewCallRoot(&CallSite{Callee: alien})
+	wantInvalid(t, e, "program", "unregistered region")
+
+	e2 := New("x")
+	e2.NewCallRoot(&CallSite{Callee: nil})
+	wantInvalid(t, e2, "program", "nil callee")
+
+	e3 := New("x")
+	root := NewCallNode(&CallSite{Callee: &Region{Name: "m"}})
+	_ = e3.AddCallRoot(root, root)
+	wantInvalid(t, e3, "program", "more than once")
+
+	e4 := New("x")
+	e4.AddRegion(&Region{})
+	wantInvalid(t, e4, "program", "empty name")
+}
+
+func TestValidateSystemViolations(t *testing.T) {
+	e := New("x")
+	m := e.NewMachine("m")
+	nd := m.NewNode("n")
+	p0 := nd.NewProcess(0, "")
+	p0.NewThread(0, "")
+	nd.NewProcess(0, "dup").NewThread(0, "")
+	wantInvalid(t, e, "system", "duplicate process rank")
+
+	e2 := New("x")
+	m2 := e2.NewMachine("m")
+	m2.NewNode("n").NewProcess(0, "")
+	wantInvalid(t, e2, "system", "no threads")
+
+	e3 := New("x")
+	p := e3.NewMachine("m").NewNode("n").NewProcess(0, "")
+	p.NewThread(0, "")
+	p.NewThread(0, "")
+	wantInvalid(t, e3, "system", "duplicate thread id")
+}
+
+func TestValidateSeverityViolations(t *testing.T) {
+	e := buildSmall("x")
+	alienM := NewMetric("alien", Seconds, "")
+	e.SetSeverity(alienM, e.FindCallNode("main"), e.Threads()[0], 1)
+	wantInvalid(t, e, "severity", "unregistered metric")
+
+	e2 := buildSmall("x")
+	alienC := NewCallNode(&CallSite{Callee: &Region{Name: "z"}})
+	e2.SetSeverity(e2.FindMetricByName("Time"), alienC, e2.Threads()[0], 1)
+	wantInvalid(t, e2, "severity", "unregistered call node")
+
+	e3 := buildSmall("x")
+	alienT := (&Process{Rank: 99}).NewThread(0, "")
+	e3.SetSeverity(e3.FindMetricByName("Time"), e3.FindCallNode("main"), alienT, 1)
+	wantInvalid(t, e3, "severity", "unregistered thread")
+
+	e4 := buildSmall("x")
+	e4.SetSeverity(e4.FindMetricByName("Time"), e4.FindCallNode("main"), e4.Threads()[0], math.NaN())
+	wantInvalid(t, e4, "severity", "NaN")
+
+	e5 := buildSmall("x")
+	e5.SetSeverity(e5.FindMetricByName("Time"), e5.FindCallNode("main"), e5.Threads()[0], math.Inf(1))
+	wantInvalid(t, e5, "severity", "+Inf")
+}
+
+func TestValidateNegativeSeverityAllowed(t *testing.T) {
+	e := buildSmall("x")
+	e.SetSeverity(e.FindMetricByName("Time"), e.FindCallNode("main"), e.Threads()[0], -3)
+	if err := e.Validate(); err != nil {
+		t.Errorf("negative severity (difference experiments) must be valid: %v", err)
+	}
+}

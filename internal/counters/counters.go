@@ -1,0 +1,281 @@
+// Package counters simulates a PAPI-like hardware-counter substrate: named
+// countable events, event sets, platform conflict rules that forbid certain
+// combinations from being measured in the same run, and a deterministic
+// model deriving counter values from abstract work performed by a simulated
+// application.
+//
+// The conflict rules reproduce the situation §5.2 of the paper describes on
+// POWER4 — floating-point instructions and level-1 data-cache misses cannot
+// be counted simultaneously — which forces two measurement runs whose
+// results are then combined with the CUBE merge operator.
+package counters
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Event names a countable hardware event (PAPI preset style).
+type Event string
+
+// The events supported by the simulated platform.
+const (
+	TotalCycles  Event = "PAPI_TOT_CYC" // total cycles
+	TotalIns     Event = "PAPI_TOT_INS" // completed instructions
+	FPIns        Event = "PAPI_FP_INS"  // floating-point instructions
+	LoadIns      Event = "PAPI_LD_INS"  // load instructions
+	StoreIns     Event = "PAPI_SR_INS"  // store instructions
+	L1DataAccess Event = "PAPI_L1_DCA"  // L1 data-cache accesses
+	L1DataMiss   Event = "PAPI_L1_DCM"  // L1 data-cache misses
+	L2DataAccess Event = "PAPI_L2_DCA"  // L2 data-cache accesses
+	L2DataMiss   Event = "PAPI_L2_DCM"  // L2 data-cache misses
+)
+
+// AllEvents lists every supported event in a stable order.
+func AllEvents() []Event {
+	return []Event{
+		TotalCycles, TotalIns, FPIns, LoadIns, StoreIns,
+		L1DataAccess, L1DataMiss, L2DataAccess, L2DataMiss,
+	}
+}
+
+// Known reports whether e is a supported event.
+func Known(e Event) bool {
+	for _, k := range AllEvents() {
+		if k == e {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxCountersPerRun is the number of physical counter registers of the
+// simulated platform; an event set may not exceed it.
+const MaxCountersPerRun = 4
+
+// conflicts lists unordered event pairs that cannot be measured in the same
+// run (the POWER4-style restriction central to §5.2).
+var conflicts = [][2]Event{
+	{FPIns, L1DataMiss},
+	{FPIns, L2DataMiss},
+	{L1DataAccess, L2DataAccess},
+}
+
+// ConflictError reports an event-set combination the platform cannot
+// measure in a single run.
+type ConflictError struct {
+	A, B Event // conflicting pair; B empty when the set is too large
+	Size int   // set size when the size limit was exceeded
+}
+
+// Error implements the error interface.
+func (e *ConflictError) Error() string {
+	if e.B == "" {
+		return fmt.Sprintf("counters: event set of size %d exceeds the %d physical counters", e.Size, MaxCountersPerRun)
+	}
+	return fmt.Sprintf("counters: events %s and %s cannot be counted in the same run", e.A, e.B)
+}
+
+// EventSet is a selection of events measured together during one run.
+type EventSet []Event
+
+// Validate checks that every event is known, the set fits the physical
+// counters, and no conflicting pair is present.
+func (s EventSet) Validate() error {
+	if len(s) > MaxCountersPerRun {
+		return &ConflictError{Size: len(s)}
+	}
+	seen := map[Event]bool{}
+	for _, e := range s {
+		if !Known(e) {
+			return fmt.Errorf("counters: unknown event %q", e)
+		}
+		if seen[e] {
+			return fmt.Errorf("counters: duplicate event %q in set", e)
+		}
+		seen[e] = true
+	}
+	for _, c := range conflicts {
+		if seen[c[0]] && seen[c[1]] {
+			return &ConflictError{A: c[0], B: c[1]}
+		}
+	}
+	return nil
+}
+
+// Names returns the event names as strings in set order.
+func (s EventSet) Names() []string {
+	out := make([]string, len(s))
+	for i, e := range s {
+		out[i] = string(e)
+	}
+	return out
+}
+
+// Conflicting reports whether two events may not share a run.
+func Conflicting(a, b Event) bool {
+	for _, c := range conflicts {
+		if (c[0] == a && c[1] == b) || (c[0] == b && c[1] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Partition splits the requested events into a minimal-ish sequence of
+// valid event sets, each measurable in one run (greedy first-fit). This is
+// how a CONE-style tool plans the measurement runs whose profiles are later
+// combined with the merge operator.
+func Partition(events []Event) ([]EventSet, error) {
+	for _, e := range events {
+		if !Known(e) {
+			return nil, fmt.Errorf("counters: unknown event %q", e)
+		}
+	}
+	var sets []EventSet
+outer:
+	for _, e := range events {
+		for i, s := range sets {
+			if len(s) >= MaxCountersPerRun {
+				continue
+			}
+			ok := true
+			for _, have := range s {
+				if have == e || Conflicting(have, e) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sets[i] = append(s, e)
+				continue outer
+			}
+		}
+		sets = append(sets, EventSet{e})
+	}
+	return sets, nil
+}
+
+// Work is the abstract work performed by a piece of simulated computation;
+// the counter model maps it onto event counts. All fields accumulate.
+type Work struct {
+	// Seconds of busy CPU time.
+	Seconds float64
+	// Flops is the number of floating-point operations performed.
+	Flops float64
+	// MemBytes is the memory traffic in bytes that misses the L1 cache
+	// (streaming/copy traffic, e.g. unpacking a received message).
+	MemBytes float64
+	// LocalBytes is cache-friendly data traffic that mostly hits in L1.
+	LocalBytes float64
+}
+
+// Add accumulates other into w.
+func (w *Work) Add(other Work) {
+	w.Seconds += other.Seconds
+	w.Flops += other.Flops
+	w.MemBytes += other.MemBytes
+	w.LocalBytes += other.LocalBytes
+}
+
+// Scale returns w scaled by f.
+func (w Work) Scale(f float64) Work {
+	return Work{Seconds: w.Seconds * f, Flops: w.Flops * f, MemBytes: w.MemBytes * f, LocalBytes: w.LocalBytes * f}
+}
+
+// Model deterministically derives event counts from Work, emulating a
+// 550 MHz in-order processor with 32-byte L1 lines and 128-byte L2 lines.
+// The zero value is not useful; use DefaultModel.
+type Model struct {
+	// ClockHz is the core frequency.
+	ClockHz float64
+	// IPC is the sustained instructions per cycle for busy time.
+	IPC float64
+	// L1LineBytes and L2LineBytes are the cache line sizes.
+	L1LineBytes float64
+	L2LineBytes float64
+	// L2MissFraction is the fraction of L1-missing traffic that also
+	// misses in L2.
+	L2MissFraction float64
+	// LocalMissRate is the small L1 miss rate of cache-friendly traffic.
+	LocalMissRate float64
+}
+
+// DefaultModel returns the model used throughout the repository (roughly a
+// Pentium III Xeon 550 MHz, matching the paper's test platform).
+func DefaultModel() *Model {
+	return &Model{
+		ClockHz:        550e6,
+		IPC:            0.8,
+		L1LineBytes:    32,
+		L2LineBytes:    128,
+		L2MissFraction: 0.25,
+		LocalMissRate:  0.02,
+	}
+}
+
+// Count returns the value of event e for the given accumulated work.
+// Values are deterministic and internally consistent (misses never exceed
+// accesses, FP instructions never exceed total instructions).
+func (m *Model) Count(e Event, w Work) int64 {
+	loads := w.LocalBytes/8 + w.MemBytes/8 // 8-byte words
+	stores := loads / 2
+	l1Access := loads + stores
+	l1Miss := w.MemBytes/m.L1LineBytes + (w.LocalBytes/8)*m.LocalMissRate
+	l2Access := l1Miss
+	l2Miss := l1Miss * m.L2MissFraction * (m.L1LineBytes / m.L2LineBytes) * 4
+	if l2Miss > l2Access {
+		l2Miss = l2Access
+	}
+	cycles := w.Seconds * m.ClockHz
+	totIns := cycles * m.IPC
+	if minIns := w.Flops + l1Access; totIns < minIns {
+		totIns = minIns
+	}
+	var v float64
+	switch e {
+	case TotalCycles:
+		v = cycles
+	case TotalIns:
+		v = totIns
+	case FPIns:
+		v = w.Flops
+	case LoadIns:
+		v = loads
+	case StoreIns:
+		v = stores
+	case L1DataAccess:
+		v = l1Access
+	case L1DataMiss:
+		v = l1Miss
+	case L2DataAccess:
+		v = l2Access
+	case L2DataMiss:
+		v = l2Miss
+	default:
+		return 0
+	}
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return int64(v)
+}
+
+// Counts evaluates a whole event set against accumulated work, returning
+// values parallel to the set.
+func (m *Model) Counts(set EventSet, w Work) []int64 {
+	out := make([]int64, len(set))
+	for i, e := range set {
+		out[i] = m.Count(e, w)
+	}
+	return out
+}
+
+// SortedEvents returns the events of a set sorted by name (useful for
+// stable display and tests).
+func SortedEvents(s EventSet) []Event {
+	out := append(EventSet(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,212 @@
+package counters
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownAndAllEvents(t *testing.T) {
+	for _, e := range AllEvents() {
+		if !Known(e) {
+			t.Errorf("AllEvents member %q not Known", e)
+		}
+	}
+	if Known("PAPI_BOGUS") {
+		t.Errorf("unknown event accepted")
+	}
+}
+
+func TestEventSetValidate(t *testing.T) {
+	if err := (EventSet{TotalCycles, TotalIns, L1DataAccess, L1DataMiss}).Validate(); err != nil {
+		t.Errorf("legal 4-event set rejected: %v", err)
+	}
+	// Too large.
+	big := EventSet{TotalCycles, TotalIns, LoadIns, StoreIns, L1DataAccess}
+	var ce *ConflictError
+	if err := big.Validate(); err == nil || !errors.As(err, &ce) || ce.Size != 5 {
+		t.Errorf("oversized set: %v", err)
+	}
+	// The POWER4-style conflict.
+	if err := (EventSet{FPIns, L1DataMiss}).Validate(); err == nil {
+		t.Errorf("conflicting set accepted")
+	} else if !errors.As(err, &ce) || ce.A != FPIns || ce.B != L1DataMiss {
+		t.Errorf("conflict error wrong: %v", err)
+	}
+	// Duplicates and unknowns.
+	if err := (EventSet{FPIns, FPIns}).Validate(); err == nil {
+		t.Errorf("duplicate accepted")
+	}
+	if err := (EventSet{"PAPI_NOPE"}).Validate(); err == nil {
+		t.Errorf("unknown accepted")
+	}
+}
+
+func TestConflictingSymmetry(t *testing.T) {
+	if !Conflicting(FPIns, L1DataMiss) || !Conflicting(L1DataMiss, FPIns) {
+		t.Errorf("conflict not symmetric")
+	}
+	if Conflicting(TotalIns, TotalCycles) {
+		t.Errorf("false conflict")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	want := []Event{FPIns, L1DataMiss}
+	sets, err := Partition(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("conflicting events must split into 2 runs, got %d: %v", len(sets), sets)
+	}
+	// Every set valid, every event placed exactly once.
+	placed := map[Event]int{}
+	for _, s := range sets {
+		if err := s.Validate(); err != nil {
+			t.Errorf("planned set invalid: %v", err)
+		}
+		for _, e := range s {
+			placed[e]++
+		}
+	}
+	for _, e := range want {
+		if placed[e] != 1 {
+			t.Errorf("event %s placed %d times", e, placed[e])
+		}
+	}
+	if _, err := Partition([]Event{"PAPI_NOPE"}); err == nil {
+		t.Errorf("unknown event accepted by Partition")
+	}
+	// Compatible events stay in one run.
+	one, err := Partition([]Event{TotalCycles, TotalIns, L1DataAccess, L1DataMiss})
+	if err != nil || len(one) != 1 {
+		t.Errorf("compatible set split: %v, %v", one, err)
+	}
+	// Duplicates in the request are placed in separate runs (a counter
+	// register can count an event only once).
+	dup, err := Partition([]Event{FPIns, FPIns})
+	if err != nil || len(dup) != 2 {
+		t.Errorf("duplicate handling: %v, %v", dup, err)
+	}
+}
+
+// Property: Partition always yields valid sets covering the request.
+func TestQuickPartition(t *testing.T) {
+	all := AllEvents()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(len(all))
+		req := make([]Event, n)
+		for i := range req {
+			req[i] = all[r.Intn(len(all))]
+		}
+		sets, err := Partition(req)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range sets {
+			if s.Validate() != nil {
+				return false
+			}
+			total += len(s)
+		}
+		return total == len(req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkAddScale(t *testing.T) {
+	w := Work{Seconds: 1, Flops: 2, MemBytes: 3, LocalBytes: 4}
+	w.Add(Work{Seconds: 1, Flops: 1, MemBytes: 1, LocalBytes: 1})
+	if w != (Work{Seconds: 2, Flops: 3, MemBytes: 4, LocalBytes: 5}) {
+		t.Errorf("Add wrong: %+v", w)
+	}
+	s := w.Scale(2)
+	if s != (Work{Seconds: 4, Flops: 6, MemBytes: 8, LocalBytes: 10}) {
+		t.Errorf("Scale wrong: %+v", s)
+	}
+}
+
+func TestModelConsistency(t *testing.T) {
+	m := DefaultModel()
+	w := Work{Seconds: 0.5, Flops: 1e8, MemBytes: 1e7, LocalBytes: 5e7}
+
+	if m.Count(FPIns, w) != 1e8 {
+		t.Errorf("FP_INS = %d", m.Count(FPIns, w))
+	}
+	if miss, acc := m.Count(L1DataMiss, w), m.Count(L1DataAccess, w); miss > acc {
+		t.Errorf("L1 misses %d exceed accesses %d", miss, acc)
+	}
+	if miss, acc := m.Count(L2DataMiss, w), m.Count(L2DataAccess, w); miss > acc {
+		t.Errorf("L2 misses %d exceed accesses %d", miss, acc)
+	}
+	if fp, tot := m.Count(FPIns, w), m.Count(TotalIns, w); fp > tot {
+		t.Errorf("FP %d exceeds total instructions %d", fp, tot)
+	}
+	if m.Count(TotalCycles, w) != int64(0.5*m.ClockHz) {
+		t.Errorf("cycles wrong")
+	}
+	if m.Count("PAPI_BOGUS", w) != 0 {
+		t.Errorf("unknown event should count 0")
+	}
+	// Counts evaluates a whole set in order.
+	set := EventSet{TotalCycles, FPIns}
+	vals := m.Counts(set, w)
+	if len(vals) != 2 || vals[1] != 1e8 {
+		t.Errorf("Counts wrong: %v", vals)
+	}
+}
+
+// Property: counts are non-negative and monotone in work.
+func TestQuickModelMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := Work{Seconds: r.Float64(), Flops: r.Float64() * 1e9, MemBytes: r.Float64() * 1e8, LocalBytes: r.Float64() * 1e8}
+		w2 := w
+		w2.Add(w) // double
+		for _, e := range AllEvents() {
+			a, b := m.Count(e, w), m.Count(e, w2)
+			if a < 0 || b < a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedEvents(t *testing.T) {
+	s := EventSet{TotalIns, FPIns, L1DataMiss}
+	sorted := SortedEvents(s)
+	if sorted[0] != FPIns || sorted[1] != L1DataMiss || sorted[2] != TotalIns {
+		t.Errorf("SortedEvents = %v", sorted)
+	}
+	// Input untouched.
+	if s[0] != TotalIns {
+		t.Errorf("SortedEvents mutated its input")
+	}
+}
+
+func TestNamesAndErrors(t *testing.T) {
+	s := EventSet{FPIns, L1DataMiss}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "PAPI_FP_INS" {
+		t.Errorf("Names = %v", names)
+	}
+	ce := &ConflictError{A: FPIns, B: L1DataMiss}
+	if ce.Error() == "" {
+		t.Errorf("empty conflict message")
+	}
+	sz := &ConflictError{Size: 9}
+	if sz.Error() == "" {
+		t.Errorf("empty size message")
+	}
+}

@@ -1,0 +1,345 @@
+package cubexml
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cube/internal/core"
+)
+
+// sample builds an experiment exercising all metadata features: multi-root
+// metric forest, nested call tree with call sites and line numbers, a
+// two-node system, negative and fractional severities, provenance.
+func sample() *core.Experiment {
+	e := core.New("sample run")
+	e.Derived = true
+	e.Operation = "difference"
+	e.Parents = []string{"before", "after"}
+	e.Attrs["host"] = "torc"
+	e.Attrs["np"] = "4"
+
+	time := e.NewMetric("Time", core.Seconds, "total time")
+	mpi := time.NewChild("MPI", "mpi time")
+	mpi.NewChild("Late Sender", "ls")
+	e.NewMetric("Visits", core.Occurrences, "visits")
+
+	mainR := e.NewRegion("main", "app.c", 1, 200)
+	solver := e.NewRegion("solver", "app.c", 50, 150)
+	recv := e.NewRegion("MPI_Recv", "libmpi", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	s := root.NewChild(e.NewCallSite("app.c", 60, solver))
+	r := s.NewChild(e.NewCallSite("app.c", 99, recv))
+
+	threads := e.SingleThreadedSystem("cluster", 2, 4)
+	for i, th := range threads {
+		e.SetSeverity(time, root, th, 0.25)
+		e.SetSeverity(mpi, r, th, float64(i)*1.5)
+		e.SetSeverity(e.FindMetricByName("Late Sender"), r, th, -0.125*float64(i))
+		e.SetSeverity(e.FindMetricByName("Visits"), s, th, 3)
+	}
+	return e
+}
+
+func TestRoundTrip(t *testing.T) {
+	e := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, e); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if back.Fingerprint() != e.Fingerprint() {
+		t.Errorf("round-trip fingerprint mismatch:\n--- wrote\n%s\n--- read\n%s", e.Fingerprint(), back.Fingerprint())
+	}
+	if back.Title != e.Title || back.Derived != e.Derived || back.Operation != e.Operation {
+		t.Errorf("doc metadata lost")
+	}
+	if len(back.Parents) != 2 || back.Parents[0] != "before" {
+		t.Errorf("parents lost: %v", back.Parents)
+	}
+	if back.Attrs["host"] != "torc" || back.Attrs["np"] != "4" {
+		t.Errorf("attrs lost: %v", back.Attrs)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	e := sample()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.cube")
+	if err := WriteFile(path, e); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if back.Fingerprint() != e.Fingerprint() {
+		t.Errorf("file round-trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.cube")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestWriteOmitsZeroRows(t *testing.T) {
+	e := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// The Visits metric has severity only at main/solver: exactly one row
+	// in its matrix.
+	if strings.Count(s, "<row") == 0 {
+		t.Fatalf("no severity rows written")
+	}
+	// Metrics without any severity (none here) produce no matrix; check
+	// a fresh metric.
+	e.NewMetric("Empty", core.Bytes, "")
+	buf.Reset()
+	if err := Write(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `metric="`+itoa(len(e.Metrics())-1)) {
+		t.Errorf("empty metric got a matrix")
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i))
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":           "not xml at all",
+		"wrong version":     `<cube version="cube-go-99"></cube>`,
+		"bad unit":          `<cube version="cube-go-1.0"><metrics><metric id="0"><name>X</name><uom>potatoes</uom></metric></metrics></cube>`,
+		"dup metric id":     `<cube version="cube-go-1.0"><metrics><metric id="0"><name>X</name><uom>sec</uom></metric><metric id="0"><name>Y</name><uom>sec</uom></metric></metrics></cube>`,
+		"site bad region":   `<cube version="cube-go-1.0"><program><csite id="0" callee="7"/></program></cube>`,
+		"cnode bad site":    `<cube version="cube-go-1.0"><program><cnode id="0" csite="3"/></program></cube>`,
+		"matrix bad metric": `<cube version="cube-go-1.0"><severity><matrix metric="9"><row cnode="0">1</row></matrix></severity></cube>`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadRowValueCountMismatch(t *testing.T) {
+	e := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a severity row: drop a value.
+	s := buf.String()
+	i := strings.Index(s, "<row")
+	j := strings.Index(s[i:], "</row>") + i
+	row := s[i:j]
+	cut := strings.LastIndex(row, " ")
+	corrupted := s[:i] + row[:cut] + s[j:]
+	if _, err := Read(strings.NewReader(corrupted)); err == nil || !strings.Contains(err.Error(), "one per thread") {
+		t.Errorf("value-count mismatch not detected: %v", err)
+	}
+}
+
+func TestReadBadValue(t *testing.T) {
+	doc := `<cube version="cube-go-1.0">
+  <doc><title>x</title></doc>
+  <metrics><metric id="0"><name>T</name><uom>sec</uom></metric></metrics>
+  <program><region id="0" name="main"/><csite id="0" callee="0"/><cnode id="0" csite="0"/></program>
+  <system><machine name="m"><node name="n"><process rank="0"><thread id="0"/></process></node></machine></system>
+  <severity><matrix metric="0"><row cnode="0">banana</row></matrix></severity>
+</cube>`
+	if _, err := Read(strings.NewReader(doc)); err == nil || !strings.Contains(err.Error(), "bad severity value") {
+		t.Errorf("bad value not detected: %v", err)
+	}
+}
+
+func TestReadRejectsInvalidExperiment(t *testing.T) {
+	// Duplicate ranks: structurally parseable, semantically invalid.
+	doc := `<cube version="cube-go-1.0">
+  <doc><title>x</title></doc>
+  <metrics><metric id="0"><name>T</name><uom>sec</uom></metric></metrics>
+  <system><machine name="m"><node name="n">
+    <process rank="0"><thread id="0"/></process>
+    <process rank="0"><thread id="0"/></process>
+  </node></machine></system>
+</cube>`
+	if _, err := Read(strings.NewReader(doc)); err == nil || !strings.Contains(err.Error(), "invalid experiment") {
+		t.Errorf("invalid experiment accepted: %v", err)
+	}
+}
+
+func TestFormatValueExact(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 123456789, 0.1, -0.125, 1e-9, math.Pi, 1e20} {
+		s := formatValue(v)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if back != v {
+			t.Errorf("formatValue(%v) = %q, parses to %v", v, s, back)
+		}
+	}
+}
+
+// Property: XML round-trips preserve random experiments exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		e := randomExperiment(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := Write(&buf, e); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return back.Fingerprint() == e.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomExperiment builds small random valid experiments (mirrors the
+// generator in core's tests; duplicated to keep test packages independent).
+func randomExperiment(r *rand.Rand) *core.Experiment {
+	e := core.New("rnd")
+	root := e.NewMetric("Time", core.Seconds, "")
+	for i := 0; i < r.Intn(3); i++ {
+		root.NewChild("m"+string(rune('a'+i)), "")
+	}
+	if r.Intn(2) == 0 {
+		e.NewMetric("Visits", core.Occurrences, "")
+	}
+	mainR := e.NewRegion("main", "app", 0, 0)
+	croot := e.NewCallRoot(e.NewCallSite("app", 0, mainR))
+	for i := 0; i < r.Intn(3); i++ {
+		reg := e.NewRegion("f"+string(rune('a'+i)), "app", i, 0)
+		croot.NewChild(e.NewCallSite("app", 10+i, reg))
+	}
+	e.Invalidate()
+	np := 1 + r.Intn(3)
+	if r.Intn(3) == 0 {
+		// Multi-threaded system with varying thread counts per rank.
+		per := make([]int, np)
+		for i := range per {
+			per[i] = 1 + r.Intn(3)
+		}
+		e.ThreadedSystem("m", 1+r.Intn(2), per)
+	} else {
+		e.SingleThreadedSystem("m", 1+r.Intn(2), np)
+	}
+	if r.Intn(3) == 0 {
+		if topo, err := core.NewCartesian("grid", np); err == nil {
+			e.SetTopology(topo)
+		}
+	}
+	for _, m := range e.Metrics() {
+		for _, c := range e.CallNodes() {
+			for _, th := range e.Threads() {
+				if r.Intn(2) == 0 {
+					e.SetSeverity(m, c, th, r.NormFloat64()*1e3)
+				}
+			}
+		}
+	}
+	return e
+}
+
+func TestDegenerateExperimentsRoundTrip(t *testing.T) {
+	// Metadata-only experiment: no system, no severities.
+	e := core.New("bare")
+	e.NewMetric("Time", core.Seconds, "")
+	mainR := e.NewRegion("main", "app", 0, 0)
+	e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	var buf bytes.Buffer
+	if err := Write(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != e.Fingerprint() {
+		t.Errorf("bare experiment round-trip mismatch")
+	}
+	// Entirely empty experiment.
+	empty := core.New("empty")
+	buf.Reset()
+	if err := Write(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Title != "empty" || len(back2.Metrics()) != 0 {
+		t.Errorf("empty experiment round-trip wrong")
+	}
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	e := sample()
+	topo, err := core.NewCartesian("grid", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTopology(topo)
+	var buf bytes.Buffer
+	if err := Write(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `<topology name="grid">`) {
+		t.Fatalf("topology not serialised:\n%s", buf.String())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Topology().Equal(topo) {
+		t.Errorf("topology round-trip mismatch")
+	}
+	// A bad coordinate value errors.
+	doc := strings.Replace(bufString(e, t), `<coord rank="0">0 0</coord>`, `<coord rank="0">x y</coord>`, 1)
+	if _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Errorf("bad topology coordinate accepted")
+	}
+	// An invalid topology (unknown rank) is rejected via validation.
+	doc2 := strings.Replace(bufString(e, t), `<coord rank="0">`, `<coord rank="77">`, 1)
+	if _, err := Read(strings.NewReader(doc2)); err == nil {
+		t.Errorf("topology with unknown rank accepted")
+	}
+}
+
+func bufString(e *core.Experiment, t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWriteToBrokenWriter(t *testing.T) {
+	e := sample()
+	if err := Write(failingWriter{}, e); err == nil {
+		t.Errorf("write to failing writer succeeded")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }

@@ -1,0 +1,38 @@
+package cubexml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the XML reader never panics and that any successfully
+// parsed document re-serialises and re-parses to the same experiment
+// (read-write-read identity).
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`<cube version="cube-go-1.0"></cube>`)
+	f.Add(`<cube version="cube-go-1.0"><metrics><metric id="0"><name>T</name><uom>sec</uom></metric></metrics></cube>`)
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, doc string) {
+		e, err := Read(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, e); err != nil {
+			t.Fatalf("parsed experiment unwritable: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round-trip unreadable: %v", err)
+		}
+		if back.Fingerprint() != e.Fingerprint() {
+			t.Fatalf("read-write-read changed the experiment")
+		}
+	})
+}

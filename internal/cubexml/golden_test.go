@@ -1,0 +1,99 @@
+package cubexml
+
+import (
+	"bytes"
+	"testing"
+
+	"cube/internal/core"
+)
+
+// TestGoldenFormat pins the exact on-disk representation of a small
+// experiment. A change to this golden document is a file-format change:
+// bump Version and keep a reader for the old format before updating it.
+func TestGoldenFormat(t *testing.T) {
+	e := core.New("golden")
+	e.Derived = true
+	e.Operation = "difference"
+	e.Parents = []string{"a", "b"}
+	e.Attrs["key"] = "value"
+	timeM := e.NewMetric("Time", core.Seconds, "total")
+	ls := timeM.NewChild("Late Sender", "")
+	mainR := e.NewRegion("main", "app.c", 1, 9)
+	recvR := e.NewRegion("MPI_Recv", "libmpi", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	recv := root.NewChild(e.NewCallSite("app.c", 5, recvR))
+	p := e.NewMachine("m").NewNode("n").NewProcess(0, "rank 0")
+	t0 := p.NewThread(0, "")
+	t1 := p.NewThread(1, "")
+	e.SetSeverity(timeM, root, t0, 1.5)
+	e.SetSeverity(ls, recv, t1, -0.25)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `<?xml version="1.0" encoding="UTF-8"?>
+<cube version="cube-go-1.0">
+  <attr key="key" value="value"></attr>
+  <doc>
+    <title>golden</title>
+    <derived>true</derived>
+    <operation>difference</operation>
+    <parents>
+      <parent>a</parent>
+      <parent>b</parent>
+    </parents>
+  </doc>
+  <metrics>
+    <metric id="0">
+      <name>Time</name>
+      <uom>sec</uom>
+      <descr>total</descr>
+      <metric id="1">
+        <name>Late Sender</name>
+        <uom>sec</uom>
+      </metric>
+    </metric>
+  </metrics>
+  <program>
+    <region id="0" name="main" mod="app.c" begin="1" end="9"></region>
+    <region id="1" name="MPI_Recv" mod="libmpi"></region>
+    <csite id="0" callee="0"></csite>
+    <csite id="1" file="app.c" line="5" callee="1"></csite>
+    <cnode id="0" csite="0">
+      <cnode id="1" csite="1"></cnode>
+    </cnode>
+  </program>
+  <system>
+    <machine name="m">
+      <node name="n">
+        <process rank="0" name="rank 0">
+          <thread id="0"></thread>
+          <thread id="1"></thread>
+        </process>
+      </node>
+    </machine>
+  </system>
+  <severity>
+    <matrix metric="0">
+      <row cnode="0">1.5 0</row>
+    </matrix>
+    <matrix metric="1">
+      <row cnode="1">0 -0.25</row>
+    </matrix>
+  </severity>
+</cube>
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("format drifted from golden document.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+
+	// And the golden document itself parses back to the same experiment.
+	back, err := Read(bytes.NewReader([]byte(golden)))
+	if err != nil {
+		t.Fatalf("golden document unreadable: %v", err)
+	}
+	if back.Fingerprint() != e.Fingerprint() {
+		t.Errorf("golden document round-trip mismatch")
+	}
+}

@@ -1,0 +1,50 @@
+package display
+
+import (
+	"testing"
+
+	"cube/internal/core"
+)
+
+// TestGoldenRender pins the full rendering of a small experiment — a
+// regression guard on the display semantics (single representation,
+// aggregation, relief, bars, selection markers).
+func TestGoldenRender(t *testing.T) {
+	e := core.New("golden")
+	time := e.NewMetric("Time", core.Seconds, "")
+	comm := time.NewChild("Comm", "")
+	mainR := e.NewRegion("main", "app", 0, 0)
+	recvR := e.NewRegion("MPI_Recv", "libmpi", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	recv := root.NewChild(e.NewCallSite("app", 7, recvR))
+	p := e.NewMachine("m").NewNode("n").NewProcess(0, "rank 0")
+	t0 := p.NewThread(0, "")
+	e.SetSeverity(time, root, t0, 3)
+	e.SetSeverity(comm, recv, t0, 1)
+
+	sel := Selection{Metric: comm, MetricCollapsed: true, CNode: root, CNodeCollapsed: true}
+	got, err := RenderString(e, sel, &Config{Mode: Percent, BarWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `CUBE: golden
+mode: percent
+legend: |####| = 100% of the metric root's total; relief [+] positive, [-] negative
+
+Metric tree
+  [+]     75.0% |###.| Time
+»   [+]     25.0% |#...| Comm
+
+Call tree (metric: Comm = 25.0%)
+» [ ]      0.0% |....| main
+    [+]     25.0% |#...| MPI_Recv
+
+System tree (call path: main)
+  [+]     25.0% |#...| machine m
+    [+]     25.0% |#...| node n
+      [+]     25.0% |#...| rank 0
+`
+	if got != want {
+		t.Errorf("render drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,91 @@
+package display
+
+import (
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+)
+
+func TestHotspotsRanking(t *testing.T) {
+	e := build() // Time@work=4/thread is the biggest severity
+	sel := Selection{Metric: e.FindMetricByName("Time"), MetricCollapsed: true}
+	spots := Hotspots(e, sel, 3)
+	if len(spots) != 3 {
+		t.Fatalf("spots = %d", len(spots))
+	}
+	if spots[0].CNode.Path() != "main/work" || spots[0].Value != 8 {
+		t.Errorf("top spot = %s %v, want main/work 8", spots[0].CNode.Path(), spots[0].Value)
+	}
+	// Descending magnitudes.
+	for i := 1; i < len(spots); i++ {
+		if abs(spots[i].Value) > abs(spots[i-1].Value) {
+			t.Errorf("ranking not descending at %d", i)
+		}
+	}
+	// Expanded metric selection restricts to the one metric.
+	selExp := Selection{Metric: e.FindMetricByName("Wait")}
+	spots = Hotspots(e, selExp, 0)
+	for _, h := range spots {
+		if h.Metric.Name != "Wait" {
+			t.Errorf("expanded selection leaked metric %s", h.Metric.Name)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestHotspotsNegativeMagnitudes(t *testing.T) {
+	e := build()
+	wait := e.FindMetricByName("Wait")
+	recv := e.FindCallNode("main/MPI_Recv")
+	for _, th := range e.Threads() {
+		e.SetSeverity(wait, recv, th, -10) // a big regression
+	}
+	sel := Selection{Metric: e.FindMetricByName("Time"), MetricCollapsed: true}
+	spots := Hotspots(e, sel, 1)
+	if spots[0].Value != -20 {
+		t.Errorf("negative severities must rank by magnitude: top = %v", spots[0].Value)
+	}
+}
+
+func TestRenderHotspots(t *testing.T) {
+	e := build()
+	sel := Selection{Metric: e.FindMetricByName("Time"), MetricCollapsed: true}
+	out, err := HotspotsString(e, sel, &Config{Mode: Percent}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "top 2 severities") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "main/work") || !strings.Contains(out, "50.00%") {
+		t.Errorf("ranking content wrong (work = 8/16 = 50%%):\n%s", out)
+	}
+	// Absolute mode.
+	outAbs, err := HotspotsString(e, sel, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outAbs, "8") {
+		t.Errorf("absolute value missing:\n%s", outAbs)
+	}
+	// Default selection and empty experiment paths.
+	if _, err := HotspotsString(e, Selection{}, nil, 1); err != nil {
+		t.Errorf("default selection: %v", err)
+	}
+	empty := core.New("e")
+	empty.NewMetric("Time", core.Seconds, "")
+	outEmpty, err := HotspotsString(empty, Selection{}, nil, 5)
+	if err != nil || !strings.Contains(outEmpty, "no non-zero severities") {
+		t.Errorf("empty case: %v %q", err, outEmpty)
+	}
+	if got := Hotspots(core.New("none"), Selection{}, 5); got != nil {
+		t.Errorf("metric-less experiment should yield nil")
+	}
+}

@@ -1,0 +1,215 @@
+package display
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cube/internal/core"
+)
+
+// Browser is an interactive text-mode session over one experiment,
+// mirroring the CUBE GUI's two user actions — selecting a node and
+// expanding/collapsing a node — plus the display modes. It reads simple
+// commands from an input stream and re-renders after every change, so it
+// works over a terminal, a pipe, or a test harness alike.
+type Browser struct {
+	exp  *core.Experiment
+	flat *core.Experiment // lazily derived flat-profile view
+	sel  Selection
+	cfg  Config
+	view *core.Experiment // exp or flat
+}
+
+// NewBrowser initialises a browser with the default selection (first
+// metric root and first call root, both collapsed).
+func NewBrowser(e *core.Experiment) (*Browser, error) {
+	if len(e.MetricRoots()) == 0 {
+		return nil, fmt.Errorf("display: experiment has no metrics")
+	}
+	b := &Browser{exp: e, view: e}
+	b.cfg.Collapsed = map[string]bool{}
+	b.sel.Metric = e.MetricRoots()[0]
+	b.sel.MetricCollapsed = true
+	if len(e.CallRoots()) > 0 {
+		b.sel.CNode = e.CallRoots()[0]
+		b.sel.CNodeCollapsed = true
+	}
+	return b, nil
+}
+
+// Run reads commands from in until EOF or "quit", writing renders and
+// diagnostics to out. Unknown commands produce a help hint but keep the
+// session alive; only I/O errors abort it.
+func (b *Browser) Run(in io.Reader, out io.Writer) error {
+	if err := Render(out, b.view, b.sel, &b.cfg); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		quit, rerender := b.execute(out, line)
+		if quit {
+			return nil
+		}
+		if rerender {
+			if err := Render(out, b.view, b.sel, &b.cfg); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// execute runs one command; it reports whether to quit and whether the
+// view changed.
+func (b *Browser) execute(out io.Writer, line string) (quit, rerender bool) {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "quit", "q", "exit":
+		return true, false
+	case "help", "h", "?":
+		fmt.Fprint(out, browserHelp)
+	case "render", "r":
+		return false, true
+	case "metric", "m":
+		name, expanded := nameArg(args)
+		if name == "" {
+			fmt.Fprintln(out, "usage: metric <name-or-path> [expanded]")
+			return false, false
+		}
+		m := b.view.FindMetric(name)
+		if m == nil {
+			m = b.view.FindMetricByName(name)
+		}
+		if m == nil {
+			fmt.Fprintf(out, "metric %q not found\n", name)
+			return false, false
+		}
+		b.sel.Metric = m
+		b.sel.MetricCollapsed = !expanded
+		return false, true
+	case "cnode", "c":
+		path, expanded := nameArg(args)
+		if path == "" {
+			fmt.Fprintln(out, "usage: cnode <call-path> [expanded]")
+			return false, false
+		}
+		cn := b.view.FindCallNode(path)
+		if cn == nil {
+			fmt.Fprintf(out, "call path %q not found\n", path)
+			return false, false
+		}
+		b.sel.CNode = cn
+		b.sel.CNodeCollapsed = !expanded
+		return false, true
+	case "toggle", "t":
+		if len(args) == 0 {
+			fmt.Fprintln(out, "usage: toggle <metric-or-call-path>")
+			return false, false
+		}
+		path := strings.Join(args, " ")
+		b.cfg.Collapsed[path] = !b.cfg.Collapsed[path]
+		return false, true
+	case "mode":
+		if len(args) == 0 {
+			fmt.Fprintf(out, "mode is %s\n", b.cfg.Mode)
+			return false, false
+		}
+		switch args[0] {
+		case "absolute":
+			b.cfg.Mode = Absolute
+		case "percent":
+			b.cfg.Mode = Percent
+		case "external":
+			if len(args) < 2 {
+				fmt.Fprintln(out, "usage: mode external <base>")
+				return false, false
+			}
+			base, err := strconv.ParseFloat(args[1], 64)
+			if err != nil {
+				fmt.Fprintf(out, "bad base: %v\n", err)
+				return false, false
+			}
+			b.cfg.Mode = External
+			b.cfg.Base = base
+		default:
+			fmt.Fprintf(out, "unknown mode %q\n", args[0])
+			return false, false
+		}
+		return false, true
+	case "flat":
+		if b.view == b.exp {
+			if b.flat == nil {
+				var err error
+				b.flat, err = core.Flatten(b.exp)
+				if err != nil {
+					fmt.Fprintf(out, "flatten: %v\n", err)
+					return false, false
+				}
+			}
+			b.switchView(b.flat)
+			fmt.Fprintln(out, "switched to flat-profile view")
+		} else {
+			b.switchView(b.exp)
+			fmt.Fprintln(out, "switched to call-tree view")
+		}
+		return false, true
+	case "hidezero":
+		b.cfg.HideZero = !b.cfg.HideZero
+		return false, true
+	case "topology", "topo":
+		if err := RenderTopology(out, b.view, b.sel, &b.cfg); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		}
+	default:
+		fmt.Fprintf(out, "unknown command %q (try help)\n", cmd)
+	}
+	return false, false
+}
+
+// nameArg joins the arguments into one name (metric names and call paths
+// may contain spaces), honouring a trailing "expanded" keyword.
+func nameArg(args []string) (name string, expanded bool) {
+	if len(args) > 0 && args[len(args)-1] == "expanded" {
+		expanded = true
+		args = args[:len(args)-1]
+	}
+	return strings.Join(args, " "), expanded
+}
+
+// switchView swaps between the call-tree and flat-profile experiments,
+// re-resolving the selection by path.
+func (b *Browser) switchView(target *core.Experiment) {
+	metricPath := b.sel.Metric.Path()
+	b.view = target
+	if m := target.FindMetric(metricPath); m != nil {
+		b.sel.Metric = m
+	} else {
+		b.sel.Metric = target.MetricRoots()[0]
+	}
+	if len(target.CallRoots()) > 0 {
+		b.sel.CNode = target.CallRoots()[0]
+		b.sel.CNodeCollapsed = true
+	} else {
+		b.sel.CNode = nil
+	}
+}
+
+const browserHelp = `commands:
+  metric <name|path> [expanded]  select a metric (collapsed aggregates its subtree)
+  cnode <path> [expanded]        select a call path
+  toggle <path>                  collapse/expand a tree node
+  mode absolute|percent|external <base>
+  flat                           switch call-tree <-> flat-profile view
+  topology                       render the selection over the process topology
+  hidezero                       toggle hiding of zero subtrees
+  render                         re-render
+  quit
+`

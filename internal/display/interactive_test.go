@@ -1,0 +1,110 @@
+package display
+
+import (
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+)
+
+func runBrowser(t *testing.T, e *core.Experiment, script string) string {
+	t.Helper()
+	b, err := NewBrowser(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := b.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out.String()
+}
+
+func TestBrowserInitialRender(t *testing.T) {
+	out := runBrowser(t, build(), "")
+	if !strings.Contains(out, "Metric tree") || !strings.Contains(out, "Call tree") {
+		t.Errorf("initial render missing:\n%s", out)
+	}
+}
+
+func TestBrowserSelectAndMode(t *testing.T) {
+	out := runBrowser(t, build(), "metric Wait\nmode percent\ncnode main/MPI_Recv\nquit\n")
+	if !strings.Contains(out, "Call tree (metric: Wait") {
+		t.Errorf("metric selection did not apply:\n%s", out)
+	}
+	if !strings.Contains(out, "mode: percent") {
+		t.Errorf("mode change did not apply")
+	}
+	if !strings.Contains(out, "System tree (call path: main/MPI_Recv)") {
+		t.Errorf("call selection did not apply")
+	}
+}
+
+func TestBrowserToggleAndFlat(t *testing.T) {
+	out := runBrowser(t, build(), "toggle Time/Comm\nflat\nflat\nquit\n")
+	if !strings.Contains(out, "switched to flat-profile view") ||
+		!strings.Contains(out, "switched to call-tree view") {
+		t.Errorf("flat toggling missing:\n%s", out)
+	}
+	// In the flat view, MPI_Recv is a root.
+	if !strings.Contains(out, "derived: flatten") {
+		t.Errorf("flat view not rendered")
+	}
+}
+
+func TestBrowserErrorsKeepSessionAlive(t *testing.T) {
+	out := runBrowser(t, build(), strings.Join([]string{
+		"metric Nope",
+		"cnode nowhere",
+		"mode sideways",
+		"mode external banana",
+		"bogus",
+		"metric",
+		"cnode",
+		"toggle",
+		"mode",
+		"topology", // no topology attached
+		"help",
+		"render",
+		"hidezero",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		`metric "Nope" not found`,
+		`call path "nowhere" not found`,
+		`unknown mode "sideways"`,
+		"bad base",
+		`unknown command "bogus"`,
+		"usage: metric",
+		"usage: cnode",
+		"usage: toggle",
+		"mode is absolute",
+		"error: display: experiment has no topology",
+		"commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestBrowserExternalMode(t *testing.T) {
+	out := runBrowser(t, build(), "mode external 32\nquit\n")
+	if !strings.Contains(out, "mode: external percent") {
+		t.Errorf("external mode missing:\n%s", out)
+	}
+}
+
+func TestBrowserTopology(t *testing.T) {
+	e := buildTopo(t)
+	out := runBrowser(t, e, "topology\nquit\n")
+	if !strings.Contains(out, `Topology "grid"`) {
+		t.Errorf("topology render missing:\n%s", out)
+	}
+}
+
+func TestBrowserNoMetrics(t *testing.T) {
+	if _, err := NewBrowser(core.New("empty")); err == nil {
+		t.Errorf("metric-less experiment accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package display
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cube/internal/core"
+)
+
+// SideBySide renders two experiments' metric trees in adjacent columns over
+// their integrated metadata — the "traditional practice of comparing
+// different experiments" the paper's introduction describes (multiple
+// single-experiment views side by side). It exists mostly as a foil: the
+// difference experiment shows the same information as one differentiated,
+// browsable structure. The third column shows B−A to make the contrast
+// explicit.
+func SideBySide(w io.Writer, a, b *core.Experiment, opts *core.Options) error {
+	// Integrate by merging metadata through a zero difference: the
+	// derived experiment's metric tree is the union of both trees.
+	zeroA, err := core.Scale(a, 0, opts)
+	if err != nil {
+		return err
+	}
+	union, err := core.Sum(opts, zeroA, scaleZero(b, opts))
+	if err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w, "%-34s %14s %14s %14s\n", "metric (exclusive totals)", clip(a.Title, 14), clip(b.Title, 14), "B-A"); err != nil {
+		return err
+	}
+	var render func(m *core.Metric, depth int) error
+	render = func(m *core.Metric, depth int) error {
+		va := totalByPath(a, m.Path())
+		vb := totalByPath(b, m.Path())
+		label := strings.Repeat("  ", depth) + m.Name
+		if _, err := fmt.Fprintf(w, "%-34s %14.6g %14.6g %+14.6g\n", clip(label, 34), va, vb, vb-va); err != nil {
+			return err
+		}
+		for _, c := range m.Children() {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range union.MetricRoots() {
+		if err := render(root, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func scaleZero(x *core.Experiment, opts *core.Options) *core.Experiment {
+	z, err := core.Scale(x, 0, opts)
+	if err != nil {
+		// Scale of a valid experiment cannot fail; keep the signature
+		// simple for the single internal caller.
+		panic(err)
+	}
+	return z
+}
+
+// totalByPath returns the exclusive total of the metric with the given
+// path, or zero when the experiment lacks it.
+func totalByPath(e *core.Experiment, path string) float64 {
+	if m := e.FindMetric(path); m != nil {
+		return e.MetricTotal(m)
+	}
+	return 0
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+// SideBySideString renders to a string.
+func SideBySideString(a, b *core.Experiment, opts *core.Options) (string, error) {
+	var sb strings.Builder
+	if err := SideBySide(&sb, a, b, opts); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

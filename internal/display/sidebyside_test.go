@@ -1,0 +1,69 @@
+package display
+
+import (
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+)
+
+func TestSideBySide(t *testing.T) {
+	a := build()
+	b := build()
+	b.Title = "after"
+	a.Title = "before"
+	// Perturb b and give it a metric a lacks.
+	wait := b.FindMetricByName("Wait")
+	recv := b.FindCallNode("main/MPI_Recv")
+	for _, th := range b.Threads() {
+		b.SetSeverity(wait, recv, th, 5)
+	}
+	b.FindMetricByName("Time").NewChild("OnlyB", "")
+	b.Invalidate()
+
+	out, err := SideBySideString(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + Time, Comm, Wait, OnlyB
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "before") || !strings.Contains(lines[0], "after") || !strings.Contains(lines[0], "B-A") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	// Wait row: a=2, b=10, delta +8.
+	var waitLine string
+	for _, l := range lines {
+		if strings.Contains(l, "Wait") {
+			waitLine = l
+		}
+	}
+	for _, want := range []string{"2", "10", "+8"} {
+		if !strings.Contains(waitLine, want) {
+			t.Errorf("wait row lacks %q: %q", want, waitLine)
+		}
+	}
+	// The union includes b-only metrics, with zero in a's column.
+	if !strings.Contains(out, "OnlyB") {
+		t.Errorf("union metric missing:\n%s", out)
+	}
+}
+
+func TestSideBySideDisjoint(t *testing.T) {
+	a := build()
+	b := core.New("counters")
+	fp := b.NewMetric("PAPI_FP_INS", core.Occurrences, "")
+	mainR := b.NewRegion("main", "app", 0, 0)
+	root := b.NewCallRoot(b.NewCallSite("", 0, mainR))
+	for _, th := range b.SingleThreadedSystem("m", 1, 2) {
+		b.SetSeverity(fp, root, th, 500)
+	}
+	out, err := SideBySideString(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PAPI_FP_INS") || !strings.Contains(out, "Time") {
+		t.Errorf("disjoint columns missing:\n%s", out)
+	}
+}

@@ -1,0 +1,134 @@
+package display
+
+import (
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+)
+
+func buildTopo(t *testing.T) *core.Experiment {
+	t.Helper()
+	e := core.New("topo")
+	time := e.NewMetric("Time", core.Seconds, "")
+	mainR := e.NewRegion("main", "app", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	threads := e.SingleThreadedSystem("m", 1, 4)
+	for i, th := range threads {
+		e.SetSeverity(time, root, th, float64(i))
+	}
+	topo, err := core.NewCartesian("grid", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTopology(topo)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRenderTopology2D(t *testing.T) {
+	e := buildTopo(t)
+	sel := Selection{Metric: e.MetricRoots()[0], MetricCollapsed: true,
+		CNode: e.CallRoots()[0], CNodeCollapsed: true}
+	out, err := RenderTopologyString(e, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `Topology "grid" [2 2]`) {
+		t.Errorf("header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 grid rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Rank 3 (value 3 = max) renders intensity 9 in row 1 col 1;
+	// rank 0 (value 0) renders 0.
+	if !strings.Contains(lines[2], "+9") {
+		t.Errorf("max cell missing: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], " 0") {
+		t.Errorf("zero cell missing: %q", lines[1])
+	}
+}
+
+func TestRenderTopologyNegative(t *testing.T) {
+	e := buildTopo(t)
+	time := e.MetricRoots()[0]
+	root := e.CallRoots()[0]
+	e.SetSeverity(time, root, e.Threads()[1], -3)
+	sel := Selection{Metric: time, MetricCollapsed: true, CNode: root, CNodeCollapsed: true}
+	out, err := RenderTopologyString(e, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-9") {
+		t.Errorf("negative relief missing:\n%s", out)
+	}
+}
+
+func TestRenderTopology1D(t *testing.T) {
+	e := buildTopo(t)
+	topo, _ := core.NewCartesian("line", 4)
+	e.SetTopology(topo)
+	sel := Selection{Metric: e.MetricRoots()[0], MetricCollapsed: true,
+		CNode: e.CallRoots()[0], CNodeCollapsed: true}
+	out, err := RenderTopologyString(e, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("1D topology should render one row:\n%s", out)
+	}
+}
+
+func TestRenderTopology3D(t *testing.T) {
+	e := core.New("t3")
+	time := e.NewMetric("Time", core.Seconds, "")
+	mainR := e.NewRegion("main", "app", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	threads := e.SingleThreadedSystem("m", 1, 8)
+	for i, th := range threads {
+		e.SetSeverity(time, root, th, float64(i))
+	}
+	topo, _ := core.NewCartesian("cube", 2, 2, 2)
+	e.SetTopology(topo)
+	sel := Selection{Metric: time, MetricCollapsed: true, CNode: root, CNodeCollapsed: true}
+	out, err := RenderTopologyString(e, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "plane 0:") || !strings.Contains(out, "plane 1:") {
+		t.Errorf("3D planes missing:\n%s", out)
+	}
+}
+
+func TestRenderTopologyErrors(t *testing.T) {
+	e := core.New("none")
+	e.NewMetric("Time", core.Seconds, "")
+	if _, err := RenderTopologyString(e, Selection{}, nil); err == nil {
+		t.Errorf("missing topology accepted")
+	}
+	e2 := buildTopo(t)
+	topo := &core.Topology{Name: "4d", Dims: []int{1, 1, 1, 1}, Coords: map[int][]int{}}
+	e2.SetTopology(topo)
+	if _, err := RenderTopologyString(e2, Selection{}, nil); err == nil {
+		t.Errorf("4D topology accepted by renderer")
+	}
+}
+
+func TestRenderTopologyUnmappedCell(t *testing.T) {
+	e := buildTopo(t)
+	delete(e.Topology().Coords, 2)
+	sel := Selection{Metric: e.MetricRoots()[0], MetricCollapsed: true,
+		CNode: e.CallRoots()[0], CNodeCollapsed: true}
+	out, err := RenderTopologyString(e, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "··") {
+		t.Errorf("unmapped cell marker missing:\n%s", out)
+	}
+}

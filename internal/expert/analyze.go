@@ -1,0 +1,582 @@
+package expert
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cube/internal/core"
+	"cube/internal/trace"
+)
+
+// Options configure an analysis run.
+type Options struct {
+	// Machine and Nodes describe the system the trace was recorded on
+	// (the trace itself carries only ranks and thread ids). Defaults:
+	// "cluster", 1.
+	Machine string
+	Nodes   int
+	// Title overrides the experiment title; default "<program> (expert)".
+	Title string
+	// Topology optionally attaches a Cartesian process topology to the
+	// produced experiment (as instrumented MPI topology routines would).
+	Topology *core.Topology
+}
+
+func (o *Options) orDefault(tr *trace.Trace) Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Machine == "" {
+		out.Machine = "cluster"
+	}
+	if out.Nodes <= 0 {
+		out.Nodes = 1
+	}
+	if out.Title == "" {
+		out.Title = tr.Program + " (expert)"
+	}
+	return out
+}
+
+type chanKey struct {
+	src, dst, tag int32
+}
+
+// matchInfo describes a matched message: the send posting time, whether the
+// late-sender waiting was caused by messages arriving in the wrong order,
+// and — for rendezvous-protocol messages — when the receiver posted its
+// receive (the sender blocks until then: Late Receiver).
+type matchInfo struct {
+	sendTime   float64
+	bytes      int64
+	wrongOrder bool
+	rendezvous bool
+	recvEnter  float64
+}
+
+// collRec is one location's participation in a collective instance.
+type collRec struct {
+	rank  int
+	tid   int
+	enter float64
+	exit  float64
+	cnode *core.CallNode
+	root  int32
+}
+
+type collInstKey struct {
+	kind trace.CollKind
+	seq  int32
+}
+
+// ompKey identifies an OpenMP join-barrier instance: they are local to one
+// process.
+type ompKey struct {
+	rank int
+	seq  int32
+}
+
+type frame struct {
+	cn       *core.CallNode
+	region   int32
+	enter    float64
+	childDur float64
+	enterCnt []int64
+	childCnt []int64
+	recv     *matchInfo
+	send     *matchInfo
+	serial   bool // frame content runs outside any parallel region
+}
+
+type analyzer struct {
+	tr       *trace.Trace
+	e        *core.Experiment
+	tm       *timeMetrics
+	cntM     []*core.Metric
+	threads  [][]*core.Thread
+	roots    map[int32]*core.CallNode
+	children map[*core.CallNode]map[int32]*core.CallNode
+	regions  map[int32]*core.Region
+	matches  map[chanKey][]matchInfo
+	seen     map[chanKey]int
+	seenSend map[chanKey]int
+	colls    map[collInstKey][]collRec
+	omps     map[ompKey][]collRec
+	// ompInstances records, per rank and parallel-region id, the call
+	// nodes of the region's instances in master-thread execution order,
+	// so worker-thread lanes can attach to the right call path.
+	ompInstances map[int]map[int32][]*core.CallNode
+}
+
+// Analyze transforms an event trace into a CUBE experiment: it builds the
+// global call tree from the enter/exit nesting, accumulates visit counts,
+// communication volume, and (when the trace carries them) per-record
+// hardware counters, and searches the trace for inefficiency patterns whose
+// severities populate EXPERT's specialization hierarchy — including the
+// OpenMP patterns (join-barrier waiting and idle threads) for hybrid
+// multi-threaded traces.
+func Analyze(tr *trace.Trace, opts *Options) (*core.Experiment, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("expert: %w", err)
+	}
+	o := opts.orDefault(tr)
+	a := &analyzer{
+		tr:           tr,
+		e:            core.New(o.Title),
+		roots:        map[int32]*core.CallNode{},
+		children:     map[*core.CallNode]map[int32]*core.CallNode{},
+		regions:      map[int32]*core.Region{},
+		seen:         map[chanKey]int{},
+		seenSend:     map[chanKey]int{},
+		colls:        map[collInstKey][]collRec{},
+		omps:         map[ompKey][]collRec{},
+		ompInstances: map[int]map[int32][]*core.CallNode{},
+	}
+	a.tm = buildMetrics(a.e)
+	for _, c := range tr.Counters {
+		a.cntM = append(a.cntM, a.e.NewMetric(c, core.Occurrences, "Hardware counter accumulated per call path"))
+	}
+	a.threads = a.e.ThreadedSystem(o.Machine, o.Nodes, tr.ThreadsPerRank())
+	if o.Topology != nil {
+		a.e.SetTopology(o.Topology.Clone())
+	}
+	a.e.Attrs["expert.program"] = tr.Program
+	a.e.Attrs["expert.ranks"] = fmt.Sprintf("%d", tr.NumRanks)
+
+	if err := a.matchMessages(); err != nil {
+		return nil, err
+	}
+	if err := a.replay(); err != nil {
+		return nil, err
+	}
+	if err := a.collectivePatterns(); err != nil {
+		return nil, err
+	}
+	a.ompBarrierPattern()
+	if err := a.e.Validate(); err != nil {
+		return nil, fmt.Errorf("expert: produced invalid experiment: %w", err)
+	}
+	return a.e, nil
+}
+
+// matchMessages pairs the k-th receive on every (src, dst, tag) channel with
+// the k-th send (MPI message-matching order) and flags late-sender waiting
+// caused by wrong-order message consumption: a receive whose matched send
+// was posted after another still-pending send to the same destination.
+func (a *analyzer) matchMessages() error {
+	type pair struct {
+		sendTime float64
+		recvTime float64
+		ch       chanKey
+		idx      int
+	}
+	sends := map[chanKey][]trace.Event{}
+	recvCount := map[chanKey]int{}
+	a.matches = map[chanKey][]matchInfo{}
+	perDst := map[int32][]pair{}
+	// lastEnter tracks each rank's innermost region entry on the master
+	// thread; a Recv record always follows the Enter of its MPI_Recv, so
+	// this is the receive posting time used by Late-Receiver analysis.
+	lastEnter := map[int32]float64{}
+	for i := range a.tr.Events {
+		ev := &a.tr.Events[i]
+		switch ev.Kind {
+		case trace.Enter:
+			if ev.Thread == 0 {
+				lastEnter[ev.Rank] = ev.Time
+			}
+		case trace.Send:
+			k := chanKey{src: ev.Rank, dst: ev.Partner, tag: ev.Tag}
+			sends[k] = append(sends[k], *ev)
+		case trace.Recv:
+			k := chanKey{src: ev.Partner, dst: ev.Rank, tag: ev.Tag}
+			idx := recvCount[k]
+			recvCount[k]++
+			if idx >= len(sends[k]) {
+				// The trace is time-sorted, so the matching send of any
+				// completed receive must precede it.
+				return fmt.Errorf("expert: receive %d on channel %d->%d tag %d has no matching send",
+					idx, k.src, k.dst, k.tag)
+			}
+			s := sends[k][idx]
+			a.matches[k] = append(a.matches[k], matchInfo{
+				sendTime:   s.Time,
+				bytes:      s.Bytes,
+				rendezvous: s.Root == 1,
+				recvEnter:  lastEnter[ev.Rank],
+			})
+			perDst[ev.Rank] = append(perDst[ev.Rank], pair{sendTime: s.Time, recvTime: ev.Time, ch: k, idx: idx})
+		}
+	}
+	// Wrong-order detection per destination: the waiting for a matched
+	// send S is wrong-order-induced when some send S' to the same
+	// destination was posted before S but consumed after this receive.
+	for _, pairs := range perDst {
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].sendTime < pairs[j].sendTime })
+		maxRecvSoFar := -1.0
+		for _, p := range pairs {
+			if maxRecvSoFar > p.recvTime {
+				a.matches[p.ch][p.idx].wrongOrder = true
+			}
+			if p.recvTime > maxRecvSoFar {
+				maxRecvSoFar = p.recvTime
+			}
+		}
+	}
+	return nil
+}
+
+// regionFor interns a trace region in the experiment.
+func (a *analyzer) regionFor(id int32) *core.Region {
+	if r, ok := a.regions[id]; ok {
+		return r
+	}
+	ri := a.tr.Regions[id]
+	r := a.e.NewRegion(ri.Name, ri.Module, ri.Line, 0)
+	a.regions[id] = r
+	return r
+}
+
+// callNodeFor resolves (or creates) the call node for entering region id
+// from parent (nil for a root).
+func (a *analyzer) callNodeFor(parent *core.CallNode, id int32) *core.CallNode {
+	if parent == nil {
+		if cn, ok := a.roots[id]; ok {
+			return cn
+		}
+		r := a.regionFor(id)
+		site := a.e.NewCallSite(r.Module, a.tr.Regions[id].Line, r)
+		cn := a.e.NewCallRoot(site)
+		a.roots[id] = cn
+		return cn
+	}
+	kids := a.children[parent]
+	if kids == nil {
+		kids = map[int32]*core.CallNode{}
+		a.children[parent] = kids
+	}
+	if cn, ok := kids[id]; ok {
+		return cn
+	}
+	r := a.regionFor(id)
+	site := a.e.NewCallSite(parent.Callee().Module, a.tr.Regions[id].Line, r)
+	cn := parent.NewChild(site)
+	a.e.Invalidate()
+	kids[id] = cn
+	return cn
+}
+
+func isOMPParallel(name string) bool {
+	return trace.IsOMPParallel(name)
+}
+
+func (a *analyzer) replay() error {
+	perLoc := a.tr.PerLocation()
+	for rank, lanes := range perLoc {
+		for tid, idx := range lanes {
+			var err error
+			if tid == 0 {
+				err = a.replayMaster(rank, idx)
+			} else {
+				err = a.replayWorker(rank, tid, idx)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// replayMaster processes a rank's thread-0 lane: the full application
+// control flow including MPI operations and the master's share of parallel
+// regions.
+func (a *analyzer) replayMaster(rank int, idx []int) error {
+	th := a.threads[rank][0]
+	workers := a.threads[rank][1:]
+	var stack []frame
+	ompDepth := 0
+	for _, i := range idx {
+		ev := &a.tr.Events[i]
+		switch ev.Kind {
+		case trace.Enter:
+			var parent *core.CallNode
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1].cn
+			}
+			cn := a.callNodeFor(parent, ev.Region)
+			name := a.tr.RegionName(ev.Region)
+			f := frame{cn: cn, region: ev.Region, enter: ev.Time, enterCnt: ev.Counters,
+				serial: ompDepth == 0 && !isOMPParallel(name)}
+			if isOMPParallel(name) {
+				byRegion := a.ompInstances[rank]
+				if byRegion == nil {
+					byRegion = map[int32][]*core.CallNode{}
+					a.ompInstances[rank] = byRegion
+				}
+				byRegion[ev.Region] = append(byRegion[ev.Region], cn)
+				ompDepth++
+			}
+			if len(a.cntM) > 0 {
+				f.childCnt = make([]int64, len(a.cntM))
+			}
+			stack = append(stack, f)
+			a.e.AddSeverity(a.tm.visits, cn, th, 1)
+		case trace.Send:
+			if len(stack) == 0 {
+				return fmt.Errorf("expert: rank %d send outside any region", rank)
+			}
+			top := &stack[len(stack)-1]
+			a.e.AddSeverity(a.tm.bSent, top.cn, th, float64(ev.Bytes))
+			k := chanKey{src: ev.Rank, dst: ev.Partner, tag: ev.Tag}
+			if idx := a.seenSend[k]; idx < len(a.matches[k]) {
+				mi := a.matches[k][idx]
+				top.send = &mi
+			}
+			a.seenSend[k]++
+		case trace.Recv:
+			if len(stack) == 0 {
+				return fmt.Errorf("expert: rank %d receive outside any region", rank)
+			}
+			top := &stack[len(stack)-1]
+			a.e.AddSeverity(a.tm.bReceived, top.cn, th, float64(ev.Bytes))
+			k := chanKey{src: ev.Partner, dst: ev.Rank, tag: ev.Tag}
+			mi := a.matches[k][a.seen[k]]
+			a.seen[k]++
+			top.recv = &mi
+		case trace.Exit:
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			name := a.tr.RegionName(ev.Region)
+			if isOMPParallel(name) {
+				ompDepth--
+			}
+			dur := ev.Time - f.enter
+			excl := dur - f.childDur
+			if len(stack) > 0 {
+				stack[len(stack)-1].childDur += dur
+			}
+			// Per-record hardware counters: exclusive deltas.
+			if len(a.cntM) > 0 && len(ev.Counters) == len(a.cntM) && len(f.enterCnt) == len(a.cntM) {
+				for ci := range a.cntM {
+					total := ev.Counters[ci] - f.enterCnt[ci]
+					a.e.AddSeverity(a.cntM[ci], f.cn, th, float64(total-f.childCnt[ci]))
+					if len(stack) > 0 && stack[len(stack)-1].childCnt != nil {
+						stack[len(stack)-1].childCnt[ci] += total
+					}
+				}
+			}
+			// Idle threads: while the master executes serial code, the
+			// process's worker threads are idle.
+			if f.serial && len(workers) > 0 && excl > 0 {
+				for _, w := range workers {
+					a.e.AddSeverity(a.tm.idle, f.cn, w, excl)
+				}
+			}
+			// Time attribution.
+			switch {
+			case ev.Coll == trace.CollOMPBarrier:
+				a.omps[ompKey{rank, ev.CollSeq}] = append(a.omps[ompKey{rank, ev.CollSeq}],
+					collRec{rank: rank, tid: 0, enter: f.enter, exit: ev.Time, cnode: f.cn})
+			case ev.Coll != trace.CollNone:
+				key := collInstKey{ev.Coll, ev.CollSeq}
+				a.colls[key] = append(a.colls[key],
+					collRec{rank: rank, tid: 0, enter: f.enter, exit: ev.Time, cnode: f.cn, root: ev.Root})
+			case f.recv != nil:
+				ls := f.recv.sendTime
+				if ls > ev.Time {
+					ls = ev.Time
+				}
+				ls -= f.enter
+				if ls < 0 {
+					ls = 0
+				}
+				if f.recv.wrongOrder {
+					a.e.AddSeverity(a.tm.wrongOrder, f.cn, th, ls)
+				} else if ls > 0 {
+					a.e.AddSeverity(a.tm.lateSender, f.cn, th, ls)
+				}
+				a.e.AddSeverity(a.tm.p2p, f.cn, th, excl-ls)
+			case f.send != nil && f.send.rendezvous:
+				// Rendezvous send: the sender blocked until the receiver
+				// posted its receive — Late Receiver waiting.
+				lr := f.send.recvEnter
+				if lr > ev.Time {
+					lr = ev.Time
+				}
+				lr -= f.enter
+				if lr < 0 {
+					lr = 0
+				}
+				a.e.AddSeverity(a.tm.lateReceiver, f.cn, th, lr)
+				a.e.AddSeverity(a.tm.p2p, f.cn, th, excl-lr)
+			case name == "MPI_Send":
+				a.e.AddSeverity(a.tm.p2p, f.cn, th, excl)
+			case strings.HasPrefix(name, "MPI_"):
+				a.e.AddSeverity(a.tm.mpi, f.cn, th, excl)
+			default:
+				// User code and the master's work inside parallel
+				// regions.
+				a.e.AddSeverity(a.tm.execution, f.cn, th, excl)
+			}
+		}
+	}
+	return nil
+}
+
+// replayWorker processes a worker-thread lane: sequences of parallel-region
+// instances, each attached to the call path the master opened the region
+// under (matched by per-region instance order).
+func (a *analyzer) replayWorker(rank, tid int, idx []int) error {
+	if tid >= len(a.threads[rank]) {
+		return fmt.Errorf("expert: rank %d thread %d exceeds system size", rank, tid)
+	}
+	th := a.threads[rank][tid]
+	instSeen := map[int32]int{}
+	var stack []frame
+	for _, i := range idx {
+		ev := &a.tr.Events[i]
+		switch ev.Kind {
+		case trace.Enter:
+			var cn *core.CallNode
+			if len(stack) == 0 {
+				name := a.tr.RegionName(ev.Region)
+				if !isOMPParallel(name) {
+					return fmt.Errorf("expert: rank %d thread %d enters %q outside a parallel region",
+						rank, tid, name)
+				}
+				insts := a.ompInstances[rank][ev.Region]
+				k := instSeen[ev.Region]
+				instSeen[ev.Region]++
+				if k >= len(insts) {
+					return fmt.Errorf("expert: rank %d thread %d has more instances of %q than the master",
+						rank, tid, name)
+				}
+				cn = insts[k]
+			} else {
+				cn = a.callNodeFor(stack[len(stack)-1].cn, ev.Region)
+			}
+			stack = append(stack, frame{cn: cn, region: ev.Region, enter: ev.Time})
+			a.e.AddSeverity(a.tm.visits, cn, th, 1)
+		case trace.Exit:
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			dur := ev.Time - f.enter
+			excl := dur - f.childDur
+			if len(stack) > 0 {
+				stack[len(stack)-1].childDur += dur
+			}
+			if ev.Coll == trace.CollOMPBarrier {
+				a.omps[ompKey{rank, ev.CollSeq}] = append(a.omps[ompKey{rank, ev.CollSeq}],
+					collRec{rank: rank, tid: tid, enter: f.enter, exit: ev.Time, cnode: f.cn})
+			} else {
+				a.e.AddSeverity(a.tm.execution, f.cn, th, excl)
+			}
+		default:
+			return fmt.Errorf("expert: rank %d thread %d has a %v record (MPI on worker threads is not supported)",
+				rank, tid, ev.Kind)
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("expert: rank %d thread %d lane ends inside a region", rank, tid)
+	}
+	return nil
+}
+
+// collectivePatterns distributes the duration of every MPI collective
+// instance over the pattern metrics: waiting time before the last
+// participant arrives (Wait at Barrier / Wait at N x N / Late Broadcast /
+// Early Reduce), the collective execution itself, and — for barriers — the
+// completion time after the first process has left.
+func (a *analyzer) collectivePatterns() error {
+	for key, recs := range a.colls {
+		if len(recs) != a.tr.NumRanks {
+			return fmt.Errorf("expert: collective %v instance %d has %d participants, want %d",
+				key.kind, key.seq, len(recs), a.tr.NumRanks)
+		}
+		maxEnter, minExit := recs[0].enter, recs[0].exit
+		var rootEnter float64
+		for _, r := range recs {
+			if r.enter > maxEnter {
+				maxEnter = r.enter
+			}
+			if r.exit < minExit {
+				minExit = r.exit
+			}
+			if int32(r.rank) == r.root {
+				rootEnter = r.enter
+			}
+		}
+		for _, r := range recs {
+			th := a.threads[r.rank][0]
+			dur := r.exit - r.enter
+			switch key.kind {
+			case trace.CollBarrier:
+				wait := maxEnter - r.enter
+				compl := r.exit - minExit
+				if compl < 0 {
+					compl = 0
+				}
+				middle := dur - wait - compl
+				if middle < 0 {
+					middle = 0
+				}
+				a.e.AddSeverity(a.tm.waitBarrier, r.cnode, th, wait)
+				a.e.AddSeverity(a.tm.barrierCompl, r.cnode, th, compl)
+				a.e.AddSeverity(a.tm.sync, r.cnode, th, middle)
+			case trace.CollAllToAll, trace.CollAllReduce, trace.CollAllGather:
+				wait := maxEnter - r.enter
+				a.e.AddSeverity(a.tm.waitNxN, r.cnode, th, wait)
+				a.e.AddSeverity(a.tm.coll, r.cnode, th, dur-wait)
+			case trace.CollBcast:
+				var wait float64
+				if int32(r.rank) != r.root && rootEnter > r.enter {
+					wait = rootEnter - r.enter
+					if wait > dur {
+						wait = dur
+					}
+				}
+				a.e.AddSeverity(a.tm.lateBcast, r.cnode, th, wait)
+				a.e.AddSeverity(a.tm.coll, r.cnode, th, dur-wait)
+			case trace.CollReduce:
+				var wait float64
+				if int32(r.rank) == r.root && maxEnter > r.enter {
+					wait = maxEnter - r.enter
+					if wait > dur {
+						wait = dur
+					}
+				}
+				a.e.AddSeverity(a.tm.earlyReduce, r.cnode, th, wait)
+				a.e.AddSeverity(a.tm.coll, r.cnode, th, dur-wait)
+			default:
+				a.e.AddSeverity(a.tm.coll, r.cnode, th, dur)
+			}
+		}
+	}
+	return nil
+}
+
+// ompBarrierPattern distributes every join-barrier instance: each thread's
+// waiting until the last thread finishes its share of the parallel region
+// becomes Wait-at-OpenMP-Barrier; any remainder is OpenMP runtime time.
+func (a *analyzer) ompBarrierPattern() {
+	for key, recs := range a.omps {
+		maxEnter := recs[0].enter
+		for _, r := range recs {
+			if r.enter > maxEnter {
+				maxEnter = r.enter
+			}
+		}
+		for _, r := range recs {
+			th := a.threads[key.rank][r.tid]
+			wait := maxEnter - r.enter
+			if wait < 0 {
+				wait = 0
+			}
+			a.e.AddSeverity(a.tm.ompBarrier, r.cnode, th, wait)
+			a.e.AddSeverity(a.tm.omp, r.cnode, th, (r.exit-r.enter)-wait)
+		}
+	}
+}

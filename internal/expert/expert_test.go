@@ -1,0 +1,489 @@
+package expert
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cube/internal/apps"
+	"cube/internal/core"
+	"cube/internal/trace"
+)
+
+const eps = 1e-12
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+// tb is a small helper for building hand-crafted traces.
+type tb struct {
+	tr *trace.Trace
+}
+
+func newTB(np int) *tb {
+	return &tb{tr: trace.New("hand", np)}
+}
+
+func (b *tb) enter(rank int, t float64, region string) {
+	id := b.tr.DefineRegion(region, modOf(region), 0)
+	b.tr.Append(trace.Event{Kind: trace.Enter, Time: t, Rank: int32(rank), Region: id, Partner: trace.NoPartner})
+}
+
+func (b *tb) exit(rank int, t float64, region string) {
+	id := b.tr.DefineRegion(region, modOf(region), 0)
+	b.tr.Append(trace.Event{Kind: trace.Exit, Time: t, Rank: int32(rank), Region: id, Partner: trace.NoPartner})
+}
+
+func (b *tb) collExit(rank int, t float64, region string, kind trace.CollKind, seq, root int, bytes int64) {
+	id := b.tr.DefineRegion(region, modOf(region), 0)
+	b.tr.Append(trace.Event{Kind: trace.Exit, Time: t, Rank: int32(rank), Region: id, Partner: trace.NoPartner,
+		Coll: kind, CollSeq: int32(seq), Root: int32(root), Bytes: bytes})
+}
+
+func (b *tb) send(rank int, t float64, dst, tag int, bytes int64) {
+	b.tr.Append(trace.Event{Kind: trace.Send, Time: t, Rank: int32(rank), Region: -1,
+		Partner: int32(dst), Tag: int32(tag), Bytes: bytes})
+}
+
+func (b *tb) recv(rank int, t float64, src, tag int, bytes int64) {
+	b.tr.Append(trace.Event{Kind: trace.Recv, Time: t, Rank: int32(rank), Region: -1,
+		Partner: int32(src), Tag: int32(tag), Bytes: bytes})
+}
+
+func modOf(region string) string {
+	if strings.HasPrefix(region, "MPI_") {
+		return "libmpi"
+	}
+	return "app"
+}
+
+func (b *tb) analyze(t *testing.T) *core.Experiment {
+	t.Helper()
+	b.tr.Sort()
+	e, err := Analyze(b.tr, nil)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return e
+}
+
+func metricAt(e *core.Experiment, metric, call string, rank int) float64 {
+	m := e.FindMetricByName(metric)
+	c := e.FindCallNode(call)
+	th := e.FindThread(rank, 0)
+	if m == nil || c == nil || th == nil {
+		return math.NaN()
+	}
+	return e.Severity(m, c, th)
+}
+
+func TestExecutionTimeExclusive(t *testing.T) {
+	b := newTB(1)
+	b.enter(0, 0.0, "main")
+	b.enter(0, 1.0, "solver")
+	b.exit(0, 4.0, "solver")
+	b.exit(0, 10.0, "main")
+	e := b.analyze(t)
+
+	// main exclusive: 10 - 3 = 7; solver: 3.
+	if got := metricAt(e, MetricExecution, "main", 0); !approx(got, 7) {
+		t.Errorf("main execution = %v, want 7", got)
+	}
+	if got := metricAt(e, MetricExecution, "main/solver", 0); !approx(got, 3) {
+		t.Errorf("solver execution = %v, want 3", got)
+	}
+	// Visits.
+	if got := metricAt(e, MetricVisits, "main/solver", 0); got != 1 {
+		t.Errorf("solver visits = %v", got)
+	}
+	// Inclusive time over the whole tree equals wall time.
+	total := e.MetricInclusive(e.FindMetricByName(MetricTime))
+	if !approx(total, 10) {
+		t.Errorf("total time = %v, want 10", total)
+	}
+}
+
+func TestCallTreeSharedAcrossRanks(t *testing.T) {
+	b := newTB(2)
+	for r := 0; r < 2; r++ {
+		b.enter(r, 0, "main")
+		b.enter(r, 1, "work")
+		b.exit(r, 2, "work")
+		b.exit(r, 3, "main")
+	}
+	e := b.analyze(t)
+	if len(e.CallRoots()) != 1 {
+		t.Fatalf("ranks with identical structure must share one call tree")
+	}
+	if got := e.MetricValue(e.FindMetricByName(MetricExecution), e.FindCallNode("main/work")); !approx(got, 2) {
+		t.Errorf("work total = %v, want 2", got)
+	}
+}
+
+func TestLateSenderPattern(t *testing.T) {
+	b := newTB(2)
+	// Rank 1 computes until t=5, then sends. Rank 0 waits in MPI_Recv
+	// from t=1; message arrives at t=6.
+	b.enter(0, 0, "main")
+	b.enter(0, 1, "MPI_Recv")
+	b.recv(0, 6, 1, 7, 4096)
+	b.exit(0, 6, "MPI_Recv")
+	b.exit(0, 8, "main")
+
+	b.enter(1, 0, "main")
+	b.enter(1, 5, "MPI_Send")
+	b.send(1, 5, 0, 7, 4096)
+	b.exit(1, 5.1, "MPI_Send")
+	b.exit(1, 8, "main")
+	e := b.analyze(t)
+
+	// Late sender = send start (5) - recv enter (1) = 4; remaining
+	// 6-1-4 = 1 is plain P2P.
+	if got := metricAt(e, MetricLateSender, "main/MPI_Recv", 0); !approx(got, 4) {
+		t.Errorf("late sender = %v, want 4", got)
+	}
+	if got := metricAt(e, MetricP2P, "main/MPI_Recv", 0); !approx(got, 1) {
+		t.Errorf("recv p2p remainder = %v, want 1", got)
+	}
+	// Send side accounted as P2P.
+	if got := metricAt(e, MetricP2P, "main/MPI_Send", 1); !approx(got, 0.1) {
+		t.Errorf("send p2p = %v, want 0.1", got)
+	}
+	// Volume metrics.
+	if got := metricAt(e, MetricBytesSent, "main/MPI_Send", 1); got != 4096 {
+		t.Errorf("bytes sent = %v", got)
+	}
+	if got := metricAt(e, MetricBytesRecv, "main/MPI_Recv", 0); got != 4096 {
+		t.Errorf("bytes received = %v", got)
+	}
+}
+
+func TestNoLateSenderWhenSendFirst(t *testing.T) {
+	b := newTB(2)
+	b.enter(0, 0, "main")
+	b.enter(0, 0.1, "MPI_Send")
+	b.send(0, 0.1, 1, 1, 100)
+	b.exit(0, 0.2, "MPI_Send")
+	b.exit(0, 0.3, "main")
+
+	b.enter(1, 0, "main")
+	b.enter(1, 5, "MPI_Recv") // long after the send
+	b.recv(1, 5.01, 0, 1, 100)
+	b.exit(1, 5.01, "MPI_Recv")
+	b.exit(1, 6, "main")
+	e := b.analyze(t)
+	if got := metricAt(e, MetricLateSender, "main/MPI_Recv", 1); !approx(got, 0) {
+		t.Errorf("late sender = %v, want 0 (send preceded recv)", got)
+	}
+}
+
+func TestWrongOrderPattern(t *testing.T) {
+	b := newTB(3)
+	// Rank 1 sends at t=1 (tag 1), rank 2 sends at t=3 (tag 2). Rank 0
+	// asks for tag 2 FIRST (waits until 3), then tag 1 — the first wait
+	// happened although rank 1's message (sent earlier) was available:
+	// wrong order.
+	b.enter(0, 0, "main")
+	b.enter(0, 0.5, "MPI_Recv")
+	b.recv(0, 3.1, 2, 2, 64)
+	b.exit(0, 3.1, "MPI_Recv")
+	b.enter(0, 3.2, "MPI_Recv")
+	b.recv(0, 3.3, 1, 1, 64)
+	b.exit(0, 3.3, "MPI_Recv")
+	b.exit(0, 4, "main")
+
+	b.enter(1, 0, "main")
+	b.enter(1, 1, "MPI_Send")
+	b.send(1, 1, 0, 1, 64)
+	b.exit(1, 1.1, "MPI_Send")
+	b.exit(1, 4, "main")
+
+	b.enter(2, 0, "main")
+	b.enter(2, 3, "MPI_Send")
+	b.send(2, 3, 0, 2, 64)
+	b.exit(2, 3.1, "MPI_Send")
+	b.exit(2, 4, "main")
+	e := b.analyze(t)
+
+	// The tag-2 wait (3 - 0.5 = 2.5) is late-sender waiting in wrong
+	// order: a message posted at t=1 was pending for the same receiver.
+	if got := metricAt(e, MetricWrongOrder, "main/MPI_Recv", 0); !approx(got, 2.5) {
+		t.Errorf("wrong order = %v, want 2.5", got)
+	}
+	// The tag-1 receive found its message long sent: no late sender.
+	if got := metricAt(e, MetricLateSender, "main/MPI_Recv", 0); !approx(got, 0) {
+		t.Errorf("late sender (excl) = %v, want 0", got)
+	}
+}
+
+func TestBarrierPattern(t *testing.T) {
+	b := newTB(2)
+	// Rank 0 enters at 1, rank 1 at 3 (maxEnter). Exits at 4.0 and 4.5
+	// (minExit 4.0).
+	for r, enter := range []float64{1, 3} {
+		b.enter(r, 0, "main")
+		b.enter(r, enter, "MPI_Barrier")
+	}
+	b.collExit(0, 4.0, "MPI_Barrier", trace.CollBarrier, 0, -1, 0)
+	b.collExit(1, 4.5, "MPI_Barrier", trace.CollBarrier, 0, -1, 0)
+	b.exit(0, 5, "main")
+	b.exit(1, 5, "main")
+	e := b.analyze(t)
+
+	// Rank 0: wait = 3-1 = 2, completion = 4.0-4.0 = 0, middle = 1.
+	if got := metricAt(e, MetricWaitAtBarrier, "main/MPI_Barrier", 0); !approx(got, 2) {
+		t.Errorf("rank0 wait = %v, want 2", got)
+	}
+	if got := metricAt(e, MetricSync, "main/MPI_Barrier", 0); !approx(got, 1) {
+		t.Errorf("rank0 middle = %v, want 1", got)
+	}
+	if got := metricAt(e, MetricBarrierCompl, "main/MPI_Barrier", 0); !approx(got, 0) {
+		t.Errorf("rank0 completion = %v, want 0", got)
+	}
+	// Rank 1: wait = 0, completion = 4.5-4.0 = 0.5, middle = 1.
+	if got := metricAt(e, MetricWaitAtBarrier, "main/MPI_Barrier", 1); !approx(got, 0) {
+		t.Errorf("rank1 wait = %v", got)
+	}
+	if got := metricAt(e, MetricBarrierCompl, "main/MPI_Barrier", 1); !approx(got, 0.5) {
+		t.Errorf("rank1 completion = %v, want 0.5", got)
+	}
+	// Conservation: wait+middle+completion = total barrier time.
+	var sum float64
+	for _, name := range []string{MetricWaitAtBarrier, MetricSync, MetricBarrierCompl} {
+		sum += e.MetricTotal(e.FindMetricByName(name))
+	}
+	if !approx(sum, (4.0-1)+(4.5-3)) {
+		t.Errorf("barrier time not conserved: %v", sum)
+	}
+}
+
+func TestWaitAtNxNPattern(t *testing.T) {
+	b := newTB(2)
+	for r, enter := range []float64{0.5, 2.0} {
+		b.enter(r, 0, "main")
+		b.enter(r, enter, "MPI_Alltoall")
+	}
+	b.collExit(0, 3.0, "MPI_Alltoall", trace.CollAllToAll, 0, -1, 1024)
+	b.collExit(1, 3.0, "MPI_Alltoall", trace.CollAllToAll, 0, -1, 1024)
+	b.exit(0, 4, "main")
+	b.exit(1, 4, "main")
+	e := b.analyze(t)
+
+	if got := metricAt(e, MetricWaitAtNxN, "main/MPI_Alltoall", 0); !approx(got, 1.5) {
+		t.Errorf("rank0 NxN wait = %v, want 1.5", got)
+	}
+	if got := metricAt(e, MetricCollective, "main/MPI_Alltoall", 0); !approx(got, 1.0) {
+		t.Errorf("rank0 collective = %v, want 1.0", got)
+	}
+	if got := metricAt(e, MetricWaitAtNxN, "main/MPI_Alltoall", 1); !approx(got, 0) {
+		t.Errorf("rank1 NxN wait = %v, want 0", got)
+	}
+}
+
+func TestAllGatherPattern(t *testing.T) {
+	b := newTB(2)
+	for r, enter := range []float64{0.5, 2.0} {
+		b.enter(r, 0, "main")
+		b.enter(r, enter, "MPI_Allgather")
+	}
+	b.collExit(0, 3.0, "MPI_Allgather", trace.CollAllGather, 0, -1, 1024)
+	b.collExit(1, 3.0, "MPI_Allgather", trace.CollAllGather, 0, -1, 1024)
+	b.exit(0, 4, "main")
+	b.exit(1, 4, "main")
+	e := b.analyze(t)
+	if got := metricAt(e, MetricWaitAtNxN, "main/MPI_Allgather", 0); !approx(got, 1.5) {
+		t.Errorf("allgather NxN wait = %v, want 1.5", got)
+	}
+}
+
+func TestAnalyzeAttachesTopology(t *testing.T) {
+	b := newTB(4)
+	for r := 0; r < 4; r++ {
+		b.enter(r, 0, "main")
+		b.exit(r, 1, "main")
+	}
+	b.tr.Sort()
+	topo, err := core.NewCartesian("grid", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Analyze(b.tr, &Options{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Topology().Equal(topo) {
+		t.Errorf("topology not attached")
+	}
+	// The analyzer owns a copy.
+	e.Topology().Coords[0][0] = 1
+	if topo.Coords[0][0] != 0 {
+		t.Errorf("analyzer aliased the caller's topology")
+	}
+}
+
+func TestLateBroadcastPattern(t *testing.T) {
+	b := newTB(2)
+	// Root (rank 1) enters late at t=2; rank 0 waits from t=0.5.
+	b.enter(0, 0, "main")
+	b.enter(0, 0.5, "MPI_Bcast")
+	b.enter(1, 0, "main")
+	b.enter(1, 2.0, "MPI_Bcast")
+	b.collExit(0, 3, "MPI_Bcast", trace.CollBcast, 0, 1, 4096)
+	b.collExit(1, 3, "MPI_Bcast", trace.CollBcast, 0, 1, 4096)
+	b.exit(0, 4, "main")
+	b.exit(1, 4, "main")
+	e := b.analyze(t)
+
+	if got := metricAt(e, MetricLateBroadcast, "main/MPI_Bcast", 0); !approx(got, 1.5) {
+		t.Errorf("late broadcast = %v, want 1.5", got)
+	}
+	if got := metricAt(e, MetricLateBroadcast, "main/MPI_Bcast", 1); !approx(got, 0) {
+		t.Errorf("root late broadcast = %v, want 0", got)
+	}
+}
+
+func TestEarlyReducePattern(t *testing.T) {
+	b := newTB(2)
+	// Root (rank 0) enters at 0.5, sender (rank 1) at 2: root waits 1.5.
+	b.enter(0, 0, "main")
+	b.enter(0, 0.5, "MPI_Reduce")
+	b.enter(1, 0, "main")
+	b.enter(1, 2.0, "MPI_Reduce")
+	b.collExit(0, 3, "MPI_Reduce", trace.CollReduce, 0, 0, 64)
+	b.collExit(1, 3, "MPI_Reduce", trace.CollReduce, 0, 0, 64)
+	b.exit(0, 4, "main")
+	b.exit(1, 4, "main")
+	e := b.analyze(t)
+
+	if got := metricAt(e, MetricEarlyReduce, "main/MPI_Reduce", 0); !approx(got, 1.5) {
+		t.Errorf("early reduce = %v, want 1.5", got)
+	}
+	if got := metricAt(e, MetricEarlyReduce, "main/MPI_Reduce", 1); !approx(got, 0) {
+		t.Errorf("sender early reduce = %v, want 0", got)
+	}
+}
+
+func TestCounterAccumulation(t *testing.T) {
+	b := newTB(1)
+	b.tr.Counters = []string{"PAPI_FP_INS"}
+	add := func(kind trace.Kind, tm float64, region string, v int64) {
+		id := b.tr.DefineRegion(region, modOf(region), 0)
+		b.tr.Append(trace.Event{Kind: kind, Time: tm, Rank: 0, Region: id,
+			Partner: trace.NoPartner, Counters: []int64{v}})
+	}
+	add(trace.Enter, 0, "main", 0)
+	add(trace.Enter, 1, "inner", 100)
+	add(trace.Exit, 2, "inner", 400)
+	add(trace.Exit, 3, "main", 500)
+	e := b.analyze(t)
+
+	// inner: 300, main exclusive: 500 - 300 = 200.
+	if got := metricAt(e, "PAPI_FP_INS", "main/inner", 0); got != 300 {
+		t.Errorf("inner counter = %v, want 300", got)
+	}
+	if got := metricAt(e, "PAPI_FP_INS", "main", 0); got != 200 {
+		t.Errorf("main counter = %v, want 200", got)
+	}
+}
+
+func TestAnalyzeRejectsInvalidTrace(t *testing.T) {
+	b := newTB(1)
+	b.enter(0, 0, "main") // never exited
+	b.tr.Sort()
+	if _, err := Analyze(b.tr, nil); err == nil {
+		t.Errorf("invalid trace accepted")
+	}
+}
+
+func TestAnalyzeRejectsOrphanReceive(t *testing.T) {
+	b := newTB(2)
+	b.enter(0, 0, "main")
+	b.enter(0, 1, "MPI_Recv")
+	b.recv(0, 2, 1, 1, 8) // no matching send anywhere
+	b.exit(0, 2, "MPI_Recv")
+	b.exit(0, 3, "main")
+	b.enter(1, 0, "main")
+	b.exit(1, 3, "main")
+	b.tr.Sort()
+	if _, err := Analyze(b.tr, nil); err == nil || !strings.Contains(err.Error(), "no matching send") {
+		t.Errorf("orphan receive: %v", err)
+	}
+}
+
+func TestOptionsSystemShape(t *testing.T) {
+	b := newTB(4)
+	for r := 0; r < 4; r++ {
+		b.enter(r, 0, "main")
+		b.exit(r, 1, "main")
+	}
+	b.tr.Sort()
+	e, err := Analyze(b.tr, &Options{Machine: "torc", Nodes: 2, Title: "custom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Title != "custom" {
+		t.Errorf("title = %q", e.Title)
+	}
+	if e.Machines()[0].Name != "torc" || len(e.Machines()[0].Nodes()) != 2 {
+		t.Errorf("system shape wrong")
+	}
+}
+
+// Integration: a full PESCAN run analyzed end-to-end conserves time — the
+// inclusive Time total equals the sum of all ranks' main-region durations.
+func TestPescanTimeConservation(t *testing.T) {
+	run, err := apps.RunPescan(apps.PescanConfig{Barriers: true, Seed: 5, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Analyze(run.Trace, &Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("experiment invalid: %v", err)
+	}
+	total := e.MetricInclusive(e.FindMetricByName(MetricTime))
+	var wall float64
+	for _, d := range run.RankEnd {
+		wall += d
+	}
+	if math.Abs(total-wall) > 1e-6*wall {
+		t.Errorf("time not conserved: analyzed %v, simulated %v", total, wall)
+	}
+	// No negative severities in an original experiment.
+	neg := false
+	e.EachSeverity(func(m *core.Metric, c *core.CallNode, th *core.Thread, v float64) {
+		if v < -1e-9 {
+			neg = true
+			t.Logf("negative severity %v at (%s, %s)", v, m.Name, c.Path())
+		}
+	})
+	if neg {
+		t.Errorf("original experiment contains negative severities")
+	}
+}
+
+// Integration: sweep3d produces substantial Late Sender waiting
+// concentrated at MPI_Recv (the §5.2 premise).
+func TestSweep3DLateSenderConcentration(t *testing.T) {
+	run, err := apps.RunSweep3D(apps.Sweep3DConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Analyze(run.Trace, &Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := e.MetricInclusive(e.FindMetricByName(MetricLateSender))
+	total := e.MetricInclusive(e.FindMetricByName(MetricTime))
+	if ls/total < 0.10 {
+		t.Errorf("late sender share = %.1f%%, want >= 10%%", 100*ls/total)
+	}
+	// All late-sender severity sits at MPI_Recv call paths.
+	m := e.FindMetricByName(MetricLateSender)
+	for _, cn := range e.CallNodes() {
+		if v := e.MetricValue(m, cn); v > 0 && cn.Callee().Name != "MPI_Recv" {
+			t.Errorf("late sender at %s", cn.Path())
+		}
+	}
+}

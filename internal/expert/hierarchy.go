@@ -1,0 +1,107 @@
+// Package expert is a post-mortem trace analyzer in the style of EXPERT:
+// it searches event traces of message-passing applications for execution
+// patterns that indicate inefficient behaviour, and transforms the trace
+// into a compact representation of performance behaviour — a mapping of
+// (performance problem, call path, location) onto the time spent on that
+// problem at that call path and location — stored as a CUBE experiment.
+//
+// The performance problems are organised in a specialization hierarchy from
+// general (communication overhead) to specific (a receiver waiting for a
+// message because the sender started late).
+package expert
+
+import "cube/internal/core"
+
+// Names of the metrics in EXPERT's specialization hierarchy. The severity
+// stored for each metric is exclusive: the value attributed to exactly that
+// problem, not including its more specific descendants.
+const (
+	MetricTime          = "Time"
+	MetricExecution     = "Execution"
+	MetricMPI           = "MPI"
+	MetricCommunication = "Communication"
+	MetricCollective    = "Collective"
+	MetricWaitAtNxN     = "Wait at N x N"
+	MetricLateBroadcast = "Late Broadcast"
+	MetricEarlyReduce   = "Early Reduce"
+	MetricP2P           = "P2P"
+	MetricLateSender    = "Late Sender"
+	MetricWrongOrder    = "Messages in Wrong Order"
+	MetricLateReceiver  = "Late Receiver"
+	MetricSync          = "Synchronization"
+	MetricWaitAtBarrier = "Wait at Barrier"
+	MetricBarrierCompl  = "Barrier Completion"
+	MetricOMP           = "OMP"
+	MetricOMPBarrier    = "Wait at OpenMP Barrier"
+	MetricIdleThreads   = "Idle Threads"
+
+	MetricVisits    = "Visits"
+	MetricCommVol   = "Communication Volume"
+	MetricBytesSent = "Bytes Sent"
+	MetricBytesRecv = "Bytes Received"
+)
+
+// timeMetrics bundles the nodes of the time hierarchy for severity
+// attribution during analysis.
+type timeMetrics struct {
+	time, execution, mpi              *core.Metric
+	comm, coll, waitNxN, lateBcast    *core.Metric
+	earlyReduce                       *core.Metric
+	p2p, lateSender, wrongOrder       *core.Metric
+	lateReceiver                      *core.Metric
+	sync, waitBarrier, barrierCompl   *core.Metric
+	omp, ompBarrier, idle             *core.Metric
+	visits, commVol, bSent, bReceived *core.Metric
+}
+
+// buildMetrics creates EXPERT's metric hierarchy in the experiment:
+//
+//	Time
+//	└── Execution
+//	    └── MPI
+//	        ├── Communication
+//	        │   ├── Collective
+//	        │   │   ├── Wait at N x N
+//	        │   │   ├── Late Broadcast
+//	        │   │   └── Early Reduce
+//	        │   └── P2P
+//	        │       ├── Late Sender
+//	        │       │   └── Messages in Wrong Order
+//	        │       └── Late Receiver
+//	        └── Synchronization
+//	            ├── Wait at Barrier
+//	            └── Barrier Completion
+//	    └── OMP
+//	        └── Wait at OpenMP Barrier
+//	└── Idle Threads
+//	Visits                       (occurrences)
+//	Communication Volume         (bytes)
+//	├── Bytes Sent
+//	└── Bytes Received
+func buildMetrics(e *core.Experiment) *timeMetrics {
+	tm := &timeMetrics{}
+	tm.time = e.NewMetric(MetricTime, core.Seconds, "Total wall-clock time accumulated over all locations")
+	tm.execution = tm.time.NewChild(MetricExecution, "Time spent executing application code")
+	tm.mpi = tm.execution.NewChild(MetricMPI, "Time spent in MPI calls")
+	tm.comm = tm.mpi.NewChild(MetricCommunication, "Time spent in MPI communication calls")
+	tm.coll = tm.comm.NewChild(MetricCollective, "Time spent in collective communication")
+	tm.waitNxN = tm.coll.NewChild(MetricWaitAtNxN, "Waiting time in front of N-to-N operations until the last participant enters")
+	tm.lateBcast = tm.coll.NewChild(MetricLateBroadcast, "Waiting time of destination processes entering a 1-to-N operation before the root")
+	tm.earlyReduce = tm.coll.NewChild(MetricEarlyReduce, "Waiting time of the root of an N-to-1 operation entering before its senders")
+	tm.p2p = tm.comm.NewChild(MetricP2P, "Time spent in point-to-point communication")
+	tm.lateSender = tm.p2p.NewChild(MetricLateSender, "Receiver blocked because the corresponding send started late")
+	tm.wrongOrder = tm.lateSender.NewChild(MetricWrongOrder, "Late-sender waiting caused by messages received in the wrong order")
+	tm.lateReceiver = tm.p2p.NewChild(MetricLateReceiver, "Sender blocked because the receiver was not ready (rendezvous)")
+	tm.sync = tm.mpi.NewChild(MetricSync, "Time spent in MPI synchronization (barriers)")
+	tm.waitBarrier = tm.sync.NewChild(MetricWaitAtBarrier, "Waiting time inside a barrier for the last process to reach it")
+	tm.barrierCompl = tm.sync.NewChild(MetricBarrierCompl, "Time inside a barrier after the first process has left it")
+	tm.omp = tm.execution.NewChild(MetricOMP, "Time spent in the OpenMP runtime (parallel-region management and barriers)")
+	tm.ompBarrier = tm.omp.NewChild(MetricOMPBarrier, "Waiting time of a thread at the implicit join barrier of a parallel region")
+	tm.idle = tm.time.NewChild(MetricIdleThreads, "Time worker threads idle while their process executes serial code")
+
+	tm.visits = e.NewMetric(MetricVisits, core.Occurrences, "Number of visits of a call path")
+	tm.commVol = e.NewMetric(MetricCommVol, core.Bytes, "Point-to-point and collective data volume")
+	tm.bSent = tm.commVol.NewChild(MetricBytesSent, "Bytes sent in point-to-point operations")
+	tm.bReceived = tm.commVol.NewChild(MetricBytesRecv, "Bytes received in point-to-point operations")
+	return tm
+}

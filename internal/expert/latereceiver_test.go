@@ -1,0 +1,147 @@
+package expert
+
+import (
+	"math"
+	"testing"
+
+	"cube/internal/counters"
+	"cube/internal/mpisim"
+	"cube/internal/trace"
+)
+
+// rendezvousRun simulates a 2-rank program where rank 0 posts a large
+// rendezvous send at t=0 while rank 1 only posts its receive at t=0.05:
+// the sender must block (Late Receiver).
+func rendezvousRun(t *testing.T) *mpisim.Run {
+	t.Helper()
+	cfg := mpisim.Config{Program: "rv", NumRanks: 2, Seed: 1, RendezvousBytes: 1 << 16}
+	run, err := mpisim.Simulate(cfg, func(b *mpisim.B) {
+		b.Enter("main")
+		if b.Rank() == 0 {
+			b.Send(1, 5, 1<<20) // 1 MiB: rendezvous
+		} else {
+			b.Compute(0.05, counters.Work{})
+			b.Recv(0, 5)
+		}
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestSimulatorRendezvousBlocksSender(t *testing.T) {
+	run := rendezvousRun(t)
+	cfg := run.Config
+	// Transfer starts when the receiver posts at 0.05.
+	wantArrival := 0.05 + cfg.Latency + float64(1<<20)/cfg.Bandwidth
+	var sendExit float64
+	for _, ev := range run.Trace.Events {
+		if ev.Kind == trace.Exit && ev.Rank == 0 && run.Trace.RegionName(ev.Region) == "MPI_Send" {
+			sendExit = ev.Time
+		}
+		if ev.Kind == trace.Send && ev.Root != 1 {
+			t.Errorf("rendezvous send not marked: %+v", ev)
+		}
+	}
+	if math.Abs(sendExit-wantArrival) > 1e-12 {
+		t.Errorf("sender exit = %v, want %v (blocked until transfer complete)", sendExit, wantArrival)
+	}
+}
+
+func TestSimulatorEagerBelowThreshold(t *testing.T) {
+	cfg := mpisim.Config{Program: "rv", NumRanks: 2, Seed: 1, RendezvousBytes: 1 << 16}
+	run, err := mpisim.Simulate(cfg, func(b *mpisim.B) {
+		b.Enter("main")
+		if b.Rank() == 0 {
+			b.Send(1, 5, 128) // small: eager even with rendezvous enabled
+		} else {
+			b.Compute(0.05, counters.Work{})
+			b.Recv(0, 5)
+		}
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range run.Trace.Events {
+		if ev.Kind == trace.Send && ev.Root == 1 {
+			t.Errorf("small message used rendezvous")
+		}
+	}
+	if run.RankEnd[0] > 0.001 {
+		t.Errorf("eager sender blocked: end %v", run.RankEnd[0])
+	}
+}
+
+func TestLateReceiverPattern(t *testing.T) {
+	run := rendezvousRun(t)
+	e, err := Analyze(run.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := e.FindMetricByName(MetricLateReceiver)
+	got := e.Severity(lr, e.FindCallNode("main/MPI_Send"), e.FindThread(0, 0))
+	// The sender entered MPI_Send at 0, the receiver posted at 0.05.
+	if math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("late receiver = %v, want 0.05", got)
+	}
+	// The transfer remainder is plain P2P, positive.
+	p2p := e.Severity(e.FindMetricByName(MetricP2P), e.FindCallNode("main/MPI_Send"), e.FindThread(0, 0))
+	if p2p <= 0 {
+		t.Errorf("p2p remainder = %v, want > 0", p2p)
+	}
+	// No late-sender waiting on the receiver: the send was posted long
+	// before the receive.
+	ls := e.MetricInclusive(e.FindMetricByName(MetricLateSender))
+	if ls > 1e-9 {
+		t.Errorf("late sender = %v, want ~0", ls)
+	}
+}
+
+func TestLateReceiverZeroWhenReceiverFirst(t *testing.T) {
+	cfg := mpisim.Config{Program: "rv", NumRanks: 2, Seed: 1, RendezvousBytes: 1 << 10}
+	run, err := mpisim.Simulate(cfg, func(b *mpisim.B) {
+		b.Enter("main")
+		if b.Rank() == 0 {
+			b.Compute(0.05, counters.Work{})
+			b.Send(1, 5, 1<<20)
+		} else {
+			b.Recv(0, 5) // posted long before the send
+		}
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Analyze(run.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := e.MetricInclusive(e.FindMetricByName(MetricLateReceiver))
+	if lr > 1e-9 {
+		t.Errorf("late receiver = %v, want 0 (receiver was ready)", lr)
+	}
+	// The receiver instead waited: late sender.
+	ls := e.MetricInclusive(e.FindMetricByName(MetricLateSender))
+	if ls < 0.04 {
+		t.Errorf("late sender = %v, want ~0.05", ls)
+	}
+}
+
+func TestRendezvousDeadlockDetected(t *testing.T) {
+	// Both ranks send large messages first: with rendezvous this is the
+	// classic head-to-head deadlock that eager transmission would hide.
+	cfg := mpisim.Config{Program: "rv", NumRanks: 2, Seed: 1, RendezvousBytes: 1 << 10}
+	_, err := mpisim.Simulate(cfg, func(b *mpisim.B) {
+		other := 1 - b.Rank()
+		b.Enter("main")
+		b.Send(other, 1, 1<<20)
+		b.Recv(other, 1)
+		b.Exit()
+	})
+	if err == nil {
+		t.Fatalf("head-to-head rendezvous deadlock not detected")
+	}
+}

@@ -1,0 +1,205 @@
+package expert
+
+import (
+	"math"
+	"testing"
+
+	"cube/internal/apps"
+	"cube/internal/core"
+	"cube/internal/counters"
+	"cube/internal/mpisim"
+)
+
+// runHybrid simulates a minimal deterministic hybrid program: one serial
+// phase of 2ms, one 3-thread parallel region with per-thread durations
+// 10/20/30 ms, inside main.
+func runHybrid(t *testing.T, np int) *core.Experiment {
+	t.Helper()
+	run, err := mpisim.Simulate(mpisim.Config{Program: "h", NumRanks: np, Seed: 1}, func(b *mpisim.B) {
+		b.Enter("main")
+		b.Region("serial", func() {
+			b.Compute(0.002, counters.Work{})
+		})
+		b.Parallel("loop", 3, func(tid int) (float64, counters.Work) {
+			return 0.010 * float64(tid+1), counters.Work{}
+		})
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Analyze(run.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestOMPSystemHasThreadLevel(t *testing.T) {
+	e := runHybrid(t, 2)
+	for rank := 0; rank < 2; rank++ {
+		p := e.FindProcess(rank)
+		if len(p.Threads()) != 3 {
+			t.Errorf("rank %d has %d threads, want 3", rank, len(p.Threads()))
+		}
+	}
+}
+
+func TestOMPWorkerTimeAttribution(t *testing.T) {
+	e := runHybrid(t, 1)
+	loop := e.FindCallNode("main/" + mpisim.OMPPrefix + "loop")
+	if loop == nil {
+		t.Fatalf("parallel region call node missing; call nodes: %v", paths(e))
+	}
+	exec := e.FindMetricByName(MetricExecution)
+	// Thread work: 10, 20, 30 ms exclusive at the region node.
+	for tid, want := range []float64{0.010, 0.020, 0.030} {
+		got := e.Severity(exec, loop, e.FindThread(0, tid))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("thread %d execution = %v, want %v", tid, got, want)
+		}
+	}
+	// Visits: one per thread on the region.
+	visits := e.FindMetricByName(MetricVisits)
+	if got := e.MetricValue(visits, loop); got != 3 {
+		t.Errorf("region visits = %v, want 3", got)
+	}
+}
+
+func TestOMPJoinBarrierWait(t *testing.T) {
+	e := runHybrid(t, 1)
+	bar := e.FindCallNode("main/" + mpisim.OMPPrefix + "loop/" + mpisim.OMPBarrierRegion)
+	if bar == nil {
+		t.Fatalf("implicit barrier call node missing; call nodes: %v", paths(e))
+	}
+	wait := e.FindMetricByName(MetricOMPBarrier)
+	// Join at 30ms after region start: thread 0 waits 20ms, thread 1
+	// 10ms, thread 2 0.
+	for tid, want := range []float64{0.020, 0.010, 0} {
+		got := e.Severity(wait, bar, e.FindThread(0, tid))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("thread %d barrier wait = %v, want %v", tid, got, want)
+		}
+	}
+}
+
+func TestOMPIdleThreads(t *testing.T) {
+	e := runHybrid(t, 1)
+	idle := e.FindMetricByName(MetricIdleThreads)
+	serial := e.FindCallNode("main/serial")
+	// During the 2ms serial phase, threads 1 and 2 idle.
+	for _, tid := range []int{1, 2} {
+		got := e.Severity(idle, serial, e.FindThread(0, tid))
+		if math.Abs(got-0.002) > 1e-12 {
+			t.Errorf("thread %d idle at serial = %v, want 0.002", tid, got)
+		}
+	}
+	if got := e.Severity(idle, serial, e.FindThread(0, 0)); got != 0 {
+		t.Errorf("master thread must not be idle: %v", got)
+	}
+	// Total idle = serial wall time outside parallel regions x workers:
+	// (main excl + serial) x 2. main excl here is 0 (no compute between
+	// regions), so 2 x 2ms = 4ms.
+	total := e.MetricInclusive(idle)
+	if math.Abs(total-0.004) > 1e-12 {
+		t.Errorf("total idle = %v, want 0.004", total)
+	}
+}
+
+func TestOMPTimeAllocationConservation(t *testing.T) {
+	// Inclusive Time (= execution + waits + idle) must equal the total
+	// CPU allocation: per rank, threads x wall time.
+	e := runHybrid(t, 2)
+	got := e.MetricInclusive(e.FindMetricByName(MetricTime))
+	want := 2 * 3 * 0.032 // 2 ranks x 3 threads x (2ms serial + 30ms parallel)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("total allocation = %v, want %v", got, want)
+	}
+}
+
+func TestHybridWithTraceCounters(t *testing.T) {
+	// Counters are sampled on the master thread only; worker records carry
+	// none. The analyzer must accumulate counter metrics without tripping
+	// over the mixed record shapes.
+	cfg := mpisim.Config{Program: "hc", NumRanks: 2, Seed: 5,
+		TraceCounters: counters.EventSet{counters.TotalCycles, counters.FPIns}}
+	run, err := mpisim.Simulate(cfg, func(b *mpisim.B) {
+		b.Enter("main")
+		b.Compute(0.002, counters.Work{Flops: 1e5})
+		b.Parallel("loop", 2, func(tid int) (float64, counters.Work) {
+			return 0.001 * float64(tid+1), counters.Work{Flops: 2e5}
+		})
+		b.Barrier()
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Analyze(run.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	fp := e.FindMetricByName("PAPI_FP_INS")
+	if fp == nil {
+		t.Fatalf("counter metric missing")
+	}
+	// Per rank: 1e5 serial + 2x2e5 parallel = 5e5; two ranks = 1e6.
+	if got := e.MetricInclusive(fp); got != 1e6 {
+		t.Errorf("FP_INS total = %v, want 1e6", got)
+	}
+}
+
+func TestHybridAppEndToEnd(t *testing.T) {
+	run, err := apps.RunHybrid(apps.HybridConfig{Seed: 3, Iterations: 5, NoiseAmp: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Analyze(run.Trace, &Options{Machine: "smp", Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	idle := e.MetricInclusive(e.FindMetricByName(MetricIdleThreads))
+	ompWait := e.MetricInclusive(e.FindMetricByName(MetricOMPBarrier))
+	if idle <= 0 {
+		t.Errorf("hybrid app produced no idle-thread time")
+	}
+	if ompWait <= 0 {
+		t.Errorf("hybrid app produced no OpenMP barrier waiting")
+	}
+	// A balanced variant eliminates (most) join waiting.
+	run2, err := apps.RunHybrid(apps.HybridConfig{Seed: 3, Iterations: 5, ThreadImbalance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Analyze(run2.Trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ompWait2 := e2.MetricInclusive(e2.FindMetricByName(MetricOMPBarrier))
+	if ompWait2 >= ompWait/2 {
+		t.Errorf("balanced variant should roughly halve join waiting: %v vs %v", ompWait2, ompWait)
+	}
+	// The difference operator works across hybrid experiments (closure
+	// with a thread-level system dimension).
+	d, err := core.Difference(e, e2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("hybrid difference invalid: %v", err)
+	}
+}
+
+func paths(e *core.Experiment) []string {
+	var out []string
+	for _, c := range e.CallNodes() {
+		out = append(out, c.Path())
+	}
+	return out
+}

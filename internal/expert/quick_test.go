@@ -1,0 +1,203 @@
+package expert
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cube/internal/cone"
+	"cube/internal/core"
+	"cube/internal/counters"
+	"cube/internal/mpisim"
+)
+
+// randomProgram generates a random but deadlock-free SPMD program: a
+// sequence of phases drawn from compute, nested regions, shift-pattern
+// point-to-point exchanges, collectives, and OpenMP parallel regions. All
+// ranks follow the same control flow (true SPMD), which guarantees
+// progress under the simulator's eager sends.
+func randomProgram(r *rand.Rand, np, threads int) mpisim.Program {
+	type phase struct {
+		kind  int
+		sec   float64
+		bytes int64
+		shift int
+		root  int
+		name  string
+	}
+	n := 2 + r.Intn(8)
+	phases := make([]phase, n)
+	for i := range phases {
+		phases[i] = phase{
+			kind:  r.Intn(8),
+			sec:   0.0005 + r.Float64()*0.003,
+			bytes: int64(64 + r.Intn(1<<14)),
+			shift: 1 + r.Intn(np),
+			root:  r.Intn(np),
+			name:  fmt.Sprintf("phase%d", i),
+		}
+	}
+	return func(b *mpisim.B) {
+		rank := b.Rank()
+		b.Enter("main")
+		for _, p := range phases {
+			switch p.kind {
+			case 0:
+				b.Region(p.name, func() {
+					b.Compute(p.sec*(1+0.3*float64(rank)/float64(np)), counters.Work{Flops: p.sec * 1e8})
+				})
+			case 1:
+				if p.shift%np != 0 {
+					b.Region(p.name, func() {
+						dst := (rank + p.shift) % np
+						src := (rank - p.shift%np + np) % np
+						b.Send(dst, 10+p.shift, p.bytes)
+						b.Recv(src, 10+p.shift)
+					})
+				}
+			case 2:
+				b.Barrier()
+			case 3:
+				b.AllToAll(p.bytes)
+			case 4:
+				b.AllReduce(64)
+			case 5:
+				b.Bcast(p.root, p.bytes)
+			case 6:
+				b.Reduce(p.root, 64)
+			case 7:
+				if threads > 1 {
+					b.Parallel(p.name, threads, func(tid int) (float64, counters.Work) {
+						return p.sec * (1 + 0.5*float64(tid)/float64(threads)), counters.Work{Flops: p.sec * 1e8}
+					})
+				} else {
+					b.Compute(p.sec, counters.Work{})
+				}
+			}
+		}
+		b.Exit()
+	}
+}
+
+// Property: for any random program, the analyzed experiment is valid, has
+// no negative severities, and conserves the total CPU allocation:
+// inclusive Time equals sum over ranks of threads x rank wall time.
+func TestQuickAnalysisConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		np := 2 + r.Intn(4)
+		threads := 1 + r.Intn(3)
+		prog := randomProgram(r, np, threads)
+		run, err := mpisim.Simulate(mpisim.Config{Program: "rnd", NumRanks: np, Seed: seed}, prog)
+		if err != nil {
+			t.Logf("seed %d: simulate: %v", seed, err)
+			return false
+		}
+		e, err := Analyze(run.Trace, nil)
+		if err != nil {
+			t.Logf("seed %d: analyze: %v", seed, err)
+			return false
+		}
+		if err := e.Validate(); err != nil {
+			t.Logf("seed %d: validate: %v", seed, err)
+			return false
+		}
+		neg := false
+		e.EachSeverity(func(m *core.Metric, c *core.CallNode, th *core.Thread, v float64) {
+			if v < -1e-9 {
+				neg = true
+				t.Logf("seed %d: negative severity %v at (%s, %s)", seed, v, m.Name, c.Path())
+			}
+		})
+		if neg {
+			return false
+		}
+		perRank := run.Trace.ThreadsPerRank()
+		var want float64
+		for rank, end := range run.RankEnd {
+			want += float64(perRank[rank]) * end
+		}
+		got := e.MetricInclusive(e.FindMetricByName(MetricTime))
+		if math.Abs(got-want) > 1e-6*want {
+			t.Logf("seed %d: allocation %v != %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EXPERT's Time and Visits agree with CONE's on the same trace
+// (two independent consumers of the instrumentation stream) for
+// single-threaded programs, where both tools build identical call trees.
+func TestQuickExpertConeAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		np := 2 + r.Intn(3)
+		prog := randomProgram(r, np, 1)
+		run, err := mpisim.Simulate(mpisim.Config{Program: "rnd", NumRanks: np, Seed: seed}, prog)
+		if err != nil {
+			return false
+		}
+		ee, err := Analyze(run.Trace, nil)
+		if err != nil {
+			return false
+		}
+		ce, err := cone.Profile(run.Trace, nil)
+		if err != nil {
+			return false
+		}
+		et := ee.MetricInclusive(ee.FindMetricByName(MetricTime))
+		ct := ce.MetricInclusive(ce.FindMetricByName("Time"))
+		if math.Abs(et-ct) > 1e-6*et {
+			t.Logf("seed %d: expert time %v vs cone time %v", seed, et, ct)
+			return false
+		}
+		ev := ee.MetricInclusive(ee.FindMetricByName(MetricVisits))
+		cv := ce.MetricInclusive(ce.FindMetricByName("Visits"))
+		if ev != cv {
+			t.Logf("seed %d: visits %v vs %v", seed, ev, cv)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: analysis results are insensitive to trace event order: sorting
+// the trace differently (it arrives time-sorted; we shuffle and re-sort)
+// reproduces the same experiment.
+func TestQuickAnalysisDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		np := 2 + r.Intn(3)
+		prog := randomProgram(r, np, 2)
+		run, err := mpisim.Simulate(mpisim.Config{Program: "rnd", NumRanks: np, Seed: seed}, prog)
+		if err != nil {
+			return false
+		}
+		e1, err := Analyze(run.Trace, nil)
+		if err != nil {
+			return false
+		}
+		// Shuffle and restore the global order.
+		r.Shuffle(len(run.Trace.Events), func(i, j int) {
+			run.Trace.Events[i], run.Trace.Events[j] = run.Trace.Events[j], run.Trace.Events[i]
+		})
+		run.Trace.Sort()
+		e2, err := Analyze(run.Trace, nil)
+		if err != nil {
+			return false
+		}
+		return e1.Fingerprint() == e2.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,534 @@
+package mpisim
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cube/internal/counters"
+	"cube/internal/trace"
+)
+
+func noNoise(np int) Config {
+	return Config{Program: "test", NumRanks: np, Seed: 1}
+}
+
+// findEvents returns the events of a kind for a rank, in time order.
+func findEvents(tr *trace.Trace, rank int, kind trace.Kind) []trace.Event {
+	var out []trace.Event
+	for _, ev := range tr.Events {
+		if int(ev.Rank) == rank && ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func regionEvents(tr *trace.Trace, rank int, region string, kind trace.Kind) []trace.Event {
+	var out []trace.Event
+	for _, ev := range tr.Events {
+		if int(ev.Rank) == rank && ev.Kind == kind && ev.Region >= 0 && tr.RegionName(ev.Region) == region {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestBuilderValidation(t *testing.T) {
+	cases := map[string]Program{
+		"unbalanced": func(b *B) { b.Enter("main") },
+		"exit only":  func(b *B) { b.Exit() },
+		"bad dst":    func(b *B) { b.Enter("m"); b.Send(99, 0, 1); b.Exit() },
+		"self send":  func(b *B) { b.Enter("m"); b.Send(b.Rank(), 0, 1); b.Exit() },
+		"bad src":    func(b *B) { b.Enter("m"); b.Recv(-1, 0); b.Exit() },
+		"self recv":  func(b *B) { b.Enter("m"); b.Recv(b.Rank(), 0); b.Exit() },
+		"neg time":   func(b *B) { b.Enter("m"); b.Compute(-1, counters.Work{}); b.Exit() },
+		"bad root":   func(b *B) { b.Enter("m"); b.Bcast(9, 8); b.Exit() },
+		"bad reduce": func(b *B) { b.Enter("m"); b.Reduce(-1, 8); b.Exit() },
+		"empty name": func(b *B) { b.Enter(""); b.Exit() },
+	}
+	for name, prog := range cases {
+		if _, err := Simulate(noNoise(2), prog); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	run, err := Simulate(noNoise(1), func(b *B) {
+		b.Enter("main")
+		b.Compute(0.5, counters.Work{Flops: 100})
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Elapsed != 0.5 {
+		t.Errorf("elapsed = %v, want 0.5", run.Elapsed)
+	}
+	if run.FinalWork[0].Seconds != 0.5 || run.FinalWork[0].Flops != 100 {
+		t.Errorf("work = %+v", run.FinalWork[0])
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}
+
+func TestPingPongTimingLaw(t *testing.T) {
+	cfg := noNoise(2)
+	cfg = cfg.WithDefaults()
+	const bytes = 120000 // 1ms at 120 MB/s
+	run, err := Simulate(cfg, func(b *B) {
+		b.Enter("main")
+		if b.Rank() == 0 {
+			b.Compute(0.010, counters.Work{})
+			b.Send(1, 5, bytes)
+		} else {
+			b.Recv(0, 5)
+		}
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send is posted at t=0.010; arrival = send + latency + bytes/bw.
+	sends := findEvents(run.Trace, 0, trace.Send)
+	if len(sends) != 1 || sends[0].Time != 0.010 {
+		t.Fatalf("send events: %+v", sends)
+	}
+	recvs := findEvents(run.Trace, 1, trace.Recv)
+	if len(recvs) != 1 {
+		t.Fatalf("recv events: %+v", recvs)
+	}
+	wantArrival := 0.010 + cfg.Latency + float64(bytes)/cfg.Bandwidth
+	if math.Abs(recvs[0].Time-wantArrival) > 1e-12 {
+		t.Errorf("recv completion = %v, want %v", recvs[0].Time, wantArrival)
+	}
+	// The receiver entered MPI_Recv at its local time 0 — late sender
+	// waiting is visible as the enter/exit gap.
+	enters := regionEvents(run.Trace, 1, RegionRecv, trace.Enter)
+	if len(enters) != 1 || enters[0].Time != 0 {
+		t.Errorf("recv enter: %+v", enters)
+	}
+	if run.RankEnd[1] != recvs[0].Time {
+		t.Errorf("rank 1 end = %v", run.RankEnd[1])
+	}
+}
+
+func TestRecvAfterArrivalCompletesFast(t *testing.T) {
+	cfg := noNoise(2).WithDefaults()
+	run, err := Simulate(cfg, func(b *B) {
+		b.Enter("main")
+		if b.Rank() == 0 {
+			b.Send(1, 1, 8)
+		} else {
+			b.Compute(0.1, counters.Work{}) // message long arrived
+			b.Recv(0, 1)
+		}
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvs := findEvents(run.Trace, 1, trace.Recv)
+	want := 0.1 + cfg.RecvOverhead
+	if math.Abs(recvs[0].Time-want) > 1e-12 {
+		t.Errorf("recv completion = %v, want %v (overhead only)", recvs[0].Time, want)
+	}
+}
+
+func TestMessageOrderingFIFO(t *testing.T) {
+	// Two messages on the same channel must be received in send order.
+	run, err := Simulate(noNoise(2), func(b *B) {
+		b.Enter("main")
+		if b.Rank() == 0 {
+			b.Send(1, 9, 100)
+			b.Compute(0.01, counters.Work{})
+			b.Send(1, 9, 200)
+		} else {
+			b.Recv(0, 9)
+			b.Recv(0, 9)
+		}
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvs := findEvents(run.Trace, 1, trace.Recv)
+	if len(recvs) != 2 || recvs[0].Bytes != 100 || recvs[1].Bytes != 200 {
+		t.Errorf("FIFO violated: %+v", recvs)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	cfg := noNoise(4).WithDefaults()
+	run, err := Simulate(cfg, func(b *B) {
+		b.Enter("main")
+		b.Compute(0.01*float64(b.Rank()+1), counters.Work{})
+		b.Barrier()
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All exits at maxEnter + cost + skew; maxEnter = 0.04.
+	var exits []trace.Event
+	for _, ev := range run.Trace.Events {
+		if ev.Kind == trace.Exit && ev.Coll == trace.CollBarrier {
+			exits = append(exits, ev)
+		}
+	}
+	if len(exits) != 4 {
+		t.Fatalf("barrier exits = %d", len(exits))
+	}
+	cost := 2 * cfg.Latency // ceil(log2(4)) = 2
+	for _, ev := range exits {
+		base := 0.04 + cost
+		if ev.Time < base || ev.Time > base+cfg.CollExitSkew {
+			t.Errorf("barrier exit %v outside [%v, %v]", ev.Time, base, base+cfg.CollExitSkew)
+		}
+		if ev.CollSeq != 0 {
+			t.Errorf("first barrier instance must have seq 0")
+		}
+	}
+}
+
+func TestBarrierCostOverride(t *testing.T) {
+	cfg := noNoise(4).WithDefaults()
+	cfg.BarrierCost = 0.5
+	run, err := Simulate(cfg, func(b *B) {
+		b.Enter("main")
+		b.Barrier()
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Elapsed < 0.5 {
+		t.Errorf("barrier cost override ignored: elapsed %v", run.Elapsed)
+	}
+}
+
+func TestCollectiveSequencing(t *testing.T) {
+	// Two alltoalls: instances must be numbered 0 and 1 and exits ordered.
+	run, err := Simulate(noNoise(3), func(b *B) {
+		b.Enter("main")
+		b.AllToAll(1000)
+		b.Compute(0.001, counters.Work{})
+		b.AllToAll(1000)
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := map[int32]int{}
+	for _, ev := range run.Trace.Events {
+		if ev.Coll == trace.CollAllToAll {
+			seqs[ev.CollSeq]++
+		}
+	}
+	if seqs[0] != 3 || seqs[1] != 3 {
+		t.Errorf("instance grouping wrong: %v", seqs)
+	}
+}
+
+func TestDeadlockRecvWithoutSend(t *testing.T) {
+	_, err := Simulate(noNoise(2), func(b *B) {
+		b.Enter("main")
+		if b.Rank() == 0 {
+			b.Recv(1, 3)
+		}
+		b.Exit()
+	})
+	var dl *DeadlockError
+	if err == nil {
+		t.Fatalf("deadlock not detected")
+	}
+	if !strings.Contains(err.Error(), "MPI_Recv") {
+		t.Errorf("deadlock message uninformative: %v", err)
+	}
+	if !errorsAs(err, &dl) {
+		t.Errorf("error type %T", err)
+	}
+}
+
+func errorsAs(err error, target **DeadlockError) bool {
+	d, ok := err.(*DeadlockError)
+	if ok {
+		*target = d
+	}
+	return ok
+}
+
+func TestDeadlockMismatchedCollectives(t *testing.T) {
+	_, err := Simulate(noNoise(2), func(b *B) {
+		b.Enter("main")
+		if b.Rank() == 0 {
+			b.Barrier()
+		} else {
+			b.AllToAll(10)
+		}
+		b.Exit()
+	})
+	if err == nil {
+		t.Fatalf("mismatched collectives not detected")
+	}
+}
+
+func TestDeadlockCrossRecv(t *testing.T) {
+	// Both ranks recv before sending: classic deadlock (simulated recvs
+	// block, sends are eager, but recv-first on both sides never unblocks).
+	_, err := Simulate(noNoise(2), func(b *B) {
+		other := 1 - b.Rank()
+		b.Enter("main")
+		b.Recv(other, 0)
+		b.Send(other, 0, 10)
+		b.Exit()
+	})
+	if err == nil {
+		t.Fatalf("cross recv deadlock not detected")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prog := func(b *B) {
+		b.Enter("main")
+		b.Compute(0.01, counters.Work{Flops: 1e6})
+		if b.Rank() > 0 {
+			b.Send(0, 1, 512)
+		} else {
+			for i := 1; i < b.NP(); i++ {
+				b.Recv(i, 1)
+			}
+		}
+		b.Barrier()
+		b.Exit()
+	}
+	cfg := Config{Program: "det", NumRanks: 4, Seed: 7, NoiseAmp: 0.1}
+	a, err := Simulate(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace.Events) != len(b.Trace.Events) {
+		t.Fatalf("event counts differ")
+	}
+	for i := range a.Trace.Events {
+		if !reflect.DeepEqual(a.Trace.Events[i], b.Trace.Events[i]) {
+			t.Fatalf("event %d differs between identical runs", i)
+		}
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	// Different seed must (with noise) give different timing.
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := Simulate(cfg2, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Elapsed == a.Elapsed {
+		t.Errorf("noise did not vary with seed")
+	}
+}
+
+func TestNoiseBounds(t *testing.T) {
+	cfg := Config{Program: "n", NumRanks: 1, Seed: 3, NoiseAmp: 0.5}
+	run, err := Simulate(cfg, func(b *B) {
+		b.Enter("main")
+		for i := 0; i < 100; i++ {
+			b.Compute(0.001, counters.Work{})
+		}
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Elapsed < 0.1 || run.Elapsed > 0.15 {
+		t.Errorf("noise outside multiplicative bounds: %v", run.Elapsed)
+	}
+}
+
+func TestTraceCountersAttached(t *testing.T) {
+	cfg := noNoise(2)
+	cfg.TraceCounters = counters.EventSet{counters.TotalCycles, counters.FPIns}
+	run, err := Simulate(cfg, func(b *B) {
+		b.Enter("main")
+		b.Compute(0.01, counters.Work{Flops: 5e6})
+		if b.Rank() == 0 {
+			b.Send(1, 0, 64)
+		} else {
+			b.Recv(0, 0)
+		}
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Trace.Counters; len(got) != 2 || got[1] != "PAPI_FP_INS" {
+		t.Fatalf("trace counters = %v", got)
+	}
+	// Every enter/exit carries monotone cumulative values.
+	last := map[int32][]int64{}
+	for _, ev := range run.Trace.Events {
+		if ev.Kind != trace.Enter && ev.Kind != trace.Exit {
+			continue
+		}
+		if len(ev.Counters) != 2 {
+			t.Fatalf("enter/exit without counters: %+v", ev)
+		}
+		if prev, ok := last[ev.Rank]; ok {
+			for i := range prev {
+				if ev.Counters[i] < prev[i] {
+					t.Fatalf("counter %d not monotone on rank %d", i, ev.Rank)
+				}
+			}
+		}
+		last[ev.Rank] = ev.Counters
+	}
+	// FP_INS accumulated = 5e6 per rank.
+	if last[0][1] != 5e6 {
+		t.Errorf("final FP_INS = %d", last[0][1])
+	}
+}
+
+func TestTraceCountersConflictRejected(t *testing.T) {
+	cfg := noNoise(1)
+	cfg.TraceCounters = counters.EventSet{counters.FPIns, counters.L1DataMiss}
+	_, err := Simulate(cfg, func(b *B) {
+		b.Enter("main")
+		b.Exit()
+	})
+	if err == nil {
+		t.Errorf("conflicting trace counter set accepted")
+	}
+}
+
+func TestCollectiveMismatchedArgs(t *testing.T) {
+	_, err := Simulate(noNoise(2), func(b *B) {
+		b.Enter("main")
+		b.Bcast(b.Rank(), 8) // different roots
+		b.Exit()
+	})
+	if err == nil {
+		t.Errorf("mismatched collective roots accepted")
+	}
+}
+
+func TestAllCollectivesRun(t *testing.T) {
+	run, err := Simulate(noNoise(4), func(b *B) {
+		b.Enter("main")
+		b.Barrier()
+		b.AllToAll(256)
+		b.AllReduce(8)
+		b.Bcast(0, 1024)
+		b.Reduce(2, 64)
+		b.AllGather(512)
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[trace.CollKind]int{}
+	for _, ev := range run.Trace.Events {
+		if ev.Coll != trace.CollNone {
+			kinds[ev.Coll]++
+		}
+	}
+	for _, k := range []trace.CollKind{trace.CollBarrier, trace.CollAllToAll, trace.CollAllReduce,
+		trace.CollBcast, trace.CollReduce, trace.CollAllGather} {
+		if kinds[k] != 4 {
+			t.Errorf("collective %v exits = %d, want 4", k, kinds[k])
+		}
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	run, err := Simulate(noNoise(1), func(b *B) {
+		b.Enter("main")
+		b.Barrier()
+		b.AllToAll(128)
+		b.AllReduce(8)
+		b.Bcast(0, 64)
+		b.Reduce(0, 64)
+		b.AllGather(64)
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatalf("single-rank collectives: %v", err)
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if run.Elapsed <= 0 {
+		t.Errorf("collectives cost nothing: %v", run.Elapsed)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	run, err := Simulate(noNoise(2), func(b *B) {
+		b.Enter("main")
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Elapsed != 0 || len(run.Trace.Events) != 4 {
+		t.Errorf("empty program: elapsed %v, events %d", run.Elapsed, len(run.Trace.Events))
+	}
+}
+
+func TestRegionNesting(t *testing.T) {
+	run, err := Simulate(noNoise(1), func(b *B) {
+		b.Enter("main")
+		b.Region("phase", func() {
+			b.Region("inner", func() {
+				b.Compute(0.001, counters.Work{})
+			})
+		})
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatalf("nesting broken: %v", err)
+	}
+	if len(regionEvents(run.Trace, 0, "inner", trace.Enter)) != 1 {
+		t.Errorf("inner region missing")
+	}
+}
+
+func TestAtLineNumbers(t *testing.T) {
+	run, err := Simulate(noNoise(1), func(b *B) {
+		b.At(42).Enter("main")
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Trace.Regions[0].Line != 42 {
+		t.Errorf("line = %d, want 42", run.Trace.Regions[0].Line)
+	}
+}
+
+func TestModuleAssignment(t *testing.T) {
+	if moduleFor("MPI_Recv") != "libmpi" || moduleFor("solver") != "app" {
+		t.Errorf("moduleFor wrong")
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.NumRanks != 1 || cfg.Latency == 0 || cfg.Bandwidth == 0 || cfg.Program == "" {
+		t.Errorf("defaults incomplete: %+v", cfg)
+	}
+}

@@ -1,0 +1,146 @@
+package mpisim
+
+import (
+	"math"
+	"testing"
+
+	"cube/internal/counters"
+	"cube/internal/trace"
+)
+
+func TestParallelRegionJoin(t *testing.T) {
+	run, err := Simulate(noNoise(1), func(b *B) {
+		b.Enter("main")
+		b.Parallel("loop", 3, func(tid int) (float64, counters.Work) {
+			return 0.01 * float64(tid+1), counters.Work{Flops: 1e5}
+		})
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	// Join at the slowest thread: 0.03.
+	if math.Abs(run.Elapsed-0.03) > 1e-12 {
+		t.Errorf("elapsed = %v, want 0.03", run.Elapsed)
+	}
+	// Every thread has Enter/Exit for the region and the implicit
+	// barrier.
+	perThread := map[int32]int{}
+	var barrierExits int
+	for _, ev := range run.Trace.Events {
+		if ev.Kind == trace.Enter && run.Trace.RegionName(ev.Region) == OMPPrefix+"loop" {
+			perThread[ev.Thread]++
+		}
+		if ev.Coll == trace.CollOMPBarrier {
+			barrierExits++
+			if math.Abs(ev.Time-0.03) > 1e-12 {
+				t.Errorf("barrier exit at %v, want join 0.03", ev.Time)
+			}
+		}
+	}
+	if len(perThread) != 3 {
+		t.Errorf("threads seen = %d, want 3", len(perThread))
+	}
+	if barrierExits != 3 {
+		t.Errorf("barrier exits = %d, want 3", barrierExits)
+	}
+	// Work accumulated across all threads: 0.01+0.02+0.03 busy seconds.
+	if math.Abs(run.FinalWork[0].Seconds-0.06) > 1e-12 {
+		t.Errorf("work seconds = %v, want 0.06", run.FinalWork[0].Seconds)
+	}
+	if run.FinalWork[0].Flops != 3e5 {
+		t.Errorf("flops = %v, want 3e5", run.FinalWork[0].Flops)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	if _, err := Simulate(noNoise(1), func(b *B) {
+		b.Enter("m")
+		b.Parallel("x", 0, func(int) (float64, counters.Work) { return 0, counters.Work{} })
+		b.Exit()
+	}); err == nil {
+		t.Errorf("zero threads accepted")
+	}
+	if _, err := Simulate(noNoise(1), func(b *B) {
+		b.Enter("m")
+		b.Parallel("x", 2, func(int) (float64, counters.Work) { return -1, counters.Work{} })
+		b.Exit()
+	}); err == nil {
+		t.Errorf("negative duration accepted")
+	}
+}
+
+func TestParallelThreadsPerRank(t *testing.T) {
+	run, err := Simulate(noNoise(2), func(b *B) {
+		b.Enter("main")
+		n := 2
+		if b.Rank() == 1 {
+			n = 4
+		}
+		b.Parallel("work", n, func(int) (float64, counters.Work) { return 0.001, counters.Work{} })
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := run.Trace.ThreadsPerRank()
+	if per[0] != 2 || per[1] != 4 {
+		t.Errorf("ThreadsPerRank = %v, want [2 4]", per)
+	}
+}
+
+func TestParallelCountersMasterOnly(t *testing.T) {
+	cfg := noNoise(1)
+	cfg.TraceCounters = counters.EventSet{counters.FPIns}
+	run, err := Simulate(cfg, func(b *B) {
+		b.Enter("main")
+		b.Parallel("w", 2, func(int) (float64, counters.Work) {
+			return 0.001, counters.Work{Flops: 100}
+		})
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range run.Trace.Events {
+		if ev.Kind != trace.Enter && ev.Kind != trace.Exit {
+			continue
+		}
+		if ev.Thread == 0 && len(ev.Counters) != 1 {
+			t.Errorf("master record without counters: %+v", ev)
+		}
+		if ev.Thread != 0 && ev.Counters != nil {
+			t.Errorf("worker record carries counters: %+v", ev)
+		}
+	}
+}
+
+func TestParallelSequencePerRank(t *testing.T) {
+	// Two parallel regions: instances numbered per rank independently.
+	run, err := Simulate(noNoise(2), func(b *B) {
+		b.Enter("main")
+		b.Parallel("a", 2, func(int) (float64, counters.Work) { return 0.001, counters.Work{} })
+		b.Parallel("b", 2, func(int) (float64, counters.Work) { return 0.001, counters.Work{} })
+		b.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := map[int32]map[int32]bool{}
+	for _, ev := range run.Trace.Events {
+		if ev.Coll == trace.CollOMPBarrier {
+			if seqs[ev.Rank] == nil {
+				seqs[ev.Rank] = map[int32]bool{}
+			}
+			seqs[ev.Rank][ev.CollSeq] = true
+		}
+	}
+	for r, s := range seqs {
+		if len(s) != 2 || !s[0] || !s[1] {
+			t.Errorf("rank %d instance numbering wrong: %v", r, s)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package mpisim is a deterministic discrete-event simulator for SPMD
+// message-passing programs. It stands in for the parallel machines the
+// paper ran on (a Pentium III Xeon / Myrinet cluster and an IBM POWER4
+// system): programs expressed in a small builder DSL — compute phases,
+// point-to-point messages, barriers, and collective operations — are
+// simulated with a latency/bandwidth timing model, per-process noise, and
+// load imbalance, producing EPILOG-style event traces (optionally carrying
+// hardware-counter values in every record) that the EXPERT-like analyzer
+// and the CONE-like profiler consume.
+package mpisim
+
+import (
+	"fmt"
+
+	"cube/internal/counters"
+	"cube/internal/trace"
+)
+
+// MPI region names used in generated traces.
+const (
+	RegionSend      = "MPI_Send"
+	RegionRecv      = "MPI_Recv"
+	RegionBarrier   = "MPI_Barrier"
+	RegionAllToAll  = "MPI_Alltoall"
+	RegionAllReduce = "MPI_Allreduce"
+	RegionBcast     = "MPI_Bcast"
+	RegionReduce    = "MPI_Reduce"
+	RegionAllGather = "MPI_Allgather"
+)
+
+// OpenMP region naming (EXPERT-style constructs), shared with the trace
+// package so analyzers do not depend on the simulator.
+const (
+	// OMPPrefix prefixes the region name of every parallel region.
+	OMPPrefix = trace.OMPPrefix
+	// OMPBarrierRegion is the implicit barrier joining a parallel region.
+	OMPBarrierRegion = trace.OMPBarrierRegion
+)
+
+// Program builds the per-rank behaviour of an SPMD application: it is
+// invoked once per rank with a builder that records that rank's operation
+// sequence. Control flow may depend on b.Rank() and b.NP() but not on
+// message contents (the simulator transports time, not data).
+type Program func(b *B)
+
+type opKind uint8
+
+const (
+	opEnter opKind = iota
+	opExit
+	opCompute
+	opSend
+	opRecv
+	opColl
+	opParallel
+)
+
+type collOp uint8
+
+const (
+	collBarrier collOp = iota
+	collAllToAll
+	collAllReduce
+	collBcast
+	collReduce
+	collAllGather
+)
+
+func (c collOp) region() string {
+	switch c {
+	case collBarrier:
+		return RegionBarrier
+	case collAllToAll:
+		return RegionAllToAll
+	case collAllReduce:
+		return RegionAllReduce
+	case collBcast:
+		return RegionBcast
+	case collReduce:
+		return RegionReduce
+	case collAllGather:
+		return RegionAllGather
+	}
+	return "MPI_Collective"
+}
+
+type op struct {
+	kind    opKind
+	region  string        // opEnter/opExit
+	line    int           // source line attributed to the op's call site
+	seconds float64       // opCompute: nominal duration
+	work    counters.Work // opCompute: abstract work (Seconds ignored)
+	partner int           // opSend: destination, opRecv: source
+	tag     int
+	bytes   int64
+	coll    collOp // opColl
+	root    int    // opColl (bcast/reduce)
+	// opParallel: per-thread nominal durations and work.
+	durs  []float64
+	works []counters.Work
+}
+
+// B records one rank's operation sequence.
+type B struct {
+	rank int
+	np   int
+	ops  []op
+
+	stack []string
+	err   error
+	line  int
+}
+
+// Rank returns the rank this builder describes.
+func (b *B) Rank() int { return b.rank }
+
+// NP returns the total number of ranks.
+func (b *B) NP() int { return b.np }
+
+// At sets the source line attributed to subsequently recorded operations
+// (used to give call sites line numbers). It returns b for chaining.
+func (b *B) At(line int) *B {
+	b.line = line
+	return b
+}
+
+func (b *B) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("mpisim: rank %d: "+format, append([]any{b.rank}, args...)...)
+	}
+}
+
+// Enter opens a user region (a function, loop, or phase). Regions must be
+// closed with Exit in LIFO order.
+func (b *B) Enter(region string) {
+	if region == "" {
+		b.fail("Enter with empty region name")
+		return
+	}
+	b.stack = append(b.stack, region)
+	b.ops = append(b.ops, op{kind: opEnter, region: region, line: b.line})
+}
+
+// Exit closes the innermost open user region.
+func (b *B) Exit() {
+	if len(b.stack) == 0 {
+		b.fail("Exit without matching Enter")
+		return
+	}
+	region := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.ops = append(b.ops, op{kind: opExit, region: region, line: b.line})
+}
+
+// Region runs body inside an Enter/Exit pair.
+func (b *B) Region(name string, body func()) {
+	b.Enter(name)
+	body()
+	b.Exit()
+}
+
+// Compute advances the rank's clock by the given number of seconds
+// (perturbed by the configured noise) while performing the given abstract
+// work. The Seconds field of work is ignored; the simulator accounts the
+// effective duration as busy time.
+func (b *B) Compute(seconds float64, work counters.Work) {
+	if seconds < 0 {
+		b.fail("Compute with negative duration %g", seconds)
+		return
+	}
+	b.ops = append(b.ops, op{kind: opCompute, seconds: seconds, work: work, line: b.line})
+}
+
+// Send transmits bytes to rank dst with the given tag (standard blocking
+// send with eager completion: the sender proceeds after its send overhead).
+func (b *B) Send(dst, tag int, bytes int64) {
+	if dst < 0 || dst >= b.np {
+		b.fail("Send to invalid rank %d (np=%d)", dst, b.np)
+		return
+	}
+	if dst == b.rank {
+		b.fail("Send to self")
+		return
+	}
+	b.ops = append(b.ops, op{kind: opSend, partner: dst, tag: tag, bytes: bytes, line: b.line})
+}
+
+// Recv receives a message from rank src with the given tag, blocking until
+// the matching message has arrived.
+func (b *B) Recv(src, tag int) {
+	if src < 0 || src >= b.np {
+		b.fail("Recv from invalid rank %d (np=%d)", src, b.np)
+		return
+	}
+	if src == b.rank {
+		b.fail("Recv from self")
+		return
+	}
+	b.ops = append(b.ops, op{kind: opRecv, partner: src, tag: tag, line: b.line})
+}
+
+// Parallel executes an OpenMP-style parallel region with the given number
+// of threads: every thread performs the duration and work returned by body
+// for its thread id, then all threads synchronise at the region's implicit
+// join barrier. The generated trace records per-thread enter/exit events
+// for the region and its implicit barrier, so a trace analyzer can derive
+// thread-level imbalance (waiting at the join) and idle-thread time during
+// serial phases. Parallel regions must not contain MPI operations
+// (funnelled communication happens outside, on the master thread).
+func (b *B) Parallel(name string, threads int, body func(tid int) (seconds float64, work counters.Work)) {
+	if threads < 1 {
+		b.fail("Parallel with %d threads", threads)
+		return
+	}
+	o := op{kind: opParallel, region: OMPPrefix + name, line: b.line,
+		durs: make([]float64, threads), works: make([]counters.Work, threads)}
+	for tid := 0; tid < threads; tid++ {
+		sec, w := body(tid)
+		if sec < 0 {
+			b.fail("Parallel thread %d has negative duration %g", tid, sec)
+			return
+		}
+		o.durs[tid] = sec
+		o.works[tid] = w
+	}
+	b.ops = append(b.ops, o)
+}
+
+// Barrier synchronises all ranks.
+func (b *B) Barrier() {
+	b.ops = append(b.ops, op{kind: opColl, coll: collBarrier, line: b.line})
+}
+
+// AllToAll performs an all-to-all exchange contributing bytes per rank pair.
+func (b *B) AllToAll(bytes int64) {
+	b.ops = append(b.ops, op{kind: opColl, coll: collAllToAll, bytes: bytes, line: b.line})
+}
+
+// AllReduce performs a global reduction of bytes, result on all ranks.
+func (b *B) AllReduce(bytes int64) {
+	b.ops = append(b.ops, op{kind: opColl, coll: collAllReduce, bytes: bytes, line: b.line})
+}
+
+// AllGather gathers bytes from every rank on every rank (an N-to-N
+// operation like AllToAll; analyzers attribute its waiting to Wait at NxN).
+func (b *B) AllGather(bytes int64) {
+	b.ops = append(b.ops, op{kind: opColl, coll: collAllGather, bytes: bytes, line: b.line})
+}
+
+// Bcast broadcasts bytes from root.
+func (b *B) Bcast(root int, bytes int64) {
+	if root < 0 || root >= b.np {
+		b.fail("Bcast with invalid root %d", root)
+		return
+	}
+	b.ops = append(b.ops, op{kind: opColl, coll: collBcast, root: root, bytes: bytes, line: b.line})
+}
+
+// Reduce reduces bytes onto root.
+func (b *B) Reduce(root int, bytes int64) {
+	if root < 0 || root >= b.np {
+		b.fail("Reduce with invalid root %d", root)
+		return
+	}
+	b.ops = append(b.ops, op{kind: opColl, coll: collReduce, root: root, bytes: bytes, line: b.line})
+}
+
+// build runs the program for every rank and validates the recorded
+// sequences.
+func build(np int, prog Program) ([][]op, error) {
+	all := make([][]op, np)
+	for r := 0; r < np; r++ {
+		b := &B{rank: r, np: np}
+		prog(b)
+		if b.err != nil {
+			return nil, b.err
+		}
+		if len(b.stack) != 0 {
+			return nil, fmt.Errorf("mpisim: rank %d: %d regions left open (innermost %q)",
+				r, len(b.stack), b.stack[len(b.stack)-1])
+		}
+		all[r] = b.ops
+	}
+	return all, nil
+}

@@ -1,0 +1,484 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"cube/internal/counters"
+	"cube/internal/trace"
+)
+
+// Config parameterises a simulated run. Zero fields take the defaults of
+// WithDefaults, which approximate the paper's Myrinet-connected Pentium III
+// Xeon cluster.
+type Config struct {
+	// Program labels the run (stored in the trace).
+	Program string
+	// NumRanks is the number of MPI processes; NumNodes the number of
+	// SMP nodes they are placed on (block distribution).
+	NumRanks int
+	NumNodes int
+	// Latency is the one-way message latency in seconds.
+	Latency float64
+	// Bandwidth is the link bandwidth in bytes per second.
+	Bandwidth float64
+	// SendOverhead and RecvOverhead are the CPU costs of posting a send
+	// and completing a receive.
+	SendOverhead float64
+	RecvOverhead float64
+	// RendezvousBytes is the eager/rendezvous protocol switch: messages
+	// of at least this size use a synchronous rendezvous — the sender
+	// blocks inside MPI_Send until the receiver has posted its receive
+	// (the Late Receiver pattern). Zero keeps every message eager.
+	RendezvousBytes int64
+	// BarrierCost is the absolute cost of the barrier algorithm once all
+	// ranks have arrived; 0 selects ceil(log2(np)) * Latency.
+	BarrierCost float64
+	// CollExitSkew staggers the completion of collective operations
+	// across ranks (what makes Barrier-Completion non-zero).
+	CollExitSkew float64
+	// NoiseAmp perturbs every compute phase multiplicatively by up to
+	// this fraction (unrelated system activity); 0 disables noise.
+	NoiseAmp float64
+	// Seed seeds the deterministic noise generators; runs with different
+	// seeds model repeated executions of the same configuration.
+	Seed int64
+	// CounterModel synthesises hardware-counter values from work; nil
+	// selects counters.DefaultModel when counters are requested.
+	CounterModel *counters.Model
+	// TraceCounters, when non-empty, attaches cumulative values of this
+	// event set to every enter/exit record (the space-hungry monitoring
+	// mode §5.2 warns about). The set must be measurable in one run.
+	TraceCounters counters.EventSet
+}
+
+// WithDefaults returns cfg with zero fields replaced by defaults.
+func (cfg Config) WithDefaults() Config {
+	if cfg.Program == "" {
+		cfg.Program = "app"
+	}
+	if cfg.NumRanks <= 0 {
+		cfg.NumRanks = 1
+	}
+	if cfg.NumNodes <= 0 {
+		cfg.NumNodes = 1
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 20e-6
+	}
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = 120e6
+	}
+	if cfg.SendOverhead == 0 {
+		cfg.SendOverhead = 3e-6
+	}
+	if cfg.RecvOverhead == 0 {
+		cfg.RecvOverhead = 3e-6
+	}
+	if cfg.CollExitSkew == 0 {
+		cfg.CollExitSkew = 4e-6
+	}
+	return cfg
+}
+
+// Run is the outcome of a simulated execution.
+type Run struct {
+	// Config echoes the (defaulted) configuration.
+	Config Config
+	// Trace is the generated event trace, sorted by time.
+	Trace *trace.Trace
+	// RankEnd is each rank's local clock at program end.
+	RankEnd []float64
+	// Elapsed is the wall-clock time of the run (max of RankEnd).
+	Elapsed float64
+	// FinalWork is each rank's accumulated abstract work.
+	FinalWork []counters.Work
+}
+
+// DeadlockError reports that the simulated program cannot make progress.
+type DeadlockError struct {
+	// Blocked describes what each stuck rank is waiting for.
+	Blocked []string
+}
+
+// Error implements the error interface.
+func (e *DeadlockError) Error() string {
+	return "mpisim: deadlock: " + strings.Join(e.Blocked, "; ")
+}
+
+type message struct {
+	sendTime float64 // sender's clock when the send was posted
+	arrival  float64 // receiver-side arrival time
+	bytes    int64
+}
+
+// recvPost signals a posted-but-unmatched receive, which rendezvous sends
+// synchronise with.
+type recvPost struct {
+	time  float64
+	taken bool
+}
+
+type chanKey struct {
+	src, dst, tag int
+}
+
+type collKey struct {
+	kind collOp
+	seq  int
+}
+
+type collState struct {
+	enters   []float64
+	arrived  int
+	maxEnter float64
+	bytes    int64
+	root     int
+}
+
+type rankState struct {
+	pc      int
+	clock   float64
+	work    counters.Work
+	collSeq map[collOp]int
+	ompSeq  int
+	rng     *rand.Rand
+	// posts tracks the receive this rank has posted for its currently
+	// blocked recv op (keyed by pc), so rendezvous senders can match it.
+	posts map[int]*recvPost
+	// waiting describes what the rank is blocked on, for deadlock
+	// diagnostics.
+	waiting string
+}
+
+// Simulate runs the program under the configuration and returns the run.
+// The simulation is fully deterministic for a given (Config, Program) pair.
+func Simulate(cfg Config, prog Program) (*Run, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.TraceCounters != nil {
+		if err := cfg.TraceCounters.Validate(); err != nil {
+			return nil, fmt.Errorf("mpisim: trace counter set not measurable in one run: %w", err)
+		}
+		if cfg.CounterModel == nil {
+			cfg.CounterModel = counters.DefaultModel()
+		}
+	}
+	ops, err := build(cfg.NumRanks, prog)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := trace.New(cfg.Program, cfg.NumRanks)
+	tr.Counters = cfg.TraceCounters.Names()
+	np := cfg.NumRanks
+
+	ranks := make([]*rankState, np)
+	for r := 0; r < np; r++ {
+		ranks[r] = &rankState{
+			collSeq: map[collOp]int{},
+			posts:   map[int]*recvPost{},
+			rng:     rand.New(rand.NewSource(cfg.Seed*1000003 + int64(r)*7919 + 1)),
+		}
+	}
+	queues := map[chanKey][]message{}
+	pending := map[chanKey][]*recvPost{}
+	colls := map[collKey]*collState{}
+
+	sampleCounters := func(rs *rankState) []int64 {
+		if len(cfg.TraceCounters) == 0 {
+			return nil
+		}
+		return cfg.CounterModel.Counts(cfg.TraceCounters, rs.work)
+	}
+	emit := func(rs *rankState, ev trace.Event) {
+		// Counters are process-wide cumulative values sampled on the
+		// master thread; worker-thread records carry none.
+		if (ev.Kind == trace.Enter || ev.Kind == trace.Exit) && ev.Thread == 0 {
+			ev.Counters = sampleCounters(rs)
+		}
+		tr.Append(ev)
+	}
+	enter := func(r int, rs *rankState, region string, line int, at float64) int32 {
+		id := tr.DefineRegion(region, moduleFor(region), line)
+		emit(rs, trace.Event{Kind: trace.Enter, Time: at, Rank: int32(r), Region: id, Partner: trace.NoPartner})
+		return id
+	}
+	exitEv := func(r int, rs *rankState, region int32, at float64) {
+		emit(rs, trace.Event{Kind: trace.Exit, Time: at, Rank: int32(r), Region: region, Partner: trace.NoPartner})
+	}
+
+	noise := func(rs *rankState) float64 {
+		if cfg.NoiseAmp <= 0 {
+			return 1
+		}
+		return 1 + cfg.NoiseAmp*rs.rng.Float64()
+	}
+	// skew staggers collective completions deterministically per rank.
+	skew := func(r int) float64 {
+		return cfg.CollExitSkew * float64((r*2654435761)%97) / 97.0
+	}
+	log2np := math.Ceil(math.Log2(float64(np)))
+	if log2np < 1 {
+		log2np = 1
+	}
+	collCost := func(kind collOp, bytes int64) float64 {
+		bb := float64(bytes) / cfg.Bandwidth
+		switch kind {
+		case collBarrier:
+			if cfg.BarrierCost > 0 {
+				return cfg.BarrierCost
+			}
+			return log2np * cfg.Latency
+		case collAllToAll, collAllGather:
+			return log2np*cfg.Latency + float64(np-1)*bb
+		case collAllReduce:
+			return 2 * log2np * (cfg.Latency + bb)
+		case collBcast, collReduce:
+			return log2np * (cfg.Latency + bb)
+		}
+		return log2np * cfg.Latency
+	}
+
+	// step executes the next op of rank r if possible. It returns whether
+	// progress was made; a non-nil error aborts the simulation.
+	step := func(r int) (bool, error) {
+		rs := ranks[r]
+		if rs.pc >= len(ops[r]) {
+			return false, nil
+		}
+		o := &ops[r][rs.pc]
+		switch o.kind {
+		case opEnter:
+			enter(r, rs, o.region, o.line, rs.clock)
+		case opExit:
+			id := tr.DefineRegion(o.region, moduleFor(o.region), o.line)
+			exitEv(r, rs, id, rs.clock)
+		case opCompute:
+			d := o.seconds * noise(rs)
+			w := o.work
+			w.Seconds = d
+			rs.work.Add(w)
+			rs.clock += d
+		case opSend:
+			t0 := rs.clock
+			k := chanKey{src: r, dst: o.partner, tag: o.tag}
+			rendezvous := cfg.RendezvousBytes > 0 && o.bytes >= cfg.RendezvousBytes
+			var arrival float64
+			if rendezvous {
+				// Synchronous protocol: the transfer cannot start before
+				// the receiver has posted its receive; the sender blocks
+				// inside MPI_Send until then (Late Receiver).
+				lst := pending[k]
+				for len(lst) > 0 && lst[0].taken {
+					lst = lst[1:]
+				}
+				pending[k] = lst
+				if len(lst) == 0 {
+					rs.waiting = fmt.Sprintf("rank %d blocked in rendezvous MPI_Send(dst=%d, tag=%d)", r, o.partner, o.tag)
+					return false, nil
+				}
+				post := lst[0]
+				post.taken = true
+				pending[k] = lst[1:]
+				start := t0
+				if post.time > start {
+					start = post.time
+				}
+				arrival = start + cfg.Latency + float64(o.bytes)/cfg.Bandwidth
+			} else {
+				arrival = t0 + cfg.Latency + float64(o.bytes)/cfg.Bandwidth
+			}
+			id := enter(r, rs, RegionSend, o.line, t0)
+			queues[k] = append(queues[k], message{sendTime: t0, arrival: arrival, bytes: o.bytes})
+			sendEv := trace.Event{Kind: trace.Send, Time: t0, Rank: int32(r), Region: -1,
+				Partner: int32(o.partner), Tag: int32(o.tag), Bytes: o.bytes}
+			if rendezvous {
+				// Root doubles as the protocol marker on message records.
+				sendEv.Root = 1
+			}
+			emit(rs, sendEv)
+			rs.work.Add(counters.Work{Seconds: cfg.SendOverhead, LocalBytes: float64(o.bytes)})
+			if rendezvous {
+				rs.clock = arrival
+			} else {
+				rs.clock = t0 + cfg.SendOverhead
+			}
+			exitEv(r, rs, id, rs.clock)
+		case opRecv:
+			k := chanKey{src: o.partner, dst: r, tag: o.tag}
+			q := queues[k]
+			if len(q) == 0 {
+				if rs.posts[rs.pc] == nil {
+					post := &recvPost{time: rs.clock}
+					rs.posts[rs.pc] = post
+					pending[k] = append(pending[k], post)
+				}
+				rs.waiting = fmt.Sprintf("rank %d blocked in MPI_Recv(src=%d, tag=%d)", r, o.partner, o.tag)
+				return false, nil
+			}
+			msg := q[0]
+			queues[k] = q[1:]
+			if post := rs.posts[rs.pc]; post != nil {
+				post.taken = true // consumed by an eager message
+				delete(rs.posts, rs.pc)
+			}
+			t0 := rs.clock
+			id := enter(r, rs, RegionRecv, o.line, t0)
+			done := t0 + cfg.RecvOverhead
+			if msg.arrival > done {
+				done = msg.arrival
+			}
+			emit(rs, trace.Event{Kind: trace.Recv, Time: done, Rank: int32(r), Region: -1,
+				Partner: int32(o.partner), Tag: int32(o.tag), Bytes: msg.bytes})
+			rs.work.Add(counters.Work{Seconds: cfg.RecvOverhead, MemBytes: float64(msg.bytes)})
+			rs.clock = done
+			exitEv(r, rs, id, rs.clock)
+		case opParallel:
+			t0 := rs.clock
+			seq := rs.ompSeq
+			rs.ompSeq++
+			regID := tr.DefineRegion(o.region, "omp", o.line)
+			barID := tr.DefineRegion(OMPBarrierRegion, "omp", o.line)
+			join := t0
+			ends := make([]float64, len(o.durs))
+			for tid, d := range o.durs {
+				eff := d * noise(rs)
+				ends[tid] = t0 + eff
+				if ends[tid] > join {
+					join = ends[tid]
+				}
+			}
+			for tid := range o.durs {
+				w := o.works[tid]
+				w.Seconds = ends[tid] - t0
+				rs.work.Add(w)
+				th := int32(tid)
+				emit(rs, trace.Event{Kind: trace.Enter, Time: t0, Rank: int32(r), Thread: th,
+					Region: regID, Partner: trace.NoPartner})
+				emit(rs, trace.Event{Kind: trace.Enter, Time: ends[tid], Rank: int32(r), Thread: th,
+					Region: barID, Partner: trace.NoPartner})
+				emit(rs, trace.Event{Kind: trace.Exit, Time: join, Rank: int32(r), Thread: th,
+					Region: barID, Partner: trace.NoPartner,
+					Coll: trace.CollOMPBarrier, CollSeq: int32(seq), Root: -1})
+				emit(rs, trace.Event{Kind: trace.Exit, Time: join, Rank: int32(r), Thread: th,
+					Region: regID, Partner: trace.NoPartner})
+			}
+			rs.clock = join
+		case opColl:
+			seq := rs.collSeq[o.coll]
+			ck := collKey{kind: o.coll, seq: seq}
+			cs := colls[ck]
+			if cs == nil {
+				cs = &collState{enters: make([]float64, np), root: o.root, bytes: o.bytes}
+				for i := range cs.enters {
+					cs.enters[i] = math.NaN()
+				}
+				colls[ck] = cs
+			}
+			if math.IsNaN(cs.enters[r]) {
+				cs.enters[r] = rs.clock
+				cs.arrived++
+				if cs.enters[r] > cs.maxEnter {
+					cs.maxEnter = cs.enters[r]
+				}
+				if o.root != cs.root || o.bytes != cs.bytes {
+					return false, fmt.Errorf("mpisim: rank %d calls %s instance %d with root=%d bytes=%d, but another rank used root=%d bytes=%d",
+						r, o.coll.region(), seq, o.root, o.bytes, cs.root, cs.bytes)
+				}
+			}
+			if cs.arrived < np {
+				rs.waiting = fmt.Sprintf("rank %d blocked in %s (instance %d, %d/%d arrived)",
+					r, o.coll.region(), seq, cs.arrived, np)
+				return false, nil
+			}
+			t0 := cs.enters[r]
+			id := enter(r, rs, o.coll.region(), o.line, t0)
+			done := cs.maxEnter + collCost(o.coll, o.bytes) + skew(r)
+			rs.work.Add(counters.Work{Seconds: collCost(o.coll, o.bytes), LocalBytes: float64(o.bytes)})
+			rs.clock = done
+			emit(rs, trace.Event{Kind: trace.Exit, Time: done, Rank: int32(r), Region: id,
+				Partner: trace.NoPartner, Bytes: o.bytes,
+				Coll: collTraceKind(o.coll), CollSeq: int32(seq), Root: int32(cs.root)})
+			rs.collSeq[o.coll] = seq + 1
+		}
+		rs.waiting = ""
+		rs.pc++
+		return true, nil
+	}
+
+	for {
+		progress := false
+		done := 0
+		for r := 0; r < np; r++ {
+			for {
+				ok, err := step(r)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				progress = true
+			}
+			if ranks[r].pc >= len(ops[r]) {
+				done++
+			}
+		}
+		if done == np {
+			break
+		}
+		if !progress {
+			var blocked []string
+			for r := 0; r < np; r++ {
+				if ranks[r].pc < len(ops[r]) {
+					w := ranks[r].waiting
+					if w == "" {
+						w = fmt.Sprintf("rank %d stuck at op %d", r, ranks[r].pc)
+					}
+					blocked = append(blocked, w)
+				}
+			}
+			return nil, &DeadlockError{Blocked: blocked}
+		}
+	}
+
+	tr.Sort()
+	run := &Run{Config: cfg, Trace: tr, RankEnd: make([]float64, np), FinalWork: make([]counters.Work, np)}
+	for r := 0; r < np; r++ {
+		run.RankEnd[r] = ranks[r].clock
+		run.FinalWork[r] = ranks[r].work
+		if ranks[r].clock > run.Elapsed {
+			run.Elapsed = ranks[r].clock
+		}
+	}
+	return run, nil
+}
+
+func collTraceKind(c collOp) trace.CollKind {
+	switch c {
+	case collBarrier:
+		return trace.CollBarrier
+	case collAllToAll:
+		return trace.CollAllToAll
+	case collAllReduce:
+		return trace.CollAllReduce
+	case collBcast:
+		return trace.CollBcast
+	case collReduce:
+		return trace.CollReduce
+	case collAllGather:
+		return trace.CollAllGather
+	}
+	return trace.CollNone
+}
+
+// moduleFor assigns MPI regions to a pseudo library module and user regions
+// to the application module.
+func moduleFor(region string) string {
+	if strings.HasPrefix(region, "MPI_") {
+		return "libmpi"
+	}
+	return "app"
+}

@@ -1,0 +1,211 @@
+// Package perfmodel produces CUBE experiments from analytical performance
+// models. The paper's introduction names model predictions as one of the
+// data classes cross-experiment analysis must handle ("data coming from
+// analytical models or simulations constitute another class of data that
+// need to be compared to those already mentioned"); because predictions are
+// encoded as ordinary experiments, the algebra compares them with measured
+// data directly — Difference(measured, predicted) is the model-validation
+// view, browsable like any experiment.
+package perfmodel
+
+import (
+	"fmt"
+
+	"cube/internal/apps"
+	"cube/internal/core"
+	"cube/internal/mpisim"
+)
+
+// Phase is a node of an analytical model: a program phase with a predicted
+// per-rank execution time and optional sub-phases. Phase names should match
+// the measured call tree's region names so metadata integration aligns the
+// prediction with the measurement.
+type Phase struct {
+	// Name is the region name of the phase.
+	Name string
+	// Module is the region's module ("app" by default).
+	Module string
+	// Time predicts the accumulated time rank spends in exactly this
+	// phase (exclusive of children) over the whole run; nil means zero.
+	Time func(rank int) float64
+	// Visits predicts how often the phase runs; nil means zero/unknown.
+	Visits func(rank int) float64
+	// Children are the sub-phases.
+	Children []*Phase
+}
+
+// Model is a complete analytical model of a program run.
+type Model struct {
+	// Title labels the prediction experiment.
+	Title string
+	// NP and Nodes describe the predicted system.
+	NP, Nodes int
+	// Roots are the top-level phases (usually a single "main").
+	Roots []*Phase
+}
+
+// Build evaluates the model into a CUBE experiment with a predicted-Time
+// metric tree (Time → Computation/Communication are up to the model's
+// phase structure; severities are stored at the phases) and a Visits root.
+func (m *Model) Build() (*core.Experiment, error) {
+	if m.NP <= 0 {
+		return nil, fmt.Errorf("perfmodel: model needs a positive process count")
+	}
+	if len(m.Roots) == 0 {
+		return nil, fmt.Errorf("perfmodel: model has no phases")
+	}
+	e := core.New(m.Title)
+	e.Attrs["perfmodel"] = "analytical prediction"
+	timeM := e.NewMetric("Time", core.Seconds, "Predicted wall-clock time per call path")
+	visitsM := e.NewMetric("Visits", core.Occurrences, "Predicted visits per call path")
+	threads := e.SingleThreadedSystem("model", maxInt(m.Nodes, 1), m.NP)
+
+	regions := map[string]*core.Region{}
+	regionFor := func(name, module string) *core.Region {
+		if module == "" {
+			module = "app"
+		}
+		key := name + "\x00" + module
+		if r, ok := regions[key]; ok {
+			return r
+		}
+		r := e.NewRegion(name, module, 0, 0)
+		regions[key] = r
+		return r
+	}
+
+	var build func(p *Phase, parent *core.CallNode) error
+	build = func(p *Phase, parent *core.CallNode) error {
+		if p.Name == "" {
+			return fmt.Errorf("perfmodel: phase with empty name")
+		}
+		r := regionFor(p.Name, p.Module)
+		site := e.NewCallSite(r.Module, 0, r)
+		var cn *core.CallNode
+		if parent == nil {
+			cn = e.NewCallRoot(site)
+		} else {
+			cn = parent.NewChild(site)
+			e.Invalidate()
+		}
+		for rank, th := range threads {
+			if p.Time != nil {
+				e.SetSeverity(timeM, cn, th, p.Time(rank))
+			}
+			if p.Visits != nil {
+				e.SetSeverity(visitsM, cn, th, p.Visits(rank))
+			}
+		}
+		for _, c := range p.Children {
+			if err := build(c, cn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range m.Roots {
+		if err := build(root, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("perfmodel: model produced invalid experiment: %w", err)
+	}
+	return e, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// neighbors counts a rank's chain neighbors (1 at the boundaries, else 2).
+func neighbors(rank, np int) float64 {
+	n := 0.0
+	if rank > 0 {
+		n++
+	}
+	if rank < np-1 {
+		n++
+	}
+	return n
+}
+
+// PescanModel is a first-order analytical model of the PESCAN-like solver
+// (apps.Pescan): pure computation plus latency/bandwidth communication
+// terms, with the same region names and call structure as the measured
+// code. It deliberately models no waiting times — so the difference
+// against a measured experiment exposes exactly the imbalance- and
+// synchronisation-induced overheads.
+func PescanModel(c apps.PescanConfig, sim mpisim.Config) *Model {
+	c = c.WithDefaults()
+	sim = sim.WithDefaults()
+	np := c.NP
+	it := float64(c.Iterations)
+	d := func(rank int) float64 {
+		if np <= 1 {
+			return 0
+		}
+		return c.ImbalanceSec * float64(rank) / float64(np-1)
+	}
+	transfer := func(bytes int64) float64 {
+		return sim.Latency + float64(bytes)/sim.Bandwidth
+	}
+	constT := func(v float64) func(int) float64 {
+		return func(int) float64 { return v }
+	}
+	visits := func(v float64) func(int) float64 {
+		return func(int) float64 { return v }
+	}
+
+	iterate := &Phase{
+		Name: "iterate", Visits: visits(it),
+		Children: []*Phase{
+			{Name: "fft_forward", Visits: visits(it),
+				Time: func(rank int) float64 { return it * (c.FFTSec + d(rank)) }},
+			{Name: "exchange", Visits: visits(it),
+				// One message per chain neighbor (interior ranks have
+				// two); the model charges pure transfer cost, no waiting.
+				Children: []*Phase{
+					{Name: "MPI_Send", Module: "libmpi",
+						Visits: func(rank int) float64 { return it * neighbors(rank, np) },
+						Time: func(rank int) float64 {
+							return it * neighbors(rank, np) * sim.SendOverhead
+						}},
+					{Name: "MPI_Recv", Module: "libmpi",
+						Visits: func(rank int) float64 { return it * neighbors(rank, np) },
+						Time: func(rank int) float64 {
+							return it * neighbors(rank, np) * (transfer(c.HaloBytes) + sim.RecvOverhead)
+						}},
+				}},
+			{Name: "apply_potential", Visits: visits(it), Time: constT(it * c.ApplySec)},
+			{Name: "fft_backward", Visits: visits(it),
+				Time: func(rank int) float64 { return it * (c.FFTSec - d(rank)) }},
+			{Name: "transpose", Visits: visits(it),
+				Children: []*Phase{
+					{Name: "MPI_Alltoall", Module: "libmpi", Visits: visits(it),
+						Time: constT(it * (2*sim.Latency + float64(np-1)*float64(c.TransposeBytes)/sim.Bandwidth))},
+				}},
+			{Name: "dotprod", Visits: visits(it),
+				Time: constT(it * 0.05e-3),
+				Children: []*Phase{
+					{Name: "MPI_Allreduce", Module: "libmpi", Visits: visits(it),
+						Time: constT(it * 8 * sim.Latency)},
+				}},
+		},
+	}
+	if c.Barriers {
+		barrier := &Phase{Name: "MPI_Barrier", Module: "libmpi", Visits: visits(2 * it),
+			Time: constT(it * 2 * c.BarrierCostSec)}
+		iterate.Children = append(iterate.Children, barrier)
+	}
+	main := &Phase{Name: "main", Visits: visits(1),
+		Children: []*Phase{
+			{Name: "solver", Visits: visits(1), Time: constT(c.ApplySec),
+				Children: []*Phase{iterate}},
+		}}
+	title := "pescan (analytical model)"
+	return &Model{Title: title, NP: np, Nodes: c.Nodes, Roots: []*Phase{main}}
+}

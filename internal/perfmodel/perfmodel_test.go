@@ -1,0 +1,141 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"cube/internal/apps"
+	"cube/internal/core"
+	"cube/internal/expert"
+	"cube/internal/mpisim"
+)
+
+func TestModelBuildValidates(t *testing.T) {
+	cfg := apps.PescanConfig{Barriers: true}.WithDefaults()
+	m := PescanModel(cfg, mpisim.Config{})
+	e, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("model experiment invalid: %v", err)
+	}
+	if e.FindCallNode("main/solver/iterate/fft_forward") == nil {
+		t.Errorf("model call tree incomplete")
+	}
+	if e.FindCallNode("main/solver/iterate/MPI_Barrier") == nil {
+		t.Errorf("barrier phase missing from barrier model")
+	}
+	// Barrier-free variant has no barrier phase.
+	cfg2 := cfg
+	cfg2.Barriers = false
+	e2, err := PescanModel(cfg2, mpisim.Config{}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.FindCallNode("main/solver/iterate/MPI_Barrier") != nil {
+		t.Errorf("barrier phase in barrier-free model")
+	}
+	// Predicted totals scale with iterations.
+	total := e.MetricInclusive(e.FindMetricByName("Time"))
+	cfgHalf := cfg
+	cfgHalf.Iterations = cfg.Iterations / 2
+	eHalf, err := PescanModel(cfgHalf, mpisim.Config{}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalHalf := eHalf.MetricInclusive(eHalf.FindMetricByName("Time"))
+	if ratio := total / totalHalf; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("iteration scaling ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	if _, err := (&Model{Title: "x", NP: 0, Roots: []*Phase{{Name: "main"}}}).Build(); err == nil {
+		t.Errorf("np=0 accepted")
+	}
+	if _, err := (&Model{Title: "x", NP: 2}).Build(); err == nil {
+		t.Errorf("empty model accepted")
+	}
+	if _, err := (&Model{Title: "x", NP: 2, Roots: []*Phase{{}}}).Build(); err == nil {
+		t.Errorf("unnamed phase accepted")
+	}
+}
+
+// Model validation workflow: Difference(measured, predicted). The model has
+// no waiting terms, so the diff's inclusive Time per call path isolates the
+// overheads — and the prediction should explain most of the measured time.
+func TestModelVsMeasured(t *testing.T) {
+	cfg := apps.PescanConfig{Barriers: true, Seed: 4, NoiseAmp: 0.01}.WithDefaults()
+	run, err := apps.RunPescan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := expert.Analyze(run.Trace, &expert.Options{Nodes: cfg.Nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := PescanModel(cfg, apps.PescanSimConfig(cfg)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := core.Difference(measured, predicted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diff.Validate(); err != nil {
+		t.Fatalf("diff invalid: %v", err)
+	}
+
+	mTotal := measured.MetricInclusive(measured.FindMetricByName("Time"))
+	pTotal := predicted.MetricInclusive(predicted.FindMetricByName("Time"))
+	dTotal := diff.MetricInclusive(diff.FindMetricByName("Time"))
+	if math.Abs(dTotal-(mTotal-pTotal)) > 1e-6*mTotal {
+		t.Errorf("diff total %v != measured-predicted %v", dTotal, mTotal-pTotal)
+	}
+	// The first-order model should explain the bulk of the measured time:
+	// the residual is the un-modeled waiting, well under half the total.
+	if dTotal < 0 {
+		t.Errorf("model over-predicts: residual %v", dTotal)
+	}
+	if dTotal/mTotal > 0.4 {
+		t.Errorf("model explains too little: residual fraction %.2f", dTotal/mTotal)
+	}
+
+	// The compute phases are modeled closely: per-call-path residuals of
+	// fft_forward stay within noise (a few percent).
+	fwd := diff.FindCallNode("main/solver/iterate/fft_forward")
+	if fwd == nil {
+		t.Fatalf("model and measurement call trees failed to align:\n%v", callPaths(diff))
+	}
+	var fwdResidual float64
+	diffTime := diff.FindMetricByName("Time")
+	diffTime.Walk(func(m *core.Metric) { fwdResidual += diff.MetricValue(m, fwd) })
+	fwdMeasured := 0.0
+	mt := measured.FindMetricByName("Time")
+	mFwd := measured.FindCallNode("main/solver/iterate/fft_forward")
+	mt.Walk(func(m *core.Metric) { fwdMeasured += measured.MetricValue(m, mFwd) })
+	if math.Abs(fwdResidual)/fwdMeasured > 0.05 {
+		t.Errorf("fft_forward residual %.1f%% of measured, want < 5%%", 100*fwdResidual/fwdMeasured)
+	}
+
+	// The barrier call path carries the un-modeled waiting: residual
+	// clearly positive.
+	bar := diff.FindCallNode("main/solver/iterate/MPI_Barrier")
+	if bar == nil {
+		t.Fatalf("barrier path missing from diff")
+	}
+	var barResidual float64
+	diffTime.Walk(func(m *core.Metric) { barResidual += diff.MetricValue(m, bar) })
+	if barResidual <= 0 {
+		t.Errorf("barrier residual %v, want positive (waiting not modeled)", barResidual)
+	}
+}
+
+func callPaths(e *core.Experiment) []string {
+	var out []string
+	for _, c := range e.CallNodes() {
+		out = append(out, c.Path())
+	}
+	return out
+}

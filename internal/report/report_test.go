@@ -1,0 +1,116 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+	"cube/internal/display"
+)
+
+func buildReportExp(t *testing.T) *core.Experiment {
+	t.Helper()
+	e := core.New("report demo")
+	e.Derived = true
+	e.Operation = "difference"
+	e.Parents = []string{"before", "after"}
+	time := e.NewMetric("Time", core.Seconds, "")
+	wait := time.NewChild("Wait", "")
+	mainR := e.NewRegion("main", "app", 0, 0)
+	recvR := e.NewRegion("MPI_Recv", "libmpi", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	recv := root.NewChild(e.NewCallSite("app", 9, recvR))
+	threads := e.SingleThreadedSystem("m", 2, 4)
+	for i, th := range threads {
+		e.SetSeverity(time, root, th, 2)
+		e.SetSeverity(wait, recv, th, -float64(i)-1) // losses: negative severities
+	}
+	topo, err := core.NewCartesian("grid", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTopology(topo)
+	return e
+}
+
+func TestWriteReport(t *testing.T) {
+	e := buildReportExp(t)
+	out, err := WriteString(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"CUBE: report demo",
+		"derived by <b>difference</b>",
+		"Metric tree", "Call tree", "System tree",
+		"Wait", "MPI_Recv", "machine m",
+		"Topology [2 2]",
+		"Hotspots",
+		"class=\"val neg\"", // negative severities coloured
+		"<details",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q", want)
+		}
+	}
+}
+
+func TestWriteReportSelection(t *testing.T) {
+	e := buildReportExp(t)
+	sel := display.Selection{
+		Metric: e.FindMetricByName("Wait"), MetricCollapsed: true,
+		CNode: e.FindCallNode("main/MPI_Recv"), CNodeCollapsed: true,
+	}
+	out, err := WriteString(e, &Options{Selection: sel, TopN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "selected metric <b>Wait</b>") {
+		t.Errorf("selection header missing")
+	}
+	if !strings.Contains(out, `class="sel"`) {
+		t.Errorf("selected rows not highlighted")
+	}
+	// TopN respected: at most 2 hotspot rows (rank cells "1", "2").
+	if strings.Count(out, "<tr><td>") > 2 {
+		t.Errorf("hotspot table longer than TopN")
+	}
+}
+
+func TestWriteReportMultiThreaded(t *testing.T) {
+	e := core.New("mt")
+	time := e.NewMetric("Time", core.Seconds, "")
+	mainR := e.NewRegion("main", "app", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	p := e.NewMachine("m").NewNode("n").NewProcess(0, "")
+	for tid := 0; tid < 3; tid++ {
+		th := p.NewThread(tid, "")
+		e.SetSeverity(time, root, th, float64(tid+1))
+	}
+	out, err := WriteString(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "thread 2") {
+		t.Errorf("thread rows missing for multi-threaded process")
+	}
+}
+
+func TestWriteReportErrors(t *testing.T) {
+	if _, err := WriteString(core.New("empty"), nil); err == nil {
+		t.Errorf("metric-less experiment accepted")
+	}
+}
+
+func TestReportEscapesHTML(t *testing.T) {
+	e := buildReportExp(t)
+	e.Title = `<script>alert("x")</script>`
+	out, err := WriteString(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "<script>alert") {
+		t.Errorf("title not escaped")
+	}
+}

@@ -1,0 +1,426 @@
+// Package repro regenerates every evaluation artifact of the paper: the
+// CUBE display of the unoptimized PESCAN run (Fig. 1), the difference
+// experiment after barrier removal (Fig. 2), the solver speedup quoted in
+// §5.1, the merged EXPERT+CONE experiment (Fig. 3), and the trace-size
+// comparison motivating the merge operator (§5.2). The cube-repro command
+// and the benchmark harness are thin wrappers around these functions.
+package repro
+
+import (
+	"fmt"
+
+	"cube/internal/apps"
+	"cube/internal/cone"
+	"cube/internal/core"
+	"cube/internal/counters"
+	"cube/internal/cubexml"
+	"cube/internal/display"
+	"cube/internal/expert"
+	"cube/internal/mpisim"
+	"cube/internal/stats"
+)
+
+// PaperValues records the numbers the paper reports, for side-by-side
+// comparison in EXPERIMENTS.md.
+var PaperValues = struct {
+	WaitAtBarrierPct float64 // Fig. 1: waiting before barriers, % of execution time
+	SolverSpeedupPct float64 // §5.1: speedup of the central solver
+	SeriesRuns       int     // §5.1: runs per configuration series
+}{
+	WaitAtBarrierPct: 13.2,
+	SolverSpeedupPct: 16,
+	SeriesRuns:       10,
+}
+
+// pescanCfg is the shared workload configuration of §5.1: 16 processes on
+// four 4-way SMP nodes, medium-sized particle model.
+func pescanCfg(barriers bool, seed int64) apps.PescanConfig {
+	return apps.PescanConfig{Barriers: barriers, Seed: seed, NoiseAmp: 0.02}.WithDefaults()
+}
+
+// analyzePescan simulates one PESCAN run and analyzes its trace.
+func analyzePescan(barriers bool, seed int64) (*core.Experiment, *mpisim.Run, error) {
+	cfg := pescanCfg(barriers, seed)
+	run, err := apps.RunPescan(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := expert.Analyze(run.Trace, &expert.Options{Machine: "torc", Nodes: cfg.Nodes})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, run, nil
+}
+
+// --- Figure 1 ---------------------------------------------------------------
+
+// Fig1Result reproduces Figure 1: the CUBE display of the unoptimized
+// PESCAN data set, with the Wait-at-Barrier metric selected and values
+// shown as percentages of the overall execution time.
+type Fig1Result struct {
+	// Exp is the analyzed experiment.
+	Exp *core.Experiment
+	// WaitAtBarrierPct is the selected metric's share of the total
+	// execution time (paper: 13.2 %).
+	WaitAtBarrierPct float64
+	// Rendering is the text rendering of the three-tree display.
+	Rendering string
+}
+
+// Fig1 regenerates Figure 1.
+func Fig1(seed int64) (*Fig1Result, error) {
+	e, _, err := analyzePescan(true, seed)
+	if err != nil {
+		return nil, err
+	}
+	wab := e.FindMetricByName(expert.MetricWaitAtBarrier)
+	if wab == nil {
+		return nil, fmt.Errorf("repro: no Wait at Barrier metric")
+	}
+	timeRoot := e.FindMetricByName(expert.MetricTime)
+	total := e.MetricInclusive(timeRoot)
+	sel := display.Selection{Metric: wab, MetricCollapsed: true, CNode: e.CallRoots()[0], CNodeCollapsed: true}
+	rendering, err := display.RenderString(e, sel, &display.Config{Mode: display.Percent, HideZero: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1Result{
+		Exp:              e,
+		WaitAtBarrierPct: 100 * e.MetricInclusive(wab) / total,
+		Rendering:        rendering,
+	}, nil
+}
+
+// --- Figure 2 ---------------------------------------------------------------
+
+// Fig2Result reproduces Figure 2: the difference experiment obtained by
+// subtracting the optimized (no-barrier) version from the original.
+// Positive severities are performance gains (raised relief), negative ones
+// losses (sunken relief); values are normalized with respect to the old
+// version's execution time.
+type Fig2Result struct {
+	Before, After, Diff *core.Experiment
+	// ImprovementPct maps metric names to their improvement in percent
+	// of the previous execution time (negative = got worse).
+	ImprovementPct map[string]float64
+	// GrossBalancePct is the overall improvement (paper: clearly
+	// positive).
+	GrossBalancePct float64
+	// Rendering shows the difference experiment in external-percent
+	// mode, exactly how a user would browse it.
+	Rendering string
+}
+
+// Fig2Metrics lists the metrics whose migration Figure 2 discusses.
+var Fig2Metrics = []string{
+	expert.MetricWaitAtBarrier,
+	expert.MetricSync,
+	expert.MetricBarrierCompl,
+	expert.MetricP2P,
+	expert.MetricLateSender,
+	expert.MetricWaitAtNxN,
+}
+
+// Fig2 regenerates Figure 2.
+func Fig2(seed int64) (*Fig2Result, error) {
+	before, _, err := analyzePescan(true, seed)
+	if err != nil {
+		return nil, err
+	}
+	after, _, err := analyzePescan(false, seed+500)
+	if err != nil {
+		return nil, err
+	}
+	diff, err := core.Difference(before, after, nil)
+	if err != nil {
+		return nil, err
+	}
+	oldTotal := before.MetricInclusive(before.FindMetricByName(expert.MetricTime))
+	impr := map[string]float64{}
+	for _, name := range Fig2Metrics {
+		m := diff.FindMetricByName(name)
+		if m == nil {
+			return nil, fmt.Errorf("repro: metric %q missing from difference", name)
+		}
+		// Exclusive values, following the display's single-representation
+		// principle: each fraction of the change appears exactly once.
+		impr[name] = 100 * diff.MetricTotal(m) / oldTotal
+	}
+	gross := 100 * diff.MetricInclusive(diff.FindMetricByName(expert.MetricTime)) / oldTotal
+
+	wab := diff.FindMetricByName(expert.MetricWaitAtBarrier)
+	sel := display.Selection{Metric: wab, MetricCollapsed: true, CNode: diff.CallRoots()[0], CNodeCollapsed: true}
+	rendering, err := display.RenderString(diff, sel, &display.Config{
+		Mode: display.External, Base: oldTotal, HideZero: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{
+		Before: before, After: after, Diff: diff,
+		ImprovementPct:  impr,
+		GrossBalancePct: gross,
+		Rendering:       rendering,
+	}, nil
+}
+
+// --- §5.1 solver speedup ------------------------------------------------------
+
+// SpeedupResult reproduces the §5.1 measurement: two series of runs for
+// either configuration, solver timed without trace instrumentation, the
+// minimum of each series as the representative.
+type SpeedupResult struct {
+	Runs                int
+	BeforeSeries        []float64
+	AfterSeries         []float64
+	BeforeMin, AfterMin float64
+	SpeedupPct          float64
+}
+
+// Speedup regenerates the solver-speedup measurement with the given series
+// length (the paper uses ten runs per configuration).
+func Speedup(runs int, seed int64) (*SpeedupResult, error) {
+	// The runs of a series are independent deterministic simulations, so
+	// they execute concurrently; index-slotted results keep the series
+	// identical to a sequential execution.
+	measure := func(barriers bool) ([]float64, error) {
+		return stats.SeriesParallel(runs, func(i int) (float64, error) {
+			run, err := apps.RunPescan(pescanCfg(barriers, seed+int64(i)*17))
+			if err != nil {
+				return 0, err
+			}
+			return run.Elapsed, nil
+		})
+	}
+	before, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	after, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	bMin, _ := stats.Representative(before)
+	aMin, _ := stats.Representative(after)
+	sp, err := stats.Speedup(bMin, aMin)
+	if err != nil {
+		return nil, err
+	}
+	return &SpeedupResult{
+		Runs:         runs,
+		BeforeSeries: before, AfterSeries: after,
+		BeforeMin: bMin, AfterMin: aMin,
+		SpeedupPct: 100 * sp,
+	}, nil
+}
+
+// --- Figure 3 ---------------------------------------------------------------
+
+// Fig3Events are the hardware events of §5.2: floating-point instructions
+// and level-1 data-cache misses, which the platform cannot count in the
+// same run.
+var Fig3Events = []counters.Event{counters.FPIns, counters.L1DataMiss}
+
+// Fig3Result reproduces Figure 3: a derived experiment merging one EXPERT
+// output with CONE outputs referring to different event sets.
+type Fig3Result struct {
+	Expert       *core.Experiment
+	ConeSets     []counters.EventSet
+	ConeProfiles []*core.Experiment
+	Merged       *core.Experiment
+	// MetricRoots lists the metric roots of the merged experiment (trace
+	// metrics plus the counter metrics from the separate runs).
+	MetricRoots []string
+	// L1MissAtRecvPct is the share of level-1 data-cache misses at
+	// MPI_Recv call paths (the paper observes a high concentration).
+	L1MissAtRecvPct float64
+	// LateSenderPct is the share of late-sender waiting in total time at
+	// the same call paths.
+	LateSenderPct float64
+	Rendering     string
+}
+
+// Fig3 regenerates Figure 3. runsPerMeasurement > 1 additionally applies
+// the mean operator to that many perturbed repetitions of every
+// measurement before merging, as §5.2 suggests for smoothing random
+// errors.
+func Fig3(seed int64, runsPerMeasurement int) (*Fig3Result, error) {
+	if runsPerMeasurement < 1 {
+		runsPerMeasurement = 1
+	}
+	scfg := apps.Sweep3DConfig{Seed: seed, NoiseAmp: 0.02}.WithDefaults()
+
+	topo := apps.Sweep3DTopology(scfg)
+
+	// EXPERT measurement(s): trace-based analysis.
+	var expertRuns []*core.Experiment
+	for i := 0; i < runsPerMeasurement; i++ {
+		cfg := scfg
+		cfg.Seed = seed + int64(i)*13
+		run, err := apps.RunSweep3D(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e, err := expert.Analyze(run.Trace, &expert.Options{Machine: "power4", Nodes: scfg.Nodes, Topology: topo})
+		if err != nil {
+			return nil, err
+		}
+		expertRuns = append(expertRuns, e)
+	}
+	expertExp := expertRuns[0]
+	if len(expertRuns) > 1 {
+		var err error
+		expertExp, err = core.Mean(nil, expertRuns...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// CONE measurements: the event sets are split because of the
+	// platform's counter conflicts; one (series of) run(s) per set.
+	sets, err := counters.Partition(Fig3Events)
+	if err != nil {
+		return nil, err
+	}
+	var profiles []*core.Experiment
+	for si, set := range sets {
+		var series []*core.Experiment
+		for i := 0; i < runsPerMeasurement; i++ {
+			cfg := apps.Sweep3DSimConfig(scfg)
+			cfg.TraceCounters = set
+			cfg.Seed = seed + 1000 + int64(si)*101 + int64(i)*13
+			run, err := mpisim.Simulate(cfg, apps.Sweep3D(scfg))
+			if err != nil {
+				return nil, err
+			}
+			p, err := cone.Profile(run.Trace, &cone.Options{Machine: "power4", Nodes: scfg.Nodes,
+				Topology: topo,
+				Title:    fmt.Sprintf("sweep3d (cone %v run %d)", set, i)})
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, p)
+		}
+		p := series[0]
+		if len(series) > 1 {
+			p, err = core.Mean(nil, series...)
+			if err != nil {
+				return nil, err
+			}
+		}
+		profiles = append(profiles, p)
+	}
+
+	operands := append([]*core.Experiment{expertExp}, profiles...)
+	merged, err := core.MergeAll(nil, operands...)
+	if err != nil {
+		return nil, err
+	}
+
+	var roots []string
+	for _, r := range merged.MetricRoots() {
+		roots = append(roots, r.Name)
+	}
+
+	l1m := merged.FindMetricByName(string(counters.L1DataMiss))
+	if l1m == nil {
+		return nil, fmt.Errorf("repro: merged experiment lacks %s", counters.L1DataMiss)
+	}
+	var recvMiss, allMiss float64
+	for _, cn := range merged.CallNodes() {
+		v := merged.MetricValue(l1m, cn)
+		allMiss += v
+		if cn.Callee().Name == mpisim.RegionRecv {
+			recvMiss += v
+		}
+	}
+	ls := merged.FindMetricByName(expert.MetricLateSender)
+	timeTotal := merged.MetricInclusive(merged.FindMetricByName(expert.MetricTime))
+
+	sel := display.Selection{Metric: l1m, MetricCollapsed: true, CNode: merged.CallRoots()[0], CNodeCollapsed: true}
+	rendering, err := display.RenderString(merged, sel, &display.Config{Mode: display.Percent, HideZero: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{
+		Expert: expertExp, ConeSets: sets, ConeProfiles: profiles, Merged: merged,
+		MetricRoots:     roots,
+		L1MissAtRecvPct: 100 * recvMiss / allMiss,
+		LateSenderPct:   100 * merged.MetricInclusive(ls) / timeTotal,
+		Rendering:       rendering,
+	}
+	return res, nil
+}
+
+// --- §5.2 trace-size comparison ------------------------------------------------
+
+// TraceSizeResult quantifies the trace-file enlargement caused by
+// recording hardware counters in every event record, and the size of the
+// CONE call-graph profile that makes the separate-measurement-plus-merge
+// approach attractive.
+type TraceSizeResult struct {
+	Events            int
+	PlainTraceBytes   int
+	CounterTraceBytes int
+	ProfileBytes      int
+	// EnlargementPct is the growth of the trace caused by per-record
+	// counters.
+	EnlargementPct float64
+	// TraceOverProfile is how many times larger the counter trace is
+	// than the equivalent profile.
+	TraceOverProfile float64
+}
+
+// TraceSizeEvents is the event set recorded per trace record in the
+// ablation (a full set of four compatible counters).
+var TraceSizeEvents = counters.EventSet{
+	counters.TotalCycles, counters.TotalIns, counters.L1DataAccess, counters.L1DataMiss,
+}
+
+// TraceSize regenerates the §5.2 size comparison.
+func TraceSize(seed int64) (*TraceSizeResult, error) {
+	scfg := apps.Sweep3DConfig{Seed: seed}.WithDefaults()
+
+	plain, err := apps.RunSweep3D(scfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := apps.Sweep3DSimConfig(scfg)
+	cfg.TraceCounters = TraceSizeEvents
+	counted, err := mpisim.Simulate(cfg, apps.Sweep3D(scfg))
+	if err != nil {
+		return nil, err
+	}
+	prof, err := cone.Profile(counted.Trace, &cone.Options{Machine: "power4", Nodes: scfg.Nodes})
+	if err != nil {
+		return nil, err
+	}
+	profBytes, err := experimentSize(prof)
+	if err != nil {
+		return nil, err
+	}
+	res := &TraceSizeResult{
+		Events:            len(plain.Trace.Events),
+		PlainTraceBytes:   plain.Trace.EncodedSize(),
+		CounterTraceBytes: counted.Trace.EncodedSize(),
+		ProfileBytes:      profBytes,
+	}
+	res.EnlargementPct = 100 * float64(res.CounterTraceBytes-res.PlainTraceBytes) / float64(res.PlainTraceBytes)
+	res.TraceOverProfile = float64(res.CounterTraceBytes) / float64(res.ProfileBytes)
+	return res, nil
+}
+
+func experimentSize(e *core.Experiment) (int, error) {
+	var cw countingWriter
+	if err := cubexml.Write(&cw, e); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct{ n int }
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.n += len(p)
+	return len(p), nil
+}

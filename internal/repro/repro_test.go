@@ -1,0 +1,167 @@
+// Integration tests pinning the *shape* of every reproduced paper
+// artifact: who wins, by roughly what factor, and where severities migrate.
+// Absolute numbers are simulator outputs, so the assertions use bands
+// around the paper's reported values.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+	"cube/internal/counters"
+	"cube/internal/expert"
+)
+
+func TestFig1WaitAtBarrierShare(t *testing.T) {
+	r, err := Fig1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 13.2 %. Accept a band around it.
+	if r.WaitAtBarrierPct < 11 || r.WaitAtBarrierPct > 16 {
+		t.Errorf("Wait-at-Barrier share = %.1f%%, want ~13.2%%", r.WaitAtBarrierPct)
+	}
+	if err := r.Exp.Validate(); err != nil {
+		t.Errorf("experiment invalid: %v", err)
+	}
+	if r.Exp.Derived {
+		t.Errorf("Fig. 1 shows an original experiment")
+	}
+	for _, want := range []string{"Wait at Barrier", "Metric tree", "Call tree", "System tree", "%"} {
+		if !strings.Contains(r.Rendering, want) {
+			t.Errorf("rendering lacks %q", want)
+		}
+	}
+}
+
+func TestFig2DifferenceShape(t *testing.T) {
+	r, err := Fig2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Diff.Derived || r.Diff.Operation != "difference" {
+		t.Errorf("Fig. 2 must be a derived difference experiment")
+	}
+	// Barrier-related metrics: eliminated (positive improvement ≈ their
+	// whole former share).
+	for _, name := range []string{expert.MetricWaitAtBarrier, expert.MetricSync, expert.MetricBarrierCompl} {
+		if r.ImprovementPct[name] < 0 {
+			t.Errorf("%s should improve, got %+.2f%%", name, r.ImprovementPct[name])
+		}
+	}
+	if r.ImprovementPct[expert.MetricWaitAtBarrier] < 10 {
+		t.Errorf("Wait-at-Barrier improvement = %+.2f%%, want >= 10%%", r.ImprovementPct[expert.MetricWaitAtBarrier])
+	}
+	// Migration: P2P-related and NxN waiting get worse (sunken relief).
+	if r.ImprovementPct[expert.MetricLateSender] >= 0 {
+		t.Errorf("Late Sender should increase (negative improvement), got %+.2f%%", r.ImprovementPct[expert.MetricLateSender])
+	}
+	if r.ImprovementPct[expert.MetricWaitAtNxN] >= 0 {
+		t.Errorf("Wait-at-NxN should increase, got %+.2f%%", r.ImprovementPct[expert.MetricWaitAtNxN])
+	}
+	// Gross balance clearly positive (paper: ~16 % solver gain).
+	if r.GrossBalancePct < 8 {
+		t.Errorf("gross balance = %+.1f%%, want clearly positive", r.GrossBalancePct)
+	}
+	if err := r.Diff.Validate(); err != nil {
+		t.Errorf("difference invalid: %v", err)
+	}
+	// The difference experiment contains negative severities (losses).
+	hasNeg := false
+	r.Diff.EachSeverity(func(_ *core.Metric, _ *core.CallNode, _ *core.Thread, v float64) {
+		if v < 0 {
+			hasNeg = true
+		}
+	})
+	if !hasNeg {
+		t.Errorf("difference has no negative severities; migration invisible")
+	}
+}
+
+func TestSpeedupBand(t *testing.T) {
+	r, err := Speedup(PaperValues.SeriesRuns, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.BeforeSeries) != 10 || len(r.AfterSeries) != 10 {
+		t.Errorf("series lengths wrong")
+	}
+	// Paper: ~16 %. Accept 10-22 %.
+	if r.SpeedupPct < 10 || r.SpeedupPct > 22 {
+		t.Errorf("speedup = %.1f%%, want ~16%%", r.SpeedupPct)
+	}
+	if r.BeforeMin <= r.AfterMin {
+		// speedup positive implies before > after
+		t.Errorf("min(before) %v should exceed min(after) %v", r.BeforeMin, r.AfterMin)
+	}
+}
+
+func TestFig3MergeShape(t *testing.T) {
+	r, err := Fig3(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ConeSets) != 2 {
+		t.Fatalf("FP_INS and L1_DCM must force two CONE runs, got %d", len(r.ConeSets))
+	}
+	if !r.Merged.Derived || r.Merged.Operation != "merge" {
+		t.Errorf("Fig. 3 must be a derived merge experiment")
+	}
+	// Metric roots from both tools coexist.
+	roots := strings.Join(r.MetricRoots, " ")
+	for _, want := range []string{"Time", string(counters.FPIns), string(counters.L1DataMiss)} {
+		if !strings.Contains(roots, want) {
+			t.Errorf("merged roots lack %s: %v", want, r.MetricRoots)
+		}
+	}
+	// Cache misses concentrate at MPI_Recv; that time is mostly waiting.
+	if r.L1MissAtRecvPct < 60 {
+		t.Errorf("L1 miss concentration at MPI_Recv = %.1f%%, want high", r.L1MissAtRecvPct)
+	}
+	if r.LateSenderPct < 10 {
+		t.Errorf("late-sender share = %.1f%%, want substantial", r.LateSenderPct)
+	}
+	if err := r.Merged.Validate(); err != nil {
+		t.Errorf("merged invalid: %v", err)
+	}
+	// All operands carry the sweep grid, so the merge preserves it.
+	if r.Merged.Topology() == nil {
+		t.Errorf("merged experiment lost the process topology")
+	}
+}
+
+func TestFig3MeanBeforeMerge(t *testing.T) {
+	r, err := Fig3(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With runsPerMeasurement > 1 the merge operands are mean-derived.
+	if !strings.Contains(r.Expert.Operation, "mean") {
+		t.Errorf("expert operand not averaged: %q", r.Expert.Operation)
+	}
+	if err := r.Merged.Validate(); err != nil {
+		t.Errorf("merged-of-means invalid: %v", err)
+	}
+}
+
+func TestTraceSizeOrdering(t *testing.T) {
+	r, err := TraceSize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CounterTraceBytes <= r.PlainTraceBytes {
+		t.Errorf("per-record counters must enlarge the trace: %d vs %d",
+			r.CounterTraceBytes, r.PlainTraceBytes)
+	}
+	if r.EnlargementPct < 20 {
+		t.Errorf("enlargement = %.0f%%, want substantial", r.EnlargementPct)
+	}
+	if r.ProfileBytes >= r.PlainTraceBytes {
+		t.Errorf("profile (%d B) must be far smaller than the trace (%d B)",
+			r.ProfileBytes, r.PlainTraceBytes)
+	}
+	if r.TraceOverProfile < 10 {
+		t.Errorf("trace/profile ratio = %.1f, want >= 10", r.TraceOverProfile)
+	}
+}

@@ -1,0 +1,299 @@
+// Package server exposes the CUBE algebra as an HTTP service — the paper's
+// closing suggestion ("CUBE can be easily integrated with a Grid
+// environment by exposing its functionality as a … Grid service")
+// translated to a plain stdlib web service: clients upload experiments in
+// the CUBE XML format and receive derived experiments (or renderings) back.
+// Because the algebra is closed, the service composes with itself: the
+// output of one request is a valid input for the next.
+package server
+
+import (
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cube/internal/cli"
+	"cube/internal/core"
+	"cube/internal/cubexml"
+	"cube/internal/display"
+	"cube/internal/report"
+)
+
+// MaxUploadBytes bounds one request's total upload size.
+const MaxUploadBytes = 64 << 20
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /op/{difference|merge|mean|sum|min|max}
+//	    multipart form, ordered file fields "operand"; optional query
+//	    params callmatch=callee|callee+line, system=auto|collapse|copy-first.
+//	    Response: the derived experiment as CUBE XML.
+//	POST /op/{flatten|prune|extract}
+//	    one "operand"; prune: ?metric=<path>&threshold=<frac>;
+//	    extract: repeated ?metric=<path>.
+//	POST /view
+//	    one "operand"; ?metric=<name>&mode=absolute|percent&flat=1.
+//	    Response: the text rendering of the three-tree display.
+//	POST /info
+//	    one or two "operand"s; with two, includes the structural
+//	    comparison. Response: plain text.
+//	GET  /healthz
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /op/{op}", handleOp)
+	mux.HandleFunc("POST /view", handleView)
+	mux.HandleFunc("POST /report", handleReport)
+	mux.HandleFunc("POST /info", handleInfo)
+	return mux
+}
+
+func handleReport(w http.ResponseWriter, r *http.Request) {
+	operands, err := readOperands(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(operands) != 1 {
+		httpError(w, http.StatusBadRequest, "report needs exactly 1 operand")
+		return
+	}
+	e := operands[0]
+	var sel display.Selection
+	if name := r.URL.Query().Get("metric"); name != "" {
+		if sel.Metric = e.FindMetric(name); sel.Metric == nil {
+			sel.Metric = e.FindMetricByName(name)
+		}
+		if sel.Metric == nil {
+			httpError(w, http.StatusBadRequest, "metric %q not found", name)
+			return
+		}
+		sel.MetricCollapsed = true
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := report.Write(w, e, &report.Options{Selection: sel}); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// readOperands parses the multipart "operand" files, in form order.
+func readOperands(r *http.Request) ([]*core.Experiment, error) {
+	if err := r.ParseMultipartForm(MaxUploadBytes); err != nil {
+		return nil, fmt.Errorf("parsing multipart form: %w", err)
+	}
+	var files []*multipart.FileHeader
+	if r.MultipartForm != nil {
+		files = r.MultipartForm.File["operand"]
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf(`no "operand" files in request`)
+	}
+	var out []*core.Experiment
+	for i, fh := range files {
+		f, err := fh.Open()
+		if err != nil {
+			return nil, fmt.Errorf("operand %d: %w", i, err)
+		}
+		e, err := cubexml.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("operand %d: %w", i, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func options(r *http.Request) (*core.Options, error) {
+	cm := r.URL.Query().Get("callmatch")
+	if cm == "" {
+		cm = "callee"
+	}
+	sys := r.URL.Query().Get("system")
+	if sys == "" {
+		sys = "auto"
+	}
+	return cli.ParseOptions(cm, sys)
+}
+
+func writeExperiment(w http.ResponseWriter, e *core.Experiment) {
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	if err := cubexml.Write(w, e); err != nil {
+		// Headers are gone; just report on the connection.
+		fmt.Fprintf(w, "\n<!-- encoding error: %v -->\n", err)
+	}
+}
+
+func handleOp(w http.ResponseWriter, r *http.Request) {
+	opName := r.PathValue("op")
+	opts, err := options(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	operands, err := readOperands(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	binaryOnly := func() bool {
+		if len(operands) != 2 {
+			httpError(w, http.StatusBadRequest, "%s needs exactly 2 operands, got %d", opName, len(operands))
+			return false
+		}
+		return true
+	}
+	unaryOnly := func() bool {
+		if len(operands) != 1 {
+			httpError(w, http.StatusBadRequest, "%s needs exactly 1 operand, got %d", opName, len(operands))
+			return false
+		}
+		return true
+	}
+	var result *core.Experiment
+	switch opName {
+	case "difference":
+		if !binaryOnly() {
+			return
+		}
+		result, err = core.Difference(operands[0], operands[1], opts)
+	case "merge":
+		result, err = core.MergeAll(opts, operands...)
+	case "mean":
+		result, err = core.Mean(opts, operands...)
+	case "sum":
+		result, err = core.Sum(opts, operands...)
+	case "min":
+		result, err = core.Min(opts, operands...)
+	case "max":
+		result, err = core.Max(opts, operands...)
+	case "flatten":
+		if !unaryOnly() {
+			return
+		}
+		result, err = core.Flatten(operands[0])
+	case "extract":
+		if !unaryOnly() {
+			return
+		}
+		metrics := r.URL.Query()["metric"]
+		result, err = core.ExtractMetrics(operands[0], metrics...)
+	case "prune":
+		if !unaryOnly() {
+			return
+		}
+		threshold, perr := strconv.ParseFloat(r.URL.Query().Get("threshold"), 64)
+		if perr != nil {
+			httpError(w, http.StatusBadRequest, "bad threshold: %v", perr)
+			return
+		}
+		result, err = core.Prune(operands[0], r.URL.Query().Get("metric"), threshold)
+	default:
+		httpError(w, http.StatusNotFound, "unknown operation %q", opName)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeExperiment(w, result)
+}
+
+func handleView(w http.ResponseWriter, r *http.Request) {
+	operands, err := readOperands(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(operands) != 1 {
+		httpError(w, http.StatusBadRequest, "view needs exactly 1 operand")
+		return
+	}
+	e := operands[0]
+	if r.URL.Query().Get("flat") == "1" {
+		if e, err = core.Flatten(e); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	}
+	sel := display.Selection{MetricCollapsed: true, CNodeCollapsed: true}
+	if name := r.URL.Query().Get("metric"); name != "" {
+		if sel.Metric = e.FindMetric(name); sel.Metric == nil {
+			sel.Metric = e.FindMetricByName(name)
+		}
+		if sel.Metric == nil {
+			httpError(w, http.StatusBadRequest, "metric %q not found", name)
+			return
+		}
+	}
+	if len(e.CallRoots()) > 0 {
+		sel.CNode = e.CallRoots()[0]
+	}
+	cfg := &display.Config{HideZero: true}
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "absolute":
+	case "percent":
+		cfg.Mode = display.Percent
+	default:
+		httpError(w, http.StatusBadRequest, "unknown mode %q", mode)
+		return
+	}
+	out, err := display.RenderString(e, sel, cfg)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if topStr := r.URL.Query().Get("top"); topStr != "" {
+		n, err := strconv.Atoi(topStr)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "bad top parameter %q", topStr)
+			return
+		}
+		spots, err := display.HotspotsString(e, sel, cfg, n)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		out += "\n" + spots
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+func handleInfo(w http.ResponseWriter, r *http.Request) {
+	operands, err := readOperands(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(operands) > 2 {
+		httpError(w, http.StatusBadRequest, "info accepts 1 or 2 operands")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var sb strings.Builder
+	for _, e := range operands {
+		fmt.Fprintf(&sb, "%q: %d metrics, %d call paths, %d threads, %d tuples\n",
+			e.Title, len(e.Metrics()), len(e.CallNodes()), len(e.Threads()), e.NonZeroCount())
+		if e.Derived {
+			fmt.Fprintf(&sb, "  derived by %q from %v\n", e.Operation, e.Parents)
+		}
+	}
+	if len(operands) == 2 {
+		rep, err := core.StructuralDiff(operands[0], operands[1], nil)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		sb.WriteString(rep.Summary())
+	}
+	fmt.Fprint(w, sb.String())
+}

@@ -1,0 +1,284 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+	"cube/internal/cubexml"
+)
+
+// buildExp creates a small experiment; extraWait perturbs it.
+func buildExp(title string, extraWait float64) *core.Experiment {
+	e := core.New(title)
+	time := e.NewMetric("Time", core.Seconds, "")
+	wait := time.NewChild("Wait", "")
+	mainR := e.NewRegion("main", "app", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	sub := root.NewChild(e.NewCallSite("app", 4, e.NewRegion("sub", "app", 0, 0)))
+	for _, th := range e.SingleThreadedSystem("m", 1, 2) {
+		e.SetSeverity(time, root, th, 1)
+		e.SetSeverity(time, sub, th, 0.02)
+		e.SetSeverity(wait, root, th, 0.5+extraWait)
+	}
+	return e
+}
+
+// post sends experiments as multipart operands and returns the response.
+func post(t *testing.T, srv *httptest.Server, path string, exps ...*core.Experiment) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for i, e := range exps {
+		fw, err := mw.CreateFormFile("operand", "op"+string(rune('0'+i))+".cube")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cubexml.Write(fw, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	resp, err := http.Post(srv.URL+path, mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+func TestDifferenceEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	a := buildExp("a", 0.25)
+	b := buildExp("b", 0)
+	resp := post(t, srv, "/op/difference", a, b)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	got, err := cubexml.Read(strings.NewReader(readAll(t, resp)))
+	if err != nil {
+		t.Fatalf("response not a cube document: %v", err)
+	}
+	want, _ := core.Difference(a, b, nil)
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Errorf("service result differs from local operator")
+	}
+	if !got.Derived || got.Operation != "difference" {
+		t.Errorf("provenance lost over the wire")
+	}
+}
+
+func TestMeanAndComposition(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	runs := []*core.Experiment{buildExp("r1", 0.1), buildExp("r2", 0.2), buildExp("r3", 0.3)}
+	resp := post(t, srv, "/op/mean", runs...)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mean status %d", resp.StatusCode)
+	}
+	mean, err := cubexml.Read(strings.NewReader(readAll(t, resp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closure: the derived result feeds straight back into the service.
+	resp2 := post(t, srv, "/op/difference", mean, buildExp("base", 0))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("composed difference status %d: %s", resp2.StatusCode, readAll(t, resp2))
+	}
+	if _, err := cubexml.Read(strings.NewReader(readAll(t, resp2))); err != nil {
+		t.Fatalf("composed result unreadable: %v", err)
+	}
+}
+
+func TestUnaryEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	e := buildExp("x", 0)
+
+	resp := post(t, srv, "/op/flatten", e)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flatten status %d", resp.StatusCode)
+	}
+	flat, err := cubexml.Read(strings.NewReader(readAll(t, resp)))
+	if err != nil || flat.Operation != "flatten" {
+		t.Errorf("flatten result wrong: %v %v", err, flat)
+	}
+
+	resp = post(t, srv, "/op/extract?metric=Time/Wait", e)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	ex, err := cubexml.Read(strings.NewReader(readAll(t, resp)))
+	if err != nil || len(ex.MetricRoots()) != 1 || ex.MetricRoots()[0].Name != "Wait" {
+		t.Errorf("extract result wrong")
+	}
+
+	resp = post(t, srv, "/op/prune?metric=Time&threshold=0.5", e)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prune status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	pr, err := cubexml.Read(strings.NewReader(readAll(t, resp)))
+	if err != nil || pr.Operation != "prune" {
+		t.Errorf("prune result wrong")
+	}
+}
+
+func TestViewEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp := post(t, srv, "/view?metric=Wait&mode=percent", buildExp("v", 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := readAll(t, resp)
+	for _, want := range []string{"Metric tree", "Call tree", "Wait", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("view lacks %q:\n%s", want, out)
+		}
+	}
+	// Flat view.
+	resp = post(t, srv, "/view?flat=1", buildExp("v", 0))
+	if !strings.Contains(readAll(t, resp), "flatten") {
+		t.Errorf("flat view missing flatten provenance")
+	}
+	// Hotspot ranking.
+	resp = post(t, srv, "/view?metric=Time&top=3", buildExp("v", 0))
+	out = readAll(t, resp)
+	if !strings.Contains(out, "top 3 severities") && !strings.Contains(out, "top 2 severities") {
+		t.Errorf("hotspot listing missing:\n%s", out)
+	}
+	resp = post(t, srv, "/view?top=banana", buildExp("v", 0))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad top accepted: %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+func TestReportEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp := post(t, srv, "/report?metric=Wait", buildExp("r", 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content type %q", ct)
+	}
+	out := readAll(t, resp)
+	for _, want := range []string{"<!DOCTYPE html>", "Metric tree", "Hotspots"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q", want)
+		}
+	}
+	resp = post(t, srv, "/report?metric=Nope", buildExp("r", 0))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown metric status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	resp = post(t, srv, "/report", buildExp("a", 0), buildExp("b", 0))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("two-operand report status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+func TestInfoEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp := post(t, srv, "/info", buildExp("a", 0), buildExp("b", 0))
+	out := readAll(t, resp)
+	for _, want := range []string{`"a"`, `"b"`, "similarity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	e := buildExp("x", 0)
+
+	// Unknown op.
+	resp := post(t, srv, "/op/transmogrify", e)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown op status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	// Wrong operand count.
+	resp = post(t, srv, "/op/difference", e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("single-operand difference status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	// Bad options.
+	resp = post(t, srv, "/op/merge?system=bogus", e, e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad option status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	// No operands.
+	body := strings.NewReader("")
+	r, err := http.Post(srv.URL+"/op/mean", "multipart/form-data; boundary=x", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty request status %d", r.StatusCode)
+	}
+	r.Body.Close()
+	// Corrupt operand.
+	var mb bytes.Buffer
+	mw := multipart.NewWriter(&mb)
+	fw, _ := mw.CreateFormFile("operand", "bad.cube")
+	fw.Write([]byte("not xml"))
+	mw.Close()
+	r2, err := http.Post(srv.URL+"/op/flatten", mw.FormDataContentType(), &mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt operand status %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+	// Bad prune threshold.
+	resp = post(t, srv, "/op/prune?metric=Time&threshold=banana", e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad threshold status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	// Unknown view metric.
+	resp = post(t, srv, "/view?metric=Nope", e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown view metric status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+}

@@ -1,0 +1,136 @@
+// Package stats provides the run-series statistics used by the paper's
+// measurement methodology (§5.1): repeated experiments per configuration,
+// the minimum of each series as the perturbation-free representative, and
+// speedup between configurations.
+package stats
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// ErrEmptySeries is returned for statistics over an empty series.
+var ErrEmptySeries = errors.New("stats: empty series")
+
+// Min returns the smallest value of the series.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySeries
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest value of the series.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySeries
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Mean returns the arithmetic mean of the series.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySeries
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the sample standard deviation of the series (zero for a
+// single-element series).
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySeries
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, _ := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1)), nil
+}
+
+// Speedup returns the relative improvement (before-after)/before, e.g.
+// 0.16 for a 16 % speedup. It returns an error when before is zero.
+func Speedup(before, after float64) (float64, error) {
+	if before == 0 {
+		return 0, errors.New("stats: speedup with zero baseline")
+	}
+	return (before - after) / before, nil
+}
+
+// Series collects repeated measurements produced by a generator function
+// invoked with run indices 0..n-1 (the generator typically varies the
+// simulation seed). It stops at the first error.
+func Series(n int, measure func(run int) (float64, error)) ([]float64, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: series length must be positive")
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := measure(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// SeriesParallel is Series with the independent measurements executed
+// concurrently on up to GOMAXPROCS goroutines. Results are slotted by run
+// index, so the returned series is identical to the sequential one for a
+// deterministic generator; the first error (lowest run index) wins.
+func SeriesParallel(n int, measure func(run int) (float64, error)) ([]float64, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: series length must be positive")
+	}
+	out := make([]float64, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = measure(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Representative applies the paper's methodology to a series: the minimum
+// value is taken as the representative of the configuration.
+func Representative(xs []float64) (float64, error) {
+	return Min(xs)
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if v, err := Min(xs); err != nil || v != 1 {
+		t.Errorf("Min = %v, %v", v, err)
+	}
+	if v, err := Max(xs); err != nil || v != 5 {
+		t.Errorf("Max = %v, %v", v, err)
+	}
+	if v, err := Mean(xs); err != nil || v != 2.8 {
+		t.Errorf("Mean = %v, %v", v, err)
+	}
+	if v, err := StdDev(xs); err != nil || math.Abs(v-1.7888543819998317) > 1e-12 {
+		t.Errorf("StdDev = %v, %v", v, err)
+	}
+	if v, err := StdDev([]float64{42}); err != nil || v != 0 {
+		t.Errorf("single-element StdDev = %v, %v", v, err)
+	}
+	if v, err := Representative(xs); err != nil || v != 1 {
+		t.Errorf("Representative = %v, %v", v, err)
+	}
+}
+
+func TestEmptySeriesErrors(t *testing.T) {
+	for name, f := range map[string]func([]float64) (float64, error){
+		"Min": Min, "Max": Max, "Mean": Mean, "StdDev": StdDev, "Representative": Representative,
+	} {
+		if _, err := f(nil); !errors.Is(err, ErrEmptySeries) {
+			t.Errorf("%s(nil): %v", name, err)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if v, err := Speedup(10, 8.4); err != nil || math.Abs(v-0.16) > 1e-12 {
+		t.Errorf("Speedup = %v, %v", v, err)
+	}
+	if v, err := Speedup(10, 12); err != nil || v != -0.2 {
+		t.Errorf("negative speedup = %v, %v", v, err)
+	}
+	if _, err := Speedup(0, 1); err == nil {
+		t.Errorf("zero baseline accepted")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	xs, err := Series(5, func(i int) (float64, error) { return float64(i * i), nil })
+	if err != nil || len(xs) != 5 || xs[4] != 16 {
+		t.Errorf("Series = %v, %v", xs, err)
+	}
+	if _, err := Series(0, nil); err == nil {
+		t.Errorf("zero-length series accepted")
+	}
+	if _, err := Series(3, func(i int) (float64, error) {
+		if i == 1 {
+			return 0, fmt.Errorf("boom")
+		}
+		return 1, nil
+	}); err == nil {
+		t.Errorf("generator error swallowed")
+	}
+}
+
+func TestSeriesParallelMatchesSequential(t *testing.T) {
+	gen := func(i int) (float64, error) { return float64(i*i) + 1, nil }
+	seq, err := Series(32, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SeriesParallel(32, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("slot %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+	if _, err := SeriesParallel(0, gen); err == nil {
+		t.Errorf("zero-length parallel series accepted")
+	}
+	if _, err := SeriesParallel(4, func(i int) (float64, error) {
+		if i == 2 {
+			return 0, errors.New("boom")
+		}
+		return 1, nil
+	}); err == nil {
+		t.Errorf("generator error swallowed")
+	}
+}
+
+// Property: min <= mean <= max for any non-empty series.
+func TestQuickOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true // avoid overflow artifacts; not the property under test
+			}
+		}
+		mn, _ := Min(xs)
+		me, _ := Mean(xs)
+		mx, _ := Max(xs)
+		return mn <= me+1e-9*math.Abs(me) && me <= mx+1e-9*math.Abs(mx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

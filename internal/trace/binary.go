@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary trace encoding (EPILOG-like). Little-endian throughout.
+//
+//	header:  magic "EPGO" | u16 version | string program | u32 numRanks
+//	         u32 numCounters | counter names
+//	         u32 numRegions  | regions (name, module, i32 line)
+//	events:  u32 count | records
+//	record:  u8 kind | u8 flags | u32 rank | u32 thread | f64 time
+//	         i32 region | i32 partner | i32 tag | i64 bytes
+//	         u8 coll | i32 collSeq | i32 root
+//	         [numCounters × i64]   (only when flags&flagCounters != 0)
+//
+// The fixed-width record makes the cost of per-record counters explicit:
+// every enter/exit grows by 8 bytes per counter, which is exactly the
+// trace-file enlargement §5.2 of the paper describes.
+
+const (
+	magic        = "EPGO"
+	formatVer    = 1
+	flagCounters = 1 << 0
+)
+
+const baseRecordSize = 1 + 1 + 4 + 4 + 8 + 4 + 4 + 4 + 8 + 1 + 4 + 4
+
+// EncodedSize returns the exact number of bytes WriteTo produces.
+func (t *Trace) EncodedSize() int {
+	n := 4 + 2 // magic + version
+	n += 4 + len(t.Program)
+	n += 4 // numRanks
+	n += 4
+	for _, c := range t.Counters {
+		n += 4 + len(c)
+	}
+	n += 4
+	for _, r := range t.Regions {
+		n += 4 + len(r.Name) + 4 + len(r.Module) + 4
+	}
+	n += 4 // event count
+	for i := range t.Events {
+		n += baseRecordSize
+		if len(t.Events[i].Counters) > 0 {
+			n += 8 * len(t.Counters)
+		}
+	}
+	return n
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo encodes the trace to w and returns the number of bytes written.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	var scratch [8]byte
+	le := binary.LittleEndian
+
+	putU16 := func(v uint16) { le.PutUint16(scratch[:2], v); bw.Write(scratch[:2]) }
+	putU32 := func(v uint32) { le.PutUint32(scratch[:4], v); bw.Write(scratch[:4]) }
+	putI32 := func(v int32) { putU32(uint32(v)) }
+	putU64 := func(v uint64) { le.PutUint64(scratch[:8], v); bw.Write(scratch[:8]) }
+	putI64 := func(v int64) { putU64(uint64(v)) }
+	putF64 := func(v float64) { putU64(math.Float64bits(v)) }
+	putStr := func(s string) { putU32(uint32(len(s))); bw.WriteString(s) }
+
+	bw.WriteString(magic)
+	putU16(formatVer)
+	putStr(t.Program)
+	putU32(uint32(t.NumRanks))
+	putU32(uint32(len(t.Counters)))
+	for _, c := range t.Counters {
+		putStr(c)
+	}
+	putU32(uint32(len(t.Regions)))
+	for _, r := range t.Regions {
+		putStr(r.Name)
+		putStr(r.Module)
+		putI32(int32(r.Line))
+	}
+	putU32(uint32(len(t.Events)))
+	for i := range t.Events {
+		ev := &t.Events[i]
+		bw.WriteByte(byte(ev.Kind))
+		var flags byte
+		if len(ev.Counters) > 0 {
+			flags |= flagCounters
+		}
+		bw.WriteByte(flags)
+		putU32(uint32(ev.Rank))
+		putU32(uint32(ev.Thread))
+		putF64(ev.Time)
+		putI32(ev.Region)
+		putI32(ev.Partner)
+		putI32(ev.Tag)
+		putI64(ev.Bytes)
+		bw.WriteByte(byte(ev.Coll))
+		putI32(ev.CollSeq)
+		putI32(ev.Root)
+		if flags&flagCounters != 0 {
+			if len(ev.Counters) != len(t.Counters) {
+				return cw.n, fmt.Errorf("trace: event %d has %d counter values, trace defines %d",
+					i, len(ev.Counters), len(t.Counters))
+			}
+			for _, v := range ev.Counters {
+				putI64(v)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom decodes a trace previously encoded with WriteTo.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	le := binary.LittleEndian
+
+	readFull := func(n int) ([]byte, error) {
+		if n <= len(scratch) {
+			_, err := io.ReadFull(br, scratch[:n])
+			return scratch[:n], err
+		}
+		buf := make([]byte, n)
+		_, err := io.ReadFull(br, buf)
+		return buf, err
+	}
+	getU16 := func() (uint16, error) {
+		b, err := readFull(2)
+		return le.Uint16(b), err
+	}
+	getU32 := func() (uint32, error) {
+		b, err := readFull(4)
+		return le.Uint32(b), err
+	}
+	getI32 := func() (int32, error) {
+		v, err := getU32()
+		return int32(v), err
+	}
+	getU64 := func() (uint64, error) {
+		b, err := readFull(8)
+		return le.Uint64(b), err
+	}
+	getI64 := func() (int64, error) {
+		v, err := getU64()
+		return int64(v), err
+	}
+	getF64 := func() (float64, error) {
+		v, err := getU64()
+		return math.Float64frombits(v), err
+	}
+	const maxStr = 1 << 20
+	getStr := func() (string, error) {
+		n, err := getU32()
+		if err != nil {
+			return "", err
+		}
+		if n > maxStr {
+			return "", fmt.Errorf("trace: string length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	hdr, err := readFull(4)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr)
+	}
+	ver, err := getU16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVer {
+		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
+	}
+	program, err := getStr()
+	if err != nil {
+		return nil, err
+	}
+	np, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	// Header fields are untrusted input: reject absurd values before any
+	// consumer sizes allocations from them.
+	const maxRanks = 1 << 22
+	if np > maxRanks {
+		return nil, fmt.Errorf("trace: declared rank count %d exceeds limit %d", np, maxRanks)
+	}
+	t := New(program, int(np))
+	nc, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxCounters = 1024
+	if nc > maxCounters {
+		return nil, fmt.Errorf("trace: declared counter count %d exceeds limit %d", nc, maxCounters)
+	}
+	for i := uint32(0); i < nc; i++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		t.Counters = append(t.Counters, name)
+	}
+	nr, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nr; i++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		mod, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		line, err := getI32()
+		if err != nil {
+			return nil, err
+		}
+		t.DefineRegion(name, mod, int(line))
+	}
+	ne, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	// Cap the initial allocation: the declared count is untrusted input
+	// (a corrupted header must not trigger a huge up-front allocation);
+	// append grows the slice as records actually parse.
+	capHint := ne
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	t.Events = make([]Event, 0, capHint)
+	for i := uint32(0); i < ne; i++ {
+		ev := Event{Seq: int64(i)} // file order breaks timestamp ties
+		b, err := readFull(2)
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated at event %d: %w", i, err)
+		}
+		ev.Kind = Kind(b[0])
+		flags := b[1]
+		if u, err := getU32(); err != nil {
+			return nil, err
+		} else {
+			ev.Rank = int32(u)
+		}
+		if u, err := getU32(); err != nil {
+			return nil, err
+		} else {
+			ev.Thread = int32(u)
+		}
+		if ev.Time, err = getF64(); err != nil {
+			return nil, err
+		}
+		if ev.Region, err = getI32(); err != nil {
+			return nil, err
+		}
+		if ev.Partner, err = getI32(); err != nil {
+			return nil, err
+		}
+		if ev.Tag, err = getI32(); err != nil {
+			return nil, err
+		}
+		if ev.Bytes, err = getI64(); err != nil {
+			return nil, err
+		}
+		cb, err := readFull(1)
+		if err != nil {
+			return nil, err
+		}
+		ev.Coll = CollKind(cb[0])
+		if ev.CollSeq, err = getI32(); err != nil {
+			return nil, err
+		}
+		if ev.Root, err = getI32(); err != nil {
+			return nil, err
+		}
+		if flags&flagCounters != 0 {
+			ev.Counters = make([]int64, len(t.Counters))
+			for j := range ev.Counters {
+				if ev.Counters[j], err = getI64(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		t.Events = append(t.Events, ev)
+	}
+	return t, nil
+}
+
+// WriteFile encodes the trace to the named file.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes a trace from the named file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

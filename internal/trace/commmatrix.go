@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CommMatrix summarises the point-to-point communication of a trace as
+// rank-by-rank matrices: message counts and transferred bytes from sender
+// (row) to receiver (column), counted at the Send records.
+type CommMatrix struct {
+	NumRanks int
+	Messages [][]int64
+	Bytes    [][]int64
+}
+
+// BuildCommMatrix scans the trace's Send records.
+func (t *Trace) BuildCommMatrix() *CommMatrix {
+	m := &CommMatrix{NumRanks: t.NumRanks}
+	m.Messages = make([][]int64, t.NumRanks)
+	m.Bytes = make([][]int64, t.NumRanks)
+	for i := range m.Messages {
+		m.Messages[i] = make([]int64, t.NumRanks)
+		m.Bytes[i] = make([]int64, t.NumRanks)
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind != Send {
+			continue
+		}
+		src, dst := int(ev.Rank), int(ev.Partner)
+		if src < 0 || src >= t.NumRanks || dst < 0 || dst >= t.NumRanks {
+			continue
+		}
+		m.Messages[src][dst]++
+		m.Bytes[src][dst] += ev.Bytes
+	}
+	return m
+}
+
+// TotalMessages returns the number of point-to-point messages.
+func (m *CommMatrix) TotalMessages() int64 {
+	var s int64
+	for _, row := range m.Messages {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// TotalBytes returns the transferred point-to-point volume.
+func (m *CommMatrix) TotalBytes() int64 {
+	var s int64
+	for _, row := range m.Bytes {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// Render writes the matrix as an intensity map (digits 0-9 scaled to the
+// largest cell, "." for empty cells), one row per sender, followed by the
+// totals. Useful for spotting communication structure (rings, grids,
+// wavefronts) at a glance.
+func (m *CommMatrix) Render(w io.Writer, byBytes bool) error {
+	cells := m.Messages
+	what := "messages"
+	if byBytes {
+		cells = m.Bytes
+		what = "bytes"
+	}
+	var max int64
+	for _, row := range cells {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "p2p %s matrix (%d ranks, max cell %d):\n", what, m.NumRanks, max); err != nil {
+		return err
+	}
+	for src, row := range cells {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%4d |", src)
+		for _, v := range row {
+			switch {
+			case v == 0:
+				sb.WriteString(" .")
+			case max > 0:
+				fmt.Fprintf(&sb, " %d", (v*9+max-1)/max)
+			}
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total: %d messages, %d bytes\n", m.TotalMessages(), m.TotalBytes())
+	return err
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadFrom-style robustness: random corruption of valid encodings must
+// produce errors or valid traces, never panics or runaway allocations.
+func TestReadFromCorruptionRobust(t *testing.T) {
+	tr := buildPingPong(true)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		corrupted := append([]byte(nil), valid...)
+		// Flip 1-4 random bytes.
+		for k := 0; k < 1+r.Intn(4); k++ {
+			corrupted[r.Intn(len(corrupted))] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			got, err := ReadFrom(bytes.NewReader(corrupted))
+			if err == nil && got != nil {
+				// A still-parseable trace is fine; it must at least be
+				// structurally self-consistent enough to not crash
+				// downstream consumers.
+				_ = got.ComputeStats()
+				_ = got.ThreadsPerRank()
+			}
+		}()
+	}
+}
+
+func TestReadFromRandomGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(256)
+		buf := make([]byte, n)
+		r.Read(buf)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			_, _ = ReadFrom(bytes.NewReader(buf))
+		}()
+	}
+}
+
+// Huge declared string/event counts must not cause unbounded allocation.
+func TestReadFromHostileLengths(t *testing.T) {
+	// magic + version, then a program-string length of ~4 GiB.
+	hostile := []byte{'E', 'P', 'G', 'O', 1, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrom(bytes.NewReader(hostile)); err == nil {
+		t.Errorf("hostile string length accepted")
+	}
+}

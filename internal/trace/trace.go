@@ -1,0 +1,405 @@
+// Package trace models event traces of message-passing programs in the
+// style of the EPILOG format consumed by EXPERT: time-stamped events — such
+// as entering a function or sending a message — are recorded as the target
+// application runs and later searched for execution patterns that indicate
+// inefficient behaviour.
+//
+// Traces optionally carry hardware-counter values as part of every
+// enter/exit record. The paper's §5.2 points out that doing so "can
+// increase trace-file size dramatically"; the binary encoding in this
+// package makes that cost measurable, motivating the CUBE merge operator
+// (record counters separately as a compact call-graph profile and merge).
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind discriminates event records.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Enter records entry into a region.
+	Enter Kind = iota
+	// Exit records leaving a region. Exits from collective-operation
+	// regions carry collective metadata (Coll, CollSeq, Root, Bytes).
+	Exit
+	// Send records the start of a point-to-point message transmission.
+	Send
+	// Recv records the completion of a point-to-point message receipt.
+	Recv
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Enter:
+		return "ENTER"
+	case Exit:
+		return "EXIT"
+	case Send:
+		return "SEND"
+	case Recv:
+		return "RECV"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// CollKind identifies the collective operation an Exit event completes.
+type CollKind uint8
+
+// Collective kinds. CollNone marks exits from non-collective regions.
+const (
+	CollNone CollKind = iota
+	CollBarrier
+	CollAllToAll
+	CollAllReduce
+	CollBcast
+	CollReduce
+	// CollOMPBarrier marks the implicit join barrier at the end of an
+	// OpenMP parallel region; its participants are the threads of one
+	// process (CollSeq numbers the instance within that process).
+	CollOMPBarrier
+	// CollAllGather is the N-to-N gather collective.
+	CollAllGather
+)
+
+// String implements fmt.Stringer.
+func (c CollKind) String() string {
+	switch c {
+	case CollNone:
+		return "none"
+	case CollBarrier:
+		return "barrier"
+	case CollAllToAll:
+		return "alltoall"
+	case CollAllReduce:
+		return "allreduce"
+	case CollBcast:
+		return "bcast"
+	case CollReduce:
+		return "reduce"
+	case CollOMPBarrier:
+		return "omp-barrier"
+	case CollAllGather:
+		return "allgather"
+	}
+	return fmt.Sprintf("CollKind(%d)", uint8(c))
+}
+
+// NoPartner marks message fields of non-message events.
+const NoPartner int32 = -1
+
+// OpenMP region naming conventions shared by trace producers and analyzers.
+const (
+	// OMPPrefix prefixes the region name of every OpenMP parallel region.
+	OMPPrefix = "!$omp parallel "
+	// OMPBarrierRegion names the implicit barrier joining a parallel
+	// region.
+	OMPBarrierRegion = "!$omp ibarrier"
+)
+
+// IsOMPParallel reports whether a region name denotes an OpenMP parallel
+// region.
+func IsOMPParallel(name string) bool {
+	return len(name) >= len(OMPPrefix) && name[:len(OMPPrefix)] == OMPPrefix
+}
+
+// Event is one trace record.
+type Event struct {
+	// Kind discriminates the record.
+	Kind Kind
+	// Time is seconds since the start of the run.
+	Time float64
+	// Rank and Thread locate the event in the system dimension.
+	Rank   int32
+	Thread int32
+	// Region indexes the trace's region table for Enter/Exit; -1 for
+	// message records (they occur inside the enclosing region).
+	Region int32
+	// Partner is the destination rank of a Send or source rank of a
+	// Recv; NoPartner otherwise.
+	Partner int32
+	// Tag is the message tag of Send/Recv records.
+	Tag int32
+	// Bytes is the message volume of Send/Recv records and of collective
+	// exits (bytes contributed by this rank).
+	Bytes int64
+	// Coll, CollSeq, and Root describe the collective instance an Exit
+	// record completes: the operation, its per-communicator sequence
+	// number (instance i of that collective), and the root rank where
+	// applicable.
+	Coll    CollKind
+	CollSeq int32
+	Root    int32
+	// Counters holds cumulative hardware-counter values sampled at this
+	// event, parallel to Trace.Counters; nil when the trace was recorded
+	// without per-record counters.
+	Counters []int64
+	// Seq is a producer-local sequence number assigned by Append (and by
+	// the binary reader in file order). It breaks timestamp ties so the
+	// global event order is total and analysis is reproducible; it is
+	// not serialised.
+	Seq int64
+}
+
+// RegionInfo is an entry of the trace's region table.
+type RegionInfo struct {
+	Name   string
+	Module string
+	Line   int
+}
+
+// Trace is a complete event trace of one program run.
+type Trace struct {
+	// Program labels the traced application (e.g. "pescan").
+	Program string
+	// NumRanks is the number of processes of the run.
+	NumRanks int
+	// Counters names the hardware counters recorded in every enter/exit
+	// record; empty for time-only traces.
+	Counters []string
+	// Regions is the region table referenced by Event.Region.
+	Regions []RegionInfo
+	// Events holds the records sorted by (Time, Rank) after Sort; the
+	// producer may append in any order.
+	Events []Event
+
+	regionIndex map[string]int32
+}
+
+// New returns an empty trace for a run of the given program with np ranks.
+func New(program string, np int) *Trace {
+	return &Trace{Program: program, NumRanks: np, regionIndex: map[string]int32{}}
+}
+
+// DefineRegion interns a region in the region table and returns its index.
+// Regions are deduplicated by (name, module).
+func (t *Trace) DefineRegion(name, module string, line int) int32 {
+	if t.regionIndex == nil {
+		t.regionIndex = map[string]int32{}
+		for i, r := range t.Regions {
+			t.regionIndex[r.Name+"\x00"+r.Module] = int32(i)
+		}
+	}
+	k := name + "\x00" + module
+	if id, ok := t.regionIndex[k]; ok {
+		return id
+	}
+	id := int32(len(t.Regions))
+	t.Regions = append(t.Regions, RegionInfo{Name: name, Module: module, Line: line})
+	t.regionIndex[k] = id
+	return id
+}
+
+// RegionName returns the name for a region index, or "?" if out of range.
+func (t *Trace) RegionName(id int32) string {
+	if id < 0 || int(id) >= len(t.Regions) {
+		return "?"
+	}
+	return t.Regions[id].Name
+}
+
+// Append adds an event record, assigning its sequence number.
+func (t *Trace) Append(ev Event) {
+	ev.Seq = int64(len(t.Events))
+	t.Events = append(t.Events, ev)
+}
+
+// Sort orders the events by time, breaking ties by rank and sequence
+// number, which yields a deterministic, reproducible global event stream
+// like a merged EPILOG trace.
+func (t *Trace) Sort() {
+	sort.Slice(t.Events, func(i, j int) bool {
+		a, b := &t.Events[i], &t.Events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// PerRank splits the event stream into one time-ordered sub-stream per rank
+// (indices into Events).
+func (t *Trace) PerRank() [][]int {
+	out := make([][]int, t.NumRanks)
+	for i := range t.Events {
+		r := int(t.Events[i].Rank)
+		if r >= 0 && r < t.NumRanks {
+			out[r] = append(out[r], i)
+		}
+	}
+	for r := range out {
+		idx := out[r]
+		sort.Slice(idx, func(a, b int) bool {
+			ea, eb := &t.Events[idx[a]], &t.Events[idx[b]]
+			if ea.Time != eb.Time {
+				return ea.Time < eb.Time
+			}
+			return ea.Seq < eb.Seq
+		})
+	}
+	return out
+}
+
+// PerLocation splits the event stream into one time-ordered sub-stream per
+// location (rank, thread), indexed [rank][thread]. Every rank has at least
+// one (possibly empty) thread-0 lane.
+func (t *Trace) PerLocation() [][][]int {
+	out := make([][][]int, t.NumRanks)
+	for r := range out {
+		out[r] = make([][]int, 1)
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		r, th := int(ev.Rank), int(ev.Thread)
+		if r < 0 || r >= t.NumRanks || th < 0 {
+			continue
+		}
+		for len(out[r]) <= th {
+			out[r] = append(out[r], nil)
+		}
+		out[r][th] = append(out[r][th], i)
+	}
+	for r := range out {
+		for th := range out[r] {
+			idx := out[r][th]
+			sort.Slice(idx, func(a, b int) bool {
+				ea, eb := &t.Events[idx[a]], &t.Events[idx[b]]
+				if ea.Time != eb.Time {
+					return ea.Time < eb.Time
+				}
+				return ea.Seq < eb.Seq
+			})
+		}
+	}
+	return out
+}
+
+// ThreadsPerRank returns, for every rank, the number of threads that appear
+// in the trace (at least one).
+func (t *Trace) ThreadsPerRank() []int {
+	out := make([]int, t.NumRanks)
+	for i := range out {
+		out[i] = 1
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		r := int(ev.Rank)
+		if r >= 0 && r < t.NumRanks && int(ev.Thread) >= out[r] {
+			out[r] = int(ev.Thread) + 1
+		}
+	}
+	return out
+}
+
+// Duration returns the largest event timestamp (the run's end time).
+func (t *Trace) Duration() float64 {
+	var d float64
+	for i := range t.Events {
+		if t.Events[i].Time > d {
+			d = t.Events[i].Time
+		}
+	}
+	return d
+}
+
+// Validate checks structural trace sanity: events reference valid ranks and
+// regions, per-rank enter/exit nesting is balanced and properly nested, and
+// per-rank timestamps are non-decreasing. It returns the first violation.
+func (t *Trace) Validate() error {
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if int(ev.Rank) < 0 || int(ev.Rank) >= t.NumRanks {
+			return fmt.Errorf("trace: event %d has rank %d outside [0,%d)", i, ev.Rank, t.NumRanks)
+		}
+		switch ev.Kind {
+		case Enter, Exit:
+			if ev.Region < 0 || int(ev.Region) >= len(t.Regions) {
+				return fmt.Errorf("trace: event %d (%v) has invalid region %d", i, ev.Kind, ev.Region)
+			}
+		case Send, Recv:
+			if int(ev.Partner) < 0 || int(ev.Partner) >= t.NumRanks {
+				return fmt.Errorf("trace: event %d (%v) has invalid partner %d", i, ev.Kind, ev.Partner)
+			}
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, uint8(ev.Kind))
+		}
+		if len(ev.Counters) != 0 && len(ev.Counters) != len(t.Counters) {
+			return fmt.Errorf("trace: event %d carries %d counter values, trace defines %d", i, len(ev.Counters), len(t.Counters))
+		}
+	}
+	for rank, lanes := range t.PerLocation() {
+		for th, idx := range lanes {
+			var stack []int32
+			last := -1.0
+			for _, i := range idx {
+				ev := &t.Events[i]
+				if ev.Time < last {
+					return fmt.Errorf("trace: rank %d thread %d time goes backwards at event %d (%.9f < %.9f)",
+						rank, th, i, ev.Time, last)
+				}
+				last = ev.Time
+				switch ev.Kind {
+				case Enter:
+					stack = append(stack, ev.Region)
+				case Exit:
+					if len(stack) == 0 {
+						return fmt.Errorf("trace: rank %d thread %d exit from %q without enter", rank, th, t.RegionName(ev.Region))
+					}
+					top := stack[len(stack)-1]
+					if top != ev.Region {
+						return fmt.Errorf("trace: rank %d thread %d improperly nested exit: in %q, exiting %q",
+							rank, th, t.RegionName(top), t.RegionName(ev.Region))
+					}
+					stack = stack[:len(stack)-1]
+				}
+			}
+			if len(stack) != 0 {
+				return fmt.Errorf("trace: rank %d thread %d ends with %d unclosed regions (innermost %q)",
+					rank, th, len(stack), t.RegionName(stack[len(stack)-1]))
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Events      int
+	Enters      int
+	Exits       int
+	Sends       int
+	Recvs       int
+	Collectives int
+	Duration    float64
+	// EncodedBytes is the size of the binary encoding of the trace.
+	EncodedBytes int
+}
+
+// ComputeStats summarises the trace, including its binary encoding size.
+func (t *Trace) ComputeStats() Stats {
+	s := Stats{Events: len(t.Events), Duration: t.Duration()}
+	for i := range t.Events {
+		switch t.Events[i].Kind {
+		case Enter:
+			s.Enters++
+		case Exit:
+			s.Exits++
+			if t.Events[i].Coll != CollNone {
+				s.Collectives++
+			}
+		case Send:
+			s.Sends++
+		case Recv:
+			s.Recvs++
+		}
+	}
+	s.EncodedBytes = t.EncodedSize()
+	return s
+}

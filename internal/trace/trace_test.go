@@ -1,0 +1,421 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildPingPong constructs a tiny valid 2-rank trace:
+//
+//	rank 0: ENTER main, SEND, ENTER recvreg? -- kept simple:
+//	rank 0: main{ send(1), recv(1) }, rank 1: main{ recv(0), send(0) }
+func buildPingPong(withCounters bool) *Trace {
+	t := New("pingpong", 2)
+	if withCounters {
+		t.Counters = []string{"C1", "C2"}
+	}
+	mainID := t.DefineRegion("main", "app", 1)
+	sendID := t.DefineRegion("MPI_Send", "libmpi", 0)
+	recvID := t.DefineRegion("MPI_Recv", "libmpi", 0)
+	cnt := func(a, b int64) []int64 {
+		if !withCounters {
+			return nil
+		}
+		return []int64{a, b}
+	}
+	ev := []Event{
+		{Kind: Enter, Time: 0.0, Rank: 0, Region: mainID, Partner: NoPartner, Counters: cnt(0, 0)},
+		{Kind: Enter, Time: 0.0, Rank: 1, Region: mainID, Partner: NoPartner, Counters: cnt(0, 0)},
+		{Kind: Enter, Time: 0.1, Rank: 0, Region: sendID, Partner: NoPartner, Counters: cnt(10, 5)},
+		{Kind: Send, Time: 0.1, Rank: 0, Partner: 1, Tag: 7, Bytes: 1024, Region: -1},
+		{Kind: Exit, Time: 0.11, Rank: 0, Region: sendID, Partner: NoPartner, Counters: cnt(12, 6)},
+		{Kind: Enter, Time: 0.05, Rank: 1, Region: recvID, Partner: NoPartner, Counters: cnt(3, 3)},
+		{Kind: Recv, Time: 0.15, Rank: 1, Partner: 0, Tag: 7, Bytes: 1024, Region: -1},
+		{Kind: Exit, Time: 0.15, Rank: 1, Region: recvID, Partner: NoPartner, Counters: cnt(9, 8)},
+		{Kind: Exit, Time: 0.3, Rank: 0, Region: mainID, Partner: NoPartner, Counters: cnt(20, 20)},
+		{Kind: Exit, Time: 0.3, Rank: 1, Region: mainID, Partner: NoPartner, Counters: cnt(21, 22)},
+	}
+	for _, e := range ev {
+		t.Append(e)
+	}
+	t.Sort()
+	return t
+}
+
+func TestDefineRegionDedupe(t *testing.T) {
+	tr := New("x", 1)
+	a := tr.DefineRegion("f", "m", 1)
+	b := tr.DefineRegion("f", "m", 99) // same name+module: same id
+	c := tr.DefineRegion("f", "other", 1)
+	if a != b {
+		t.Errorf("duplicate region not interned")
+	}
+	if a == c {
+		t.Errorf("regions in different modules merged")
+	}
+	if tr.RegionName(a) != "f" || tr.RegionName(-1) != "?" || tr.RegionName(99) != "?" {
+		t.Errorf("RegionName wrong")
+	}
+}
+
+func TestSortAndPerRank(t *testing.T) {
+	tr := buildPingPong(false)
+	last := -1.0
+	for _, e := range tr.Events {
+		if e.Time < last {
+			t.Fatalf("events not sorted")
+		}
+		last = e.Time
+	}
+	pr := tr.PerRank()
+	if len(pr) != 2 {
+		t.Fatalf("PerRank lanes = %d", len(pr))
+	}
+	for rank, idx := range pr {
+		last := -1.0
+		for _, i := range idx {
+			if int(tr.Events[i].Rank) != rank {
+				t.Errorf("event of wrong rank in lane %d", rank)
+			}
+			if tr.Events[i].Time < last {
+				t.Errorf("lane %d out of order", rank)
+			}
+			last = tr.Events[i].Time
+		}
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	for _, with := range []bool{false, true} {
+		tr := buildPingPong(with)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("withCounters=%v: %v", with, err)
+		}
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	check := func(name string, mutate func(tr *Trace), fragment string) {
+		tr := buildPingPong(false)
+		mutate(tr)
+		err := tr.Validate()
+		if err == nil || !strings.Contains(err.Error(), fragment) {
+			t.Errorf("%s: err = %v (want %q)", name, err, fragment)
+		}
+	}
+	check("bad rank", func(tr *Trace) { tr.Events[0].Rank = 9 }, "rank")
+	check("bad region", func(tr *Trace) { tr.Events[0].Region = 77 }, "invalid region")
+	check("bad partner", func(tr *Trace) {
+		for i := range tr.Events {
+			if tr.Events[i].Kind == Send {
+				tr.Events[i].Partner = -2
+			}
+		}
+	}, "invalid partner")
+	check("unbalanced", func(tr *Trace) {
+		tr.Append(Event{Kind: Exit, Time: 0.5, Rank: 0, Region: 0, Partner: NoPartner})
+	}, "without enter")
+	check("improper nesting", func(tr *Trace) {
+		a := tr.DefineRegion("a", "", 0)
+		b := tr.DefineRegion("b", "", 0)
+		tr.Append(Event{Kind: Enter, Time: 0.4, Rank: 0, Region: a, Partner: NoPartner})
+		tr.Append(Event{Kind: Enter, Time: 0.41, Rank: 0, Region: b, Partner: NoPartner})
+		tr.Append(Event{Kind: Exit, Time: 0.42, Rank: 0, Region: a, Partner: NoPartner})
+		tr.Append(Event{Kind: Exit, Time: 0.43, Rank: 0, Region: b, Partner: NoPartner})
+	}, "improperly nested")
+	check("unclosed", func(tr *Trace) {
+		tr.Append(Event{Kind: Enter, Time: 0.9, Rank: 1, Region: 0, Partner: NoPartner})
+	}, "unclosed")
+	check("counter mismatch", func(tr *Trace) {
+		tr.Counters = []string{"A"}
+		tr.Events[0].Counters = []int64{1, 2}
+	}, "counter values")
+	check("unknown kind", func(tr *Trace) { tr.Events[0].Kind = 42 }, "unknown kind")
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, with := range []bool{false, true} {
+		tr := buildPingPong(with)
+		var buf bytes.Buffer
+		n, err := tr.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if int(n) != buf.Len() {
+			t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+		}
+		if int(n) != tr.EncodedSize() {
+			t.Errorf("EncodedSize = %d, actual %d", tr.EncodedSize(), n)
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrom: %v", err)
+		}
+		if back.Program != tr.Program || back.NumRanks != tr.NumRanks {
+			t.Errorf("header lost")
+		}
+		if len(back.Events) != len(tr.Events) {
+			t.Fatalf("events = %d, want %d", len(back.Events), len(tr.Events))
+		}
+		for i := range tr.Events {
+			a, b := tr.Events[i], back.Events[i]
+			if a.Kind != b.Kind || a.Time != b.Time || a.Rank != b.Rank || a.Region != b.Region ||
+				a.Partner != b.Partner || a.Tag != b.Tag || a.Bytes != b.Bytes ||
+				a.Coll != b.Coll || a.CollSeq != b.CollSeq || a.Root != b.Root {
+				t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+			}
+			if len(a.Counters) != len(b.Counters) {
+				t.Fatalf("event %d counters lost", i)
+			}
+			for j := range a.Counters {
+				if a.Counters[j] != b.Counters[j] {
+					t.Fatalf("event %d counter %d mismatch", i, j)
+				}
+			}
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("round-tripped trace invalid: %v", err)
+		}
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	tr := buildPingPong(true)
+	path := t.TempDir() + "/x.epgo"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Errorf("file round-trip lost events")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("BOGUS......")); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	tr := buildPingPong(false)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncations at various points must error, not panic.
+	for _, cut := range []int{3, 5, 10, len(full) / 2, len(full) - 3} {
+		if _, err := ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt version.
+	bad := append([]byte(nil), full...)
+	bad[4] = 0xEE
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Errorf("bad version accepted")
+	}
+}
+
+func TestWriteCounterMismatch(t *testing.T) {
+	tr := buildPingPong(true)
+	tr.Events[0].Counters = []int64{1} // wrong arity
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err == nil {
+		t.Errorf("counter arity mismatch accepted on write")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := buildPingPong(false)
+	barrier := tr.DefineRegion("MPI_Barrier", "libmpi", 0)
+	tr.Append(Event{Kind: Enter, Time: 0.31, Rank: 0, Region: barrier, Partner: NoPartner})
+	tr.Append(Event{Kind: Exit, Time: 0.32, Rank: 0, Region: barrier, Partner: NoPartner, Coll: CollBarrier})
+	s := tr.ComputeStats()
+	if s.Enters != 5 || s.Exits != 5 || s.Sends != 1 || s.Recvs != 1 || s.Collectives != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Duration != 0.32 {
+		t.Errorf("duration = %v", s.Duration)
+	}
+	if s.EncodedBytes != tr.EncodedSize() {
+		t.Errorf("encoded bytes inconsistent")
+	}
+}
+
+func TestCounterTraceIsLarger(t *testing.T) {
+	plain := buildPingPong(false)
+	counted := buildPingPong(true)
+	if counted.EncodedSize() <= plain.EncodedSize() {
+		t.Errorf("counters should enlarge the trace: %d vs %d", counted.EncodedSize(), plain.EncodedSize())
+	}
+}
+
+func TestPerLocationAndThreadsPerRank(t *testing.T) {
+	tr := New("mt", 2)
+	main := tr.DefineRegion("main", "app", 0)
+	par := tr.DefineRegion(OMPPrefix+"loop", "omp", 0)
+	// Rank 0: master + one worker thread; rank 1: master only.
+	tr.Append(Event{Kind: Enter, Time: 0, Rank: 0, Thread: 0, Region: main, Partner: NoPartner})
+	tr.Append(Event{Kind: Enter, Time: 1, Rank: 0, Thread: 1, Region: par, Partner: NoPartner})
+	tr.Append(Event{Kind: Exit, Time: 2, Rank: 0, Thread: 1, Region: par, Partner: NoPartner})
+	tr.Append(Event{Kind: Exit, Time: 3, Rank: 0, Thread: 0, Region: main, Partner: NoPartner})
+	tr.Append(Event{Kind: Enter, Time: 0, Rank: 1, Thread: 0, Region: main, Partner: NoPartner})
+	tr.Append(Event{Kind: Exit, Time: 1, Rank: 1, Thread: 0, Region: main, Partner: NoPartner})
+	tr.Sort()
+
+	per := tr.ThreadsPerRank()
+	if per[0] != 2 || per[1] != 1 {
+		t.Errorf("ThreadsPerRank = %v", per)
+	}
+	loc := tr.PerLocation()
+	if len(loc[0]) != 2 || len(loc[0][1]) != 2 || len(loc[1][0]) != 2 {
+		t.Errorf("PerLocation shape wrong: %v", loc)
+	}
+	// Every lane time-ordered and homogeneous.
+	for r := range loc {
+		for th, idx := range loc[r] {
+			last := -1.0
+			for _, i := range idx {
+				ev := tr.Events[i]
+				if int(ev.Rank) != r || int(ev.Thread) != th {
+					t.Errorf("misplaced event in lane %d.%d", r, th)
+				}
+				if ev.Time < last {
+					t.Errorf("lane %d.%d out of order", r, th)
+				}
+				last = ev.Time
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("multi-threaded trace invalid: %v", err)
+	}
+}
+
+func TestIsOMPParallel(t *testing.T) {
+	if !IsOMPParallel(OMPPrefix + "solve") {
+		t.Errorf("parallel region not recognised")
+	}
+	for _, name := range []string{"main", "MPI_Recv", OMPBarrierRegion, "!$omp"} {
+		if IsOMPParallel(name) {
+			t.Errorf("%q wrongly recognised as parallel region", name)
+		}
+	}
+}
+
+func TestSortSeqTieBreak(t *testing.T) {
+	tr := New("seq", 1)
+	a := tr.DefineRegion("a", "", 0)
+	b := tr.DefineRegion("b", "", 0)
+	// Two events at the identical (time, rank): append order must win
+	// deterministically even after shuffling.
+	tr.Append(Event{Kind: Enter, Time: 1, Rank: 0, Region: a, Partner: NoPartner})
+	tr.Append(Event{Kind: Enter, Time: 1, Rank: 0, Region: b, Partner: NoPartner})
+	tr.Events[0], tr.Events[1] = tr.Events[1], tr.Events[0]
+	tr.Sort()
+	if tr.Events[0].Region != a || tr.Events[1].Region != b {
+		t.Errorf("sequence tie-break failed: %v %v", tr.Events[0].Region, tr.Events[1].Region)
+	}
+}
+
+func TestCommMatrix(t *testing.T) {
+	tr := New("cm", 3)
+	add := func(src, dst int, bytes int64) {
+		tr.Append(Event{Kind: Send, Time: 0, Rank: int32(src), Region: -1,
+			Partner: int32(dst), Bytes: bytes})
+	}
+	add(0, 1, 100)
+	add(0, 1, 200)
+	add(1, 2, 50)
+	add(2, 0, 25)
+	// Out-of-range partners are ignored, not crashed on.
+	tr.Append(Event{Kind: Send, Time: 0, Rank: 0, Region: -1, Partner: 9, Bytes: 1})
+
+	m := tr.BuildCommMatrix()
+	if m.Messages[0][1] != 2 || m.Bytes[0][1] != 300 {
+		t.Errorf("cell (0,1) = %d msgs / %d B", m.Messages[0][1], m.Bytes[0][1])
+	}
+	if m.TotalMessages() != 4 || m.TotalBytes() != 375 {
+		t.Errorf("totals = %d msgs / %d B", m.TotalMessages(), m.TotalBytes())
+	}
+	var sb strings.Builder
+	if err := m.Render(&sb, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "p2p messages matrix") || !strings.Contains(out, "total: 4 messages, 375 bytes") {
+		t.Errorf("render wrong:\n%s", out)
+	}
+	// Intensity scaling: max cell (2 msgs) renders as 9.
+	if !strings.Contains(out, " 9") {
+		t.Errorf("max intensity missing:\n%s", out)
+	}
+	sb.Reset()
+	if err := m.Render(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "p2p bytes matrix") {
+		t.Errorf("bytes mode header missing")
+	}
+	// Empty trace renders without dividing by zero.
+	sb.Reset()
+	if err := New("empty", 2).BuildCommMatrix().Render(&sb, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "max cell 0") {
+		t.Errorf("empty matrix render wrong:\n%s", sb.String())
+	}
+}
+
+func TestKindAndCollStrings(t *testing.T) {
+	if Enter.String() != "ENTER" || Recv.String() != "RECV" || Kind(99).String() == "" {
+		t.Errorf("Kind strings wrong")
+	}
+	if CollBarrier.String() != "barrier" || CollNone.String() != "none" || CollKind(77).String() == "" {
+		t.Errorf("CollKind strings wrong")
+	}
+}
+
+// Property: EncodedSize always equals the bytes produced by WriteTo, for
+// random event mixes.
+func TestQuickEncodedSize(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New("q", 4)
+		nc := r.Intn(3)
+		for i := 0; i < nc; i++ {
+			tr.Counters = append(tr.Counters, "C"+string(rune('0'+i)))
+		}
+		reg := tr.DefineRegion("main", "app", 1)
+		n := r.Intn(50)
+		for i := 0; i < n; i++ {
+			ev := Event{
+				Kind: Kind(r.Intn(4)), Time: r.Float64(), Rank: int32(r.Intn(4)),
+				Region: reg, Partner: int32(r.Intn(4)), Tag: int32(r.Intn(10)),
+				Bytes: int64(r.Intn(1 << 20)),
+			}
+			if nc > 0 && r.Intn(2) == 0 {
+				ev.Counters = make([]int64, nc)
+				for j := range ev.Counters {
+					ev.Counters[j] = int64(r.Intn(1000))
+				}
+			}
+			tr.Append(ev)
+		}
+		var buf bytes.Buffer
+		n64, err := tr.WriteTo(&buf)
+		if err != nil {
+			return false
+		}
+		back, err := ReadFrom(&buf)
+		return int(n64) == tr.EncodedSize() && err == nil && len(back.Events) == len(tr.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

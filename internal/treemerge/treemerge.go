@@ -1,0 +1,202 @@
+// Package treemerge implements the top-down structural merge of arbitrary
+// trees that underlies CUBE's metadata integration.
+//
+// The paper reduces the integration of metric trees and call trees to "the
+// task of merging arbitrary trees": while traversing from the roots to the
+// leaves, nodes from the two input forests are matched using an equality
+// relation expressed here as a string key. Nodes that match become shared
+// nodes in the output; nodes that do not match are included separately.
+// Matching is strictly top-down: once two nodes are considered different,
+// their entire subtrees stay separate in the output even if they contain
+// children with equal keys (Karavanic & Miller's structural merge).
+package treemerge
+
+import "fmt"
+
+// Node is a neutral tree node used as the common currency of the merge.
+// Key encodes the equality relation for the dimension being merged (for
+// example "name\x00unit" for metrics, or the callee identity for call-tree
+// nodes). Payload carries the dimension-specific node (e.g. *core.Metric) so
+// callers can rebuild their own structures from the merged forest.
+type Node struct {
+	Key      string
+	Payload  any
+	Children []*Node
+}
+
+// New returns a leaf node with the given key and payload.
+func New(key string, payload any) *Node {
+	return &Node{Key: key, Payload: payload}
+}
+
+// Add appends child nodes and returns the receiver for chaining.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Walk visits n and all descendants in pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Size reports the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	s := 0
+	n.Walk(func(*Node) { s++ })
+	return s
+}
+
+// Mapping records, for every node of an input forest, the node of the merged
+// forest it ended up as (either a shared node or a copied node).
+type Mapping map[*Node]*Node
+
+// Result is the outcome of merging two forests.
+type Result struct {
+	Forest []*Node // merged forest
+	FromA  Mapping // input node (first operand) -> merged node
+	FromB  Mapping // input node (second operand) -> merged node
+}
+
+// Merge merges forest b into forest a, top-down, and returns the merged
+// forest plus mappings from every input node to its merged counterpart.
+// The inputs are not modified; the merged forest consists of fresh nodes
+// whose Payload is taken from the first operand when a node is shared, and
+// from whichever operand contributed the node otherwise.
+//
+// Duplicate keys among siblings of one input are tolerated: the first
+// occurrence in a is matched with the first occurrence in b, the second with
+// the second, and so on, preserving input order.
+func Merge(a, b []*Node) Result {
+	res := Result{FromA: Mapping{}, FromB: Mapping{}}
+	res.Forest = mergeLevel(a, b, &res)
+	return res
+}
+
+// MergeAll folds Merge over an arbitrary number of forests, left to right.
+// It returns the merged forest plus one mapping per input forest. Payloads
+// of shared nodes come from the leftmost operand that contributed them.
+func MergeAll(forests ...[]*Node) ([]*Node, []Mapping) {
+	if len(forests) == 0 {
+		return nil, nil
+	}
+	maps := make([]Mapping, len(forests))
+	// Start with a deep copy of the first forest so inputs are not aliased.
+	maps[0] = Mapping{}
+	acc := copyForest(forests[0], maps[0])
+	for i := 1; i < len(forests); i++ {
+		r := Merge(acc, forests[i])
+		// Re-route earlier mappings through the new merge.
+		for j := 0; j < i; j++ {
+			for in, mid := range maps[j] {
+				maps[j][in] = r.FromA[mid]
+			}
+		}
+		maps[i] = r.FromB
+		acc = r.Forest
+	}
+	return acc, maps
+}
+
+func copyForest(f []*Node, m Mapping) []*Node {
+	out := make([]*Node, 0, len(f))
+	for _, n := range f {
+		out = append(out, copyTree(n, m))
+	}
+	return out
+}
+
+func copyTree(n *Node, m Mapping) *Node {
+	c := &Node{Key: n.Key, Payload: n.Payload}
+	m[n] = c
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, copyTree(ch, m))
+	}
+	return c
+}
+
+// mergeLevel merges two sibling lists. Nodes of a are emitted first (in
+// order), each fused with its positional key-match from b when one exists;
+// unmatched b nodes follow in their input order.
+func mergeLevel(a, b []*Node, res *Result) []*Node {
+	// Positional matching per key: count how many times each key was
+	// consumed from b so duplicate sibling keys pair first-with-first.
+	type slot struct {
+		nodes []*Node
+		next  int
+	}
+	byKey := map[string]*slot{}
+	for _, bn := range b {
+		s := byKey[bn.Key]
+		if s == nil {
+			s = &slot{}
+			byKey[bn.Key] = s
+		}
+		s.nodes = append(s.nodes, bn)
+	}
+	used := map[*Node]bool{}
+	var out []*Node
+	for _, an := range a {
+		var match *Node
+		if s := byKey[an.Key]; s != nil && s.next < len(s.nodes) {
+			match = s.nodes[s.next]
+			s.next++
+			used[match] = true
+		}
+		if match == nil {
+			out = append(out, copyTreeInto(an, res.FromA))
+			continue
+		}
+		shared := &Node{Key: an.Key, Payload: an.Payload}
+		res.FromA[an] = shared
+		res.FromB[match] = shared
+		shared.Children = mergeLevel(an.Children, match.Children, res)
+		out = append(out, shared)
+	}
+	for _, bn := range b {
+		if !used[bn] {
+			out = append(out, copyTreeInto(bn, res.FromB))
+		}
+	}
+	return out
+}
+
+func copyTreeInto(n *Node, m Mapping) *Node {
+	c := &Node{Key: n.Key, Payload: n.Payload}
+	m[n] = c
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, copyTreeInto(ch, m))
+	}
+	return c
+}
+
+// Validate checks structural sanity of a forest: no nil nodes and no cycles.
+// It returns an error naming the first offending node.
+func Validate(f []*Node) error {
+	seen := map[*Node]bool{}
+	var visit func(n *Node, depth int) error
+	visit = func(n *Node, depth int) error {
+		if n == nil {
+			return fmt.Errorf("treemerge: nil node at depth %d", depth)
+		}
+		if seen[n] {
+			return fmt.Errorf("treemerge: node %q appears more than once (cycle or DAG)", n.Key)
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			if err := visit(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, n := range f {
+		if err := visit(n, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

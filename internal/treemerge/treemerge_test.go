@@ -1,0 +1,243 @@
+package treemerge
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// shape renders a forest as a deterministic string for comparison.
+func shape(f []*Node) string {
+	var sb strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat(" ", depth))
+		sb.WriteString(n.Key)
+		sb.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, n := range f {
+		walk(n, 0)
+	}
+	return sb.String()
+}
+
+func TestMergeDisjointForests(t *testing.T) {
+	a := []*Node{New("a", 1).Add(New("a1", 2))}
+	b := []*Node{New("b", 3).Add(New("b1", 4))}
+	r := Merge(a, b)
+	want := "a\n a1\nb\n b1\n"
+	if got := shape(r.Forest); got != want {
+		t.Fatalf("forest shape:\n%s\nwant:\n%s", got, want)
+	}
+	if len(r.FromA) != 2 || len(r.FromB) != 2 {
+		t.Fatalf("mappings sizes: %d, %d", len(r.FromA), len(r.FromB))
+	}
+}
+
+func TestMergeSharedNodes(t *testing.T) {
+	a := []*Node{New("root", "A").Add(New("x", "Ax"), New("y", "Ay"))}
+	b := []*Node{New("root", "B").Add(New("y", "By"), New("z", "Bz"))}
+	r := Merge(a, b)
+	want := "root\n x\n y\n z\n"
+	if got := shape(r.Forest); got != want {
+		t.Fatalf("forest shape:\n%s\nwant:\n%s", got, want)
+	}
+	// Shared node payload comes from the first operand.
+	if r.Forest[0].Payload != "A" {
+		t.Errorf("shared payload = %v, want A", r.Forest[0].Payload)
+	}
+	// Both roots map to the same shared node.
+	if r.FromA[a[0]] != r.FromB[b[0]] {
+		t.Errorf("roots not mapped to the same shared node")
+	}
+	// Unshared nodes map to distinct copies.
+	if r.FromA[a[0].Children[0]] == nil || r.FromB[b[0].Children[1]] == nil {
+		t.Errorf("unshared nodes missing from mappings")
+	}
+}
+
+// Top-down semantics: once parents differ, matching children stay separate.
+func TestMergeTopDown(t *testing.T) {
+	a := []*Node{New("p", nil).Add(New("shared", "fromA"))}
+	b := []*Node{New("q", nil).Add(New("shared", "fromB"))}
+	r := Merge(a, b)
+	want := "p\n shared\nq\n shared\n"
+	if got := shape(r.Forest); got != want {
+		t.Fatalf("top-down merge violated:\n%s\nwant:\n%s", got, want)
+	}
+	if r.FromA[a[0].Children[0]] == r.FromB[b[0].Children[0]] {
+		t.Errorf("children under different parents were shared")
+	}
+}
+
+func TestMergeDuplicateSiblingKeys(t *testing.T) {
+	a := []*Node{New("r", nil).Add(New("d", "a0"), New("d", "a1"))}
+	b := []*Node{New("r", nil).Add(New("d", "b0"), New("d", "b1"), New("d", "b2"))}
+	r := Merge(a, b)
+	root := r.Forest[0]
+	if len(root.Children) != 3 {
+		t.Fatalf("children = %d, want 3 (positional pairing)", len(root.Children))
+	}
+	// First-with-first pairing preserves order; payloads from a where
+	// shared.
+	if root.Children[0].Payload != "a0" || root.Children[1].Payload != "a1" || root.Children[2].Payload != "b2" {
+		t.Errorf("payloads = %v %v %v", root.Children[0].Payload, root.Children[1].Payload, root.Children[2].Payload)
+	}
+}
+
+func TestMergeDoesNotAliasInputs(t *testing.T) {
+	a := []*Node{New("r", nil).Add(New("x", nil))}
+	b := []*Node{New("r", nil)}
+	r := Merge(a, b)
+	r.Forest[0].Key = "mutated"
+	r.Forest[0].Children[0].Key = "mutated"
+	if a[0].Key != "r" || a[0].Children[0].Key != "x" || b[0].Key != "r" {
+		t.Errorf("inputs were aliased by the merge")
+	}
+}
+
+func TestMergeAllThreeForests(t *testing.T) {
+	a := []*Node{New("m", "a").Add(New("c1", nil))}
+	b := []*Node{New("m", "b").Add(New("c2", nil))}
+	c := []*Node{New("m", "c").Add(New("c1", nil), New("c3", nil))}
+	merged, maps := MergeAll(a, b, c)
+	want := "m\n c1\n c2\n c3\n"
+	if got := shape(merged); got != want {
+		t.Fatalf("3-way merge shape:\n%s\nwant:\n%s", got, want)
+	}
+	// All three roots map to the same merged node, payload from the
+	// leftmost operand.
+	if merged[0].Payload != "a" {
+		t.Errorf("payload = %v, want a", merged[0].Payload)
+	}
+	if maps[0][a[0]] != maps[1][b[0]] || maps[1][b[0]] != maps[2][c[0]] {
+		t.Errorf("root mappings disagree across operands")
+	}
+	// c's c1 shares with a's c1.
+	if maps[0][a[0].Children[0]] != maps[2][c[0].Children[0]] {
+		t.Errorf("c1 not shared between first and third operand")
+	}
+}
+
+func TestMergeAllEmpty(t *testing.T) {
+	f, m := MergeAll()
+	if f != nil || m != nil {
+		t.Errorf("MergeAll() = %v, %v; want nil, nil", f, m)
+	}
+	single, maps := MergeAll([]*Node{New("x", nil)})
+	if shape(single) != "x\n" || len(maps) != 1 {
+		t.Errorf("single-forest MergeAll misbehaved")
+	}
+}
+
+func TestMergeEmptyOperand(t *testing.T) {
+	a := []*Node{New("x", nil)}
+	r := Merge(a, nil)
+	if shape(r.Forest) != "x\n" {
+		t.Errorf("merge with empty forest: %q", shape(r.Forest))
+	}
+	r = Merge(nil, a)
+	if shape(r.Forest) != "x\n" {
+		t.Errorf("merge of empty forest with a: %q", shape(r.Forest))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := []*Node{New("a", nil).Add(New("b", nil))}
+	if err := Validate(ok); err != nil {
+		t.Errorf("valid forest rejected: %v", err)
+	}
+	if err := Validate([]*Node{nil}); err == nil {
+		t.Errorf("nil node accepted")
+	}
+	shared := New("s", nil)
+	dag := []*Node{New("a", nil).Add(shared), New("b", nil).Add(shared)}
+	if err := Validate(dag); err == nil {
+		t.Errorf("DAG accepted")
+	}
+	cyc := New("c", nil)
+	cyc.Children = append(cyc.Children, cyc)
+	if err := Validate([]*Node{cyc}); err == nil {
+		t.Errorf("cycle accepted")
+	}
+}
+
+func TestSizeAndWalk(t *testing.T) {
+	n := New("a", nil).Add(New("b", nil).Add(New("c", nil)), New("d", nil))
+	if n.Size() != 4 {
+		t.Errorf("Size = %d, want 4", n.Size())
+	}
+	var order []string
+	n.Walk(func(m *Node) { order = append(order, m.Key) })
+	if !reflect.DeepEqual(order, []string{"a", "b", "c", "d"}) {
+		t.Errorf("pre-order walk = %v", order)
+	}
+}
+
+// randomForest builds a small random forest from a seed.
+func randomForest(r *rand.Rand, depth int) []*Node {
+	n := 1 + r.Intn(3)
+	var out []*Node
+	for i := 0; i < n; i++ {
+		node := New(string(rune('a'+r.Intn(4))), nil)
+		if depth > 0 && r.Intn(2) == 0 {
+			node.Children = randomForest(r, depth-1)
+		}
+		out = append(out, node)
+	}
+	return out
+}
+
+// Property: merging a forest with a structurally identical copy yields the
+// same shape (idempotence of the structural merge).
+func TestQuickMergeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomForest(r, 3)
+		r2 := rand.New(rand.NewSource(seed))
+		b := randomForest(r2, 3)
+		m := Merge(a, b)
+		return shape(m.Forest) == shape(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every input node appears in its mapping, and mapped targets are
+// members of the merged forest.
+func TestQuickMappingsComplete(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomForest(rand.New(rand.NewSource(seedA)), 3)
+		b := randomForest(rand.New(rand.NewSource(seedB)), 3)
+		m := Merge(a, b)
+		members := map[*Node]bool{}
+		for _, n := range m.Forest {
+			n.Walk(func(x *Node) { members[x] = true })
+		}
+		ok := true
+		for _, n := range a {
+			n.Walk(func(x *Node) {
+				if !members[m.FromA[x]] {
+					ok = false
+				}
+			})
+		}
+		for _, n := range b {
+			n.Walk(func(x *Node) {
+				if !members[m.FromB[x]] {
+					ok = false
+				}
+			})
+		}
+		return ok && Validate(m.Forest) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
