@@ -1,0 +1,27 @@
+# Development targets. `make check` is the full local gate:
+# vet + build + tests + race detector over the concurrency-sensitive
+# packages (the server middleware/limiter, the retrying client, traces).
+
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector over the packages that exercise concurrency: the
+# server's limiter/timeout/shutdown paths, the retrying client, and the
+# trace machinery probed by the fuzz-derived robustness tests.
+race:
+	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: vet build test race

@@ -1,0 +1,263 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cube"
+	"cube/internal/server"
+)
+
+func testExp(title string, extraWait float64) *cube.Experiment {
+	e := cube.New(title)
+	tm := e.NewMetric("Time", cube.Seconds, "")
+	wait := tm.NewChild("Wait", "")
+	mainR := e.NewRegion("main", "app", 0, 0)
+	root := e.NewCallRoot(e.NewCallSite("", 0, mainR))
+	sub := root.NewChild(e.NewCallSite("app", 4, e.NewRegion("sub", "app", 0, 0)))
+	for _, th := range e.SingleThreadedSystem("m", 1, 2) {
+		e.SetSeverity(tm, root, th, 1)
+		e.SetSeverity(tm, sub, th, 0.02)
+		e.SetSeverity(wait, root, th, 0.5+extraWait)
+	}
+	return e
+}
+
+func fastClient(url string) *Client {
+	return New(url, WithMaxRetries(5), WithBackoff(time.Millisecond, 10*time.Millisecond))
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "saturated", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+	if err := fastClient(srv.URL).Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz after 429s: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+func TestRetryOn500(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+	if err := fastClient(srv.URL).Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz after 500: %v", err)
+	}
+}
+
+func TestNoRetryOn400(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	err := fastClient(srv.URL).Healthz(context.Background())
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusBadRequest {
+		t.Fatalf("want StatusError 400, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("400 was retried: %d attempts", got)
+	}
+}
+
+func TestTransportErrorRetry(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			// Drop the connection mid-request: a transport-level failure.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+	if err := fastClient(srv.URL).Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz after dropped connection: %v", err)
+	}
+	if got := attempts.Load(); got < 2 {
+		t.Errorf("attempts = %d, want >= 2", got)
+	}
+}
+
+func TestGivesUpAfterMaxRetries(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithMaxRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	err := c.Healthz(context.Background())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want wrapped StatusError 503, got %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithMaxRetries(100), WithBackoff(10*time.Millisecond, 50*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Healthz(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	var attempts atomic.Int32
+	const wait = time.Second
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "saturated", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+	// Backoff alone would retry within ~2ms; Retry-After must dominate.
+	c := New(srv.URL, WithMaxRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	start := time.Now()
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < wait {
+		t.Errorf("retried after %v, Retry-After asked for %v", elapsed, wait)
+	}
+}
+
+// TestEndToEnd drives the real service handler through the typed client
+// and checks results against the local operators.
+func TestEndToEnd(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	srv := httptest.NewServer(server.NewHandler(cfg))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	a, b := testExp("a", 0.25), testExp("b", 0)
+	diff, err := c.Difference(ctx, a, b, nil)
+	if err != nil {
+		t.Fatalf("difference: %v", err)
+	}
+	want, _ := cube.Difference(a, b, nil)
+	if diff.Fingerprint() != want.Fingerprint() {
+		t.Errorf("remote difference differs from local")
+	}
+
+	mean, err := c.Mean(ctx, &OpOptions{CallMatch: "callee", System: "auto"}, a, b, testExp("c", 0.1))
+	if err != nil {
+		t.Fatalf("mean: %v", err)
+	}
+	if !mean.Derived || mean.Operation != "mean" {
+		t.Errorf("mean provenance lost")
+	}
+
+	// Closure: the derived result is a valid operand for the next call.
+	flat, err := c.Flatten(ctx, diff)
+	if err != nil {
+		t.Fatalf("flatten of derived: %v", err)
+	}
+	if flat.Operation != "flatten" {
+		t.Errorf("flatten provenance lost")
+	}
+
+	ex, err := c.Extract(ctx, a, "Time/Wait")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if len(ex.MetricRoots()) != 1 || ex.MetricRoots()[0].Name != "Wait" {
+		t.Errorf("extract picked the wrong subtree")
+	}
+
+	if _, err := c.Prune(ctx, a, "Time", 0.5); err != nil {
+		t.Fatalf("prune: %v", err)
+	}
+
+	view, err := c.View(ctx, diff, &ViewOptions{Metric: "Wait", Mode: "percent", Top: 2})
+	if err != nil {
+		t.Fatalf("view: %v", err)
+	}
+	for _, wantStr := range []string{"Metric tree", "Wait", "severities"} {
+		if !strings.Contains(view, wantStr) {
+			t.Errorf("view lacks %q", wantStr)
+		}
+	}
+
+	info, err := c.Info(ctx, a, b)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if !strings.Contains(info, "similarity") {
+		t.Errorf("two-operand info lacks structural comparison:\n%s", info)
+	}
+
+	rep, err := c.Report(ctx, a, "Wait")
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if !strings.Contains(string(rep), "<!DOCTYPE html>") {
+		t.Errorf("report is not HTML")
+	}
+
+	// Permanent errors surface immediately with their status.
+	_, err = c.Op(ctx, "transmogrify", nil, a)
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusNotFound {
+		t.Errorf("unknown op: want StatusError 404, got %v", err)
+	}
+}

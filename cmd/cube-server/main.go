@@ -7,20 +7,57 @@
 //	curl -F operand=@before.cube -F operand=@after.cube \
 //	     'http://localhost:8080/op/difference' > diff.cube
 //	curl -F operand=@diff.cube 'http://localhost:8080/view?metric=Time&mode=percent'
+//
+// The server is production-hardened: panic recovery, a weighted
+// concurrency limiter (429 + Retry-After when saturated), per-request
+// timeouts, upload size and XML structural caps, structured request
+// logging, connection timeouts, and graceful shutdown on SIGINT/SIGTERM
+// (in-flight requests drain for -drain-timeout before the process exits).
+// Every limit has a flag; see -help. The cube/client package is a typed Go
+// client with matching retry behavior.
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 
+	"cube/internal/cli"
 	"cube/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:7654", "listen address")
+	cfg := server.DefaultConfig()
+	addr := flag.String("addr", "localhost:7654", "listen address (use :0 to pick a free port)")
+	flag.IntVar(&cfg.MaxOperands, "max-operands", cfg.MaxOperands, "max operand files per request (0 = unlimited)")
+	flag.Int64Var(&cfg.MaxUploadBytes, "max-upload-bytes", cfg.MaxUploadBytes, "max total request body bytes (0 = unlimited)")
+	flag.Int64Var(&cfg.MaxFileBytes, "max-file-bytes", cfg.MaxFileBytes, "max bytes per operand file (0 = unlimited)")
+	flag.IntVar(&cfg.MaxConcurrent, "max-concurrent", cfg.MaxConcurrent, "weighted concurrent request slots (0 = unlimited)")
+	flag.DurationVar(&cfg.RequestTimeout, "timeout", cfg.RequestTimeout, "wall-clock budget per request (0 = unlimited)")
+	flag.DurationVar(&cfg.RetryAfter, "retry-after", cfg.RetryAfter, "Retry-After hint sent with 429 responses")
+	flag.IntVar(&cfg.XML.MaxElements, "xml-max-elements", cfg.XML.MaxElements, "max XML elements per operand (0 = unlimited)")
+	flag.IntVar(&cfg.XML.MaxDepth, "xml-max-depth", cfg.XML.MaxDepth, "max XML nesting depth per operand (0 = unlimited)")
+	flag.DurationVar(&cfg.ReadHeaderTimeout, "read-header-timeout", cfg.ReadHeaderTimeout, "time to read request headers")
+	flag.DurationVar(&cfg.ReadTimeout, "read-timeout", cfg.ReadTimeout, "time to read a full request")
+	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "time to write a full response")
+	flag.DurationVar(&cfg.IdleTimeout, "idle-timeout", cfg.IdleTimeout, "keep-alive idle connection timeout")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "grace period for in-flight requests on shutdown")
 	flag.Parse()
-	log.Printf("cube-server listening on %s", *addr)
-	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
-	log.Fatal(srv.ListenAndServe())
+
+	// Bind before logging so the address printed is the one actually
+	// serving (and :0 reports the kernel-chosen port).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatal("cube-server", err)
+	}
+	log.Printf("cube-server listening on http://%s", ln.Addr())
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := server.Serve(ctx, ln, cfg); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cli.Fatal("cube-server", err)
+	}
+	log.Printf("cube-server: shutdown complete")
 }

@@ -1,24 +1,26 @@
 // service-client demonstrates the algebra as a network service (the
-// paper's Grid-service integration): it starts the cube-server handler on
-// a loopback listener, uploads two experiments, requests their difference,
-// and feeds the derived result straight back into the service for a
-// rendering — the closure property working across process boundaries. Run:
+// paper's Grid-service integration): it runs the hardened cube-server on a
+// loopback listener, then uses the typed cube/client package — with its
+// automatic retry/backoff policy — to upload two experiments, request
+// their difference, and feed the derived result straight back into the
+// service for a rendering: the closure property working across process
+// boundaries. When done it cancels the server context and waits for the
+// graceful drain. Run:
 //
 //	go run ./examples/service-client
 package main
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log"
-	"mime/multipart"
 	"net"
-	"net/http"
-	"net/url"
 	"strings"
+	"time"
 
 	"cube"
+	"cube/client"
 	"cube/internal/apps"
 	"cube/internal/expert"
 	"cube/internal/server"
@@ -36,64 +38,54 @@ func analyze(barriers bool, seed int64) *cube.Experiment {
 	return e
 }
 
-// post uploads experiments as multipart operands and returns the body.
-func post(url string, exps ...*cube.Experiment) []byte {
-	var body bytes.Buffer
-	mw := multipart.NewWriter(&body)
-	for i, e := range exps {
-		fw, err := mw.CreateFormFile("operand", fmt.Sprintf("op%d.cube", i))
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := cube.Write(fw, e); err != nil {
-			log.Fatal(err)
-		}
-	}
-	mw.Close()
-	resp, err := http.Post(url, mw.FormDataContentType(), &body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("service error %d: %s", resp.StatusCode, out)
-	}
-	return out
-}
-
 func main() {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: server.Handler()}
-	go srv.Serve(ln)
-	defer srv.Close()
+	cfg := server.DefaultConfig()
+	cfg.Logger = log.New(io.Discard, "", 0) // keep the demo output clean
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- server.Serve(ctx, ln, cfg) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("cube service listening on %s\n\n", base)
+
+	// The typed client retries 429/5xx/transport errors with exponential
+	// backoff — safe because every operator is a pure function of its
+	// uploaded operands.
+	c := client.New(base, client.WithMaxRetries(5), client.WithBackoff(50*time.Millisecond, time.Second))
+	if err := c.Healthz(ctx); err != nil {
+		log.Fatal(err)
+	}
 
 	before := analyze(true, 1)
 	after := analyze(false, 2)
 
-	// Remote difference.
-	diffXML := post(base+"/op/difference", before, after)
-	fmt.Printf("received derived experiment: %d bytes of CUBE XML\n", len(diffXML))
-	diff, err := cube.Read(bytes.NewReader(diffXML))
+	// Remote difference through the typed client.
+	diff, err := c.Difference(ctx, before, after, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  %s (derived=%v)\n\n", diff.Title, diff.Derived)
+	fmt.Printf("received derived experiment %q (derived=%v)\n\n", diff.Title, diff.Derived)
 
 	// Closure across the wire: the derived experiment is a valid operand
 	// for the next request — render it remotely with a hotspot list.
-	view := post(base+"/view?metric="+url.QueryEscape("Wait at Barrier")+"&mode=percent&top=3", diff)
-	for _, line := range strings.Split(string(view), "\n") {
+	view, err := c.View(ctx, diff, &client.ViewOptions{
+		Metric: "Wait at Barrier", Mode: "percent", Top: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(view, "\n") {
 		if strings.TrimSpace(line) != "" {
 			fmt.Println(line)
 		}
+	}
+
+	// Graceful shutdown: cancel the serve context and wait for the drain.
+	cancel()
+	if err := <-served; err != nil {
+		log.Fatal(err)
 	}
 }

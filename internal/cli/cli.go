@@ -2,8 +2,11 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cube/internal/core"
 )
@@ -31,6 +34,15 @@ func ParseOptions(callMatch, system string) (*core.Options, error) {
 		return nil, fmt.Errorf("unknown -system %q (want auto, collapse, or copy-first)", system)
 	}
 	return opts, nil
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, for
+// tools (cube-server) that shut down gracefully. A second signal while
+// draining kills the process via the default handler, because stop()
+// restores default signal behavior once the context is cancelled — call
+// stop() on exit paths to release the signal registration.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // Fatal prints the error prefixed with the tool name and exits.

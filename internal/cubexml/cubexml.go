@@ -10,7 +10,9 @@
 package cubexml
 
 import (
+	"bytes"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -318,8 +320,93 @@ func WriteFile(path string, e *core.Experiment) error {
 
 // --- Reading -------------------------------------------------------------------
 
-// Read parses a CUBE XML document from r and reconstructs the experiment.
+// Limits bounds the structural size of a document accepted by ReadLimited,
+// protecting a service against hostile inputs (element bombs, pathological
+// nesting) that would otherwise exhaust memory or stack before the
+// experiment is even validated. A zero field disables that check.
+type Limits struct {
+	MaxElements int // total number of XML elements in the document
+	MaxDepth    int // maximum element nesting depth
+}
+
+// DefaultLimits accepts every realistic CUBE file (millions of severity
+// rows, metric/call trees hundreds of levels deep) while rejecting
+// adversarial documents.
+var DefaultLimits = Limits{MaxElements: 5_000_000, MaxDepth: 200}
+
+// ErrLimit is wrapped by errors returned when a document exceeds Limits,
+// so callers (e.g. the HTTP service) can map it to "request too large"
+// rather than "malformed request".
+var ErrLimit = errors.New("document exceeds size limits")
+
+// Read parses a CUBE XML document from r and reconstructs the experiment,
+// enforcing DefaultLimits.
 func Read(r io.Reader) (*core.Experiment, error) {
+	return ReadLimited(r, DefaultLimits)
+}
+
+// ReadLimited parses a CUBE XML document from r, first verifying the
+// structural limits with a streaming token scan. When r is seekable (files,
+// multipart uploads) the scan costs no extra memory; otherwise the scanned
+// bytes are buffered for the decode pass.
+func ReadLimited(r io.Reader, lim Limits) (*core.Experiment, error) {
+	if lim.MaxElements <= 0 && lim.MaxDepth <= 0 {
+		return decode(r)
+	}
+	if s, ok := r.(io.Seeker); ok {
+		if start, err := s.Seek(0, io.SeekCurrent); err == nil {
+			if err := checkLimits(r, lim); err != nil {
+				return nil, err
+			}
+			if _, err := s.Seek(start, io.SeekStart); err != nil {
+				return nil, fmt.Errorf("cubexml: rewinding after limit scan: %w", err)
+			}
+			return decode(r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := checkLimits(io.TeeReader(r, &buf), lim); err != nil {
+		return nil, err
+	}
+	return decode(&buf)
+}
+
+// checkLimits scans tokens up to the end of the root element, enforcing
+// lim. Syntax errors surface here with the same wrapping the decode pass
+// would use.
+func checkLimits(r io.Reader, lim Limits) error {
+	dec := xml.NewDecoder(r)
+	depth, elems := 0, 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("cubexml: decode: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			elems++
+			depth++
+			if lim.MaxElements > 0 && elems > lim.MaxElements {
+				return fmt.Errorf("cubexml: %w: more than %d elements", ErrLimit, lim.MaxElements)
+			}
+			if lim.MaxDepth > 0 && depth > lim.MaxDepth {
+				return fmt.Errorf("cubexml: %w: elements nested deeper than %d", ErrLimit, lim.MaxDepth)
+			}
+		case xml.EndElement:
+			depth--
+			if depth == 0 {
+				// End of the root element: the decode pass ignores
+				// anything after it, so stop scanning here too.
+				return nil
+			}
+		}
+	}
+}
+
+func decode(r io.Reader) (*core.Experiment, error) {
 	var doc xCube
 	dec := xml.NewDecoder(r)
 	if err := dec.Decode(&doc); err != nil {

@@ -1,0 +1,100 @@
+package cubexml
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+)
+
+func limitsExperiment(t *testing.T) *core.Experiment {
+	t.Helper()
+	e := core.New("lim")
+	m := e.NewMetric("Time", core.Seconds, "")
+	root := e.NewCallRoot(e.NewCallSite("", 0, e.NewRegion("main", "", 0, 0)))
+	for _, th := range e.SingleThreadedSystem("m", 1, 2) {
+		e.SetSeverity(m, root, th, 1)
+	}
+	return e
+}
+
+// deepDoc builds a syntactically valid document whose metric tree is
+// nested n levels deep.
+func deepDoc(n int) string {
+	var sb strings.Builder
+	sb.WriteString(`<cube version="cube-go-1.0"><doc><title>bomb</title></doc><metrics>`)
+	for i := 0; i < n; i++ {
+		sb.WriteString(`<metric id="`)
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteString(`"><name>m</name><uom>sec</uom>`)
+	}
+	for i := 0; i < n; i++ {
+		sb.WriteString(`</metric>`)
+	}
+	sb.WriteString(`</metrics><program></program><system></system></cube>`)
+	return sb.String()
+}
+
+func TestReadLimitedAcceptsNormalFile(t *testing.T) {
+	e := limitsExperiment(t)
+	var sb strings.Builder
+	if err := Write(&sb, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLimited(strings.NewReader(sb.String()), DefaultLimits)
+	if err != nil {
+		t.Fatalf("default limits rejected a normal file: %v", err)
+	}
+	if got.Fingerprint() != e.Fingerprint() {
+		t.Errorf("round trip changed the experiment")
+	}
+}
+
+func TestReadLimitedDepthBomb(t *testing.T) {
+	doc := deepDoc(400)
+	_, err := ReadLimited(strings.NewReader(doc), Limits{MaxDepth: 200})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("depth bomb not rejected with ErrLimit: %v", err)
+	}
+	// With a generous depth the same document fails validation or unit
+	// checks, not the limit scan.
+	if _, err := ReadLimited(strings.NewReader(doc), Limits{MaxDepth: 1000}); errors.Is(err, ErrLimit) {
+		t.Fatalf("generous depth still hit the limit: %v", err)
+	}
+}
+
+func TestReadLimitedElementBomb(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`<cube version="cube-go-1.0"><doc><title>x</title></doc><metrics>`)
+	for i := 0; i < 2000; i++ {
+		sb.WriteString(`<metric id="` + strconv.Itoa(i) + `"><name>m</name><uom>sec</uom></metric>`)
+	}
+	sb.WriteString(`</metrics><program></program><system></system></cube>`)
+	_, err := ReadLimited(strings.NewReader(sb.String()), Limits{MaxElements: 1000})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("element bomb not rejected with ErrLimit: %v", err)
+	}
+}
+
+func TestReadLimitedZeroDisables(t *testing.T) {
+	doc := deepDoc(250) // over DefaultLimits.MaxDepth? no: 200 < 250's nesting +3
+	if _, err := ReadLimited(strings.NewReader(doc), Limits{}); errors.Is(err, ErrLimit) {
+		t.Fatalf("zero limits should disable the scan: %v", err)
+	}
+}
+
+func TestReadEnforcesDefaultLimits(t *testing.T) {
+	_, err := Read(strings.NewReader(deepDoc(400)))
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("Read did not apply DefaultLimits: %v", err)
+	}
+}
+
+func TestReadLimitedMalformedStillSyntaxError(t *testing.T) {
+	_, err := ReadLimited(strings.NewReader("<cube><unclosed"), DefaultLimits)
+	if err == nil || errors.Is(err, ErrLimit) {
+		t.Fatalf("malformed doc should be a decode error, got %v", err)
+	}
+}

@@ -22,7 +22,11 @@ func SideBySide(w io.Writer, a, b *core.Experiment, opts *core.Options) error {
 	if err != nil {
 		return err
 	}
-	union, err := core.Sum(opts, zeroA, scaleZero(b, opts))
+	zeroB, err := core.Scale(b, 0, opts)
+	if err != nil {
+		return err
+	}
+	union, err := core.Sum(opts, zeroA, zeroB)
 	if err != nil {
 		return err
 	}
@@ -51,16 +55,6 @@ func SideBySide(w io.Writer, a, b *core.Experiment, opts *core.Options) error {
 		}
 	}
 	return nil
-}
-
-func scaleZero(x *core.Experiment, opts *core.Options) *core.Experiment {
-	z, err := core.Scale(x, 0, opts)
-	if err != nil {
-		// Scale of a valid experiment cannot fail; keep the signature
-		// simple for the single internal caller.
-		panic(err)
-	}
-	return z
 }
 
 // totalByPath returns the exclusive total of the metric with the given

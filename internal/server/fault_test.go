@@ -1,0 +1,461 @@
+package server
+
+// Fault-injection tests: panics, oversized and hostile uploads, saturation,
+// slow requests, truncated bodies, and shutdown draining. Each asserts the
+// documented degraded behavior (500/413/429/503) and that the server
+// itself survives.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cube/client"
+	"cube/internal/cubexml"
+)
+
+func quietConfig() *Config {
+	cfg := DefaultConfig()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	return cfg
+}
+
+// postRaw uploads raw bytes as a single "operand" file.
+func postRaw(t *testing.T, url string, contents []byte) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	fw, err := mw.CreateFormFile("operand", "op.cube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Write(contents)
+	mw.Close()
+	resp, err := http.Post(url, mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestPanicRecovery(t *testing.T) {
+	var logged bytes.Buffer
+	var mu sync.Mutex
+	cfg := quietConfig()
+	cfg.Logger = log.New(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return logged.Write(p)
+	}), "", 0)
+	s := &service{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/panic", func(w http.ResponseWriter, r *http.Request) {
+		panic("injected failure")
+	})
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "still alive")
+	})
+	srv := httptest.NewServer(s.wrap(mux))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/panic")
+	if err != nil {
+		t.Fatalf("panic killed the connection: %v", err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panic status = %d, want 500", resp.StatusCode)
+	}
+	readAll(t, resp)
+
+	// The server keeps serving after the panic.
+	resp, err = http.Get(srv.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || readAll(t, resp) != "still alive" {
+		t.Errorf("server did not survive the panic")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(logged.String(), "injected failure") {
+		t.Errorf("panic was not logged with its value")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestOversizedUploadDeclared(t *testing.T) {
+	cfg := quietConfig()
+	cfg.MaxUploadBytes = 1024
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
+	resp := postRaw(t, srv.URL+"/op/flatten", bytes.Repeat([]byte("x"), 4096))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload status = %d, want 413: %s", resp.StatusCode, readAll(t, resp))
+	} else {
+		readAll(t, resp)
+	}
+}
+
+func TestOversizedUploadChunked(t *testing.T) {
+	cfg := quietConfig()
+	cfg.MaxUploadBytes = 1024
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	fw, _ := mw.CreateFormFile("operand", "op.cube")
+	fw.Write(bytes.Repeat([]byte("x"), 4096))
+	mw.Close()
+	// Pipe the body so no Content-Length is declared; the cap must be
+	// enforced while reading, not just from the header.
+	pr, pw := io.Pipe()
+	go func() {
+		io.Copy(pw, &body)
+		pw.Close()
+	}()
+	req, err := http.NewRequest("POST", srv.URL+"/op/flatten", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("chunked oversized upload status = %d, want 413: %s", resp.StatusCode, readAll(t, resp))
+	} else {
+		readAll(t, resp)
+	}
+}
+
+func TestTooManyOperands(t *testing.T) {
+	cfg := quietConfig()
+	cfg.MaxOperands = 2
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
+	resp := post(t, srv, "/op/mean", buildExp("a", 0), buildExp("b", 0), buildExp("c", 0))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("operand-count cap status = %d, want 413", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+func TestPerFileByteCap(t *testing.T) {
+	cfg := quietConfig()
+	cfg.MaxFileBytes = 128
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
+	resp := post(t, srv, "/op/flatten", buildExp("big", 0))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("per-file cap status = %d, want 413", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+func TestXMLDepthBombRejected(t *testing.T) {
+	cfg := quietConfig()
+	cfg.XML = cubexml.Limits{MaxDepth: 50}
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
+	var sb strings.Builder
+	sb.WriteString(`<cube version="cube-go-1.0"><metrics>`)
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, `<metric id="%d"><name>m</name><uom>sec</uom>`, i)
+	}
+	for i := 0; i < 200; i++ {
+		sb.WriteString(`</metric>`)
+	}
+	sb.WriteString(`</metrics></cube>`)
+	resp := postRaw(t, srv.URL+"/op/flatten", []byte(sb.String()))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("depth bomb status = %d, want 413: %s", resp.StatusCode, readAll(t, resp))
+	} else {
+		readAll(t, resp)
+	}
+}
+
+func TestTruncatedMultipartBody(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(quietConfig()))
+	defer srv.Close()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	fw, _ := mw.CreateFormFile("operand", "op.cube")
+	fw.Write([]byte("<cube version=\"cube-go-1.0\"></cube>"))
+	mw.Close()
+	truncated := body.Bytes()[:body.Len()/2]
+	resp, err := http.Post(srv.URL+"/op/flatten", mw.FormDataContentType(), bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated multipart status = %d, want 400", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+func TestRequestTimeout(t *testing.T) {
+	cfg := quietConfig()
+	cfg.RequestTimeout = 50 * time.Millisecond
+	s := &service{cfg: cfg}
+	started := make(chan struct{}, 1)
+	h := s.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		select { // a slow operand pipeline that does honor the context
+		case <-time.After(2 * time.Second):
+			io.WriteString(w, "too late")
+		case <-r.Context().Done():
+		}
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("slow request status = %d, want 503", resp.StatusCode)
+	}
+	if body := readAll(t, resp); !strings.Contains(body, "timed out") {
+		t.Errorf("timeout body = %q", body)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timeout took %v, want ~50ms", elapsed)
+	}
+}
+
+func TestSaturationReturns429(t *testing.T) {
+	cfg := quietConfig()
+	cfg.MaxConcurrent = 1
+	cfg.RetryAfter = 3 * time.Second
+	s := &service{cfg: cfg}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := s.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		io.WriteString(w, "done")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/")
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("held request status %d", resp.StatusCode)
+			}
+		}
+		firstDone <- err
+	}()
+	<-entered // the only slot is now held
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+	readAll(t, resp)
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Errorf("held request failed: %v", err)
+	}
+
+	// Capacity is restored after the first request drains (release is
+	// already closed, so the handler passes straight through).
+	go func() { <-entered }()
+	resp2, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("post-drain status = %d, want 200", resp2.StatusCode)
+	}
+	readAll(t, resp2)
+}
+
+func TestSemaphoreWeight(t *testing.T) {
+	s := &service{cfg: &Config{MaxConcurrent: 4, MaxFileBytes: 1000}}
+	cases := []struct {
+		contentLength int64
+		want          int64
+	}{
+		{-1, 1},     // chunked: minimum weight
+		{0, 1},      // empty body
+		{500, 1},    // below one quantum
+		{3500, 4},   // 1 + 3 quanta
+		{999999, 4}, // clamped to capacity so it can still run alone
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest("POST", "/op/mean", nil)
+		r.ContentLength = c.contentLength
+		if got := s.weight(r); got != c.want {
+			t.Errorf("weight(ContentLength=%d) = %d, want %d", c.contentLength, got, c.want)
+		}
+	}
+
+	sem := &semaphore{cap: 4}
+	if !sem.tryAcquire(4) {
+		t.Fatal("full acquire failed")
+	}
+	if sem.tryAcquire(1) {
+		t.Fatal("over-acquire succeeded")
+	}
+	sem.release(4)
+	if !sem.tryAcquire(1) {
+		t.Fatal("acquire after release failed")
+	}
+}
+
+// TestClientRecoversFromSaturation closes the loop: the real limiter
+// rejects with 429 and the cube/client backoff turns that into an
+// eventual success once the slot frees up.
+func TestClientRecoversFromSaturation(t *testing.T) {
+	cfg := quietConfig()
+	cfg.MaxConcurrent = 1
+	cfg.RetryAfter = 0 // advertise immediate retry; client still backs off
+	s := &service{cfg: cfg}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hold", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		io.WriteString(w, "held")
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	srv := httptest.NewServer(s.wrap(mux))
+	defer srv.Close()
+
+	go func() {
+		resp, err := http.Get(srv.URL + "/hold")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+
+	c := client.New(srv.URL, client.WithMaxRetries(100), client.WithBackoff(2*time.Millisecond, 20*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("client did not recover from saturation: %v", err)
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	cfg := quietConfig()
+	cfg.DrainTimeout = 5 * time.Second
+	entered := make(chan struct{})
+	cfg.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		time.Sleep(150 * time.Millisecond)
+		io.WriteString(w, "drained")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, cfg) }()
+
+	url := "http://" + ln.Addr().String()
+	type result struct {
+		body string
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(url + "/")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		resc <- result{body: string(b), err: err}
+	}()
+	<-entered // the request is in flight
+	cancel()  // trigger shutdown while it runs
+
+	res := <-resc
+	if res.err != nil || res.body != "drained" {
+		t.Errorf("in-flight request not drained: body=%q err=%v", res.body, res.err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve returned %v after clean drain, want nil", err)
+	}
+
+	// The listener is closed: new connections must fail.
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond)
+	if err == nil {
+		conn.Close()
+		t.Errorf("listener still accepting after shutdown")
+	}
+}
+
+func TestShutdownDeadlineCutsOffStragglers(t *testing.T) {
+	cfg := quietConfig()
+	cfg.DrainTimeout = 50 * time.Millisecond
+	entered := make(chan struct{})
+	cfg.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		time.Sleep(2 * time.Second)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, cfg) }()
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Errorf("Serve returned nil although the drain deadline expired")
+		}
+	case <-time.After(3 * time.Second):
+		t.Errorf("Serve did not return after the drain deadline")
+	}
+}

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"cube/internal/cubexml"
+)
+
+// Config collects every robustness limit of the service. The zero value of
+// a field disables the corresponding guard; DefaultConfig returns
+// production defaults. Config is shared by NewHandler (per-request guards)
+// and Serve (connection timeouts, graceful shutdown).
+type Config struct {
+	// Request guards.
+	MaxOperands    int            // operand files per request
+	MaxUploadBytes int64          // total request body bytes
+	MaxFileBytes   int64          // bytes per operand file
+	MaxConcurrent  int            // weighted in-flight request slots
+	RequestTimeout time.Duration  // wall-clock budget per request
+	RetryAfter     time.Duration  // Retry-After hint on 429 responses
+	XML            cubexml.Limits // element/depth caps for operand parsing
+
+	// Connection and shutdown behavior (used by Serve).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+	DrainTimeout      time.Duration // grace period for in-flight requests on shutdown
+
+	// Logger receives structured request logs and panic stacks.
+	// nil disables logging.
+	Logger *log.Logger
+
+	// handler overrides the service mux inside Serve; tests use it to
+	// exercise shutdown draining with controllable handlers.
+	handler http.Handler
+}
+
+// DefaultConfig returns the production defaults documented in the README.
+func DefaultConfig() *Config {
+	return &Config{
+		MaxOperands:       16,
+		MaxUploadBytes:    MaxUploadBytes,
+		MaxFileBytes:      32 << 20,
+		MaxConcurrent:     64,
+		RequestTimeout:    30 * time.Second,
+		RetryAfter:        1 * time.Second,
+		XML:               cubexml.DefaultLimits,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		DrainTimeout:      10 * time.Second,
+		Logger:            log.Default(),
+	}
+}
+
+// service binds the handlers to their configuration.
+type service struct {
+	cfg *Config
+}
+
+func (s *service) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// wrap composes the middleware stack around h, outermost first: logging,
+// panic recovery, concurrency limiting, per-request timeout, body caps.
+func (s *service) wrap(h http.Handler) http.Handler {
+	h = s.withMaxBytes(h)
+	h = s.withTimeout(h)
+	h = s.withLimit(h)
+	h = s.withRecover(h)
+	h = s.withLog(h)
+	return h
+}
+
+// --- structured request logging ------------------------------------------------
+
+// reqStats accumulates per-request facts (operand sizes) for the log line;
+// it travels in the request context so readOperands can report into it.
+type reqStats struct {
+	mu       sync.Mutex
+	operands []int64
+}
+
+func (st *reqStats) add(n int64) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.operands = append(st.operands, n)
+	st.mu.Unlock()
+}
+
+func (st *reqStats) sizes() []int64 {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]int64(nil), st.operands...)
+}
+
+type ctxKey int
+
+const statsKey ctxKey = iota
+
+func statsFrom(ctx context.Context) *reqStats {
+	st, _ := ctx.Value(statsKey).(*reqStats)
+	return st
+}
+
+// statusWriter records the status code and bytes written for the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (s *service) withLog(h http.Handler) http.Handler {
+	if s.cfg.Logger == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := &reqStats{}
+		r = r.WithContext(context.WithValue(r.Context(), statsKey, st))
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.logf("%s %s status=%d bytes=%d dur=%s operands=%v",
+			r.Method, r.URL.Path, code, sw.bytes,
+			time.Since(start).Round(time.Millisecond), st.sizes())
+	})
+}
+
+// --- panic recovery ------------------------------------------------------------
+
+func (s *service) withRecover(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				// Best effort: if the handler already wrote headers this
+				// is a no-op on a broken response, but the server and
+				// its other connections stay up either way.
+				httpError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// --- concurrency limiting ------------------------------------------------------
+
+// semaphore is a weighted counting semaphore. Requests acquire a number of
+// slots proportional to their declared body size, so one giant upload
+// counts as several ordinary requests.
+type semaphore struct {
+	mu       sync.Mutex
+	cur, cap int64
+}
+
+func (s *semaphore) tryAcquire(n int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur+n > s.cap {
+		return false
+	}
+	s.cur += n
+	return true
+}
+
+func (s *semaphore) release(n int64) {
+	s.mu.Lock()
+	s.cur -= n
+	s.mu.Unlock()
+}
+
+// weight maps a request onto semaphore slots: one slot plus one per
+// MaxFileBytes of declared body, clamped to the total capacity so a
+// maximal request can still run (alone).
+func (s *service) weight(r *http.Request) int64 {
+	w := int64(1)
+	if cl := r.ContentLength; cl > 0 && s.cfg.MaxFileBytes > 0 {
+		w += cl / s.cfg.MaxFileBytes
+	}
+	if cap := int64(s.cfg.MaxConcurrent); w > cap {
+		w = cap
+	}
+	return w
+}
+
+func (s *service) withLimit(h http.Handler) http.Handler {
+	if s.cfg.MaxConcurrent <= 0 {
+		return h
+	}
+	sem := &semaphore{cap: int64(s.cfg.MaxConcurrent)}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := s.weight(r)
+		if !sem.tryAcquire(n) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+			httpError(w, http.StatusTooManyRequests, "server saturated, retry later")
+			return
+		}
+		defer sem.release(n)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// --- per-request timeout -------------------------------------------------------
+
+// bufferWriter buffers a response so the timeout middleware can discard it
+// wholesale if the deadline fires first (mirroring http.TimeoutHandler).
+type bufferWriter struct {
+	mu   sync.Mutex
+	hdr  http.Header
+	buf  bytes.Buffer
+	code int
+}
+
+func (t *bufferWriter) Header() http.Header { return t.hdr }
+
+func (t *bufferWriter) WriteHeader(code int) {
+	t.mu.Lock()
+	if t.code == 0 {
+		t.code = code
+	}
+	t.mu.Unlock()
+}
+
+func (t *bufferWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.code == 0 {
+		t.code = http.StatusOK
+	}
+	return t.buf.Write(p)
+}
+
+func (t *bufferWriter) flushTo(w http.ResponseWriter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, v := range t.hdr {
+		w.Header()[k] = v
+	}
+	code := t.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	w.WriteHeader(code)
+	w.Write(t.buf.Bytes())
+}
+
+// withTimeout bounds each request's wall-clock time. The deadline is
+// carried on the request context, so handlers abandon work between
+// pipeline stages; if the handler overruns anyway, the buffered response
+// is discarded and the client gets 503.
+func (s *service) withTimeout(h http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		tw := &bufferWriter{hdr: make(http.Header)}
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+				}
+			}()
+			h.ServeHTTP(tw, r)
+			close(done)
+		}()
+		select {
+		case p := <-panicked:
+			panic(p) // re-raise on the serving goroutine for withRecover
+		case <-done:
+			tw.flushTo(w)
+		case <-ctx.Done():
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+			httpError(w, http.StatusServiceUnavailable,
+				"request timed out after %v", s.cfg.RequestTimeout)
+		}
+	})
+}
+
+// --- body size caps ------------------------------------------------------------
+
+func (s *service) withMaxBytes(h http.Handler) http.Handler {
+	if s.cfg.MaxUploadBytes <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.ContentLength > s.cfg.MaxUploadBytes {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body %d bytes exceeds the %d byte limit", r.ContentLength, s.cfg.MaxUploadBytes)
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Serve runs the CUBE service on ln until ctx is cancelled, then shuts
+// down gracefully: the listener closes immediately, in-flight requests get
+// cfg.DrainTimeout to finish, and only then are connections torn down.
+// It returns nil after a clean drain; a non-nil error means the listener
+// failed or the drain deadline expired (stragglers were cut off).
+//
+// Connection timeouts (ReadHeaderTimeout, ReadTimeout, WriteTimeout,
+// IdleTimeout) come from cfg; nil cfg means DefaultConfig.
+func Serve(ctx context.Context, ln net.Listener, cfg *Config) error {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	h := cfg.handler
+	if h == nil {
+		h = NewHandler(cfg)
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
+		ErrorLog:          cfg.Logger,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx := context.Background()
+	if cfg.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(dctx, cfg.DrainTimeout)
+		defer cancel()
+	}
+	if cfg.Logger != nil {
+		cfg.Logger.Printf("shutting down, draining in-flight requests (limit %v)", cfg.DrainTimeout)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	return nil
+}

@@ -5,9 +5,17 @@
 // the CUBE XML format and receive derived experiments (or renderings) back.
 // Because the algebra is closed, the service composes with itself: the
 // output of one request is a valid input for the next.
+//
+// The service is hardened for production use: every request passes through
+// a middleware stack (structured logging, panic recovery, a weighted
+// concurrency limiter, a wall-clock timeout, and body-size caps — see
+// middleware.go), operand parsing enforces the cubexml structural limits,
+// and Serve (serve.go) adds connection timeouts and graceful shutdown.
 package server
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"mime/multipart"
 	"net/http"
@@ -21,10 +29,14 @@ import (
 	"cube/internal/report"
 )
 
-// MaxUploadBytes bounds one request's total upload size.
+// MaxUploadBytes is the default bound on one request's total upload size.
 const MaxUploadBytes = 64 << 20
 
-// Handler returns the service's HTTP handler:
+// errTooLarge marks operand-guard violations that should map to
+// 413 Request Entity Too Large rather than 400.
+var errTooLarge = errors.New("request exceeds limits")
+
+// Handler returns the service's HTTP handler with DefaultConfig:
 //
 //	POST /op/{difference|merge|mean|sum|min|max}
 //	    multipart form, ordered file fields "operand"; optional query
@@ -41,21 +53,30 @@ const MaxUploadBytes = 64 << 20
 //	    comparison. Response: plain text.
 //	GET  /healthz
 func Handler() http.Handler {
+	return NewHandler(nil)
+}
+
+// NewHandler returns the service handler with the given configuration
+// (nil means DefaultConfig). All limits and the logger come from cfg.
+func NewHandler(cfg *Config) http.Handler {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	s := &service{cfg: cfg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("POST /op/{op}", handleOp)
-	mux.HandleFunc("POST /view", handleView)
-	mux.HandleFunc("POST /report", handleReport)
-	mux.HandleFunc("POST /info", handleInfo)
-	return mux
+	mux.HandleFunc("POST /op/{op}", s.handleOp)
+	mux.HandleFunc("POST /view", s.handleView)
+	mux.HandleFunc("POST /report", s.handleReport)
+	mux.HandleFunc("POST /info", s.handleInfo)
+	return s.wrap(mux)
 }
 
-func handleReport(w http.ResponseWriter, r *http.Request) {
-	operands, err := readOperands(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+func (s *service) handleReport(w http.ResponseWriter, r *http.Request) {
+	operands, ok := s.operands(w, r)
+	if !ok {
 		return
 	}
 	if len(operands) != 1 {
@@ -74,19 +95,49 @@ func handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 		sel.MetricCollapsed = true
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := report.Write(w, e, &report.Options{Selection: sel}); err != nil {
+	var buf bytes.Buffer
+	if err := report.Write(&buf, e, &report.Options{Selection: sel}); err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	buf.WriteTo(w)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
-// readOperands parses the multipart "operand" files, in form order.
-func readOperands(r *http.Request) ([]*core.Experiment, error) {
-	if err := r.ParseMultipartForm(MaxUploadBytes); err != nil {
+// operands parses the request's operand files and writes the appropriate
+// error response on failure: 413 for size-guard violations, 400 otherwise.
+func (s *service) operands(w http.ResponseWriter, r *http.Request) ([]*core.Experiment, bool) {
+	ops, err := s.readOperands(r)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The request deadline fired mid-parse; the timeout
+			// middleware already answered for us.
+			return nil, false
+		}
+		code := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) || errors.Is(err, errTooLarge) || errors.Is(err, cubexml.ErrLimit) ||
+			strings.Contains(err.Error(), "request body too large") {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "%v", err)
+		return nil, false
+	}
+	return ops, true
+}
+
+// readOperands parses the multipart "operand" files, in form order,
+// enforcing the operand-count, per-file-byte, and XML structural caps and
+// abandoning work when the request context is done.
+func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
+	// Spill large uploads to disk instead of holding them in memory; the
+	// total is already bounded by the MaxBytesReader middleware.
+	if err := r.ParseMultipartForm(8 << 20); err != nil {
 		return nil, fmt.Errorf("parsing multipart form: %w", err)
 	}
 	var files []*multipart.FileHeader
@@ -96,13 +147,24 @@ func readOperands(r *http.Request) ([]*core.Experiment, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf(`no "operand" files in request`)
 	}
+	if s.cfg.MaxOperands > 0 && len(files) > s.cfg.MaxOperands {
+		return nil, fmt.Errorf("%w: %d operands exceed the limit of %d", errTooLarge, len(files), s.cfg.MaxOperands)
+	}
+	stats := statsFrom(r.Context())
 	var out []*core.Experiment
 	for i, fh := range files {
+		if err := r.Context().Err(); err != nil {
+			return nil, err
+		}
+		if s.cfg.MaxFileBytes > 0 && fh.Size > s.cfg.MaxFileBytes {
+			return nil, fmt.Errorf("%w: operand %d is %d bytes (per-file limit %d)", errTooLarge, i, fh.Size, s.cfg.MaxFileBytes)
+		}
+		stats.add(fh.Size)
 		f, err := fh.Open()
 		if err != nil {
 			return nil, fmt.Errorf("operand %d: %w", i, err)
 		}
-		e, err := cubexml.Read(f)
+		e, err := cubexml.ReadLimited(f, s.cfg.XML)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("operand %d: %w", i, err)
@@ -124,24 +186,44 @@ func options(r *http.Request) (*core.Options, error) {
 	return cli.ParseOptions(cm, sys)
 }
 
-func writeExperiment(w http.ResponseWriter, e *core.Experiment) {
-	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	if err := cubexml.Write(w, e); err != nil {
-		// Headers are gone; just report on the connection.
-		fmt.Fprintf(w, "\n<!-- encoding error: %v -->\n", err)
+// ctxDone reports whether the request deadline or cancellation fired;
+// handlers call it between pipeline stages so a timed-out request stops
+// burning CPU on operators whose response will be discarded anyway.
+func ctxDone(w http.ResponseWriter, r *http.Request) bool {
+	if err := r.Context().Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+		return true
 	}
+	return false
 }
 
-func handleOp(w http.ResponseWriter, r *http.Request) {
+// writeExperiment encodes the result into a buffer first so a successful
+// status line always carries a complete document (and Content-Length);
+// encoding failures become a clean 500 instead of a corrupted 200.
+func (s *service) writeExperiment(w http.ResponseWriter, e *core.Experiment) {
+	var buf bytes.Buffer
+	if err := cubexml.Write(&buf, e); err != nil {
+		s.logf("encoding result experiment %q: %v", e.Title, err)
+		httpError(w, http.StatusInternalServerError, "encoding result: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	buf.WriteTo(w)
+}
+
+func (s *service) handleOp(w http.ResponseWriter, r *http.Request) {
 	opName := r.PathValue("op")
 	opts, err := options(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	operands, err := readOperands(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	operands, ok := s.operands(w, r)
+	if !ok {
+		return
+	}
+	if ctxDone(w, r) {
 		return
 	}
 	binaryOnly := func() bool {
@@ -204,20 +286,26 @@ func handleOp(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeExperiment(w, result)
+	if ctxDone(w, r) {
+		return
+	}
+	s.writeExperiment(w, result)
 }
 
-func handleView(w http.ResponseWriter, r *http.Request) {
-	operands, err := readOperands(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+func (s *service) handleView(w http.ResponseWriter, r *http.Request) {
+	operands, ok := s.operands(w, r)
+	if !ok {
 		return
 	}
 	if len(operands) != 1 {
 		httpError(w, http.StatusBadRequest, "view needs exactly 1 operand")
 		return
 	}
+	if ctxDone(w, r) {
+		return
+	}
 	e := operands[0]
+	var err error
 	if r.URL.Query().Get("flat") == "1" {
 		if e, err = core.Flatten(e); err != nil {
 			httpError(w, http.StatusUnprocessableEntity, "%v", err)
@@ -268,17 +356,15 @@ func handleView(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, out)
 }
 
-func handleInfo(w http.ResponseWriter, r *http.Request) {
-	operands, err := readOperands(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+func (s *service) handleInfo(w http.ResponseWriter, r *http.Request) {
+	operands, ok := s.operands(w, r)
+	if !ok {
 		return
 	}
 	if len(operands) > 2 {
 		httpError(w, http.StatusBadRequest, "info accepts 1 or 2 operands")
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	var sb strings.Builder
 	for _, e := range operands {
 		fmt.Fprintf(&sb, "%q: %d metrics, %d call paths, %d threads, %d tuples\n",
@@ -295,5 +381,6 @@ func handleInfo(w http.ResponseWriter, r *http.Request) {
 		}
 		sb.WriteString(rep.Summary())
 	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, sb.String())
 }

@@ -61,9 +61,16 @@ func readAll(t *testing.T, resp *http.Response) string {
 	return string(b)
 }
 
+// newTestServer serves the real handler with request logging silenced.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(quietConfig()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
 func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(Handler())
-	defer srv.Close()
+	srv := newTestServer(t)
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -75,8 +82,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestDifferenceEndpoint(t *testing.T) {
-	srv := httptest.NewServer(Handler())
-	defer srv.Close()
+	srv := newTestServer(t)
 	a := buildExp("a", 0.25)
 	b := buildExp("b", 0)
 	resp := post(t, srv, "/op/difference", a, b)
@@ -97,8 +103,7 @@ func TestDifferenceEndpoint(t *testing.T) {
 }
 
 func TestMeanAndComposition(t *testing.T) {
-	srv := httptest.NewServer(Handler())
-	defer srv.Close()
+	srv := newTestServer(t)
 	runs := []*core.Experiment{buildExp("r1", 0.1), buildExp("r2", 0.2), buildExp("r3", 0.3)}
 	resp := post(t, srv, "/op/mean", runs...)
 	if resp.StatusCode != http.StatusOK {
@@ -119,8 +124,7 @@ func TestMeanAndComposition(t *testing.T) {
 }
 
 func TestUnaryEndpoints(t *testing.T) {
-	srv := httptest.NewServer(Handler())
-	defer srv.Close()
+	srv := newTestServer(t)
 	e := buildExp("x", 0)
 
 	resp := post(t, srv, "/op/flatten", e)
@@ -152,8 +156,7 @@ func TestUnaryEndpoints(t *testing.T) {
 }
 
 func TestViewEndpoint(t *testing.T) {
-	srv := httptest.NewServer(Handler())
-	defer srv.Close()
+	srv := newTestServer(t)
 	resp := post(t, srv, "/view?metric=Wait&mode=percent", buildExp("v", 0))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -183,8 +186,7 @@ func TestViewEndpoint(t *testing.T) {
 }
 
 func TestReportEndpoint(t *testing.T) {
-	srv := httptest.NewServer(Handler())
-	defer srv.Close()
+	srv := newTestServer(t)
 	resp := post(t, srv, "/report?metric=Wait", buildExp("r", 0))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -211,8 +213,7 @@ func TestReportEndpoint(t *testing.T) {
 }
 
 func TestInfoEndpoint(t *testing.T) {
-	srv := httptest.NewServer(Handler())
-	defer srv.Close()
+	srv := newTestServer(t)
 	resp := post(t, srv, "/info", buildExp("a", 0), buildExp("b", 0))
 	out := readAll(t, resp)
 	for _, want := range []string{`"a"`, `"b"`, "similarity"} {
@@ -223,8 +224,7 @@ func TestInfoEndpoint(t *testing.T) {
 }
 
 func TestErrorResponses(t *testing.T) {
-	srv := httptest.NewServer(Handler())
-	defer srv.Close()
+	srv := newTestServer(t)
 	e := buildExp("x", 0)
 
 	// Unknown op.
@@ -281,4 +281,78 @@ func TestErrorResponses(t *testing.T) {
 		t.Errorf("unknown view metric status %d", resp.StatusCode)
 	}
 	readAll(t, resp)
+}
+
+// TestDefaultHandler smoke-tests the zero-config entry point.
+func TestDefaultHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+// TestOperandCountErrors checks the arity guard of every operator and
+// endpoint: wrong counts must be 400 with a usable message, never 500.
+func TestOperandCountErrors(t *testing.T) {
+	srv := newTestServer(t)
+	e := buildExp("x", 0)
+	cases := []struct {
+		path     string
+		operands int
+	}{
+		{"/op/difference", 1},
+		{"/op/difference", 3},
+		{"/op/flatten", 2},
+		{"/op/extract?metric=Time", 2},
+		{"/op/prune?metric=Time&threshold=0.5", 2},
+		{"/view", 2},
+		{"/report", 2},
+		{"/info", 3},
+	}
+	for _, c := range cases {
+		exps := make([]*core.Experiment, c.operands)
+		for i := range exps {
+			exps[i] = e
+		}
+		resp := post(t, srv, c.path, exps...)
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with %d operands: status %d, want 400 (%s)", c.path, c.operands, resp.StatusCode, body)
+		}
+	}
+	// The n-ary operators accept any positive count, including one.
+	for _, op := range []string{"merge", "mean", "sum", "min", "max"} {
+		resp := post(t, srv, "/op/"+op, e)
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("unary %s: status %d (%s)", op, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestBadViewMode(t *testing.T) {
+	srv := newTestServer(t)
+	resp := post(t, srv, "/view?mode=banana", buildExp("v", 0))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode status %d, want 400", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+func TestBadCallmatchEveryOp(t *testing.T) {
+	srv := newTestServer(t)
+	e := buildExp("x", 0)
+	for _, op := range []string{"difference", "merge", "mean", "sum", "min", "max"} {
+		resp := post(t, srv, "/op/"+op+"?callmatch=bogus", e, e)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with bad callmatch: status %d, want 400", op, resp.StatusCode)
+		}
+		readAll(t, resp)
+	}
 }
