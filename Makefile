@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,20 @@ vet:
 	$(GO) vet ./...
 
 # The race detector over the packages that exercise concurrency: the
-# server's limiter/timeout/shutdown paths, the retrying client, and the
-# trace machinery probed by the fuzz-derived robustness tests.
+# server's limiter/timeout/shutdown paths, the retrying client, the
+# metrics registry, and the trace machinery probed by the fuzz-derived
+# robustness tests.
 race:
-	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/...
+	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable benchmark record (one file per day), covering the
+# root-package operator benchmarks and the instrumentation-overhead
+# benchmark in internal/core.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem -json . ./internal/core > BENCH_$$(date +%F).json
+	@echo wrote BENCH_$$(date +%F).json
 
 check: vet build test race

@@ -24,16 +24,27 @@ import (
 	"time"
 
 	"cube"
+	"cube/internal/obs"
 )
 
 // Client talks to one cube-server. The zero value is not usable; call New.
 // A Client is safe for concurrent use.
+//
+// Every client records its traffic into an obs registry (obs.Default
+// unless WithMetrics overrides it):
+//
+//	cube_client_attempts_total{endpoint}           HTTP attempts, incl. retries
+//	cube_client_retries_total{endpoint}            attempts beyond the first
+//	cube_client_errors_total{endpoint}             calls that gave up
+//	cube_client_backoff_seconds{endpoint}          time slept between attempts
+//	cube_client_request_duration_seconds{endpoint} whole-call latency, retries included
 type Client struct {
 	base       string
 	hc         *http.Client
 	maxRetries int
 	baseDelay  time.Duration
 	maxDelay   time.Duration
+	reg        *obs.Registry
 }
 
 // Option customises a Client.
@@ -55,6 +66,10 @@ func WithBackoff(base, max time.Duration) Option {
 	return func(c *Client) { c.baseDelay, c.maxDelay = base, max }
 }
 
+// WithMetrics directs the client's telemetry into reg instead of
+// obs.Default; nil disables it.
+func WithMetrics(reg *obs.Registry) Option { return func(c *Client) { c.reg = reg } }
+
 // New returns a client for the service at baseURL (e.g. "http://host:7654").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
@@ -63,6 +78,7 @@ func New(baseURL string, opts ...Option) *Client {
 		maxRetries: 4,
 		baseDelay:  100 * time.Millisecond,
 		maxDelay:   5 * time.Second,
+		reg:        obs.Default,
 	}
 	for _, o := range opts {
 		o(c)
@@ -119,11 +135,33 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
+// endpointLabel bounds the metric cardinality of a request path: the
+// query string is stripped, so the label set is the fixed route space.
+func endpointLabel(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
 // do performs one HTTP call with the retry policy. body may be nil (GET);
 // it is replayed from memory on each attempt.
-func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (result []byte, callErr error) {
+	ep := obs.L("endpoint", endpointLabel(path))
+	start := time.Now()
+	defer func() {
+		c.reg.Histogram("cube_client_request_duration_seconds", obs.DefLatencyBuckets, ep).
+			Observe(time.Since(start).Seconds())
+		if callErr != nil {
+			c.reg.Counter("cube_client_errors_total", ep).Inc()
+		}
+	}()
 	var last error
 	for attempt := 0; ; attempt++ {
+		c.reg.Counter("cube_client_attempts_total", ep).Inc()
+		if attempt > 0 {
+			c.reg.Counter("cube_client_retries_total", ep).Inc()
+		}
 		var br io.Reader
 		if body != nil {
 			br = bytes.NewReader(body)
@@ -167,6 +205,8 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			// so a saturated server is not hammered in a tight loop.
 			delay = c.backoff(attempt)
 		}
+		c.reg.Histogram("cube_client_backoff_seconds", obs.DefLatencyBuckets, ep).
+			Observe(delay.Seconds())
 		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():

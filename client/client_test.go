@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -179,7 +179,7 @@ func TestRetryAfterHonored(t *testing.T) {
 // and checks results against the local operators.
 func TestEndToEnd(t *testing.T) {
 	cfg := server.DefaultConfig()
-	cfg.Logger = log.New(io.Discard, "", 0)
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	srv := httptest.NewServer(server.NewHandler(cfg))
 	defer srv.Close()
 	c := fastClient(srv.URL)

@@ -1,0 +1,104 @@
+package client
+
+// Telemetry tests: the client's attempt/retry/backoff/latency metrics.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cube/internal/obs"
+)
+
+func TestClientRecordsAttemptsAndRetries(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "saturated", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	c := New(srv.URL, WithMaxRetries(5),
+		WithBackoff(time.Millisecond, 10*time.Millisecond), WithMetrics(reg))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ep := obs.L("endpoint", "/healthz")
+	if got := reg.CounterValue("cube_client_attempts_total", ep); got != 3 {
+		t.Errorf("attempts_total = %d, want 3", got)
+	}
+	if got := reg.CounterValue("cube_client_retries_total", ep); got != 2 {
+		t.Errorf("retries_total = %d, want 2", got)
+	}
+	if got := reg.CounterValue("cube_client_errors_total", ep); got != 0 {
+		t.Errorf("errors_total = %d, want 0", got)
+	}
+
+	snap := reg.Snapshot()
+	var sawDuration, sawBackoff bool
+	for _, h := range snap.Histograms {
+		switch h.Name {
+		case "cube_client_request_duration_seconds":
+			sawDuration = h.Count == 1
+		case "cube_client_backoff_seconds":
+			sawBackoff = h.Count == 2
+		}
+	}
+	if !sawDuration {
+		t.Errorf("request duration histogram missing or wrong count")
+	}
+	if !sawBackoff {
+		t.Errorf("backoff histogram missing or wrong count (want 2 sleeps)")
+	}
+}
+
+func TestClientRecordsFinalFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "broken", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	c := New(srv.URL, WithMaxRetries(1),
+		WithBackoff(time.Millisecond, 2*time.Millisecond), WithMetrics(reg))
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("expected failure")
+	}
+	ep := obs.L("endpoint", "/healthz")
+	if got := reg.CounterValue("cube_client_errors_total", ep); got != 1 {
+		t.Errorf("errors_total = %d, want 1", got)
+	}
+	if got := reg.CounterValue("cube_client_attempts_total", ep); got != 2 {
+		t.Errorf("attempts_total = %d, want 2", got)
+	}
+}
+
+func TestClientEndpointLabelStripsQuery(t *testing.T) {
+	if got := endpointLabel("/op/difference?callmatch=callee"); got != "/op/difference" {
+		t.Errorf("endpointLabel = %q", got)
+	}
+	if got := endpointLabel("/healthz"); got != "/healthz" {
+		t.Errorf("endpointLabel = %q", got)
+	}
+}
+
+func TestClientNilMetricsIsInert(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithMetrics(nil))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

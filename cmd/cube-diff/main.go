@@ -19,6 +19,7 @@ func main() {
 	out := flag.String("o", "diff.cube", "output file")
 	callMatch := flag.String("callmatch", "callee", "call-tree equality relation: callee | callee+line")
 	system := flag.String("system", "auto", "system integration: auto | collapse | copy-first")
+	prof := cli.NewProfile(nil)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cube-diff [flags] minuend.cube subtrahend.cube\n")
 		flag.PrintDefaults()
@@ -32,6 +33,11 @@ func main() {
 	if err != nil {
 		cli.Fatal("cube-diff", err)
 	}
+	stopProf, err := prof.Start("cube-diff")
+	if err != nil {
+		cli.Fatal("cube-diff", err)
+	}
+	defer stopProf()
 	a, err := cube.ReadFile(flag.Arg(0))
 	if err != nil {
 		cli.Fatal("cube-diff", err)

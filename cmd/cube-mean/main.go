@@ -18,6 +18,7 @@ func main() {
 	out := flag.String("o", "mean.cube", "output file")
 	callMatch := flag.String("callmatch", "callee", "call-tree equality relation: callee | callee+line")
 	system := flag.String("system", "auto", "system integration: auto | collapse | copy-first")
+	prof := cli.NewProfile(nil)
 	useMin := flag.Bool("min", false, "compute the element-wise minimum instead of the mean")
 	useMax := flag.Bool("max", false, "compute the element-wise maximum instead of the mean")
 	flag.Usage = func() {
@@ -36,6 +37,11 @@ func main() {
 	if err != nil {
 		cli.Fatal("cube-mean", err)
 	}
+	stopProf, err := prof.Start("cube-mean")
+	if err != nil {
+		cli.Fatal("cube-mean", err)
+	}
+	defer stopProf()
 	operands := make([]*cube.Experiment, 0, flag.NArg())
 	for _, path := range flag.Args() {
 		e, err := cube.ReadFile(path)

@@ -20,6 +20,7 @@ func main() {
 	out := flag.String("o", "merge.cube", "output file")
 	callMatch := flag.String("callmatch", "callee", "call-tree equality relation: callee | callee+line")
 	system := flag.String("system", "auto", "system integration: auto | collapse | copy-first")
+	prof := cli.NewProfile(nil)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cube-merge [flags] a.cube b.cube [c.cube ...]\n")
 		flag.PrintDefaults()
@@ -33,6 +34,11 @@ func main() {
 	if err != nil {
 		cli.Fatal("cube-merge", err)
 	}
+	stopProf, err := prof.Start("cube-merge")
+	if err != nil {
+		cli.Fatal("cube-merge", err)
+	}
+	defer stopProf()
 	operands := make([]*cube.Experiment, 0, flag.NArg())
 	for _, path := range flag.Args() {
 		e, err := cube.ReadFile(path)

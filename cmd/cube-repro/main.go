@@ -31,7 +31,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	outdir := flag.String("outdir", "", "write generated experiments as CUBE XML files into this directory")
 	render := flag.Bool("render", false, "print the display renderings of the figures")
+	prof := cli.NewProfile(nil)
 	flag.Parse()
+	stopProf, err := prof.Start("cube-repro")
+	if err != nil {
+		cli.Fatal("cube-repro", err)
+	}
+	defer stopProf()
 
 	all := *fig == 0 && !*speedup && !*tracesize
 	write := func(name string, e *core.Experiment) {

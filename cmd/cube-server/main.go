@@ -15,14 +15,21 @@
 // (in-flight requests drain for -drain-timeout before the process exits).
 // Every limit has a flag; see -help. The cube/client package is a typed Go
 // client with matching retry behavior.
+//
+// Observability: GET /metrics serves the Prometheus text exposition of the
+// request, operator, and codec metrics; GET /debug/vars the same data as
+// JSON plus memstats; -pprof additionally mounts /debug/pprof/*. Logs are
+// structured (-log-format text|json) and every line carries the request ID
+// that is also echoed in the X-Request-ID response header.
 package main
 
 import (
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
 
 	"cube/internal/cli"
 	"cube/internal/server"
@@ -44,7 +51,21 @@ func main() {
 	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "time to write a full response")
 	flag.DurationVar(&cfg.IdleTimeout, "idle-timeout", cfg.IdleTimeout, "keep-alive idle connection timeout")
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "grace period for in-flight requests on shutdown")
+	flag.BoolVar(&cfg.EnablePprof, "pprof", false, "expose /debug/pprof/* profiling endpoints")
+	logFormat := flag.String("log-format", "text", "structured log format: text | json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		cli.Fatal("cube-server", errors.New("unknown -log-format (want text or json)"))
+	}
+	logger := slog.New(handler)
+	cfg.Logger = logger
 
 	// Bind before logging so the address printed is the one actually
 	// serving (and :0 reports the kernel-chosen port).
@@ -52,12 +73,12 @@ func main() {
 	if err != nil {
 		cli.Fatal("cube-server", err)
 	}
-	log.Printf("cube-server listening on http://%s", ln.Addr())
+	logger.Info("cube-server listening", slog.String("url", "http://"+ln.Addr().String()))
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
 	if err := server.Serve(ctx, ln, cfg); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		cli.Fatal("cube-server", err)
 	}
-	log.Printf("cube-server: shutdown complete")
+	logger.Info("cube-server: shutdown complete")
 }

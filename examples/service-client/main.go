@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"strings"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"cube/client"
 	"cube/internal/apps"
 	"cube/internal/expert"
+	"cube/internal/obs"
 	"cube/internal/server"
 )
 
@@ -44,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := server.DefaultConfig()
-	cfg.Logger = log.New(io.Discard, "", 0) // keep the demo output clean
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil)) // keep the demo output clean
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
 	go func() { served <- server.Serve(ctx, ln, cfg) }()
@@ -53,8 +55,11 @@ func main() {
 
 	// The typed client retries 429/5xx/transport errors with exponential
 	// backoff — safe because every operator is a pure function of its
-	// uploaded operands.
-	c := client.New(base, client.WithMaxRetries(5), client.WithBackoff(50*time.Millisecond, time.Second))
+	// uploaded operands. A private registry collects its telemetry so the
+	// demo can report what the retry policy actually did.
+	stats := obs.NewRegistry()
+	c := client.New(base, client.WithMaxRetries(5),
+		client.WithBackoff(50*time.Millisecond, time.Second), client.WithMetrics(stats))
 	if err := c.Healthz(ctx); err != nil {
 		log.Fatal(err)
 	}
@@ -81,6 +86,31 @@ func main() {
 		if strings.TrimSpace(line) != "" {
 			fmt.Println(line)
 		}
+	}
+
+	// What the retry policy did, straight from the client's telemetry:
+	// attempts/retries per endpoint plus whole-call latency (mean).
+	fmt.Println("\nclient telemetry:")
+	snap := stats.Snapshot()
+	retries := map[string]int64{}
+	for _, cv := range snap.Counters {
+		if cv.Name == "cube_client_retries_total" && len(cv.Labels) > 0 {
+			retries[cv.Labels[0].Value] = cv.Value
+		}
+	}
+	for _, cv := range snap.Counters {
+		if cv.Name != "cube_client_attempts_total" || len(cv.Labels) == 0 {
+			continue
+		}
+		ep := cv.Labels[0].Value
+		fmt.Printf("  %-18s attempts=%d retries=%d", ep, cv.Value, retries[ep])
+		for _, hv := range snap.Histograms {
+			if hv.Name == "cube_client_request_duration_seconds" &&
+				len(hv.Labels) > 0 && hv.Labels[0].Value == ep && hv.Count > 0 {
+				fmt.Printf(" mean-latency=%.1fms", hv.Sum/float64(hv.Count)*1e3)
+			}
+		}
+		fmt.Println()
 	}
 
 	// Graceful shutdown: cancel the serve context and wait for the drain.

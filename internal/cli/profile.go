@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"cube/internal/core"
+	"cube/internal/cubexml"
+	"cube/internal/obs"
+)
+
+// Profile wires the shared observability flags into a command-line tool:
+//
+//	-cpuprofile file   write a CPU profile (go tool pprof format)
+//	-memprofile file   write a heap profile on exit
+//	-stats             dump operator/codec metrics to stderr on exit
+//
+// Register the flags with NewProfile before flag.Parse, then call Start
+// after it and the returned stop function on the success path. -stats
+// points core.Instrument and cubexml.Instrument at obs.Default, so the
+// dump shows exactly what the algebra did: operator invocations and wall
+// time, severity cells produced, zero-fill expansion, and XML bytes
+// parsed/written.
+type Profile struct {
+	cpu, mem *string
+	stats    *bool
+	cpuFile  *os.File
+	tool     string
+}
+
+// NewProfile registers the profiling flags on fs (flag.CommandLine when
+// nil) and returns the handle to Start them with.
+func NewProfile(fs *flag.FlagSet) *Profile {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	p := &Profile{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to `file`")
+	p.mem = fs.String("memprofile", "", "write a heap profile to `file` on exit")
+	p.stats = fs.Bool("stats", false, "dump operator/codec metrics to stderr on exit")
+	return p
+}
+
+// Start begins profiling according to the parsed flags. Call it after
+// flag.Parse; the returned stop function finishes the CPU profile, writes
+// the heap profile, and prints the -stats dump. Error exits via Fatal skip
+// stop, which is fine: partial profiles of failed runs mislead more than
+// they help.
+func (p *Profile) Start(tool string) (stop func(), err error) {
+	p.tool = tool
+	if *p.stats {
+		core.Instrument(obs.Default)
+		cubexml.Instrument(obs.Default)
+	}
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p.stop, nil
+}
+
+func (p *Profile) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: closing CPU profile: %v\n", p.tool, err)
+		}
+		p.cpuFile = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.tool, err)
+		} else {
+			runtime.GC() // materialise final heap state before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing heap profile: %v\n", p.tool, err)
+			}
+			f.Close()
+		}
+	}
+	if *p.stats {
+		fmt.Fprintf(os.Stderr, "--- %s metrics ---\n", p.tool)
+		if err := obs.Default.WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing metrics: %v\n", p.tool, err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cube/internal/obs"
+)
+
+// Operator instrumentation. The algebra records, per operator invocation:
+//
+//	cube_op_invocations_total{op}   how often each operator ran
+//	cube_op_errors_total{op}        failed invocations
+//	cube_op_duration_seconds{op}    wall time per invocation
+//	cube_op_cells_total{op}         severity cells written to results
+//	cube_op_zero_fill_ratio{op}     zero-extension overhead (see below)
+//
+// and per metadata integration:
+//
+//	cube_integrate_invocations_total
+//	cube_integrate_input_nodes_total{dim}   metadata nodes consumed
+//	cube_integrate_output_nodes_total{dim}  metadata nodes produced
+//
+// The zero-fill expansion ratio captures the cost of the algebra's
+// zero-extension step: every operand's severity function is extended with
+// zeros onto the integrated support, so the cells an operator actually
+// touches number |result support| x |operands|, while the operands only
+// define totalInputCells of them. The ratio of the two (>= 1 in the usual
+// case) tells how much work is spent on implicit zeros — the number that
+// decides whether sparse iteration is paying off.
+//
+// Instrumentation is process-global and off by default: Instrument(nil)
+// (the initial state) makes startOp return a nil recorder and the
+// per-invocation cost collapses to one atomic pointer load. Costs are
+// aggregated locally and published once per invocation — never per cell —
+// so the hot loops stay free of atomic traffic.
+
+var opRegistry atomic.Pointer[obs.Registry]
+
+// Instrument directs operator and integration metrics into reg; nil
+// disables instrumentation (the default). The setting is process-wide:
+// the algebra is a library, and every caller (HTTP service, CLI, test)
+// that wants operator telemetry shares one seam.
+func Instrument(reg *obs.Registry) {
+	opRegistry.Store(reg)
+}
+
+// Instrumented reports whether operator metrics are currently recorded.
+func Instrumented() bool { return opRegistry.Load() != nil }
+
+// opRecorder carries one invocation's bookkeeping from startOp to done.
+// A nil *opRecorder (instrumentation disabled) makes every method a no-op.
+type opRecorder struct {
+	reg      *obs.Registry
+	op       string
+	start    time.Time
+	inCells  int
+	operands int
+}
+
+// startOp begins recording one operator invocation over the operands.
+func startOp(op string, operands []*Experiment) *opRecorder {
+	reg := opRegistry.Load()
+	if reg == nil {
+		return nil
+	}
+	rec := &opRecorder{reg: reg, op: op, start: time.Now(), operands: len(operands)}
+	for _, x := range operands {
+		if x != nil {
+			rec.inCells += len(x.sev)
+		}
+	}
+	return rec
+}
+
+// fail records an invocation that returned an error.
+func (rec *opRecorder) fail() {
+	if rec == nil {
+		return
+	}
+	rec.reg.Counter("cube_op_errors_total", obs.L("op", rec.op)).Inc()
+}
+
+// done records a successful invocation that produced out.
+func (rec *opRecorder) done(out *Experiment) {
+	if rec == nil {
+		return
+	}
+	op := obs.L("op", rec.op)
+	rec.reg.Counter("cube_op_invocations_total", op).Inc()
+	rec.reg.Histogram("cube_op_duration_seconds", obs.DefLatencyBuckets, op).Observe(time.Since(rec.start).Seconds())
+	outCells := len(out.sev)
+	rec.reg.Counter("cube_op_cells_total", op).Add(int64(outCells))
+	if rec.inCells > 0 {
+		ratio := float64(outCells*rec.operands) / float64(rec.inCells)
+		rec.reg.Histogram("cube_op_zero_fill_ratio", obs.DefRatioBuckets, op).Observe(ratio)
+	}
+}
+
+// recordIntegration publishes the metadata node-merge statistics of one
+// integration: how many metric/call/thread nodes went in across all
+// operands and how many distinct nodes the merged result has. The gap
+// between the two is the structural overlap the merge discovered.
+func recordIntegration(in *integration, operands []*Experiment) {
+	reg := opRegistry.Load()
+	if reg == nil {
+		return
+	}
+	var inMetrics, inCNodes, inThreads int
+	for i := range operands {
+		inMetrics += len(in.metricFrom[i])
+		inCNodes += len(in.cnodeFrom[i])
+		inThreads += len(in.threadFrom[i])
+	}
+	// Count result nodes from the integration's own bookkeeping (and a
+	// plain system-forest walk) rather than through the enumeration
+	// accessors: those would eagerly build the result's index caches,
+	// work the caller may never need.
+	var outThreads int
+	for _, mach := range in.out.machines {
+		for _, nd := range mach.Nodes() {
+			for _, p := range nd.Processes() {
+				outThreads += len(p.Threads())
+			}
+		}
+	}
+	reg.Counter("cube_integrate_invocations_total").Inc()
+	dimMetric, dimCNode, dimThread := obs.L("dim", "metric"), obs.L("dim", "callnode"), obs.L("dim", "thread")
+	reg.Counter("cube_integrate_input_nodes_total", dimMetric).Add(int64(inMetrics))
+	reg.Counter("cube_integrate_input_nodes_total", dimCNode).Add(int64(inCNodes))
+	reg.Counter("cube_integrate_input_nodes_total", dimThread).Add(int64(inThreads))
+	reg.Counter("cube_integrate_output_nodes_total", dimMetric).Add(int64(len(in.metricSource)))
+	reg.Counter("cube_integrate_output_nodes_total", dimCNode).Add(int64(len(in.cnodeSource)))
+	reg.Counter("cube_integrate_output_nodes_total", dimThread).Add(int64(outThreads))
+}

@@ -100,6 +100,7 @@ func integrate(opts *Options, operands ...*Experiment) (*integration, error) {
 	}
 	in.out.topology = topo.Clone()
 	in.out.dirty = true
+	recordIntegration(in, operands)
 	return in, nil
 }
 

@@ -46,8 +46,10 @@ func presize(out *Experiment, operands []*Experiment) {
 // linearCombine implements every operator that is a weighted sum of its
 // operands' (zero-extended) severity functions.
 func linearCombine(op string, opts *Options, weights []float64, operands ...*Experiment) (*Experiment, error) {
+	rec := startOp(op, operands)
 	in, err := integrate(opts, operands...)
 	if err != nil {
+		rec.fail()
 		return nil, err
 	}
 	presize(in.out, operands)
@@ -62,6 +64,7 @@ func linearCombine(op string, opts *Options, weights []float64, operands ...*Exp
 		}
 	}
 	deriveProvenance(in, op, operands)
+	rec.done(in.out)
 	return in.out, nil
 }
 
@@ -136,8 +139,10 @@ func MergeAll(opts *Options, operands ...*Experiment) (*Experiment, error) {
 	if len(operands) == 0 {
 		return nil, ErrNoOperands
 	}
+	rec := startOp("merge", operands)
 	in, err := integrate(opts, operands...)
 	if err != nil {
+		rec.fail()
 		return nil, err
 	}
 	presize(in.out, operands)
@@ -154,6 +159,7 @@ func MergeAll(opts *Options, operands ...*Experiment) (*Experiment, error) {
 		}
 	}
 	deriveProvenance(in, "merge", operands)
+	rec.done(in.out)
 	return in.out, nil
 }
 
@@ -191,8 +197,10 @@ func StdDev(opts *Options, operands ...*Experiment) (*Experiment, error) {
 	if len(operands) < 2 {
 		return nil, fmt.Errorf("core: StdDev requires at least two operands")
 	}
+	rec := startOp("stddev", operands)
 	in, err := integrate(opts, operands...)
 	if err != nil {
+		rec.fail()
 		return nil, err
 	}
 	presize(in.out, operands)
@@ -224,6 +232,7 @@ func StdDev(opts *Options, operands ...*Experiment) (*Experiment, error) {
 		in.out.SetSeverity(rk.m, rk.c, rk.t, math.Sqrt(variance))
 	}
 	deriveProvenance(in, "stddev", operands)
+	rec.done(in.out)
 	return in.out, nil
 }
 
@@ -235,8 +244,10 @@ func foldCombine(op string, opts *Options, fold func(acc, v float64) float64, op
 	if len(operands) == 0 {
 		return nil, ErrNoOperands
 	}
+	rec := startOp(op, operands)
 	in, err := integrate(opts, operands...)
 	if err != nil {
+		rec.fail()
 		return nil, err
 	}
 	presize(in.out, operands)
@@ -267,5 +278,6 @@ func foldCombine(op string, opts *Options, fold func(acc, v float64) float64, op
 		in.out.SetSeverity(rk.m, rk.c, rk.t, acc)
 	}
 	deriveProvenance(in, op, operands)
+	rec.done(in.out)
 	return in.out, nil
 }

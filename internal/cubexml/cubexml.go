@@ -134,6 +134,19 @@ type xRow struct {
 
 // Write serialises the experiment to w in the CUBE XML format.
 func Write(w io.Writer, e *core.Experiment) error {
+	if reg := xmlRegistry.Load(); reg != nil {
+		cw := &countingWriter{w: w}
+		err := write(cw, e)
+		reg.Counter("cube_xml_write_bytes_total").Add(cw.n)
+		if err == nil {
+			reg.Counter("cube_xml_writes_total").Inc()
+		}
+		return err
+	}
+	return write(w, e)
+}
+
+func write(w io.Writer, e *core.Experiment) error {
 	doc := xCube{Version: Version}
 	doc.Doc = xDoc{
 		Title:     e.Title,
@@ -353,9 +366,25 @@ func ReadLimited(r io.Reader, lim Limits) (*core.Experiment, error) {
 	if lim.MaxElements <= 0 && lim.MaxDepth <= 0 {
 		return decode(r)
 	}
+	reg := xmlRegistry.Load()
+	scan := func(sr io.Reader) error {
+		elems, err := checkLimits(sr, lim)
+		if reg != nil {
+			reg.Counter("cube_xml_read_elements_total").Add(int64(elems))
+			switch {
+			case errors.Is(err, ErrLimit):
+				reg.Counter("cube_xml_limit_rejections_total").Inc()
+			case err != nil:
+				// Syntax errors caught by the scan never reach the
+				// decode pass; count them as failed reads here.
+				reg.Counter("cube_xml_read_errors_total").Inc()
+			}
+		}
+		return err
+	}
 	if s, ok := r.(io.Seeker); ok {
 		if start, err := s.Seek(0, io.SeekCurrent); err == nil {
-			if err := checkLimits(r, lim); err != nil {
+			if err := scan(r); err != nil {
 				return nil, err
 			}
 			if _, err := s.Seek(start, io.SeekStart); err != nil {
@@ -365,48 +394,63 @@ func ReadLimited(r io.Reader, lim Limits) (*core.Experiment, error) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := checkLimits(io.TeeReader(r, &buf), lim); err != nil {
+	if err := scan(io.TeeReader(r, &buf)); err != nil {
 		return nil, err
 	}
 	return decode(&buf)
 }
 
 // checkLimits scans tokens up to the end of the root element, enforcing
-// lim. Syntax errors surface here with the same wrapping the decode pass
-// would use.
-func checkLimits(r io.Reader, lim Limits) error {
+// lim, and reports how many elements it saw. Syntax errors surface here
+// with the same wrapping the decode pass would use.
+func checkLimits(r io.Reader, lim Limits) (int, error) {
 	dec := xml.NewDecoder(r)
 	depth, elems := 0, 0
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
-			return nil
+			return elems, nil
 		}
 		if err != nil {
-			return fmt.Errorf("cubexml: decode: %w", err)
+			return elems, fmt.Errorf("cubexml: decode: %w", err)
 		}
 		switch tok.(type) {
 		case xml.StartElement:
 			elems++
 			depth++
 			if lim.MaxElements > 0 && elems > lim.MaxElements {
-				return fmt.Errorf("cubexml: %w: more than %d elements", ErrLimit, lim.MaxElements)
+				return elems, fmt.Errorf("cubexml: %w: more than %d elements", ErrLimit, lim.MaxElements)
 			}
 			if lim.MaxDepth > 0 && depth > lim.MaxDepth {
-				return fmt.Errorf("cubexml: %w: elements nested deeper than %d", ErrLimit, lim.MaxDepth)
+				return elems, fmt.Errorf("cubexml: %w: elements nested deeper than %d", ErrLimit, lim.MaxDepth)
 			}
 		case xml.EndElement:
 			depth--
 			if depth == 0 {
 				// End of the root element: the decode pass ignores
 				// anything after it, so stop scanning here too.
-				return nil
+				return elems, nil
 			}
 		}
 	}
 }
 
 func decode(r io.Reader) (*core.Experiment, error) {
+	if reg := xmlRegistry.Load(); reg != nil {
+		cr := &countingReader{r: r}
+		e, err := decodeDoc(cr)
+		reg.Counter("cube_xml_read_bytes_total").Add(cr.n)
+		if err != nil {
+			reg.Counter("cube_xml_read_errors_total").Inc()
+		} else {
+			reg.Counter("cube_xml_reads_total").Inc()
+		}
+		return e, err
+	}
+	return decodeDoc(r)
+}
+
+func decodeDoc(r io.Reader) (*core.Experiment, error) {
 	var doc xCube
 	dec := xml.NewDecoder(r)
 	if err := dec.Decode(&doc); err != nil {

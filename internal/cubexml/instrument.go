@@ -1,0 +1,53 @@
+package cubexml
+
+import (
+	"io"
+	"sync/atomic"
+
+	"cube/internal/obs"
+)
+
+// I/O instrumentation. When enabled via Instrument, the codec records:
+//
+//	cube_xml_reads_total                 completed parses
+//	cube_xml_read_errors_total           failed parses (syntax, validation)
+//	cube_xml_read_bytes_total            bytes consumed by parses
+//	cube_xml_read_elements_total         XML elements seen by the limit scan
+//	cube_xml_limit_rejections_total      documents rejected by Limits
+//	cube_xml_writes_total                completed serialisations
+//	cube_xml_write_bytes_total           bytes produced by serialisations
+//
+// Byte counts are measured on the wire (the reader/writer passed in), so
+// they reflect actual document sizes, not in-memory representations.
+
+var xmlRegistry atomic.Pointer[obs.Registry]
+
+// Instrument directs codec metrics into reg; nil disables them (the
+// default). Like core.Instrument, the setting is process-wide.
+func Instrument(reg *obs.Registry) {
+	xmlRegistry.Store(reg)
+}
+
+// countingReader counts the bytes pulled through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// countingWriter counts the bytes pushed through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

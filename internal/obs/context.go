@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Request IDs travel in the context so every layer — middleware, handlers,
+// operand parsing, log lines, error bodies — can stamp its output with the
+// identity of the request it serves.
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-digit request ID. IDs come from
+// crypto/rand; if that fails (it practically cannot), a time+sequence
+// fallback keeps IDs unique within the process.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%08x%08x", time.Now().UnixNano()&0xffffffff, reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" if none is set.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// --- span-style timers ----------------------------------------------------------
+
+// Span measures one timed section and records its duration, in seconds,
+// into a latency histogram on End. The zero Span is inert, so disabled
+// instrumentation can hand out spans for free.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing a section named name (the backing histogram is
+// "<name>_seconds" with DefLatencyBuckets). On a nil registry the span is
+// inert. Usage:
+//
+//	sp := reg.StartSpan("cube_xml_read", obs.L("source", "upload"))
+//	defer sp.End()
+func (r *Registry) StartSpan(name string, labels ...Label) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{h: r.Histogram(name+"_seconds", DefLatencyBuckets, labels...), start: time.Now()}
+}
+
+// End stops the span, records its duration, and returns it. Safe to call
+// on an inert span (returns 0).
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+// Timer records the time since its creation into an explicit histogram;
+// unlike Span it does not name-mangle, so callers control the metric and
+// buckets. A nil histogram makes the timer inert.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing against h.
+func StartTimer(h *Histogram) Timer { return Timer{h: h, start: time.Now()} }
+
+// Stop records the elapsed time in seconds and returns it.
+func (t Timer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a registry's state: a deterministic Snapshot value,
+// the Prometheus text exposition format, a JSON (expvar-style) dump, and
+// the corresponding http.Handlers.
+
+// CounterValue is one counter series in a Snapshot.
+type CounterValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// GaugeValue is one gauge series in a Snapshot.
+type GaugeValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// BucketValue is one cumulative histogram bucket: the count of
+// observations less than or equal to UpperBound.
+type BucketValue struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string so the terminal +Inf bucket
+// survives JSON encoding (encoding/json rejects non-finite float64s).
+func (b BucketValue) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatFloat(b.UpperBound), b.Count)), nil
+}
+
+// UnmarshalJSON parses the string bound written by MarshalJSON
+// (strconv.ParseFloat accepts "+Inf").
+func (b *BucketValue) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	v, err := strconv.ParseFloat(raw.LE, 64)
+	if err != nil {
+		return fmt.Errorf("bucket bound %q: %w", raw.LE, err)
+	}
+	b.UpperBound = v
+	b.Count = raw.Count
+	return nil
+}
+
+// HistogramValue is one histogram series in a Snapshot.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Labels  []Label       `json:"labels,omitempty"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered
+// deterministically: families sorted by name, series by label identity.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every series in the registry.
+// A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			labels := append([]Label(nil), s.labels...)
+			switch f.kind {
+			case kindCounter:
+				snap.Counters = append(snap.Counters, CounterValue{Name: f.name, Labels: labels, Value: s.c.Value()})
+			case kindGauge:
+				snap.Gauges = append(snap.Gauges, GaugeValue{Name: f.name, Labels: labels, Value: s.g.Value()})
+			case kindHistogram:
+				h := s.h
+				hv := HistogramValue{Name: f.name, Labels: labels, Count: h.Count(), Sum: h.Sum()}
+				var cum int64
+				for i, b := range h.bounds {
+					cum += h.counts[i].Load()
+					hv.Buckets = append(hv.Buckets, BucketValue{UpperBound: b, Count: cum})
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				hv.Buckets = append(hv.Buckets, BucketValue{UpperBound: math.Inf(1), Count: cum})
+				snap.Histograms = append(snap.Histograms, hv)
+			}
+		}
+		f.mu.RUnlock()
+	}
+	return snap
+}
+
+// CounterValue returns the current value of the named counter series, or 0
+// if it does not exist. Intended for tests and report code, not hot paths.
+func (r *Registry) CounterValue(name string, labels ...Label) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != kindCounter {
+		return 0
+	}
+	f.mu.RLock()
+	s := f.series[labelKey(sortedLabels(labels))]
+	f.mu.RUnlock()
+	if s == nil {
+		return 0
+	}
+	return s.c.Value()
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func formatLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per family, then one line per
+// series, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var sb strings.Builder
+	lastType := map[string]bool{}
+	typeLine := func(name, kind string) {
+		if !lastType[name] {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", name, kind)
+			lastType[name] = true
+		}
+	}
+	for _, c := range snap.Counters {
+		typeLine(c.Name, "counter")
+		fmt.Fprintf(&sb, "%s%s %d\n", c.Name, formatLabels(c.Labels), c.Value)
+	}
+	for _, g := range snap.Gauges {
+		typeLine(g.Name, "gauge")
+		fmt.Fprintf(&sb, "%s%s %d\n", g.Name, formatLabels(g.Labels), g.Value)
+	}
+	for _, h := range snap.Histograms {
+		typeLine(h.Name, "histogram")
+		for _, b := range h.Buckets {
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", h.Name, formatLabels(h.Labels, L("le", formatFloat(b.UpperBound))), b.Count)
+		}
+		fmt.Fprintf(&sb, "%s_sum%s %s\n", h.Name, formatLabels(h.Labels), formatFloat(h.Sum))
+		fmt.Fprintf(&sb, "%s_count%s %d\n", h.Name, formatLabels(h.Labels), h.Count)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteJSON renders the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// MetricsHandler serves the Prometheus text exposition of the registry
+// (the conventional GET /metrics endpoint).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves an expvar-style JSON document: the metric snapshot
+// plus the Go runtime's memory statistics (the conventional
+// GET /debug/vars endpoint).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		doc := struct {
+			Metrics  Snapshot `json:"metrics"`
+			MemStats struct {
+				Alloc      uint64 `json:"alloc"`
+				TotalAlloc uint64 `json:"total_alloc"`
+				Sys        uint64 `json:"sys"`
+				HeapAlloc  uint64 `json:"heap_alloc"`
+				NumGC      uint32 `json:"num_gc"`
+			} `json:"memstats"`
+			Goroutines int `json:"goroutines"`
+		}{Metrics: r.Snapshot(), Goroutines: runtime.NumGoroutine()}
+		doc.MemStats.Alloc = ms.Alloc
+		doc.MemStats.TotalAlloc = ms.TotalAlloc
+		doc.MemStats.Sys = ms.Sys
+		doc.MemStats.HeapAlloc = ms.HeapAlloc
+		doc.MemStats.NumGC = ms.NumGC
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+}

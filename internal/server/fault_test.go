@@ -10,7 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"mime/multipart"
 	"net"
 	"net/http"
@@ -26,7 +26,7 @@ import (
 
 func quietConfig() *Config {
 	cfg := DefaultConfig()
-	cfg.Logger = log.New(io.Discard, "", 0)
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	return cfg
 }
 
@@ -52,11 +52,11 @@ func TestPanicRecovery(t *testing.T) {
 	var logged bytes.Buffer
 	var mu sync.Mutex
 	cfg := quietConfig()
-	cfg.Logger = log.New(writerFunc(func(p []byte) (int, error) {
+	cfg.Logger = slog.New(slog.NewTextHandler(writerFunc(func(p []byte) (int, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		return logged.Write(p)
-	}), "", 0)
+	}), nil))
 	s := &service{cfg: cfg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/panic", func(w http.ResponseWriter, r *http.Request) {

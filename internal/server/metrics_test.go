@@ -1,0 +1,214 @@
+package server
+
+// Observability tests: the /metrics and /debug/vars endpoints, the
+// per-route telemetry recorded by the middleware, and the X-Request-ID
+// round trip (honored, minted, logged, and stamped into error bodies).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cube/internal/obs"
+)
+
+// newMetricsServer builds a test server with its own registry so
+// assertions are not polluted by other tests sharing obs.Default.
+func newMetricsServer(t *testing.T, logBuf *bytes.Buffer) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := quietConfig()
+	cfg.Metrics = reg
+	if logBuf != nil {
+		var mu sync.Mutex
+		cfg.Logger = slog.New(slog.NewTextHandler(writerFunc(func(p []byte) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return logBuf.Write(p)
+		}), nil))
+	}
+	srv := httptest.NewServer(NewHandler(cfg))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func TestMetricsEndpointAfterOperation(t *testing.T) {
+	srv, _ := newMetricsServer(t, nil)
+
+	resp := post(t, srv, "/op/difference", buildExp("a", 1), buildExp("b", 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("difference status = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	readAll(t, resp)
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q, want text/plain", ct)
+	}
+	body := readAll(t, mresp)
+
+	for _, want := range []string{
+		`cube_op_invocations_total{op="difference"} 1`,
+		`cube_http_requests_total{method="POST",route="/op/{op}",status="200"} 1`,
+		`cube_http_request_duration_seconds_bucket{route="/op/{op}",le="+Inf"} 1`,
+		"cube_xml_read_bytes_total",
+		"cube_xml_write_bytes_total",
+		"cube_integrate_invocations_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	srv, _ := newMetricsServer(t, nil)
+	// Serve one real operation first so the snapshot contains histograms —
+	// their +Inf terminal bucket must survive JSON encoding.
+	readAll(t, post(t, srv, "/op/flatten", buildExp("a", 0)))
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/vars Content-Type = %q, want application/json", ct)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := doc["memstats"]; !ok {
+		t.Errorf("/debug/vars missing memstats")
+	}
+	if _, ok := doc["metrics"]; !ok {
+		t.Errorf("/debug/vars missing metrics")
+	}
+}
+
+func TestRequestIDHonored(t *testing.T) {
+	var logged bytes.Buffer
+	srv, _ := newMetricsServer(t, &logged)
+
+	req, _ := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-supplied.id-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-supplied.id-42" {
+		t.Errorf("X-Request-ID = %q, want the caller's ID echoed", got)
+	}
+	if !strings.Contains(logged.String(), "request_id=caller-supplied.id-42") {
+		t.Errorf("request log does not carry the request ID: %s", logged.String())
+	}
+}
+
+func TestRequestIDMinted(t *testing.T) {
+	srv, _ := newMetricsServer(t, nil)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	id := resp.Header.Get("X-Request-ID")
+	if len(id) != 16 {
+		t.Errorf("minted X-Request-ID = %q, want 16 hex chars", id)
+	}
+}
+
+func TestRequestIDHostileValueReplaced(t *testing.T) {
+	srv, _ := newMetricsServer(t, nil)
+	req, _ := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "bad id\twith spaces")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" || strings.ContainsAny(id, " \t") {
+		t.Errorf("hostile X-Request-ID not replaced: %q", id)
+	}
+}
+
+func TestRequestIDInErrorBody(t *testing.T) {
+	srv, _ := newMetricsServer(t, nil)
+	req, _ := http.NewRequest("POST", srv.URL+"/op/difference", strings.NewReader(""))
+	req.Header.Set("X-Request-ID", "err-trace-7")
+	req.Header.Set("Content-Type", "multipart/form-data; boundary=x")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("empty upload succeeded unexpectedly")
+	}
+	if !strings.Contains(body, "request-id: err-trace-7") {
+		t.Errorf("error body missing request ID: %q", body)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	srv, _ := newMetricsServer(t, nil)
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("/debug/pprof/ served without EnablePprof")
+	}
+
+	cfg := quietConfig()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.EnablePprof = true
+	on := httptest.NewServer(NewHandler(cfg))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ with EnablePprof: status %d body %q", resp.StatusCode, body[:min(len(body), 120)])
+	}
+}
+
+func TestTelemetryCountsErrorsAndPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := quietConfig()
+	cfg.Metrics = reg
+	s := &service{cfg: cfg, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/panic", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	srv := httptest.NewServer(s.wrap(mux))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := reg.CounterValue("cube_http_panics_total"); got != 1 {
+		t.Errorf("cube_http_panics_total = %d, want 1", got)
+	}
+	if got := reg.CounterValue("cube_http_requests_total",
+		obs.L("route", "other"), obs.L("method", "GET"), obs.L("status", "500")); got != 1 {
+		t.Errorf("requests_total{other,GET,500} = %d, want 1", got)
+	}
+}

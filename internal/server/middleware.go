@@ -3,14 +3,16 @@ package server
 import (
 	"bytes"
 	"context"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"cube/internal/cubexml"
+	"cube/internal/obs"
 )
 
 // Config collects every robustness limit of the service. The zero value of
@@ -34,9 +36,18 @@ type Config struct {
 	IdleTimeout       time.Duration
 	DrainTimeout      time.Duration // grace period for in-flight requests on shutdown
 
-	// Logger receives structured request logs and panic stacks.
-	// nil disables logging.
-	Logger *log.Logger
+	// Logger receives one structured record per request (including the
+	// request ID), plus error and panic reports. nil disables logging.
+	Logger *slog.Logger
+
+	// Metrics receives the request, operator, and codec metrics and backs
+	// the /metrics and /debug/vars endpoints. nil selects obs.Default.
+	Metrics *obs.Registry
+
+	// EnablePprof mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/. Off by default: the endpoints expose internals and
+	// cost CPU, so production deployments opt in (cube-server -pprof).
+	EnablePprof bool
 
 	// handler overrides the service mux inside Serve; tests use it to
 	// exercise shutdown draining with controllable handlers.
@@ -58,33 +69,72 @@ func DefaultConfig() *Config {
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 		DrainTimeout:      10 * time.Second,
-		Logger:            log.Default(),
+		Logger:            slog.Default(),
 	}
 }
 
 // service binds the handlers to their configuration.
 type service struct {
 	cfg *Config
+	reg *obs.Registry // resolved metrics registry (may be nil in bare tests)
 }
 
-func (s *service) logf(format string, args ...any) {
+// logError emits an error-level record carrying the request ID.
+func (s *service) logError(ctx context.Context, msg string, args ...any) {
 	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
+		args = append(args, slog.String("request_id", obs.RequestID(ctx)))
+		s.cfg.Logger.ErrorContext(ctx, msg, args...)
 	}
 }
 
-// wrap composes the middleware stack around h, outermost first: logging,
-// panic recovery, concurrency limiting, per-request timeout, body caps.
+// wrap composes the middleware stack around h, outermost first: request-ID
+// injection, telemetry (structured log + route metrics), panic recovery,
+// concurrency limiting, per-request timeout, body caps.
 func (s *service) wrap(h http.Handler) http.Handler {
 	h = s.withMaxBytes(h)
 	h = s.withTimeout(h)
 	h = s.withLimit(h)
 	h = s.withRecover(h)
-	h = s.withLog(h)
+	h = s.withTelemetry(h)
+	h = s.withRequestID(h)
 	return h
 }
 
-// --- structured request logging ------------------------------------------------
+// --- request IDs ---------------------------------------------------------------
+
+// sanitizeRequestID accepts a client-supplied X-Request-ID only if it is
+// short and printable-safe, so hostile values cannot smuggle log or header
+// injection payloads.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// withRequestID assigns every request an ID — honoring a well-formed
+// client X-Request-ID, minting one otherwise — and propagates it on the
+// context, the response header, log lines, and error bodies.
+func (s *service) withRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		h.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	})
+}
+
+// --- telemetry: structured request log + route metrics -------------------------
 
 // reqStats accumulates per-request facts (operand sizes) for the log line;
 // it travels in the request context so readOperands can report into it.
@@ -120,7 +170,8 @@ func statsFrom(ctx context.Context) *reqStats {
 	return st
 }
 
-// statusWriter records the status code and bytes written for the log line.
+// statusWriter records the status code and bytes written for the log line
+// and the route metrics.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
@@ -143,23 +194,57 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func (s *service) withLog(h http.Handler) http.Handler {
-	if s.cfg.Logger == nil {
-		return h
+// routeLabel buckets a request path into a bounded label set, so hostile
+// or misdirected paths cannot explode metric cardinality.
+func routeLabel(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/op/"):
+		return "/op/{op}"
+	case path == "/view", path == "/report", path == "/info", path == "/healthz",
+		path == "/metrics", path == "/debug/vars":
+		return path
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "/debug/pprof"
+	default:
+		return "other"
 	}
+}
+
+// withTelemetry records per-route counters and latency/size histograms
+// into the registry and emits one structured log record per request. The
+// registry may be nil (bare test services), in which case only logging
+// remains.
+func (s *service) withTelemetry(h http.Handler) http.Handler {
+	inFlight := s.reg.Gauge("cube_http_in_flight_requests")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		st := &reqStats{}
 		r = r.WithContext(context.WithValue(r.Context(), statsKey, st))
 		sw := &statusWriter{ResponseWriter: w}
+		inFlight.Add(1)
 		h.ServeHTTP(sw, r)
+		inFlight.Add(-1)
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK
 		}
-		s.logf("%s %s status=%d bytes=%d dur=%s operands=%v",
-			r.Method, r.URL.Path, code, sw.bytes,
-			time.Since(start).Round(time.Millisecond), st.sizes())
+		elapsed := time.Since(start)
+		route := obs.L("route", routeLabel(r.URL.Path))
+		s.reg.Counter("cube_http_requests_total", route,
+			obs.L("method", r.Method), obs.L("status", strconv.Itoa(code))).Inc()
+		s.reg.Histogram("cube_http_request_duration_seconds", obs.DefLatencyBuckets, route).Observe(elapsed.Seconds())
+		s.reg.Histogram("cube_http_response_bytes", obs.DefSizeBuckets, route).Observe(float64(sw.bytes))
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", obs.RequestID(r.Context())),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", code),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("dur", elapsed.Round(time.Millisecond)),
+				slog.Any("operands", st.sizes()),
+			)
+		}
 	})
 }
 
@@ -172,11 +257,16 @@ func (s *service) withRecover(h http.Handler) http.Handler {
 				if p == http.ErrAbortHandler {
 					panic(p)
 				}
-				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				s.reg.Counter("cube_http_panics_total").Inc()
+				s.logError(r.Context(), "panic serving request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", p),
+					slog.String("stack", string(debug.Stack())))
 				// Best effort: if the handler already wrote headers this
 				// is a no-op on a broken response, but the server and
 				// its other connections stay up either way.
-				httpError(w, http.StatusInternalServerError, "internal error")
+				httpError(w, r, http.StatusInternalServerError, "internal error")
 			}
 		}()
 		h.ServeHTTP(w, r)
@@ -228,11 +318,13 @@ func (s *service) withLimit(h http.Handler) http.Handler {
 		return h
 	}
 	sem := &semaphore{cap: int64(s.cfg.MaxConcurrent)}
+	rejected := s.reg.Counter("cube_http_saturation_rejections_total")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		n := s.weight(r)
 		if !sem.tryAcquire(n) {
+			rejected.Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
-			httpError(w, http.StatusTooManyRequests, "server saturated, retry later")
+			httpError(w, r, http.StatusTooManyRequests, "server saturated, retry later")
 			return
 		}
 		defer sem.release(n)
@@ -292,6 +384,7 @@ func (s *service) withTimeout(h http.Handler) http.Handler {
 	if s.cfg.RequestTimeout <= 0 {
 		return h
 	}
+	timeouts := s.reg.Counter("cube_http_timeouts_total")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
@@ -314,8 +407,9 @@ func (s *service) withTimeout(h http.Handler) http.Handler {
 		case <-done:
 			tw.flushTo(w)
 		case <-ctx.Done():
+			timeouts.Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
-			httpError(w, http.StatusServiceUnavailable,
+			httpError(w, r, http.StatusServiceUnavailable,
 				"request timed out after %v", s.cfg.RequestTimeout)
 		}
 	})
@@ -329,7 +423,7 @@ func (s *service) withMaxBytes(h http.Handler) http.Handler {
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.ContentLength > s.cfg.MaxUploadBytes {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			httpError(w, r, http.StatusRequestEntityTooLarge,
 				"request body %d bytes exceeds the %d byte limit", r.ContentLength, s.cfg.MaxUploadBytes)
 			return
 		}

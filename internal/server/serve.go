@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"fmt"
+	"log"
+	"log/slog"
 	"net"
 	"net/http"
 )
@@ -23,13 +25,17 @@ func Serve(ctx context.Context, ln net.Listener, cfg *Config) error {
 	if h == nil {
 		h = NewHandler(cfg)
 	}
+	var errorLog *log.Logger
+	if cfg.Logger != nil {
+		errorLog = slog.NewLogLogger(cfg.Logger.Handler(), slog.LevelError)
+	}
 	srv := &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
 		ReadTimeout:       cfg.ReadTimeout,
 		WriteTimeout:      cfg.WriteTimeout,
 		IdleTimeout:       cfg.IdleTimeout,
-		ErrorLog:          cfg.Logger,
+		ErrorLog:          errorLog,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -45,7 +51,8 @@ func Serve(ctx context.Context, ln net.Listener, cfg *Config) error {
 		defer cancel()
 	}
 	if cfg.Logger != nil {
-		cfg.Logger.Printf("shutting down, draining in-flight requests (limit %v)", cfg.DrainTimeout)
+		cfg.Logger.Info("shutting down, draining in-flight requests",
+			slog.Duration("limit", cfg.DrainTimeout))
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		srv.Close()

@@ -17,8 +17,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"mime/multipart"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
@@ -26,6 +28,7 @@ import (
 	"cube/internal/core"
 	"cube/internal/cubexml"
 	"cube/internal/display"
+	"cube/internal/obs"
 	"cube/internal/report"
 )
 
@@ -52,17 +55,28 @@ var errTooLarge = errors.New("request exceeds limits")
 //	    one or two "operand"s; with two, includes the structural
 //	    comparison. Response: plain text.
 //	GET  /healthz
+//	GET  /metrics      Prometheus text exposition of the obs registry
+//	GET  /debug/vars   JSON snapshot of the same metrics + memstats
+//	GET  /debug/pprof/*  (only with Config.EnablePprof)
 func Handler() http.Handler {
 	return NewHandler(nil)
 }
 
 // NewHandler returns the service handler with the given configuration
-// (nil means DefaultConfig). All limits and the logger come from cfg.
+// (nil means DefaultConfig). All limits, the logger, and the metrics
+// registry come from cfg. Operator and codec instrumentation
+// (core.Instrument, cubexml.Instrument) is pointed at the same registry —
+// both are process-wide seams, so the last handler created wins.
 func NewHandler(cfg *Config) http.Handler {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
-	s := &service{cfg: cfg}
+	s := &service{cfg: cfg, reg: cfg.Metrics}
+	if s.reg == nil {
+		s.reg = obs.Default
+	}
+	core.Instrument(s.reg)
+	cubexml.Instrument(s.reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -71,6 +85,15 @@ func NewHandler(cfg *Config) http.Handler {
 	mux.HandleFunc("POST /view", s.handleView)
 	mux.HandleFunc("POST /report", s.handleReport)
 	mux.HandleFunc("POST /info", s.handleInfo)
+	mux.Handle("GET /metrics", s.reg.MetricsHandler())
+	mux.Handle("GET /debug/vars", s.reg.VarsHandler())
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s.wrap(mux)
 }
 
@@ -80,7 +103,7 @@ func (s *service) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(operands) != 1 {
-		httpError(w, http.StatusBadRequest, "report needs exactly 1 operand")
+		httpError(w, r, http.StatusBadRequest, "report needs exactly 1 operand")
 		return
 	}
 	e := operands[0]
@@ -90,14 +113,14 @@ func (s *service) handleReport(w http.ResponseWriter, r *http.Request) {
 			sel.Metric = e.FindMetricByName(name)
 		}
 		if sel.Metric == nil {
-			httpError(w, http.StatusBadRequest, "metric %q not found", name)
+			httpError(w, r, http.StatusBadRequest, "metric %q not found", name)
 			return
 		}
 		sel.MetricCollapsed = true
 	}
 	var buf bytes.Buffer
 	if err := report.Write(&buf, e, &report.Options{Selection: sel}); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		httpError(w, r, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -105,8 +128,14 @@ func (s *service) handleReport(w http.ResponseWriter, r *http.Request) {
 	buf.WriteTo(w)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	http.Error(w, fmt.Sprintf(format, args...), code)
+// httpError writes a plain-text error response, stamped with the request
+// ID so a client can quote the failing request when reporting problems.
+func httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if id := obs.RequestID(r.Context()); id != "" {
+		msg += "\nrequest-id: " + id
+	}
+	http.Error(w, msg, code)
 }
 
 // operands parses the request's operand files and writes the appropriate
@@ -125,7 +154,7 @@ func (s *service) operands(w http.ResponseWriter, r *http.Request) ([]*core.Expe
 			strings.Contains(err.Error(), "request body too large") {
 			code = http.StatusRequestEntityTooLarge
 		}
-		httpError(w, code, "%v", err)
+		httpError(w, r, code, "%v", err)
 		return nil, false
 	}
 	return ops, true
@@ -191,7 +220,7 @@ func options(r *http.Request) (*core.Options, error) {
 // burning CPU on operators whose response will be discarded anyway.
 func ctxDone(w http.ResponseWriter, r *http.Request) bool {
 	if err := r.Context().Err(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+		httpError(w, r, http.StatusServiceUnavailable, "request cancelled: %v", err)
 		return true
 	}
 	return false
@@ -200,11 +229,12 @@ func ctxDone(w http.ResponseWriter, r *http.Request) bool {
 // writeExperiment encodes the result into a buffer first so a successful
 // status line always carries a complete document (and Content-Length);
 // encoding failures become a clean 500 instead of a corrupted 200.
-func (s *service) writeExperiment(w http.ResponseWriter, e *core.Experiment) {
+func (s *service) writeExperiment(w http.ResponseWriter, r *http.Request, e *core.Experiment) {
 	var buf bytes.Buffer
 	if err := cubexml.Write(&buf, e); err != nil {
-		s.logf("encoding result experiment %q: %v", e.Title, err)
-		httpError(w, http.StatusInternalServerError, "encoding result: %v", err)
+		s.logError(r.Context(), "encoding result experiment",
+			slog.String("title", e.Title), slog.Any("err", err))
+		httpError(w, r, http.StatusInternalServerError, "encoding result: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
@@ -216,7 +246,7 @@ func (s *service) handleOp(w http.ResponseWriter, r *http.Request) {
 	opName := r.PathValue("op")
 	opts, err := options(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	operands, ok := s.operands(w, r)
@@ -228,14 +258,14 @@ func (s *service) handleOp(w http.ResponseWriter, r *http.Request) {
 	}
 	binaryOnly := func() bool {
 		if len(operands) != 2 {
-			httpError(w, http.StatusBadRequest, "%s needs exactly 2 operands, got %d", opName, len(operands))
+			httpError(w, r, http.StatusBadRequest, "%s needs exactly 2 operands, got %d", opName, len(operands))
 			return false
 		}
 		return true
 	}
 	unaryOnly := func() bool {
 		if len(operands) != 1 {
-			httpError(w, http.StatusBadRequest, "%s needs exactly 1 operand, got %d", opName, len(operands))
+			httpError(w, r, http.StatusBadRequest, "%s needs exactly 1 operand, got %d", opName, len(operands))
 			return false
 		}
 		return true
@@ -274,22 +304,22 @@ func (s *service) handleOp(w http.ResponseWriter, r *http.Request) {
 		}
 		threshold, perr := strconv.ParseFloat(r.URL.Query().Get("threshold"), 64)
 		if perr != nil {
-			httpError(w, http.StatusBadRequest, "bad threshold: %v", perr)
+			httpError(w, r, http.StatusBadRequest, "bad threshold: %v", perr)
 			return
 		}
 		result, err = core.Prune(operands[0], r.URL.Query().Get("metric"), threshold)
 	default:
-		httpError(w, http.StatusNotFound, "unknown operation %q", opName)
+		httpError(w, r, http.StatusNotFound, "unknown operation %q", opName)
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		httpError(w, r, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	if ctxDone(w, r) {
 		return
 	}
-	s.writeExperiment(w, result)
+	s.writeExperiment(w, r, result)
 }
 
 func (s *service) handleView(w http.ResponseWriter, r *http.Request) {
@@ -298,7 +328,7 @@ func (s *service) handleView(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(operands) != 1 {
-		httpError(w, http.StatusBadRequest, "view needs exactly 1 operand")
+		httpError(w, r, http.StatusBadRequest, "view needs exactly 1 operand")
 		return
 	}
 	if ctxDone(w, r) {
@@ -308,7 +338,7 @@ func (s *service) handleView(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if r.URL.Query().Get("flat") == "1" {
 		if e, err = core.Flatten(e); err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			httpError(w, r, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
 	}
@@ -318,7 +348,7 @@ func (s *service) handleView(w http.ResponseWriter, r *http.Request) {
 			sel.Metric = e.FindMetricByName(name)
 		}
 		if sel.Metric == nil {
-			httpError(w, http.StatusBadRequest, "metric %q not found", name)
+			httpError(w, r, http.StatusBadRequest, "metric %q not found", name)
 			return
 		}
 	}
@@ -331,23 +361,23 @@ func (s *service) handleView(w http.ResponseWriter, r *http.Request) {
 	case "percent":
 		cfg.Mode = display.Percent
 	default:
-		httpError(w, http.StatusBadRequest, "unknown mode %q", mode)
+		httpError(w, r, http.StatusBadRequest, "unknown mode %q", mode)
 		return
 	}
 	out, err := display.RenderString(e, sel, cfg)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		httpError(w, r, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	if topStr := r.URL.Query().Get("top"); topStr != "" {
 		n, err := strconv.Atoi(topStr)
 		if err != nil || n <= 0 {
-			httpError(w, http.StatusBadRequest, "bad top parameter %q", topStr)
+			httpError(w, r, http.StatusBadRequest, "bad top parameter %q", topStr)
 			return
 		}
 		spots, err := display.HotspotsString(e, sel, cfg, n)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			httpError(w, r, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
 		out += "\n" + spots
@@ -362,7 +392,7 @@ func (s *service) handleInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(operands) > 2 {
-		httpError(w, http.StatusBadRequest, "info accepts 1 or 2 operands")
+		httpError(w, r, http.StatusBadRequest, "info accepts 1 or 2 operands")
 		return
 	}
 	var sb strings.Builder
@@ -376,7 +406,7 @@ func (s *service) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if len(operands) == 2 {
 		rep, err := core.StructuralDiff(operands[0], operands[1], nil)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			httpError(w, r, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
 		sb.WriteString(rep.Summary())
