@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-json check
+# Benchmark selection and output for bench-json. Override BENCH_OUT when
+# recording a run that must not clobber a committed baseline of the same
+# date, e.g. `make bench-json BENCH_OUT=BENCH_2026-08-06-kernel.json`.
+BENCH_PATTERN ?= .
+BENCH_OUT ?= BENCH_$(shell date +%F).json
+
+.PHONY: build test vet race bench bench-json bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -17,19 +23,24 @@ vet:
 
 # The race detector over the packages that exercise concurrency: the
 # server's limiter/timeout/shutdown paths, the retrying client, the
-# metrics registry, and the trace machinery probed by the fuzz-derived
-# robustness tests.
+# metrics registry, the trace machinery probed by the fuzz-derived
+# robustness tests, and the sharded severity kernels in internal/core.
 race:
-	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/... ./internal/obs/...
+	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/... ./internal/obs/... ./internal/core/...
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=$(BENCH_PATTERN) -benchmem -run=^$$ .
 
-# Machine-readable benchmark record (one file per day), covering the
-# root-package operator benchmarks and the instrumentation-overhead
-# benchmark in internal/core.
+# Machine-readable benchmark record (one file per day by default),
+# covering the root-package operator benchmarks and the
+# instrumentation-overhead benchmark in internal/core.
 bench-json:
-	$(GO) test -run='^$$' -bench=. -benchmem -json . ./internal/core > BENCH_$$(date +%F).json
-	@echo wrote BENCH_$$(date +%F).json
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -json . ./internal/core > $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
+
+# Quick CI-friendly sanity run: only the large 64x512x64 operator
+# benchmarks (kernel and legacy engines), one iteration set each.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='_64x512x64' -benchmem -benchtime=1x .
 
 check: vet build test race

@@ -231,6 +231,32 @@ func BenchmarkPrune_16x64x16(b *testing.B) {
 	}
 }
 
+// --- Engine ablation -------------------------------------------------------------
+
+// Legacy-engine companions of the kernel-path benchmarks above: the same
+// operand shapes driven through the original pointer-map walk
+// (core.EngineLegacy), so a single -bench run reports the kernel layer's
+// speedup directly.
+func BenchmarkDifferenceLegacy_64x512x64(b *testing.B) {
+	benchOp(b, 64, 512, 64, func(a, x *core.Experiment) (*core.Experiment, error) {
+		return core.Difference(a, x, &core.Options{Engine: core.EngineLegacy})
+	})
+}
+
+func BenchmarkMean8Legacy_16x64x16(b *testing.B) {
+	xs := make([]*core.Experiment, 8)
+	for i := range xs {
+		xs[i] = synthetic(16, 64, 16, i)
+	}
+	opts := &core.Options{Engine: core.EngineLegacy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Mean(opts, xs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablations -------------------------------------------------------------------
 
 // Call-tree matching ablation (DESIGN.md): the default callee-based

@@ -84,7 +84,7 @@ func (e *Experiment) Clone() *Experiment {
 	}
 
 	// Severity.
-	for k, v := range e.sev {
+	for k, v := range e.sevMap() {
 		nm, ok1 := mMap[k.m]
 		nc, ok2 := cMap[k.c]
 		nt, ok3 := tMap[k.t]

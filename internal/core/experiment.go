@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Experiment is a valid instance of the CUBE data model: metadata (a metric
@@ -53,6 +52,16 @@ type Experiment struct {
 	metricIndex map[*Metric]int
 	cnodeIndex  map[*CallNode]int
 	threadIndex map[*Thread]int
+
+	// Generation counters and the cached columnar lowering of the severity
+	// store (see kernel.go). sevGen advances on every severity mutation,
+	// metaGen on every enumeration rebuild; the lowered block is valid only
+	// while both match the generations it was built at.
+	sevGen         uint64
+	metaGen        uint64
+	lowered        *sevBlock
+	loweredSevGen  uint64
+	loweredMetaGen uint64
 }
 
 type sevKey struct {
@@ -78,6 +87,11 @@ func (e *Experiment) reindex() {
 	if !e.dirty {
 		return
 	}
+	// A lazily stored severity function (kernel result, sev == nil) lives
+	// only in the columnar block, whose indices reference the enumeration
+	// about to be rebuilt — materialise the pointer-keyed map first, while
+	// the old enumeration is still intact.
+	e.ensureSev()
 	e.metrics = e.metrics[:0]
 	e.cnodes = e.cnodes[:0]
 	e.procs = e.procs[:0]
@@ -109,6 +123,8 @@ func (e *Experiment) reindex() {
 		e.threadIndex[t] = i
 	}
 	e.dirty = false
+	// Enumeration indices changed, so any columnar lowering is stale.
+	e.metaGen++
 }
 
 // --- Metadata construction -------------------------------------------------
@@ -326,11 +342,42 @@ func (e *Experiment) FindThread(rank, id int) *Thread {
 
 // --- Severity function -----------------------------------------------------
 
+// ensureSev materialises the pointer-keyed severity map from the cached
+// columnar block. Kernel operators (kernel.go) leave their result in
+// columnar form only — the map is a view, built lazily on the first
+// map-based access. Callers that only stream severities (EachSeverity,
+// Fingerprint, further kernel operators) never pay for it.
+func (e *Experiment) ensureSev() {
+	if e.sev != nil {
+		return
+	}
+	b := e.lowered
+	if b == nil || e.loweredSevGen != e.sevGen || e.loweredMetaGen != e.metaGen {
+		// No columnar source (install always leaves a valid block, so this
+		// only happens on experiments that never held severities).
+		e.sev = map[sevKey]float64{}
+		return
+	}
+	e.sev = make(map[sevKey]float64, b.len())
+	for i, v := range b.val {
+		mi, ci, ti := b.at(i)
+		e.sev[sevKey{e.metrics[mi], e.cnodes[ci], e.threads[ti]}] = v
+	}
+}
+
+// sevMap returns the pointer-keyed severity map, materialising it first if a
+// kernel operator left the experiment in columnar-only form.
+func (e *Experiment) sevMap() map[sevKey]float64 {
+	e.ensureSev()
+	return e.sev
+}
+
 // Severity returns the accumulated value of metric m measured while thread t
 // was executing in call path c. Undefined tuples are zero. The stored value
 // is exclusive along both the metric tree and the call tree: it belongs to
 // exactly m (not m's descendants) at exactly c (not c's descendants).
 func (e *Experiment) Severity(m *Metric, c *CallNode, t *Thread) float64 {
+	e.ensureSev()
 	return e.sev[sevKey{m, c, t}]
 }
 
@@ -338,6 +385,8 @@ func (e *Experiment) Severity(m *Metric, c *CallNode, t *Thread) float64 {
 // negative (e.g. in difference experiments). Setting zero removes the tuple
 // from the underlying sparse store.
 func (e *Experiment) SetSeverity(m *Metric, c *CallNode, t *Thread, v float64) {
+	e.ensureSev()
+	e.sevGen++
 	k := sevKey{m, c, t}
 	if v == 0 {
 		delete(e.sev, k)
@@ -351,6 +400,8 @@ func (e *Experiment) AddSeverity(m *Metric, c *CallNode, t *Thread, v float64) {
 	if v == 0 {
 		return
 	}
+	e.ensureSev()
+	e.sevGen++
 	k := sevKey{m, c, t}
 	nv := e.sev[k] + v
 	if nv == 0 {
@@ -361,32 +412,23 @@ func (e *Experiment) AddSeverity(m *Metric, c *CallNode, t *Thread, v float64) {
 }
 
 // NonZeroCount returns the number of stored non-zero severity tuples.
-func (e *Experiment) NonZeroCount() int { return len(e.sev) }
+func (e *Experiment) NonZeroCount() int {
+	if e.sev == nil && e.lowered != nil && e.loweredSevGen == e.sevGen && e.loweredMetaGen == e.metaGen {
+		return e.lowered.len()
+	}
+	return len(e.sev)
+}
 
 // EachSeverity calls fn for every stored non-zero severity tuple in a
-// deterministic order (metric, call node, thread enumeration order).
+// deterministic order (metric, call node, thread enumeration order). The
+// iteration runs off the cached columnar lowering, so repeated traversals
+// cost no per-call sort. Tuples referencing unregistered metadata (possible
+// only on invalid experiments) are skipped.
 func (e *Experiment) EachSeverity(fn func(m *Metric, c *CallNode, t *Thread, v float64)) {
-	e.reindex()
-	type entry struct {
-		k sevKey
-		v float64
-	}
-	entries := make([]entry, 0, len(e.sev))
-	for k, v := range e.sev {
-		entries = append(entries, entry{k, v})
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		a, b := entries[i].k, entries[j].k
-		if e.metricIndex[a.m] != e.metricIndex[b.m] {
-			return e.metricIndex[a.m] < e.metricIndex[b.m]
-		}
-		if e.cnodeIndex[a.c] != e.cnodeIndex[b.c] {
-			return e.cnodeIndex[a.c] < e.cnodeIndex[b.c]
-		}
-		return e.threadIndex[a.t] < e.threadIndex[b.t]
-	})
-	for _, en := range entries {
-		fn(en.k.m, en.k.c, en.k.t, en.v)
+	b := e.loweredBlock()
+	for i, v := range b.val {
+		mi, ci, ti := b.at(i)
+		fn(e.metrics[mi], e.cnodes[ci], e.threads[ti], v)
 	}
 }
 
@@ -473,7 +515,7 @@ func (e *Experiment) Dense() *Dense {
 			d.Values[i][j] = flat[off : off+len(e.threads)]
 		}
 	}
-	for k, v := range e.sev {
+	for k, v := range e.sevMap() {
 		i, ok1 := e.metricIndex[k.m]
 		j, ok2 := e.cnodeIndex[k.c]
 		l, ok3 := e.threadIndex[k.t]
@@ -494,6 +536,7 @@ func (e *Experiment) SetDense(d *Dense) error {
 			len(d.Metrics), len(d.CallNodes), len(d.Threads),
 			len(e.metrics), len(e.cnodes), len(e.threads))
 	}
+	e.sevGen++
 	e.sev = make(map[sevKey]float64)
 	for i, m := range d.Metrics {
 		for j, c := range d.CallNodes {

@@ -47,9 +47,9 @@ func Flatten(x *Experiment) (*Experiment, error) {
 	}
 
 	// Re-route severities through the flattening before swapping forests.
-	newSev := make(map[sevKey]float64, len(x.sev))
+	newSev := make(map[sevKey]float64, x.NonZeroCount())
 	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
-	for k, v := range x.sev {
+	for k, v := range x.sevMap() {
 		nk := sevKey{mf[k.m], flatFor[cf[k.c]], tf[k.t]}
 		newSev[nk] += v
 	}
@@ -101,7 +101,7 @@ func ExtractMetrics(x *Experiment, paths ...string) (*Experiment, error) {
 
 	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
 	newSev := make(map[sevKey]float64)
-	for k, v := range x.sev {
+	for k, v := range x.sevMap() {
 		rm := mf[k.m]
 		if keep[rm] {
 			newSev[sevKey{rm, cf[k.c], tf[k.t]}] = v
@@ -140,7 +140,7 @@ func ExtractCallSubtree(x *Experiment, path string) (*Experiment, error) {
 
 	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
 	newSev := make(map[sevKey]float64)
-	for k, v := range x.sev {
+	for k, v := range x.sevMap() {
 		rc := cf[k.c]
 		if keep[rc] {
 			newSev[sevKey{mf[k.m], rc, tf[k.t]}] = v

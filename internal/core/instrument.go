@@ -67,7 +67,7 @@ func startOp(op string, operands []*Experiment) *opRecorder {
 	rec := &opRecorder{reg: reg, op: op, start: time.Now(), operands: len(operands)}
 	for _, x := range operands {
 		if x != nil {
-			rec.inCells += len(x.sev)
+			rec.inCells += x.NonZeroCount()
 		}
 	}
 	return rec
@@ -89,12 +89,55 @@ func (rec *opRecorder) done(out *Experiment) {
 	op := obs.L("op", rec.op)
 	rec.reg.Counter("cube_op_invocations_total", op).Inc()
 	rec.reg.Histogram("cube_op_duration_seconds", obs.DefLatencyBuckets, op).Observe(time.Since(rec.start).Seconds())
-	outCells := len(out.sev)
+	outCells := out.NonZeroCount()
 	rec.reg.Counter("cube_op_cells_total", op).Add(int64(outCells))
 	if rec.inCells > 0 {
 		ratio := float64(outCells*rec.operands) / float64(rec.inCells)
 		rec.reg.Histogram("cube_op_zero_fill_ratio", obs.DefRatioBuckets, op).Observe(ratio)
 	}
+}
+
+// Kernel-layer instrumentation (kernel.go). Each operator invocation on the
+// kernel engine additionally records:
+//
+//	cube_kernel_stage_seconds{stage}  wall time of lower/accumulate/materialize
+//	cube_kernel_shards_total          shards worked (with invocations: avg width)
+//	cube_kernel_tuples_total          operand tuples consumed by kernels
+//	cube_kernel_invocations_total     kernel plans executed
+//
+// Stage timers follow the same discipline as the operator metrics: with
+// instrumentation disabled the cost is one atomic pointer load per stage.
+
+// kernelStage carries one stage's start time; the zero reg means disabled.
+type kernelStage struct {
+	reg   *obs.Registry
+	start time.Time
+}
+
+func startKernelStage() kernelStage {
+	reg := opRegistry.Load()
+	if reg == nil {
+		return kernelStage{}
+	}
+	return kernelStage{reg: reg, start: time.Now()}
+}
+
+func (s kernelStage) done(stage string) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Histogram("cube_kernel_stage_seconds", obs.DefLatencyBuckets, obs.L("stage", stage)).Observe(time.Since(s.start).Seconds())
+}
+
+// recordKernelPlan publishes the shape of one kernel execution.
+func recordKernelPlan(p *kernelPlan) {
+	reg := opRegistry.Load()
+	if reg == nil {
+		return
+	}
+	reg.Counter("cube_kernel_invocations_total").Inc()
+	reg.Counter("cube_kernel_shards_total").Add(int64(p.shards))
+	reg.Counter("cube_kernel_tuples_total").Add(int64(p.total))
 }
 
 // recordIntegration publishes the metadata node-merge statistics of one

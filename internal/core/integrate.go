@@ -21,6 +21,36 @@ type Options struct {
 	// CollapsedMachine names the machine created when hierarchies are
 	// collapsed; defaults to "merged machine".
 	CollapsedMachine string
+	// Engine selects the severity-arithmetic implementation. The default
+	// (EngineAuto) runs the indexed kernel layer; EngineLegacy keeps the
+	// original pointer-map walk as a reference implementation (property
+	// tests assert both produce identical results).
+	Engine Engine
+	// Workers bounds the number of kernel shards worked concurrently;
+	// 0 means GOMAXPROCS. Results are identical for every worker count.
+	Workers int
+}
+
+// Engine names a severity-arithmetic implementation.
+type Engine int
+
+const (
+	// EngineAuto selects the kernel implementation, falling back to the
+	// legacy walk only when the integrated domain cannot be index-packed.
+	EngineAuto Engine = iota
+	// EngineKernel is the indexed, sharded kernel layer (kernel.go).
+	EngineKernel
+	// EngineLegacy is the original per-tuple pointer-map walk.
+	EngineLegacy
+)
+
+// useKernel reports whether operators should run on the kernel layer for
+// the integrated result out.
+func (o *Options) useKernel(out *Experiment) bool {
+	if o != nil && o.Engine == EngineLegacy {
+		return false
+	}
+	return kernelFeasible(out)
 }
 
 func (o *Options) orDefault() *Options {

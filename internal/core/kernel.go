@@ -1,0 +1,532 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// This file implements the indexed severity kernel layer: the arithmetic
+// core shared by all algebraic operators.
+//
+// The operators' element-wise semantics are defined over the *zero-extended*
+// severity functions on the integrated metadata. The naive realisation walks
+// each operand's sparse map and remaps every tuple through three
+// pointer-keyed maps (metricFrom/cnodeFrom/threadFrom) before touching a
+// pointer-keyed result map — four hash operations over 24-byte keys per
+// tuple. The kernel layer replaces that walk with three stages over flat
+// integer indices:
+//
+//  1. lower  — each operand's sparse map is lowered once into a columnar
+//     block: packed (metric, call node, thread) linear indices plus values,
+//     radix-sorted into the canonical pre-order. Blocks are cached on the
+//     experiment and invalidated by severity or metadata mutation, so
+//     repeated operator application over the same operands pays the pointer
+//     chasing only once.
+//  2. accumulate — per operand, a remap table ([]int32, source index →
+//     result index, built from the integration's cached index maps with one
+//     map lookup per metadata node instead of one per tuple) turns every
+//     block entry into a packed uint64 linear index of the result domain.
+//     Because block keys ascend, the (metric, call node) row component only
+//     changes every run of consecutive tuples; the kernels re-derive the
+//     row remap on row changes and reduce the per-tuple work to one table
+//     load and one fused multiply-add. Accumulation goes into either a
+//     dense []float64 (when the result domain is small enough relative to
+//     the tuple count) or a map[uint64]float64 — both far cheaper than a
+//     pointer-keyed map. Work is sharded by result (metric, call node) row
+//     across workers; shards partition the key space, so accumulators never
+//     need locks.
+//  3. materialize — the accumulated (key, value) pairs are radix-sorted
+//     into canonical order and become the result's severity store directly:
+//     the sorted block doubles as the result's lowered-block cache, so
+//     operator chains never re-lower, and the pointer-keyed sparse map is
+//     only materialised lazily if a map-based accessor is used
+//     (Experiment.ensureSev). Exact zeros are dropped, as SetSeverity and
+//     AddSeverity would.
+//
+// Because every per-key combination folds the collapsed contributions of
+// one operand first (in canonical source order) and then combines operands
+// in operand order, results are deterministic: the same operands and
+// options produce bit-identical results regardless of worker count or map
+// iteration order.
+
+// sevBlock is the columnar lowering of a sparse severity store: packed
+// linear indices (mi*nC + ci)*nT + ti in ascending order and their values,
+// where nC and nT are the owning experiment's enumeration sizes at build
+// time (clamped to ≥ 1 so the packing is invertible on empty dimensions).
+type sevBlock struct {
+	key    []uint64
+	val    []float64
+	nC, nT uint64
+}
+
+func (b *sevBlock) len() int { return len(b.val) }
+
+// at unpacks entry i into enumeration indices.
+func (b *sevBlock) at(i int) (mi, ci, ti int) {
+	k := b.key[i]
+	ti = int(k % b.nT)
+	rem := k / b.nT
+	return int(rem / b.nC), int(rem % b.nC), ti
+}
+
+// loweredBlock returns the experiment's severity function in columnar form,
+// building and caching it on first use. Tuples that refer to unregistered
+// metadata (possible only on invalid experiments) are skipped, matching
+// Dense. The cache is invalidated by any severity mutation (sevGen) and by
+// metadata re-enumeration (metaGen).
+func (e *Experiment) loweredBlock() *sevBlock {
+	e.reindex()
+	if e.lowered != nil && e.loweredSevGen == e.sevGen && e.loweredMetaGen == e.metaGen {
+		return e.lowered
+	}
+	nC, nT := uint64(len(e.cnodes)), uint64(len(e.threads))
+	if nC == 0 {
+		nC = 1
+	}
+	if nT == 0 {
+		nT = 1
+	}
+	sev := e.sevMap()
+	keys := make([]uint64, 0, len(sev))
+	vals := make([]float64, 0, len(sev))
+	for k, v := range sev {
+		mi, ok1 := e.metricIndex[k.m]
+		ci, ok2 := e.cnodeIndex[k.c]
+		ti, ok3 := e.threadIndex[k.t]
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		keys = append(keys, (uint64(mi)*nC+uint64(ci))*nT+uint64(ti))
+		vals = append(vals, v)
+	}
+	keys, vals = radixSortKV(keys, vals)
+	e.lowered = &sevBlock{key: keys, val: vals, nC: nC, nT: nT}
+	e.loweredSevGen = e.sevGen
+	e.loweredMetaGen = e.metaGen
+	if len(keys) == len(sev) {
+		// The block captures the map losslessly (no unregistered tuples
+		// were skipped), so the columnar form becomes the primary store:
+		// drop the pointer-keyed map — it is rebuilt on demand by
+		// ensureSev — and relieve the garbage collector of millions of
+		// pointer-bearing map entries on large experiments.
+		e.sev = nil
+	}
+	return e.lowered
+}
+
+// radixScratch pools the ping-pong buffers of radixSortKV; lowering several
+// operands (or chained operators) reuses one pair instead of allocating —
+// and, unlike fresh allocations, pooled buffers skip the runtime's zeroing.
+var radixScratch = sync.Pool{New: func() any { return &radixBufs{} }}
+
+type radixBufs struct {
+	k []uint64
+	v []float64
+}
+
+// radixSortKV sorts keys ascending (LSD radix, byte digits) keeping vals
+// parallel, and returns the sorted pair (which may be the pooled scratch
+// rather than the input slices — callers must use the return values). All
+// digit histograms are gathered in a single pre-pass; digit positions where
+// every key agrees are skipped, so small key spaces sort in two or three
+// scatter passes, ping-ponging between the input and the scratch buffers
+// with no copy-back.
+func radixSortKV(keys []uint64, vals []float64) ([]uint64, []float64) {
+	n := len(keys)
+	if n < 2 {
+		return keys, vals
+	}
+	var maxKey uint64
+	for _, k := range keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	passes := (bits.Len64(maxKey) + 7) / 8
+	if passes == 0 {
+		return keys, vals
+	}
+	var counts [8][257]int
+	for _, k := range keys {
+		for p := 0; p < passes; p++ {
+			counts[p][int(byte(k>>(8*p)))+1]++
+		}
+	}
+	bufs := radixScratch.Get().(*radixBufs)
+	if cap(bufs.k) < n {
+		bufs.k = make([]uint64, n)
+		bufs.v = make([]float64, n)
+	}
+	src, dst := keys, bufs.k[:n]
+	srcV, dstV := vals, bufs.v[:n]
+	for p := 0; p < passes; p++ {
+		shift := uint(8 * p)
+		count := &counts[p]
+		if count[int(byte(maxKey>>shift))+1] == n {
+			// All keys share this digit; the pass would be the identity.
+			continue
+		}
+		for i := 1; i < 257; i++ {
+			count[i] += count[i-1]
+		}
+		for i, k := range src {
+			d := byte(k >> shift)
+			dst[count[d]] = k
+			dstV[count[d]] = srcV[i]
+			count[d]++
+		}
+		src, dst = dst, src
+		srcV, dstV = dstV, srcV
+	}
+	// src now holds the sorted data; give the other pair back to the pool.
+	bufs.k, bufs.v = dst, dstV
+	radixScratch.Put(bufs)
+	return src, srcV
+}
+
+// remapTable maps each source enumeration index of one operand onto the
+// corresponding result enumeration index, for all three dimensions.
+type remapTable struct {
+	m, c, t []int32
+}
+
+// kernelPlan gathers everything the kernels need: the operands' lowered
+// blocks, per-operand remap tables, the result dimensions, and the worker
+// layout.
+type kernelPlan struct {
+	in     *integration
+	blocks []*sevBlock
+	maps   []remapTable
+	nC, nT uint64 // result dimensions used for packing (≥ 1)
+	cells  uint64 // total result cells, 0 when it would overflow
+	total  int    // total tuples across all operand blocks
+	shards int
+}
+
+// kernelFeasible reports whether the result domain fits the packed-index
+// representation (it always does for realistic metadata; the guard keeps
+// pathological dimensions on the legacy path rather than overflowing).
+func kernelFeasible(out *Experiment) bool {
+	out.reindex()
+	return bits.Len(uint(len(out.metrics)))+bits.Len(uint(len(out.cnodes)))+bits.Len(uint(len(out.threads))) <= 62
+}
+
+func newKernelPlan(in *integration, opts *Options, operands []*Experiment) *kernelPlan {
+	out := in.out
+	out.reindex()
+	p := &kernelPlan{
+		in:     in,
+		blocks: make([]*sevBlock, len(operands)),
+		maps:   make([]remapTable, len(operands)),
+		nC:     uint64(len(out.cnodes)),
+		nT:     uint64(len(out.threads)),
+	}
+	if p.nC == 0 {
+		p.nC = 1
+	}
+	if p.nT == 0 {
+		p.nT = 1
+	}
+	p.cells = uint64(len(out.metrics)) * p.nC * p.nT
+	stage := startKernelStage()
+	for i, x := range operands {
+		p.blocks[i] = x.loweredBlock()
+		p.total += p.blocks[i].len()
+		x.reindex()
+		rt := remapTable{
+			m: make([]int32, len(x.metrics)),
+			c: make([]int32, len(x.cnodes)),
+			t: make([]int32, len(x.threads)),
+		}
+		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
+		for si, sm := range x.metrics {
+			rt.m[si] = int32(out.metricIndex[mf[sm]])
+		}
+		for si, sc := range x.cnodes {
+			rt.c[si] = int32(out.cnodeIndex[cf[sc]])
+		}
+		for si, st := range x.threads {
+			rt.t[si] = int32(out.threadIndex[tf[st]])
+		}
+		p.maps[i] = rt
+	}
+	stage.done("lower")
+
+	workers := 0
+	if opts != nil {
+		workers = opts.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Shard by result (metric, call node) row. More shards than rows (or
+	// tuples) would only add scan passes.
+	rows := int(p.cells / p.nT)
+	if workers > rows {
+		workers = rows
+	}
+	if workers > p.total {
+		workers = p.total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p.shards = workers
+	recordKernelPlan(p)
+	return p
+}
+
+// shardOf returns the shard owning a packed result key. Keys of one result
+// (metric, call node) row always land in the same shard, so dense
+// accumulator rows are written by exactly one worker.
+func (p *kernelPlan) shardOf(key uint64) int {
+	return int((key / p.nT) % uint64(p.shards))
+}
+
+// parallel runs fn once per shard, concurrently when the plan has more than
+// one shard.
+func (p *kernelPlan) parallel(fn func(shard int)) {
+	if p.shards == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.shards)
+	for s := 0; s < p.shards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// denseOK decides between the dense accumulator (one float64 per result
+// cell) and the sparse map accumulator: dense wins when the result domain is
+// small in absolute terms and not vastly larger than the work to do.
+func (p *kernelPlan) denseOK() bool {
+	const maxDenseCells = 1 << 23 // 64 MiB of float64
+	return p.cells > 0 && p.cells <= maxDenseCells && p.cells <= 8*uint64(p.total)+1024
+}
+
+// blockRows drives the row-cached remapping of one operand block: it calls
+// row once per run of consecutive tuples sharing a source (metric, call
+// node) row — returning the packed result-row base (metric and call node
+// already remapped) and whether the run participates at all — and tuple for
+// every tuple of participating runs with the precomputed base, the source
+// thread index, and the value. Because block keys ascend, runs are maximal
+// and the per-tuple work stays free of divisions and metric/cnode loads.
+func blockRows(b *sevBlock, rt remapTable, p *kernelPlan,
+	row func(srcMetric int, rowBase uint64) bool,
+	tuple func(rowBase uint64, srcThread int32, v float64)) {
+	srcNC, srcNT := b.nC, b.nT
+	var rowStart, rowEnd, rowBase uint64
+	use := false
+	for j, v := range b.val {
+		k := b.key[j]
+		if k >= rowEnd {
+			r := k / srcNT
+			rowStart = r * srcNT
+			rowEnd = rowStart + srcNT
+			smi := r / srcNC
+			rowBase = (uint64(rt.m[smi])*p.nC + uint64(rt.c[r%srcNC])) * p.nT
+			use = row(int(smi), rowBase)
+		}
+		if use {
+			tuple(rowBase, int32(k-rowStart), v)
+		}
+	}
+}
+
+// kernelCombine computes the weighted sum of the operands' zero-extended
+// severity functions: result(key) = Σ_i weights[i] · folded_i(key), where
+// folded_i sums the collapsed contributions of operand i. keep, when
+// non-nil, restricts operand i to source metrics with keep[i][srcMetric]
+// (Merge's ownership rule); a nil inner slice admits every metric.
+func (p *kernelPlan) kernelCombine(weights []float64, keep [][]bool) {
+	stage := startKernelStage()
+	if p.denseOK() {
+		acc := make([]float64, p.cells)
+		p.parallel(func(shard int) {
+			for i, b := range p.blocks {
+				w := weights[i]
+				if w == 0 {
+					continue
+				}
+				var kp []bool
+				if keep != nil {
+					kp = keep[i]
+				}
+				rtT := p.maps[i].t
+				blockRows(b, p.maps[i], p,
+					func(smi int, rowBase uint64) bool {
+						if kp != nil && !kp[smi] {
+							return false
+						}
+						return p.shards == 1 || p.shardOf(rowBase) == shard
+					},
+					func(rowBase uint64, st int32, v float64) {
+						acc[rowBase+uint64(rtT[st])] += w * v
+					})
+			}
+		})
+		stage.done("accumulate")
+		stage = startKernelStage()
+		keys := make([]uint64, 0, p.total)
+		vals := make([]float64, 0, p.total)
+		for key, v := range acc {
+			if v != 0 {
+				keys = append(keys, uint64(key))
+				vals = append(vals, v)
+			}
+		}
+		p.install(keys, vals, true)
+		stage.done("materialize")
+		return
+	}
+	accs := make([]map[uint64]float64, p.shards)
+	p.parallel(func(shard int) {
+		acc := make(map[uint64]float64, p.total/p.shards+1)
+		for i, b := range p.blocks {
+			w := weights[i]
+			if w == 0 {
+				continue
+			}
+			var kp []bool
+			if keep != nil {
+				kp = keep[i]
+			}
+			rtT := p.maps[i].t
+			blockRows(b, p.maps[i], p,
+				func(smi int, rowBase uint64) bool {
+					if kp != nil && !kp[smi] {
+						return false
+					}
+					return p.shards == 1 || p.shardOf(rowBase) == shard
+				},
+				func(rowBase uint64, st int32, v float64) {
+					acc[rowBase+uint64(rtT[st])] += w * v
+				})
+		}
+		accs[shard] = acc
+	})
+	stage.done("accumulate")
+	stage = startKernelStage()
+	n := 0
+	for _, acc := range accs {
+		n += len(acc)
+	}
+	keys := make([]uint64, 0, n)
+	vals := make([]float64, 0, n)
+	for _, acc := range accs {
+		for key, v := range acc {
+			if v != 0 {
+				keys = append(keys, key)
+				vals = append(vals, v)
+			}
+		}
+	}
+	p.install(keys, vals, false)
+	stage.done("materialize")
+}
+
+// kernelFold computes, for every result key defined in at least one
+// operand, finish(folded) where folded[i] is the collapsed (summed)
+// contribution of operand i — zero when the operand does not define the key
+// (zero extension). finish must be pure; it receives a buffer owned by the
+// kernel, valid only for the duration of the call.
+func (p *kernelPlan) kernelFold(finish func(folded []float64) float64) {
+	stage := startKernelStage()
+	nOps := len(p.blocks)
+	type shardOut struct {
+		keys []uint64
+		vals []float64
+	}
+	outs := make([]shardOut, p.shards)
+	p.parallel(func(shard int) {
+		idx := make(map[uint64]int32, p.total/p.shards+1)
+		var keys []uint64
+		var arena []float64
+		zero := make([]float64, nOps)
+		for i, b := range p.blocks {
+			rtT := p.maps[i].t
+			blockRows(b, p.maps[i], p,
+				func(_ int, rowBase uint64) bool {
+					return p.shards == 1 || p.shardOf(rowBase) == shard
+				},
+				func(rowBase uint64, st int32, v float64) {
+					key := rowBase + uint64(rtT[st])
+					slot, ok := idx[key]
+					if !ok {
+						slot = int32(len(keys))
+						idx[key] = slot
+						keys = append(keys, key)
+						arena = append(arena, zero...)
+					}
+					arena[int(slot)*nOps+i] += v
+				})
+		}
+		// Finish per key, dropping exact-zero results (the store never
+		// holds zeros).
+		vals := make([]float64, 0, len(keys))
+		kept := keys[:0]
+		for s, key := range keys {
+			if v := finish(arena[s*nOps : (s+1)*nOps]); v != 0 {
+				kept = append(kept, key)
+				vals = append(vals, v)
+			}
+		}
+		outs[shard] = shardOut{kept, vals}
+	})
+	stage.done("accumulate")
+	stage = startKernelStage()
+	n := 0
+	for _, o := range outs {
+		n += len(o.keys)
+	}
+	keys := make([]uint64, 0, n)
+	vals := make([]float64, 0, n)
+	for _, o := range outs {
+		keys = append(keys, o.keys...)
+		vals = append(vals, o.vals...)
+	}
+	p.install(keys, vals, false)
+	stage.done("materialize")
+}
+
+// install writes the kernel output into the result's severity store, in
+// columnar form only: the sorted (key, value) pairs become the result's
+// lowered-block cache directly, so chained operators skip the lowering
+// stage, and the pointer-keyed sparse map is left unmaterialised —
+// Experiment.ensureSev builds it lazily if a map-based accessor is ever
+// used. Exact zeros were dropped by the accumulators, preserving the
+// zero-deletion invariant.
+func (p *kernelPlan) install(keys []uint64, vals []float64, sorted bool) {
+	if !sorted {
+		keys, vals = radixSortKV(keys, vals)
+	}
+	out := p.in.out
+	out.sevGen++
+	out.sev = nil // columnar-only until a map accessor materialises it
+	out.lowered = &sevBlock{key: keys, val: vals, nC: p.nC, nT: p.nT}
+	out.loweredSevGen = out.sevGen
+	out.loweredMetaGen = out.metaGen
+}
+
+// mergeKeep builds Merge's per-operand ownership masks over source metric
+// indices: operand i keeps a source metric exactly when it is the first
+// operand providing the integrated metric.
+func mergeKeep(in *integration, operands []*Experiment) [][]bool {
+	keep := make([][]bool, len(operands))
+	for i, x := range operands {
+		x.reindex()
+		k := make([]bool, len(x.metrics))
+		mf := in.metricFrom[i]
+		for si, sm := range x.metrics {
+			k[si] = in.metricSource[mf[sm]] == i
+		}
+		keep[i] = k
+	}
+	return keep
+}

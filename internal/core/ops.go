@@ -13,6 +13,24 @@ import (
 // domain, and finally applies an element-wise arithmetic operation. The
 // result is a complete — albeit derived — experiment, so operators compose
 // into arbitrary composite operations (closure).
+//
+// When integration collapses several source tuples of one operand onto the
+// same result tuple (e.g. the same rank appearing under two system nodes),
+// the operand's contribution to that tuple is the *sum* of the collapsed
+// values — the value its zero-extended severity function takes on the
+// integrated domain. Every operator, including StdDev, folds per operand
+// first and only then combines across operands.
+//
+// The arithmetic itself runs on the indexed kernel layer (kernel.go) by
+// default; Options.Engine == EngineLegacy selects the original pointer-map
+// walk, kept as an executable specification that property tests compare
+// against.
+//
+// Severity values are combined with IEEE-754 semantics: non-finite inputs
+// propagate (NaN in an operand yields NaN in the result, with no
+// cancellation in differences). Validate and the cubexml boundary reject
+// non-finite severities, so operators only meet them on experiments built
+// programmatically with out-of-policy values.
 
 func deriveProvenance(in *integration, op string, operands []*Experiment) {
 	out := in.out
@@ -34,12 +52,13 @@ func deriveProvenance(in *integration, op string, operands []*Experiment) {
 
 // presize replaces the result's severity store with one sized for the
 // operands' combined tuple count, avoiding incremental rehashing on large
-// experiments.
+// experiments (legacy engine; the kernel sizes its store exactly).
 func presize(out *Experiment, operands []*Experiment) {
 	est := 0
 	for _, x := range operands {
-		est += len(x.sev)
+		est += x.NonZeroCount()
 	}
+	out.sevGen++
 	out.sev = make(map[sevKey]float64, est)
 }
 
@@ -52,6 +71,17 @@ func linearCombine(op string, opts *Options, weights []float64, operands ...*Exp
 		rec.fail()
 		return nil, err
 	}
+	if opts.useKernel(in.out) {
+		newKernelPlan(in, opts, operands).kernelCombine(weights, nil)
+	} else {
+		legacyLinearCombine(in, weights, operands)
+	}
+	deriveProvenance(in, op, operands)
+	rec.done(in.out)
+	return in.out, nil
+}
+
+func legacyLinearCombine(in *integration, weights []float64, operands []*Experiment) {
 	presize(in.out, operands)
 	for i, x := range operands {
 		w := weights[i]
@@ -59,13 +89,10 @@ func linearCombine(op string, opts *Options, weights []float64, operands ...*Exp
 			continue
 		}
 		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
-		for k, v := range x.sev {
+		for k, v := range x.sevMap() {
 			in.out.AddSeverity(mf[k.m], cf[k.c], tf[k.t], w*v)
 		}
 	}
-	deriveProvenance(in, op, operands)
-	rec.done(in.out)
-	return in.out, nil
 }
 
 // Difference computes a derived experiment whose severity function is the
@@ -145,10 +172,25 @@ func MergeAll(opts *Options, operands ...*Experiment) (*Experiment, error) {
 		rec.fail()
 		return nil, err
 	}
+	if opts.useKernel(in.out) {
+		w := make([]float64, len(operands))
+		for i := range w {
+			w[i] = 1
+		}
+		newKernelPlan(in, opts, operands).kernelCombine(w, mergeKeep(in, operands))
+	} else {
+		legacyMerge(in, operands)
+	}
+	deriveProvenance(in, "merge", operands)
+	rec.done(in.out)
+	return in.out, nil
+}
+
+func legacyMerge(in *integration, operands []*Experiment) {
 	presize(in.out, operands)
 	for i, x := range operands {
 		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
-		for k, v := range x.sev {
+		for k, v := range x.sevMap() {
 			rm := mf[k.m]
 			// The merge rule operates at metric granularity: the operand
 			// that provides a metric first owns all of its values.
@@ -158,9 +200,6 @@ func MergeAll(opts *Options, operands ...*Experiment) (*Experiment, error) {
 			in.out.AddSeverity(rm, cf[k.c], tf[k.t], v)
 		}
 	}
-	deriveProvenance(in, "merge", operands)
-	rec.done(in.out)
-	return in.out, nil
 }
 
 // Min computes the element-wise minimum over the operands' zero-extended
@@ -203,33 +242,23 @@ func StdDev(opts *Options, operands ...*Experiment) (*Experiment, error) {
 		rec.fail()
 		return nil, err
 	}
-	presize(in.out, operands)
-	type acc struct {
-		sum, sumsq float64
-		// count of operands contributing non-zero is irrelevant: zero
-		// extension means absent tuples contribute 0 to both sums.
-	}
-	tuples := map[sevKey]*acc{}
-	for i, x := range operands {
-		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
-		for k, v := range x.sev {
-			rk := sevKey{mf[k.m], cf[k.c], tf[k.t]}
-			a := tuples[rk]
-			if a == nil {
-				a = &acc{}
-				tuples[rk] = a
-			}
-			a.sum += v
-			a.sumsq += v * v
-		}
-	}
 	n := float64(len(operands))
-	for rk, a := range tuples {
-		variance := (a.sumsq - a.sum*a.sum/n) / (n - 1)
+	stddev := func(folded []float64) float64 {
+		var sum, sumsq float64
+		for _, y := range folded {
+			sum += y
+			sumsq += y * y
+		}
+		variance := (sumsq - sum*sum/n) / (n - 1)
 		if variance < 0 {
 			variance = 0 // numerical noise
 		}
-		in.out.SetSeverity(rk.m, rk.c, rk.t, math.Sqrt(variance))
+		return math.Sqrt(variance)
+	}
+	if opts.useKernel(in.out) {
+		newKernelPlan(in, opts, operands).kernelFold(stddev)
+	} else {
+		legacyFold(in, operands, stddev)
 	}
 	deriveProvenance(in, "stddev", operands)
 	rec.done(in.out)
@@ -250,34 +279,50 @@ func foldCombine(op string, opts *Options, fold func(acc, v float64) float64, op
 		rec.fail()
 		return nil, err
 	}
+	finish := func(folded []float64) float64 {
+		acc := folded[0]
+		for _, v := range folded[1:] {
+			acc = fold(acc, v)
+		}
+		return acc
+	}
+	if opts.useKernel(in.out) {
+		newKernelPlan(in, opts, operands).kernelFold(finish)
+	} else {
+		legacyFold(in, operands, finish)
+	}
+	deriveProvenance(in, op, operands)
+	rec.done(in.out)
+	return in.out, nil
+}
+
+// legacyFold is the reference implementation behind foldCombine and StdDev:
+// it collects, per result tuple, the folded (collapse-summed) value of every
+// operand and applies finish to the per-operand vector.
+func legacyFold(in *integration, operands []*Experiment, finish func(folded []float64) float64) {
 	presize(in.out, operands)
-	// Collect the per-operand value of every tuple that is non-zero in at
-	// least one operand; all other tuples are zero in every operand and
-	// fold to zero for min/max.
 	type vec struct {
 		vals []float64
 	}
 	tuples := map[sevKey]*vec{}
 	for i, x := range operands {
 		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
-		for k, v := range x.sev {
+		for k, v := range x.sevMap() {
 			rk := sevKey{mf[k.m], cf[k.c], tf[k.t]}
 			tv, ok := tuples[rk]
 			if !ok {
 				tv = &vec{vals: make([]float64, len(operands))}
 				tuples[rk] = tv
 			}
+			// Collapsed source tuples of one operand sum into a single
+			// zero-extended value before the element-wise operation sees
+			// them. (StdDev's former per-source-tuple accumulation got
+			// this wrong: two collapsed values v1, v2 contributed
+			// v1²+v2² instead of (v1+v2)² to the sum of squares.)
 			tv.vals[i] += v
 		}
 	}
 	for rk, tv := range tuples {
-		acc := tv.vals[0]
-		for _, v := range tv.vals[1:] {
-			acc = fold(acc, v)
-		}
-		in.out.SetSeverity(rk.m, rk.c, rk.t, acc)
+		in.out.SetSeverity(rk.m, rk.c, rk.t, finish(tv.vals))
 	}
-	deriveProvenance(in, op, operands)
-	rec.done(in.out)
-	return in.out, nil
 }

@@ -391,3 +391,50 @@ func TestDeriveTitleTruncation(t *testing.T) {
 		t.Errorf("title = %q, want %q", m.Title, want)
 	}
 }
+
+// TestStdDevSystemCollapseRegression pins StdDev's collapse semantics: when
+// integration maps several source tuples of one operand onto the same result
+// tuple (here the same (rank, thread id) under two system nodes), the
+// operand's zero-extended value is their *sum*, and the deviation is taken
+// over the per-operand folded values. A former implementation accumulated
+// sum and sum-of-squares per source tuple, contributing v1²+v2² instead of
+// (v1+v2)² to the sum of squares; for this fixture that yields
+// variance (21 − 49/2)/1 = −3.5, clamped to 0 — a silent zero instead of
+// the correct √0.5.
+func TestStdDevSystemCollapseRegression(t *testing.T) {
+	build := func() (*Experiment, *Experiment) {
+		a := New("a")
+		ma := a.NewMetric("Time", Seconds, "")
+		ca := a.NewCallRoot(a.NewCallSite("app", 0, a.NewRegion("main", "app", 0, 0)))
+		mach := a.NewMachine("mach")
+		// The same (rank 0, thread 0) identifier under two nodes: both
+		// source threads integrate onto one result thread.
+		t1 := mach.NewNode("n1").NewProcess(0, "p0").NewThread(0, "")
+		t2 := mach.NewNode("n2").NewProcess(0, "p0").NewThread(0, "")
+		a.Invalidate()
+		a.SetSeverity(ma, ca, t1, 1)
+		a.SetSeverity(ma, ca, t2, 2)
+
+		b := New("b")
+		mb := b.NewMetric("Time", Seconds, "")
+		cb := b.NewCallRoot(b.NewCallSite("app", 0, b.NewRegion("main", "app", 0, 0)))
+		tb := b.SingleThreadedSystem("mach", 1, 1)[0]
+		b.SetSeverity(mb, cb, tb, 4)
+		return a, b
+	}
+	// Folded operand values at the single result tuple: 1+2 = 3 and 4.
+	want := math.Sqrt(0.5) // mean 3.5, sample variance ((−.5)²+(.5)²)/1
+	for _, engine := range []Engine{EngineKernel, EngineLegacy} {
+		a, b := build()
+		sd, err := StdDev(&Options{Engine: engine}, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sev(sd, "Time", "main", 0); math.Abs(got-want) > 1e-12 {
+			t.Errorf("engine %v: collapsed stddev = %v, want %v", engine, got, want)
+		}
+		if err := sd.Validate(); err != nil {
+			t.Errorf("engine %v: result invalid: %v", engine, err)
+		}
+	}
+}

@@ -36,7 +36,7 @@ func Prune(x *Experiment, metricPath string, threshold float64) (*Experiment, er
 	// inclusive values can be computed on out.
 	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
 	presize(out, []*Experiment{x})
-	for k, v := range x.sev {
+	for k, v := range x.sevMap() {
 		out.AddSeverity(mf[k.m], cf[k.c], tf[k.t], v)
 	}
 
@@ -86,7 +86,7 @@ func Prune(x *Experiment, metricPath string, threshold float64) (*Experiment, er
 
 	// Re-attribute severities of collapsed nodes.
 	moves := map[sevKey]float64{}
-	for k, v := range out.sev {
+	for k, v := range out.sevMap() {
 		if tgt := target[k.c]; tgt != nil {
 			moves[k] = v
 		}

@@ -333,3 +333,44 @@ func TestQuickCloneFaithful(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: the kernel engine and the legacy reference walk are
+// observationally identical — for every operator, system-integration mode,
+// and worker count, the results carry the same fingerprint. Severities are
+// dyadic (see randomExperiment), so all sums are exact and fingerprint
+// equality is the right notion of sameness. Runs under -race, which also
+// exercises the sharded workers for data races.
+func TestQuickEngineEquivalence(t *testing.T) {
+	systems := []SystemMode{SystemAuto, SystemCollapse, SystemCopyFirst}
+	workerCounts := []int{1, 2, 4}
+	f := func(seedA, seedB int64, sysRaw, wRaw uint8) bool {
+		a := randomExperiment(rand.New(rand.NewSource(seedA)), "a")
+		b := randomExperiment(rand.New(rand.NewSource(seedB)), "b")
+		sys := systems[int(sysRaw)%len(systems)]
+		kernel := &Options{System: sys, Engine: EngineKernel, Workers: workerCounts[int(wRaw)%len(workerCounts)]}
+		legacy := &Options{System: sys, Engine: EngineLegacy}
+		ops := []func(o *Options) (*Experiment, error){
+			func(o *Options) (*Experiment, error) { return Difference(a, b, o) },
+			func(o *Options) (*Experiment, error) { return Sum(o, a, b) },
+			func(o *Options) (*Experiment, error) { return Mean(o, a, b) },
+			func(o *Options) (*Experiment, error) { return Merge(a, b, o) },
+			func(o *Options) (*Experiment, error) { return Min(o, a, b) },
+			func(o *Options) (*Experiment, error) { return Max(o, a, b) },
+			func(o *Options) (*Experiment, error) { return StdDev(o, a, b) },
+		}
+		for _, op := range ops {
+			k, errK := op(kernel)
+			l, errL := op(legacy)
+			if errK != nil || errL != nil {
+				return false
+			}
+			if k.Fingerprint() != l.Fingerprint() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

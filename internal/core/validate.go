@@ -160,7 +160,7 @@ func (e *Experiment) Validate() error {
 
 	// Severity function.
 	e.reindex()
-	for k, v := range e.sev {
+	for k, v := range e.sevMap() {
 		if _, ok := e.metricIndex[k.m]; !ok {
 			return invalid("severity", "severity refers to unregistered metric %q", k.m.Name)
 		}

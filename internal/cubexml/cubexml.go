@@ -280,6 +280,13 @@ func write(w io.Writer, e *core.Experiment) error {
 			sb.Reset()
 			for ti, t := range threads {
 				v := e.Severity(m, c, t)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					// The format carries no non-finite policy; reject at
+					// the boundary rather than emit a file other readers
+					// choke on (mirrors the check in decodeDoc).
+					return fmt.Errorf("cubexml: severity of metric %q at %q is %v; refusing to encode non-finite values",
+						m.Name, c.Path(), v)
+				}
 				if v != 0 {
 					nonZero = true
 				}
@@ -610,6 +617,14 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 				v, err := strconv.ParseFloat(f, 64)
 				if err != nil {
 					return nil, fmt.Errorf("cubexml: bad severity value %q: %w", f, err)
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					// Reject non-finite severities right at the parse
+					// boundary: Validate would catch them too, but only
+					// after the whole document is decoded, and with a less
+					// precise location.
+					return nil, fmt.Errorf("cubexml: non-finite severity %q for metric %d, call node %d, thread %d",
+						f, mx.Metric, row.CNode, ti)
 				}
 				e.SetSeverity(m, c, threads[ti], v)
 			}

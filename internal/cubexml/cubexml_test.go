@@ -343,3 +343,72 @@ func TestWriteToBrokenWriter(t *testing.T) {
 type failingWriter struct{}
 
 func (failingWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }
+
+// TestFormatValueBoundaries pins the integer/float switchover in
+// formatValue: values at and around the ±1e15 threshold, near-integer
+// values, and extreme magnitudes must all re-parse to the exact bits that
+// were written.
+func TestFormatValueBoundaries(t *testing.T) {
+	cases := []float64{
+		1e15, -1e15, // first values on the FormatFloat side of the switch
+		1e15 - 1, -(1e15 - 1), // last values formatted as integers
+		1e15 + 2, -(1e15 + 2),
+		999999999999999.5, // fractional just below the threshold
+		1 << 52, -(1 << 52),
+		0.1 + 0.2, 1.0000000000000002, -0.5, 0.0625,
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	for _, v := range cases {
+		s := formatValue(v)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("formatValue(%v) = %q does not parse: %v", v, s, err)
+		}
+		if back != v {
+			t.Errorf("formatValue(%v) = %q re-parses to %v", v, s, back)
+		}
+	}
+}
+
+// TestSeverityBoundaryRoundTrip drives the formatValue boundaries through a
+// full write-read cycle.
+func TestSeverityBoundaryRoundTrip(t *testing.T) {
+	for _, v := range []float64{1e15, -(1e15 - 1), 1e15 + 2, 999999999999999.5, 0.1 + 0.2} {
+		e := sample()
+		e.SetSeverity(e.Metrics()[0], e.CallNodes()[0], e.Threads()[0], v)
+		back, err := Read(strings.NewReader(bufString(e, t)))
+		if err != nil {
+			t.Fatalf("v=%v: %v", v, err)
+		}
+		if got := back.Severity(back.Metrics()[0], back.CallNodes()[0], back.Threads()[0]); got != v {
+			t.Errorf("severity %v round-tripped to %v", v, got)
+		}
+	}
+}
+
+// TestNonFiniteSeverityRejected pins the boundary policy for non-finite
+// severities: the writer refuses to encode them and the reader refuses to
+// decode them — inside the core algebra they propagate with IEEE-754
+// semantics, but they never cross the file format.
+func TestNonFiniteSeverityRejected(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		e := sample()
+		e.SetSeverity(e.Metrics()[0], e.CallNodes()[0], e.Threads()[0], v)
+		var buf bytes.Buffer
+		if err := Write(&buf, e); err == nil {
+			t.Errorf("severity %v encoded without error", v)
+		}
+	}
+	// Read side: patch a well-formed document's severity text.
+	for _, bad := range []string{"NaN", "Inf", "-Inf", "+Inf"} {
+		doc := strings.Replace(bufString(sample(), t), ">0.25 0.25", ">"+bad+" 0.25", 1)
+		if !strings.Contains(doc, bad+" 0.25") {
+			t.Fatalf("fixture did not contain the expected severity row")
+		}
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("document with severity %q accepted", bad)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("severity %q rejected with unrelated error: %v", bad, err)
+		}
+	}
+}

@@ -15,6 +15,24 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.String())
+	// Severities at the formatValue integer/float switchover (±1e15) and
+	// near-integer values, plus non-finite text the reader must reject
+	// without panicking.
+	for _, v := range []float64{1e15, -(1e15 - 1), 1e15 + 2, 999999999999999.5, 0.1 + 0.2} {
+		e := sample()
+		e.SetSeverity(e.Metrics()[0], e.CallNodes()[0], e.Threads()[0], v)
+		buf.Reset()
+		if err := Write(&buf, e); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	buf.Reset()
+	if err := Write(&buf, sample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(strings.Replace(buf.String(), ">0.25 0.25", ">NaN 0.25", 1))
+	f.Add(strings.Replace(buf.String(), ">0.25 0.25", ">-Inf 0.25", 1))
 	f.Add(`<cube version="cube-go-1.0"></cube>`)
 	f.Add(`<cube version="cube-go-1.0"><metrics><metric id="0"><name>T</name><uom>sec</uom></metric></metrics></cube>`)
 	f.Add("garbage")
