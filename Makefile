@@ -10,7 +10,7 @@ GO ?= go
 BENCH_PATTERN ?= .
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 
-.PHONY: build test vet race bench bench-json bench-smoke check
+.PHONY: build test vet race bench bench-json bench-smoke trace-smoke check
 
 build:
 	$(GO) build ./...
@@ -42,5 +42,18 @@ bench-json:
 # benchmarks (kernel and legacy engines), one iteration set each.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='_64x512x64' -benchmem -benchtime=1x .
+
+# End-to-end tracing smoke: generate two experiments, diff them with
+# -trace, and assert the export is valid Chrome trace-event JSON carrying
+# the operator span taxonomy (the same checks as TestCLITraceExport, but
+# via the installed binaries — suitable for CI on a built tree).
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp ./cmd/cube-gen ./cmd/cube-diff && \
+	$$tmp/cube-gen -app pescan -barriers -seed 1 -o $$tmp/before.cube && \
+	$$tmp/cube-gen -app pescan -seed 9 -o $$tmp/after.cube && \
+	$$tmp/cube-diff -trace $$tmp/trace.json -o $$tmp/diff.cube $$tmp/before.cube $$tmp/after.cube && \
+	$(GO) run ./internal/cli/tracecheck $$tmp/trace.json && \
+	echo trace-smoke: ok
 
 check: vet build test race

@@ -4,6 +4,7 @@
 package cube_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -243,5 +244,43 @@ func TestCLIRepro(t *testing.T) {
 	out = run(t, dir, "cube-repro", "-tracesize")
 	if !strings.Contains(out, "CONE call-graph profile") {
 		t.Errorf("cube-repro tracesize output:\n%s", out)
+	}
+}
+
+// TestCLITraceExport: -trace writes the run's span trees as valid Chrome
+// trace-event JSON, spanning the operator down to its kernel stages.
+func TestCLITraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	run(t, dir, "cube-gen", "-app", "pescan", "-barriers", "-seed", "1", "-o", "before.cube")
+	run(t, dir, "cube-gen", "-app", "pescan", "-seed", "9", "-o", "after.cube")
+	run(t, dir, "cube-diff", "-trace", "trace.json", "-o", "diff.cube", "before.cube", "after.cube")
+
+	data, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace output is not valid trace-event JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name]++
+		}
+	}
+	for _, want := range []string{"op.difference", "integrate", "lower", "kernel", "materialize"} {
+		if names[want] == 0 {
+			t.Errorf("trace lacks %q events; got %v", want, names)
+		}
 	}
 }

@@ -146,15 +146,30 @@ func endpointLabel(path string) string {
 
 // do performs one HTTP call with the retry policy. body may be nil (GET);
 // it is replayed from memory on each attempt.
+//
+// Every call carries an X-Request-ID — a sanitized caller-supplied ID from
+// the context, or a freshly minted one — held stable across retries, so all
+// attempts of one logical call correlate to a single server-side trace.
+// When a tracer is active (obs.SetTracer, or a caller span on ctx) the call
+// records a span tree: one span per attempt plus one per backoff sleep.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (result []byte, callErr error) {
+	id := obs.SanitizeRequestID(obs.RequestID(ctx))
+	if id == "" {
+		id = obs.NewRequestID()
+		ctx = obs.WithRequestID(ctx, id)
+	}
+	sp, ctx := obs.StartSpanContext(ctx, "client."+endpointLabel(path))
+	sp.SetAttr("method", method)
 	ep := obs.L("endpoint", endpointLabel(path))
 	start := time.Now()
 	defer func() {
 		c.reg.Histogram("cube_client_request_duration_seconds", obs.DefLatencyBuckets, ep).
-			Observe(time.Since(start).Seconds())
+			ObserveExemplar(time.Since(start).Seconds(), sp.TraceID())
 		if callErr != nil {
 			c.reg.Counter("cube_client_errors_total", ep).Inc()
+			sp.SetAttr("error", true)
 		}
+		sp.End()
 	}()
 	var last error
 	for attempt := 0; ; attempt++ {
@@ -170,19 +185,28 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if err != nil {
 			return nil, err
 		}
+		req.Header.Set("X-Request-ID", id)
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		asp := sp.StartChild("attempt")
+		asp.SetAttr("attempt", attempt)
 		delay := time.Duration(-1)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
+				asp.SetAttr("error", ctx.Err().Error())
+				asp.End()
 				return nil, ctx.Err()
 			}
 			last = err // transport error: retryable
+			asp.SetAttr("error", err.Error())
+			asp.End()
 		} else {
+			asp.SetAttr("status", resp.StatusCode)
 			data, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
+			asp.End()
 			switch {
 			case rerr != nil:
 				last = rerr // truncated response: retryable
@@ -207,12 +231,16 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		}
 		c.reg.Histogram("cube_client_backoff_seconds", obs.DefLatencyBuckets, ep).
 			Observe(delay.Seconds())
+		bsp := sp.StartChild("backoff")
+		bsp.SetAttr("delay_ms", float64(delay)/float64(time.Millisecond))
 		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
 			t.Stop()
+			bsp.End()
 			return nil, ctx.Err()
 		case <-t.C:
+			bsp.End()
 		}
 	}
 }

@@ -1,0 +1,129 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cube/internal/obs"
+)
+
+// TestStableRequestIDAcrossRetries: all attempts of one logical call carry
+// the same X-Request-ID, so they correlate to a single server-side trace.
+func TestStableRequestIDAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var ids []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get("X-Request-ID"))
+		n := len(ids)
+		mu.Unlock()
+		if n < 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithBackoff(time.Millisecond, 2*time.Millisecond), WithMetrics(nil))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ids) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(ids))
+	}
+	if ids[0] == "" {
+		t.Fatal("client sent no X-Request-ID")
+	}
+	for i, id := range ids {
+		if id != ids[0] {
+			t.Errorf("attempt %d sent ID %q, first attempt sent %q", i, id, ids[0])
+		}
+	}
+}
+
+// TestCallerRequestIDPropagated: a sanitized caller-supplied request ID on
+// the context becomes the wire ID (and trace ID) verbatim.
+func TestCallerRequestIDPropagated(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get("X-Request-ID")
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithMetrics(nil))
+	ctx := obs.WithRequestID(context.Background(), "caller-chosen-7")
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got != "caller-chosen-7" {
+		t.Errorf("wire X-Request-ID = %q, want caller-chosen-7", got)
+	}
+}
+
+// TestClientCallSpans: with a process tracer installed, one call that
+// retries twice yields one trace: a client span with three attempt
+// children (status/error attrs) and two backoff children.
+func TestClientCallSpans(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 3 {
+			http.Error(w, "saturated", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	tr := obs.NewTracer(obs.TracerOptions{SampleRate: 1})
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+
+	c := New(srv.URL, WithBackoff(time.Millisecond, 2*time.Millisecond), WithMetrics(nil))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	root := traces[0].Root()
+	if root.Name() != "client./healthz" {
+		t.Fatalf("root span = %q, want client./healthz", root.Name())
+	}
+	var attempts, backoffs int
+	for _, child := range root.Children() {
+		switch child.Name() {
+		case "attempt":
+			attempts++
+		case "backoff":
+			backoffs++
+		default:
+			t.Errorf("unexpected child span %q", child.Name())
+		}
+	}
+	if attempts != 3 || backoffs != 2 {
+		t.Errorf("got %d attempt / %d backoff spans, want 3 / 2", attempts, backoffs)
+	}
+	// Attempts are ordered and numbered; failures carry the status.
+	kids := root.Children()
+	firstAttempt := kids[0]
+	sawStatus := false
+	for _, a := range firstAttempt.Attrs() {
+		if a.Key == "status" && a.Value == http.StatusTooManyRequests {
+			sawStatus = true
+		}
+	}
+	if !sawStatus {
+		t.Errorf("first attempt span lacks status=429 attr: %v", firstAttempt.Attrs())
+	}
+}

@@ -4,6 +4,10 @@
 //
 // The result is a complete derived experiment (closure property) that can
 // be viewed with cube-view or fed into further operations.
+//
+// The shared profiling flags apply (-cpuprofile, -memprofile, -stats);
+// -trace out.json additionally records every operator invocation's span
+// tree as Chrome trace-event JSON for Perfetto / chrome://tracing.
 package main
 
 import (

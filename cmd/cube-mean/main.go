@@ -3,6 +3,9 @@
 // summarising across a range of execution parameters:
 //
 //	cube-mean [flags] run1.cube run2.cube [run3.cube ...]
+//
+// The shared profiling flags apply (-cpuprofile, -memprofile, -stats,
+// -trace out.json for Chrome trace-event span trees).
 package main
 
 import (

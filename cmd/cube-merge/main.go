@@ -5,6 +5,9 @@
 //
 // Metrics provided by several operands are taken from the first one that
 // provides them.
+//
+// The shared profiling flags apply (-cpuprofile, -memprofile, -stats,
+// -trace out.json for Chrome trace-event span trees).
 package main
 
 import (

@@ -8,6 +8,9 @@
 //
 // With -outdir the underlying experiments are additionally written as CUBE
 // XML files for inspection with cube-view.
+//
+// The shared profiling flags apply (-cpuprofile, -memprofile, -stats,
+// -trace out.json for Chrome trace-event span trees).
 package main
 
 import (

@@ -21,6 +21,13 @@
 // JSON plus memstats; -pprof additionally mounts /debug/pprof/*. Logs are
 // structured (-log-format text|json) and every line carries the request ID
 // that is also echoed in the X-Request-ID response header.
+//
+// Tracing: -trace-sample 0.1 records span trees (request → operator →
+// kernel shards) for a tenth of requests; -trace-slow 2s additionally
+// keeps and logs every request slower than two seconds. Retained traces
+// are listed at GET /debug/traces and served as Chrome trace-event JSON
+// (or ?format=tree text) at GET /debug/traces/{id}, keyed by the
+// request's X-Request-ID.
 package main
 
 import (
@@ -52,8 +59,13 @@ func main() {
 	flag.DurationVar(&cfg.IdleTimeout, "idle-timeout", cfg.IdleTimeout, "keep-alive idle connection timeout")
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "grace period for in-flight requests on shutdown")
 	flag.BoolVar(&cfg.EnablePprof, "pprof", false, "expose /debug/pprof/* profiling endpoints")
+	flag.Float64Var(&cfg.TraceSampleRate, "trace-sample", 0, "fraction of requests to trace [0, 1]; enables /debug/traces")
+	flag.DurationVar(&cfg.TraceSlow, "trace-slow", 0, "also trace and log every request at least this slow (0 = off)")
 	logFormat := flag.String("log-format", "text", "structured log format: text | json")
 	flag.Parse()
+	if err := cfg.Validate(); err != nil {
+		cli.Fatal("cube-server", err)
+	}
 
 	var handler slog.Handler
 	switch *logFormat {

@@ -17,18 +17,23 @@ import (
 //	-cpuprofile file   write a CPU profile (go tool pprof format)
 //	-memprofile file   write a heap profile on exit
 //	-stats             dump operator/codec metrics to stderr on exit
+//	-trace file        write span traces as Chrome trace-event JSON on exit
 //
 // Register the flags with NewProfile before flag.Parse, then call Start
 // after it and the returned stop function on the success path. -stats
 // points core.Instrument and cubexml.Instrument at obs.Default, so the
 // dump shows exactly what the algebra did: operator invocations and wall
 // time, severity cells produced, zero-fill expansion, and XML bytes
-// parsed/written.
+// parsed/written. -trace installs a process-wide always-sample tracer and
+// exports every operator invocation's span tree (integrate, per-operand
+// lower, per-shard kernel, materialize) to the file; load it into
+// Perfetto or chrome://tracing.
 type Profile struct {
-	cpu, mem *string
-	stats    *bool
-	cpuFile  *os.File
-	tool     string
+	cpu, mem, trace *string
+	stats           *bool
+	cpuFile         *os.File
+	tracer          *obs.Tracer
+	tool            string
 }
 
 // NewProfile registers the profiling flags on fs (flag.CommandLine when
@@ -41,6 +46,7 @@ func NewProfile(fs *flag.FlagSet) *Profile {
 	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 	p.mem = fs.String("memprofile", "", "write a heap profile to `file` on exit")
 	p.stats = fs.Bool("stats", false, "dump operator/codec metrics to stderr on exit")
+	p.trace = fs.String("trace", "", "write span traces as Chrome trace-event JSON to `file`")
 	return p
 }
 
@@ -54,6 +60,13 @@ func (p *Profile) Start(tool string) (stop func(), err error) {
 	if *p.stats {
 		core.Instrument(obs.Default)
 		cubexml.Instrument(obs.Default)
+	}
+	if *p.trace != "" {
+		// Sample everything: a CLI run traces a handful of operator
+		// invocations, so there is nothing to shed. The ring must hold
+		// them all — scripts may chain many operations per process.
+		p.tracer = obs.NewTracer(obs.TracerOptions{SampleRate: 1, RingSize: 1024})
+		obs.SetTracer(p.tracer)
 	}
 	if *p.cpu != "" {
 		f, err := os.Create(*p.cpu)
@@ -93,6 +106,24 @@ func (p *Profile) stop() {
 		fmt.Fprintf(os.Stderr, "--- %s metrics ---\n", p.tool)
 		if err := obs.Default.WritePrometheus(os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: writing metrics: %v\n", p.tool, err)
+		}
+	}
+	if p.tracer != nil {
+		obs.SetTracer(nil)
+		traces := p.tracer.Traces() // newest first; export chronologically
+		for i, j := 0, len(traces)-1; i < j; i, j = i+1, j-1 {
+			traces[i], traces[j] = traces[j], traces[i]
+		}
+		f, err := os.Create(*p.trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.tool, err)
+			return
+		}
+		if err := obs.WriteChromeTrace(f, traces...); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing trace: %v\n", p.tool, err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: closing trace: %v\n", p.tool, err)
 		}
 	}
 }

@@ -1,0 +1,65 @@
+// Command tracecheck validates a Chrome trace-event JSON export produced
+// by the -trace flag (or GET /debug/traces/{id}): the document must parse,
+// contain complete ("X") events, and cover the operator span taxonomy —
+// op root, integrate, per-operand lower, kernel shards, materialize. It is
+// the assertion half of `make trace-smoke`; CI runs it against a fresh
+// cube-diff -trace export.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal("%v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal("not valid trace-event JSON: %v", err)
+	}
+	names := map[string]int{}
+	ops := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			fatal("event %q has negative ts/dur (%v/%v)", ev.Name, ev.Ts, ev.Dur)
+		}
+		names[ev.Name]++
+		if strings.HasPrefix(ev.Name, "op.") {
+			ops++
+		}
+	}
+	if ops == 0 {
+		fatal("no op.* root events (got %v)", names)
+	}
+	for _, want := range []string{"integrate", "lower", "kernel", "materialize"} {
+		if names[want] == 0 {
+			fatal("no %q events (got %v)", want, names)
+		}
+	}
+	fmt.Printf("tracecheck: %d events, %d operator invocations\n", len(doc.TraceEvents), ops)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

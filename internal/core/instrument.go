@@ -49,9 +49,12 @@ func Instrument(reg *obs.Registry) {
 func Instrumented() bool { return opRegistry.Load() != nil }
 
 // opRecorder carries one invocation's bookkeeping from startOp to done.
-// A nil *opRecorder (instrumentation disabled) makes every method a no-op.
+// A nil *opRecorder (instrumentation and tracing both disabled) makes
+// every method a no-op. Either side may be active alone: reg drives the
+// aggregate metrics, span the per-invocation trace tree.
 type opRecorder struct {
 	reg      *obs.Registry
+	span     *obs.Span
 	op       string
 	start    time.Time
 	inCells  int
@@ -59,18 +62,49 @@ type opRecorder struct {
 }
 
 // startOp begins recording one operator invocation over the operands.
-func startOp(op string, operands []*Experiment) *opRecorder {
+// The trace span parents under opts.Trace when the caller (the HTTP
+// service) carries one, else opens a root trace on the process tracer
+// (obs.SetTracer — the CLIs' -trace flag); with neither, tracing costs
+// one atomic pointer load.
+func startOp(op string, opts *Options, operands []*Experiment) *opRecorder {
 	reg := opRegistry.Load()
-	if reg == nil {
+	span := startOpSpan(op, opts)
+	if reg == nil && span == nil {
 		return nil
 	}
-	rec := &opRecorder{reg: reg, op: op, start: time.Now(), operands: len(operands)}
+	rec := &opRecorder{reg: reg, span: span, op: op, start: time.Now(), operands: len(operands)}
 	for _, x := range operands {
 		if x != nil {
 			rec.inCells += x.NonZeroCount()
 		}
 	}
+	span.SetAttr("operands", rec.operands)
+	span.SetAttr("cells_in", rec.inCells)
 	return rec
+}
+
+func startOpSpan(op string, opts *Options) *obs.Span {
+	if opts != nil && opts.Trace != nil {
+		return opts.Trace.StartChild("op." + op)
+	}
+	if t := obs.ActiveTracer(); t != nil {
+		return t.StartTrace("op."+op, "")
+	}
+	return nil
+}
+
+// opSpan returns the invocation's trace span (nil when untraced), the
+// parent for the stage spans the kernel plan opens.
+func (rec *opRecorder) opSpan() *obs.Span {
+	if rec == nil {
+		return nil
+	}
+	return rec.span
+}
+
+// child opens a stage span under the invocation's span; nil when untraced.
+func (rec *opRecorder) child(name string) *obs.Span {
+	return rec.opSpan().StartChild(name)
 }
 
 // fail records an invocation that returned an error.
@@ -78,7 +112,13 @@ func (rec *opRecorder) fail() {
 	if rec == nil {
 		return
 	}
-	rec.reg.Counter("cube_op_errors_total", obs.L("op", rec.op)).Inc()
+	if rec.reg != nil {
+		rec.reg.Counter("cube_op_errors_total", obs.L("op", rec.op)).Inc()
+	}
+	if rec.span != nil {
+		rec.span.SetAttr("error", true)
+		rec.span.End()
+	}
 }
 
 // done records a successful invocation that produced out.
@@ -86,15 +126,39 @@ func (rec *opRecorder) done(out *Experiment) {
 	if rec == nil {
 		return
 	}
-	op := obs.L("op", rec.op)
-	rec.reg.Counter("cube_op_invocations_total", op).Inc()
-	rec.reg.Histogram("cube_op_duration_seconds", obs.DefLatencyBuckets, op).Observe(time.Since(rec.start).Seconds())
 	outCells := out.NonZeroCount()
-	rec.reg.Counter("cube_op_cells_total", op).Add(int64(outCells))
-	if rec.inCells > 0 {
-		ratio := float64(outCells*rec.operands) / float64(rec.inCells)
-		rec.reg.Histogram("cube_op_zero_fill_ratio", obs.DefRatioBuckets, op).Observe(ratio)
+	if rec.reg != nil {
+		op := obs.L("op", rec.op)
+		rec.reg.Counter("cube_op_invocations_total", op).Inc()
+		// The duration observation carries the trace ID (when traced) as
+		// its exemplar, so a histogram outlier links to /debug/traces.
+		rec.reg.Histogram("cube_op_duration_seconds", obs.DefLatencyBuckets, op).
+			ObserveExemplar(time.Since(rec.start).Seconds(), rec.span.TraceID())
+		rec.reg.Counter("cube_op_cells_total", op).Add(int64(outCells))
+		if rec.inCells > 0 {
+			ratio := float64(outCells*rec.operands) / float64(rec.inCells)
+			rec.reg.Histogram("cube_op_zero_fill_ratio", obs.DefRatioBuckets, op).Observe(ratio)
+		}
 	}
+	if rec.span != nil {
+		rec.span.SetAttr("cells_out", outCells)
+		rec.span.End()
+	}
+}
+
+// tracedIntegrate wraps integrate in the invocation's "integrate" span,
+// annotated with the size of the merged metadata.
+func tracedIntegrate(rec *opRecorder, opts *Options, operands []*Experiment) (*integration, error) {
+	sp := rec.child("integrate")
+	in, err := integrate(opts, operands...)
+	if sp != nil {
+		if err == nil {
+			sp.SetAttr("metrics", len(in.metricSource))
+			sp.SetAttr("callnodes", len(in.cnodeSource))
+		}
+		sp.End()
+	}
+	return in, err
 }
 
 // Kernel-layer instrumentation (kernel.go). Each operator invocation on the

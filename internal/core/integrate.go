@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cube/internal/obs"
 	"cube/internal/treemerge"
 )
 
@@ -29,6 +30,12 @@ type Options struct {
 	// Workers bounds the number of kernel shards worked concurrently;
 	// 0 means GOMAXPROCS. Results are identical for every worker count.
 	Workers int
+	// Trace, when non-nil, attaches the operator invocation's span tree
+	// as a child of this span — the HTTP service passes its request span
+	// here so one request yields one connected trace. When nil, operators
+	// open a root trace on the process-wide tracer (obs.SetTracer) if one
+	// is installed, and skip tracing entirely otherwise.
+	Trace *obs.Span
 }
 
 // Engine names a severity-arithmetic implementation.

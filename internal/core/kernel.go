@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+
+	"cube/internal/obs"
 )
 
 // This file implements the indexed severity kernel layer: the arithmetic
@@ -196,6 +198,7 @@ type remapTable struct {
 // layout.
 type kernelPlan struct {
 	in     *integration
+	span   *obs.Span // operator invocation span; nil when untraced
 	blocks []*sevBlock
 	maps   []remapTable
 	nC, nT uint64 // result dimensions used for packing (≥ 1)
@@ -212,11 +215,12 @@ func kernelFeasible(out *Experiment) bool {
 	return bits.Len(uint(len(out.metrics)))+bits.Len(uint(len(out.cnodes)))+bits.Len(uint(len(out.threads))) <= 62
 }
 
-func newKernelPlan(in *integration, opts *Options, operands []*Experiment) *kernelPlan {
+func newKernelPlan(in *integration, opts *Options, operands []*Experiment, span *obs.Span) *kernelPlan {
 	out := in.out
 	out.reindex()
 	p := &kernelPlan{
 		in:     in,
+		span:   span,
 		blocks: make([]*sevBlock, len(operands)),
 		maps:   make([]remapTable, len(operands)),
 		nC:     uint64(len(out.cnodes)),
@@ -231,6 +235,7 @@ func newKernelPlan(in *integration, opts *Options, operands []*Experiment) *kern
 	p.cells = uint64(len(out.metrics)) * p.nC * p.nT
 	stage := startKernelStage()
 	for i, x := range operands {
+		lsp := span.StartChild("lower")
 		p.blocks[i] = x.loweredBlock()
 		p.total += p.blocks[i].len()
 		x.reindex()
@@ -250,6 +255,11 @@ func newKernelPlan(in *integration, opts *Options, operands []*Experiment) *kern
 			rt.t[si] = int32(out.threadIndex[tf[st]])
 		}
 		p.maps[i] = rt
+		if lsp != nil {
+			lsp.SetAttr("operand", i)
+			lsp.SetAttr("cells", p.blocks[i].len())
+			lsp.End()
+		}
 	}
 	stage.done("lower")
 
@@ -349,6 +359,7 @@ func (p *kernelPlan) kernelCombine(weights []float64, keep [][]bool) {
 	if p.denseOK() {
 		acc := make([]float64, p.cells)
 		p.parallel(func(shard int) {
+			ssp, rows := p.shardSpan(shard, "dense")
 			for i, b := range p.blocks {
 				w := weights[i]
 				if w == 0 {
@@ -364,15 +375,23 @@ func (p *kernelPlan) kernelCombine(weights []float64, keep [][]bool) {
 						if kp != nil && !kp[smi] {
 							return false
 						}
-						return p.shards == 1 || p.shardOf(rowBase) == shard
+						if p.shards != 1 && p.shardOf(rowBase) != shard {
+							return false
+						}
+						if rows != nil {
+							*rows++
+						}
+						return true
 					},
 					func(rowBase uint64, st int32, v float64) {
 						acc[rowBase+uint64(rtT[st])] += w * v
 					})
 			}
+			endShardSpan(ssp, rows)
 		})
 		stage.done("accumulate")
 		stage = startKernelStage()
+		msp := p.span.StartChild("materialize")
 		keys := make([]uint64, 0, p.total)
 		vals := make([]float64, 0, p.total)
 		for key, v := range acc {
@@ -381,12 +400,15 @@ func (p *kernelPlan) kernelCombine(weights []float64, keep [][]bool) {
 				vals = append(vals, v)
 			}
 		}
-		p.install(keys, vals, true)
+		p.install(keys, vals, true, msp)
+		msp.SetAttr("cells", len(keys))
+		msp.End()
 		stage.done("materialize")
 		return
 	}
 	accs := make([]map[uint64]float64, p.shards)
 	p.parallel(func(shard int) {
+		ssp, rows := p.shardSpan(shard, "sparse")
 		acc := make(map[uint64]float64, p.total/p.shards+1)
 		for i, b := range p.blocks {
 			w := weights[i]
@@ -403,16 +425,24 @@ func (p *kernelPlan) kernelCombine(weights []float64, keep [][]bool) {
 					if kp != nil && !kp[smi] {
 						return false
 					}
-					return p.shards == 1 || p.shardOf(rowBase) == shard
+					if p.shards != 1 && p.shardOf(rowBase) != shard {
+						return false
+					}
+					if rows != nil {
+						*rows++
+					}
+					return true
 				},
 				func(rowBase uint64, st int32, v float64) {
 					acc[rowBase+uint64(rtT[st])] += w * v
 				})
 		}
 		accs[shard] = acc
+		endShardSpan(ssp, rows)
 	})
 	stage.done("accumulate")
 	stage = startKernelStage()
+	msp := p.span.StartChild("materialize")
 	n := 0
 	for _, acc := range accs {
 		n += len(acc)
@@ -427,8 +457,33 @@ func (p *kernelPlan) kernelCombine(weights []float64, keep [][]bool) {
 			}
 		}
 	}
-	p.install(keys, vals, false)
+	p.install(keys, vals, false, msp)
+	msp.SetAttr("cells", len(keys))
+	msp.End()
 	stage.done("materialize")
+}
+
+// shardSpan opens one worker shard's "kernel" span, annotated with the
+// shard number and accumulator choice. The returned counter is nil when
+// the shard is untraced, so the hot row callback pays a predictable
+// nil check instead of counting work nobody will read.
+func (p *kernelPlan) shardSpan(shard int, accumulator string) (*obs.Span, *int) {
+	ssp := p.span.StartChild("kernel")
+	if ssp == nil {
+		return nil, nil
+	}
+	ssp.SetAttr("shard", shard)
+	ssp.SetAttr("accumulator", accumulator)
+	return ssp, new(int)
+}
+
+// endShardSpan closes a shard span with its processed-row count.
+func endShardSpan(ssp *obs.Span, rows *int) {
+	if ssp == nil {
+		return
+	}
+	ssp.SetAttr("rows", *rows)
+	ssp.End()
 }
 
 // kernelFold computes, for every result key defined in at least one
@@ -445,6 +500,7 @@ func (p *kernelPlan) kernelFold(finish func(folded []float64) float64) {
 	}
 	outs := make([]shardOut, p.shards)
 	p.parallel(func(shard int) {
+		ssp, rows := p.shardSpan(shard, "fold")
 		idx := make(map[uint64]int32, p.total/p.shards+1)
 		var keys []uint64
 		var arena []float64
@@ -453,7 +509,13 @@ func (p *kernelPlan) kernelFold(finish func(folded []float64) float64) {
 			rtT := p.maps[i].t
 			blockRows(b, p.maps[i], p,
 				func(_ int, rowBase uint64) bool {
-					return p.shards == 1 || p.shardOf(rowBase) == shard
+					if p.shards != 1 && p.shardOf(rowBase) != shard {
+						return false
+					}
+					if rows != nil {
+						*rows++
+					}
+					return true
 				},
 				func(rowBase uint64, st int32, v float64) {
 					key := rowBase + uint64(rtT[st])
@@ -478,9 +540,11 @@ func (p *kernelPlan) kernelFold(finish func(folded []float64) float64) {
 			}
 		}
 		outs[shard] = shardOut{kept, vals}
+		endShardSpan(ssp, rows)
 	})
 	stage.done("accumulate")
 	stage = startKernelStage()
+	msp := p.span.StartChild("materialize")
 	n := 0
 	for _, o := range outs {
 		n += len(o.keys)
@@ -491,7 +555,9 @@ func (p *kernelPlan) kernelFold(finish func(folded []float64) float64) {
 		keys = append(keys, o.keys...)
 		vals = append(vals, o.vals...)
 	}
-	p.install(keys, vals, false)
+	p.install(keys, vals, false, msp)
+	msp.SetAttr("cells", len(keys))
+	msp.End()
 	stage.done("materialize")
 }
 
@@ -502,9 +568,12 @@ func (p *kernelPlan) kernelFold(finish func(folded []float64) float64) {
 // Experiment.ensureSev builds it lazily if a map-based accessor is ever
 // used. Exact zeros were dropped by the accumulators, preserving the
 // zero-deletion invariant.
-func (p *kernelPlan) install(keys []uint64, vals []float64, sorted bool) {
+func (p *kernelPlan) install(keys []uint64, vals []float64, sorted bool, parent *obs.Span) {
 	if !sorted {
+		rsp := parent.StartChild("radix-sort")
+		rsp.SetAttr("keys", len(keys))
 		keys, vals = radixSortKV(keys, vals)
+		rsp.End()
 	}
 	out := p.in.out
 	out.sevGen++

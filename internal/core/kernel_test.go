@@ -198,7 +198,7 @@ func TestKernelMapAccumulatorPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p := newKernelPlan(in, nil, []*Experiment{a, b}); p.denseOK() {
+	if p := newKernelPlan(in, nil, []*Experiment{a, b}, nil); p.denseOK() {
 		t.Fatalf("fixture selects the dense accumulator (cells=%d, total=%d); enlarge it", p.cells, p.total)
 	}
 	k, err := Difference(a, b, &Options{Engine: EngineKernel})

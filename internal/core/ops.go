@@ -65,16 +65,18 @@ func presize(out *Experiment, operands []*Experiment) {
 // linearCombine implements every operator that is a weighted sum of its
 // operands' (zero-extended) severity functions.
 func linearCombine(op string, opts *Options, weights []float64, operands ...*Experiment) (*Experiment, error) {
-	rec := startOp(op, operands)
-	in, err := integrate(opts, operands...)
+	rec := startOp(op, opts, operands)
+	in, err := tracedIntegrate(rec, opts, operands)
 	if err != nil {
 		rec.fail()
 		return nil, err
 	}
 	if opts.useKernel(in.out) {
-		newKernelPlan(in, opts, operands).kernelCombine(weights, nil)
+		newKernelPlan(in, opts, operands, rec.opSpan()).kernelCombine(weights, nil)
 	} else {
+		sp := rec.child("legacy-combine")
 		legacyLinearCombine(in, weights, operands)
+		sp.End()
 	}
 	deriveProvenance(in, op, operands)
 	rec.done(in.out)
@@ -166,8 +168,8 @@ func MergeAll(opts *Options, operands ...*Experiment) (*Experiment, error) {
 	if len(operands) == 0 {
 		return nil, ErrNoOperands
 	}
-	rec := startOp("merge", operands)
-	in, err := integrate(opts, operands...)
+	rec := startOp("merge", opts, operands)
+	in, err := tracedIntegrate(rec, opts, operands)
 	if err != nil {
 		rec.fail()
 		return nil, err
@@ -177,9 +179,11 @@ func MergeAll(opts *Options, operands ...*Experiment) (*Experiment, error) {
 		for i := range w {
 			w[i] = 1
 		}
-		newKernelPlan(in, opts, operands).kernelCombine(w, mergeKeep(in, operands))
+		newKernelPlan(in, opts, operands, rec.opSpan()).kernelCombine(w, mergeKeep(in, operands))
 	} else {
+		sp := rec.child("legacy-combine")
 		legacyMerge(in, operands)
+		sp.End()
 	}
 	deriveProvenance(in, "merge", operands)
 	rec.done(in.out)
@@ -236,8 +240,8 @@ func StdDev(opts *Options, operands ...*Experiment) (*Experiment, error) {
 	if len(operands) < 2 {
 		return nil, fmt.Errorf("core: StdDev requires at least two operands")
 	}
-	rec := startOp("stddev", operands)
-	in, err := integrate(opts, operands...)
+	rec := startOp("stddev", opts, operands)
+	in, err := tracedIntegrate(rec, opts, operands)
 	if err != nil {
 		rec.fail()
 		return nil, err
@@ -256,9 +260,11 @@ func StdDev(opts *Options, operands ...*Experiment) (*Experiment, error) {
 		return math.Sqrt(variance)
 	}
 	if opts.useKernel(in.out) {
-		newKernelPlan(in, opts, operands).kernelFold(stddev)
+		newKernelPlan(in, opts, operands, rec.opSpan()).kernelFold(stddev)
 	} else {
+		sp := rec.child("legacy-combine")
 		legacyFold(in, operands, stddev)
+		sp.End()
 	}
 	deriveProvenance(in, "stddev", operands)
 	rec.done(in.out)
@@ -273,8 +279,8 @@ func foldCombine(op string, opts *Options, fold func(acc, v float64) float64, op
 	if len(operands) == 0 {
 		return nil, ErrNoOperands
 	}
-	rec := startOp(op, operands)
-	in, err := integrate(opts, operands...)
+	rec := startOp(op, opts, operands)
+	in, err := tracedIntegrate(rec, opts, operands)
 	if err != nil {
 		rec.fail()
 		return nil, err
@@ -287,9 +293,11 @@ func foldCombine(op string, opts *Options, fold func(acc, v float64) float64, op
 		return acc
 	}
 	if opts.useKernel(in.out) {
-		newKernelPlan(in, opts, operands).kernelFold(finish)
+		newKernelPlan(in, opts, operands, rec.opSpan()).kernelFold(finish)
 	} else {
+		sp := rec.child("legacy-combine")
 		legacyFold(in, operands, finish)
+		sp.End()
 	}
 	deriveProvenance(in, op, operands)
 	rec.done(in.out)

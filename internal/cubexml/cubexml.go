@@ -11,6 +11,7 @@ package cubexml
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"cube/internal/core"
+	"cube/internal/obs"
 )
 
 // Version identifies the schema written by this package.
@@ -134,16 +136,36 @@ type xRow struct {
 
 // Write serialises the experiment to w in the CUBE XML format.
 func Write(w io.Writer, e *core.Experiment) error {
-	if reg := xmlRegistry.Load(); reg != nil {
-		cw := &countingWriter{w: w}
-		err := write(cw, e)
+	return WriteContext(context.Background(), w, e)
+}
+
+// WriteContext is Write carrying a context for tracing: the encode runs
+// under a "cubexml.write" span (child of the span in ctx, or a root on
+// the process tracer) annotated with the bytes and cells written. With
+// tracing and metrics both disabled it is exactly Write.
+func WriteContext(ctx context.Context, w io.Writer, e *core.Experiment) error {
+	reg := xmlRegistry.Load()
+	sp, _ := obs.StartSpanContext(ctx, "cubexml.write")
+	if reg == nil && sp == nil {
+		return write(w, e)
+	}
+	cw := &countingWriter{w: w}
+	err := write(cw, e)
+	if reg != nil {
 		reg.Counter("cube_xml_write_bytes_total").Add(cw.n)
 		if err == nil {
 			reg.Counter("cube_xml_writes_total").Inc()
 		}
-		return err
 	}
-	return write(w, e)
+	if sp != nil {
+		sp.SetAttr("bytes", cw.n)
+		sp.SetAttr("cells", e.NonZeroCount())
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return err
 }
 
 func write(w io.Writer, e *core.Experiment) error {
@@ -362,7 +384,13 @@ var ErrLimit = errors.New("document exceeds size limits")
 // Read parses a CUBE XML document from r and reconstructs the experiment,
 // enforcing DefaultLimits.
 func Read(r io.Reader) (*core.Experiment, error) {
-	return ReadLimited(r, DefaultLimits)
+	return ReadLimitedContext(context.Background(), r, DefaultLimits)
+}
+
+// ReadContext is Read carrying a context for tracing (see
+// ReadLimitedContext).
+func ReadContext(ctx context.Context, r io.Reader) (*core.Experiment, error) {
+	return ReadLimitedContext(ctx, r, DefaultLimits)
 }
 
 // ReadLimited parses a CUBE XML document from r, first verifying the
@@ -370,12 +398,34 @@ func Read(r io.Reader) (*core.Experiment, error) {
 // multipart uploads) the scan costs no extra memory; otherwise the scanned
 // bytes are buffered for the decode pass.
 func ReadLimited(r io.Reader, lim Limits) (*core.Experiment, error) {
+	return ReadLimitedContext(context.Background(), r, lim)
+}
+
+// ReadLimitedContext is ReadLimited carrying a context for tracing: the
+// parse runs under a "cubexml.read" span (child of the span in ctx, or a
+// root on the process tracer) annotated with the elements scanned and
+// bytes decoded. The span wraps the internals rather than the reader, so
+// the seekable fast path of the limit scan is preserved.
+func ReadLimitedContext(ctx context.Context, r io.Reader, lim Limits) (*core.Experiment, error) {
+	sp, _ := obs.StartSpanContext(ctx, "cubexml.read")
+	e, err := readLimited(r, lim, sp)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return e, err
+}
+
+func readLimited(r io.Reader, lim Limits, sp *obs.Span) (*core.Experiment, error) {
 	if lim.MaxElements <= 0 && lim.MaxDepth <= 0 {
-		return decode(r)
+		return decode(r, sp)
 	}
 	reg := xmlRegistry.Load()
 	scan := func(sr io.Reader) error {
 		elems, err := checkLimits(sr, lim)
+		sp.SetAttr("elements", elems)
 		if reg != nil {
 			reg.Counter("cube_xml_read_elements_total").Add(int64(elems))
 			switch {
@@ -397,14 +447,14 @@ func ReadLimited(r io.Reader, lim Limits) (*core.Experiment, error) {
 			if _, err := s.Seek(start, io.SeekStart); err != nil {
 				return nil, fmt.Errorf("cubexml: rewinding after limit scan: %w", err)
 			}
-			return decode(r)
+			return decode(r, sp)
 		}
 	}
 	var buf bytes.Buffer
 	if err := scan(io.TeeReader(r, &buf)); err != nil {
 		return nil, err
 	}
-	return decode(&buf)
+	return decode(&buf, sp)
 }
 
 // checkLimits scans tokens up to the end of the root element, enforcing
@@ -442,19 +492,23 @@ func checkLimits(r io.Reader, lim Limits) (int, error) {
 	}
 }
 
-func decode(r io.Reader) (*core.Experiment, error) {
-	if reg := xmlRegistry.Load(); reg != nil {
-		cr := &countingReader{r: r}
-		e, err := decodeDoc(cr)
+func decode(r io.Reader, sp *obs.Span) (*core.Experiment, error) {
+	reg := xmlRegistry.Load()
+	if reg == nil && sp == nil {
+		return decodeDoc(r)
+	}
+	cr := &countingReader{r: r}
+	e, err := decodeDoc(cr)
+	if reg != nil {
 		reg.Counter("cube_xml_read_bytes_total").Add(cr.n)
 		if err != nil {
 			reg.Counter("cube_xml_read_errors_total").Inc()
 		} else {
 			reg.Counter("cube_xml_reads_total").Inc()
 		}
-		return e, err
 	}
-	return decodeDoc(r)
+	sp.SetAttr("bytes", cr.n)
+	return e, err
 }
 
 func decodeDoc(r io.Reader) (*core.Experiment, error) {

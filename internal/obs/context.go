@@ -15,7 +15,10 @@ import (
 
 type ctxKey int
 
-const requestIDKey ctxKey = iota
+const (
+	requestIDKey ctxKey = iota
+	traceSpanKey
+)
 
 var reqSeq atomic.Uint64
 
@@ -41,43 +44,35 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
-// --- span-style timers ----------------------------------------------------------
-
-// Span measures one timed section and records its duration, in seconds,
-// into a latency histogram on End. The zero Span is inert, so disabled
-// instrumentation can hand out spans for free.
-type Span struct {
-	h     *Histogram
-	start time.Time
-}
-
-// StartSpan begins timing a section named name (the backing histogram is
-// "<name>_seconds" with DefLatencyBuckets). On a nil registry the span is
-// inert. Usage:
-//
-//	sp := reg.StartSpan("cube_xml_read", obs.L("source", "upload"))
-//	defer sp.End()
-func (r *Registry) StartSpan(name string, labels ...Label) Span {
-	if r == nil {
-		return Span{}
+// SanitizeRequestID validates a caller-supplied request/trace ID: at most
+// 64 characters drawn from [a-zA-Z0-9._-]. Anything else returns "" so
+// the caller mints a fresh ID instead of propagating hostile input into
+// logs, response headers, and trace lookups. Both the server middleware
+// and the retrying client route IDs through here so a request keeps one
+// stable identity across hops and retry attempts.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
 	}
-	return Span{h: r.Histogram(name+"_seconds", DefLatencyBuckets, labels...), start: time.Now()}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
 }
 
-// End stops the span, records its duration, and returns it. Safe to call
-// on an inert span (returns 0).
-func (s Span) End() time.Duration {
-	if s.h == nil {
-		return 0
-	}
-	d := time.Since(s.start)
-	s.h.Observe(d.Seconds())
-	return d
-}
+// --- histogram timers -----------------------------------------------------------
 
 // Timer records the time since its creation into an explicit histogram;
-// unlike Span it does not name-mangle, so callers control the metric and
-// buckets. A nil histogram makes the timer inert.
+// callers control the metric and buckets. A nil histogram makes the
+// timer inert. (Trace spans — tracing.go — are the structural
+// counterpart: a Timer feeds an aggregate histogram, a Span becomes one
+// node of a specific trace.)
 type Timer struct {
 	h     *Histogram
 	start time.Time

@@ -31,24 +31,34 @@ type GaugeValue struct {
 }
 
 // BucketValue is one cumulative histogram bucket: the count of
-// observations less than or equal to UpperBound.
+// observations less than or equal to UpperBound, plus the bucket's
+// exemplar (the trace ID of the most recent observation that fell in
+// this bucket, and its value) when one has been recorded.
 type BucketValue struct {
-	UpperBound float64 `json:"le"`
-	Count      int64   `json:"count"`
+	UpperBound      float64 `json:"le"`
+	Count           int64   `json:"count"`
+	ExemplarTraceID string  `json:"exemplar_trace_id,omitempty"`
+	ExemplarValue   float64 `json:"exemplar_value,omitempty"`
 }
 
 // MarshalJSON renders the bound as a string so the terminal +Inf bucket
 // survives JSON encoding (encoding/json rejects non-finite float64s).
 func (b BucketValue) MarshalJSON() ([]byte, error) {
-	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatFloat(b.UpperBound), b.Count)), nil
+	if b.ExemplarTraceID == "" {
+		return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatFloat(b.UpperBound), b.Count)), nil
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d,"exemplar_trace_id":%q,"exemplar_value":%s}`,
+		formatFloat(b.UpperBound), b.Count, b.ExemplarTraceID, formatFloat(b.ExemplarValue))), nil
 }
 
 // UnmarshalJSON parses the string bound written by MarshalJSON
 // (strconv.ParseFloat accepts "+Inf").
 func (b *BucketValue) UnmarshalJSON(data []byte) error {
 	var raw struct {
-		LE    string `json:"le"`
-		Count int64  `json:"count"`
+		LE              string  `json:"le"`
+		Count           int64   `json:"count"`
+		ExemplarTraceID string  `json:"exemplar_trace_id"`
+		ExemplarValue   float64 `json:"exemplar_value"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
@@ -59,6 +69,8 @@ func (b *BucketValue) UnmarshalJSON(data []byte) error {
 	}
 	b.UpperBound = v
 	b.Count = raw.Count
+	b.ExemplarTraceID = raw.ExemplarTraceID
+	b.ExemplarValue = raw.ExemplarValue
 	return nil
 }
 
@@ -112,12 +124,19 @@ func (r *Registry) Snapshot() Snapshot {
 				h := s.h
 				hv := HistogramValue{Name: f.name, Labels: labels, Count: h.Count(), Sum: h.Sum()}
 				var cum int64
-				for i, b := range h.bounds {
+				bucket := func(i int, bound float64) BucketValue {
 					cum += h.counts[i].Load()
-					hv.Buckets = append(hv.Buckets, BucketValue{UpperBound: b, Count: cum})
+					bv := BucketValue{UpperBound: bound, Count: cum}
+					if ex := h.exemplars[i].Load(); ex != nil {
+						bv.ExemplarTraceID = ex.traceID
+						bv.ExemplarValue = ex.value
+					}
+					return bv
 				}
-				cum += h.counts[len(h.bounds)].Load()
-				hv.Buckets = append(hv.Buckets, BucketValue{UpperBound: math.Inf(1), Count: cum})
+				for i, b := range h.bounds {
+					hv.Buckets = append(hv.Buckets, bucket(i, b))
+				}
+				hv.Buckets = append(hv.Buckets, bucket(len(h.bounds), math.Inf(1)))
 				snap.Histograms = append(snap.Histograms, hv)
 			}
 		}
@@ -203,7 +222,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, h := range snap.Histograms {
 		typeLine(h.Name, "histogram")
 		for _, b := range h.Buckets {
-			fmt.Fprintf(&sb, "%s_bucket%s %d\n", h.Name, formatLabels(h.Labels, L("le", formatFloat(b.UpperBound))), b.Count)
+			// OpenMetrics-style exemplar suffix: ` # {trace_id="..."} value`.
+			// Plain-Prometheus scrapers that stop at the first '#' still
+			// parse the line; exemplar-aware ones link the bucket to its
+			// trace in /debug/traces.
+			ex := ""
+			if b.ExemplarTraceID != "" {
+				ex = fmt.Sprintf(` # {trace_id="%s"} %s`, escapeLabel(b.ExemplarTraceID), formatFloat(b.ExemplarValue))
+			}
+			fmt.Fprintf(&sb, "%s_bucket%s %d%s\n", h.Name, formatLabels(h.Labels, L("le", formatFloat(b.UpperBound))), b.Count, ex)
 		}
 		fmt.Fprintf(&sb, "%s_sum%s %s\n", h.Name, formatLabels(h.Labels), formatFloat(h.Sum))
 		fmt.Fprintf(&sb, "%s_count%s %d\n", h.Name, formatLabels(h.Labels), h.Count)

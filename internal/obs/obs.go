@@ -92,12 +92,22 @@ func (g *Gauge) Value() int64 {
 // Histogram counts observations into fixed buckets and tracks their count
 // and sum, like a Prometheus histogram: bucket i counts observations
 // v <= bounds[i], and one implicit overflow bucket (+Inf) catches the rest.
-// All updates are atomic; a nil *Histogram ignores observations.
+// All updates are atomic; a nil *Histogram ignores observations. Each
+// bucket can additionally hold one exemplar — the trace ID of the most
+// recent observation that landed in it — so a latency outlier on a
+// dashboard links straight to its trace in /debug/traces.
 type Histogram struct {
-	bounds []float64 // sorted upper bounds, exclusive of +Inf
-	counts []atomic.Int64
-	count  atomic.Int64
-	sum    atomicFloat
+	bounds    []float64 // sorted upper bounds, exclusive of +Inf
+	counts    []atomic.Int64
+	exemplars []atomic.Pointer[exemplar] // one slot per bucket, last-write-wins
+	count     atomic.Int64
+	sum       atomicFloat
+}
+
+// exemplar ties one observed value to the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // Observe records one value.
@@ -105,6 +115,24 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.observe(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// stamps the bucket it lands in with that trace ID. With an empty
+// traceID it is exactly Observe, so call sites can pass the (possibly
+// empty) ID of whatever span is active without branching.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.observe(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
+}
+
+func (h *Histogram) observe(v float64) int {
 	// Buckets are few (tens); linear scan beats binary search at this size
 	// and keeps the code branch-predictable.
 	i := 0
@@ -114,6 +142,7 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	return i
 }
 
 // Count returns the number of observations.
@@ -320,7 +349,11 @@ func (r *Registry) lookup(name string, kind metricKind, buckets []float64, label
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(b)+1),
+	}
 }
 
 // Counter returns (creating on first use) the counter named name with the

@@ -63,10 +63,10 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	got := snap.Histograms[0].Buckets
 	want := []BucketValue{
-		{0.01, 2}, // 0.005 and the boundary value 0.01 (le is inclusive)
-		{0.1, 3},
-		{1, 4},
-		{math.Inf(1), 5},
+		{UpperBound: 0.01, Count: 2}, // 0.005 and the boundary value 0.01 (le is inclusive)
+		{UpperBound: 0.1, Count: 3},
+		{UpperBound: 1, Count: 4},
+		{UpperBound: math.Inf(1), Count: 5},
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("buckets = %+v, want %+v", got, want)
@@ -78,7 +78,7 @@ func TestNilRegistryAndMetricsAreInert(t *testing.T) {
 	r.Counter("c_total").Inc()
 	r.Gauge("g").Set(1)
 	r.Histogram("h", DefLatencyBuckets).Observe(1)
-	r.StartSpan("s").End()
+	r.Histogram("h", DefLatencyBuckets).ObserveExemplar(1, "deadbeef")
 	if snap := r.Snapshot(); len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
 		t.Errorf("nil registry snapshot not empty: %+v", snap)
 	}
@@ -268,30 +268,68 @@ func TestRequestIDContext(t *testing.T) {
 	}
 }
 
-func TestSpanAndTimer(t *testing.T) {
+func TestTimer(t *testing.T) {
 	r := NewRegistry()
-	sp := r.StartSpan("work", L("op", "x"))
-	time.Sleep(time.Millisecond)
-	if d := sp.End(); d <= 0 {
-		t.Errorf("span duration = %v", d)
-	}
-	snap := r.Snapshot()
-	if len(snap.Histograms) != 1 || snap.Histograms[0].Name != "work_seconds" || snap.Histograms[0].Count != 1 {
-		t.Errorf("span did not record into work_seconds: %+v", snap.Histograms)
-	}
 	h := r.Histogram("t_seconds", DefLatencyBuckets)
 	tm := StartTimer(h)
-	if d := tm.Stop(); d < 0 {
+	time.Sleep(time.Millisecond)
+	if d := tm.Stop(); d <= 0 {
 		t.Errorf("timer duration = %v", d)
 	}
 	if h.Count() != 1 {
 		t.Errorf("timer did not record")
 	}
-	// Inert forms.
-	if d := (Span{}).End(); d != 0 {
-		t.Errorf("inert span returned %v", d)
-	}
+	// Inert form.
 	if d := StartTimer(nil).Stop(); d != 0 {
 		t.Errorf("inert timer returned %v", d)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	h.ObserveExemplar(0.005, "aaaa00001111bbbb")
+	h.ObserveExemplar(0.5, "") // no trace active: records, no exemplar
+	h.ObserveExemplar(2, "cccc2222dddd3333")
+
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms, want 1", len(snap.Histograms))
+	}
+	b := snap.Histograms[0].Buckets
+	if b[0].ExemplarTraceID != "aaaa00001111bbbb" || b[0].ExemplarValue != 0.005 {
+		t.Errorf("bucket 0 exemplar = %+v", b[0])
+	}
+	if b[2].ExemplarTraceID != "" {
+		t.Errorf("bucket le=1 unexpectedly has exemplar %+v", b[2])
+	}
+	if b[3].ExemplarTraceID != "cccc2222dddd3333" {
+		t.Errorf("+Inf bucket exemplar = %+v", b[3])
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	want := `lat_seconds_bucket{le="0.01"} 1 # {trace_id="aaaa00001111bbbb"} 0.005`
+	if !strings.Contains(text, want) {
+		t.Errorf("prometheus output missing exemplar line %q:\n%s", want, text)
+	}
+	if !strings.Contains(text, `lat_seconds_bucket{le="1"} 2`+"\n") {
+		t.Errorf("exemplar-free bucket line changed:\n%s", text)
+	}
+
+	// Exemplars survive the JSON round trip of a Snapshot.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("snapshot round trip mismatch:\n got %+v\nwant %+v", back, snap)
 	}
 }

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Trace exporters: the Chrome trace-event JSON format — loadable in
+// chrome://tracing and https://ui.perfetto.dev — and a compact
+// human-readable tree dump for terminals and logs.
+
+// chromeEvent is one entry of the trace-event JSON array. We emit only
+// complete ("X") duration events plus process_name metadata ("M")
+// events; timestamps and durations are microseconds per the format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the traces as one Chrome trace-event JSON
+// document. Each trace becomes a process (pid) named after its root span
+// and trace ID; spans that overlap in time within a trace — parallel
+// kernel shards — are spread across thread lanes (tid) so the viewer
+// renders them side by side, while purely nested spans share their
+// ancestor's lane.
+func WriteChromeTrace(w io.Writer, traces ...*Trace) error {
+	ordered := make([]*Trace, 0, len(traces))
+	for _, tr := range traces {
+		if tr != nil && tr.root != nil {
+			ordered = append(ordered, tr)
+		}
+	}
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].start.Before(ordered[j].start) })
+
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if len(ordered) > 0 {
+		base := ordered[0].start
+		for i, tr := range ordered {
+			pid := i + 1
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  pid,
+				Args: map[string]any{"name": fmt.Sprintf("%s [%s]", tr.root.name, tr.id)},
+			})
+			doc.TraceEvents = append(doc.TraceEvents, traceEvents(tr, pid, base)...)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// traceEvents flattens one trace into events with lane (tid) numbers
+// assigned greedily: spans are placed in start order into the first lane
+// whose live spans are all ancestors of the newcomer, so a child nests
+// in its parent's lane unless a concurrent sibling already occupies it.
+func traceEvents(tr *Trace, pid int, base time.Time) []chromeEvent {
+	var spans []*Span
+	var collect func(s *Span)
+	collect = func(s *Span) {
+		spans = append(spans, s)
+		for _, c := range s.Children() {
+			collect(c)
+		}
+	}
+	collect(tr.root)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start.Before(spans[j].start) })
+
+	type placed struct {
+		span *Span
+		end  time.Time
+	}
+	var lanes [][]placed // each lane is a stack of currently-open spans
+	lane := make(map[*Span]int, len(spans))
+	for _, s := range spans {
+		target := -1
+		for li := range lanes {
+			// Retire spans that ended before the newcomer started.
+			stack := lanes[li]
+			for len(stack) > 0 && !stack[len(stack)-1].end.After(s.start) {
+				stack = stack[:len(stack)-1]
+			}
+			lanes[li] = stack
+			if target == -1 && (len(stack) == 0 || isAncestor(stack[len(stack)-1].span, s)) {
+				target = li
+			}
+		}
+		if target == -1 {
+			lanes = append(lanes, nil)
+			target = len(lanes) - 1
+		}
+		lanes[target] = append(lanes[target], placed{span: s, end: s.start.Add(s.Duration())})
+		lane[s] = target
+	}
+
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := make(map[string]any)
+		if s.parent == nil {
+			args["trace_id"] = tr.id
+		}
+		for _, a := range s.Attrs() {
+			args[a.Key] = a.Value
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, chromeEvent{
+			Name: s.name,
+			Cat:  "cube",
+			Ph:   "X",
+			Ts:   micros(s.start.Sub(base)),
+			Dur:  micros(s.Duration()),
+			Pid:  pid,
+			Tid:  lane[s] + 1,
+			Args: args,
+		})
+	}
+	return events
+}
+
+func isAncestor(anc, s *Span) bool {
+	for p := s.parent; p != nil; p = p.parent {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteTree writes the trace as an indented, human-readable span tree:
+//
+//	trace 9a3f... op.merge 1.2ms
+//	  integrate 80µs metrics=12 callnodes=240
+//	  lower 300µs cells=4096 operand=0
+//	  ...
+func (t *Trace) WriteTree(w io.Writer) error {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "trace %s %s\n", t.id, spanLine(t.root)); err != nil {
+		return err
+	}
+	var walk func(s *Span, depth int) error
+	walk = func(s *Span, depth int) error {
+		for _, c := range s.Children() {
+			if _, err := fmt.Fprintf(w, "%s%s\n", strings.Repeat("  ", depth), spanLine(c)); err != nil {
+				return err
+			}
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 1)
+}
+
+// spanLine renders "name duration key=value ..." with attributes sorted
+// by key for stable output.
+func spanLine(s *Span) string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte(' ')
+	b.WriteString(s.Duration().Round(time.Microsecond).String())
+	attrs := s.Attrs()
+	sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+	for _, a := range attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,370 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+func TestSpanTreeBasics(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1})
+	root := tr.StartTrace("op.merge", "abc123")
+	if root.TraceID() != "abc123" {
+		t.Errorf("trace ID = %q, want abc123", root.TraceID())
+	}
+	c1 := root.StartChild("integrate")
+	c1.SetAttr("metrics", 3)
+	c1.SetAttr("metrics", 4) // overwrite, not duplicate
+	c1.End()
+	c2 := root.StartChild("kernel")
+	c2.End()
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.ID() != "abc123" || got.Duration() <= 0 || got.SpanCount() != 3 {
+		t.Errorf("trace = id %q dur %v spans %d", got.ID(), got.Duration(), got.SpanCount())
+	}
+	kids := got.Root().Children()
+	if len(kids) != 2 || kids[0].Name() != "integrate" || kids[1].Name() != "kernel" {
+		t.Errorf("children = %v", kids)
+	}
+	attrs := kids[0].Attrs()
+	if len(attrs) != 1 || attrs[0].Key != "metrics" || attrs[0].Value != 4 {
+		t.Errorf("attrs = %+v", attrs)
+	}
+	if tr.Trace("abc123") != got {
+		t.Errorf("lookup by ID failed")
+	}
+	if tr.Trace("missing") != nil {
+		t.Errorf("lookup of unknown ID returned a trace")
+	}
+}
+
+func TestStartTraceMintsID(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1})
+	root := tr.StartTrace("op.mean", "")
+	if id := root.TraceID(); len(id) != 16 {
+		t.Errorf("minted trace ID %q, want 16 hex chars", id)
+	}
+}
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartTrace("x", "")
+	if sp != nil {
+		t.Fatalf("nil tracer produced a span")
+	}
+	// The whole span API must be a no-op on nil.
+	sp.SetAttr("k", 1)
+	child := sp.StartChild("c")
+	if child != nil {
+		t.Errorf("nil span produced a child")
+	}
+	child.End()
+	sp.End()
+	if sp.TraceID() != "" || sp.Name() != "" || sp.Duration() != 0 {
+		t.Errorf("nil span accessors not zero")
+	}
+	if tr.Traces() != nil || tr.Trace("x") != nil {
+		t.Errorf("nil tracer retained traces")
+	}
+}
+
+// TestConcurrentChildSpans mirrors the kernel's worker shards: many
+// goroutines attach children and attributes to one parent. Run with
+// -race (the Makefile race target covers this package).
+func TestConcurrentChildSpans(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1})
+	root := tr.StartTrace("op.diff", "")
+	kernel := root.StartChild("kernel-stage")
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := kernel.StartChild("kernel")
+			sp.SetAttr("shard", w)
+			for i := 0; i < 100; i++ {
+				sp.SetAttr("rows", i)
+			}
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	kernel.End()
+	root.End()
+	if got := len(kernel.Children()); got != workers {
+		t.Errorf("kernel stage has %d children, want %d", got, workers)
+	}
+	if tr.Traces()[0].SpanCount() != workers+2 {
+		t.Errorf("span count = %d, want %d", tr.Traces()[0].SpanCount(), workers+2)
+	}
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleRate: 1, RingSize: 3})
+	for i := 1; i <= 5; i++ {
+		tr.StartTrace("op", fmt.Sprintf("t%d", i)).End()
+	}
+	var ids []string
+	for _, x := range tr.Traces() {
+		ids = append(ids, x.ID())
+	}
+	want := []string{"t5", "t4", "t3"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Errorf("ring (newest first) = %v, want %v", ids, want)
+	}
+	for _, evicted := range []string{"t1", "t2"} {
+		if tr.Trace(evicted) != nil {
+			t.Errorf("evicted trace %s still retrievable", evicted)
+		}
+	}
+	if tr.Trace("t3") == nil {
+		t.Errorf("retained trace t3 not retrievable")
+	}
+}
+
+func TestSamplingAndSlowRetention(t *testing.T) {
+	// Rate 0: nothing retained.
+	tr := NewTracer(TracerOptions{SampleRate: 0})
+	tr.StartTrace("op", "a").End()
+	if len(tr.Traces()) != 0 {
+		t.Errorf("rate-0 tracer retained %d traces", len(tr.Traces()))
+	}
+
+	// Rate 0 but a slow threshold: slow traces are rescued and logged
+	// with their hottest spans.
+	var logBuf bytes.Buffer
+	slow := NewTracer(TracerOptions{
+		SampleRate: 0,
+		Slow:       time.Millisecond,
+		Logger:     slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	root := slow.StartTrace("op.merge", "slow1")
+	child := root.StartChild("kernel")
+	time.Sleep(2 * time.Millisecond)
+	child.End()
+	root.End()
+	if slow.Trace("slow1") == nil {
+		t.Fatalf("slow trace not retained despite 0 sample rate")
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "slow trace") || !strings.Contains(logged, "slow1") {
+		t.Errorf("slow trace not logged: %q", logged)
+	}
+	if !strings.Contains(logged, "kernel") {
+		t.Errorf("slow log lacks hottest spans: %q", logged)
+	}
+
+	// Fractional rate: roughly that share of traces retained.
+	frac := NewTracer(TracerOptions{SampleRate: 0.25, RingSize: 4096})
+	const n = 4000
+	for i := 0; i < n; i++ {
+		frac.StartTrace("op", "").End()
+	}
+	got := len(frac.Traces())
+	if got < n/8 || got > n/2 {
+		t.Errorf("rate-0.25 retained %d of %d traces", got, n)
+	}
+}
+
+func TestHottestSpansSelfTime(t *testing.T) {
+	base := time.Now()
+	tr := &Trace{id: "x", start: base}
+	root := testSpan(tr, nil, "root", base, 10*time.Millisecond)
+	a := testSpan(tr, root, "a", base, 7*time.Millisecond)
+	testSpan(tr, a, "a1", base, 6*time.Millisecond)
+	testSpan(tr, root, "b", base.Add(7*time.Millisecond), 1*time.Millisecond)
+	tr.root = root
+
+	hot := HottestSpans(root, 3)
+	if len(hot) != 3 {
+		t.Fatalf("got %d hot spans", len(hot))
+	}
+	// Self times: a1=6ms, root=10-7-1=2ms, a=7-6=1ms, b=1ms.
+	if hot[0].Span.Name() != "a1" || hot[0].Self != 6*time.Millisecond {
+		t.Errorf("hottest = %s %v", hot[0].Span.Name(), hot[0].Self)
+	}
+	if hot[1].Span.Name() != "root" || hot[1].Self != 2*time.Millisecond {
+		t.Errorf("second = %s %v", hot[1].Span.Name(), hot[1].Self)
+	}
+}
+
+func TestActiveTracerSeam(t *testing.T) {
+	if ActiveTracer() != nil {
+		t.Fatalf("tracer installed at test start")
+	}
+	tr := NewTracer(TracerOptions{SampleRate: 1})
+	SetTracer(tr)
+	defer SetTracer(nil)
+	if ActiveTracer() != tr {
+		t.Errorf("ActiveTracer did not return installed tracer")
+	}
+
+	// No span in ctx: a root trace opens on the seam, seeded with the
+	// context's request ID.
+	ctx := WithRequestID(context.Background(), "req42")
+	sp, ctx2 := StartSpanContext(ctx, "cubexml.read")
+	if sp == nil || sp.TraceID() != "req42" {
+		t.Fatalf("span = %v (trace %q)", sp, sp.TraceID())
+	}
+	// A span already in ctx: children chain under it, same trace.
+	child, _ := StartSpanContext(ctx2, "decode")
+	if child.TraceID() != "req42" {
+		t.Errorf("child trace ID = %q", child.TraceID())
+	}
+	child.End()
+	sp.End()
+	got := tr.Trace("req42")
+	if got == nil || got.SpanCount() != 2 {
+		t.Fatalf("trace not retained with both spans: %v", got)
+	}
+	if got.Root().Children()[0].Name() != "decode" {
+		t.Errorf("child span not attached to root")
+	}
+
+	SetTracer(nil)
+	if sp, _ := StartSpanContext(context.Background(), "x"); sp != nil {
+		t.Errorf("span created with no tracer and no parent")
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc-DEF_123.z", "abc-DEF_123.z"},
+		{"", ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+		{strings.Repeat("a", 65), ""},
+		{"has space", ""},
+		{"semi;colon", ""},
+		{"new\nline", ""},
+		{`quote"`, ""},
+	}
+	for _, c := range cases {
+		if got := SanitizeRequestID(c.in); got != c.want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// testSpan hand-builds an ended span at a fixed time, so exporter tests
+// are deterministic.
+func testSpan(tr *Trace, parent *Span, name string, start time.Time, dur time.Duration, attrs ...Attr) *Span {
+	s := &Span{name: name, start: start, tr: tr, parent: parent, dur: dur, ended: true, attrs: attrs}
+	if parent != nil {
+		parent.children = append(parent.children, s)
+	}
+	return s
+}
+
+// goldenTrace builds the fixed trace used by the exporter tests: a Merge
+// with integrate, two lowers, two overlapping kernel shards, and a
+// materialize with a radix sort — the span taxonomy the operators emit.
+func goldenTrace() *Trace {
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	at := func(ms float64) time.Time { return base.Add(time.Duration(ms * float64(time.Millisecond))) }
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+
+	tr := &Trace{id: "req-0001", start: base, sampled: true}
+	root := testSpan(tr, nil, "op.merge", base, ms(9), Attr{"operands", 2}, Attr{"cells_in", 200})
+	tr.root = root
+	tr.dur.Store(int64(ms(9)))
+
+	testSpan(tr, root, "integrate", at(0), ms(1), Attr{"metrics", 4}, Attr{"callnodes", 25})
+	testSpan(tr, root, "lower", at(1), ms(2), Attr{"operand", 0}, Attr{"cells", 100})
+	testSpan(tr, root, "lower", at(3), ms(1), Attr{"operand", 1}, Attr{"cells", 100})
+	testSpan(tr, root, "kernel", at(4), ms(3), Attr{"shard", 0}, Attr{"rows", 13}, Attr{"accumulator", "dense"})
+	testSpan(tr, root, "kernel", at(4), ms(2.5), Attr{"shard", 1}, Attr{"rows", 12}, Attr{"accumulator", "dense"})
+	mat := testSpan(tr, root, "materialize", at(7.5), ms(1.5), Attr{"cells", 180})
+	testSpan(tr, mat, "radix-sort", at(7.5), ms(0.5), Attr{"keys", 180})
+	return tr
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n got: %s\nwant: %s", path, got, want)
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTrace()); err != nil {
+		t.Fatal(err)
+	}
+	// The export must be a valid trace-event document before anything else.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 9 { // 1 metadata + 8 spans
+		t.Errorf("export has %d events, want 9", len(doc.TraceEvents))
+	}
+	checkGolden(t, "chrome_trace.golden.json", buf.Bytes())
+
+	// The overlapping kernel shards must land on distinct lanes; the
+	// nested radix-sort shares its parent's.
+	lanes := map[string][]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			lanes[ev["name"].(string)] = append(lanes[ev["name"].(string)], ev["tid"].(float64))
+		}
+	}
+	if k := lanes["kernel"]; len(k) != 2 || k[0] == k[1] {
+		t.Errorf("parallel kernel shards share a lane: %v", k)
+	}
+	if lanes["materialize"][0] != lanes["radix-sort"][0] {
+		t.Errorf("nested radix-sort not in parent lane: %v vs %v", lanes["materialize"], lanes["radix-sort"])
+	}
+}
+
+func TestWriteTreeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_tree.golden.txt", buf.Bytes())
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Errorf("empty export lacks traceEvents array: %s", buf.String())
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
@@ -49,6 +50,15 @@ type Config struct {
 	// cost CPU, so production deployments opt in (cube-server -pprof).
 	EnablePprof bool
 
+	// TraceSampleRate is the fraction of requests ([0, 1]) whose span
+	// trees are retained for GET /debug/traces; TraceSlow additionally
+	// retains — and logs through Logger, with the hottest spans inline —
+	// every request trace at least this slow, regardless of sampling.
+	// With both zero (the default) tracing is fully disabled and the
+	// /debug/traces endpoints are not mounted.
+	TraceSampleRate float64
+	TraceSlow       time.Duration
+
 	// handler overrides the service mux inside Serve; tests use it to
 	// exercise shutdown draining with controllable handlers.
 	handler http.Handler
@@ -73,10 +83,25 @@ func DefaultConfig() *Config {
 	}
 }
 
+// Validate reports configuration errors a flag parser cannot catch
+// structurally. NewHandler does not call it — programmatic callers may
+// rely on documented clamping — but cube-server rejects its flags
+// through here.
+func (c *Config) Validate() error {
+	if c.TraceSampleRate < 0 || c.TraceSampleRate > 1 {
+		return fmt.Errorf("server: trace sample rate %g out of range [0, 1]", c.TraceSampleRate)
+	}
+	if c.TraceSlow < 0 {
+		return fmt.Errorf("server: trace slow threshold %v is negative", c.TraceSlow)
+	}
+	return nil
+}
+
 // service binds the handlers to their configuration.
 type service struct {
-	cfg *Config
-	reg *obs.Registry // resolved metrics registry (may be nil in bare tests)
+	cfg    *Config
+	reg    *obs.Registry // resolved metrics registry (may be nil in bare tests)
+	tracer *obs.Tracer   // request tracer (nil unless configured)
 }
 
 // logError emits an error-level record carrying the request ID.
@@ -102,30 +127,16 @@ func (s *service) wrap(h http.Handler) http.Handler {
 
 // --- request IDs ---------------------------------------------------------------
 
-// sanitizeRequestID accepts a client-supplied X-Request-ID only if it is
-// short and printable-safe, so hostile values cannot smuggle log or header
-// injection payloads.
-func sanitizeRequestID(id string) string {
-	if len(id) == 0 || len(id) > 64 {
-		return ""
-	}
-	for _, r := range id {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '-', r == '_', r == '.':
-		default:
-			return ""
-		}
-	}
-	return id
-}
-
 // withRequestID assigns every request an ID — honoring a well-formed
-// client X-Request-ID, minting one otherwise — and propagates it on the
-// context, the response header, log lines, and error bodies.
+// client X-Request-ID (obs.SanitizeRequestID, the code path shared with
+// the client's trace-ID minting), minting one otherwise — and propagates
+// it on the context, the response header, log lines, and error bodies.
+// The ID doubles as the request's trace ID, so a traced request is
+// retrievable from /debug/traces by the X-Request-ID the caller sent or
+// received.
 func (s *service) withRequestID(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		id := obs.SanitizeRequestID(r.Header.Get("X-Request-ID"))
 		if id == "" {
 			id = obs.NewRequestID()
 		}
@@ -205,6 +216,8 @@ func routeLabel(path string) string {
 		return path
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "/debug/pprof"
+	case strings.HasPrefix(path, "/debug/traces"):
+		return "/debug/traces"
 	default:
 		return "other"
 	}
@@ -220,6 +233,10 @@ func (s *service) withTelemetry(h http.Handler) http.Handler {
 		start := time.Now()
 		st := &reqStats{}
 		r = r.WithContext(context.WithValue(r.Context(), statsKey, st))
+		sp := s.startRequestSpan(r)
+		if sp != nil {
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		inFlight.Add(1)
 		h.ServeHTTP(sw, r)
@@ -228,11 +245,17 @@ func (s *service) withTelemetry(h http.Handler) http.Handler {
 		if code == 0 {
 			code = http.StatusOK
 		}
+		if sp != nil {
+			sp.SetAttr("status", code)
+			sp.SetAttr("bytes", sw.bytes)
+			sp.End()
+		}
 		elapsed := time.Since(start)
 		route := obs.L("route", routeLabel(r.URL.Path))
 		s.reg.Counter("cube_http_requests_total", route,
 			obs.L("method", r.Method), obs.L("status", strconv.Itoa(code))).Inc()
-		s.reg.Histogram("cube_http_request_duration_seconds", obs.DefLatencyBuckets, route).Observe(elapsed.Seconds())
+		s.reg.Histogram("cube_http_request_duration_seconds", obs.DefLatencyBuckets, route).
+			ObserveExemplar(elapsed.Seconds(), sp.TraceID())
 		s.reg.Histogram("cube_http_response_bytes", obs.DefSizeBuckets, route).Observe(float64(sw.bytes))
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -246,6 +269,27 @@ func (s *service) withTelemetry(h http.Handler) http.Handler {
 			)
 		}
 	})
+}
+
+// startRequestSpan opens the request's root trace span, named after the
+// bounded route label and identified by the request ID (set by
+// withRequestID, which runs outside this middleware). Observability
+// endpoints — metrics scrapes, health checks, the trace viewer itself —
+// are not traced: they would flood the ring with noise. The span starts
+// and ends here, outside withTimeout's handler goroutine, so it
+// completes even when the handler overruns its deadline or panics.
+func (s *service) startRequestSpan(r *http.Request) *obs.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	path := r.URL.Path
+	if path == "/metrics" || path == "/healthz" || strings.HasPrefix(path, "/debug/") {
+		return nil
+	}
+	sp := s.tracer.StartTrace("http "+routeLabel(path), obs.RequestID(r.Context()))
+	sp.SetAttr("method", r.Method)
+	sp.SetAttr("path", path)
+	return sp
 }
 
 // --- panic recovery ------------------------------------------------------------

@@ -15,6 +15,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -23,6 +24,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"cube/internal/cli"
 	"cube/internal/core"
@@ -58,6 +60,8 @@ var errTooLarge = errors.New("request exceeds limits")
 //	GET  /metrics      Prometheus text exposition of the obs registry
 //	GET  /debug/vars   JSON snapshot of the same metrics + memstats
 //	GET  /debug/pprof/*  (only with Config.EnablePprof)
+//	GET  /debug/traces       recent request traces (only with tracing configured)
+//	GET  /debug/traces/{id}  one trace: Chrome trace-event JSON, ?format=tree for text
 func Handler() http.Handler {
 	return NewHandler(nil)
 }
@@ -77,6 +81,13 @@ func NewHandler(cfg *Config) http.Handler {
 	}
 	core.Instrument(s.reg)
 	cubexml.Instrument(s.reg)
+	if cfg.TraceSampleRate > 0 || cfg.TraceSlow > 0 {
+		s.tracer = obs.NewTracer(obs.TracerOptions{
+			SampleRate: cfg.TraceSampleRate,
+			Slow:       cfg.TraceSlow,
+			Logger:     cfg.Logger,
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -93,6 +104,12 @@ func NewHandler(cfg *Config) http.Handler {
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	// Like pprof, the trace viewer is opt-in: it exposes internals (paths,
+	// timings, payload sizes) and is only mounted when tracing is on.
+	if s.tracer != nil {
+		mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+		mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	}
 	return s.wrap(mux)
 }
@@ -126,6 +143,56 @@ func (s *service) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	buf.WriteTo(w)
+}
+
+// handleTraceList summarizes the tracer's retained ring, newest first.
+// Each entry's ID is the request's X-Request-ID, so a caller holding that
+// header fetches its trace from /debug/traces/{id}.
+func (s *service) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	type summary struct {
+		ID         string  `json:"id"`
+		Name       string  `json:"name"`
+		Start      string  `json:"start"`
+		DurationMS float64 `json:"duration_ms"`
+		Spans      int     `json:"spans"`
+		Sampled    bool    `json:"sampled"`
+	}
+	traces := s.tracer.Traces()
+	out := make([]summary, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, summary{
+			ID:         tr.ID(),
+			Name:       tr.Root().Name(),
+			Start:      tr.Start().UTC().Format(time.RFC3339Nano),
+			DurationMS: float64(tr.Duration()) / float64(time.Millisecond),
+			Spans:      tr.SpanCount(),
+			Sampled:    tr.Sampled(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleTraceGet serves one retained trace: Chrome trace-event JSON by
+// default (load into Perfetto / chrome://tracing), a plain-text span tree
+// with ?format=tree.
+func (s *service) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr := s.tracer.Trace(id)
+	if tr == nil {
+		httpError(w, r, http.StatusNotFound, "no retained trace %q", id)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		obs.WriteChromeTrace(w, tr)
+	case "tree":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tr.WriteTree(w)
+	default:
+		httpError(w, r, http.StatusBadRequest, "unknown format %q (want chrome or tree)", format)
+	}
 }
 
 // httpError writes a plain-text error response, stamped with the request
@@ -193,7 +260,7 @@ func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("operand %d: %w", i, err)
 		}
-		e, err := cubexml.ReadLimited(f, s.cfg.XML)
+		e, err := cubexml.ReadLimitedContext(r.Context(), f, s.cfg.XML)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("operand %d: %w", i, err)
@@ -231,7 +298,7 @@ func ctxDone(w http.ResponseWriter, r *http.Request) bool {
 // encoding failures become a clean 500 instead of a corrupted 200.
 func (s *service) writeExperiment(w http.ResponseWriter, r *http.Request, e *core.Experiment) {
 	var buf bytes.Buffer
-	if err := cubexml.Write(&buf, e); err != nil {
+	if err := cubexml.WriteContext(r.Context(), &buf, e); err != nil {
 		s.logError(r.Context(), "encoding result experiment",
 			slog.String("title", e.Title), slog.Any("err", err))
 		httpError(w, r, http.StatusInternalServerError, "encoding result: %v", err)
@@ -249,6 +316,11 @@ func (s *service) handleOp(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Parent the operator's span tree under the request's root span (nil
+	// when tracing is off or the request was not sampled — the operator
+	// then falls back to the process-wide tracer, which the server leaves
+	// unset).
+	opts.Trace = obs.SpanFromContext(r.Context())
 	operands, ok := s.operands(w, r)
 	if !ok {
 		return

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cube/internal/core"
+	"cube/internal/cubexml"
+	"cube/internal/obs"
+)
+
+// traceConfig returns a quiet config with always-on tracing and a private
+// metrics registry (so exemplar assertions see only this test's traffic).
+func traceConfig() *Config {
+	cfg := quietConfig()
+	cfg.TraceSampleRate = 1
+	cfg.Metrics = obs.NewRegistry()
+	return cfg
+}
+
+// postWithID posts operands like post, but stamps the X-Request-ID header.
+func postWithID(t *testing.T, srv *httptest.Server, path, id string, body io.Reader, contentType string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+path, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("X-Request-ID", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// chromeEventNames decodes Chrome trace-event JSON and returns the set of
+// complete-event names it contains.
+func chromeEventNames(t *testing.T, data []byte) map[string]int {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid trace-event JSON: %v\n%s", err, data)
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name]++
+		}
+	}
+	return names
+}
+
+// TestServerRequestTrace drives one traced Merge request end to end: the
+// X-Request-ID the client sent keys a single connected trace whose span
+// tree reaches from the HTTP layer down to the kernel shards, retrievable
+// from /debug/traces in both export formats.
+func TestServerRequestTrace(t *testing.T) {
+	cfg := traceConfig()
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
+
+	a, b := buildExp("a", 0), buildExp("b", 0.25)
+
+	// Send the traced request with a caller-chosen request ID.
+	const id = "trace-e2e-0001"
+	resp := postOperandsWithID(t, srv, "/op/merge?system=collapse", id, a, b)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merge status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != id {
+		t.Fatalf("X-Request-ID echoed %q, want %q", got, id)
+	}
+	resp.Body.Close()
+
+	// The trace list mentions the request by its ID.
+	lresp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []struct {
+		ID    string `json:"id"`
+		Name  string `json:"name"`
+		Spans int    `json:"spans"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatalf("decoding trace list: %v", err)
+	}
+	lresp.Body.Close()
+	found := false
+	for _, item := range list {
+		if item.ID == id {
+			found = true
+			if item.Name != "http /op/{op}" {
+				t.Errorf("trace name = %q, want %q", item.Name, "http /op/{op}")
+			}
+			if item.Spans < 5 {
+				t.Errorf("trace has %d spans, want at least request+op+integrate+lower+kernel+materialize", item.Spans)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %q not in /debug/traces list: %+v", id, list)
+	}
+
+	// Fetch by ID: Chrome trace-event JSON with the full span taxonomy.
+	gresp, err := http.Get(srv.URL + "/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d: %s", gresp.StatusCode, data)
+	}
+	names := chromeEventNames(t, data)
+	if names["http /op/{op}"] != 1 || names["op.merge"] != 1 {
+		t.Errorf("trace events missing request/op roots: %v", names)
+	}
+	if names["integrate"] != 1 || names["materialize"] != 1 {
+		t.Errorf("trace events missing integrate/materialize: %v", names)
+	}
+	if names["lower"] != 2 {
+		t.Errorf("got %d lower events, want one per operand (2): %v", names["lower"], names)
+	}
+	if names["kernel"] < 1 {
+		t.Errorf("trace events missing kernel shards: %v", names)
+	}
+	if names["cubexml.read"] != 2 || names["cubexml.write"] != 1 {
+		t.Errorf("trace events missing codec spans: %v", names)
+	}
+
+	// The tree rendering carries the same structure as text.
+	tresp, err := http.Get(srv.URL + "/debug/traces/" + id + "?format=tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	for _, want := range []string{"http /op/{op}", "op.merge", "integrate", "lower", "kernel", "materialize"} {
+		if !strings.Contains(string(tree), want) {
+			t.Errorf("tree rendering lacks %q:\n%s", want, tree)
+		}
+	}
+
+	// Unknown formats and unknown IDs answer 400/404.
+	if resp, _ := http.Get(srv.URL + "/debug/traces/" + id + "?format=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus format status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/debug/traces/no-such-trace"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace status %d, want 404", resp.StatusCode)
+	}
+
+	// The request-duration histogram carries the trace ID as an exemplar.
+	snap := cfg.Metrics.Snapshot()
+	sawExemplar := false
+	for _, h := range snap.Histograms {
+		if h.Name != "cube_http_request_duration_seconds" {
+			continue
+		}
+		for _, b := range h.Buckets {
+			if b.ExemplarTraceID == id {
+				sawExemplar = true
+			}
+		}
+	}
+	if !sawExemplar {
+		t.Errorf("no duration-histogram exemplar carries trace ID %q", id)
+	}
+}
+
+// postOperandsWithID marshals operands like post but sets X-Request-ID.
+func postOperandsWithID(t *testing.T, srv *httptest.Server, path, id string, exps ...*core.Experiment) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for i, e := range exps {
+		fw, err := mw.CreateFormFile("operand", "op"+string(rune('0'+i))+".cube")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cubexml.Write(fw, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	return postWithID(t, srv, path, id, &body, mw.FormDataContentType())
+}
+
+// TestTraceSlowRetention: with sampling off but a slow threshold set, only
+// requests exceeding the threshold are retained.
+func TestTraceSlowRetention(t *testing.T) {
+	cfg := quietConfig()
+	cfg.TraceSlow = time.Nanosecond // everything real is slower than this
+	cfg.Metrics = obs.NewRegistry()
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
+
+	a, b := buildExp("a", 0), buildExp("b", 1)
+	resp := post(t, srv, "/op/sum", a, b)
+	resp.Body.Close()
+
+	lresp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []json.RawMessage
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatalf("decoding trace list: %v", err)
+	}
+	lresp.Body.Close()
+	if len(list) != 1 {
+		t.Fatalf("slow-threshold tracer retained %d traces, want 1", len(list))
+	}
+}
+
+// TestTraceEndpointsGated: with tracing unconfigured the debug endpoints do
+// not exist, mirroring the pprof opt-in.
+func TestTraceEndpointsGated(t *testing.T) {
+	srv := newTestServer(t) // quietConfig: tracing off
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/traces status %d with tracing off, want 404", resp.StatusCode)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		ok     bool
+	}{
+		{func(c *Config) {}, true},
+		{func(c *Config) { c.TraceSampleRate = 1 }, true},
+		{func(c *Config) { c.TraceSampleRate = 0.5; c.TraceSlow = time.Second }, true},
+		{func(c *Config) { c.TraceSampleRate = -0.1 }, false},
+		{func(c *Config) { c.TraceSampleRate = 1.5 }, false},
+		{func(c *Config) { c.TraceSlow = -time.Second }, false},
+	}
+	for i, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(cfg)
+		err := cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, tc.ok)
+		}
+	}
+}
