@@ -10,7 +10,7 @@ GO ?= go
 BENCH_PATTERN ?= .
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 
-.PHONY: build test vet race bench bench-json bench-smoke trace-smoke check
+.PHONY: build test vet race bench bench-json bench-io bench-smoke trace-smoke check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,17 @@ bench:
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -json . ./internal/core > $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
+
+# Machine-readable I/O benchmark record: the fast vs legacy CUBE XML
+# reader and writer (internal/cubexml) and the server's parse-cache
+# hit/miss paths (internal/server). Writes BENCH_<date>-io.json so runs
+# sit next to the kernel benchmark records without clobbering them.
+BENCH_IO_OUT ?= BENCH_$(shell date +%F)-io.json
+
+bench-io:
+	$(GO) test -run='^$$' -bench='BenchmarkRead|BenchmarkWrite|BenchmarkParseCache' -benchmem -json \
+		./internal/cubexml ./internal/server > $(BENCH_IO_OUT)
+	@echo wrote $(BENCH_IO_OUT)
 
 # Quick CI-friendly sanity run: only the large 64x512x64 operator
 # benchmarks (kernel and legacy engines), one iteration set each.

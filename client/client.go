@@ -13,11 +13,14 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/base64"
 	"fmt"
 	"io"
 	"math/rand"
 	"mime/multipart"
 	"net/http"
+	"net/textproto"
 	"net/url"
 	"strconv"
 	"strings"
@@ -246,16 +249,29 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 }
 
 // marshalOperands builds the multipart body once so retries can replay it.
+// Each operand part carries a Content-Digest header (RFC 9530, sha-256
+// over the part body) so the server can detect corruption in transit.
 func marshalOperands(exps []*cube.Experiment) (contentType string, body []byte, err error) {
 	var buf bytes.Buffer
 	mw := multipart.NewWriter(&buf)
+	var part bytes.Buffer
 	for i, e := range exps {
-		fw, err := mw.CreateFormFile("operand", fmt.Sprintf("operand-%d.cube", i))
+		part.Reset()
+		if err := cube.Write(&part, e); err != nil {
+			return "", nil, fmt.Errorf("encoding operand %d: %w", i, err)
+		}
+		sum := sha256.Sum256(part.Bytes())
+		h := make(textproto.MIMEHeader)
+		h.Set("Content-Disposition",
+			fmt.Sprintf(`form-data; name="operand"; filename="operand-%d.cube"`, i))
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set("Content-Digest", "sha-256=:"+base64.StdEncoding.EncodeToString(sum[:])+":")
+		fw, err := mw.CreatePart(h)
 		if err != nil {
 			return "", nil, err
 		}
-		if err := cube.Write(fw, e); err != nil {
-			return "", nil, fmt.Errorf("encoding operand %d: %w", i, err)
+		if _, err := fw.Write(part.Bytes()); err != nil {
+			return "", nil, err
 		}
 	}
 	if err := mw.Close(); err != nil {

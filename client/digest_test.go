@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestUploadsCarryContentDigest verifies every multipart operand part is
+// sent with an RFC 9530 Content-Digest header whose sha-256 value matches
+// the part's bytes.
+func TestUploadsCarryContentDigest(t *testing.T) {
+	var digests, wants []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mr, err := r.MultipartReader()
+		if err != nil {
+			t.Errorf("multipart: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for {
+			part, err := mr.NextPart()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Errorf("part: %v", err)
+				break
+			}
+			data, err := io.ReadAll(part)
+			if err != nil {
+				t.Errorf("read part: %v", err)
+				break
+			}
+			sum := sha256.Sum256(data)
+			digests = append(digests, part.Header.Get("Content-Digest"))
+			wants = append(wants, "sha-256=:"+base64.StdEncoding.EncodeToString(sum[:])+":")
+		}
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+
+	a, b := testExp("a", 0), testExp("b", 0.25)
+	if _, err := fastClient(srv.URL).Op(context.Background(), "difference", nil, a, b); err != nil {
+		// The fake server returns "ok\n", not a cube document, so the
+		// client's decode fails — the upload itself is what's under test.
+		t.Logf("op (expected decode failure): %v", err)
+	}
+	if len(digests) != 2 {
+		t.Fatalf("saw %d operand parts, want 2", len(digests))
+	}
+	for i := range digests {
+		if digests[i] == "" {
+			t.Errorf("part %d: no Content-Digest header", i)
+			continue
+		}
+		if digests[i] != wants[i] {
+			t.Errorf("part %d: Content-Digest = %q, want %q", i, digests[i], wants[i])
+		}
+	}
+}

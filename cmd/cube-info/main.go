@@ -28,20 +28,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	a, err := cube.ReadFile(flag.Arg(0))
+	// ReadFileInfo streams the severity statistics instead of building the
+	// severity store, so summarising a multi-gigabyte experiment costs its
+	// metadata plus one scan.
+	a, err := cube.ReadFileInfo(flag.Arg(0))
 	if err != nil {
 		cli.Fatal("cube-info", err)
 	}
 	describe(flag.Arg(0), a)
 
 	if flag.NArg() == 2 {
-		b, err := cube.ReadFile(flag.Arg(1))
+		b, err := cube.ReadFileInfo(flag.Arg(1))
 		if err != nil {
 			cli.Fatal("cube-info", err)
 		}
 		fmt.Println()
 		describe(flag.Arg(1), b)
-		rep, err := cube.StructuralDiff(a, b, nil)
+		rep, err := cube.StructuralDiff(a.Experiment, b.Experiment, nil)
 		if err != nil {
 			cli.Fatal("cube-info", err)
 		}
@@ -49,7 +52,8 @@ func main() {
 	}
 }
 
-func describe(path string, e *cube.Experiment) {
+func describe(path string, info *cube.Info) {
+	e := info.Experiment
 	fmt.Printf("%s: %q\n", path, e.Title)
 	if e.Derived {
 		fmt.Printf("  derived by %q from %v\n", e.Operation, e.Parents)
@@ -59,8 +63,10 @@ func describe(path string, e *cube.Experiment) {
 	procs := e.Processes()
 	fmt.Printf("  system: %d machines, %d processes, %d threads\n",
 		len(e.Machines()), len(procs), len(e.Threads()))
-	fmt.Printf("  non-zero severity tuples: %d\n", e.NonZeroCount())
+	fmt.Printf("  non-zero severity tuples: %d\n", info.NonZero)
 	for _, root := range e.MetricRoots() {
-		fmt.Printf("  %-28s total %g %s\n", root.Name, e.MetricInclusive(root), root.Unit)
+		total := 0.0
+		root.Walk(func(m *cube.Metric) { total += info.MetricTotal[m] })
+		fmt.Printf("  %-28s total %g %s\n", root.Name, total, root.Unit)
 	}
 }

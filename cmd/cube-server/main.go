@@ -39,6 +39,7 @@ import (
 	"os"
 
 	"cube/internal/cli"
+	"cube/internal/cubexml"
 	"cube/internal/server"
 )
 
@@ -61,8 +62,16 @@ func main() {
 	flag.BoolVar(&cfg.EnablePprof, "pprof", false, "expose /debug/pprof/* profiling endpoints")
 	flag.Float64Var(&cfg.TraceSampleRate, "trace-sample", 0, "fraction of requests to trace [0, 1]; enables /debug/traces")
 	flag.DurationVar(&cfg.TraceSlow, "trace-slow", 0, "also trace and log every request at least this slow (0 = off)")
+	parseCacheMB := flag.Int64("parse-cache-mb", cfg.ParseCacheBytes>>20,
+		"byte budget (MiB) of the content-addressed operand parse cache (0 = disabled)")
+	readEngine := flag.String("read-engine", "auto", "CUBE XML parser: auto | fast | legacy")
 	logFormat := flag.String("log-format", "text", "structured log format: text | json")
 	flag.Parse()
+	cfg.ParseCacheBytes = *parseCacheMB << 20
+	var err error
+	if cfg.ReadEngine, err = cubexml.ParseReadEngine(*readEngine); err != nil {
+		cli.Fatal("cube-server", err)
+	}
 	if err := cfg.Validate(); err != nil {
 		cli.Fatal("cube-server", err)
 	}

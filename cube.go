@@ -26,7 +26,9 @@
 package cube
 
 import (
+	"context"
 	"io"
+	"os"
 
 	"cube/internal/core"
 	"cube/internal/cubexml"
@@ -202,3 +204,20 @@ func ReadFile(path string) (*Experiment, error) { return cubexml.ReadFile(path) 
 
 // WriteFile writes an experiment to a CUBE XML file.
 func WriteFile(path string, e *Experiment) error { return cubexml.WriteFile(path, e) }
+
+// Info summarises a CUBE document without its severity store: the
+// metadata experiment, the non-zero tuple count, and per-metric severity
+// totals.
+type Info = cubexml.Info
+
+// ReadFileInfo reads the named file's metadata and severity statistics
+// without materialising the severity store — much cheaper than ReadFile
+// for summarising large experiments (cube-info uses it).
+func ReadFileInfo(path string) (*Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cubexml.ReadInfo(context.Background(), f, cubexml.ReadOptions{Limits: cubexml.DefaultLimits})
+}

@@ -83,7 +83,29 @@ func (e *Experiment) Clone() *Experiment {
 		}
 	}
 
-	// Severity.
+	// Severity. When the original holds a valid columnar lowering, the
+	// block transfers verbatim: the clone's metadata was rebuilt in the
+	// same construction order, so its enumerations are index-isomorphic to
+	// the original's and the packed keys mean the same tuples. The copy is
+	// then two flat array copies instead of a pointer-map walk, and the
+	// clone — like a kernel result — stays columnar-only until a map-based
+	// accessor materialises the view (ensureSev). This is what makes
+	// cloning cheap enough for a parse cache to hand out copies per hit.
+	if b := e.lowered; b != nil && e.loweredSevGen == e.sevGen && e.loweredMetaGen == e.metaGen && e.sev == nil {
+		out.dirty = true
+		out.reindex()
+		out.sevGen++
+		out.sev = nil
+		out.lowered = &sevBlock{
+			key: append([]uint64(nil), b.key...),
+			val: append([]float64(nil), b.val...),
+			nC:  b.nC,
+			nT:  b.nT,
+		}
+		out.loweredSevGen = out.sevGen
+		out.loweredMetaGen = out.metaGen
+		return out
+	}
 	for k, v := range e.sevMap() {
 		nm, ok1 := mMap[k.m]
 		nc, ok2 := cMap[k.c]

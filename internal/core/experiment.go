@@ -432,6 +432,47 @@ func (e *Experiment) EachSeverity(fn func(m *Metric, c *CallNode, t *Thread, v f
 	}
 }
 
+// EachSeverityRow calls fn for every (metric, call node) pair that stores
+// at least one severity tuple, in enumeration order, with vals holding the
+// row's per-thread values densely (absent tuples as zero). vals is reused
+// between calls and is only valid for the duration of one call. Returning
+// false stops the iteration. Like EachSeverity, the walk runs off the
+// cached columnar lowering; this is the egress seam the fast XML writer
+// streams severity matrices from without materialising the map view.
+func (e *Experiment) EachSeverityRow(fn func(mi, ci int, vals []float64) bool) {
+	b := e.loweredBlock()
+	nT := len(e.threads)
+	if nT == 0 || b.len() == 0 {
+		return
+	}
+	vals := make([]float64, nT)
+	for i := 0; i < b.len(); {
+		row := b.key[i] / b.nT // packed (metric, call node) of this row
+		for t := range vals {
+			vals[t] = 0
+		}
+		j := i
+		for ; j < b.len() && b.key[j]/b.nT == row; j++ {
+			vals[b.key[j]%b.nT] = b.val[j]
+		}
+		if !fn(int(row/b.nC), int(row%b.nC), vals) {
+			return
+		}
+		i = j
+	}
+}
+
+// CompactSeverities lowers the severity store to its columnar block and
+// reports whether the block is now the primary store (the pointer-keyed
+// map view was dropped). This fails only for invalid experiments whose
+// map references unregistered metadata. Callers that hold many parsed
+// experiments (the server's parse cache) compact them so clones take the
+// cheap columnar path.
+func (e *Experiment) CompactSeverities() bool {
+	e.loweredBlock()
+	return e.sev == nil
+}
+
 // --- Aggregation helpers ---------------------------------------------------
 
 // MetricValue returns the severity of metric m at call node c summed over

@@ -158,8 +158,33 @@ func (e *Experiment) Validate() error {
 		}
 	}
 
-	// Severity function.
+	// Severity function. An experiment whose store is columnar-only (a
+	// kernel result or a fast-path parse) is validated off the block
+	// directly: materialising the pointer-keyed map view just to check
+	// values would cost more than the whole parse. Block keys reference
+	// enumeration indices, so "unregistered metadata" cannot arise; the
+	// single max-key guard below catches a corrupt packing (keys ascend,
+	// and the mod/div unpacking keeps the call-node and thread components
+	// in range by construction, so only the metric component can escape).
 	e.reindex()
+	if b := e.lowered; e.sev == nil && b != nil && e.loweredSevGen == e.sevGen && e.loweredMetaGen == e.metaGen {
+		if n := b.len(); n > 0 {
+			if len(e.cnodes) == 0 || len(e.threads) == 0 {
+				return invalid("severity", "severity tuples stored but the call or system dimension is empty")
+			}
+			if int(b.key[n-1]/(b.nC*b.nT)) >= len(e.metrics) {
+				return invalid("severity", "severity key out of range of the metric dimension")
+			}
+		}
+		for i, v := range b.val {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				mi, ci, ti := b.at(i)
+				return invalid("severity", "severity of (%s, %s, %s) is %v",
+					e.metrics[mi].Name, e.cnodes[ci].Path(), e.threads[ti], v)
+			}
+		}
+		return nil
+	}
 	for k, v := range e.sevMap() {
 		if _, ok := e.metricIndex[k.m]; !ok {
 			return invalid("severity", "severity refers to unregistered metric %q", k.m.Name)

@@ -168,7 +168,76 @@ func WriteContext(ctx context.Context, w io.Writer, e *core.Experiment) error {
 	return err
 }
 
+// write is the default encode path: the fast emitter of fastwrite.go,
+// which produces bytes identical to writeLegacy (the differential tests
+// in fastwrite_test.go hold it to that).
 func write(w io.Writer, e *core.Experiment) error {
+	return writeFast(w, e)
+}
+
+// writeLegacy is the original encoder-driven path, kept as the reference
+// implementation: it builds the full document including severity matrices
+// and hands it to encoding/xml.
+func writeLegacy(w io.Writer, e *core.Experiment) error {
+	doc, metricID, cnodeID := buildDocMeta(e)
+
+	// Severity: the dense 3-D array, one matrix per metric, one row per
+	// call node, one value per thread; all-zero rows and matrices are
+	// omitted to keep files compact (absent tuples read back as zero).
+	threads := e.Threads()
+	var sb strings.Builder
+	for _, m := range e.Metrics() {
+		mi := metricID[m]
+		var mx *xMatrix
+		for _, c := range e.CallNodes() {
+			ci := cnodeID[c]
+			nonZero := false
+			sb.Reset()
+			for ti, t := range threads {
+				v := e.Severity(m, c, t)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					// The format carries no non-finite policy; reject at
+					// the boundary rather than emit a file other readers
+					// choke on (mirrors the check in decodeDoc).
+					return fmt.Errorf("cubexml: severity of metric %q at %q is %v; refusing to encode non-finite values",
+						m.Name, c.Path(), v)
+				}
+				if v != 0 {
+					nonZero = true
+				}
+				if ti > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(formatValue(v))
+			}
+			if !nonZero {
+				continue
+			}
+			if mx == nil {
+				doc.Matrices = append(doc.Matrices, xMatrix{Metric: mi})
+				mx = &doc.Matrices[len(doc.Matrices)-1]
+			}
+			mx.Rows = append(mx.Rows, xRow{CNode: ci, Values: sb.String()})
+		}
+	}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("cubexml: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// buildDocMeta builds the document's metadata — everything except the
+// severity matrices — plus the id enumerations severity references use.
+// Shared by both writers so their id assignment is identical by
+// construction.
+func buildDocMeta(e *core.Experiment) (xCube, map[*core.Metric]int, map[*core.CallNode]int) {
 	doc := xCube{Version: Version}
 	doc.Doc = xDoc{
 		Title:     e.Title,
@@ -290,61 +359,11 @@ func write(w io.Writer, e *core.Experiment) error {
 		doc.Topology = xt
 	}
 
-	// Severity: the dense 3-D array, one matrix per metric, one row per
-	// call node, one value per thread; all-zero rows and matrices are
-	// omitted to keep files compact (absent tuples read back as zero).
-	threads := e.Threads()
-	var sb strings.Builder
-	for mi, m := range e.Metrics() {
-		var mx *xMatrix
-		for ci, c := range e.CallNodes() {
-			nonZero := false
-			sb.Reset()
-			for ti, t := range threads {
-				v := e.Severity(m, c, t)
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					// The format carries no non-finite policy; reject at
-					// the boundary rather than emit a file other readers
-					// choke on (mirrors the check in decodeDoc).
-					return fmt.Errorf("cubexml: severity of metric %q at %q is %v; refusing to encode non-finite values",
-						m.Name, c.Path(), v)
-				}
-				if v != 0 {
-					nonZero = true
-				}
-				if ti > 0 {
-					sb.WriteByte(' ')
-				}
-				sb.WriteString(formatValue(v))
-			}
-			if !nonZero {
-				continue
-			}
-			if mx == nil {
-				doc.Matrices = append(doc.Matrices, xMatrix{Metric: mi})
-				mx = &doc.Matrices[len(doc.Matrices)-1]
-			}
-			mx.Rows = append(mx.Rows, xRow{CNode: ci, Values: sb.String()})
-		}
-	}
-
-	if _, err := io.WriteString(w, xml.Header); err != nil {
-		return err
-	}
-	enc := xml.NewEncoder(w)
-	enc.Indent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return fmt.Errorf("cubexml: encode: %w", err)
-	}
-	_, err := io.WriteString(w, "\n")
-	return err
+	return doc, metricID, cnodeID
 }
 
 func formatValue(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
-		return strconv.FormatInt(int64(v), 10)
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	return string(appendValue(nil, v))
 }
 
 // WriteFile writes the experiment to the named file.
@@ -393,10 +412,10 @@ func ReadContext(ctx context.Context, r io.Reader) (*core.Experiment, error) {
 	return ReadLimitedContext(ctx, r, DefaultLimits)
 }
 
-// ReadLimited parses a CUBE XML document from r, first verifying the
-// structural limits with a streaming token scan. When r is seekable (files,
-// multipart uploads) the scan costs no extra memory; otherwise the scanned
-// bytes are buffered for the decode pass.
+// ReadLimited parses a CUBE XML document from r, enforcing the given
+// structural limits. It uses the default (auto) engine: the fast byte
+// scanner when the document is inside its subset, the legacy decoder
+// otherwise — see ReadWith and ReadEngine for control over this choice.
 func ReadLimited(r io.Reader, lim Limits) (*core.Experiment, error) {
 	return ReadLimitedContext(context.Background(), r, lim)
 }
@@ -404,18 +423,9 @@ func ReadLimited(r io.Reader, lim Limits) (*core.Experiment, error) {
 // ReadLimitedContext is ReadLimited carrying a context for tracing: the
 // parse runs under a "cubexml.read" span (child of the span in ctx, or a
 // root on the process tracer) annotated with the elements scanned and
-// bytes decoded. The span wraps the internals rather than the reader, so
-// the seekable fast path of the limit scan is preserved.
+// bytes decoded.
 func ReadLimitedContext(ctx context.Context, r io.Reader, lim Limits) (*core.Experiment, error) {
-	sp, _ := obs.StartSpanContext(ctx, "cubexml.read")
-	e, err := readLimited(r, lim, sp)
-	if sp != nil {
-		if err != nil {
-			sp.SetAttr("error", err.Error())
-		}
-		sp.End()
-	}
-	return e, err
+	return ReadWith(ctx, r, ReadOptions{Limits: lim})
 }
 
 func readLimited(r io.Reader, lim Limits, sp *obs.Span) (*core.Experiment, error) {
@@ -517,9 +527,55 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("cubexml: decode: %w", err)
 	}
-	if doc.Version != "" && doc.Version != Version {
-		return nil, fmt.Errorf("cubexml: unsupported version %q (want %q)", doc.Version, Version)
+	e, metricByID, cnodeByID, err := buildFromDoc(&doc)
+	if err != nil {
+		return nil, err
 	}
+	if err := applySeverity(e, doc.Matrices, metricByID, cnodeByID); err != nil {
+		return nil, err
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("cubexml: file describes an invalid experiment: %w", err)
+	}
+	return e, nil
+}
+
+// buildMeta decodes a document (with or without its severity sections)
+// and builds the metadata experiment. The fast read path feeds it the
+// document with severity spliced out; the id maps let the caller resolve
+// severity references itself.
+func buildMeta(r io.Reader) (*core.Experiment, map[int]*core.Metric, map[int]*core.CallNode, error) {
+	var doc xCube
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, nil, fmt.Errorf("cubexml: decode: %w", err)
+	}
+	return buildFromDoc(&doc)
+}
+
+// interner deduplicates decoder-allocated strings that repeat across a
+// document (units, module paths, file names), so large metadata sections
+// retain one copy per distinct value.
+type interner map[string]string
+
+func (in interner) intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if v, ok := in[s]; ok {
+		return v
+	}
+	in[s] = s
+	return s
+}
+
+// buildFromDoc constructs the metadata dimensions of the experiment from
+// the decoded document: everything except the severity matrices.
+func buildFromDoc(doc *xCube) (*core.Experiment, map[int]*core.Metric, map[int]*core.CallNode, error) {
+	if doc.Version != "" && doc.Version != Version {
+		return nil, nil, nil, fmt.Errorf("cubexml: unsupported version %q (want %q)", doc.Version, Version)
+	}
+	in := interner{}
 
 	e := core.New(doc.Doc.Title)
 	e.Derived = doc.Doc.Derived
@@ -536,6 +592,7 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 		if !core.ValidUnit(core.Unit(xm.UOM)) {
 			return fmt.Errorf("cubexml: metric %q has invalid unit %q", xm.Name, xm.UOM)
 		}
+		xm.UOM = in.intern(xm.UOM)
 		var m *core.Metric
 		if parent == nil {
 			m = e.NewMetric(xm.Name, core.Unit(xm.UOM), xm.Descr)
@@ -558,7 +615,7 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 	}
 	for _, xm := range doc.Metrics {
 		if err := buildMetric(xm, nil); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 
@@ -566,9 +623,9 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 	regionByID := map[int]*core.Region{}
 	for _, xr := range doc.Program.Regions {
 		if _, dup := regionByID[xr.ID]; dup {
-			return nil, fmt.Errorf("cubexml: duplicate region id %d", xr.ID)
+			return nil, nil, nil, fmt.Errorf("cubexml: duplicate region id %d", xr.ID)
 		}
-		rg := e.NewRegion(xr.Name, xr.Mod, xr.Begin, xr.End)
+		rg := e.NewRegion(xr.Name, in.intern(xr.Mod), xr.Begin, xr.End)
 		rg.Description = xr.Descr
 		regionByID[xr.ID] = rg
 	}
@@ -576,12 +633,12 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 	for _, xs := range doc.Program.Sites {
 		callee, ok := regionByID[xs.Callee]
 		if !ok {
-			return nil, fmt.Errorf("cubexml: call site %d references unknown region %d", xs.ID, xs.Callee)
+			return nil, nil, nil, fmt.Errorf("cubexml: call site %d references unknown region %d", xs.ID, xs.Callee)
 		}
 		if _, dup := siteByID[xs.ID]; dup {
-			return nil, fmt.Errorf("cubexml: duplicate call site id %d", xs.ID)
+			return nil, nil, nil, fmt.Errorf("cubexml: duplicate call site id %d", xs.ID)
 		}
-		siteByID[xs.ID] = e.NewCallSite(xs.File, xs.Line, callee)
+		siteByID[xs.ID] = e.NewCallSite(in.intern(xs.File), xs.Line, callee)
 	}
 	cnodeByID := map[int]*core.CallNode{}
 	var buildCNode func(xn xCNode, parent *core.CallNode) error
@@ -609,7 +666,7 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 	}
 	for _, xn := range doc.Program.CNodes {
 		if err := buildCNode(xn, nil); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 
@@ -641,7 +698,7 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 			for _, f := range fields {
 				v, err := strconv.Atoi(f)
 				if err != nil {
-					return nil, fmt.Errorf("cubexml: bad topology coordinate %q: %w", f, err)
+					return nil, nil, nil, fmt.Errorf("cubexml: bad topology coordinate %q: %w", f, err)
 				}
 				coord = append(coord, v)
 			}
@@ -650,45 +707,48 @@ func decodeDoc(r io.Reader) (*core.Experiment, error) {
 		e.SetTopology(topo)
 	}
 
-	// Severity matrices.
+	return e, metricByID, cnodeByID, nil
+}
+
+// applySeverity replays the decoded severity matrices into the experiment's
+// map store; this is the legacy severity path the fast reader's parallel
+// columnar ingest is measured against. SetSeverity semantics apply: zero
+// values delete, repeated tuples overwrite.
+func applySeverity(e *core.Experiment, matrices []xMatrix, metricByID map[int]*core.Metric, cnodeByID map[int]*core.CallNode) error {
 	threads := e.Threads()
-	for _, mx := range doc.Matrices {
+	for _, mx := range matrices {
 		m, ok := metricByID[mx.Metric]
 		if !ok {
-			return nil, fmt.Errorf("cubexml: severity matrix references unknown metric id %d", mx.Metric)
+			return fmt.Errorf("cubexml: severity matrix references unknown metric id %d", mx.Metric)
 		}
 		for _, row := range mx.Rows {
 			c, ok := cnodeByID[row.CNode]
 			if !ok {
-				return nil, fmt.Errorf("cubexml: severity row references unknown call node id %d", row.CNode)
+				return fmt.Errorf("cubexml: severity row references unknown call node id %d", row.CNode)
 			}
 			fields := strings.Fields(row.Values)
 			if len(fields) != len(threads) {
-				return nil, fmt.Errorf("cubexml: severity row for metric %d cnode %d has %d values, want %d (one per thread)",
+				return fmt.Errorf("cubexml: severity row for metric %d cnode %d has %d values, want %d (one per thread)",
 					mx.Metric, row.CNode, len(fields), len(threads))
 			}
 			for ti, f := range fields {
 				v, err := strconv.ParseFloat(f, 64)
 				if err != nil {
-					return nil, fmt.Errorf("cubexml: bad severity value %q: %w", f, err)
+					return fmt.Errorf("cubexml: bad severity value %q: %w", f, err)
 				}
 				if math.IsNaN(v) || math.IsInf(v, 0) {
 					// Reject non-finite severities right at the parse
 					// boundary: Validate would catch them too, but only
 					// after the whole document is decoded, and with a less
 					// precise location.
-					return nil, fmt.Errorf("cubexml: non-finite severity %q for metric %d, call node %d, thread %d",
+					return fmt.Errorf("cubexml: non-finite severity %q for metric %d, call node %d, thread %d",
 						f, mx.Metric, row.CNode, ti)
 				}
 				e.SetSeverity(m, c, threads[ti], v)
 			}
 		}
 	}
-
-	if err := e.Validate(); err != nil {
-		return nil, fmt.Errorf("cubexml: file describes an invalid experiment: %w", err)
-	}
-	return e, nil
+	return nil
 }
 
 // ReadFile reads an experiment from the named file.

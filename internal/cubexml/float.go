@@ -1,0 +1,182 @@
+package cubexml
+
+import (
+	"math"
+	"strconv"
+)
+
+// Severity value codec shared by the fast and legacy I/O paths.
+//
+// Reading: parseFloat converts the byte representation of one severity
+// value without allocating for the forms this package itself emits
+// (plain decimals with an optional exponent). The fast conversion is the
+// classic Clinger fast path — exact when the decimal mantissa fits a
+// float64 integer (≤ 2⁵³) and the scale is a power of ten that is itself
+// exactly representable (10⁰…10²²): one multiplication or division of
+// two exact values is correctly rounded by IEEE-754. Everything outside
+// that window (hex floats, Inf/NaN spellings, underscores, very long
+// digit strings) falls back to strconv.ParseFloat, so accepted inputs,
+// results, and error text stay bit-identical to the legacy decoder.
+//
+// Writing: appendValue is the append-style twin of formatValue. The
+// integer fast path is deliberately bounded by |v| < 1e15 with a STRICT
+// comparison: the first value past the boundary, 1e15 + 1, must take the
+// shortest-float form ("1.000000000000001e+15") — widening the bound or
+// printing through a fixed precision would emit a rounded integer that
+// no longer round-trips exactly. The boundary lives in exactly one place
+// so the two writers cannot drift.
+
+// pow10 holds the powers of ten exactly representable in float64.
+var pow10 = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+	1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloat parses b as a float64 with strconv.ParseFloat semantics.
+func parseFloat(b []byte) (float64, error) {
+	if v, ok := parseFloatFast(b); ok {
+		return v, nil
+	}
+	// Rare forms (and all syntax errors) go through strconv so error
+	// values match the legacy decoder exactly. The string conversion
+	// allocates, but only for inputs no writer of this format produces.
+	return strconv.ParseFloat(string(b), 64)
+}
+
+// parseFloatFast handles sign, decimal digits, an optional fraction, and
+// an optional decimal exponent. It reports ok only when the result is
+// provably exact under the Clinger argument above; any other input —
+// including anything syntactically suspect — is left to strconv.
+func parseFloatFast(b []byte) (float64, bool) {
+	i, n := 0, len(b)
+	if n == 0 {
+		return 0, false
+	}
+	neg := false
+	switch b[0] {
+	case '+':
+		i++
+	case '-':
+		neg = true
+		i++
+	}
+	var mant uint64
+	digits := 0 // significant digits accumulated into mant
+	exp := 0    // decimal exponent applied to mant
+	sawDigit := false
+
+	// Integer part. Leading zeros are skipped without consuming mantissa
+	// capacity.
+	for i < n {
+		c := b[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		sawDigit = true
+		if digits == 0 && c == '0' {
+			i++
+			continue
+		}
+		if digits >= 19 {
+			return 0, false // would not fit uint64 exactly
+		}
+		mant = mant*10 + uint64(c-'0')
+		digits++
+		i++
+	}
+
+	// Fraction.
+	if i < n && b[i] == '.' {
+		i++
+		for i < n {
+			c := b[i]
+			if c < '0' || c > '9' {
+				break
+			}
+			sawDigit = true
+			switch {
+			case digits == 0 && c == '0':
+				exp-- // leading zero of a sub-one value: pure scaling
+			case digits >= 19:
+				if c != '0' {
+					return 0, false
+				}
+				// Trailing zero beyond capacity: value unchanged.
+			default:
+				mant = mant*10 + uint64(c-'0')
+				digits++
+				exp--
+			}
+			i++
+		}
+	}
+	if !sawDigit {
+		return 0, false
+	}
+
+	// Exponent.
+	if i < n && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		esign := 1
+		if i < n {
+			switch b[i] {
+			case '+':
+				i++
+			case '-':
+				esign = -1
+				i++
+			}
+		}
+		if i >= n {
+			return 0, false
+		}
+		e10 := 0
+		for i < n {
+			c := b[i]
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			if e10 < 1<<20 {
+				e10 = e10*10 + int(c-'0')
+			}
+			i++
+		}
+		exp += esign * e10
+	}
+	if i != n {
+		return 0, false // trailing bytes: underscores, hex, garbage
+	}
+
+	if mant > 1<<53 {
+		return 0, false
+	}
+	var v float64
+	switch {
+	case mant == 0:
+		v = 0
+	case exp == 0:
+		v = float64(mant)
+	case exp > 0 && exp < len(pow10):
+		v = float64(mant) * pow10[exp]
+		if math.IsInf(v, 0) {
+			return 0, false // overflow rounding differs; let strconv decide
+		}
+	case exp < 0 && -exp < len(pow10):
+		v = float64(mant) / pow10[-exp]
+	default:
+		return 0, false
+	}
+	if neg {
+		v = -v // preserves the sign of zero, like strconv
+	}
+	return v, true
+}
+
+// appendValue appends the canonical textual form of a severity value —
+// the exact bytes formatValue returns — without allocating.
+func appendValue(dst []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(dst, int64(v), 10)
+	}
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}

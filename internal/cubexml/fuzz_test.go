@@ -18,7 +18,7 @@ func FuzzRead(f *testing.F) {
 	// Severities at the formatValue integer/float switchover (±1e15) and
 	// near-integer values, plus non-finite text the reader must reject
 	// without panicking.
-	for _, v := range []float64{1e15, -(1e15 - 1), 1e15 + 2, 999999999999999.5, 0.1 + 0.2} {
+	for _, v := range []float64{1e15, -(1e15 - 1), 1e15 + 1, -(1e15 + 1), 1e15 + 2, 999999999999999.5, 0.1 + 0.2} {
 		e := sample()
 		e.SetSeverity(e.Metrics()[0], e.CallNodes()[0], e.Threads()[0], v)
 		buf.Reset()

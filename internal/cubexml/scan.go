@@ -1,0 +1,426 @@
+package cubexml
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// This file is the front half of the fast read path: a single-pass byte
+// lexer over a complete CUBE XML document that (a) enforces Limits with
+// the same element/depth accounting as the legacy token scan and (b) maps
+// the document's shape — the byte ranges of the <severity> sections and,
+// inside them, every <matrix metric=…> and <row cnode=…>text</row> — so
+// the severity values can be parsed straight out of the input buffer
+// without ever materialising xml tokens for them.
+//
+// The lexer recognises the document shape this package's writer produces
+// plus the obvious variations (attribute order and quoting, whitespace,
+// comments and processing instructions between metadata elements,
+// self-closing tags). Anything outside that subset — DOCTYPE directives,
+// CDATA or entity references inside the severity section, prefixed
+// element names, mismatched tags, a metric id appearing in two matrices
+// (the legacy store's overwrite semantics would apply) — makes it stop
+// with errBail, and the caller re-reads the buffered document through the
+// legacy decoder, which is the semantics of record for every exotic
+// input. Bailing is never an error the user sees; it is only ever slower.
+
+// errBail marks a document outside the fast-path subset; the reader falls
+// back to the legacy decoder (EngineAuto) or reports it (EngineFast).
+var errBail = errors.New("cubexml: document outside the fast-path subset")
+
+// rowShape locates one severity row in the input buffer.
+type rowShape struct {
+	cnode              int // cnode attribute (XML id, not enumeration index)
+	textStart, textEnd int // the row's character data
+}
+
+// matrixShape locates one severity matrix in the input buffer.
+type matrixShape struct {
+	metricID int // metric attribute (XML id)
+	rows     []rowShape
+}
+
+// scanResult is the document map the fast decoder consumes.
+type scanResult struct {
+	elements  int           // start elements up to the end of the root, stream order
+	rootEnd   int           // offset just past the root end tag
+	sevRanges [][2]int      // byte ranges of the <severity> elements, doc order
+	matrices  []matrixShape // all matrices across all severity sections, doc order
+}
+
+// scan modes: outside any severity section, directly inside <severity>,
+// directly inside <matrix>.
+const (
+	modeMeta = iota
+	modeSeverity
+	modeMatrix
+)
+
+var (
+	nameSeverity = []byte("severity")
+	nameMatrix   = []byte("matrix")
+	nameRow      = []byte("row")
+)
+
+// scanDoc lexes data up to the end of its root element. It returns
+// errBail for anything outside the fast-path subset (res is then
+// partial), or a Limits violation with exactly the wrapping and
+// element-order accounting of the legacy checkLimits scan.
+func scanDoc(data []byte, lim Limits) (res scanResult, err error) {
+	var stack [][]byte // open element names, root first
+	mode := modeMeta
+	sevStart := -1
+	var metricSeen map[int]struct{}
+	i, n := 0, len(data)
+
+	for i < n {
+		if data[i] != '<' {
+			if mode == modeMeta && len(stack) > 0 {
+				// Metadata character data is opaque to the scan; the
+				// validated decoder interprets it later.
+				j := bytes.IndexByte(data[i:], '<')
+				if j < 0 {
+					return res, errBail
+				}
+				i += j
+				continue
+			}
+			// Prolog/epilog and the gaps between severity elements may
+			// only hold whitespace.
+			if !isXMLSpace(data[i]) {
+				return res, errBail
+			}
+			i++
+			continue
+		}
+		if i+1 >= n {
+			return res, errBail
+		}
+		switch data[i+1] {
+		case '?': // processing instruction (including the XML declaration)
+			if mode != modeMeta {
+				return res, errBail
+			}
+			j := bytes.Index(data[i+2:], []byte("?>"))
+			if j < 0 {
+				return res, errBail
+			}
+			i += 2 + j + 2
+			continue
+		case '!':
+			if mode != modeMeta {
+				return res, errBail
+			}
+			switch {
+			case bytes.HasPrefix(data[i:], []byte("<!--")):
+				j := bytes.Index(data[i+4:], []byte("-->"))
+				if j < 0 {
+					return res, errBail
+				}
+				i += 4 + j + 3
+			case bytes.HasPrefix(data[i:], []byte("<![CDATA[")) && len(stack) > 0:
+				j := bytes.Index(data[i+9:], []byte("]]>"))
+				if j < 0 {
+					return res, errBail
+				}
+				i += 9 + j + 3
+			default: // DOCTYPE and other directives
+				return res, errBail
+			}
+			continue
+		case '/': // end tag
+			j := bytes.IndexByte(data[i+2:], '>')
+			if j < 0 {
+				return res, errBail
+			}
+			name := data[i+2 : i+2+j]
+			for len(name) > 0 && isXMLSpace(name[len(name)-1]) {
+				name = name[:len(name)-1]
+			}
+			if len(stack) == 0 || !bytes.Equal(stack[len(stack)-1], name) {
+				return res, errBail
+			}
+			stack = stack[:len(stack)-1]
+			i += 2 + j + 1
+			switch mode {
+			case modeMatrix: // closed </matrix>
+				mode = modeSeverity
+			case modeSeverity: // closed </severity>
+				res.sevRanges = append(res.sevRanges, [2]int{sevStart, i})
+				mode = modeMeta
+			}
+			if len(stack) == 0 {
+				res.rootEnd = i
+				return res, nil
+			}
+			continue
+		}
+
+		// Start tag.
+		tagStart := i
+		name, attrs, selfClose, next, ok := lexStartTag(data, i)
+		if !ok || bytes.IndexByte(name, ':') >= 0 {
+			// Prefixed names can still bind to the unqualified decoder
+			// fields; let the decoder sort out namespaces.
+			return res, errBail
+		}
+		res.elements++
+		if lim.MaxElements > 0 && res.elements > lim.MaxElements {
+			return res, fmt.Errorf("cubexml: %w: more than %d elements", ErrLimit, lim.MaxElements)
+		}
+		if lim.MaxDepth > 0 && len(stack)+1 > lim.MaxDepth {
+			return res, fmt.Errorf("cubexml: %w: elements nested deeper than %d", ErrLimit, lim.MaxDepth)
+		}
+		i = next
+
+		switch mode {
+		case modeMeta:
+			if len(stack) == 1 && bytes.Equal(name, nameSeverity) {
+				if selfClose {
+					res.sevRanges = append(res.sevRanges, [2]int{tagStart, next})
+					continue
+				}
+				sevStart = tagStart
+				mode = modeSeverity
+				stack = append(stack, name)
+				continue
+			}
+			if selfClose {
+				if len(stack) == 0 { // self-closing root
+					res.rootEnd = next
+					return res, nil
+				}
+				continue
+			}
+			stack = append(stack, name)
+
+		case modeSeverity:
+			if !bytes.Equal(name, nameMatrix) {
+				return res, errBail
+			}
+			id, ok := intAttr(attrs, "metric")
+			if !ok {
+				return res, errBail
+			}
+			if metricSeen == nil {
+				metricSeen = make(map[int]struct{}, 8)
+			}
+			if _, dup := metricSeen[id]; dup {
+				// Two matrices for one metric: the legacy store's
+				// last-write-wins semantics apply, which zero-skipping
+				// cannot reproduce.
+				return res, errBail
+			}
+			metricSeen[id] = struct{}{}
+			res.matrices = append(res.matrices, matrixShape{metricID: id})
+			if !selfClose {
+				mode = modeMatrix
+				stack = append(stack, name)
+			}
+
+		case modeMatrix:
+			if !bytes.Equal(name, nameRow) {
+				return res, errBail
+			}
+			cn, ok := intAttr(attrs, "cnode")
+			if !ok {
+				return res, errBail
+			}
+			m := &res.matrices[len(res.matrices)-1]
+			if selfClose {
+				m.rows = append(m.rows, rowShape{cnode: cn, textStart: next, textEnd: next})
+				continue
+			}
+			// The row's character data runs to the next '<', which must
+			// open this row's end tag; anything else (child elements,
+			// comments, CDATA) is outside the subset. The text bytes
+			// themselves are vetted later, when the values are parsed.
+			lt := bytes.IndexByte(data[next:], '<')
+			if lt < 0 {
+				return res, errBail
+			}
+			textEnd := next + lt
+			k := textEnd + 1
+			if k >= n || data[k] != '/' {
+				return res, errBail
+			}
+			k++
+			if !bytes.HasPrefix(data[k:], nameRow) {
+				return res, errBail
+			}
+			k += len(nameRow)
+			for k < n && isXMLSpace(data[k]) {
+				k++
+			}
+			if k >= n || data[k] != '>' {
+				return res, errBail
+			}
+			m.rows = append(m.rows, rowShape{cnode: cn, textStart: next, textEnd: textEnd})
+			i = k + 1
+		}
+	}
+	// Input ended inside the document; the legacy decoder owns the
+	// canonical truncation error.
+	return res, errBail
+}
+
+func isXMLSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// isNameByte covers the ASCII subset of XML name characters. Names with
+// characters outside it (unicode names) fail the lex and bail to the
+// legacy decoder.
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.' || c == ':'
+}
+
+// lexStartTag lexes the start tag at data[i] (data[i] == '<'): the element
+// name, the raw attribute section (quote-aware, since '>' may legally
+// appear inside attribute values), whether the tag self-closes, and the
+// offset just past '>'.
+func lexStartTag(data []byte, i int) (name, attrs []byte, selfClose bool, next int, ok bool) {
+	n := len(data)
+	j := i + 1
+	for j < n && isNameByte(data[j]) {
+		j++
+	}
+	if j == i+1 {
+		return nil, nil, false, 0, false
+	}
+	name = data[i+1 : j]
+	attrStart := j
+	for {
+		for j < n && isXMLSpace(data[j]) {
+			j++
+		}
+		if j >= n {
+			return nil, nil, false, 0, false
+		}
+		switch data[j] {
+		case '>':
+			return name, data[attrStart:j], false, j + 1, true
+		case '/':
+			if j+1 < n && data[j+1] == '>' {
+				return name, data[attrStart:j], true, j + 2, true
+			}
+			return nil, nil, false, 0, false
+		}
+		// Attribute: name, '=', quoted value.
+		k := j
+		for k < n && isNameByte(data[k]) {
+			k++
+		}
+		if k == j {
+			return nil, nil, false, 0, false
+		}
+		for k < n && isXMLSpace(data[k]) {
+			k++
+		}
+		if k >= n || data[k] != '=' {
+			return nil, nil, false, 0, false
+		}
+		k++
+		for k < n && isXMLSpace(data[k]) {
+			k++
+		}
+		if k >= n || (data[k] != '"' && data[k] != '\'') {
+			return nil, nil, false, 0, false
+		}
+		q := data[k]
+		k++
+		for k < n && data[k] != q {
+			k++
+		}
+		if k >= n {
+			return nil, nil, false, 0, false
+		}
+		j = k + 1
+	}
+}
+
+// intAttr extracts an integer attribute from a lexed attribute section.
+// An absent attribute reads as 0, matching the decoder's zero default;
+// when the attribute repeats, the last occurrence wins, as it does in the
+// decoder. ok is false when the value is not a plain decimal integer the
+// decoder would accept identically.
+func intAttr(attrs []byte, name string) (val int, ok bool) {
+	ok = true
+	i, n := 0, len(attrs)
+	for {
+		for i < n && isXMLSpace(attrs[i]) {
+			i++
+		}
+		if i >= n {
+			return val, ok
+		}
+		j := i
+		for j < n && isNameByte(attrs[j]) {
+			j++
+		}
+		an := attrs[i:j]
+		for j < n && isXMLSpace(attrs[j]) {
+			j++
+		}
+		if j >= n || attrs[j] != '=' {
+			return 0, false // unreachable for sections lexStartTag accepted
+		}
+		j++
+		for j < n && isXMLSpace(attrs[j]) {
+			j++
+		}
+		if j >= n {
+			return 0, false
+		}
+		q := attrs[j]
+		j++
+		k := j
+		for k < n && attrs[k] != q {
+			k++
+		}
+		if k >= n {
+			return 0, false
+		}
+		if string(an) == name { // comparison does not allocate
+			val, ok = atoiBytes(attrs[j:k])
+			if !ok {
+				return 0, false
+			}
+		}
+		i = k + 1
+	}
+}
+
+// atoiBytes parses a small decimal integer; anything strconv.Atoi would
+// reject — or that might overflow — reports !ok so the document bails to
+// the decoder's canonical handling.
+func atoiBytes(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	i, neg := 0, false
+	switch b[0] {
+	case '-':
+		neg = true
+		i = 1
+	case '+':
+		i = 1
+	}
+	if i == len(b) {
+		return 0, false
+	}
+	v := 0
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

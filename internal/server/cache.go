@@ -1,0 +1,186 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"strings"
+	"sync"
+
+	"cube/internal/core"
+	"cube/internal/cubexml"
+	"cube/internal/obs"
+)
+
+// parseCache is the server's content-addressed experiment cache: operand
+// uploads are keyed by the SHA-256 of their bytes, and a repeated operand
+// is answered with a clone of the cached parse instead of another trip
+// through the XML decoder. Typical algebra workflows resubmit the same
+// experiments many times (a - b, then mean(a, c), then a view of a), so
+// the same bytes arrive over and over.
+//
+// Masters in the cache are compacted to their columnar severity store, so
+// a hit costs two flat array copies plus a metadata walk (Experiment.Clone's
+// columnar path) — no parsing, no per-tuple allocation. Concurrent misses
+// on the same key are deduplicated: one request parses, the rest wait and
+// clone its result (including sharing its error). The cache holds at most
+// budget bytes of operand input (the decoded experiment is the same order
+// of magnitude), evicting least-recently-used entries; an operand larger
+// than the whole budget is parsed but never cached.
+type parseCache struct {
+	reg    *obs.Registry
+	budget int64
+	limits cubexml.Limits
+	engine cubexml.ReadEngine
+
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]*list.Element
+	lru     *list.List // of *cacheEntry; front = most recently used
+	bytes   int64
+	flights map[[sha256.Size]byte]*flight
+}
+
+type cacheEntry struct {
+	key  [sha256.Size]byte
+	size int64
+	e    *core.Experiment
+}
+
+// flight is one in-progress parse other requests for the same key wait on.
+type flight struct {
+	wg  sync.WaitGroup
+	e   *core.Experiment
+	err error
+}
+
+func newParseCache(budget int64, lim cubexml.Limits, engine cubexml.ReadEngine, reg *obs.Registry) *parseCache {
+	return &parseCache{
+		reg:     reg,
+		budget:  budget,
+		limits:  lim,
+		engine:  engine,
+		entries: map[[sha256.Size]byte]*list.Element{},
+		lru:     list.New(),
+		flights: map[[sha256.Size]byte]*flight{},
+	}
+}
+
+func (pc *parseCache) count(name string) {
+	if pc.reg != nil {
+		pc.reg.Counter(name).Inc()
+	}
+}
+
+// get returns an experiment for the operand bytes — a private clone the
+// caller may mutate freely — parsing at most once per distinct content.
+func (pc *parseCache) get(ctx context.Context, data []byte) (*core.Experiment, error) {
+	sp, _ := obs.StartSpanContext(ctx, "cubexml.cache")
+	e, outcome, err := pc.lookup(ctx, data)
+	if sp != nil {
+		sp.SetAttr("outcome", outcome)
+		sp.SetAttr("bytes", int64(len(data)))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return e, err
+}
+
+func (pc *parseCache) lookup(ctx context.Context, data []byte) (*core.Experiment, string, error) {
+	key := sha256.Sum256(data)
+	pc.mu.Lock()
+	if el, ok := pc.entries[key]; ok {
+		pc.lru.MoveToFront(el)
+		master := el.Value.(*cacheEntry).e
+		pc.mu.Unlock()
+		pc.count("cube_parse_cache_hits_total")
+		// Cloning is pure reads on the master (columnar fast path), so
+		// hits on the same entry may proceed concurrently.
+		return master.Clone(), "hit", nil
+	}
+	if fl, ok := pc.flights[key]; ok {
+		pc.mu.Unlock()
+		fl.wg.Wait()
+		if fl.err != nil {
+			return nil, "wait", fl.err
+		}
+		pc.count("cube_parse_cache_hits_total")
+		return fl.e.Clone(), "wait", nil
+	}
+	fl := &flight{}
+	fl.wg.Add(1)
+	pc.flights[key] = fl
+	pc.mu.Unlock()
+
+	pc.count("cube_parse_cache_misses_total")
+	master, err := cubexml.ReadBytes(ctx, data, cubexml.ReadOptions{Limits: pc.limits, Engine: pc.engine})
+	if err == nil {
+		// Columnar-only masters make Clone take its cheap path and are
+		// safe to clone concurrently.
+		master.CompactSeverities()
+	}
+	fl.e, fl.err = master, err
+	fl.wg.Done()
+
+	pc.mu.Lock()
+	delete(pc.flights, key)
+	if err == nil {
+		pc.insert(key, master, int64(len(data)))
+	}
+	pc.mu.Unlock()
+	if err != nil {
+		return nil, "miss", err
+	}
+	return master.Clone(), "miss", nil
+}
+
+// insert adds a parsed master under pc.mu, evicting from the LRU tail
+// until the budget holds. Entries larger than the whole budget are not
+// cached at all.
+func (pc *parseCache) insert(key [sha256.Size]byte, e *core.Experiment, size int64) {
+	if size > pc.budget {
+		return
+	}
+	for pc.bytes+size > pc.budget {
+		back := pc.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		pc.lru.Remove(back)
+		delete(pc.entries, ent.key)
+		pc.bytes -= ent.size
+		pc.count("cube_parse_cache_evictions_total")
+	}
+	pc.entries[key] = pc.lru.PushFront(&cacheEntry{key: key, size: size, e: e})
+	pc.bytes += size
+	if pc.reg != nil {
+		pc.reg.Gauge("cube_parse_cache_bytes").Set(pc.bytes)
+	}
+}
+
+// parseContentDigest extracts the sha-256 digest from an RFC 9530
+// Content-Digest header value ("sha-256=:BASE64:", possibly one of a
+// comma-separated list). ok is false when the header carries no sha-256
+// entry or it does not decode.
+func parseContentDigest(header string) (digest [sha256.Size]byte, ok bool) {
+	for _, part := range strings.Split(header, ",") {
+		alg, val, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found || !strings.EqualFold(strings.TrimSpace(alg), "sha-256") {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		if len(val) < 2 || val[0] != ':' || val[len(val)-1] != ':' {
+			return digest, false
+		}
+		raw, err := base64.StdEncoding.DecodeString(val[1 : len(val)-1])
+		if err != nil || len(raw) != sha256.Size {
+			return digest, false
+		}
+		copy(digest[:], raw)
+		return digest, true
+	}
+	return digest, false
+}

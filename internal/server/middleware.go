@@ -30,6 +30,17 @@ type Config struct {
 	RetryAfter     time.Duration  // Retry-After hint on 429 responses
 	XML            cubexml.Limits // element/depth caps for operand parsing
 
+	// ParseCacheBytes is the byte budget of the content-addressed operand
+	// cache (cache.go): repeated uploads of the same bytes are answered
+	// from a cached parse instead of re-decoding the XML. The budget
+	// counts operand input bytes; zero disables the cache.
+	ParseCacheBytes int64
+
+	// ReadEngine selects the cubexml parser for operand decoding
+	// (EngineAuto by default); cube-server -read-engine=legacy is the
+	// operational escape hatch if the fast path misbehaves.
+	ReadEngine cubexml.ReadEngine
+
 	// Connection and shutdown behavior (used by Serve).
 	ReadHeaderTimeout time.Duration
 	ReadTimeout       time.Duration
@@ -74,6 +85,7 @@ func DefaultConfig() *Config {
 		RequestTimeout:    30 * time.Second,
 		RetryAfter:        1 * time.Second,
 		XML:               cubexml.DefaultLimits,
+		ParseCacheBytes:   256 << 20,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      2 * time.Minute,
@@ -94,6 +106,14 @@ func (c *Config) Validate() error {
 	if c.TraceSlow < 0 {
 		return fmt.Errorf("server: trace slow threshold %v is negative", c.TraceSlow)
 	}
+	if c.ParseCacheBytes < 0 {
+		return fmt.Errorf("server: parse cache budget %d is negative", c.ParseCacheBytes)
+	}
+	switch c.ReadEngine {
+	case cubexml.EngineAuto, cubexml.EngineFast, cubexml.EngineLegacy:
+	default:
+		return fmt.Errorf("server: unknown read engine %d", int(c.ReadEngine))
+	}
 	return nil
 }
 
@@ -102,6 +122,7 @@ type service struct {
 	cfg    *Config
 	reg    *obs.Registry // resolved metrics registry (may be nil in bare tests)
 	tracer *obs.Tracer   // request tracer (nil unless configured)
+	cache  *parseCache   // content-addressed operand cache (nil when disabled)
 }
 
 // logError emits an error-level record carrying the request ID.

@@ -15,9 +15,12 @@ package server
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"mime/multipart"
 	"net/http"
@@ -78,6 +81,9 @@ func NewHandler(cfg *Config) http.Handler {
 	s := &service{cfg: cfg, reg: cfg.Metrics}
 	if s.reg == nil {
 		s.reg = obs.Default
+	}
+	if cfg.ParseCacheBytes > 0 {
+		s.cache = newParseCache(cfg.ParseCacheBytes, cfg.XML, cfg.ReadEngine, s.reg)
 	}
 	core.Instrument(s.reg)
 	cubexml.Instrument(s.reg)
@@ -260,14 +266,53 @@ func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("operand %d: %w", i, err)
 		}
-		e, err := cubexml.ReadLimitedContext(r.Context(), f, s.cfg.XML)
-		f.Close()
+		var e *core.Experiment
+		if s.cache != nil {
+			// The cache needs the full bytes for content addressing; the
+			// size is already bounded by MaxFileBytes and MaxBytesReader.
+			data, rerr := io.ReadAll(f)
+			f.Close()
+			if rerr != nil {
+				return nil, fmt.Errorf("operand %d: %w", i, rerr)
+			}
+			s.verifyDigest(r.Context(), i, fh, data)
+			e, err = s.cache.get(r.Context(), data)
+		} else {
+			e, err = cubexml.ReadWith(r.Context(), f, cubexml.ReadOptions{Limits: s.cfg.XML, Engine: s.cfg.ReadEngine})
+			f.Close()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("operand %d: %w", i, err)
 		}
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// verifyDigest checks an uploaded part's Content-Digest header (RFC 9530,
+// sent by the bundled client) against the received bytes — trust but
+// verify. A mismatch means corruption somewhere between the sender's
+// hashing and us; the experiment the client meant to send is gone either
+// way, so it is logged and counted, and the bytes are processed as
+// received (the cache keys on the server-computed digest regardless).
+func (s *service) verifyDigest(ctx context.Context, i int, fh *multipart.FileHeader, data []byte) {
+	header := fh.Header.Get("Content-Digest")
+	if header == "" {
+		return
+	}
+	want, ok := parseContentDigest(header)
+	if !ok {
+		return // no sha-256 entry, or unparseable: nothing to check against
+	}
+	if sha256.Sum256(data) != want {
+		if s.reg != nil {
+			s.reg.Counter("cube_digest_mismatch_total").Inc()
+		}
+		s.logError(ctx, "operand content digest mismatch",
+			slog.Int("operand", i),
+			slog.String("filename", fh.Filename),
+			slog.Int64("bytes", int64(len(data))))
+	}
 }
 
 func options(r *http.Request) (*core.Options, error) {
