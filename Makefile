@@ -24,9 +24,10 @@ vet:
 # The race detector over the packages that exercise concurrency: the
 # server's limiter/timeout/shutdown paths, the retrying client, the
 # metrics registry, the trace machinery probed by the fuzz-derived
-# robustness tests, and the sharded severity kernels in internal/core.
+# robustness tests, the sharded severity kernels in internal/core, and
+# the experiment store's fault-injection suite.
 race:
-	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/... ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/... ./internal/obs/... ./internal/core/... ./internal/store/...
 
 bench:
 	$(GO) test -bench=$(BENCH_PATTERN) -benchmem -run=^$$ .

@@ -139,10 +139,14 @@ func (c *Client) backoff(attempt int) time.Duration {
 }
 
 // endpointLabel bounds the metric cardinality of a request path: the
-// query string is stripped, so the label set is the fixed route space.
+// query string is stripped and content-addressed paths are bucketed by
+// route, so the label set is the fixed route space.
 func endpointLabel(path string) string {
 	if i := strings.IndexByte(path, '?'); i >= 0 {
 		path = path[:i]
+	}
+	if strings.HasPrefix(path, "/experiments/") {
+		return "/experiments/{digest}"
 	}
 	return path
 }
@@ -155,7 +159,16 @@ func endpointLabel(path string) string {
 // attempts of one logical call correlate to a single server-side trace.
 // When a tracer is active (obs.SetTracer, or a caller span on ctx) the call
 // records a span tree: one span per attempt plus one per backoff sleep.
-func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (result []byte, callErr error) {
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+	data, _, _, err := c.doFull(ctx, method, path, contentType, body, nil)
+	return data, err
+}
+
+// doFull is do with the raw response exposed: the store routes need the
+// response status (201 vs 200 on PUT) and headers (Content-Digest,
+// Content-Length on HEAD), and send extra request headers of their own.
+// Any 2xx status is success.
+func (c *Client) doFull(ctx context.Context, method, path, contentType string, body []byte, extra http.Header) (result []byte, hdr http.Header, status int, callErr error) {
 	id := obs.SanitizeRequestID(obs.RequestID(ctx))
 	if id == "" {
 		id = obs.NewRequestID()
@@ -186,11 +199,14 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.base+path, br)
 		if err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 		req.Header.Set("X-Request-ID", id)
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		for k, vs := range extra {
+			req.Header[k] = vs
 		}
 		asp := sp.StartChild("attempt")
 		asp.SetAttr("attempt", attempt)
@@ -200,7 +216,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			if ctx.Err() != nil {
 				asp.SetAttr("error", ctx.Err().Error())
 				asp.End()
-				return nil, ctx.Err()
+				return nil, nil, 0, ctx.Err()
 			}
 			last = err // transport error: retryable
 			asp.SetAttr("error", err.Error())
@@ -213,19 +229,19 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			switch {
 			case rerr != nil:
 				last = rerr // truncated response: retryable
-			case resp.StatusCode == http.StatusOK:
-				return data, nil
+			case resp.StatusCode >= 200 && resp.StatusCode < 300:
+				return data, resp.Header, resp.StatusCode, nil
 			default:
 				serr := &StatusError{Code: resp.StatusCode, Body: string(data)}
 				if !retryableStatus(resp.StatusCode) {
-					return nil, serr
+					return nil, resp.Header, resp.StatusCode, serr
 				}
 				last = serr
 				delay = retryAfter(resp)
 			}
 		}
 		if attempt >= c.maxRetries {
-			return nil, fmt.Errorf("giving up after %d attempts: %w", attempt+1, last)
+			return nil, nil, 0, fmt.Errorf("giving up after %d attempts: %w", attempt+1, last)
 		}
 		if delay <= 0 {
 			// No Retry-After guidance (or "retry now"): back off anyway
@@ -241,7 +257,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		case <-ctx.Done():
 			t.Stop()
 			bsp.End()
-			return nil, ctx.Err()
+			return nil, nil, 0, ctx.Err()
 		case <-t.C:
 			bsp.End()
 		}

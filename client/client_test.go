@@ -152,6 +152,37 @@ func TestContextCancelStopsRetrying(t *testing.T) {
 	}
 }
 
+// TestCancelAbortsBackoffSleep pins down the sharp edge of cancellation:
+// the server's Retry-After puts the client into a 5-second backoff sleep,
+// and cancelling mid-sleep must return promptly — not after the timer.
+func TestCancelAbortsBackoffSleep(t *testing.T) {
+	attempted := make(chan struct{}, 16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempted <- struct{}{}
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithMaxRetries(100))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- c.Healthz(ctx) }()
+	<-attempted // first attempt answered: the client is now in its 5s backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("cancel mid-backoff returned after %v, want well under the 5s Retry-After", elapsed)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("client still sleeping 4s after cancellation")
+	}
+}
+
 func TestRetryAfterHonored(t *testing.T) {
 	var attempts atomic.Int32
 	const wait = time.Second

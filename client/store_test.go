@@ -1,0 +1,131 @@
+package client
+
+// Acceptance test of the store client: Put experiments once, operate on
+// them by digest through the full retry/trace/metrics plumbing, and fetch
+// them back digest-verified.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cube"
+	"cube/internal/obs"
+	"cube/internal/server"
+	"cube/internal/store"
+)
+
+// storeHandler builds the real service handler over a real store.
+func storeHandler(t *testing.T) http.Handler {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.DefaultConfig()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg.Store = st
+	return server.NewHandler(cfg)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	// One injected 503 on the first store call proves the store routes
+	// ride the same retry machinery as the operator calls.
+	var failures atomic.Int32
+	failures.Store(1)
+	h := storeHandler(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/experiments/") && failures.Add(-1) >= 0 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	c := New(srv.URL, WithMaxRetries(4), WithBackoff(time.Millisecond, 10*time.Millisecond), WithMetrics(reg))
+	ctx := context.Background()
+	a, b := testExp("a", 0.25), testExp("b", 0)
+
+	da, err := c.Put(ctx, a)
+	if err != nil {
+		t.Fatalf("Put a: %v", err)
+	}
+	db, err := c.Put(ctx, b)
+	if err != nil {
+		t.Fatalf("Put b: %v", err)
+	}
+	if da == db || len(da) != 64 {
+		t.Fatalf("digests %q / %q look wrong", da, db)
+	}
+
+	// Stat sees both, and reports absence as ErrNotStored.
+	if size, err := c.Stat(ctx, da); err != nil || size <= 0 {
+		t.Fatalf("Stat a: size %d, err %v", size, err)
+	}
+	if _, err := c.Stat(ctx, strings.Repeat("0", 64)); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("Stat of absent digest: %v, want ErrNotStored", err)
+	}
+
+	// Operating by digest matches operating on the uploaded experiments.
+	diff, err := c.DifferenceByDigest(ctx, da, db, nil)
+	if err != nil {
+		t.Fatalf("DifferenceByDigest: %v", err)
+	}
+	want, _ := cube.Difference(a, b, nil)
+	if diff.Fingerprint() != want.Fingerprint() {
+		t.Error("remote by-digest difference differs from local")
+	}
+	mean, err := c.MeanByDigest(ctx, nil, da, db)
+	if err != nil {
+		t.Fatalf("MeanByDigest: %v", err)
+	}
+	if !mean.Derived || mean.Operation != "mean" {
+		t.Error("mean provenance lost")
+	}
+
+	// Fetch round-trips the stored experiment, digest-verified.
+	back, err := c.Fetch(ctx, da)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if back.Fingerprint() != a.Fingerprint() {
+		t.Error("fetched experiment differs from the one uploaded")
+	}
+
+	// The injected 503 was retried, under the bounded endpoint label.
+	ep := obs.L("endpoint", "/experiments/{digest}")
+	if got := reg.Counter("cube_client_retries_total", ep).Value(); got < 1 {
+		t.Errorf("store retries = %d, want >= 1", got)
+	}
+	// Exactly one call gave up: the deliberate Stat of an absent digest.
+	if got := reg.Counter("cube_client_errors_total", ep).Value(); got != 1 {
+		t.Errorf("store client errors = %d, want 1 (the absent-digest Stat)", got)
+	}
+}
+
+func TestOpByDigestMissingIsErrNotStored(t *testing.T) {
+	srv := httptest.NewServer(storeHandler(t))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	_, err := c.OpByDigest(context.Background(), "flatten", nil, strings.Repeat("a", 64))
+	if !errors.Is(err, ErrNotStored) {
+		t.Fatalf("err = %v, want ErrNotStored", err)
+	}
+}
+
+func TestOpByDigestRejectsMalformedDigest(t *testing.T) {
+	c := fastClient("http://unused.invalid")
+	if _, err := c.OpByDigest(context.Background(), "flatten", nil, "nope"); err == nil {
+		t.Fatal("malformed digest accepted client-side")
+	}
+}

@@ -28,6 +28,16 @@
 // are listed at GET /debug/traces and served as Chrome trace-event JSON
 // (or ?format=tree text) at GET /debug/traces/{id}, keyed by the
 // request's X-Request-ID.
+//
+// Experiment store: -store-dir enables a durable content-addressed store
+// (crash-safe writes, corruption quarantine, LRU eviction within
+// -store-mb). Clients PUT documents once at /experiments/{sha256} and
+// then pass `digest:<sha256>` operand references to any operator; on
+// sustained write errors the store degrades to read-only (uploads answer
+// 503 + Retry-After, reads and cached compute keep serving, /readyz
+// reports the condition) and re-arms automatically once writes succeed
+// again. -digest-strict upgrades Content-Digest mismatches on uploads
+// from a logged anomaly to a 400 rejection.
 package main
 
 import (
@@ -40,7 +50,9 @@ import (
 
 	"cube/internal/cli"
 	"cube/internal/cubexml"
+	"cube/internal/obs"
 	"cube/internal/server"
+	"cube/internal/store"
 )
 
 func main() {
@@ -64,6 +76,12 @@ func main() {
 	flag.DurationVar(&cfg.TraceSlow, "trace-slow", 0, "also trace and log every request at least this slow (0 = off)")
 	parseCacheMB := flag.Int64("parse-cache-mb", cfg.ParseCacheBytes>>20,
 		"byte budget (MiB) of the content-addressed operand parse cache (0 = disabled)")
+	storeDir := flag.String("store-dir", "",
+		"directory of the durable content-addressed experiment store (empty = disabled)")
+	storeMB := flag.Int64("store-mb", 1024,
+		"byte budget (MiB) of the experiment store; LRU eviction above it (0 = unlimited)")
+	flag.BoolVar(&cfg.DigestStrict, "digest-strict", false,
+		"reject uploads whose Content-Digest header mismatches the received bytes (default: log and count only)")
 	readEngine := flag.String("read-engine", "auto", "CUBE XML parser: auto | fast | legacy")
 	logFormat := flag.String("log-format", "text", "structured log format: text | json")
 	flag.Parse()
@@ -87,6 +105,23 @@ func main() {
 	}
 	logger := slog.New(handler)
 	cfg.Logger = logger
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{
+			Budget:  *storeMB << 20,
+			Logger:  logger,
+			Metrics: obs.Default,
+		})
+		if err != nil {
+			cli.Fatal("cube-server", err)
+		}
+		cfg.Store = st
+		logger.Info("experiment store open",
+			slog.String("dir", *storeDir),
+			slog.Int("blobs", st.Len()),
+			slog.Int64("bytes", st.Bytes()),
+			slog.Int("quarantined", st.Recovery.Quarantined))
+	}
 
 	// Bind before logging so the address printed is the one actually
 	// serving (and :0 reports the kernel-chosen port).

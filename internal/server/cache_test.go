@@ -177,6 +177,67 @@ func TestParseCacheOversizedNotCached(t *testing.T) {
 	}
 }
 
+// TestParseCacheErrorReachesAllWaiters: when the flight leader's parse
+// fails, every concurrent waiter on that flight — not just one — must
+// receive the same error and a nil experiment, and the failure must leave
+// no cache entry behind.
+func TestParseCacheErrorReachesAllWaiters(t *testing.T) {
+	reg := obs.NewRegistry()
+	pc := newParseCache(1<<20, cubexml.DefaultLimits, cubexml.EngineAuto, reg)
+	bad := []byte("not xml at all")
+	key := sha256.Sum256(bad)
+
+	// Install the in-progress flight by hand so every lookup below is
+	// guaranteed to take the waiter path before the leader "fails".
+	fl := &flight{}
+	fl.wg.Add(1)
+	pc.flights[key] = fl
+
+	const waiters = 16
+	type result struct {
+		e   *core.Experiment
+		err error
+	}
+	results := make(chan result, waiters)
+	var started sync.WaitGroup
+	started.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			started.Done()
+			e, err := pc.get(context.Background(), bad)
+			results <- result{e, err}
+		}()
+	}
+	started.Wait()
+	time.Sleep(5 * time.Millisecond) // let the goroutines reach wg.Wait
+	wantErr := fmt.Errorf("leader parse exploded")
+	fl.err = wantErr
+	fl.wg.Done()
+	// Mirror the leader's cleanup: the flight is done, errors don't cache.
+	pc.mu.Lock()
+	delete(pc.flights, key)
+	pc.mu.Unlock()
+
+	for i := 0; i < waiters; i++ {
+		r := <-results
+		if r.err != wantErr {
+			t.Fatalf("waiter %d error = %v, want the shared %v", i, r.err, wantErr)
+		}
+		if r.e != nil {
+			t.Fatalf("waiter %d got a non-nil experiment alongside the error", i)
+		}
+	}
+	pc.mu.Lock()
+	entries, bytes := len(pc.entries), pc.bytes
+	pc.mu.Unlock()
+	if entries != 0 || bytes != 0 {
+		t.Errorf("failed parse left %d entries / %d bytes in the cache", entries, bytes)
+	}
+	if hits := counter(reg, "cube_parse_cache_hits_total"); hits != 0 {
+		t.Errorf("hits = %d, want 0 (error waiters must not count as hits)", hits)
+	}
+}
+
 func TestParseCacheParseErrorNotCached(t *testing.T) {
 	reg := obs.NewRegistry()
 	pc := newParseCache(1<<20, cubexml.DefaultLimits, cubexml.EngineAuto, reg)

@@ -14,6 +14,7 @@ import (
 
 	"cube/internal/cubexml"
 	"cube/internal/obs"
+	"cube/internal/store"
 )
 
 // Config collects every robustness limit of the service. The zero value of
@@ -40,6 +41,20 @@ type Config struct {
 	// (EngineAuto by default); cube-server -read-engine=legacy is the
 	// operational escape hatch if the fast path misbehaves.
 	ReadEngine cubexml.ReadEngine
+
+	// Store is the durable content-addressed experiment store. When set,
+	// the service mounts PUT/GET/HEAD /experiments/{digest} and operator
+	// endpoints accept `digest:<sha256>` operand references; /readyz
+	// reports 503 while the store is degraded (read-only). nil disables
+	// all of it (cube-server -store-dir="").
+	Store *store.Store
+
+	// DigestStrict upgrades a Content-Digest mismatch on uploads from a
+	// logged-and-counted anomaly to a 400 rejection (cube-server
+	// -digest-strict). Off by default: the document the client meant to
+	// send is gone either way, and permissive mode keeps old clients
+	// working while the mismatch counter surfaces the corruption.
+	DigestStrict bool
 
 	// Connection and shutdown behavior (used by Serve).
 	ReadHeaderTimeout time.Duration
@@ -233,8 +248,10 @@ func routeLabel(path string) string {
 	case strings.HasPrefix(path, "/op/"):
 		return "/op/{op}"
 	case path == "/view", path == "/report", path == "/info", path == "/healthz",
-		path == "/metrics", path == "/debug/vars":
+		path == "/readyz", path == "/metrics", path == "/debug/vars":
 		return path
+	case strings.HasPrefix(path, "/experiments/"):
+		return "/experiments/{digest}"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "/debug/pprof"
 	case strings.HasPrefix(path, "/debug/traces"):
@@ -304,7 +321,7 @@ func (s *service) startRequestSpan(r *http.Request) *obs.Span {
 		return nil
 	}
 	path := r.URL.Path
-	if path == "/metrics" || path == "/healthz" || strings.HasPrefix(path, "/debug/") {
+	if path == "/metrics" || path == "/healthz" || path == "/readyz" || strings.HasPrefix(path, "/debug/") {
 		return nil
 	}
 	sp := s.tracer.StartTrace("http "+routeLabel(path), obs.RequestID(r.Context()))
@@ -385,6 +402,13 @@ func (s *service) withLimit(h http.Handler) http.Handler {
 	sem := &semaphore{cap: int64(s.cfg.MaxConcurrent)}
 	rejected := s.reg.Counter("cube_http_saturation_rejections_total")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Probes must answer even on a saturated server: a liveness check
+		// that 429s under load gets the process killed exactly when it is
+		// doing the most work, and readiness needs to keep reporting.
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+			h.ServeHTTP(w, r)
+			return
+		}
 		n := s.weight(r)
 		if !sem.tryAcquire(n) {
 			rejected.Inc()

@@ -35,6 +35,7 @@ import (
 	"cube/internal/display"
 	"cube/internal/obs"
 	"cube/internal/report"
+	"cube/internal/store"
 )
 
 // MaxUploadBytes is the default bound on one request's total upload size.
@@ -59,7 +60,18 @@ var errTooLarge = errors.New("request exceeds limits")
 //	POST /info
 //	    one or two "operand"s; with two, includes the structural
 //	    comparison. Response: plain text.
-//	GET  /healthz
+//	PUT  /experiments/{sha256}
+//	    commit a CUBE XML document in the content-addressed store
+//	    (idempotent; body must hash to the URL digest). Requires a
+//	    configured store (Config.Store / cube-server -store-dir).
+//	GET  /experiments/{sha256}   fetch the stored document (HEAD: stat)
+//
+// With a store configured, every "operand" part may instead carry the
+// reference `digest:<sha256>` to use a stored experiment — upload once,
+// reference forever.
+//
+//	GET  /healthz      liveness (exempt from the concurrency limiter)
+//	GET  /readyz       readiness: 503 + JSON while the store is read-only
 //	GET  /metrics      Prometheus text exposition of the obs registry
 //	GET  /debug/vars   JSON snapshot of the same metrics + memstats
 //	GET  /debug/pprof/*  (only with Config.EnablePprof)
@@ -98,6 +110,11 @@ func NewHandler(cfg *Config) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.Store != nil {
+		mux.HandleFunc("PUT /experiments/{digest}", s.handleExperimentPut)
+		mux.HandleFunc("GET /experiments/{digest}", s.handleExperimentGet)
+	}
 	mux.HandleFunc("POST /op/{op}", s.handleOp)
 	mux.HandleFunc("POST /view", s.handleView)
 	mux.HandleFunc("POST /report", s.handleReport)
@@ -212,7 +229,8 @@ func httpError(w http.ResponseWriter, r *http.Request, code int, format string, 
 }
 
 // operands parses the request's operand files and writes the appropriate
-// error response on failure: 413 for size-guard violations, 400 otherwise.
+// error response on failure: 413 for size-guard violations, 404 for a
+// digest reference the store does not hold, 400 otherwise.
 func (s *service) operands(w http.ResponseWriter, r *http.Request) ([]*core.Experiment, bool) {
 	ops, err := s.readOperands(r)
 	if err != nil {
@@ -223,9 +241,12 @@ func (s *service) operands(w http.ResponseWriter, r *http.Request) ([]*core.Expe
 		}
 		code := http.StatusBadRequest
 		var mbe *http.MaxBytesError
+		var miss *storeMissError
 		if errors.As(err, &mbe) || errors.Is(err, errTooLarge) || errors.Is(err, cubexml.ErrLimit) ||
 			strings.Contains(err.Error(), "request body too large") {
 			code = http.StatusRequestEntityTooLarge
+		} else if errors.As(err, &miss) {
+			code = http.StatusNotFound
 		}
 		httpError(w, r, code, "%v", err)
 		return nil, false
@@ -233,9 +254,12 @@ func (s *service) operands(w http.ResponseWriter, r *http.Request) ([]*core.Expe
 	return ops, true
 }
 
-// readOperands parses the multipart "operand" files, in form order,
+// readOperands parses the multipart "operand" parts, in form order,
 // enforcing the operand-count, per-file-byte, and XML structural caps and
-// abandoning work when the request context is done.
+// abandoning work when the request context is done. A part whose body is
+// `digest:<sha256>` resolves from the experiment store instead; every
+// referenced blob stays pinned until resolution of all operands is
+// complete, so budget-pressure eviction cannot race an in-flight request.
 func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
 	// Spill large uploads to disk instead of holding them in memory; the
 	// total is already bounded by the MaxBytesReader middleware.
@@ -253,6 +277,14 @@ func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
 		return nil, fmt.Errorf("%w: %d operands exceed the limit of %d", errTooLarge, len(files), s.cfg.MaxOperands)
 	}
 	stats := statsFrom(r.Context())
+	var pinned []store.Digest
+	if s.cfg.Store != nil {
+		defer func() {
+			for _, d := range pinned {
+				s.cfg.Store.Unpin(d)
+			}
+		}()
+	}
 	var out []*core.Experiment
 	for i, fh := range files {
 		if err := r.Context().Err(); err != nil {
@@ -261,24 +293,47 @@ func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
 		if s.cfg.MaxFileBytes > 0 && fh.Size > s.cfg.MaxFileBytes {
 			return nil, fmt.Errorf("%w: operand %d is %d bytes (per-file limit %d)", errTooLarge, i, fh.Size, s.cfg.MaxFileBytes)
 		}
-		stats.add(fh.Size)
 		f, err := fh.Open()
 		if err != nil {
 			return nil, fmt.Errorf("operand %d: %w", i, err)
 		}
+		// Peek at the head of the part: digest references are short
+		// (`digest:` + 64 hex chars) and must fit the peek buffer whole;
+		// literal CUBE XML starts with '<' and streams on unharmed.
+		peek := make([]byte, digestRefPeek)
+		n, rerr := io.ReadFull(f, peek)
+		if rerr != nil && rerr != io.ErrUnexpectedEOF && rerr != io.EOF {
+			f.Close()
+			return nil, fmt.Errorf("operand %d: %w", i, rerr)
+		}
+		if d, ok := parseDigestRef(peek[:n]); ok && n < len(peek) {
+			f.Close()
+			e, size, err := s.resolveDigestOperand(r.Context(), i, d, &pinned)
+			if err != nil {
+				return nil, err
+			}
+			stats.add(size)
+			out = append(out, e)
+			continue
+		}
+		stats.add(fh.Size)
+		body := io.MultiReader(bytes.NewReader(peek[:n]), f)
 		var e *core.Experiment
 		if s.cache != nil {
 			// The cache needs the full bytes for content addressing; the
 			// size is already bounded by MaxFileBytes and MaxBytesReader.
-			data, rerr := io.ReadAll(f)
+			data, rerr := io.ReadAll(body)
 			f.Close()
 			if rerr != nil {
 				return nil, fmt.Errorf("operand %d: %w", i, rerr)
 			}
-			s.verifyDigest(r.Context(), i, fh, data)
+			if err := s.verifyDigest(r.Context(), fmt.Sprintf("operand %d (%s)", i, fh.Filename),
+				fh.Header.Get("Content-Digest"), data); err != nil {
+				return nil, err
+			}
 			e, err = s.cache.get(r.Context(), data)
 		} else {
-			e, err = cubexml.ReadWith(r.Context(), f, cubexml.ReadOptions{Limits: s.cfg.XML, Engine: s.cfg.ReadEngine})
+			e, err = cubexml.ReadWith(r.Context(), body, cubexml.ReadOptions{Limits: s.cfg.XML, Engine: s.cfg.ReadEngine})
 			f.Close()
 		}
 		if err != nil {
@@ -289,30 +344,35 @@ func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
 	return out, nil
 }
 
-// verifyDigest checks an uploaded part's Content-Digest header (RFC 9530,
-// sent by the bundled client) against the received bytes — trust but
-// verify. A mismatch means corruption somewhere between the sender's
-// hashing and us; the experiment the client meant to send is gone either
-// way, so it is logged and counted, and the bytes are processed as
-// received (the cache keys on the server-computed digest regardless).
-func (s *service) verifyDigest(ctx context.Context, i int, fh *multipart.FileHeader, data []byte) {
-	header := fh.Header.Get("Content-Digest")
+// verifyDigest checks an upload's Content-Digest header (RFC 9530, sent
+// by the bundled client) against the received bytes — trust but verify.
+// A mismatch means corruption somewhere between the sender's hashing and
+// us. By default it is logged and counted and the bytes are processed as
+// received (the cache keys on the server-computed digest regardless);
+// with Config.DigestStrict the mismatch is returned as an error and the
+// request is rejected instead.
+func (s *service) verifyDigest(ctx context.Context, what, header string, data []byte) error {
 	if header == "" {
-		return
+		return nil
 	}
 	want, ok := parseContentDigest(header)
 	if !ok {
-		return // no sha-256 entry, or unparseable: nothing to check against
+		return nil // no sha-256 entry, or unparseable: nothing to check against
 	}
-	if sha256.Sum256(data) != want {
-		if s.reg != nil {
-			s.reg.Counter("cube_digest_mismatch_total").Inc()
-		}
-		s.logError(ctx, "operand content digest mismatch",
-			slog.Int("operand", i),
-			slog.String("filename", fh.Filename),
-			slog.Int64("bytes", int64(len(data))))
+	if sha256.Sum256(data) == want {
+		return nil
 	}
+	if s.reg != nil {
+		s.reg.Counter("cube_digest_mismatch_total").Inc()
+	}
+	s.logError(ctx, "content digest mismatch",
+		slog.String("what", what),
+		slog.Bool("strict", s.cfg.DigestStrict),
+		slog.Int64("bytes", int64(len(data))))
+	if s.cfg.DigestStrict {
+		return fmt.Errorf("%s: Content-Digest header does not match the received bytes", what)
+	}
+	return nil
 }
 
 func options(r *http.Request) (*core.Options, error) {

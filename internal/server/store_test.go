@@ -1,0 +1,456 @@
+package server
+
+// End-to-end tests of the experiment-store routes: PUT/GET/HEAD
+// /experiments/{digest}, digest-referenced operands, degraded-mode
+// serving, probe-route limiter exemption, and -digest-strict.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cube/internal/obs"
+	"cube/internal/store"
+)
+
+// newStoreServer serves the real handler over a real store in a temp dir.
+func newStoreServer(t *testing.T, cfg *Config, opts store.Options) (*httptest.Server, *store.Store) {
+	t.Helper()
+	if cfg == nil {
+		cfg = quietConfig()
+	}
+	st, err := store.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	srv := httptest.NewServer(NewHandler(cfg))
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+// putExperiment PUTs doc under digest with an optional Content-Digest
+// header value ("" omits it).
+func putExperiment(t *testing.T, srv *httptest.Server, digest string, doc []byte, contentDigest string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/experiments/"+digest, bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentDigest != "" {
+		req.Header.Set("Content-Digest", contentDigest)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// operandPart is one multipart operand: either literal document bytes or
+// a digest reference.
+type operandPart struct {
+	literal []byte
+	digest  string
+}
+
+// postParts POSTs a mix of literal and digest-reference operands,
+// preserving order.
+func postParts(t *testing.T, srv *httptest.Server, path string, parts ...operandPart) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for i, p := range parts {
+		fw, err := mw.CreateFormFile("operand", fmt.Sprintf("op%d.cube", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.digest != "" {
+			io.WriteString(fw, "digest:"+p.digest)
+		} else {
+			fw.Write(p.literal)
+		}
+	}
+	mw.Close()
+	resp, err := http.Post(srv.URL+path, mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestExperimentPutGetHead(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := quietConfig()
+	cfg.Metrics = reg
+	srv, st := newStoreServer(t, cfg, store.Options{})
+	doc := encodeExp(t, buildExp("stored", 0))
+	d := store.DigestOf(doc)
+
+	// First PUT commits: 201, created=true.
+	resp := putExperiment(t, srv, d.String(), doc, digestOf(doc))
+	var res struct {
+		Digest  string `json:"digest"`
+		Bytes   int64  `json:"bytes"`
+		Created bool   `json:"created"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || !res.Created || res.Digest != d.String() || res.Bytes != int64(len(doc)) {
+		t.Fatalf("first PUT: status %d, result %+v", resp.StatusCode, res)
+	}
+
+	// Re-PUT is an idempotent cheap 200.
+	resp = putExperiment(t, srv, d.String(), doc, "")
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-PUT status = %d, want 200", resp.StatusCode)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d blobs, want 1", st.Len())
+	}
+
+	// GET round-trips the exact bytes with a Content-Digest header.
+	resp, err := http.Get(srv.URL + "/experiments/" + d.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || got != string(doc) {
+		t.Fatalf("GET: status %d, %d bytes, want the %d stored bytes", resp.StatusCode, len(got), len(doc))
+	}
+	if cd := resp.Header.Get("Content-Digest"); cd != digestOf(doc) {
+		t.Errorf("GET Content-Digest = %q, want %q", cd, digestOf(doc))
+	}
+
+	// HEAD reports existence and size without a body.
+	resp, err = http.Head(srv.URL + "/experiments/" + d.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.ContentLength != int64(len(doc)) {
+		t.Fatalf("HEAD: status %d, length %d, want 200/%d", resp.StatusCode, resp.ContentLength, len(doc))
+	}
+
+	// Missing digest: 404 on GET and HEAD.
+	absent := store.DigestOf([]byte("absent")).String()
+	for _, method := range []string{http.MethodGet, http.MethodHead} {
+		req, _ := http.NewRequest(method, srv.URL+"/experiments/"+absent, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s missing: status %d, want 404", method, resp.StatusCode)
+		}
+	}
+
+	// A malformed digest in the URL is a 400, not a store lookup.
+	resp = putExperiment(t, srv, "not-a-digest", doc, "")
+	if readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad digest PUT status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestExperimentPutRejectsCorruptAndInvalid(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := quietConfig()
+	cfg.Metrics = reg
+	srv, st := newStoreServer(t, cfg, store.Options{})
+	doc := encodeExp(t, buildExp("real", 0))
+
+	// Body does not hash to the URL digest: 400, counted, not stored.
+	wrong := store.DigestOf([]byte("something else")).String()
+	resp := putExperiment(t, srv, wrong, doc, "")
+	if body := readAll(t, resp); resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "hashes to") {
+		t.Fatalf("corrupt PUT: status %d body %q, want 400 naming both digests", resp.StatusCode, body)
+	}
+	if got := counter(reg, "cube_digest_mismatch_total"); got != 1 {
+		t.Errorf("mismatch counter = %d, want 1", got)
+	}
+
+	// Bytes that hash correctly but are not a CUBE document: 422, not stored.
+	junk := []byte("<html>not a cube file</html>")
+	resp = putExperiment(t, srv, store.DigestOf(junk).String(), junk, "")
+	if readAll(t, resp); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("junk PUT status = %d, want 422", resp.StatusCode)
+	}
+	if st.Len() != 0 {
+		t.Errorf("store holds %d blobs after rejected uploads, want 0", st.Len())
+	}
+}
+
+// TestOpByDigestRoundTrip is the acceptance path: store two experiments,
+// run a non-commutative operator on digest references — including mixed
+// with a literal operand — and get byte-identical results to the
+// all-literal request.
+func TestOpByDigestRoundTrip(t *testing.T) {
+	srv, _ := newStoreServer(t, nil, store.Options{})
+	a := encodeExp(t, buildExp("exp", 0.5))
+	b := encodeExp(t, buildExp("exp", 0))
+	da, db := store.DigestOf(a), store.DigestOf(b)
+	for _, doc := range [][]byte{a, b} {
+		resp := putExperiment(t, srv, store.DigestOf(doc).String(), doc, "")
+		if readAll(t, resp); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("PUT status = %d", resp.StatusCode)
+		}
+	}
+
+	resp := postParts(t, srv, "/op/difference", operandPart{literal: a}, operandPart{literal: b})
+	wantBody := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("literal difference status = %d: %s", resp.StatusCode, wantBody)
+	}
+
+	cases := []struct {
+		name  string
+		parts []operandPart
+	}{
+		{"both-refs", []operandPart{{digest: da.String()}, {digest: db.String()}}},
+		{"ref-then-literal", []operandPart{{digest: da.String()}, {literal: b}}},
+		{"literal-then-ref", []operandPart{{literal: a}, {digest: db.String()}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postParts(t, srv, "/op/difference", tc.parts...)
+			body := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			if body != wantBody {
+				t.Error("digest-referenced result differs from the all-literal result")
+			}
+		})
+	}
+
+	// Operand order must survive reference resolution: difference is
+	// anti-symmetric, so swapping the refs must change the answer.
+	resp = postParts(t, srv, "/op/difference", operandPart{digest: db.String()}, operandPart{digest: da.String()})
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("swapped refs status %d", resp.StatusCode)
+	} else if body == wantBody {
+		t.Error("difference(b,a) equals difference(a,b): operand order was lost")
+	}
+}
+
+func TestOpByDigestMissingIs404(t *testing.T) {
+	srv, _ := newStoreServer(t, nil, store.Options{})
+	absent := store.DigestOf([]byte("never uploaded")).String()
+	resp := postParts(t, srv, "/op/flatten", operandPart{digest: absent})
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(body, absent) || !strings.Contains(body, "PUT /experiments/") {
+		t.Errorf("404 body %q should name the digest and the upload route", body)
+	}
+}
+
+func TestDigestRefWithoutStoreIsClientError(t *testing.T) {
+	srv := newTestServer(t) // no store configured
+	resp := postParts(t, srv, "/op/flatten", operandPart{digest: store.DigestOf([]byte("x")).String()})
+	if readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 when no store is configured", resp.StatusCode)
+	}
+}
+
+// TestDegradedModeEndToEnd is the acceptance scenario: the disk fills up
+// (injected ENOSPC), uploads start answering 503 + Retry-After while
+// operations on already-stored experiments keep succeeding and /readyz
+// names the degraded component; when the fault clears, the next due write
+// probe re-arms uploads.
+func TestDegradedModeEndToEnd(t *testing.T) {
+	ffs := store.NewFaultFS(nil)
+	reg := obs.NewRegistry()
+	cfg := quietConfig()
+	cfg.Metrics = reg
+	cfg.RetryAfter = 2 * time.Second
+	srv, st := newStoreServer(t, cfg, store.Options{
+		FS:               ffs,
+		Metrics:          reg,
+		FailureThreshold: 1,
+		ProbeInterval:    time.Second,
+	})
+
+	stored := encodeExp(t, buildExp("stored", 0))
+	ds := store.DigestOf(stored)
+	resp := putExperiment(t, srv, ds.String(), stored, "")
+	if readAll(t, resp); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed PUT status = %d", resp.StatusCode)
+	}
+
+	// The disk fills: the first failed write trips the threshold-1 store
+	// into degraded mode (a 500 for that request)...
+	ffs.Inject(&store.Fault{Op: "sync", Path: ".tmp-", Err: syscall.ENOSPC})
+	fresh := encodeExp(t, buildExp("fresh", 0.25))
+	df := store.DigestOf(fresh)
+	resp = putExperiment(t, srv, df.String(), fresh, "")
+	if readAll(t, resp); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("tripping PUT status = %d, want 500", resp.StatusCode)
+	}
+	if deg, _ := st.Degraded(); !deg {
+		t.Fatal("store not degraded after the write failure")
+	}
+
+	// ...and every upload inside the probe interval fails fast with 503 +
+	// Retry-After.
+	resp = putExperiment(t, srv, df.String(), fresh, "")
+	if body := readAll(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded PUT status = %d (%s), want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("degraded PUT Retry-After = %q, want \"2\"", ra)
+	}
+
+	// Reads and digest-referenced compute keep serving.
+	resp = postParts(t, srv, "/op/flatten", operandPart{digest: ds.String()})
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded op-by-digest status = %d, want 200", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/experiments/" + ds.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded GET status = %d, want 200", resp.StatusCode)
+	}
+
+	// /readyz names the degraded component; /healthz stays green (a
+	// read-only store is not a reason to restart the process).
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable ||
+		ready["status"] != "degraded" || ready["component"] != "experiment-store" || ready["mode"] != "read-only" {
+		t.Errorf("degraded /readyz: status %d body %v", resp.StatusCode, ready)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded /healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	// The fault clears; once the probe interval elapses, the next upload
+	// doubles as the probe, succeeds, and re-arms writes.
+	ffs.Clear()
+	time.Sleep(1100 * time.Millisecond)
+	resp = putExperiment(t, srv, df.String(), fresh, "")
+	if body := readAll(t, resp); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-armed PUT status = %d (%s), want 201", resp.StatusCode, body)
+	}
+	if deg, _ := st.Degraded(); deg {
+		t.Fatal("store still degraded after a successful probe")
+	}
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Errorf("re-armed /readyz status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestProbesBypassLimiter: liveness and readiness must answer even when
+// every concurrency slot is held — a probe that 429s under load gets the
+// replica killed or drained exactly when it is busiest.
+func TestProbesBypassLimiter(t *testing.T) {
+	cfg := quietConfig()
+	cfg.MaxConcurrent = 1
+	s := &service{cfg: cfg}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, "ok") })
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	srv := httptest.NewServer(s.wrap(mux))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.Get(srv.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	<-entered // the only slot is now held
+	defer func() { close(release); <-done }()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if readAll(t, resp); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s under saturation: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// A normal route is still limited.
+	resp, err := http.Get(srv.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readAll(t, resp); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated /slow status = %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestDigestStrict: -digest-strict upgrades a Content-Digest mismatch
+// from a logged anomaly to a 400 rejection, on both the multipart operand
+// path and the store upload path.
+func TestDigestStrict(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := quietConfig()
+	cfg.Metrics = reg
+	cfg.DigestStrict = true
+	srv, st := newStoreServer(t, cfg, store.Options{})
+	doc := encodeExp(t, buildExp("strict", 0))
+	badDigest := digestOf([]byte("other bytes"))
+
+	resp := postWithDigest(t, srv, "/op/flatten", doc, badDigest)
+	if body := readAll(t, resp); resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "Content-Digest") {
+		t.Errorf("strict multipart mismatch: status %d body %q, want 400", resp.StatusCode, body)
+	}
+
+	// PUT with a correct URL digest but a mismatching Content-Digest
+	// header: the header is corrupt, strict mode refuses.
+	resp = putExperiment(t, srv, store.DigestOf(doc).String(), doc, badDigest)
+	if readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("strict PUT mismatch status = %d, want 400", resp.StatusCode)
+	}
+	if st.Len() != 0 {
+		t.Errorf("store holds %d blobs after strict rejections, want 0", st.Len())
+	}
+	if got := counter(reg, "cube_digest_mismatch_total"); got != 2 {
+		t.Errorf("mismatch counter = %d, want 2", got)
+	}
+
+	// A matching digest still sails through in strict mode.
+	resp = postWithDigest(t, srv, "/op/flatten", doc, digestOf(doc))
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Errorf("strict matching digest status = %d, want 200", resp.StatusCode)
+	}
+}

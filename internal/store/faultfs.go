@@ -1,0 +1,218 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is what every FS call returns after a Crash fault fires: the
+// simulated process is dead as far as the disk is concerned, so nothing —
+// including cleanup paths like "remove the temp file on error" — reaches
+// the filesystem anymore. Reopening the store on the same directory with a
+// clean FS then models the post-crash restart.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// Fault is one scheduled filesystem failure. Faults match by operation
+// name and path substring; a matching call decrements After until it hits
+// zero, then the fault fires: the call returns Err (after writing Torn
+// bytes, for write faults) and, if Crash is set, every later call on the
+// FaultFS fails with ErrCrashed.
+type Fault struct {
+	// Op selects the call to fail: "mkdir", "create", "open", "write",
+	// "read", "sync", "close", "rename", "remove", "readdir", "syncdir".
+	Op string
+	// Path is a substring the call's path must contain ("" matches any).
+	Path string
+	// After skips that many matching calls before firing.
+	After int
+	// Remaining bounds how many times the fault fires; 0 means it keeps
+	// firing until Clear (a sustained failure such as a full disk).
+	Remaining int
+	// Err is the error returned by the failing call.
+	Err error
+	// Torn applies to "write": the underlying write persists only the
+	// first Torn bytes (clamped to the buffer) before Err is returned —
+	// a torn page / partial write.
+	Torn int
+	// Crash marks the fault as fatal: after it fires, all subsequent
+	// calls return ErrCrashed until Clear.
+	Crash bool
+
+	fired int
+}
+
+// FaultFS wraps an FS with a deterministic fault schedule. It is the
+// store's crash/ENOSPC/EIO test harness, modeled on the fault-injection
+// suite in internal/server: tests declare exactly which call fails, run
+// the workload, and assert the documented degraded behavior.
+type FaultFS struct {
+	Inner FS
+
+	mu      sync.Mutex
+	faults  []*Fault
+	crashed bool
+	calls   map[string]int
+}
+
+// NewFaultFS wraps inner (nil means OSFS) with an empty schedule.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{Inner: inner, calls: map[string]int{}}
+}
+
+// Inject appends faults to the schedule.
+func (f *FaultFS) Inject(faults ...*Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, faults...)
+}
+
+// Clear removes every scheduled fault and lifts the crashed state — the
+// disk is healthy again.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+	f.crashed = false
+}
+
+// Calls returns how many times op has been issued (fired or not).
+func (f *FaultFS) Calls(op string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// check consults the schedule for one call; a non-nil fault means the
+// call must fail with fault.Err.
+func (f *FaultFS) check(op, path string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[op]++
+	if f.crashed {
+		return &Fault{Op: op, Err: ErrCrashed}
+	}
+	for _, ft := range f.faults {
+		if ft.Op != op || !strings.Contains(path, ft.Path) {
+			continue
+		}
+		if ft.After > 0 {
+			ft.After--
+			continue
+		}
+		if ft.Remaining > 0 && ft.fired >= ft.Remaining {
+			continue
+		}
+		ft.fired++
+		if ft.Crash {
+			f.crashed = true
+		}
+		return ft
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string, perm fs.FileMode) error {
+	if ft := f.check("mkdir", dir); ft != nil {
+		return ft.Err
+	}
+	return f.Inner.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if ft := f.check("create", path); ft != nil {
+		return nil, ft.Err
+	}
+	file, err := f.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, File: file}, nil
+}
+
+func (f *FaultFS) Open(path string) (File, error) {
+	if ft := f.check("open", path); ft != nil {
+		return nil, ft.Err
+	}
+	file, err := f.Inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, File: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if ft := f.check("rename", newpath); ft != nil {
+		return ft.Err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if ft := f.check("remove", path); ft != nil {
+		return ft.Err
+	}
+	return f.Inner.Remove(path)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if ft := f.check("readdir", dir); ft != nil {
+		return nil, ft.Err
+	}
+	return f.Inner.ReadDir(dir)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if ft := f.check("syncdir", dir); ft != nil {
+		return ft.Err
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultFile threads per-call faults through an open file's reads, writes,
+// syncs, and closes.
+type faultFile struct {
+	fs   *FaultFS
+	path string
+	File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if ft := f.fs.check("write", f.path); ft != nil {
+		n := ft.Torn
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			f.File.Write(p[:n]) // the torn prefix reaches the disk
+		}
+		return n, ft.Err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if ft := f.fs.check("read", f.path); ft != nil {
+		return 0, ft.Err
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) Sync() error {
+	if ft := f.fs.check("sync", f.path); ft != nil {
+		return ft.Err
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if ft := f.fs.check("close", f.path); ft != nil {
+		f.File.Close() // release the descriptor either way
+		return ft.Err
+	}
+	return f.File.Close()
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the narrow filesystem seam the store writes through. Every byte
+// the store persists or recovers flows over this interface, so the fault
+// tests can inject torn writes, ENOSPC, EIO, and crash-at-any-point
+// schedules deterministically (FaultFS) while production uses the real
+// filesystem (OSFS).
+type FS interface {
+	// MkdirAll creates dir and its parents (like os.MkdirAll).
+	MkdirAll(dir string, perm fs.FileMode) error
+	// Create opens path for writing, truncating any previous content.
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath. The store only
+	// renames within one directory, so POSIX rename atomicity applies.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// ReadDir lists dir.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs the directory itself, making a preceding rename
+	// durable (the rename is only crash-safe once its directory entry
+	// has reached the disk).
+	SyncDir(dir string) error
+}
+
+// File is the store's view of an open file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+}
+
+// OSFS is the production FS: plain os calls.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) Open(path string) (File, error) { return os.Open(path) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

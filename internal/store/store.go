@@ -1,0 +1,577 @@
+// Package store is a disk-backed content-addressed experiment store:
+// blobs (CUBE XML documents) are named by the SHA-256 of their bytes,
+// written crash-safely, verified against their digest on every read, and
+// bounded by an LRU byte budget. It is the state layer under the server's
+// /experiments routes and digest-referenced operands — operands cross the
+// wire once and are referenced by digest afterwards.
+//
+// Robustness properties, in order of importance:
+//
+//   - Crash safety. A blob is committed by: temp file in the blob
+//     directory → write → fsync → atomic rename to its digest name →
+//     fsync of the directory. A crash at any point leaves either the
+//     committed blob or no blob — never a half-written file under a
+//     committed name.
+//   - Corruption quarantine. Every read re-hashes the bytes; a mismatch
+//     (bit rot, torn write that slipped through, operator error) moves
+//     the file into quarantine/ — never deleted, never served — and the
+//     read reports not-found. The startup recovery scan applies the same
+//     rule to every file it finds, including leftover temp files.
+//   - Degraded read-only mode. Sustained write failures (a full or dying
+//     disk) or an unsatisfiable byte budget flip the store to read-only:
+//     Put fails fast with ErrDegraded while Get/Stat keep serving, and
+//     periodic write probes re-arm the store when the fault clears.
+//
+// All filesystem access goes through the FS seam (fs.go) so every one of
+// those paths is deterministically testable with FaultFS (faultfs.go).
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cube/internal/obs"
+)
+
+// Sentinel errors returned by Put/Get. They are wrapped with context;
+// test with errors.Is.
+var (
+	// ErrNotFound: the digest is not in the store (including blobs that
+	// failed verification and were quarantined).
+	ErrNotFound = errors.New("store: experiment not found")
+	// ErrDegraded: the store is in read-only mode; retry later.
+	ErrDegraded = errors.New("store: degraded (read-only) mode")
+	// ErrTooLarge: the blob alone exceeds the whole byte budget.
+	ErrTooLarge = errors.New("store: blob exceeds the store budget")
+	// ErrDigestMismatch: the caller-supplied digest does not match the
+	// bytes (a Put integrity violation — the upload is rejected).
+	ErrDigestMismatch = errors.New("store: content does not match digest")
+)
+
+// Digest is a SHA-256 content address.
+type Digest [sha256.Size]byte
+
+// DigestOf returns the content address of data.
+func DigestOf(data []byte) Digest { return sha256.Sum256(data) }
+
+// String renders the digest as lowercase hex (the on-disk blob name and
+// the wire format in /experiments/{digest} and digest: operand refs).
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// ParseDigest parses a 64-char hex digest.
+func ParseDigest(s string) (Digest, bool) {
+	var d Digest
+	if len(s) != hex.EncodedLen(sha256.Size) {
+		return d, false
+	}
+	if _, err := hex.Decode(d[:], []byte(s)); err != nil {
+		return d, false
+	}
+	return d, true
+}
+
+// Options configures Open. The zero value is usable: OS filesystem,
+// unlimited budget, no logging or metrics, default failure thresholds.
+type Options struct {
+	// FS is the filesystem seam; nil means the real OS filesystem.
+	FS FS
+	// Budget bounds the total committed blob bytes; least-recently-used
+	// unpinned blobs are evicted to stay under it. 0 means unlimited.
+	Budget int64
+	// Logger receives recovery-scan, quarantine, and mode-transition
+	// reports. nil disables logging.
+	Logger *slog.Logger
+	// Metrics receives the store's counters and gauges (see the README
+	// metric catalog). nil disables them.
+	Metrics *obs.Registry
+	// FailureThreshold is how many consecutive Put write failures flip
+	// the store into degraded mode (default 3; a budget breach degrades
+	// immediately regardless).
+	FailureThreshold int
+	// ProbeInterval is how often a degraded store lets a Put through as
+	// a write probe to test whether the fault has cleared (default 5s).
+	ProbeInterval time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// RecoveryStats summarizes what the startup recovery scan found.
+type RecoveryStats struct {
+	Intact      int   // blobs that verified and were re-indexed
+	IntactBytes int64 // their total size
+	Quarantined int   // corrupt blobs, leftover temp files, foreign files
+	Evicted     int   // intact blobs evicted to fit the budget
+}
+
+// Store is a content-addressed blob store rooted at one directory. It is
+// safe for concurrent use.
+type Store struct {
+	dir       string // root; blobs live in dir/blobs, casualties in dir/quarantine
+	blobDir   string
+	quarDir   string
+	fs        FS
+	budget    int64
+	logger    *slog.Logger
+	reg       *obs.Registry
+	threshold int
+	probe     time.Duration
+	now       func() time.Time
+
+	// Recovery reports what Open's scan found; read-only afterwards.
+	Recovery RecoveryStats
+
+	mu            sync.Mutex
+	entries       map[Digest]*entry
+	lru           *list.List // of *entry; front = most recently used
+	bytes         int64      // committed blob bytes
+	reserved      int64      // bytes of in-flight Puts, held against the budget
+	seq           int64      // unique suffix for temp and quarantine names
+	writeFailures int        // consecutive Put write failures
+	degraded      bool
+	degradedWhy   string
+	lastProbe     time.Time
+}
+
+type entry struct {
+	d    Digest
+	size int64
+	pins int // >0 blocks eviction: the blob is in use by a request
+	el   *list.Element
+}
+
+// Open opens (creating if needed) the store rooted at dir and runs the
+// recovery scan: every file under dir/blobs is re-hashed; intact blobs
+// are re-indexed, and corrupt blobs, partial temp files, and foreign
+// files are quarantined. Open fails only if the directories cannot be
+// created or listed — individual bad blobs never prevent startup.
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{
+		dir:       dir,
+		blobDir:   filepath.Join(dir, "blobs"),
+		quarDir:   filepath.Join(dir, "quarantine"),
+		fs:        opts.FS,
+		budget:    opts.Budget,
+		logger:    opts.Logger,
+		reg:       opts.Metrics,
+		threshold: opts.FailureThreshold,
+		probe:     opts.ProbeInterval,
+		now:       opts.now,
+		entries:   map[Digest]*entry{},
+		lru:       list.New(),
+	}
+	if s.fs == nil {
+		s.fs = OSFS{}
+	}
+	if s.threshold <= 0 {
+		s.threshold = 3
+	}
+	if s.probe <= 0 {
+		s.probe = 5 * time.Second
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	for _, d := range []string{s.blobDir, s.quarDir} {
+		if err := s.fs.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", d, err)
+		}
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover re-indexes dir/blobs: verify every file against its name,
+// quarantine everything that does not hold, then evict down to the
+// budget. Runs before the store is shared, so no locking.
+func (s *Store) recover() error {
+	ents, err := s.fs.ReadDir(s.blobDir)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", s.blobDir, err)
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		d, ok := ParseDigest(name)
+		if !ok {
+			// Leftover temp file (crash mid-Put) or a foreign file:
+			// either way a partial write we must not trust.
+			s.quarantineLocked(name, "not a committed blob")
+			s.Recovery.Quarantined++
+			continue
+		}
+		data, rerr := s.readFile(filepath.Join(s.blobDir, name))
+		if rerr != nil || DigestOf(data) != d {
+			why := "digest mismatch"
+			if rerr != nil {
+				why = rerr.Error()
+			}
+			s.quarantineLocked(name, why)
+			s.Recovery.Quarantined++
+			continue
+		}
+		s.insertLocked(d, int64(len(data)))
+		s.Recovery.Intact++
+		s.Recovery.IntactBytes += int64(len(data))
+	}
+	// The surviving set may exceed the budget (it may have been lowered
+	// since the blobs were written); evict in directory order — no access
+	// history survives a restart.
+	for s.budget > 0 && s.bytes > s.budget {
+		if !s.evictOneLocked() {
+			break
+		}
+		s.Recovery.Evicted++
+	}
+	s.count("cube_store_recovered_blobs_total", int64(s.Recovery.Intact))
+	s.publishGauges()
+	if s.logger != nil {
+		s.logger.Info("experiment store recovered",
+			slog.String("dir", s.dir),
+			slog.Int("intact", s.Recovery.Intact),
+			slog.Int64("bytes", s.Recovery.IntactBytes),
+			slog.Int("quarantined", s.Recovery.Quarantined),
+			slog.Int("evicted", s.Recovery.Evicted))
+	}
+	return nil
+}
+
+func (s *Store) count(name string, n int64) {
+	if s.reg != nil {
+		s.reg.Counter(name).Add(n)
+	}
+}
+
+func (s *Store) inc(name string) { s.count(name, 1) }
+
+// publishGauges pushes the size gauges; callers hold s.mu (or own the
+// store exclusively, during recovery).
+func (s *Store) publishGauges() {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Gauge("cube_store_blobs").Set(int64(len(s.entries)))
+	s.reg.Gauge("cube_store_bytes").Set(s.bytes)
+}
+
+func (s *Store) blobPath(d Digest) string { return filepath.Join(s.blobDir, d.String()) }
+
+// readFile reads one file through the FS seam.
+func (s *Store) readFile(path string) ([]byte, error) {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// quarantineLocked moves one blob-directory file into quarantine/ under a
+// unique name. The file is never deleted — it is evidence — and never
+// served again. Callers must already have dropped it from the index.
+func (s *Store) quarantineLocked(name, why string) {
+	s.seq++
+	dst := filepath.Join(s.quarDir, fmt.Sprintf("%s.%d.%d", name, s.now().UnixNano(), s.seq))
+	err := s.fs.Rename(filepath.Join(s.blobDir, name), dst)
+	s.inc("cube_store_quarantined_total")
+	if s.logger != nil {
+		s.logger.Error("experiment store quarantined a blob",
+			slog.String("blob", name),
+			slog.String("reason", why),
+			slog.String("quarantine", dst),
+			slog.Any("rename_err", err))
+	}
+}
+
+// insertLocked adds a committed blob to the index (idempotent).
+func (s *Store) insertLocked(d Digest, size int64) *entry {
+	if e, ok := s.entries[d]; ok {
+		s.lru.MoveToFront(e.el)
+		return e
+	}
+	e := &entry{d: d, size: size}
+	e.el = s.lru.PushFront(e)
+	s.entries[d] = e
+	s.bytes += size
+	s.publishGauges()
+	return e
+}
+
+// dropLocked removes an entry from the index (the file is handled by the
+// caller: evicted files are removed, corrupt ones quarantined).
+func (s *Store) dropLocked(e *entry) {
+	s.lru.Remove(e.el)
+	delete(s.entries, e.d)
+	s.bytes -= e.size
+	s.publishGauges()
+}
+
+// evictOneLocked drops the least-recently-used unpinned blob and removes
+// its file. Reports false when nothing is evictable (all pinned/empty).
+func (s *Store) evictOneLocked() bool {
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.pins > 0 {
+			continue
+		}
+		s.dropLocked(e)
+		s.inc("cube_store_evictions_total")
+		if err := s.fs.Remove(s.blobPath(e.d)); err != nil && s.logger != nil {
+			// The entry is already unindexed, so the blob is not served
+			// either way; the next recovery scan re-adopts the file.
+			s.logger.Error("experiment store failed to remove evicted blob",
+				slog.String("digest", e.d.String()), slog.Any("err", err))
+		}
+		return true
+	}
+	return false
+}
+
+// setDegradedLocked flips the store's mode, logging and counting the
+// transition exactly once per flip.
+func (s *Store) setDegradedLocked(degraded bool, why string) {
+	if s.degraded == degraded {
+		return
+	}
+	s.degraded, s.degradedWhy = degraded, why
+	mode := "ok"
+	if degraded {
+		mode = "degraded"
+	}
+	if s.reg != nil {
+		v := int64(0)
+		if degraded {
+			v = 1
+		}
+		s.reg.Gauge("cube_store_degraded").Set(v)
+		s.reg.Counter("cube_store_mode_transitions_total", obs.L("to", mode)).Inc()
+	}
+	if s.logger != nil {
+		s.logger.Warn("experiment store mode transition",
+			slog.String("to", mode), slog.String("reason", why))
+	}
+}
+
+// Degraded reports whether the store is in read-only mode and why.
+func (s *Store) Degraded() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degradedWhy
+}
+
+// Len and Bytes report the committed index size.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stat reports whether d is committed and its size, without touching the
+// LRU order or the disk.
+func (s *Store) Stat(d Digest) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[d]; ok {
+		return e.size, true
+	}
+	return 0, false
+}
+
+// Pin marks d as in use by an in-flight request: a pinned blob is never
+// evicted, whatever the budget pressure. Reports false if d is absent.
+// Every successful Pin must be paired with an Unpin.
+func (s *Store) Pin(d Digest) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[d]
+	if !ok {
+		return false
+	}
+	e.pins++
+	return true
+}
+
+// Unpin releases one Pin of d.
+func (s *Store) Unpin(d Digest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[d]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Put commits data under its content address. It reports the digest and
+// whether the blob is new (false: it was already committed — Put is
+// idempotent and the existing blob is simply touched). want, if non-nil,
+// is the digest the caller believes the bytes have; a mismatch is
+// rejected with ErrDigestMismatch before anything touches the disk.
+//
+// Failure modes: ErrDegraded (read-only mode; retry later), ErrTooLarge
+// (blob alone exceeds the budget), or the underlying write error — which
+// counts toward the sustained-failure threshold that flips the store into
+// degraded mode.
+func (s *Store) Put(data []byte, want *Digest) (Digest, bool, error) {
+	d := DigestOf(data)
+	if want != nil && *want != d {
+		return d, false, fmt.Errorf("%w: bytes hash to %s, caller claimed %s", ErrDigestMismatch, d, want)
+	}
+	size := int64(len(data))
+
+	s.mu.Lock()
+	if e, ok := s.entries[d]; ok {
+		s.lru.MoveToFront(e.el)
+		s.mu.Unlock()
+		return d, false, nil
+	}
+	if s.budget > 0 && size > s.budget {
+		s.mu.Unlock()
+		s.inc("cube_store_put_errors_total")
+		return d, false, fmt.Errorf("%w: %d bytes against a %d byte budget", ErrTooLarge, size, s.budget)
+	}
+	if s.degraded {
+		// Probe at most once per interval: the Put below doubles as the
+		// write probe, and success re-arms the store.
+		if s.now().Sub(s.lastProbe) < s.probe {
+			why := s.degradedWhy
+			s.mu.Unlock()
+			return d, false, fmt.Errorf("%w: %s", ErrDegraded, why)
+		}
+		s.lastProbe = s.now()
+	}
+	// Reserve the bytes against the budget before writing so concurrent
+	// Puts cannot collectively overshoot it.
+	for s.budget > 0 && s.bytes+s.reserved+size > s.budget {
+		if !s.evictOneLocked() {
+			s.setDegradedLocked(true, fmt.Sprintf(
+				"budget breached: %d committed + %d in-flight + %d new bytes exceed %d and every blob is pinned",
+				s.bytes, s.reserved, size, s.budget))
+			s.lastProbe = s.now()
+			s.mu.Unlock()
+			s.inc("cube_store_put_errors_total")
+			return d, false, fmt.Errorf("%w: budget breached with all blobs pinned", ErrDegraded)
+		}
+	}
+	s.reserved += size
+	s.seq++
+	tmp := filepath.Join(s.blobDir, fmt.Sprintf(".tmp-%s-%d", d, s.seq))
+	s.mu.Unlock()
+
+	err := s.writeBlob(tmp, s.blobPath(d), data)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reserved -= size
+	if err != nil {
+		s.inc("cube_store_put_errors_total")
+		s.writeFailures++
+		if s.writeFailures >= s.threshold {
+			s.setDegradedLocked(true, fmt.Sprintf("%d consecutive write failures, last: %v", s.writeFailures, err))
+			s.lastProbe = s.now()
+		} else if s.degraded {
+			// A failed probe: stay degraded, refresh the reason.
+			s.degradedWhy = fmt.Sprintf("write probe failed: %v", err)
+		}
+		return d, false, fmt.Errorf("store: writing blob %s: %w", d, err)
+	}
+	s.writeFailures = 0
+	s.setDegradedLocked(false, "")
+	s.insertLocked(d, size)
+	s.inc("cube_store_put_total")
+	return d, true, nil
+}
+
+// writeBlob runs the crash-safety protocol: temp file in the blob
+// directory → write → fsync → close → atomic rename to the digest name →
+// fsync of the directory. Any failure leaves at worst a temp file, which
+// the next recovery scan quarantines; the committed name only ever
+// appears with fully durable bytes behind it.
+func (s *Store) writeBlob(tmp, final string, data []byte) error {
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("create temp: %w", err)
+	}
+	cleanup := func() { s.fs.Remove(tmp) } // best effort; recovery catches leftovers
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		cleanup()
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return fmt.Errorf("fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("close: %w", err)
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		cleanup()
+		return fmt.Errorf("rename: %w", err)
+	}
+	if err := s.fs.SyncDir(s.blobDir); err != nil {
+		// The rename happened but its durability is unknown; report the
+		// failure (the caller must not assume the blob survives a crash).
+		// The file itself is intact, so if it does survive, the recovery
+		// scan re-indexes it — both outcomes are safe.
+		return fmt.Errorf("fsync dir: %w", err)
+	}
+	return nil
+}
+
+// Get returns the committed bytes of d. Every read is verified: the bytes
+// are re-hashed, and on a mismatch the blob is quarantined and the read
+// reports ErrNotFound — corrupt bytes are never served.
+func (s *Store) Get(d Digest) ([]byte, error) {
+	s.mu.Lock()
+	e, ok := s.entries[d]
+	if !ok {
+		s.mu.Unlock()
+		s.inc("cube_store_get_misses_total")
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, d)
+	}
+	s.lru.MoveToFront(e.el)
+	e.pins++ // transient pin: the file must not be evicted mid-read
+	s.mu.Unlock()
+
+	data, err := s.readFile(s.blobPath(d))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.pins--
+	if err != nil || DigestOf(data) != d {
+		// Corrupt or unreadable under a committed name: quarantine and
+		// fall through to not-found. Re-check the index first — a
+		// concurrent Get may have already quarantined it.
+		if _, still := s.entries[d]; still {
+			s.dropLocked(e)
+			why := "digest mismatch on read"
+			if err != nil {
+				why = err.Error()
+			}
+			s.quarantineLocked(d.String(), why)
+		}
+		s.inc("cube_store_get_misses_total")
+		return nil, fmt.Errorf("%w: %s (failed verification)", ErrNotFound, d)
+	}
+	s.inc("cube_store_get_hits_total")
+	return data, nil
+}
