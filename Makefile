@@ -10,7 +10,7 @@ GO ?= go
 BENCH_PATTERN ?= .
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 
-.PHONY: build test vet race bench bench-json bench-io bench-smoke trace-smoke check
+.PHONY: build test vet race bench bench-json bench-io bench-smoke trace-smoke obs-smoke check
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,9 @@ vet:
 # server's limiter/timeout/shutdown paths, the retrying client, the
 # metrics registry, the trace machinery probed by the fuzz-derived
 # robustness tests, the sharded severity kernels in internal/core, and
-# the experiment store's fault-injection suite.
+# the experiment store's fault-injection suite. The wide-event suites
+# (concurrent kernel-shard emission, the event ring, the SLO bucket
+# ring) live in these same packages and ride along.
 race:
 	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/... ./internal/obs/... ./internal/core/... ./internal/store/...
 
@@ -67,5 +69,13 @@ trace-smoke:
 	$$tmp/cube-diff -trace $$tmp/trace.json -o $$tmp/diff.cube $$tmp/before.cube $$tmp/after.cube && \
 	$(GO) run ./internal/cli/tracecheck $$tmp/trace.json && \
 	echo trace-smoke: ok
+
+# End-to-end observability smoke: an in-process server with the debug
+# gate, a store, and SLO objectives; inline + digest + failing traffic;
+# then every /debug/events NDJSON line is schema-checked, the
+# one-event-per-request invariant is counted, and /debug/slo burn rates
+# are recomputed from their own counters. See internal/cli/obssmoke.
+obs-smoke:
+	$(GO) run ./internal/cli/obssmoke
 
 check: vet build test race

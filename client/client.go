@@ -177,6 +177,13 @@ func (c *Client) doFull(ctx context.Context, method, path, contentType string, b
 	sp, ctx := obs.StartSpanContext(ctx, "client."+endpointLabel(path))
 	sp.SetAttr("method", method)
 	ep := obs.L("endpoint", endpointLabel(path))
+	// One wide event per logical call (kind "client"), attempts included —
+	// nil (one atomic load) unless a sink is installed (obs.SetEventSink,
+	// the CLIs' -events flag).
+	ev := obs.NewEvent("client", endpointLabel(path))
+	ev.SetRequestID(id)
+	ev.SetMethod(method)
+	attempts := 0
 	start := time.Now()
 	defer func() {
 		c.reg.Histogram("cube_client_request_duration_seconds", obs.DefLatencyBuckets, ep).
@@ -184,11 +191,17 @@ func (c *Client) doFull(ctx context.Context, method, path, contentType string, b
 		if callErr != nil {
 			c.reg.Counter("cube_client_errors_total", ep).Inc()
 			sp.SetAttr("error", true)
+			ev.SetError(callErr.Error())
 		}
 		sp.End()
+		ev.SetStatus(status)
+		ev.SetResponseBytes(int64(len(result)))
+		ev.SetAttempts(attempts)
+		ev.Emit()
 	}()
 	var last error
 	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
 		c.reg.Counter("cube_client_attempts_total", ep).Inc()
 		if attempt > 0 {
 			c.reg.Counter("cube_client_retries_total", ep).Inc()

@@ -1,0 +1,92 @@
+package client
+
+// Wide-event tests: one kind "client" event per logical call, retries
+// folded into its attempt count.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cube/internal/obs"
+)
+
+func TestClientEmitsWideEventPerCall(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "saturated", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+
+	sink := obs.NewEventSink(8)
+	obs.SetEventSink(sink)
+	defer obs.SetEventSink(nil)
+
+	c := New(srv.URL, WithMaxRetries(3),
+		WithBackoff(time.Millisecond, 2*time.Millisecond), WithMetrics(nil))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	events := sink.Events()
+	if len(events) != 1 {
+		t.Fatalf("call emitted %d events, want exactly 1 (retries fold in)", len(events))
+	}
+	f := events[0]
+	if err := obs.ValidateEvent(f); err != nil {
+		t.Errorf("event invalid: %v", err)
+	}
+	if f.Kind != "client" || f.Route != "/healthz" || f.Method != "GET" {
+		t.Errorf("kind/route/method = %q/%q/%q", f.Kind, f.Route, f.Method)
+	}
+	if f.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (one retry)", f.Attempts)
+	}
+	if f.Status != http.StatusOK || f.ResponseBytes != 3 {
+		t.Errorf("status/bytes = %d/%d, want 200/3", f.Status, f.ResponseBytes)
+	}
+	if f.RequestID == "" {
+		t.Error("event missing request_id")
+	}
+	if f.Error != "" {
+		t.Errorf("successful call recorded error %q", f.Error)
+	}
+
+	// A call that gives up records the terminal error.
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "broken", http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+	fc := New(failing.URL, WithMaxRetries(1),
+		WithBackoff(time.Millisecond, 2*time.Millisecond), WithMetrics(nil))
+	if err := fc.Healthz(context.Background()); err == nil {
+		t.Fatal("expected failure")
+	}
+	events = sink.Events()
+	if len(events) != 2 {
+		t.Fatalf("sink holds %d events, want 2", len(events))
+	}
+	if f := events[1]; f.Error == "" || f.Attempts != 2 {
+		t.Errorf("failed call event = %+v, want error and 2 attempts", f)
+	}
+}
+
+func TestClientNoSinkNoEvents(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithMetrics(nil))
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,6 +42,7 @@ func main() {
 		cli.Fatal("cube-diff", err)
 	}
 	defer stopProf()
+	opts.Event = prof.Event()
 	a, err := cube.ReadFile(flag.Arg(0))
 	if err != nil {
 		cli.Fatal("cube-diff", err)

@@ -45,6 +45,7 @@ func main() {
 		cli.Fatal("cube-mean", err)
 	}
 	defer stopProf()
+	opts.Event = prof.Event()
 	operands := make([]*cube.Experiment, 0, flag.NArg())
 	for _, path := range flag.Args() {
 		e, err := cube.ReadFile(path)

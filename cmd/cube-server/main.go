@@ -17,10 +17,15 @@
 // client with matching retry behavior.
 //
 // Observability: GET /metrics serves the Prometheus text exposition of the
-// request, operator, and codec metrics; GET /debug/vars the same data as
-// JSON plus memstats; -pprof additionally mounts /debug/pprof/*. Logs are
-// structured (-log-format text|json) and every line carries the request ID
-// that is also echoed in the X-Request-ID response header.
+// request, operator, and codec metrics. -debug opens the /debug/* routes:
+// /debug/vars (metrics + memstats as JSON), /debug/pprof/*, /debug/events
+// (the wide-event flight recorder as NDJSON — one event per request with
+// full resource attribution), /debug/store (experiment-store inventory),
+// and /debug/slo (per-route error-budget burn; configure objectives with
+// -slo-availability 0.999 and -slo-latency 500ms). Logs are structured
+// (-log-format text|json) and every line carries the request ID that is
+// also echoed in the X-Request-ID response header. The cube-top command
+// renders a live terminal view from these endpoints.
 //
 // Tracing: -trace-sample 0.1 records span trees (request → operator →
 // kernel shards) for a tenth of requests; -trace-slow 2s additionally
@@ -71,9 +76,20 @@ func main() {
 	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "time to write a full response")
 	flag.DurationVar(&cfg.IdleTimeout, "idle-timeout", cfg.IdleTimeout, "keep-alive idle connection timeout")
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "grace period for in-flight requests on shutdown")
-	flag.BoolVar(&cfg.EnablePprof, "pprof", false, "expose /debug/pprof/* profiling endpoints")
+	flag.BoolVar(&cfg.Debug, "debug", false,
+		"expose the /debug/* routes: pprof, vars, events, store, slo, traces")
+	flag.BoolVar(&cfg.EnablePprof, "pprof", false, "deprecated synonym for -debug")
 	flag.Float64Var(&cfg.TraceSampleRate, "trace-sample", 0, "fraction of requests to trace [0, 1]; enables /debug/traces")
 	flag.DurationVar(&cfg.TraceSlow, "trace-slow", 0, "also trace and log every request at least this slow (0 = off)")
+	flag.IntVar(&cfg.EventRingSize, "event-ring", 0,
+		"wide events retained for /debug/events (0 = default 1024)")
+	flag.DurationVar(&cfg.SLOLatency, "slo-latency", 0,
+		"latency SLO threshold; with -slo-latency-target, tracks the fraction of slow requests (0 = off)")
+	flag.Float64Var(&cfg.SLOLatencyTarget, "slo-latency-target", 0,
+		"fraction of requests that must beat -slo-latency (0 = default 0.99)")
+	flag.Float64Var(&cfg.SLOAvailability, "slo-availability", 0,
+		"availability SLO target, e.g. 0.999 = at most 1 in 1000 requests 5xx (0 = off)")
+	flag.DurationVar(&cfg.SLOWindow, "slo-window", 0, "sliding window for SLO burn tracking (0 = default 5m)")
 	parseCacheMB := flag.Int64("parse-cache-mb", cfg.ParseCacheBytes>>20,
 		"byte budget (MiB) of the content-addressed operand parse cache (0 = disabled)")
 	storeDir := flag.String("store-dir", "",
@@ -106,11 +122,17 @@ func main() {
 	logger := slog.New(handler)
 	cfg.Logger = logger
 
+	// One wide-event sink for the whole process, created before the store
+	// opens so its recovery and lifecycle events land in the same ring
+	// the requests do (NewHandler installs it as the process-wide seam).
+	cfg.Events = obs.NewEventSink(cfg.EventRingSize)
+
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{
 			Budget:  *storeMB << 20,
 			Logger:  logger,
 			Metrics: obs.Default,
+			Events:  cfg.Events,
 		})
 		if err != nil {
 			cli.Fatal("cube-server", err)

@@ -1,0 +1,333 @@
+// Command cube-top renders a live terminal operations view of a running
+// cube-server, in the spirit of top(1): request rates and latency
+// quantiles per route, parse-cache effectiveness, experiment-store
+// pressure, and SLO error-budget burn.
+//
+//	cube-top -addr http://localhost:7654
+//
+// It polls GET /metrics (always on), and GET /debug/slo and
+// GET /debug/store (available when the server runs with -debug); the
+// sections for endpoints that are gated off or unreachable degrade to a
+// note rather than an error. Rates and latency quantiles are computed
+// from the delta between successive scrapes, so the numbers describe the
+// last -interval, not the process lifetime. -once prints a single frame
+// from cumulative counters and exits (useful in scripts and for
+// snapshotting an incident).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cube/internal/promtext"
+)
+
+// sloDoc mirrors the /debug/slo response (server events.go): an enabled
+// flag wrapping obs.SLOSnapshot.
+type sloDoc struct {
+	Enabled            bool    `json:"enabled"`
+	Window             string  `json:"window"`
+	AvailabilityTarget float64 `json:"availability_target"`
+	LatencyThresholdMS float64 `json:"latency_threshold_ms"`
+	LatencyTarget      float64 `json:"latency_target"`
+	Routes             []struct {
+		Route            string  `json:"route"`
+		Total            int64   `json:"total"`
+		Errors           int64   `json:"errors"`
+		AvailabilityBurn float64 `json:"availability_burn"`
+		Slow             int64   `json:"slow"`
+		LatencyBurn      float64 `json:"latency_burn"`
+		BudgetRemaining  float64 `json:"budget_remaining"`
+	} `json:"routes"`
+}
+
+// storeDoc mirrors /debug/store: an enabled flag wrapping store.Inventory.
+type storeDoc struct {
+	Enabled        bool    `json:"enabled"`
+	Blobs          int     `json:"blobs"`
+	Bytes          int64   `json:"bytes"`
+	Budget         int64   `json:"budget"`
+	Pressure       float64 `json:"pressure"`
+	Pins           int     `json:"pins"`
+	Degraded       bool    `json:"degraded"`
+	DegradedReason string  `json:"degraded_reason"`
+	Puts           int64   `json:"puts"`
+	Gets           int64   `json:"gets"`
+	GetMisses      int64   `json:"get_misses"`
+	Evictions      int64   `json:"evictions"`
+	Quarantined    []any   `json:"quarantined"`
+}
+
+// sample is one scrape of everything cube-top watches.
+type sample struct {
+	at      time.Time
+	metrics promtext.Metrics
+	slo     *sloDoc   // nil when the endpoint was unreachable or gated
+	store   *storeDoc // likewise
+	notes   []string  // per-endpoint degradation notes for the footer
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:7654", "base URL of the cube-server to watch")
+	interval := flag.Duration("interval", 2*time.Second, "poll and redraw period")
+	once := flag.Bool("once", false, "print one frame from cumulative counters and exit")
+	flag.Parse()
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	cur, err := poll(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cube-top: %v\n", err)
+		os.Exit(1)
+	}
+	if *once {
+		render(os.Stdout, nil, cur, 0)
+		return
+	}
+	prev := cur
+	for {
+		time.Sleep(*interval)
+		cur, err = poll(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cube-top: %v\n", err)
+			continue
+		}
+		// Clear and home before each frame, like top(1).
+		fmt.Print("\x1b[2J\x1b[H")
+		render(os.Stdout, prev, cur, cur.at.Sub(prev.at))
+		prev = cur
+	}
+}
+
+// poll scrapes the three endpoints. A failed /metrics is fatal to the
+// sample (nothing to show without it); the debug endpoints degrade to
+// footer notes because they are legitimately absent without -debug.
+func poll(client *http.Client, base string) (*sample, error) {
+	s := &sample{at: time.Now()}
+	body, err := fetch(client, base+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if s.metrics, err = promtext.Parse(strings.NewReader(body)); err != nil {
+		return nil, err
+	}
+	if body, err = fetch(client, base+"/debug/slo"); err != nil {
+		s.notes = append(s.notes, "slo: "+err.Error())
+	} else {
+		var doc sloDoc
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			s.notes = append(s.notes, "slo: "+err.Error())
+		} else {
+			s.slo = &doc
+		}
+	}
+	if body, err = fetch(client, base+"/debug/store"); err != nil {
+		s.notes = append(s.notes, "store: "+err.Error())
+	} else {
+		var doc storeDoc
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			s.notes = append(s.notes, "store: "+err.Error())
+		} else {
+			s.store = &doc
+		}
+	}
+	return s, nil
+}
+
+func fetch(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s (is the server running with -debug?)", url, resp.Status)
+	}
+	return string(body), nil
+}
+
+// delta subtracts prev from cur sample-by-sample (matched on name and
+// full label set), clamping at zero so a counter reset shows as a quiet
+// interval rather than a huge negative rate. Samples absent from prev
+// pass through unchanged.
+func delta(prev, cur promtext.Metrics) promtext.Metrics {
+	out := promtext.Metrics{}
+	for name, samples := range cur {
+		for _, s := range samples {
+			d := s
+			if p, ok := lookup(prev[name], s.Labels); ok {
+				d.Value = s.Value - p
+				if d.Value < 0 {
+					d.Value = 0
+				}
+			}
+			out[name] = append(out[name], d)
+		}
+	}
+	return out
+}
+
+func lookup(samples []promtext.Sample, labels map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if len(s.Labels) != len(labels) {
+			continue
+		}
+		same := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// render writes one frame. With prev == nil (the -once path) counters
+// are cumulative and rates are omitted; otherwise counters are deltas
+// over the given interval.
+func render(w io.Writer, prev *sample, cur *sample, interval time.Duration) {
+	m := cur.metrics
+	mode := "totals since start"
+	if prev != nil {
+		m = delta(prev.metrics, cur.metrics)
+		mode = fmt.Sprintf("last %s", interval.Round(time.Millisecond))
+	}
+
+	fmt.Fprintf(w, "cube-top  %s  (%s)\n\n", cur.at.Format(time.RFC3339), mode)
+
+	// Requests: one roll-up line, then a per-route table.
+	total := m.Sum("cube_http_requests_total", nil)
+	bad := m.Sum("cube_http_requests_total", map[string]string{"status": "500"}) +
+		m.Sum("cube_http_requests_total", map[string]string{"status": "502"}) +
+		m.Sum("cube_http_requests_total", map[string]string{"status": "503"})
+	inFlight, _ := cur.metrics.Value("cube_http_in_flight_requests", nil)
+	fmt.Fprintf(w, "requests  %s  in-flight %.0f  5xx %s\n",
+		rate(total, interval), inFlight, percent(bad, total))
+
+	routes := m.LabelValues("cube_http_requests_total", "route")
+	if len(routes) > 0 {
+		fmt.Fprintf(w, "  %-22s %10s %9s %9s %7s\n", "ROUTE", "REQ", "P50", "P99", "5XX%")
+		for _, route := range routes {
+			sel := map[string]string{"route": route}
+			n := m.Sum("cube_http_requests_total", sel)
+			if n == 0 {
+				continue
+			}
+			b := m.Sum("cube_http_requests_total", map[string]string{"route": route, "status": "500"}) +
+				m.Sum("cube_http_requests_total", map[string]string{"route": route, "status": "502"}) +
+				m.Sum("cube_http_requests_total", map[string]string{"route": route, "status": "503"})
+			p50, _ := m.Quantile("cube_http_request_duration_seconds", 0.5, sel)
+			p99, _ := m.Quantile("cube_http_request_duration_seconds", 0.99, sel)
+			fmt.Fprintf(w, "  %-22s %10s %9s %9s %7s\n",
+				route, rate(n, interval), latency(p50), latency(p99), percent(b, n))
+		}
+	}
+
+	// Parse cache.
+	hits := m.Sum("cube_parse_cache_hits_total", nil)
+	misses := m.Sum("cube_parse_cache_misses_total", nil)
+	bytes, _ := cur.metrics.Value("cube_parse_cache_bytes", nil)
+	fmt.Fprintf(w, "\ncache     hit %s  (%.0f hit / %.0f miss)  resident %s\n",
+		percent(hits, hits+misses), hits, misses, size(int64(bytes)))
+
+	// Store.
+	switch st := cur.store; {
+	case st == nil:
+		fmt.Fprintf(w, "store     (unavailable)\n")
+	case !st.Enabled:
+		fmt.Fprintf(w, "store     disabled\n")
+	default:
+		budget := "unlimited"
+		if st.Budget > 0 {
+			budget = fmt.Sprintf("%s (%.0f%% pressure)", size(st.Budget), st.Pressure*100)
+		}
+		fmt.Fprintf(w, "store     %d blobs  %s of %s  pins %d  puts %d  gets %d (%d miss)  evictions %d  quarantined %d\n",
+			st.Blobs, size(st.Bytes), budget, st.Pins, st.Puts, st.Gets, st.GetMisses, st.Evictions, len(st.Quarantined))
+		if st.Degraded {
+			fmt.Fprintf(w, "          DEGRADED (read-only): %s\n", st.DegradedReason)
+		}
+	}
+
+	// SLO budgets.
+	switch slo := cur.slo; {
+	case slo == nil:
+		fmt.Fprintf(w, "slo       (unavailable)\n")
+	case !slo.Enabled:
+		fmt.Fprintf(w, "slo       no objectives configured (-slo-availability / -slo-latency)\n")
+	default:
+		var objectives []string
+		if slo.AvailabilityTarget > 0 {
+			objectives = append(objectives, fmt.Sprintf("availability %.4g", slo.AvailabilityTarget))
+		}
+		if slo.LatencyThresholdMS > 0 {
+			objectives = append(objectives, fmt.Sprintf("latency %.4g of requests < %s",
+				slo.LatencyTarget, latency(slo.LatencyThresholdMS/1000)))
+		}
+		fmt.Fprintf(w, "slo       window %s  %s\n", slo.Window, strings.Join(objectives, "  "))
+		rs := slo.Routes
+		sort.Slice(rs, func(i, j int) bool { return rs[i].BudgetRemaining < rs[j].BudgetRemaining })
+		for _, r := range rs {
+			fmt.Fprintf(w, "  %-22s total %-7d burn avail %.3f / latency %.3f  budget %s\n",
+				r.Route, r.Total, r.AvailabilityBurn, r.LatencyBurn, percent(r.BudgetRemaining*100, 100))
+		}
+	}
+
+	for _, note := range cur.notes {
+		fmt.Fprintf(w, "\n! %s\n", note)
+	}
+}
+
+// rate formats a count as a per-second rate when an interval is known,
+// or as a plain total in -once mode.
+func rate(n float64, interval time.Duration) string {
+	if interval <= 0 {
+		return fmt.Sprintf("%.0f req", n)
+	}
+	return fmt.Sprintf("%.1f/s", n/interval.Seconds())
+}
+
+func percent(part, whole float64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*part/whole)
+}
+
+func latency(seconds float64) string {
+	switch {
+	case seconds <= 0:
+		return "-"
+	case seconds < 1:
+		return fmt.Sprintf("%.1fms", seconds*1000)
+	default:
+		return fmt.Sprintf("%.2fs", seconds)
+	}
+}
+
+func size(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

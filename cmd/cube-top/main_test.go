@@ -1,0 +1,162 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cube/internal/promtext"
+)
+
+const metricsT0 = `cube_http_requests_total{method="POST",route="/op/{op}",status="200"} 100
+cube_http_requests_total{method="POST",route="/op/{op}",status="500"} 2
+cube_http_in_flight_requests 1
+cube_parse_cache_hits_total 40
+cube_parse_cache_misses_total 10
+cube_parse_cache_bytes 2097152
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.01"} 50
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.1"} 100
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="+Inf"} 102
+`
+
+const metricsT1 = `cube_http_requests_total{method="POST",route="/op/{op}",status="200"} 120
+cube_http_requests_total{method="POST",route="/op/{op}",status="500"} 3
+cube_http_in_flight_requests 2
+cube_parse_cache_hits_total 58
+cube_parse_cache_misses_total 12
+cube_parse_cache_bytes 2097152
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.01"} 60
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.1"} 121
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="+Inf"} 123
+`
+
+const sloBody = `{"enabled":true,"window":"5m0s","availability_target":0.999,
+"routes":[{"route":"/op/{op}","total":123,"errors":3,"availability_burn":24.39,
+"slow":0,"latency_burn":0,"budget_remaining":0}]}`
+
+const storeBody = `{"enabled":true,"blobs":7,"bytes":1048576,"budget":10485760,
+"pressure":0.1,"pins":1,"degraded":true,"degraded_reason":"disk full",
+"puts":9,"gets":40,"get_misses":2,"evictions":1,"quarantined":[{}]}`
+
+func testServer(metrics string, debug bool) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(metrics))
+	})
+	if debug {
+		mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(sloBody))
+		})
+		mux.HandleFunc("/debug/store", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(storeBody))
+		})
+	}
+	return httptest.NewServer(mux)
+}
+
+func mustPoll(t *testing.T, url string) *sample {
+	t.Helper()
+	s, err := poll(http.DefaultClient, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRenderDeltaFrame drives poll + delta + render across two scrapes
+// and checks the numbers a live frame shows describe the interval, not
+// the process lifetime.
+func TestRenderDeltaFrame(t *testing.T) {
+	srv0 := testServer(metricsT0, true)
+	prev := mustPoll(t, srv0.URL)
+	srv0.Close()
+	srv1 := testServer(metricsT1, true)
+	defer srv1.Close()
+	cur := mustPoll(t, srv1.URL)
+	cur.at = prev.at.Add(10 * time.Second)
+
+	var sb strings.Builder
+	render(&sb, prev, cur, 10*time.Second)
+	frame := sb.String()
+
+	for _, w := range []string{
+		"last 10s",
+		"2.1/s",     // 21 requests in the interval / 10s roll-up
+		"in-flight 2",
+		"4.8%",      // 1 new 5xx of 21
+		"hit 90.0%", // 18 of 20 new cache lookups hit
+		"resident 2.0MiB",
+		"7 blobs",
+		"(10% pressure)",
+		"DEGRADED (read-only): disk full",
+		"quarantined 1",
+		"availability 0.999",
+		"burn avail 24.390",
+		"budget 0.0%",
+	} {
+		if !strings.Contains(frame, w) {
+			t.Errorf("frame missing %q:\n%s", w, frame)
+		}
+	}
+
+	// Interval latency quantiles: the delta histogram has 10 obs <=10ms
+	// and 21 more <=100ms, so p50 interpolates inside the second bucket.
+	p50, ok := delta(prev.metrics, cur.metrics).
+		Quantile("cube_http_request_duration_seconds", 0.5, map[string]string{"route": "/op/{op}"})
+	if !ok || p50 < 0.01 || p50 > 0.1 {
+		t.Errorf("interval p50 = %v, %v; want inside (0.01, 0.1)", p50, ok)
+	}
+}
+
+// TestRenderOnceFrame pins -once behavior: totals, no rates.
+func TestRenderOnceFrame(t *testing.T) {
+	srv := testServer(metricsT0, true)
+	defer srv.Close()
+	cur := mustPoll(t, srv.URL)
+	var sb strings.Builder
+	render(&sb, nil, cur, 0)
+	frame := sb.String()
+	for _, w := range []string{"totals since start", "102 req", "hit 80.0%"} {
+		if !strings.Contains(frame, w) {
+			t.Errorf("once frame missing %q:\n%s", w, frame)
+		}
+	}
+}
+
+// TestRenderWithoutDebug: gated /debug endpoints degrade to footer notes,
+// the metrics sections still render.
+func TestRenderWithoutDebug(t *testing.T) {
+	srv := testServer(metricsT0, false)
+	defer srv.Close()
+	cur := mustPoll(t, srv.URL)
+	if cur.slo != nil || cur.store != nil {
+		t.Fatalf("expected nil slo/store docs, got %+v %+v", cur.slo, cur.store)
+	}
+	if len(cur.notes) != 2 {
+		t.Fatalf("notes = %v, want two degradation notes", cur.notes)
+	}
+	var sb strings.Builder
+	render(&sb, nil, cur, 0)
+	frame := sb.String()
+	for _, w := range []string{"slo       (unavailable)", "store     (unavailable)", "/op/{op}"} {
+		if !strings.Contains(frame, w) {
+			t.Errorf("frame missing %q:\n%s", w, frame)
+		}
+	}
+}
+
+// TestDeltaClampsCounterReset: a restarted server must read as a quiet
+// interval, not a negative rate.
+func TestDeltaClampsCounterReset(t *testing.T) {
+	prev, _ := promtext.Parse(strings.NewReader(`c{a="x"} 100` + "\n"))
+	cur, _ := promtext.Parse(strings.NewReader(`c{a="x"} 5` + "\n" + `c{a="y"} 3` + "\n"))
+	d := delta(prev, cur)
+	if got := d.Sum("c", map[string]string{"a": "x"}); got != 0 {
+		t.Errorf("reset counter delta = %v, want clamp to 0", got)
+	}
+	if got := d.Sum("c", map[string]string{"a": "y"}); got != 3 {
+		t.Errorf("new series delta = %v, want pass-through 3", got)
+	}
+}

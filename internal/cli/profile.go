@@ -18,6 +18,7 @@ import (
 //	-memprofile file   write a heap profile on exit
 //	-stats             dump operator/codec metrics to stderr on exit
 //	-trace file        write span traces as Chrome trace-event JSON on exit
+//	-events file       write wide events as NDJSON on exit (- for stderr)
 //
 // Register the flags with NewProfile before flag.Parse, then call Start
 // after it and the returned stop function on the success path. -stats
@@ -30,9 +31,12 @@ import (
 // Perfetto or chrome://tracing.
 type Profile struct {
 	cpu, mem, trace *string
+	events          *string
 	stats           *bool
 	cpuFile         *os.File
 	tracer          *obs.Tracer
+	sink            *obs.EventSink
+	event           *obs.Event
 	tool            string
 }
 
@@ -47,8 +51,15 @@ func NewProfile(fs *flag.FlagSet) *Profile {
 	p.mem = fs.String("memprofile", "", "write a heap profile to `file` on exit")
 	p.stats = fs.Bool("stats", false, "dump operator/codec metrics to stderr on exit")
 	p.trace = fs.String("trace", "", "write span traces as Chrome trace-event JSON to `file`")
+	p.events = fs.String("events", "", "write wide events as NDJSON to `file` on exit (- for stderr)")
 	return p
 }
+
+// Event returns the invocation's wide event — nil (every method a no-op)
+// unless -events is set. Tools hand it to core.Options.Event so the
+// kernel layer attributes shards, tuples, cells, and compute time to the
+// run.
+func (p *Profile) Event() *obs.Event { return p.event }
 
 // Start begins profiling according to the parsed flags. Call it after
 // flag.Parse; the returned stop function finishes the CPU profile, writes
@@ -67,6 +78,13 @@ func (p *Profile) Start(tool string) (stop func(), err error) {
 		// them all — scripts may chain many operations per process.
 		p.tracer = obs.NewTracer(obs.TracerOptions{SampleRate: 1, RingSize: 1024})
 		obs.SetTracer(p.tracer)
+	}
+	if *p.events != "" {
+		// The process-wide sink catches store/client events too; the
+		// invocation itself is one kind "cli" event, routed by tool name.
+		p.sink = obs.NewEventSink(obs.DefaultEventRingSize)
+		obs.SetEventSink(p.sink)
+		p.event = p.sink.NewEvent("cli", tool)
 	}
 	if *p.cpu != "" {
 		f, err := os.Create(*p.cpu)
@@ -106,6 +124,26 @@ func (p *Profile) stop() {
 		fmt.Fprintf(os.Stderr, "--- %s metrics ---\n", p.tool)
 		if err := obs.Default.WritePrometheus(os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: writing metrics: %v\n", p.tool, err)
+		}
+	}
+	if p.sink != nil {
+		obs.SetEventSink(nil)
+		p.event.Emit()
+		w := os.Stderr
+		if *p.events != "-" {
+			f, err := os.Create(*p.events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", p.tool, err)
+				w = nil
+			} else {
+				defer f.Close()
+				w = f
+			}
+		}
+		if w != nil {
+			if _, err := p.sink.WriteNDJSON(w, obs.EventFilter{}); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing events: %v\n", p.tool, err)
+			}
 		}
 	}
 	if p.tracer != nil {

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cube/internal/core"
+	"cube/internal/obs"
+)
+
+// TestProfileEventsFlag drives the -events flag end to end: Start installs
+// the process-wide sink, the invocation event picks up kernel attribution
+// through core.Options, and stop writes valid NDJSON.
+func TestProfileEventsFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "events.ndjson")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfile(fs)
+	if err := fs.Parse([]string{"-events", out}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start("cube-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.ActiveEventSink() == nil {
+		t.Fatal("-events did not install the process sink")
+	}
+
+	// A real operator run attributes into the invocation event.
+	e := core.New("a")
+	m := e.NewMetric("Time", core.Seconds, "")
+	root := e.NewCallRoot(e.NewCallSite("", 0, e.NewRegion("main", "app", 0, 0)))
+	for _, th := range e.SingleThreadedSystem("m", 1, 2) {
+		e.SetSeverity(m, root, th, 1)
+	}
+	opts, err := ParseOptions("callee", "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Event = p.Event()
+	if _, err := core.Difference(e, e, opts); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if obs.ActiveEventSink() != nil {
+		t.Error("stop did not uninstall the process sink")
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []map[string]any
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var doc map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &doc); err != nil {
+			t.Fatalf("line %d is not JSON: %v", len(lines)+1, err)
+		}
+		lines = append(lines, doc)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("events file has %d lines, want 1", len(lines))
+	}
+	got := lines[0]
+	if got["kind"] != "cli" || got["route"] != "cube-test" || got["op"] != "difference" {
+		t.Errorf("event = %v", got)
+	}
+	if got["kernel_tuples"] == nil || got["duration_ms"] == nil {
+		t.Errorf("event missing kernel/duration attribution: %v", got)
+	}
+}
+
+// TestProfileEventsOff pins the default: without -events there is no sink
+// and Event() is nil (safe to hand to core.Options).
+func TestProfileEventsOff(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfile(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start("cube-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Event() != nil {
+		t.Error("Event() non-nil without -events")
+	}
+	stop()
+}

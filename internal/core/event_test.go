@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"cube/internal/obs"
+)
+
+// TestOperatorWideEventAttribution asserts the kernel layer reports its
+// full shape — operator, plan shards/tuples, result cells, accumulator
+// choice, per-shard compute time — into an attached wide event.
+func TestOperatorWideEventAttribution(t *testing.T) {
+	sink := obs.NewEventSink(8)
+	a := buildSized("a", 4, 8, 4)
+	c := buildSized("b", 4, 8, 4)
+
+	ev := sink.NewEvent("http", "/api/v1/diff")
+	opts := &Options{Event: ev, Workers: 4}
+	out, err := Difference(a, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ev.Fields()
+	if f.Op != "difference" {
+		t.Errorf("op = %q, want difference", f.Op)
+	}
+	if f.KernelShards < 1 {
+		t.Errorf("kernel shards = %d, want >= 1", f.KernelShards)
+	}
+	// Two operands of 128 tuples each.
+	if f.KernelTuples != 256 {
+		t.Errorf("kernel tuples = %d, want 256", f.KernelTuples)
+	}
+	if f.KernelCells != int64(out.NonZeroCount()) {
+		t.Errorf("kernel cells = %d, want %d", f.KernelCells, out.NonZeroCount())
+	}
+	if f.Accumulator != "dense" && f.Accumulator != "sparse" {
+		t.Errorf("accumulator = %q, want dense or sparse", f.Accumulator)
+	}
+	if f.ComputeMS < 0 {
+		t.Errorf("compute_ms = %g", f.ComputeMS)
+	}
+
+	// Fold-kernel operators record the fold accumulator.
+	ev2 := sink.NewEvent("http", "/api/v1/stddev")
+	if _, err := StdDev(&Options{Event: ev2}, a, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := ev2.Fields().Accumulator; got != "fold" {
+		t.Errorf("stddev accumulator = %q, want fold", got)
+	}
+}
+
+// TestKernelShardsEmitEventConcurrently drives a many-shard kernel with a
+// wide event attached: every shard goroutine reports compute time into
+// the same event. Run under -race in make race, this is the proof the
+// event accumulators are safe for concurrent kernel emission.
+func TestKernelShardsEmitEventConcurrently(t *testing.T) {
+	sink := obs.NewEventSink(8)
+	a := buildSized("a", 16, 32, 8)
+	c := buildSized("b", 16, 32, 8)
+	for i := 0; i < 10; i++ {
+		ev := sink.NewEvent("http", "/api/v1/mean")
+		opts := &Options{Event: ev, Workers: 8}
+		if _, err := Mean(opts, a, c); err != nil {
+			t.Fatal(err)
+		}
+		ev.Emit()
+	}
+	events := sink.Events()
+	if len(events) != 8 { // ring cap
+		t.Fatalf("retained %d events, want 8", len(events))
+	}
+	for _, f := range events {
+		if f.KernelShards < 2 {
+			t.Errorf("kernel shards = %d, want >= 2 (concurrent emission not exercised)", f.KernelShards)
+		}
+		if f.KernelTuples == 0 || f.KernelCells == 0 {
+			t.Errorf("missing kernel attribution: %+v", f)
+		}
+	}
+}
+
+// TestOperatorWithoutEventUnchanged pins the disabled path: operators run
+// with no event attached must work and leave nothing behind.
+func TestOperatorWithoutEventUnchanged(t *testing.T) {
+	a := buildSized("a", 2, 2, 2)
+	if _, err := Difference(a, a, &Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Difference(a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkWideEventOverhead guards the wide-event hot path on the
+// operator kernel. "off" is the production-disabled configuration (no
+// event attached: the cost is one nil check per hook site plus one atomic
+// load in startOp); "on" attaches a live event to every invocation and
+// must stay within 5% of off — attribution is aggregated per shard and
+// per invocation, never per cell. Compare:
+//
+//	go test -run='^$' -bench=BenchmarkWideEventOverhead ./internal/core
+func BenchmarkWideEventOverhead(b *testing.B) {
+	a := buildSized("a", 20, 50, 8) // 8000 cells per operand
+	c := buildSized("b", 20, 50, 8)
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Difference(a, c, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		sink := obs.NewEventSink(obs.DefaultEventRingSize)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := sink.NewEvent("http", "/api/v1/diff")
+			if _, err := Difference(a, c, &Options{Event: ev}); err != nil {
+				b.Fatal(err)
+			}
+			ev.Emit()
+		}
+	})
+}

@@ -55,6 +55,7 @@ func Instrumented() bool { return opRegistry.Load() != nil }
 type opRecorder struct {
 	reg      *obs.Registry
 	span     *obs.Span
+	ev       *obs.Event
 	op       string
 	start    time.Time
 	inCells  int
@@ -65,14 +66,20 @@ type opRecorder struct {
 // The trace span parents under opts.Trace when the caller (the HTTP
 // service) carries one, else opens a root trace on the process tracer
 // (obs.SetTracer — the CLIs' -trace flag); with neither, tracing costs
-// one atomic pointer load.
+// one atomic pointer load. The wide event (opts.Event) rides the same
+// recorder: operator name now, kernel attribution as the plan runs.
 func startOp(op string, opts *Options, operands []*Experiment) *opRecorder {
 	reg := opRegistry.Load()
 	span := startOpSpan(op, opts)
-	if reg == nil && span == nil {
+	var ev *obs.Event
+	if opts != nil {
+		ev = opts.Event
+	}
+	if reg == nil && span == nil && ev == nil {
 		return nil
 	}
-	rec := &opRecorder{reg: reg, span: span, op: op, start: time.Now(), operands: len(operands)}
+	ev.SetOp(op)
+	rec := &opRecorder{reg: reg, span: span, ev: ev, op: op, start: time.Now(), operands: len(operands)}
 	for _, x := range operands {
 		if x != nil {
 			rec.inCells += x.NonZeroCount()
@@ -144,6 +151,7 @@ func (rec *opRecorder) done(out *Experiment) {
 		rec.span.SetAttr("cells_out", outCells)
 		rec.span.End()
 	}
+	rec.ev.AddKernelCells(int64(outCells))
 }
 
 // tracedIntegrate wraps integrate in the invocation's "integrate" span,
@@ -193,8 +201,11 @@ func (s kernelStage) done(stage string) {
 	s.reg.Histogram("cube_kernel_stage_seconds", obs.DefLatencyBuckets, obs.L("stage", stage)).Observe(time.Since(s.start).Seconds())
 }
 
-// recordKernelPlan publishes the shape of one kernel execution.
+// recordKernelPlan publishes the shape of one kernel execution — to the
+// metrics registry and to the invocation's wide event when one rides the
+// plan.
 func recordKernelPlan(p *kernelPlan) {
+	p.event.AddKernelPlan(p.shards, int64(p.total))
 	reg := opRegistry.Load()
 	if reg == nil {
 		return

@@ -36,6 +36,12 @@ type Options struct {
 	// open a root trace on the process-wide tracer (obs.SetTracer) if one
 	// is installed, and skip tracing entirely otherwise.
 	Trace *obs.Span
+	// Event, when non-nil, receives the invocation's resource attribution
+	// (operator name, kernel cells/shards/tuples, accumulator choice,
+	// summed shard compute time) — the HTTP service passes its per-request
+	// wide event here. A nil Event costs nothing: every hook is a
+	// nil-receiver no-op.
+	Event *obs.Event
 }
 
 // Engine names a severity-arithmetic implementation.

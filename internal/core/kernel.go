@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"time"
 
 	"cube/internal/obs"
 )
@@ -198,7 +199,8 @@ type remapTable struct {
 // layout.
 type kernelPlan struct {
 	in     *integration
-	span   *obs.Span // operator invocation span; nil when untraced
+	span   *obs.Span  // operator invocation span; nil when untraced
+	event  *obs.Event // request/CLI wide event; nil when none attached
 	blocks []*sevBlock
 	maps   []remapTable
 	nC, nT uint64 // result dimensions used for packing (≥ 1)
@@ -218,9 +220,14 @@ func kernelFeasible(out *Experiment) bool {
 func newKernelPlan(in *integration, opts *Options, operands []*Experiment, span *obs.Span) *kernelPlan {
 	out := in.out
 	out.reindex()
+	var ev *obs.Event
+	if opts != nil {
+		ev = opts.Event
+	}
 	p := &kernelPlan{
 		in:     in,
 		span:   span,
+		event:  ev,
 		blocks: make([]*sevBlock, len(operands)),
 		maps:   make([]remapTable, len(operands)),
 		nC:     uint64(len(out.cnodes)),
@@ -295,10 +302,21 @@ func (p *kernelPlan) shardOf(key uint64) int {
 }
 
 // parallel runs fn once per shard, concurrently when the plan has more than
-// one shard.
+// one shard. When a wide event is attached, every shard reports its own
+// wall time into it from its own goroutine — the event's accumulators are
+// concurrency-safe — so the event's compute_ms sums CPU-parallel work and
+// may exceed the invocation's wall duration.
 func (p *kernelPlan) parallel(fn func(shard int)) {
+	run := fn
+	if ev := p.event; ev != nil {
+		run = func(shard int) {
+			start := time.Now()
+			fn(shard)
+			ev.AddCompute(time.Since(start))
+		}
+	}
 	if p.shards == 1 {
-		fn(0)
+		run(0)
 		return
 	}
 	var wg sync.WaitGroup
@@ -306,7 +324,7 @@ func (p *kernelPlan) parallel(fn func(shard int)) {
 	for s := 0; s < p.shards; s++ {
 		go func(s int) {
 			defer wg.Done()
-			fn(s)
+			run(s)
 		}(s)
 	}
 	wg.Wait()
@@ -357,6 +375,7 @@ func blockRows(b *sevBlock, rt remapTable, p *kernelPlan,
 func (p *kernelPlan) kernelCombine(weights []float64, keep [][]bool) {
 	stage := startKernelStage()
 	if p.denseOK() {
+		p.event.SetAccumulator("dense")
 		acc := make([]float64, p.cells)
 		p.parallel(func(shard int) {
 			ssp, rows := p.shardSpan(shard, "dense")
@@ -406,6 +425,7 @@ func (p *kernelPlan) kernelCombine(weights []float64, keep [][]bool) {
 		stage.done("materialize")
 		return
 	}
+	p.event.SetAccumulator("sparse")
 	accs := make([]map[uint64]float64, p.shards)
 	p.parallel(func(shard int) {
 		ssp, rows := p.shardSpan(shard, "sparse")
@@ -493,6 +513,7 @@ func endShardSpan(ssp *obs.Span, rows *int) {
 // kernel, valid only for the duration of the call.
 func (p *kernelPlan) kernelFold(finish func(folded []float64) float64) {
 	stage := startKernelStage()
+	p.event.SetAccumulator("fold")
 	nOps := len(p.blocks)
 	type shardOut struct {
 		keys []uint64

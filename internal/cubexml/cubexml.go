@@ -146,11 +146,13 @@ func Write(w io.Writer, e *core.Experiment) error {
 func WriteContext(ctx context.Context, w io.Writer, e *core.Experiment) error {
 	reg := xmlRegistry.Load()
 	sp, _ := obs.StartSpanContext(ctx, "cubexml.write")
-	if reg == nil && sp == nil {
+	ev := obs.EventFromContext(ctx)
+	if reg == nil && sp == nil && ev == nil {
 		return write(w, e)
 	}
 	cw := &countingWriter{w: w}
 	err := write(cw, e)
+	ev.AddXMLWrite(cw.n)
 	if reg != nil {
 		reg.Counter("cube_xml_write_bytes_total").Add(cw.n)
 		if err == nil {
@@ -428,14 +430,15 @@ func ReadLimitedContext(ctx context.Context, r io.Reader, lim Limits) (*core.Exp
 	return ReadWith(ctx, r, ReadOptions{Limits: lim})
 }
 
-func readLimited(r io.Reader, lim Limits, sp *obs.Span) (*core.Experiment, error) {
+func readLimited(r io.Reader, lim Limits, sp *obs.Span, ev *obs.Event) (*core.Experiment, error) {
 	if lim.MaxElements <= 0 && lim.MaxDepth <= 0 {
-		return decode(r, sp)
+		return decode(r, sp, ev)
 	}
 	reg := xmlRegistry.Load()
 	scan := func(sr io.Reader) error {
 		elems, err := checkLimits(sr, lim)
 		sp.SetAttr("elements", elems)
+		ev.AddXMLRead(0, elems)
 		if reg != nil {
 			reg.Counter("cube_xml_read_elements_total").Add(int64(elems))
 			switch {
@@ -457,14 +460,14 @@ func readLimited(r io.Reader, lim Limits, sp *obs.Span) (*core.Experiment, error
 			if _, err := s.Seek(start, io.SeekStart); err != nil {
 				return nil, fmt.Errorf("cubexml: rewinding after limit scan: %w", err)
 			}
-			return decode(r, sp)
+			return decode(r, sp, ev)
 		}
 	}
 	var buf bytes.Buffer
 	if err := scan(io.TeeReader(r, &buf)); err != nil {
 		return nil, err
 	}
-	return decode(&buf, sp)
+	return decode(&buf, sp, ev)
 }
 
 // checkLimits scans tokens up to the end of the root element, enforcing
@@ -502,13 +505,14 @@ func checkLimits(r io.Reader, lim Limits) (int, error) {
 	}
 }
 
-func decode(r io.Reader, sp *obs.Span) (*core.Experiment, error) {
+func decode(r io.Reader, sp *obs.Span, ev *obs.Event) (*core.Experiment, error) {
 	reg := xmlRegistry.Load()
-	if reg == nil && sp == nil {
+	if reg == nil && sp == nil && ev == nil {
 		return decodeDoc(r)
 	}
 	cr := &countingReader{r: r}
 	e, err := decodeDoc(cr)
+	ev.AddXMLRead(cr.n, 0)
 	if reg != nil {
 		reg.Counter("cube_xml_read_bytes_total").Add(cr.n)
 		if err != nil {

@@ -1,0 +1,52 @@
+package cubexml
+
+import (
+	"bytes"
+	"testing"
+
+	"cube/internal/obs"
+)
+
+// TestReadWriteAttributeWideEvent asserts the codec attributes parse and
+// encode byte counts (and scan element counts) to the wide event carried
+// by the context, on both engines.
+func TestReadWriteAttributeWideEvent(t *testing.T) {
+	e := sample()
+	var doc bytes.Buffer
+	if err := Write(&doc, e); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, engine := range []ReadEngine{EngineAuto, EngineFast, EngineLegacy} {
+		sink := obs.NewEventSink(4)
+		ev := sink.NewEvent("cli", "test")
+		ctx := obs.ContextWithEvent(t.Context(), ev)
+		if _, err := ReadBytes(ctx, doc.Bytes(), ReadOptions{Limits: DefaultLimits, Engine: engine}); err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		f := ev.Fields()
+		if f.XMLReadBytes != int64(doc.Len()) {
+			t.Errorf("engine %v: xml_read_bytes = %d, want %d", engine, f.XMLReadBytes, doc.Len())
+		}
+		if f.XMLReadElems <= 0 {
+			t.Errorf("engine %v: xml_read_elements = %d, want > 0", engine, f.XMLReadElems)
+		}
+	}
+
+	// Encode attribution.
+	sink := obs.NewEventSink(4)
+	ev := sink.NewEvent("cli", "test")
+	ctx := obs.ContextWithEvent(t.Context(), ev)
+	var out bytes.Buffer
+	if err := WriteContext(ctx, &out, e); err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Fields().XMLWriteBytes; got != int64(out.Len()) {
+		t.Errorf("xml_write_bytes = %d, want %d", got, out.Len())
+	}
+
+	// No event in the context: the codec must stay silent and correct.
+	if _, err := ReadBytes(t.Context(), doc.Bytes(), ReadOptions{Limits: DefaultLimits}); err != nil {
+		t.Fatal(err)
+	}
+}

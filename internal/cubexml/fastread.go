@@ -84,7 +84,8 @@ type ReadOptions struct {
 // tracing the parse as a "cubexml.read" span.
 func ReadWith(ctx context.Context, r io.Reader, opts ReadOptions) (*core.Experiment, error) {
 	sp, _ := obs.StartSpanContext(ctx, "cubexml.read")
-	e, err := readWith(r, opts, sp)
+	ev := obs.EventFromContext(ctx)
+	e, err := readWith(r, opts, sp, ev)
 	if sp != nil {
 		if err != nil {
 			sp.SetAttr("error", err.Error())
@@ -99,12 +100,13 @@ func ReadWith(ctx context.Context, r io.Reader, opts ReadOptions) (*core.Experim
 // buffering copy this way.
 func ReadBytes(ctx context.Context, data []byte, opts ReadOptions) (*core.Experiment, error) {
 	sp, _ := obs.StartSpanContext(ctx, "cubexml.read")
+	ev := obs.EventFromContext(ctx)
 	var e *core.Experiment
 	var err error
 	if opts.Engine == EngineLegacy {
-		e, err = readLimited(bytes.NewReader(data), opts.Limits, sp)
+		e, err = readLimited(bytes.NewReader(data), opts.Limits, sp, ev)
 	} else {
-		e, err = readBytes(data, opts, sp)
+		e, err = readBytes(data, opts, sp, ev)
 	}
 	if sp != nil {
 		if err != nil {
@@ -119,9 +121,9 @@ func ReadBytes(ctx context.Context, data []byte, opts ReadOptions) (*core.Experi
 // similar-sized files stop paying the io.ReadAll growth dance.
 var readBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
 
-func readWith(r io.Reader, opts ReadOptions, sp *obs.Span) (*core.Experiment, error) {
+func readWith(r io.Reader, opts ReadOptions, sp *obs.Span, ev *obs.Event) (*core.Experiment, error) {
 	if opts.Engine == EngineLegacy {
-		return readLimited(r, opts.Limits, sp)
+		return readLimited(r, opts.Limits, sp, ev)
 	}
 	bp := readBufPool.Get().(*[]byte)
 	data, err := readAllInto((*bp)[:0], r)
@@ -134,7 +136,7 @@ func readWith(r io.Reader, opts ReadOptions, sp *obs.Span) (*core.Experiment, er
 		// The same wrapping the legacy token scan gives reader failures.
 		return nil, fmt.Errorf("cubexml: decode: %w", err)
 	}
-	return readBytes(data, opts, sp)
+	return readBytes(data, opts, sp, ev)
 }
 
 // readAllInto is io.ReadAll appending into a caller-owned buffer.
@@ -154,7 +156,7 @@ func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
 	}
 }
 
-func readBytes(data []byte, opts ReadOptions, sp *obs.Span) (*core.Experiment, error) {
+func readBytes(data []byte, opts ReadOptions, sp *obs.Span, ev *obs.Event) (*core.Experiment, error) {
 	reg := xmlRegistry.Load()
 	lim := opts.Limits
 	limited := lim.MaxElements > 0 || lim.MaxDepth > 0
@@ -163,31 +165,37 @@ func readBytes(data []byte, opts ReadOptions, sp *obs.Span) (*core.Experiment, e
 	case serr == nil:
 	case errors.Is(serr, ErrLimit):
 		sp.SetAttr("elements", res.elements)
+		ev.AddXMLRead(0, res.elements)
 		if reg != nil {
 			reg.Counter("cube_xml_read_elements_total").Add(int64(res.elements))
 			reg.Counter("cube_xml_limit_rejections_total").Inc()
 		}
 		return nil, serr
 	default: // outside the fast-path subset
-		return fastFallback(data, opts, sp)
+		return fastFallback(data, opts, sp, ev)
 	}
 	e, err := fastDecode(data, &res)
 	if errors.Is(err, errBail) {
-		return fastFallback(data, opts, sp)
+		return fastFallback(data, opts, sp, ev)
 	}
-	recordFastRead(sp, reg, &res, limited, len(data), err)
+	recordFastRead(sp, ev, reg, &res, limited, len(data), err)
 	return e, err
 }
 
 // recordFastRead mirrors the legacy pipeline's metrics and span
 // annotations for a parse the fast path completed itself.
-func recordFastRead(sp *obs.Span, reg *obs.Registry, res *scanResult, limited bool, nbytes int, err error) {
+func recordFastRead(sp *obs.Span, ev *obs.Event, reg *obs.Registry, res *scanResult, limited bool, nbytes int, err error) {
+	elems := 0
 	if limited {
+		// Elements are only counted when a limit scan ran, matching the
+		// legacy pipeline; unlimited parses attribute bytes alone.
+		elems = res.elements
 		sp.SetAttr("elements", res.elements)
 		if reg != nil {
 			reg.Counter("cube_xml_read_elements_total").Add(int64(res.elements))
 		}
 	}
+	ev.AddXMLRead(int64(nbytes), elems)
 	sp.SetAttr("bytes", int64(nbytes))
 	if reg == nil {
 		return
@@ -204,11 +212,11 @@ func recordFastRead(sp *obs.Span, reg *obs.Registry, res *scanResult, limited bo
 // pipeline — limit scan, decode, metrics, span annotations — so every
 // document outside the fast-path subset gets the canonical result and
 // the canonical error text.
-func fastFallback(data []byte, opts ReadOptions, sp *obs.Span) (*core.Experiment, error) {
+func fastFallback(data []byte, opts ReadOptions, sp *obs.Span, ev *obs.Event) (*core.Experiment, error) {
 	if opts.Engine == EngineFast {
 		return nil, errBail
 	}
-	return readLimited(bytes.NewReader(data), opts.Limits, sp)
+	return readLimited(bytes.NewReader(data), opts.Limits, sp, ev)
 }
 
 // metaReader returns a reader over the document with the severity
@@ -481,7 +489,7 @@ type Info struct {
 func ReadInfo(ctx context.Context, r io.Reader, opts ReadOptions) (*Info, error) {
 	sp, _ := obs.StartSpanContext(ctx, "cubexml.read")
 	sp.SetAttr("mode", "info")
-	info, err := readInfo(r, opts, sp)
+	info, err := readInfo(r, opts, sp, obs.EventFromContext(ctx))
 	if sp != nil {
 		if err != nil {
 			sp.SetAttr("error", err.Error())
@@ -491,9 +499,9 @@ func ReadInfo(ctx context.Context, r io.Reader, opts ReadOptions) (*Info, error)
 	return info, err
 }
 
-func readInfo(r io.Reader, opts ReadOptions, sp *obs.Span) (*Info, error) {
+func readInfo(r io.Reader, opts ReadOptions, sp *obs.Span, ev *obs.Event) (*Info, error) {
 	if opts.Engine == EngineLegacy {
-		e, err := readLimited(r, opts.Limits, sp)
+		e, err := readLimited(r, opts.Limits, sp, ev)
 		if err != nil {
 			return nil, err
 		}
@@ -513,7 +521,7 @@ func readInfo(r io.Reader, opts ReadOptions, sp *obs.Span) (*Info, error) {
 	reg := xmlRegistry.Load()
 	lim := opts.Limits
 	fullRead := func() (*Info, error) {
-		e, err := readLimited(bytes.NewReader(data), lim, sp)
+		e, err := readLimited(bytes.NewReader(data), lim, sp, ev)
 		if err != nil {
 			return nil, err
 		}
@@ -524,6 +532,7 @@ func readInfo(r io.Reader, opts ReadOptions, sp *obs.Span) (*Info, error) {
 	case serr == nil:
 	case errors.Is(serr, ErrLimit):
 		sp.SetAttr("elements", res.elements)
+		ev.AddXMLRead(0, res.elements)
 		if reg != nil {
 			reg.Counter("cube_xml_read_elements_total").Add(int64(res.elements))
 			reg.Counter("cube_xml_limit_rejections_total").Inc()
@@ -542,7 +551,7 @@ func readInfo(r io.Reader, opts ReadOptions, sp *obs.Span) (*Info, error) {
 		}
 		return fullRead()
 	}
-	recordFastRead(sp, reg, &res, lim.MaxElements > 0 || lim.MaxDepth > 0, len(data), err)
+	recordFastRead(sp, ev, reg, &res, lim.MaxElements > 0 || lim.MaxDepth > 0, len(data), err)
 	return info, err
 }
 

@@ -18,6 +18,7 @@ type ctxKey int
 const (
 	requestIDKey ctxKey = iota
 	traceSpanKey
+	eventKey
 )
 
 var reqSeq atomic.Uint64

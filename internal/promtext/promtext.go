@@ -1,0 +1,240 @@
+// Package promtext parses the Prometheus text exposition format — the
+// consumer side of obs.Registry.WritePrometheus — far enough to power
+// dashboards like cube-top: counters, gauges, and histogram quantiles,
+// selected by name and label subset. It is not a full OpenMetrics parser;
+// it understands exactly the dialect the obs registry emits (and that
+// real Prometheus servers scrape): `name{label="value",...} number`,
+// with # comment lines ignored.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposition line: a metric name, its label set, its value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics is a parsed exposition, samples grouped by metric name.
+type Metrics map[string][]Sample
+
+// Parse reads a text exposition. Lines that do not parse are reported,
+// not skipped: a scrape that half-parses misleads the dashboard reading it.
+func Parse(r io.Reader) (Metrics, error) {
+	m := Metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineno, err)
+		}
+		m[s.Name] = append(m[s.Name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		labels, tail, err := parseLabels(rest[i+1:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels, rest = labels, strings.TrimSpace(tail)
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name, rest = fields[0], fields[1]
+	}
+	// A value, optionally followed by a timestamp and exemplar commentary
+	// ("# {trace_id=...}"), both of which we ignore.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `label="value",...}` and returns what follows.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	for {
+		in = strings.TrimLeft(in, ", \t")
+		if in == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if in[0] == '}' {
+			return labels, in[1:], nil
+		}
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 || len(in) < eq+2 || in[eq+1] != '"' {
+			return nil, "", fmt.Errorf("malformed label in %q", in)
+		}
+		key := strings.TrimSpace(in[:eq])
+		val, rest, err := parseQuoted(in[eq+1:])
+		if err != nil {
+			return nil, "", err
+		}
+		labels[key] = val
+		in = rest
+	}
+}
+
+// parseQuoted consumes a leading double-quoted string with \" \\ \n
+// escapes and returns the remainder.
+func parseQuoted(in string) (string, string, error) {
+	var sb strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch c := in[i]; c {
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling escape in %q", in)
+			}
+			i++
+			switch in[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(in[i])
+			}
+		case '"':
+			return sb.String(), in[i+1:], nil
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", in)
+}
+
+// matches reports whether the sample carries every label in want.
+func (s Sample) matches(want map[string]string) bool {
+	for k, v := range want {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum adds the values of every sample of name whose labels include want
+// (nil matches all). Summing counters across label dimensions is how a
+// dashboard rolls `requests_total{route,method,status}` up to one number.
+func (m Metrics) Sum(name string, want map[string]string) float64 {
+	var total float64
+	for _, s := range m[name] {
+		if s.matches(want) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Value returns the first sample of name matching want.
+func (m Metrics) Value(name string, want map[string]string) (float64, bool) {
+	for _, s := range m[name] {
+		if s.matches(want) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// LabelValues returns the distinct values of label across the samples of
+// name, sorted.
+func (m Metrics) LabelValues(name, label string) []string {
+	seen := map[string]bool{}
+	for _, s := range m[name] {
+		if v, ok := s.Labels[label]; ok && !seen[v] {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bucket is one cumulative histogram bucket.
+type bucket struct {
+	le    float64
+	count float64
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the histogram `name`
+// restricted to samples matching want, by linear interpolation within the
+// bucket holding the target rank — the same estimate PromQL's
+// histogram_quantile computes. The second return is false when the
+// histogram is absent or empty. Buckets from multiple matching series
+// (e.g. several routes) are merged by `le` first.
+func (m Metrics) Quantile(name string, q float64, want map[string]string) (float64, bool) {
+	byLE := map[float64]float64{}
+	for _, s := range m[name+"_bucket"] {
+		// ParseFloat accepts "+Inf", so the overflow bucket needs no
+		// special case here.
+		le, err := strconv.ParseFloat(s.Labels["le"], 64)
+		if err != nil || !s.matches(want) {
+			continue
+		}
+		byLE[le] += s.Value
+	}
+	if len(byLE) == 0 {
+		return 0, false
+	}
+	buckets := make([]bucket, 0, len(byLE))
+	for le, c := range byLE {
+		buckets = append(buckets, bucket{le, c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].count
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	var prevLE, prevCount float64
+	for _, b := range buckets {
+		if b.count >= rank {
+			if math.IsInf(b.le, 1) {
+				// The rank falls in the overflow bucket: the best honest
+				// answer is the largest finite bound.
+				return prevLE, true
+			}
+			span := b.count - prevCount
+			if span <= 0 {
+				return b.le, true
+			}
+			return prevLE + (b.le-prevLE)*(rank-prevCount)/span, true
+		}
+		prevLE, prevCount = b.le, b.count
+	}
+	return buckets[len(buckets)-1].le, true
+}

@@ -1,0 +1,98 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const exposition = `# HELP cube_http_requests_total Requests served.
+# TYPE cube_http_requests_total counter
+cube_http_requests_total{method="POST",route="/op/{op}",status="200"} 40
+cube_http_requests_total{method="POST",route="/op/{op}",status="500"} 2
+cube_http_requests_total{method="GET",route="/healthz",status="200"} 8
+cube_goroutines 12
+cube_parse_cache_hits_total 30
+cube_parse_cache_misses_total 10
+# TYPE cube_http_request_duration_seconds histogram
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.01"} 10
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.1"} 30
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="1"} 40
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="+Inf"} 42
+cube_http_request_duration_seconds_sum{route="/op/{op}"} 5.5
+cube_http_request_duration_seconds_count{route="/op/{op}"} 42
+odd_label{msg="a \"quoted\" v,alue"} 1
+`
+
+func mustParse(t *testing.T, text string) Metrics {
+	t.Helper()
+	m, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseAndSelect(t *testing.T) {
+	m := mustParse(t, exposition)
+
+	if got := m.Sum("cube_http_requests_total", nil); got != 50 {
+		t.Errorf("Sum(all) = %v, want 50", got)
+	}
+	if got := m.Sum("cube_http_requests_total", map[string]string{"route": "/op/{op}"}); got != 42 {
+		t.Errorf("Sum(route) = %v, want 42", got)
+	}
+	if got := m.Sum("cube_http_requests_total", map[string]string{"status": "500"}); got != 2 {
+		t.Errorf("Sum(5xx) = %v, want 2", got)
+	}
+	if v, ok := m.Value("cube_goroutines", nil); !ok || v != 12 {
+		t.Errorf("Value(cube_goroutines) = %v, %v", v, ok)
+	}
+	if _, ok := m.Value("nope", nil); ok {
+		t.Error("Value of absent metric reported ok")
+	}
+	if got := m.LabelValues("cube_http_requests_total", "route"); len(got) != 2 || got[0] != "/healthz" || got[1] != "/op/{op}" {
+		t.Errorf("LabelValues = %v", got)
+	}
+	if v, _ := m.Value("odd_label", nil); v != 1 {
+		t.Errorf(`odd_label = %v`, v)
+	}
+	if v, ok := m.Value("odd_label", map[string]string{"msg": `a "quoted" v,alue`}); !ok || v != 1 {
+		t.Errorf("escaped label did not round-trip: %v %v", v, ok)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	m := mustParse(t, exposition)
+	sel := map[string]string{"route": "/op/{op}"}
+
+	// Rank 21 of 42 lands in the (0.01, 0.1] bucket: 10 below, 30 at the
+	// bound, so 0.01 + 0.09*(21-10)/20 = 0.0595.
+	p50, ok := m.Quantile("cube_http_request_duration_seconds", 0.5, sel)
+	if !ok || math.Abs(p50-0.0595) > 1e-9 {
+		t.Errorf("p50 = %v, %v; want 0.0595", p50, ok)
+	}
+	// Rank 0.99*42 = 41.58 exceeds the 40 observations at le=1, so it
+	// falls in the +Inf overflow bucket and clamps to the largest finite
+	// bound.
+	p99, ok := m.Quantile("cube_http_request_duration_seconds", 0.99, sel)
+	if !ok || p99 != 1 {
+		t.Errorf("p99 = %v, %v; want clamp to 1", p99, ok)
+	}
+	if _, ok := m.Quantile("cube_http_request_duration_seconds", 0.5, map[string]string{"route": "/nope"}); ok {
+		t.Error("quantile of absent series reported ok")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"name_only\n",
+		`unterminated{a="b" 1` + "\n",
+		`badvalue{a="b"} fish` + "\n",
+		`dangling{a="b\` + "\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

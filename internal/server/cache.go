@@ -85,6 +85,9 @@ func (pc *parseCache) get(ctx context.Context, data []byte) (*core.Experiment, e
 		}
 		sp.End()
 	}
+	// A "wait" shared another request's parse, which is a hit from this
+	// request's cost perspective.
+	obs.EventFromContext(ctx).ParseCache(outcome != "miss")
 	return e, err
 }
 

@@ -1,0 +1,112 @@
+package server
+
+// The wide-event introspection routes, mounted only with Config.Debug:
+//
+//	GET /debug/events  the retained wide events as NDJSON, oldest first.
+//	                   Filters: ?kind=http|store|client|cli, ?route=<label>,
+//	                   ?status=<code>, ?class=4|5 (or 4xx|5xx),
+//	                   ?min_duration_ms=<float>, ?limit=<n> (newest win).
+//	GET /debug/store   JSON inventory of the experiment store: blob count,
+//	                   bytes vs budget, pins, degraded state, quarantine
+//	                   records, op counters, last recovery.
+//	GET /debug/slo     JSON per-route SLO standing over the sliding window.
+//
+// Together with /metrics these are what cube-top polls.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cube/internal/obs"
+	"cube/internal/store"
+)
+
+// eventFilterFromQuery parses the /debug/events query parameters.
+func eventFilterFromQuery(r *http.Request) (obs.EventFilter, error) {
+	q := r.URL.Query()
+	f := obs.EventFilter{
+		Kind:  q.Get("kind"),
+		Route: q.Get("route"),
+	}
+	if v := q.Get("status"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 100 || n > 599 {
+			return f, &queryError{"status", v, "an HTTP status code"}
+		}
+		f.Status = n
+	}
+	if v := q.Get("class"); v != "" {
+		n, err := strconv.Atoi(strings.TrimSuffix(v, "xx"))
+		if err != nil || n < 1 || n > 5 {
+			return f, &queryError{"class", v, "a status class like 5 or 5xx"}
+		}
+		f.StatusClass = n
+	}
+	if v := q.Get("min_duration_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			return f, &queryError{"min_duration_ms", v, "a non-negative duration in ms"}
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return f, &queryError{"limit", v, "a non-negative count"}
+		}
+		f.Limit = n
+	}
+	return f, nil
+}
+
+type queryError struct{ param, got, want string }
+
+func (e *queryError) Error() string {
+	return "bad " + e.param + " parameter " + strconv.Quote(e.got) + " (want " + e.want + ")"
+}
+
+// handleEvents dumps the wide-event ring as NDJSON, oldest first. The
+// flight-recorder dump includes the request reading it (emitted after
+// this handler returns, so it appears on the next read).
+func (s *service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	f, err := eventFilterFromQuery(r)
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	s.events.WriteNDJSON(w, f)
+}
+
+// handleStore serves the experiment store's inventory. Without a
+// configured store the route still answers, with enabled: false, so
+// cube-top can poll it unconditionally.
+func (s *service) handleStore(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	st := s.cfg.Store
+	if st == nil {
+		json.NewEncoder(w).Encode(map[string]any{"enabled": false})
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Enabled bool `json:"enabled"`
+		store.Inventory
+	}{true, st.Inventory()})
+}
+
+// handleSLO serves the per-route SLO standing; enabled: false when no
+// objectives are configured.
+func (s *service) handleSLO(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if s.slo == nil {
+		json.NewEncoder(w).Encode(map[string]any{"enabled": false})
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Enabled bool `json:"enabled"`
+		obs.SLOSnapshot
+	}{true, s.slo.Snapshot()})
+}

@@ -71,7 +71,11 @@ func TestMetricsEndpointAfterOperation(t *testing.T) {
 }
 
 func TestDebugVarsEndpoint(t *testing.T) {
-	srv, _ := newMetricsServer(t, nil)
+	cfg := quietConfig()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Debug = true
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
 	// Serve one real operation first so the snapshot contains histograms —
 	// their +Inf terminal bucket must survive JSON encoding.
 	readAll(t, post(t, srv, "/op/flatten", buildExp("a", 0)))

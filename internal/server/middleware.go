@@ -71,10 +71,38 @@ type Config struct {
 	// the /metrics and /debug/vars endpoints. nil selects obs.Default.
 	Metrics *obs.Registry
 
-	// EnablePprof mounts the net/http/pprof profiling endpoints under
-	// /debug/pprof/. Off by default: the endpoints expose internals and
-	// cost CPU, so production deployments opt in (cube-server -pprof).
+	// Debug is the single gate for every /debug/* route: pprof, the
+	// metrics vars snapshot, the trace viewer, the wide-event log, the
+	// store inventory, and the SLO report. Off by default — the routes
+	// expose internals (paths, timings, digests, payload sizes) and cost
+	// CPU, so production deployments opt in (cube-server -debug).
+	Debug bool
+
+	// EnablePprof is the deprecated spelling of Debug, kept so existing
+	// callers of the -pprof flag era keep working; either flag opens all
+	// the debug routes.
 	EnablePprof bool
+
+	// Events receives the per-request wide events; nil makes NewHandler
+	// create a private ring of EventRingSize. cube-server shares one sink
+	// between the store (lifecycle events) and the handler.
+	Events *obs.EventSink
+
+	// EventRingSize bounds the wide-event ring when Events is nil;
+	// zero means obs.DefaultEventRingSize.
+	EventRingSize int
+
+	// SLO objectives. SLOAvailability is the availability target (e.g.
+	// 0.999: at most 1 request in 1000 answers 5xx) and SLOLatency /
+	// SLOLatencyTarget the latency objective (SLOLatencyTarget of
+	// requests faster than SLOLatency; target defaults to 0.99). Burn is
+	// tracked per route over SLOWindow (default 5m), exported as
+	// cube_slo_*_burn_ppm gauges and GET /debug/slo, and logged once per
+	// budget exhaustion. All zero disables SLO tracking.
+	SLOLatency       time.Duration
+	SLOLatencyTarget float64
+	SLOAvailability  float64
+	SLOWindow        time.Duration
 
 	// TraceSampleRate is the fraction of requests ([0, 1]) whose span
 	// trees are retained for GET /debug/traces; TraceSlow additionally
@@ -124,6 +152,21 @@ func (c *Config) Validate() error {
 	if c.ParseCacheBytes < 0 {
 		return fmt.Errorf("server: parse cache budget %d is negative", c.ParseCacheBytes)
 	}
+	if c.EventRingSize < 0 {
+		return fmt.Errorf("server: event ring size %d is negative", c.EventRingSize)
+	}
+	if c.SLOAvailability < 0 || c.SLOAvailability >= 1 {
+		return fmt.Errorf("server: availability SLO %g out of range [0, 1)", c.SLOAvailability)
+	}
+	if c.SLOLatencyTarget < 0 || c.SLOLatencyTarget >= 1 {
+		return fmt.Errorf("server: latency SLO target %g out of range [0, 1)", c.SLOLatencyTarget)
+	}
+	if c.SLOLatency < 0 {
+		return fmt.Errorf("server: latency SLO threshold %v is negative", c.SLOLatency)
+	}
+	if c.SLOWindow < 0 {
+		return fmt.Errorf("server: SLO window %v is negative", c.SLOWindow)
+	}
 	switch c.ReadEngine {
 	case cubexml.EngineAuto, cubexml.EngineFast, cubexml.EngineLegacy:
 	default:
@@ -135,10 +178,15 @@ func (c *Config) Validate() error {
 // service binds the handlers to their configuration.
 type service struct {
 	cfg    *Config
-	reg    *obs.Registry // resolved metrics registry (may be nil in bare tests)
-	tracer *obs.Tracer   // request tracer (nil unless configured)
-	cache  *parseCache   // content-addressed operand cache (nil when disabled)
+	reg    *obs.Registry   // resolved metrics registry (may be nil in bare tests)
+	tracer *obs.Tracer     // request tracer (nil unless configured)
+	cache  *parseCache     // content-addressed operand cache (nil when disabled)
+	events *obs.EventSink  // wide-event ring; every request emits exactly one
+	slo    *obs.SLOTracker // windowed SLO burn tracker (nil unless configured)
 }
+
+// debugEnabled reports whether the /debug/* routes are mounted.
+func (c *Config) debugEnabled() bool { return c.Debug || c.EnablePprof }
 
 // logError emits an error-level record carrying the request ID.
 func (s *service) logError(ctx context.Context, msg string, args ...any) {
@@ -248,7 +296,8 @@ func routeLabel(path string) string {
 	case strings.HasPrefix(path, "/op/"):
 		return "/op/{op}"
 	case path == "/view", path == "/report", path == "/info", path == "/healthz",
-		path == "/readyz", path == "/metrics", path == "/debug/vars":
+		path == "/readyz", path == "/metrics", path == "/debug/vars",
+		path == "/debug/events", path == "/debug/store", path == "/debug/slo":
 		return path
 	case strings.HasPrefix(path, "/experiments/"):
 		return "/experiments/{digest}"
@@ -262,18 +311,27 @@ func routeLabel(path string) string {
 }
 
 // withTelemetry records per-route counters and latency/size histograms
-// into the registry and emits one structured log record per request. The
-// registry may be nil (bare test services), in which case only logging
-// remains.
+// into the registry, opens the request's wide event (exactly one per
+// request — including panics, timeouts, and limiter rejections, all of
+// which run inside this middleware), feeds the SLO tracker, and emits one
+// structured log record per request. The registry may be nil (bare test
+// services), in which case only logging remains.
 func (s *service) withTelemetry(h http.Handler) http.Handler {
 	inFlight := s.reg.Gauge("cube_http_in_flight_requests")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		label := routeLabel(r.URL.Path)
 		st := &reqStats{}
 		r = r.WithContext(context.WithValue(r.Context(), statsKey, st))
 		sp := s.startRequestSpan(r)
 		if sp != nil {
 			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
+		ev := s.events.NewEvent("http", label)
+		if ev != nil {
+			ev.SetRequestID(obs.RequestID(r.Context()))
+			ev.SetMethod(r.Method)
+			r = r.WithContext(obs.ContextWithEvent(r.Context(), ev))
 		}
 		sw := &statusWriter{ResponseWriter: w}
 		inFlight.Add(1)
@@ -289,7 +347,12 @@ func (s *service) withTelemetry(h http.Handler) http.Handler {
 			sp.End()
 		}
 		elapsed := time.Since(start)
-		route := obs.L("route", routeLabel(r.URL.Path))
+		ev.SetStatus(code)
+		ev.SetResponseBytes(sw.bytes)
+		ev.SetTraceID(sp.TraceID())
+		ev.Emit()
+		s.slo.Observe(label, code, elapsed)
+		route := obs.L("route", label)
 		s.reg.Counter("cube_http_requests_total", route,
 			obs.L("method", r.Method), obs.L("status", strconv.Itoa(code))).Inc()
 		s.reg.Histogram("cube_http_request_duration_seconds", obs.DefLatencyBuckets, route).

@@ -73,9 +73,16 @@ var errTooLarge = errors.New("request exceeds limits")
 //	GET  /healthz      liveness (exempt from the concurrency limiter)
 //	GET  /readyz       readiness: 503 + JSON while the store is read-only
 //	GET  /metrics      Prometheus text exposition of the obs registry
-//	GET  /debug/vars   JSON snapshot of the same metrics + memstats
-//	GET  /debug/pprof/*  (only with Config.EnablePprof)
-//	GET  /debug/traces       recent request traces (only with tracing configured)
+//
+// and, only with Config.Debug (cube-server -debug):
+//
+//	GET  /debug/vars    JSON snapshot of the metrics + memstats
+//	GET  /debug/pprof/*  net/http/pprof profiles
+//	GET  /debug/events  recent wide events as NDJSON
+//	                    (?kind= &route= &status= &class=5xx &min_duration_ms= &limit=)
+//	GET  /debug/store   experiment-store inventory as JSON
+//	GET  /debug/slo     per-route SLO burn report as JSON
+//	GET  /debug/traces       recent request traces (also needs tracing configured)
 //	GET  /debug/traces/{id}  one trace: Chrome trace-event JSON, ?format=tree for text
 func Handler() http.Handler {
 	return NewHandler(nil)
@@ -99,6 +106,26 @@ func NewHandler(cfg *Config) http.Handler {
 	}
 	core.Instrument(s.reg)
 	cubexml.Instrument(s.reg)
+	s.events = cfg.Events
+	if s.events == nil {
+		s.events = obs.NewEventSink(cfg.EventRingSize)
+	}
+	// The sink doubles as the process-wide seam (obs.SetEventSink), so
+	// store lifecycle transitions that happen outside any request — LRU
+	// evictions from recovery, degraded-mode probes — land in the same
+	// ring the requests do. Like the instrumentation seams above, the
+	// last handler created wins.
+	obs.SetEventSink(s.events)
+	if cfg.SLOAvailability > 0 || cfg.SLOLatency > 0 {
+		s.slo = obs.NewSLOTracker(obs.SLOConfig{
+			Window:             cfg.SLOWindow,
+			LatencyThreshold:   cfg.SLOLatency,
+			LatencyTarget:      cfg.SLOLatencyTarget,
+			AvailabilityTarget: cfg.SLOAvailability,
+			Logger:             cfg.Logger,
+			Registry:           s.reg,
+		})
+	}
 	if cfg.TraceSampleRate > 0 || cfg.TraceSlow > 0 {
 		s.tracer = obs.NewTracer(obs.TracerOptions{
 			SampleRate: cfg.TraceSampleRate,
@@ -120,19 +147,24 @@ func NewHandler(cfg *Config) http.Handler {
 	mux.HandleFunc("POST /report", s.handleReport)
 	mux.HandleFunc("POST /info", s.handleInfo)
 	mux.Handle("GET /metrics", s.reg.MetricsHandler())
-	mux.Handle("GET /debug/vars", s.reg.VarsHandler())
-	if cfg.EnablePprof {
+	// Everything under /debug/* is behind one gate (Config.Debug, with
+	// EnablePprof as the deprecated synonym): the routes expose internals
+	// and cost CPU, so production deployments opt in. Disabled debug
+	// routes 404 like any unknown path.
+	if cfg.debugEnabled() {
+		mux.Handle("GET /debug/vars", s.reg.VarsHandler())
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-	// Like pprof, the trace viewer is opt-in: it exposes internals (paths,
-	// timings, payload sizes) and is only mounted when tracing is on.
-	if s.tracer != nil {
-		mux.HandleFunc("GET /debug/traces", s.handleTraceList)
-		mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
+		mux.HandleFunc("GET /debug/events", s.handleEvents)
+		mux.HandleFunc("GET /debug/store", s.handleStore)
+		mux.HandleFunc("GET /debug/slo", s.handleSLO)
+		if s.tracer != nil {
+			mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+			mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
+		}
 	}
 	return s.wrap(mux)
 }
@@ -277,6 +309,7 @@ func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
 		return nil, fmt.Errorf("%w: %d operands exceed the limit of %d", errTooLarge, len(files), s.cfg.MaxOperands)
 	}
 	stats := statsFrom(r.Context())
+	ev := obs.EventFromContext(r.Context())
 	var pinned []store.Digest
 	if s.cfg.Store != nil {
 		defer func() {
@@ -313,10 +346,12 @@ func (s *service) readOperands(r *http.Request) ([]*core.Experiment, error) {
 				return nil, err
 			}
 			stats.add(size)
+			ev.AddOperand("digest", size)
 			out = append(out, e)
 			continue
 		}
 		stats.add(fh.Size)
+		ev.AddOperand("inline", fh.Size)
 		body := io.MultiReader(bytes.NewReader(peek[:n]), f)
 		var e *core.Experiment
 		if s.cache != nil {
@@ -424,8 +459,10 @@ func (s *service) handleOp(w http.ResponseWriter, r *http.Request) {
 	// Parent the operator's span tree under the request's root span (nil
 	// when tracing is off or the request was not sampled — the operator
 	// then falls back to the process-wide tracer, which the server leaves
-	// unset).
+	// unset). The request's wide event rides along so the kernel layer
+	// can attribute shards, tuples, cells, and compute time to it.
 	opts.Trace = obs.SpanFromContext(r.Context())
+	opts.Event = obs.EventFromContext(r.Context())
 	operands, ok := s.operands(w, r)
 	if !ok {
 		return

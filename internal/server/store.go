@@ -33,6 +33,7 @@ import (
 
 	"cube/internal/core"
 	"cube/internal/cubexml"
+	"cube/internal/obs"
 	"cube/internal/store"
 )
 
@@ -79,7 +80,8 @@ func (s *service) resolveDigestOperand(ctx context.Context, i int, d store.Diges
 		return nil, 0, &storeMissError{operand: i, digest: d.String()}
 	}
 	*pinned = append(*pinned, d)
-	data, err := st.Get(d)
+	obs.EventFromContext(ctx).AddStorePin()
+	data, err := st.GetContext(ctx, d)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return nil, 0, &storeMissError{operand: i, digest: d.String()}
@@ -189,7 +191,7 @@ func (s *service) handleExperimentPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, http.StatusUnprocessableEntity, "upload is not a CUBE experiment: %v", err)
 		return
 	}
-	_, created, err := st.Put(data, &d)
+	_, created, err := st.PutContext(r.Context(), data, &d)
 	switch {
 	case errors.Is(err, store.ErrDegraded):
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
@@ -231,7 +233,7 @@ func (s *service) handleExperimentGet(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	data, err := st.Get(d)
+	data, err := st.GetContext(r.Context(), d)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			httpError(w, r, http.StatusNotFound, "experiment %s is not in the store", d)

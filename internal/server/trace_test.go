@@ -21,6 +21,7 @@ import (
 func traceConfig() *Config {
 	cfg := quietConfig()
 	cfg.TraceSampleRate = 1
+	cfg.Debug = true // the trace viewer lives under the /debug gate
 	cfg.Metrics = obs.NewRegistry()
 	return cfg
 }
@@ -204,6 +205,7 @@ func postOperandsWithID(t *testing.T, srv *httptest.Server, path, id string, exp
 func TestTraceSlowRetention(t *testing.T) {
 	cfg := quietConfig()
 	cfg.TraceSlow = time.Nanosecond // everything real is slower than this
+	cfg.Debug = true
 	cfg.Metrics = obs.NewRegistry()
 	srv := httptest.NewServer(NewHandler(cfg))
 	defer srv.Close()
@@ -251,6 +253,12 @@ func TestConfigValidate(t *testing.T) {
 		{func(c *Config) { c.TraceSampleRate = -0.1 }, false},
 		{func(c *Config) { c.TraceSampleRate = 1.5 }, false},
 		{func(c *Config) { c.TraceSlow = -time.Second }, false},
+		{func(c *Config) { c.SLOAvailability = 0.999; c.SLOLatency = 250 * time.Millisecond }, true},
+		{func(c *Config) { c.SLOAvailability = 1 }, false},
+		{func(c *Config) { c.SLOLatencyTarget = -0.5 }, false},
+		{func(c *Config) { c.SLOLatency = -time.Second }, false},
+		{func(c *Config) { c.SLOWindow = -time.Minute }, false},
+		{func(c *Config) { c.EventRingSize = -1 }, false},
 	}
 	for i, tc := range cases {
 		cfg := DefaultConfig()

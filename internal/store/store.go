@@ -28,6 +28,7 @@ package store
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -99,6 +100,13 @@ type Options struct {
 	// ProbeInterval is how often a degraded store lets a Put through as
 	// a write probe to test whether the fault has cleared (default 5s).
 	ProbeInterval time.Duration
+	// Events receives kind "store" wide events for lifecycle transitions:
+	// evictions, quarantines, degraded-mode enter/exit, and the recovery
+	// scan. nil falls back to the process-wide sink (obs.SetEventSink) at
+	// each transition, so a store opened before the server's sink exists
+	// still reports everything after installation — except recovery,
+	// which fires during Open and needs an explicit sink to be seen.
+	Events *obs.EventSink
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -124,6 +132,7 @@ type Store struct {
 	reg       *obs.Registry
 	threshold int
 	probe     time.Duration
+	events    *obs.EventSink
 	now       func() time.Time
 
 	// Recovery reports what Open's scan found; read-only afterwards.
@@ -139,7 +148,24 @@ type Store struct {
 	degraded      bool
 	degradedWhy   string
 	lastProbe     time.Time
+
+	// Lifetime operation counters and the bounded quarantine log, for
+	// Inventory (the /debug/store introspection endpoint).
+	puts, gets, getMisses, evictions int64
+	quarantines                      []QuarantineRecord
 }
+
+// QuarantineRecord is one quarantined file, kept (bounded) for
+// introspection; the file itself sits in quarantine/ as evidence.
+type QuarantineRecord struct {
+	Name   string    `json:"name"`   // blob-directory name the file had
+	Reason string    `json:"reason"` // why it was quarantined
+	Time   time.Time `json:"time"`
+}
+
+// maxQuarantineRecords bounds the in-memory quarantine log; the ring
+// keeps the most recent records (the directory holds the full history).
+const maxQuarantineRecords = 64
 
 type entry struct {
 	d    Digest
@@ -164,6 +190,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		reg:       opts.Metrics,
 		threshold: opts.FailureThreshold,
 		probe:     opts.ProbeInterval,
+		events:    opts.Events,
 		now:       opts.now,
 		entries:   map[Digest]*entry{},
 		lru:       list.New(),
@@ -230,13 +257,16 @@ func (s *Store) recover() error {
 	// since the blobs were written); evict in directory order — no access
 	// history survives a restart.
 	for s.budget > 0 && s.bytes > s.budget {
-		if !s.evictOneLocked() {
+		if !s.evictOneLocked(nil) {
 			break
 		}
 		s.Recovery.Evicted++
 	}
 	s.count("cube_store_recovered_blobs_total", int64(s.Recovery.Intact))
 	s.publishGauges()
+	s.emitLifecycle("recovery", "", fmt.Sprintf(
+		"%d intact (%d bytes), %d quarantined, %d evicted",
+		s.Recovery.Intact, s.Recovery.IntactBytes, s.Recovery.Quarantined, s.Recovery.Evicted))
 	if s.logger != nil {
 		s.logger.Info("experiment store recovered",
 			slog.String("dir", s.dir),
@@ -266,6 +296,19 @@ func (s *Store) publishGauges() {
 	s.reg.Gauge("cube_store_bytes").Set(s.bytes)
 }
 
+// emitLifecycle reports one store lifecycle transition as a kind "store"
+// wide event: to the explicit sink when Open was given one, else to the
+// process-wide sink (one atomic load; a no-op when neither exists).
+func (s *Store) emitLifecycle(event, digest, detail string) {
+	sink := s.events
+	if sink == nil {
+		sink = obs.ActiveEventSink()
+	}
+	ev := sink.NewEvent("store", "")
+	ev.SetStoreLifecycle(event, digest, detail)
+	ev.Emit()
+}
+
 func (s *Store) blobPath(d Digest) string { return filepath.Join(s.blobDir, d.String()) }
 
 // readFile reads one file through the FS seam.
@@ -286,6 +329,11 @@ func (s *Store) quarantineLocked(name, why string) {
 	dst := filepath.Join(s.quarDir, fmt.Sprintf("%s.%d.%d", name, s.now().UnixNano(), s.seq))
 	err := s.fs.Rename(filepath.Join(s.blobDir, name), dst)
 	s.inc("cube_store_quarantined_total")
+	s.quarantines = append(s.quarantines, QuarantineRecord{Name: name, Reason: why, Time: s.now()})
+	if len(s.quarantines) > maxQuarantineRecords {
+		s.quarantines = s.quarantines[len(s.quarantines)-maxQuarantineRecords:]
+	}
+	s.emitLifecycle("quarantine", name, why)
 	if s.logger != nil {
 		s.logger.Error("experiment store quarantined a blob",
 			slog.String("blob", name),
@@ -319,20 +367,30 @@ func (s *Store) dropLocked(e *entry) {
 }
 
 // evictOneLocked drops the least-recently-used unpinned blob and removes
-// its file. Reports false when nothing is evictable (all pinned/empty).
-func (s *Store) evictOneLocked() bool {
+// its file, tracing the eviction as a "store.evict" child of sp (the Put
+// that caused the pressure) when traced. Reports false when nothing is
+// evictable (all pinned/empty).
+func (s *Store) evictOneLocked(sp *obs.Span) bool {
 	for el := s.lru.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*entry)
 		if e.pins > 0 {
 			continue
 		}
+		esp := sp.StartChild("store.evict")
 		s.dropLocked(e)
 		s.inc("cube_store_evictions_total")
+		s.evictions++
 		if err := s.fs.Remove(s.blobPath(e.d)); err != nil && s.logger != nil {
 			// The entry is already unindexed, so the blob is not served
 			// either way; the next recovery scan re-adopts the file.
 			s.logger.Error("experiment store failed to remove evicted blob",
 				slog.String("digest", e.d.String()), slog.Any("err", err))
+		}
+		s.emitLifecycle("evict", e.d.String(), fmt.Sprintf("%d bytes under budget pressure", e.size))
+		if esp != nil {
+			esp.SetAttr("digest", e.d.String())
+			esp.SetAttr("bytes", e.size)
+			esp.End()
 		}
 		return true
 	}
@@ -347,9 +405,12 @@ func (s *Store) setDegradedLocked(degraded bool, why string) {
 	}
 	s.degraded, s.degradedWhy = degraded, why
 	mode := "ok"
+	event := "degraded_exit"
 	if degraded {
 		mode = "degraded"
+		event = "degraded_enter"
 	}
+	s.emitLifecycle(event, "", why)
 	if s.reg != nil {
 		v := int64(0)
 		if degraded {
@@ -429,7 +490,39 @@ func (s *Store) Unpin(d Digest) {
 // counts toward the sustained-failure threshold that flips the store into
 // degraded mode.
 func (s *Store) Put(data []byte, want *Digest) (Digest, bool, error) {
+	return s.PutContext(context.Background(), data, want)
+}
+
+// PutContext is Put carrying a context for observability: the commit runs
+// under a "store.put" span (child of the span in ctx) annotated with the
+// blob size and the digest-verification time, evictions it forces appear
+// as "store.evict" children, and the wide event in ctx (if any) is
+// credited with the write.
+func (s *Store) PutContext(ctx context.Context, data []byte, want *Digest) (Digest, bool, error) {
+	sp, _ := obs.StartSpanContext(ctx, "store.put")
+	vstart := time.Now()
 	d := DigestOf(data)
+	if sp != nil {
+		sp.SetAttr("bytes", int64(len(data)))
+		sp.SetAttr("verify_seconds", time.Since(vstart).Seconds())
+	}
+	dig, created, err := s.put(ctx, sp, d, data, want)
+	if sp != nil {
+		sp.SetAttr("digest", dig.String())
+		sp.SetAttr("created", created)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	if err == nil {
+		obs.EventFromContext(ctx).AddStorePut(int64(len(data)))
+	}
+	return dig, created, err
+}
+
+func (s *Store) put(ctx context.Context, sp *obs.Span, d Digest, data []byte, want *Digest) (Digest, bool, error) {
+	_ = ctx
 	if want != nil && *want != d {
 		return d, false, fmt.Errorf("%w: bytes hash to %s, caller claimed %s", ErrDigestMismatch, d, want)
 	}
@@ -459,7 +552,7 @@ func (s *Store) Put(data []byte, want *Digest) (Digest, bool, error) {
 	// Reserve the bytes against the budget before writing so concurrent
 	// Puts cannot collectively overshoot it.
 	for s.budget > 0 && s.bytes+s.reserved+size > s.budget {
-		if !s.evictOneLocked() {
+		if !s.evictOneLocked(sp) {
 			s.setDegradedLocked(true, fmt.Sprintf(
 				"budget breached: %d committed + %d in-flight + %d new bytes exceed %d and every blob is pinned",
 				s.bytes, s.reserved, size, s.budget))
@@ -494,6 +587,7 @@ func (s *Store) Put(data []byte, want *Digest) (Digest, bool, error) {
 	s.writeFailures = 0
 	s.setDegradedLocked(false, "")
 	s.insertLocked(d, size)
+	s.puts++
 	s.inc("cube_store_put_total")
 	return d, true, nil
 }
@@ -541,23 +635,53 @@ func (s *Store) writeBlob(tmp, final string, data []byte) error {
 // are re-hashed, and on a mismatch the blob is quarantined and the read
 // reports ErrNotFound — corrupt bytes are never served.
 func (s *Store) Get(d Digest) ([]byte, error) {
+	return s.GetContext(context.Background(), d)
+}
+
+// GetContext is Get carrying a context for observability: the read runs
+// under a "store.get" span (child of the span in ctx) annotated with the
+// blob size and the verification time, and the wide event in ctx (if
+// any) is credited with the read.
+func (s *Store) GetContext(ctx context.Context, d Digest) ([]byte, error) {
+	sp, _ := obs.StartSpanContext(ctx, "store.get")
+	data, verify, err := s.get(d)
+	if sp != nil {
+		sp.SetAttr("digest", d.String())
+		sp.SetAttr("bytes", int64(len(data)))
+		sp.SetAttr("verify_seconds", verify.Seconds())
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	if err == nil {
+		obs.EventFromContext(ctx).AddStoreGet(int64(len(data)))
+	}
+	return data, err
+}
+
+func (s *Store) get(d Digest) ([]byte, time.Duration, error) {
 	s.mu.Lock()
 	e, ok := s.entries[d]
 	if !ok {
+		s.getMisses++
 		s.mu.Unlock()
 		s.inc("cube_store_get_misses_total")
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, d)
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, d)
 	}
 	s.lru.MoveToFront(e.el)
 	e.pins++ // transient pin: the file must not be evicted mid-read
 	s.mu.Unlock()
 
 	data, err := s.readFile(s.blobPath(d))
+	vstart := time.Now()
+	verified := err == nil && DigestOf(data) == d
+	verify := time.Since(vstart)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e.pins--
-	if err != nil || DigestOf(data) != d {
+	if !verified {
 		// Corrupt or unreadable under a committed name: quarantine and
 		// fall through to not-found. Re-check the index first — a
 		// concurrent Get may have already quarantined it.
@@ -569,9 +693,70 @@ func (s *Store) Get(d Digest) ([]byte, error) {
 			}
 			s.quarantineLocked(d.String(), why)
 		}
+		s.getMisses++
 		s.inc("cube_store_get_misses_total")
-		return nil, fmt.Errorf("%w: %s (failed verification)", ErrNotFound, d)
+		return nil, verify, fmt.Errorf("%w: %s (failed verification)", ErrNotFound, d)
 	}
+	s.gets++
 	s.inc("cube_store_get_hits_total")
-	return data, nil
+	return data, verify, nil
+}
+
+// Inventory is the store's introspection snapshot, served by the
+// server's /debug/store endpoint.
+type Inventory struct {
+	Blobs       int     `json:"blobs"`
+	Bytes       int64   `json:"bytes"`
+	Budget      int64   `json:"budget"`   // 0 = unlimited
+	Reserved    int64   `json:"reserved"` // in-flight Put bytes held against the budget
+	Pressure    float64 `json:"pressure"` // (bytes+reserved)/budget; 0 when unlimited
+	PinnedBlobs int     `json:"pinned_blobs"`
+	Pins        int     `json:"pins"` // total pin count across blobs
+
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
+	Puts      int64 `json:"puts"`
+	Gets      int64 `json:"gets"`
+	GetMisses int64 `json:"get_misses"`
+	Evictions int64 `json:"evictions"`
+
+	Quarantined []QuarantineRecord `json:"quarantined"` // most recent first
+	Recovery    RecoveryStats      `json:"recovery"`
+}
+
+// Inventory reports the store's current state: index size and budget
+// pressure, pin and degraded status, lifetime operation counts, the
+// bounded quarantine log (most recent first), and what the startup
+// recovery scan found.
+func (s *Store) Inventory() Inventory {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inv := Inventory{
+		Blobs:          len(s.entries),
+		Bytes:          s.bytes,
+		Budget:         s.budget,
+		Reserved:       s.reserved,
+		Degraded:       s.degraded,
+		DegradedReason: s.degradedWhy,
+		Puts:           s.puts,
+		Gets:           s.gets,
+		GetMisses:      s.getMisses,
+		Evictions:      s.evictions,
+		Recovery:       s.Recovery,
+	}
+	if s.budget > 0 {
+		inv.Pressure = float64(s.bytes+s.reserved) / float64(s.budget)
+	}
+	for _, e := range s.entries {
+		if e.pins > 0 {
+			inv.PinnedBlobs++
+			inv.Pins += e.pins
+		}
+	}
+	inv.Quarantined = make([]QuarantineRecord, len(s.quarantines))
+	for i, q := range s.quarantines {
+		inv.Quarantined[len(s.quarantines)-1-i] = q
+	}
+	return inv
 }
