@@ -10,7 +10,7 @@ GO ?= go
 BENCH_PATTERN ?= .
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 
-.PHONY: build test vet race bench bench-json bench-io bench-smoke trace-smoke obs-smoke check
+.PHONY: build test vet race bench bench-json bench-io bench-expr bench-smoke trace-smoke obs-smoke expr-smoke check
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ vet:
 # (concurrent kernel-shard emission, the event ring, the SLO bucket
 # ring) live in these same packages and ride along.
 race:
-	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/... ./internal/obs/... ./internal/core/... ./internal/store/...
+	$(GO) test -race ./internal/server/... ./internal/trace/... ./client/... ./internal/obs/... ./internal/core/... ./internal/store/... ./internal/expr/...
 
 bench:
 	$(GO) test -bench=$(BENCH_PATTERN) -benchmem -run=^$$ .
@@ -51,6 +51,15 @@ bench-io:
 	$(GO) test -run='^$$' -bench='BenchmarkRead|BenchmarkWrite|BenchmarkParseCache' -benchmem -json \
 		./internal/cubexml ./internal/server > $(BENCH_IO_OUT)
 	@echo wrote $(BENCH_IO_OUT)
+
+# Machine-readable expression-engine benchmark record: deep-DAG
+# evaluation vs sequential single-operator composition, the result-cache
+# replay path, and planning overhead (internal/expr).
+BENCH_EXPR_OUT ?= BENCH_$(shell date +%F)-expr.json
+
+bench-expr:
+	$(GO) test -run='^$$' -bench='BenchmarkExpr' -benchmem -json ./internal/expr > $(BENCH_EXPR_OUT)
+	@echo wrote $(BENCH_EXPR_OUT)
 
 # Quick CI-friendly sanity run: only the large 64x512x64 operator
 # benchmarks (kernel and legacy engines), one iteration set each.
@@ -77,5 +86,12 @@ trace-smoke:
 # are recomputed from their own counters. See internal/cli/obssmoke.
 obs-smoke:
 	$(GO) run ./internal/cli/obssmoke
+
+# End-to-end expression-engine smoke: an in-process server + store,
+# nested DAGs with shared subexpressions via the typed client, asserting
+# cube_expr_cse_hits_total > 0, exactly one run of the shared operator,
+# and a pure result-cache hit on replay. See internal/cli/exprsmoke.
+expr-smoke:
+	$(GO) run ./internal/cli/exprsmoke
 
 check: vet build test race

@@ -1,0 +1,171 @@
+package client
+
+// Acceptance test of the expression client: build a DAG with a shared
+// subexpression, evaluate it server-side in one round trip, and check the
+// result and the server's CSE/cache summary against local operators.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cube"
+	"cube/internal/server"
+)
+
+func TestExprByDigest(t *testing.T) {
+	a, b := testExp("a", 0.25), testExp("b", 0)
+	d, _ := cube.Difference(a, b, nil)
+	sc, _ := cube.Scale(d, 2, nil)
+	want, _ := cube.Mean(nil, d, sc)
+
+	srv := httptest.NewServer(storeHandler(t))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	ctx := context.Background()
+
+	da, err := c.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := c.Put(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The shared node appears under two parents; the server must see one.
+	diff := DifferenceExpr(DigestRef(da), DigestRef(db))
+	root := MeanExpr(diff, ScaleExpr(diff, 2))
+	got, st, err := c.ExprStats(ctx, root, nil)
+	if err != nil {
+		t.Fatalf("Expr: %v", err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("remote expression differs from local composition")
+	}
+	if st.CSEHits != 1 || st.Nodes != 5 || st.Cached {
+		t.Errorf("stats = %+v, want {Nodes:5 CSEHits:1 Cached:false}", st)
+	}
+
+	// The identical DAG replayed is a result-cache hit.
+	got2, st2, err := c.ExprStats(ctx, root, nil)
+	if err != nil {
+		t.Fatalf("Expr replay: %v", err)
+	}
+	if !st2.Cached {
+		t.Error("replayed expression was not served from the result cache")
+	}
+	if got2.Fingerprint() != want.Fingerprint() {
+		t.Error("replayed result differs")
+	}
+
+	// A missing digest surfaces as ErrNotStored.
+	if _, err := c.Expr(ctx, FlattenExpr(DigestRef(strings.Repeat("0", 64))), nil); !errors.Is(err, ErrNotStored) {
+		t.Errorf("missing digest: %v, want ErrNotStored", err)
+	}
+}
+
+func TestExprInlineOperands(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := httptest.NewServer(server.NewHandler(cfg))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	ctx := context.Background()
+
+	a, b := testExp("a", 0.5), testExp("b", 0)
+	want, _ := cube.Difference(a, b, nil)
+	got, err := c.Expr(ctx, DifferenceExpr(OperandRef(0), OperandRef(1)), nil, a, b)
+	if err != nil {
+		t.Fatalf("Expr with inline operands: %v", err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("inline-operand expression differs from local operator")
+	}
+
+	// Parameterized unary operators round-trip their parameters.
+	pr, err := c.Expr(ctx, PruneExpr(OperandRef(0), "Time", 0.5), nil, a)
+	if err != nil {
+		t.Fatalf("prune expr: %v", err)
+	}
+	if pr.Operation != "prune" {
+		t.Errorf("prune provenance lost (op %q)", pr.Operation)
+	}
+	ex, err := c.Expr(ctx, ExtractExpr(OperandRef(0), "Time/Wait"), nil, a)
+	if err != nil {
+		t.Fatalf("extract expr: %v", err)
+	}
+	if roots := ex.MetricRoots(); len(roots) != 1 || roots[0].Name != "Wait" {
+		t.Error("extract expr picked the wrong subtree")
+	}
+}
+
+// Shared subtrees are emitted once on the wire as defs, so a diamond-heavy
+// DAG marshals in linear size.
+func TestExprMarshalSharing(t *testing.T) {
+	leafd := strings.Repeat("ab", 32)
+	n := DifferenceExpr(DigestRef(leafd), DigestRef(leafd))
+	for i := 0; i < 20; i++ {
+		n = SumExpr(n, n) // 2^20 paths if expanded as a tree
+	}
+	doc, err := marshalExpr(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) > 8<<10 {
+		t.Fatalf("diamond DAG marshalled to %d bytes: sharing not preserved", len(doc))
+	}
+	var req struct {
+		Defs map[string]json.RawMessage `json:"defs"`
+		Expr json.RawMessage            `json:"expr"`
+	}
+	if err := json.Unmarshal(doc, &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Defs) != 20 || req.Expr == nil {
+		t.Errorf("defs = %d, want 20 hoisted shared nodes", len(req.Defs))
+	}
+
+	// And the server accepts the def form: evaluate a small shared DAG.
+	srv := httptest.NewServer(storeHandler(t))
+	defer srv.Close()
+	c := New(srv.URL, WithMaxRetries(1), WithBackoff(time.Millisecond, 10*time.Millisecond))
+	ctx := context.Background()
+	a := testExp("a", 0.25)
+	da, err := c.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SumExpr(DigestRef(da), DigestRef(da))
+	got, st, err := c.ExprStats(ctx, MeanExpr(s, s, s), nil)
+	if err != nil {
+		t.Fatalf("Expr with defs: %v", err)
+	}
+	sl, _ := cube.Sum(nil, a, a)
+	want, _ := cube.Mean(nil, sl, sl, sl)
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("def-form expression differs from local composition")
+	}
+	if st.CSEHits != 2 {
+		t.Errorf("CSEHits = %d, want 2 (sum referenced three times)", st.CSEHits)
+	}
+}
+
+func TestExprMarshalErrors(t *testing.T) {
+	if _, err := marshalExpr(nil); err == nil {
+		t.Error("nil root: want error")
+	}
+	if _, err := marshalExpr(SumExpr(nil)); err == nil {
+		t.Error("nil child: want error")
+	}
+	c := New("http://127.0.0.1:0", WithMaxRetries(0))
+	if _, err := c.Expr(context.Background(), nil, nil); err == nil {
+		t.Error("Expr(nil): want error")
+	}
+}

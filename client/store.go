@@ -27,6 +27,11 @@ import (
 // hold; Put the experiment and retry.
 var ErrNotStored = errors.New("experiment is not in the server store")
 
+// ErrUnknownSize reports a HEAD response whose Content-Length was absent
+// or unparseable: the experiment exists, but the server did not say how
+// big it is. Callers that only probe existence can treat this as success.
+var ErrUnknownSize = errors.New("stored experiment size unknown")
+
 // Put encodes e to CUBE XML and commits it to the server's experiment
 // store under its content address, returning the SHA-256 digest (64 hex
 // chars) to use in ...ByDigest calls. The route is idempotent: putting
@@ -66,7 +71,13 @@ func (c *Client) Stat(ctx context.Context, digest string) (int64, error) {
 		}
 		return 0, err
 	}
-	size, _ := strconv.ParseInt(hdr.Get("Content-Length"), 10, 64)
+	v := hdr.Get("Content-Length")
+	size, perr := strconv.ParseInt(v, 10, 64)
+	if perr != nil || size < 0 {
+		// The blob exists (2xx), the server just failed to describe it —
+		// distinguish that from absence instead of reporting size 0.
+		return 0, fmt.Errorf("%s: Content-Length %q: %w", digest, v, ErrUnknownSize)
+	}
 	return size, nil
 }
 

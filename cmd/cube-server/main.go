@@ -34,6 +34,13 @@
 // (or ?format=tree text) at GET /debug/traces/{id}, keyed by the
 // request's X-Request-ID.
 //
+// Expressions: POST /expr evaluates a whole algebra DAG server-side in one
+// request (JSON body with digest:/operand: leaves; see the README's
+// Expression endpoint section). Identical subtrees evaluate once, and
+// repeated expressions are answered from an expression-digest result cache
+// within -expr-cache-mb; -expr-max-nodes / -expr-max-depth bound accepted
+// documents.
+//
 // Experiment store: -store-dir enables a durable content-addressed store
 // (crash-safe writes, corruption quarantine, LRU eviction within
 // -store-mb). Clients PUT documents once at /experiments/{sha256} and
@@ -92,6 +99,12 @@ func main() {
 	flag.DurationVar(&cfg.SLOWindow, "slo-window", 0, "sliding window for SLO burn tracking (0 = default 5m)")
 	parseCacheMB := flag.Int64("parse-cache-mb", cfg.ParseCacheBytes>>20,
 		"byte budget (MiB) of the content-addressed operand parse cache (0 = disabled)")
+	exprCacheMB := flag.Int64("expr-cache-mb", cfg.ExprCacheBytes>>20,
+		"byte budget (MiB) of the expression-digest result cache behind POST /expr (0 = disabled)")
+	flag.IntVar(&cfg.MaxExprNodes, "expr-max-nodes", cfg.MaxExprNodes,
+		"max nodes per expression document (0 = default 1024)")
+	flag.IntVar(&cfg.MaxExprDepth, "expr-max-depth", cfg.MaxExprDepth,
+		"max operator nesting depth per expression (0 = default 64)")
 	storeDir := flag.String("store-dir", "",
 		"directory of the durable content-addressed experiment store (empty = disabled)")
 	storeMB := flag.Int64("store-mb", 1024,
@@ -102,6 +115,7 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text | json")
 	flag.Parse()
 	cfg.ParseCacheBytes = *parseCacheMB << 20
+	cfg.ExprCacheBytes = *exprCacheMB << 20
 	var err error
 	if cfg.ReadEngine, err = cubexml.ParseReadEngine(*readEngine); err != nil {
 		cli.Fatal("cube-server", err)

@@ -157,44 +157,13 @@ func fetch(client *http.Client, url string) (string, error) {
 	return string(body), nil
 }
 
-// delta subtracts prev from cur sample-by-sample (matched on name and
-// full label set), clamping at zero so a counter reset shows as a quiet
-// interval rather than a huge negative rate. Samples absent from prev
-// pass through unchanged.
+// delta is the scrape-interval view: promtext.Delta handles the
+// sample-by-sample subtraction and treats a counter reset (server
+// restart) as a fresh baseline for the whole series group, so a restart
+// shows as a small honest interval instead of negative rates or a torn
+// histogram.
 func delta(prev, cur promtext.Metrics) promtext.Metrics {
-	out := promtext.Metrics{}
-	for name, samples := range cur {
-		for _, s := range samples {
-			d := s
-			if p, ok := lookup(prev[name], s.Labels); ok {
-				d.Value = s.Value - p
-				if d.Value < 0 {
-					d.Value = 0
-				}
-			}
-			out[name] = append(out[name], d)
-		}
-	}
-	return out
-}
-
-func lookup(samples []promtext.Sample, labels map[string]string) (float64, bool) {
-	for _, s := range samples {
-		if len(s.Labels) != len(labels) {
-			continue
-		}
-		same := true
-		for k, v := range labels {
-			if s.Labels[k] != v {
-				same = false
-				break
-			}
-		}
-		if same {
-			return s.Value, true
-		}
-	}
-	return 0, false
+	return promtext.Delta(prev, cur)
 }
 
 // render writes one frame. With prev == nil (the -once path) counters

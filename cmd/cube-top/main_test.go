@@ -83,7 +83,7 @@ func TestRenderDeltaFrame(t *testing.T) {
 
 	for _, w := range []string{
 		"last 10s",
-		"2.1/s",     // 21 requests in the interval / 10s roll-up
+		"2.1/s", // 21 requests in the interval / 10s roll-up
 		"in-flight 2",
 		"4.8%",      // 1 new 5xx of 21
 		"hit 90.0%", // 18 of 20 new cache lookups hit
@@ -147,14 +147,15 @@ func TestRenderWithoutDebug(t *testing.T) {
 	}
 }
 
-// TestDeltaClampsCounterReset: a restarted server must read as a quiet
-// interval, not a negative rate.
+// TestDeltaClampsCounterReset: a restarted server must read as a small
+// fresh-baseline interval (the increments since the restart), never a
+// negative rate.
 func TestDeltaClampsCounterReset(t *testing.T) {
 	prev, _ := promtext.Parse(strings.NewReader(`c{a="x"} 100` + "\n"))
 	cur, _ := promtext.Parse(strings.NewReader(`c{a="x"} 5` + "\n" + `c{a="y"} 3` + "\n"))
 	d := delta(prev, cur)
-	if got := d.Sum("c", map[string]string{"a": "x"}); got != 0 {
-		t.Errorf("reset counter delta = %v, want clamp to 0", got)
+	if got := d.Sum("c", map[string]string{"a": "x"}); got != 5 {
+		t.Errorf("reset counter delta = %v, want fresh baseline 5", got)
 	}
 	if got := d.Sum("c", map[string]string{"a": "y"}); got != 3 {
 		t.Errorf("new series delta = %v, want pass-through 3", got)

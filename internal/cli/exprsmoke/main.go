@@ -1,0 +1,175 @@
+// Command exprsmoke is the assertion half of `make expr-smoke`: it
+// stands up an in-process cube-server with a store and drives nested
+// expression DAGs with shared subexpressions through the typed client,
+// then validates the engine's promises from the outside, the way an
+// operator would:
+//
+//   - the result of a deep DAG equals composing the same operators
+//     sequentially through the single-operator endpoints,
+//   - `cube_expr_cse_hits_total` > 0 after a DAG that repeats a
+//     subexpression, and `cube_op_invocations_total` shows the shared
+//     operator ran once,
+//   - replaying an identical DAG is served from the expression-digest
+//     result cache: the cache-hit counter moves, the evaluated-node
+//     counter does not, and the response still matches,
+//   - the same holds for digest-leaf and inline-leaf spellings of the
+//     same experiment (content-addressed leaves unify).
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"cube"
+	"cube/client"
+	"cube/internal/obs"
+	"cube/internal/promtext"
+	"cube/internal/server"
+	"cube/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "exprsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("exprsmoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "exprsmoke-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	cfg := server.DefaultConfig()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Store = st
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	srv := httptest.NewServer(server.NewHandler(cfg))
+	defer srv.Close()
+
+	ctx := context.Background()
+	cl := client.New(srv.URL)
+	a, b, c := buildExp("run-a", 3), buildExp("run-b", 1), buildExp("run-c", 2)
+	da, err := cl.Put(ctx, a)
+	if err != nil {
+		return err
+	}
+	db, err := cl.Put(ctx, b)
+	if err != nil {
+		return err
+	}
+
+	// The sequential baseline, one operator endpoint at a time.
+	diff, err := cl.DifferenceByDigest(ctx, da, db, nil)
+	if err != nil {
+		return err
+	}
+	scaled, err := cl.Expr(ctx, client.ScaleExpr(client.OperandRef(0), 2), nil, diff)
+	if err != nil {
+		return err
+	}
+	want, err := cl.Mean(ctx, nil, diff, scaled, c)
+	if err != nil {
+		return err
+	}
+
+	// The same computation as one nested DAG: difference(a,b) appears
+	// under two parents and must evaluate once.
+	d := client.DifferenceExpr(client.DigestRef(da), client.DigestRef(db))
+	root := client.MeanExpr(d, client.ScaleExpr(d, 2), client.OperandRef(0))
+	before, err := scrape(srv.URL)
+	if err != nil {
+		return err
+	}
+	got, stats, err := cl.ExprStats(ctx, root, nil, c)
+	if err != nil {
+		return fmt.Errorf("deep DAG: %w", err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		return fmt.Errorf("DAG result differs from sequential composition")
+	}
+	if stats.CSEHits < 1 || stats.Cached {
+		return fmt.Errorf("first DAG stats = %+v, want CSEHits >= 1 and no cache hit", stats)
+	}
+	after, err := scrape(srv.URL)
+	if err != nil {
+		return err
+	}
+	if hits := after.Sum("cube_expr_cse_hits_total", nil) - before.Sum("cube_expr_cse_hits_total", nil); hits < 1 {
+		return fmt.Errorf("cube_expr_cse_hits_total moved by %v, want >= 1", hits)
+	}
+	sel := map[string]string{"op": "difference"}
+	if n := after.Sum("cube_op_invocations_total", sel) - before.Sum("cube_op_invocations_total", sel); n != 1 {
+		return fmt.Errorf("difference ran %v times inside the DAG, want exactly 1 (CSE)", n)
+	}
+
+	// Replaying the identical DAG must be a pure result-cache hit: no
+	// node evaluates, no operator runs.
+	got2, stats2, err := cl.ExprStats(ctx, root, nil, c)
+	if err != nil {
+		return fmt.Errorf("replayed DAG: %w", err)
+	}
+	if !stats2.Cached {
+		return fmt.Errorf("replayed DAG stats = %+v, want a result-cache hit", stats2)
+	}
+	if got2.Fingerprint() != want.Fingerprint() {
+		return fmt.Errorf("replayed DAG result differs")
+	}
+	final, err := scrape(srv.URL)
+	if err != nil {
+		return err
+	}
+	if n := final.Sum("cube_expr_eval_nodes_total", nil) - after.Sum("cube_expr_eval_nodes_total", nil); n != 0 {
+		return fmt.Errorf("replay evaluated %v nodes, want 0 (result cache)", n)
+	}
+	if n := final.Sum("cube_expr_cache_hits_total", nil) - after.Sum("cube_expr_cache_hits_total", nil); n < 1 {
+		return fmt.Errorf("cube_expr_cache_hits_total moved by %v on replay, want >= 1", n)
+	}
+
+	// Leaf spellings unify: sum(digest:a, inline bytes of a) == sum(a, a).
+	mixed, err := cl.Expr(ctx, client.SumExpr(client.DigestRef(da), client.OperandRef(0)), nil, a)
+	if err != nil {
+		return fmt.Errorf("mixed-leaf DAG: %w", err)
+	}
+	wantSum, err := cl.Sum(ctx, nil, a, a)
+	if err != nil {
+		return err
+	}
+	if mixed.Fingerprint() != wantSum.Fingerprint() {
+		return fmt.Errorf("digest and inline spellings of one experiment did not unify")
+	}
+	return nil
+}
+
+func scrape(base string) (promtext.Metrics, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return promtext.Parse(resp.Body)
+}
+
+// buildExp makes a minimal single-metric experiment whose severities
+// differ by seed, so differences and means are non-trivial.
+func buildExp(title string, seed float64) *cube.Experiment {
+	e := cube.New(title)
+	m := e.NewMetric("Time", cube.Seconds, "")
+	root := e.NewCallRoot(e.NewCallSite("", 0, e.NewRegion("main", "app", 0, 0)))
+	for i, th := range e.SingleThreadedSystem("m", 1, 4) {
+		e.SetSeverity(m, root, th, seed+float64(i))
+	}
+	return e
+}

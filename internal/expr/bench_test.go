@@ -1,0 +1,145 @@
+package expr
+
+// Deep-DAG evaluation vs sequential single-operator composition. The DAG
+// form wins twice: shared subexpressions evaluate once (CSE), and a
+// repeated document costs one cache lookup instead of any evaluation.
+// `make bench-expr` records these as BENCH_<date>-expr.json.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cube/internal/core"
+)
+
+// benchDAG builds a depth-d chain where every level references the
+// previous level twice (sum(x, x) alternating with mean(x, x)): a
+// diamond ladder with d CSE hits under def sharing.
+func benchDAG(d int, leafA, leafB string) string {
+	var sb strings.Builder
+	sb.WriteString(`{"defs":{`)
+	fmt.Fprintf(&sb, `"n0":{"op":"difference","args":[{"ref":"digest:%s"},{"ref":"digest:%s"}]}`, leafA, leafB)
+	for i := 1; i <= d; i++ {
+		op := "sum"
+		if i%2 == 0 {
+			op = "mean"
+		}
+		fmt.Fprintf(&sb, `,"n%d":{"op":"%s","args":[{"ref":"def:n%d"},{"ref":"def:n%d"}]}`, i, op, i-1, i-1)
+	}
+	fmt.Fprintf(&sb, `},"expr":{"ref":"def:n%d"}}`, d)
+	return sb.String()
+}
+
+func benchOperands(nThreads int) (map[string]*core.Experiment, string, string) {
+	mk := func(title string, base float64) *core.Experiment {
+		vals := make([]float64, nThreads)
+		for i := range vals {
+			vals[i] = base + float64(i)*0.25
+		}
+		return evalExperiment(title, vals...)
+	}
+	dig := func(name string) string {
+		sum := sha256.Sum256([]byte(name))
+		return hex.EncodeToString(sum[:])
+	}
+	return map[string]*core.Experiment{"a": mk("a", 3), "b": mk("b", 1)}, dig("a"), dig("b")
+}
+
+const benchDepth = 12
+
+// BenchmarkExprDeepDAG evaluates the depth-12 diamond ladder as one plan
+// per iteration, result cache off: the cost of CSE-shared evaluation.
+func BenchmarkExprDeepDAG(b *testing.B) {
+	exps, da, db := benchOperands(8)
+	st := newTestStore(exps)
+	src := benchDAG(benchDepth, da, db)
+	e, err := Parse([]byte(src), Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := e.Plan(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(Config{}) // no result cache: measure evaluation
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, _, err := eng.Eval(context.Background(), plan, nil, st.resolver()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExprSequential computes the same ladder one operator call at
+// a time, the way a client without /expr would: every level re-derives
+// its operand, nothing is shared or cached.
+func BenchmarkExprSequential(b *testing.B) {
+	exps, _, _ := benchOperands(8)
+	a, bb := exps["a"], exps["b"]
+	b.ReportAllocs()
+	for b.Loop() {
+		x, err := core.Difference(a, bb, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 1; i <= benchDepth; i++ {
+			if i%2 == 0 {
+				x, err = core.Mean(nil, x, x)
+			} else {
+				x, err = core.Sum(nil, x, x)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExprResultCacheHit replays an identical plan against a warm
+// result cache: the steady-state cost of a repeated dashboard query.
+func BenchmarkExprResultCacheHit(b *testing.B) {
+	exps, da, db := benchOperands(8)
+	st := newTestStore(exps)
+	e, err := Parse([]byte(benchDAG(benchDepth, da, db)), Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := e.Plan(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(Config{CacheBytes: 64 << 20})
+	if _, _, err := eng.Eval(context.Background(), plan, nil, st.resolver()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for b.Loop() {
+		_, stats, err := eng.Eval(context.Background(), plan, nil, st.resolver())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !stats.RootCached {
+			b.Fatal("expected a result-cache hit")
+		}
+	}
+}
+
+// BenchmarkExprPlan isolates parse + canonicalization + CSE of the
+// depth-12 document, the per-request planning overhead.
+func BenchmarkExprPlan(b *testing.B) {
+	src := []byte(benchDAG(benchDepth, strings.Repeat("aa", 32), strings.Repeat("bb", 32)))
+	b.ReportAllocs()
+	for b.Loop() {
+		e, err := Parse(src, Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Plan(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

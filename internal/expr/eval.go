@@ -1,0 +1,248 @@
+package expr
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"cube/internal/core"
+	"cube/internal/obs"
+)
+
+// Engine evaluates canonicalized expression plans. It owns the
+// expression-digest result cache and deduplicates concurrent evaluations
+// of the same expression (singleflight), so a burst of identical DAGs
+// runs the kernels once. An Engine is safe for concurrent use.
+//
+// Metrics (registry from Config.Metrics):
+//
+//	cube_expr_requests_total        expressions evaluated (or served cached)
+//	cube_expr_nodes_total           unique DAG nodes planned
+//	cube_expr_cse_hits_total        subexpression references eliminated by CSE
+//	cube_expr_eval_nodes_total      operator nodes actually executed
+//	cube_expr_cache_hits_total      result-cache hits (node granularity)
+//	cube_expr_cache_misses_total    operator nodes not found in the cache
+//	cube_expr_cache_evictions_total LRU evictions under the byte budget
+//	cube_expr_cache_bytes           resident size estimate of the cache
+type Engine struct {
+	reg   *obs.Registry
+	cache *resultCache
+
+	mu      sync.Mutex
+	flights map[resultKey]*flight
+}
+
+// Config configures an Engine.
+type Config struct {
+	// CacheBytes is the byte budget of the expression-digest result
+	// cache; 0 disables result caching (every request recomputes).
+	CacheBytes int64
+	// Metrics receives the cube_expr_* series; nil disables them.
+	Metrics *obs.Registry
+}
+
+// NewEngine returns an evaluation engine.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{
+		reg:     cfg.Metrics,
+		cache:   newResultCache(cfg.CacheBytes, cfg.Metrics),
+		flights: map[resultKey]*flight{},
+	}
+}
+
+// flight is one in-progress evaluation concurrent identical requests wait
+// on; the winner publishes the compacted root master (or the error).
+type flight struct {
+	wg  sync.WaitGroup
+	e   *core.Experiment
+	err error
+}
+
+// Resolver supplies leaf operands: stored experiments by digest, inline
+// request operands by index. The experiments it returns must be private
+// to the caller (the server resolves through its parse cache, which
+// returns clones).
+type Resolver func(ctx context.Context, leaf Leaf) (*core.Experiment, error)
+
+// Stats reports what one evaluation did — the numbers the server folds
+// into its wide event and the smoke tests assert on.
+type Stats struct {
+	Nodes      int  // unique DAG nodes after CSE
+	CSEHits    int  // subexpression references eliminated by sharing
+	CacheHits  int  // node results served from the expression-digest cache
+	Evaluated  int  // operator nodes actually executed
+	RootCached bool // whole expression answered without evaluating anything
+}
+
+func (g *Engine) count(name string, n int64) {
+	if g.reg != nil {
+		g.reg.Counter(name).Add(n)
+	}
+}
+
+// Eval evaluates the plan and returns the root experiment, which the
+// caller owns and may mutate freely. Identical concurrent evaluations are
+// shared; repeated evaluations are served from the result cache without
+// touching a kernel.
+func (g *Engine) Eval(ctx context.Context, plan *Plan, opts *core.Options, resolve Resolver) (*core.Experiment, Stats, error) {
+	stats := Stats{Nodes: len(plan.Nodes), CSEHits: plan.CSEHits}
+	g.count("cube_expr_requests_total", 1)
+	g.count("cube_expr_nodes_total", int64(stats.Nodes))
+	g.count("cube_expr_cse_hits_total", int64(stats.CSEHits))
+
+	fp := optsFingerprint(opts)
+	rootKey := resultKey{node: plan.Root.Key, opts: fp}
+	if e := g.cache.get(rootKey); e != nil {
+		g.count("cube_expr_cache_hits_total", 1)
+		stats.CacheHits++
+		stats.RootCached = true
+		return e, stats, nil
+	}
+
+	// Singleflight: the first evaluation of an expression runs, identical
+	// concurrent requests wait and clone its result (sharing the error on
+	// failure, so a poisoned expression does not dogpile the kernels).
+	g.mu.Lock()
+	if fl, ok := g.flights[rootKey]; ok {
+		g.mu.Unlock()
+		fl.wg.Wait()
+		if fl.err != nil {
+			return nil, stats, fl.err
+		}
+		g.count("cube_expr_cache_hits_total", 1)
+		stats.CacheHits++
+		stats.RootCached = true
+		return fl.e.Clone(), stats, nil
+	}
+	fl := &flight{}
+	fl.wg.Add(1)
+	g.flights[rootKey] = fl
+	g.mu.Unlock()
+
+	master, err := g.eval(ctx, plan, fp, opts, resolve, &stats)
+	fl.e, fl.err = master, err
+	fl.wg.Done()
+	g.mu.Lock()
+	delete(g.flights, rootKey)
+	g.mu.Unlock()
+	if err != nil {
+		return nil, stats, err
+	}
+	return master.Clone(), stats, nil
+}
+
+// eval walks the plan in topological order (children before parents), so
+// every unique subexpression is computed exactly once and its result —
+// including its lazily built columnar lowering — is reused by every
+// parent. The returned root is the compacted master shared with the
+// result cache; the caller clones it.
+func (g *Engine) eval(ctx context.Context, plan *Plan, fp string, opts *core.Options, resolve Resolver, stats *Stats) (*core.Experiment, error) {
+	// results holds each node's private, per-request experiment. One
+	// clone serves all parents of a node: within the single evaluation
+	// goroutine that is safe, and it means an operand feeding several
+	// operators is lowered to its columnar block once, not once per use.
+	results := make(map[*Node]*core.Experiment, len(plan.Nodes))
+	var rootMaster *core.Experiment
+	for _, n := range plan.Nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if n.Spec == nil {
+			e, err := resolve(ctx, n.Leaf)
+			if err != nil {
+				return nil, fmt.Errorf("expr: resolving %s: %w", n.Leaf, err)
+			}
+			results[n] = e
+			continue
+		}
+		key := resultKey{node: n.Key, opts: fp}
+		if e := g.cache.get(key); e != nil {
+			g.count("cube_expr_cache_hits_total", 1)
+			stats.CacheHits++
+			results[n] = e
+			if n == plan.Root {
+				rootMaster = e // already a private clone; see below
+			}
+			continue
+		}
+		g.count("cube_expr_cache_misses_total", 1)
+		operands := make([]*core.Experiment, len(n.Args))
+		for i, a := range n.Args {
+			operands[i] = results[a]
+		}
+		sp, _ := obs.StartSpanContext(ctx, "expr.node")
+		sp.SetAttr("op", n.Spec.name)
+		sp.SetAttr("key", n.KeyString()[:12])
+		nopts := opts
+		if sp != nil {
+			// Parent the operator's op.<name> span under expr.node so
+			// traces show which DAG node each kernel run belongs to.
+			var o core.Options
+			if opts != nil {
+				o = *opts
+			}
+			o.Trace = sp
+			nopts = &o
+		}
+		master, err := applyOp(n, nopts, operands)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
+			return nil, fmt.Errorf("expr: %s: %w", n.Spec.name, err)
+		}
+		sp.End()
+		stats.Evaluated++
+		g.count("cube_expr_eval_nodes_total", 1)
+		// Compact and publish the master, then hand this request a
+		// clone: once the master is visible in the cache, concurrent
+		// requests clone it, so this request must not mutate it either.
+		master.CompactSeverities()
+		g.cache.put(resultKey{node: n.Key, opts: fp}, master)
+		if n == plan.Root {
+			rootMaster = master
+		} else {
+			results[n] = master.Clone()
+		}
+	}
+	if rootMaster == nil {
+		// Root is a bare leaf (`{"ref": "digest:..."}`): the resolved
+		// operand, compacted so flight waiters can clone it safely.
+		rootMaster = results[plan.Root]
+		rootMaster.CompactSeverities()
+	}
+	return rootMaster, nil
+}
+
+// applyOp dispatches one operator node to the core algebra.
+func applyOp(n *Node, opts *core.Options, operands []*core.Experiment) (*core.Experiment, error) {
+	switch n.Spec.name {
+	case "difference":
+		return core.Difference(operands[0], operands[1], opts)
+	case "merge":
+		return core.MergeAll(opts, operands...)
+	case "mean":
+		return core.Mean(opts, operands...)
+	case "sum":
+		return core.Sum(opts, operands...)
+	case "min":
+		return core.Min(opts, operands...)
+	case "max":
+		return core.Max(opts, operands...)
+	case "stddev":
+		return core.StdDev(opts, operands...)
+	case "flatten":
+		return core.Flatten(operands[0])
+	case "extract":
+		return core.ExtractMetrics(operands[0], n.Metrics...)
+	case "prune":
+		return core.Prune(operands[0], n.Metric, n.Threshold)
+	case "scale":
+		return core.Scale(operands[0], n.Factor, opts)
+	default:
+		return nil, fmt.Errorf("unimplemented operator %q", n.Spec.name)
+	}
+}
+
+// DigestOfKey renders a plan key for logs and span attributes.
+func DigestOfKey(key [32]byte) string { return hex.EncodeToString(key[:]) }

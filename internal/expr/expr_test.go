@@ -1,0 +1,291 @@
+package expr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// digestFor fabricates a digest ref for tests: the content address of the
+// given name, in the wire form leaves use.
+func digestFor(name string) string {
+	sum := sha256.Sum256([]byte(name))
+	return "digest:" + hex.EncodeToString(sum[:])
+}
+
+func mustParse(t *testing.T, src string) *Expr {
+	t.Helper()
+	e, err := Parse([]byte(src), Limits{})
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	return e
+}
+
+func mustPlan(t *testing.T, src string) *Plan {
+	t.Helper()
+	p, err := mustParse(t, src).Plan(nil)
+	if err != nil {
+		t.Fatalf("Plan(%s): %v", src, err)
+	}
+	return p
+}
+
+func parseErr(t *testing.T, src string, wantSub string) {
+	t.Helper()
+	_, err := Parse([]byte(src), Limits{})
+	if err == nil {
+		t.Fatalf("Parse(%s): want error containing %q, got nil", src, wantSub)
+	}
+	var pe *ParseError
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("Parse(%s): error %q does not contain %q", src, err, wantSub)
+	}
+	if ok := asParseError(err, &pe); !ok {
+		t.Fatalf("Parse(%s): error %T is not a *ParseError", src, err)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestParseBareNode(t *testing.T) {
+	src := fmt.Sprintf(`{"op":"Mean","args":[{"ref":%q},{"ref":%q}]}`, digestFor("a"), digestFor("b"))
+	e := mustParse(t, src)
+	if e.WireNodes() != 3 {
+		t.Fatalf("WireNodes = %d, want 3", e.WireNodes())
+	}
+	if e.MaxOperandRef() != -1 {
+		t.Fatalf("MaxOperandRef = %d, want -1", e.MaxOperandRef())
+	}
+}
+
+func TestParseOperandRefs(t *testing.T) {
+	e := mustParse(t, `{"op":"difference","args":[{"ref":"operand:0"},{"ref":"operand:3"}]}`)
+	if e.MaxOperandRef() != 3 {
+		t.Fatalf("MaxOperandRef = %d, want 3", e.MaxOperandRef())
+	}
+}
+
+func TestParseDefsForm(t *testing.T) {
+	src := fmt.Sprintf(`{
+		"defs": {"d": {"op":"difference","args":[{"ref":%q},{"ref":%q}]}},
+		"expr": {"op":"mean","args":[{"ref":"def:d"},{"ref":"def:d"}]}
+	}`, digestFor("a"), digestFor("b"))
+	p, err := mustParse(t, src).Plan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, b, difference, mean — the second def:d reference is shared.
+	if len(p.Nodes) != 4 {
+		t.Fatalf("plan has %d nodes, want 4", len(p.Nodes))
+	}
+	if p.CSEHits != 1 {
+		t.Fatalf("CSEHits = %d, want 1", p.CSEHits)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := digestFor("x")
+	cases := []struct{ src, want string }{
+		{`{`, "bad JSON"},
+		{`{"op":"Transmogrify","args":[{"ref":"operand:0"}]}`, "unknown operator"},
+		{`{"op":"difference","args":[{"ref":"operand:0"}]}`, "at least 2"},
+		{`{"op":"flatten","args":[{"ref":"operand:0"},{"ref":"operand:1"}]}`, "at most 1"},
+		{`{"op":"stddev","args":[{"ref":"operand:0"}]}`, "at least 2"},
+		{`{"op":"prune","args":[{"ref":"operand:0"}]}`, `"metric"`},
+		{`{"op":"prune","metric":"Time","args":[{"ref":"operand:0"}]}`, `"threshold"`},
+		{`{"op":"scale","args":[{"ref":"operand:0"}]}`, `"factor"`},
+		{`{"op":"extract","args":[{"ref":"operand:0"}]}`, `"metrics"`},
+		{`{"op":"mean","factor":2,"args":[{"ref":"operand:0"}]}`, "no parameters"},
+		{`{"ref":"digest:abc"}`, "64 hex"},
+		{`{"ref":"operand:-1"}`, "non-negative"},
+		{`{"ref":"bogus:x"}`, "want digest:"},
+		{`{"ref":"def:missing"}`, "names no definition"},
+		{`{"op":"mean","ref":"operand:0","args":[{"ref":"operand:1"}]}`, "mixes ref"},
+		{`{"args":[{"ref":"operand:0"}]}`, `neither "expr" nor a top-level node`},
+		{`{"defs":{}}`, `neither "expr" nor a top-level node`},
+		{fmt.Sprintf(`{"expr":{"ref":%q},"op":"mean"}`, d), `mixes "expr"`},
+		{`{"op":"mean","argz":[{"ref":"operand:0"}]}`, "bad JSON"},
+		{`{"defs":{"a":{"op":"flatten","args":[{"ref":"def:b"}]},"b":{"op":"flatten","args":[{"ref":"def:a"}]}},"expr":{"ref":"def:a"}}`, "definition cycle"},
+	}
+	for _, c := range cases {
+		parseErr(t, c.src, c.want)
+	}
+}
+
+func TestParseNodeCap(t *testing.T) {
+	// mean of 20 operand leaves = 21 wire nodes; cap at 10.
+	args := make([]string, 20)
+	for i := range args {
+		args[i] = fmt.Sprintf(`{"ref":"operand:%d"}`, i)
+	}
+	src := `{"op":"mean","args":[` + strings.Join(args, ",") + `]}`
+	if _, err := Parse([]byte(src), Limits{MaxNodes: 10}); err == nil || !strings.Contains(err.Error(), "limit of 10 nodes") {
+		t.Fatalf("want node-cap error, got %v", err)
+	}
+	if _, err := Parse([]byte(src), Limits{MaxNodes: 21}); err != nil {
+		t.Fatalf("within cap: %v", err)
+	}
+}
+
+func TestParseDepthCap(t *testing.T) {
+	src := `{"ref":"operand:0"}`
+	for i := 0; i < 8; i++ {
+		src = `{"op":"flatten","args":[` + src + `]}`
+	}
+	if _, err := Parse([]byte(src), Limits{MaxDepth: 5}); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("want depth-cap error, got %v", err)
+	}
+	if _, err := Parse([]byte(src), Limits{MaxDepth: 9}); err != nil {
+		t.Fatalf("within cap: %v", err)
+	}
+}
+
+// Defs expand as a DAG, not a copied tree: a chain of defs that doubles at
+// every level parses in linear time and node count.
+func TestParseDefSharingIsLinear(t *testing.T) {
+	var defs []string
+	defs = append(defs, `"d0": {"ref":"operand:0"}`)
+	const n = 30
+	for i := 1; i <= n; i++ {
+		defs = append(defs, fmt.Sprintf(`"d%d": {"op":"sum","args":[{"ref":"def:d%d"},{"ref":"def:d%d"}]}`, i, i-1, i-1))
+	}
+	src := `{"defs":{` + strings.Join(defs, ",") + fmt.Sprintf(`},"expr":{"ref":"def:d%d"}}`, n)
+	e, err := Parse([]byte(src), Limits{})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	p, err := e.Plan(func(int) ([sha256.Size]byte, error) { return sha256.Sum256([]byte("op0")), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != n+1 {
+		t.Fatalf("plan has %d nodes, want %d", len(p.Nodes), n+1)
+	}
+	if p.Depth != n+1 {
+		t.Fatalf("Depth = %d, want %d", p.Depth, n+1)
+	}
+	// Each of d1..d(n-1) is referenced a second time by the level above
+	// (dn once, d0 is a leaf and leaf sharing does not count).
+	if p.CSEHits != n-1 {
+		t.Fatalf("CSEHits = %d, want %d", p.CSEHits, n-1)
+	}
+}
+
+func TestCommutativeCanonicalization(t *testing.T) {
+	a, b := digestFor("a"), digestFor("b")
+	ab := mustPlan(t, fmt.Sprintf(`{"op":"mean","args":[{"ref":%q},{"ref":%q}]}`, a, b))
+	ba := mustPlan(t, fmt.Sprintf(`{"op":"mean","args":[{"ref":%q},{"ref":%q}]}`, b, a))
+	if ab.Root.Key != ba.Root.Key {
+		t.Fatal("Mean(a,b) and Mean(b,a) should canonicalize to the same key")
+	}
+
+	dab := mustPlan(t, fmt.Sprintf(`{"op":"difference","args":[{"ref":%q},{"ref":%q}]}`, a, b))
+	dba := mustPlan(t, fmt.Sprintf(`{"op":"difference","args":[{"ref":%q},{"ref":%q}]}`, b, a))
+	if dab.Root.Key == dba.Root.Key {
+		t.Fatal("Difference is positional; operand order must distinguish keys")
+	}
+
+	mab := mustPlan(t, fmt.Sprintf(`{"op":"merge","args":[{"ref":%q},{"ref":%q}]}`, a, b))
+	mba := mustPlan(t, fmt.Sprintf(`{"op":"merge","args":[{"ref":%q},{"ref":%q}]}`, b, a))
+	if mab.Root.Key == mba.Root.Key {
+		t.Fatal("Merge is first-operand-wins; operand order must distinguish keys")
+	}
+}
+
+func TestStructuralCSE(t *testing.T) {
+	a, b := digestFor("a"), digestFor("b")
+	// The shared subexpression is written out twice — and once with its
+	// operands swapped under a commutative op, which must still unify.
+	src := fmt.Sprintf(`{"op":"difference","args":[
+		{"op":"sum","args":[{"ref":%q},{"ref":%q}]},
+		{"op":"sum","args":[{"ref":%q},{"ref":%q}]}]}`, a, b, b, a)
+	p := mustPlan(t, src)
+	// a, b, sum, difference.
+	if len(p.Nodes) != 4 {
+		t.Fatalf("plan has %d nodes, want 4", len(p.Nodes))
+	}
+	if p.CSEHits != 1 {
+		t.Fatalf("CSEHits = %d, want 1", p.CSEHits)
+	}
+	if p.Root.Args[0] != p.Root.Args[1] {
+		t.Fatal("the two sum operands should be one shared node")
+	}
+}
+
+func TestParamsDistinguishKeys(t *testing.T) {
+	a := digestFor("a")
+	s2 := mustPlan(t, fmt.Sprintf(`{"op":"scale","factor":2,"args":[{"ref":%q}]}`, a))
+	s3 := mustPlan(t, fmt.Sprintf(`{"op":"scale","factor":3,"args":[{"ref":%q}]}`, a))
+	if s2.Root.Key == s3.Root.Key {
+		t.Fatal("scale factor must be part of the canonical key")
+	}
+	p1 := mustPlan(t, fmt.Sprintf(`{"op":"prune","metric":"Time","threshold":0.5,"args":[{"ref":%q}]}`, a))
+	p2 := mustPlan(t, fmt.Sprintf(`{"op":"prune","metric":"Time","threshold":0.25,"args":[{"ref":%q}]}`, a))
+	if p1.Root.Key == p2.Root.Key {
+		t.Fatal("prune threshold must be part of the canonical key")
+	}
+	e1 := mustPlan(t, fmt.Sprintf(`{"op":"extract","metrics":["Time"],"args":[{"ref":%q}]}`, a))
+	e2 := mustPlan(t, fmt.Sprintf(`{"op":"extract","metrics":["MPI"],"args":[{"ref":%q}]}`, a))
+	if e1.Root.Key == e2.Root.Key {
+		t.Fatal("extract metric list must be part of the canonical key")
+	}
+}
+
+// Inline operands canonicalize by content digest, so an operand whose
+// bytes match a stored experiment unifies with the digest leaf.
+func TestOperandLeafUnifiesWithDigestLeaf(t *testing.T) {
+	sum := sha256.Sum256([]byte("a"))
+	src := fmt.Sprintf(`{"op":"sum","args":[{"ref":%q},{"ref":"operand:0"}]}`, digestFor("a"))
+	p, err := mustParse(t, src).Plan(func(i int) ([sha256.Size]byte, error) {
+		if i != 0 {
+			t.Fatalf("digester asked for operand %d", i)
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// operand:0 and digest:<sha256("a")> are the same content: 2 nodes.
+	if len(p.Nodes) != 2 {
+		t.Fatalf("plan has %d nodes, want 2 (leaf unification)", len(p.Nodes))
+	}
+	if p.CSEHits != 0 {
+		t.Fatalf("CSEHits = %d, want 0 (leaf sharing is not a CSE hit)", p.CSEHits)
+	}
+}
+
+func TestPlanWithoutDigesterRejectsOperands(t *testing.T) {
+	_, err := mustParse(t, `{"op":"flatten","args":[{"ref":"operand:0"}]}`).Plan(nil)
+	if err == nil || !strings.Contains(err.Error(), "no inline operands") {
+		t.Fatalf("want no-operands error, got %v", err)
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	a, b, c := digestFor("a"), digestFor("b"), digestFor("c")
+	src := fmt.Sprintf(`{"op":"mean","args":[
+		{"op":"difference","args":[{"ref":%q},{"ref":%q}]},
+		{"op":"difference","args":[{"ref":%q},{"ref":%q}]}]}`, a, b, a, c)
+	p := mustPlan(t, src)
+	seen := map[*Node]bool{}
+	for _, n := range p.Nodes {
+		for _, arg := range n.Args {
+			if !seen[arg] {
+				t.Fatalf("node %s appears before its operand %s", n.Op(), arg.Op())
+			}
+		}
+		seen[n] = true
+	}
+	if p.Nodes[len(p.Nodes)-1] != p.Root {
+		t.Fatal("root must be last in topological order")
+	}
+}

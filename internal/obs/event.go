@@ -42,9 +42,9 @@ type EventFields struct {
 	Method    string `json:"method,omitempty"`     // HTTP method
 
 	// Outcome.
-	Status     int     `json:"status,omitempty"`   // HTTP status (0 for non-HTTP kinds)
-	Error      string  `json:"error,omitempty"`    // terminal error, if any
-	DurationMS float64 `json:"duration_ms"`        // wall time of the unit
+	Status     int     `json:"status,omitempty"`     // HTTP status (0 for non-HTTP kinds)
+	Error      string  `json:"error,omitempty"`      // terminal error, if any
+	DurationMS float64 `json:"duration_ms"`          // wall time of the unit
 	ComputeMS  float64 `json:"compute_ms,omitempty"` // summed wall time of parallel kernel shards (≥ DurationMS share spent computing)
 
 	// Operands and parsing.
@@ -64,6 +64,12 @@ type EventFields struct {
 	StorePuts        int   `json:"store_puts,omitempty"`
 	StorePins        int   `json:"store_pins,omitempty"`
 	StoreBytes       int64 `json:"store_bytes,omitempty"` // bytes read from / written to the store
+
+	// Expression engine (POST /expr).
+	ExprNodes     int `json:"expr_nodes,omitempty"`      // unique DAG nodes after CSE
+	ExprCSEHits   int `json:"expr_cse_hits,omitempty"`   // subexpression references eliminated by sharing
+	ExprCacheHits int `json:"expr_cache_hits,omitempty"` // node results served from the expression-digest cache
+	ExprEvaluated int `json:"expr_evaluated,omitempty"`  // operator nodes actually executed
 
 	// Kernel execution.
 	KernelCells  int64  `json:"kernel_cells,omitempty"`  // result severity cells produced
@@ -430,6 +436,18 @@ func (e *Event) AddStorePut(bytes int64) {
 
 // AddStorePin attributes one blob pin.
 func (e *Event) AddStorePin() { e.set(func(f *EventFields) { f.StorePins++ }) }
+
+// SetExprStats records what one expression evaluation did: unique DAG
+// nodes after CSE, eliminated subexpression references, result-cache
+// hits, and operator nodes actually executed.
+func (e *Event) SetExprStats(nodes, cseHits, cacheHits, evaluated int) {
+	e.set(func(f *EventFields) {
+		f.ExprNodes = nodes
+		f.ExprCSEHits = cseHits
+		f.ExprCacheHits = cacheHits
+		f.ExprEvaluated = evaluated
+	})
+}
 
 // AddKernelPlan attributes one kernel plan: its worker shard count and
 // the operand tuples it consumes.

@@ -1,0 +1,117 @@
+package promtext
+
+// Regression tests for counter-reset handling: Delta must never emit
+// negative rates, and a reset histogram must still quantile to a finite
+// number (not NaN, not negative) because the whole series group restarts
+// from a consistent fresh baseline.
+
+import (
+	"math"
+	"testing"
+)
+
+const beforeReset = `
+cube_http_requests_total{route="/op/{op}"} 100
+cube_http_requests_total{route="/healthz"} 50
+cube_goroutines 12
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.01"} 60
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.1"} 90
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="+Inf"} 100
+cube_http_request_duration_seconds_sum{route="/op/{op}"} 7.5
+cube_http_request_duration_seconds_count{route="/op/{op}"} 100
+`
+
+// The server restarted: every counter is small again, and one route kept
+// growing normally (it was scraped from before the restart boundary).
+const afterReset = `
+cube_http_requests_total{route="/op/{op}"} 5
+cube_http_requests_total{route="/healthz"} 56
+cube_goroutines 9
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.01"} 2
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="0.1"} 4
+cube_http_request_duration_seconds_bucket{route="/op/{op}",le="+Inf"} 5
+cube_http_request_duration_seconds_sum{route="/op/{op}"} 0.9
+cube_http_request_duration_seconds_count{route="/op/{op}"} 5
+`
+
+func TestDeltaCounterReset(t *testing.T) {
+	d := Delta(mustParse(t, beforeReset), mustParse(t, afterReset))
+
+	// The reset counter restarts from its current value: the increments
+	// observed since the restart, never a negative rate and not a
+	// swallowed-to-zero interval.
+	if v, _ := d.Value("cube_http_requests_total", map[string]string{"route": "/op/{op}"}); v != 5 {
+		t.Errorf("reset counter delta = %v, want 5 (fresh baseline)", v)
+	}
+	// The unreset series still subtracts normally.
+	if v, _ := d.Value("cube_http_requests_total", map[string]string{"route": "/healthz"}); v != 6 {
+		t.Errorf("healthy counter delta = %v, want 6", v)
+	}
+	for _, s := range d["cube_http_requests_total"] {
+		if s.Value < 0 {
+			t.Errorf("negative rate %v for %v", s.Value, s.Labels)
+		}
+	}
+	// Gauges that decreased are their own group: current value passes
+	// through rather than a negative delta (12 → 9 is a reset by the
+	// counter rule, and gauges are read as levels anyway).
+	if v, _ := d.Value("cube_goroutines", nil); v != 9 {
+		t.Errorf("gauge after decrease = %v, want 9", v)
+	}
+}
+
+func TestDeltaHistogramResetStaysCoherent(t *testing.T) {
+	d := Delta(mustParse(t, beforeReset), mustParse(t, afterReset))
+	sel := map[string]string{"route": "/op/{op}"}
+
+	// The whole histogram group rebased: buckets, count, and sum carry the
+	// post-restart values, still a valid cumulative distribution.
+	if v, _ := d.Value("cube_http_request_duration_seconds_count", sel); v != 5 {
+		t.Errorf("reset histogram count = %v, want 5", v)
+	}
+	if v, _ := d.Value("cube_http_request_duration_seconds_sum", sel); v != 0.9 {
+		t.Errorf("reset histogram sum = %v, want 0.9", v)
+	}
+	p99, ok := d.Quantile("cube_http_request_duration_seconds", 0.99, sel)
+	if !ok {
+		t.Fatal("quantile of reset histogram reported absent")
+	}
+	if math.IsNaN(p99) || p99 < 0 {
+		t.Fatalf("p99 after reset = %v, want finite and non-negative", p99)
+	}
+}
+
+func TestDeltaNoPrev(t *testing.T) {
+	cur := mustParse(t, afterReset)
+	d := Delta(Metrics{}, cur)
+	if v, _ := d.Value("cube_http_requests_total", map[string]string{"route": "/healthz"}); v != 56 {
+		t.Errorf("delta without prev = %v, want pass-through 56", v)
+	}
+}
+
+// Quantile guards: NaN bucket samples are ignored, and buckets whose
+// cumulative counts came out non-monotonic (a torn scrape) are repaired
+// with a running max instead of interpolating to garbage.
+func TestQuantileGuards(t *testing.T) {
+	m := mustParse(t, `
+h_bucket{le="0.1"} NaN
+h_bucket{le="1"} NaN
+h_bucket{le="+Inf"} NaN
+`)
+	if _, ok := m.Quantile("h", 0.99, nil); ok {
+		t.Error("all-NaN histogram reported a quantile")
+	}
+
+	torn := mustParse(t, `
+t_bucket{le="0.1"} 50
+t_bucket{le="1"} 3
+t_bucket{le="+Inf"} 5
+`)
+	q, ok := torn.Quantile("t", 0.99, nil)
+	if !ok || math.IsNaN(q) || q < 0 {
+		t.Errorf("torn histogram quantile = %v, %v; want finite non-negative", q, ok)
+	}
+	if _, ok := torn.Quantile("t", math.NaN(), nil); ok {
+		t.Error("NaN quantile rank reported ok")
+	}
+}

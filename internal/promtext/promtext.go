@@ -184,6 +184,90 @@ func (m Metrics) LabelValues(name, label string) []string {
 	return out
 }
 
+// Delta subtracts prev from cur sample-by-sample (matched on name and
+// full label set), the scrape-interval view dashboards like cube-top
+// render. Samples absent from prev pass through unchanged.
+//
+// Counter resets (a restarted server exposes counters that restarted
+// from zero) are handled group-wise: a histogram's buckets, _count, and
+// _sum form one series group, keyed by the family name and the label set
+// minus `le`. If any member of a group decreased since prev, the whole
+// group is treated as freshly reset and its current values become the
+// delta — the increments since the restart. Clamping members one at a
+// time instead would tear the group apart: some buckets at zero, others
+// not, a cumulative distribution that no longer is one, and a NaN or
+// negative quantile out of Quantile.
+func Delta(prev, cur Metrics) Metrics {
+	reset := map[string]bool{}
+	for name, samples := range cur {
+		for _, s := range samples {
+			if p, ok := lookup(prev[name], s.Labels); ok && s.Value < p {
+				reset[groupKey(name, s.Labels)] = true
+			}
+		}
+	}
+	out := Metrics{}
+	for name, samples := range cur {
+		for _, s := range samples {
+			d := s
+			if !reset[groupKey(name, s.Labels)] {
+				if p, ok := lookup(prev[name], s.Labels); ok {
+					d.Value = s.Value - p
+				}
+			}
+			out[name] = append(out[name], d)
+		}
+	}
+	return out
+}
+
+// groupKey names the reset domain of a sample: histogram members share
+// one key (family name + labels minus le), everything else stands alone.
+func groupKey(name string, labels map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_count", "_sum"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			name = base
+			break
+		}
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, k := range keys {
+		sb.WriteByte(0)
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+	}
+	return sb.String()
+}
+
+// lookup finds the sample with exactly the given label set.
+func lookup(samples []Sample, labels map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if len(s.Labels) != len(labels) {
+			continue
+		}
+		same := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
 // bucket is one cumulative histogram bucket.
 type bucket struct {
 	le    float64
@@ -202,7 +286,7 @@ func (m Metrics) Quantile(name string, q float64, want map[string]string) (float
 		// ParseFloat accepts "+Inf", so the overflow bucket needs no
 		// special case here.
 		le, err := strconv.ParseFloat(s.Labels["le"], 64)
-		if err != nil || !s.matches(want) {
+		if err != nil || !s.matches(want) || math.IsNaN(s.Value) {
 			continue
 		}
 		byLE[le] += s.Value
@@ -215,8 +299,19 @@ func (m Metrics) Quantile(name string, q float64, want map[string]string) (float
 		buckets = append(buckets, bucket{le, c})
 	}
 	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	// Cumulative bucket counts must be non-decreasing in le; a torn scrape
+	// (e.g. a counter reset mid-exposition) can violate that and would
+	// otherwise interpolate to a negative or nonsensical quantile. Restore
+	// monotonicity with a running max, as PromQL does.
+	var running float64
+	for i := range buckets {
+		if buckets[i].count < running {
+			buckets[i].count = running
+		}
+		running = buckets[i].count
+	}
 	total := buckets[len(buckets)-1].count
-	if total == 0 {
+	if total <= 0 || math.IsNaN(q) {
 		return 0, false
 	}
 	rank := q * total

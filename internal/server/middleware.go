@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cube/internal/cubexml"
+	"cube/internal/expr"
 	"cube/internal/obs"
 	"cube/internal/store"
 )
@@ -36,6 +37,20 @@ type Config struct {
 	// from a cached parse instead of re-decoding the XML. The budget
 	// counts operand input bytes; zero disables the cache.
 	ParseCacheBytes int64
+
+	// ExprCacheBytes is the byte budget of the expression-digest result
+	// cache behind POST /expr: evaluated subexpressions, keyed by
+	// canonical expression digest × evaluation options, are served as
+	// clones instead of re-running kernels. The budget counts an estimate
+	// of resident result size; zero disables the cache (every expression
+	// recomputes).
+	ExprCacheBytes int64
+
+	// MaxExprNodes / MaxExprDepth bound the expression documents POST
+	// /expr accepts (denial-of-service guards). Zero selects the
+	// expr.DefaultLimits values.
+	MaxExprNodes int
+	MaxExprDepth int
 
 	// ReadEngine selects the cubexml parser for operand decoding
 	// (EngineAuto by default); cube-server -read-engine=legacy is the
@@ -129,6 +144,7 @@ func DefaultConfig() *Config {
 		RetryAfter:        1 * time.Second,
 		XML:               cubexml.DefaultLimits,
 		ParseCacheBytes:   256 << 20,
+		ExprCacheBytes:    128 << 20,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      2 * time.Minute,
@@ -151,6 +167,15 @@ func (c *Config) Validate() error {
 	}
 	if c.ParseCacheBytes < 0 {
 		return fmt.Errorf("server: parse cache budget %d is negative", c.ParseCacheBytes)
+	}
+	if c.ExprCacheBytes < 0 {
+		return fmt.Errorf("server: expression cache budget %d is negative", c.ExprCacheBytes)
+	}
+	if c.MaxExprNodes < 0 {
+		return fmt.Errorf("server: expression node limit %d is negative", c.MaxExprNodes)
+	}
+	if c.MaxExprDepth < 0 {
+		return fmt.Errorf("server: expression depth limit %d is negative", c.MaxExprDepth)
 	}
 	if c.EventRingSize < 0 {
 		return fmt.Errorf("server: event ring size %d is negative", c.EventRingSize)
@@ -181,6 +206,7 @@ type service struct {
 	reg    *obs.Registry   // resolved metrics registry (may be nil in bare tests)
 	tracer *obs.Tracer     // request tracer (nil unless configured)
 	cache  *parseCache     // content-addressed operand cache (nil when disabled)
+	expr   *expr.Engine    // expression evaluation engine (POST /expr)
 	events *obs.EventSink  // wide-event ring; every request emits exactly one
 	slo    *obs.SLOTracker // windowed SLO burn tracker (nil unless configured)
 }
@@ -295,7 +321,7 @@ func routeLabel(path string) string {
 	switch {
 	case strings.HasPrefix(path, "/op/"):
 		return "/op/{op}"
-	case path == "/view", path == "/report", path == "/info", path == "/healthz",
+	case path == "/expr", path == "/view", path == "/report", path == "/info", path == "/healthz",
 		path == "/readyz", path == "/metrics", path == "/debug/vars",
 		path == "/debug/events", path == "/debug/store", path == "/debug/slo":
 		return path

@@ -33,6 +33,7 @@ import (
 	"cube/internal/core"
 	"cube/internal/cubexml"
 	"cube/internal/display"
+	"cube/internal/expr"
 	"cube/internal/obs"
 	"cube/internal/report"
 	"cube/internal/store"
@@ -54,6 +55,12 @@ var errTooLarge = errors.New("request exceeds limits")
 //	POST /op/{flatten|prune|extract}
 //	    one "operand"; prune: ?metric=<path>&threshold=<frac>;
 //	    extract: repeated ?metric=<path>.
+//	POST /expr
+//	    evaluate a whole algebra DAG server-side: an application/json
+//	    body (or a multipart "expr" field plus ordered "operand" files)
+//	    carrying {"op":...,"args":[...]} nodes with digest:/operand:
+//	    leaves. Identical subtrees evaluate once and results are served
+//	    from the expression-digest cache on repeat. See expr.go.
 //	POST /view
 //	    one "operand"; ?metric=<name>&mode=absolute|percent&flat=1.
 //	    Response: the text rendering of the three-tree display.
@@ -104,6 +111,7 @@ func NewHandler(cfg *Config) http.Handler {
 	if cfg.ParseCacheBytes > 0 {
 		s.cache = newParseCache(cfg.ParseCacheBytes, cfg.XML, cfg.ReadEngine, s.reg)
 	}
+	s.expr = expr.NewEngine(expr.Config{CacheBytes: cfg.ExprCacheBytes, Metrics: s.reg})
 	core.Instrument(s.reg)
 	cubexml.Instrument(s.reg)
 	s.events = cfg.Events
@@ -143,6 +151,7 @@ func NewHandler(cfg *Config) http.Handler {
 		mux.HandleFunc("GET /experiments/{digest}", s.handleExperimentGet)
 	}
 	mux.HandleFunc("POST /op/{op}", s.handleOp)
+	mux.HandleFunc("POST /expr", s.handleExpr)
 	mux.HandleFunc("POST /view", s.handleView)
 	mux.HandleFunc("POST /report", s.handleReport)
 	mux.HandleFunc("POST /info", s.handleInfo)

@@ -62,8 +62,12 @@ type storeMissError struct {
 }
 
 func (e *storeMissError) Error() string {
-	return fmt.Sprintf("operand %d: experiment %s is not in the store (upload it with PUT /experiments/%s)",
-		e.operand, e.digest, e.digest)
+	who := fmt.Sprintf("operand %d", e.operand)
+	if e.operand < 0 {
+		who = "expression leaf"
+	}
+	return fmt.Sprintf("%s: experiment %s is not in the store (upload it with PUT /experiments/%s)",
+		who, e.digest, e.digest)
 }
 
 // resolveDigestOperand turns a digest reference into a parsed experiment:
