@@ -10,7 +10,7 @@ GO ?= go
 BENCH_PATTERN ?= .
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 
-.PHONY: build test vet race bench bench-json bench-io bench-expr bench-smoke trace-smoke obs-smoke expr-smoke check
+.PHONY: build test vet race bench bench-json bench-io bench-expr bench-self bench-smoke trace-smoke obs-smoke expr-smoke self-smoke check
 
 build:
 	$(GO) build ./...
@@ -93,5 +93,22 @@ obs-smoke:
 # and a pure result-cache hit on replay. See internal/cli/exprsmoke.
 expr-smoke:
 	$(GO) run ./internal/cli/exprsmoke
+
+# End-to-end self-telemetry smoke: an in-process server + store takes
+# two snapshots of itself around a burst of operator traffic, the
+# snapshots parse back as schema-valid CUBE XML, and the server-side
+# Difference of the two runs localizes the burst in the request and
+# operator counters. See internal/cli/selfsmoke.
+self-smoke:
+	$(GO) run ./internal/cli/selfsmoke
+
+# Machine-readable self-telemetry benchmark record: the serving-path
+# overhead of a live snapshotter (off vs on sub-benchmarks in
+# internal/server). Writes BENCH_<date>-self.json.
+BENCH_SELF_OUT ?= BENCH_$(shell date +%F)-self.json
+
+bench-self:
+	$(GO) test -run='^$$' -bench='BenchmarkSelf' -benchmem -json ./internal/server > $(BENCH_SELF_OUT)
+	@echo wrote $(BENCH_SELF_OUT)
 
 check: vet build test race

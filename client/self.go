@@ -1,0 +1,72 @@
+package client
+
+// The self-telemetry client: read the server's run series (the snapshots
+// it takes of its own metrics, runtime estimates, and span taxonomy —
+// see cube-server -self-interval), trigger snapshots, and diff two runs
+// with the server's own Difference operator. The routes live under
+// /debug/self, so the server must run with -debug.
+//
+//	runs, _ := c.SelfSeries(ctx)
+//	d, _ := c.SelfDiff(ctx, runs.Runs[len(runs.Runs)-1].Digest, runs.Runs[0].Digest, nil)
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"cube"
+)
+
+// SelfRun is one self-snapshot in the server's run series.
+type SelfRun struct {
+	Seq    uint64 `json:"seq"`
+	Title  string `json:"title"`
+	Digest string `json:"digest"`
+	Bytes  int64  `json:"bytes"`
+	Time   string `json:"time"`
+}
+
+// SelfSeries is the GET /debug/self response: whether self-telemetry is
+// configured, the series name, and the retained runs (oldest first).
+type SelfSeries struct {
+	Enabled bool      `json:"enabled"`
+	Process string    `json:"process"`
+	Runs    []SelfRun `json:"runs"`
+}
+
+// SelfSeries fetches the server's self-telemetry run series.
+func (c *Client) SelfSeries(ctx context.Context) (SelfSeries, error) {
+	var s SelfSeries
+	data, err := c.do(ctx, http.MethodGet, "/debug/self", "", nil)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("decoding self series: %w", err)
+	}
+	return s, nil
+}
+
+// SelfSnapshot asks the server to take one self-snapshot now and returns
+// the new run.
+func (c *Client) SelfSnapshot(ctx context.Context) (SelfRun, error) {
+	var run SelfRun
+	data, err := c.do(ctx, http.MethodPost, "/debug/self/snapshot", "", nil)
+	if err != nil {
+		return run, err
+	}
+	if err := json.Unmarshal(data, &run); err != nil {
+		return run, fmt.Errorf("decoding self snapshot: %w", err)
+	}
+	return run, nil
+}
+
+// SelfDiff evaluates newer − older over two runs' digests server-side
+// (one POST /expr round trip; both blobs are already in the store, so no
+// experiment bytes travel to the server). The result's severities are the
+// between-runs deltas of every metric series, span self-time, and visit
+// count the snapshots share.
+func (c *Client) SelfDiff(ctx context.Context, newer, older string, opts *OpOptions) (*cube.Experiment, error) {
+	return c.Expr(ctx, DifferenceExpr(DigestRef(newer), DigestRef(older)), opts)
+}

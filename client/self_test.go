@@ -1,0 +1,99 @@
+package client
+
+// Acceptance test of the self-telemetry client verbs against the real
+// service: snapshot the server twice, list the series, and diff the two
+// runs server-side.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cube/internal/server"
+	"cube/internal/store"
+)
+
+// selfHandler builds the real service with store + manual self-telemetry.
+func selfHandler(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.DefaultConfig()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg.Store = st
+	cfg.Debug = true
+	cfg.SelfKeep = 4
+	srv := httptest.NewServer(server.NewHandler(cfg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSelfSnapshotSeriesDiff(t *testing.T) {
+	srv := selfHandler(t)
+	c := New(srv.URL, WithBackoff(time.Millisecond, 10*time.Millisecond))
+	ctx := context.Background()
+
+	before, err := c.SelfSeries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.Enabled || len(before.Runs) != 0 {
+		t.Fatalf("initial series = %+v, want enabled and empty", before)
+	}
+
+	run1, err := c.SelfSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic between the runs, so run2's request counters differ.
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	run2, err := c.SelfSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Seq != run1.Seq+1 {
+		t.Fatalf("seq did not advance: %d then %d", run1.Seq, run2.Seq)
+	}
+	if run1.Digest == "" || run1.Digest == run2.Digest {
+		t.Fatalf("digests %q / %q, want distinct non-empty", run1.Digest, run2.Digest)
+	}
+
+	series, err := c.SelfSeries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Runs) != 2 || series.Runs[1].Seq != run2.Seq {
+		t.Fatalf("series runs = %+v, want [run1 run2]", series.Runs)
+	}
+
+	d, err := c.SelfDiff(ctx, run2.Digest, run1.Digest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Derived || d.Operation != "difference" {
+		t.Errorf("diff = %q op %q, want a derived difference", d.Title, d.Operation)
+	}
+}
+
+func TestSelfSeriesDisabled(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg.Debug = true
+	srv := httptest.NewServer(server.NewHandler(cfg))
+	defer srv.Close()
+	c := New(srv.URL, WithBackoff(time.Millisecond, 10*time.Millisecond))
+	s, err := c.SelfSeries(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Enabled {
+		t.Error("self series reports enabled on an unconfigured server")
+	}
+}

@@ -1,0 +1,212 @@
+// Command cube-self works with a cube-server's self-telemetry run
+// series — the snapshots the server takes of its own metrics, Go
+// runtime estimates, and request-span taxonomy as CUBE experiments
+// (cube-server -store-dir ... -self-interval 1m -debug):
+//
+//	cube-self -addr http://localhost:7654 series
+//	cube-self -addr http://localhost:7654 snapshot
+//	cube-self -addr http://localhost:7654 diff -o regress.cube
+//
+// series lists the retained runs with digests; snapshot takes one on
+// demand; diff evaluates newer − older server-side with POST /expr
+// (by default the newest two runs; -a/-b select runs by sequence
+// number) and prints the metric series with the largest absolute
+// deltas — the self-observed regression report. -o additionally saves
+// the full derived experiment for cube-view / cube-info.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"cube"
+	"cube/client"
+	"cube/internal/cli"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: cube-self [flags] <verb> [verb flags]
+
+verbs:
+  series    list the server's retained self-snapshot runs
+  snapshot  take one self-snapshot now and print the new run
+  diff      diff two runs server-side (default: newest minus previous)
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:7654", "base URL of the cube-server (must run with -debug and a store)")
+	timeout := flag.Duration("timeout", 30*time.Second, "wall-clock budget for the whole command")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	c := client.New(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var err error
+	switch verb := flag.Arg(0); verb {
+	case "series":
+		err = runSeries(ctx, c)
+	case "snapshot":
+		err = runSnapshot(ctx, c)
+	case "diff":
+		err = runDiff(ctx, c, flag.Args()[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "cube-self: unknown verb %q\n", verb)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		cli.Fatal("cube-self", err)
+	}
+}
+
+// fetchSeries loads the run series and rejects servers that have
+// self-telemetry off, with a hint at the flags that turn it on.
+func fetchSeries(ctx context.Context, c *client.Client) (client.SelfSeries, error) {
+	s, err := c.SelfSeries(ctx)
+	if err != nil {
+		return s, err
+	}
+	if !s.Enabled {
+		return s, fmt.Errorf("self-telemetry is off on this server (run cube-server with -store-dir and -self-interval or -self-keep)")
+	}
+	return s, nil
+}
+
+func runSeries(ctx context.Context, c *client.Client) error {
+	s, err := fetchSeries(ctx, c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("process %s: %d runs retained\n", s.Process, len(s.Runs))
+	for _, r := range s.Runs {
+		fmt.Printf("  %6d  %-22s %8dB  %s  %s\n", r.Seq, r.Title, r.Bytes, r.Time, r.Digest)
+	}
+	return nil
+}
+
+func runSnapshot(ctx context.Context, c *client.Client) error {
+	run, err := c.SelfSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6d  %-22s %8dB  %s  %s\n", run.Seq, run.Title, run.Bytes, run.Time, run.Digest)
+	return nil
+}
+
+func runDiff(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("cube-self diff", flag.ExitOnError)
+	newer := fs.Uint64("a", 0, "sequence number of the minuend run (0 = newest)")
+	older := fs.Uint64("b", 0, "sequence number of the subtrahend run (0 = the run before -a)")
+	out := fs.String("o", "", "also write the derived experiment to this file")
+	top := fs.Int("top", 15, "metric series with the largest absolute deltas to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s, err := fetchSeries(ctx, c)
+	if err != nil {
+		return err
+	}
+	if len(s.Runs) < 2 {
+		return fmt.Errorf("need at least 2 retained runs to diff, server has %d", len(s.Runs))
+	}
+	a, err := pickRun(s.Runs, *newer, s.Runs[len(s.Runs)-1].Seq)
+	if err != nil {
+		return err
+	}
+	if *older == 0 && a.Seq == s.Runs[0].Seq {
+		return fmt.Errorf("run %d is the oldest retained; pick a minuend with -a", a.Seq)
+	}
+	b, err := pickRun(s.Runs, *older, a.Seq-1)
+	if err != nil {
+		return err
+	}
+
+	d, err := c.SelfDiff(ctx, a.Digest, b.Digest, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s − %s\n", a.Title, b.Title)
+	printTop(d, *top)
+	if *out != "" {
+		if err := cube.WriteFile(*out, d); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %s\n", *out, d.Title)
+	}
+	return nil
+}
+
+func pickRun(runs []client.SelfRun, seq, fallback uint64) (client.SelfRun, error) {
+	if seq == 0 {
+		seq = fallback
+	}
+	for _, r := range runs {
+		if r.Seq == seq {
+			return r, nil
+		}
+	}
+	return client.SelfRun{}, fmt.Errorf("run %d is not retained on the server (cube-self series lists what is)", seq)
+}
+
+// printTop ranks every metric in the diff by the absolute total of its
+// severities — the between-runs delta — and prints the movers. Leaf
+// names carry the series labels (route=..., status=...), so the report
+// reads directly as "which route/metric moved and by how much".
+func printTop(d *cube.Experiment, top int) {
+	type mover struct {
+		name  string
+		unit  string
+		delta float64
+	}
+	var movers []mover
+	for _, m := range d.Metrics() {
+		if len(m.Children()) > 0 {
+			continue // interior family node; the leaves carry the series
+		}
+		v := d.MetricTotal(m)
+		if v == 0 || math.IsNaN(v) {
+			continue
+		}
+		name := m.Name
+		if p := m.Parent(); p != nil {
+			name = p.Name + "{" + m.Name + "}"
+		}
+		movers = append(movers, mover{name: name, unit: string(m.Unit), delta: v})
+	}
+	sort.Slice(movers, func(i, j int) bool {
+		ai, aj := math.Abs(movers[i].delta), math.Abs(movers[j].delta)
+		if ai != aj {
+			return ai > aj
+		}
+		return movers[i].name < movers[j].name
+	})
+	if len(movers) == 0 {
+		fmt.Println("no metric changed between the runs")
+		return
+	}
+	if top > 0 && len(movers) > top {
+		fmt.Printf("top %d of %d changed series:\n", top, len(movers))
+		movers = movers[:top]
+	} else {
+		fmt.Printf("%d changed series:\n", len(movers))
+	}
+	for _, mv := range movers {
+		fmt.Printf("  %+14.6g %-12s %s\n", mv.delta, mv.unit, mv.name)
+	}
+}

@@ -50,6 +50,20 @@
 // reports the condition) and re-arms automatically once writes succeed
 // again. -digest-strict upgrades Content-Digest mismatches on uploads
 // from a logged anomaly to a 400 rejection.
+//
+// Self-telemetry: with -store-dir set, -self-interval 1m makes the server
+// snapshot its own metrics, Go runtime estimates, and request-span
+// taxonomy as a CUBE experiment every minute, committed to the store
+// under the run series self:cube-server:<seq> (the newest -self-keep
+// runs stay pinned). GET /debug/self lists the series with digests, GET
+// /debug/self/experiment.xml serves the newest snapshot, and POST
+// /debug/self/snapshot takes one on demand — so the server's own history
+// is analysed with its own algebra:
+//
+//	cube-diff -server http://localhost:7654 digest:<new> digest:<old>
+//
+// or any POST /expr DAG over the series. The cube-self command wraps the
+// snapshot/series/diff workflow.
 package main
 
 import (
@@ -109,6 +123,10 @@ func main() {
 		"directory of the durable content-addressed experiment store (empty = disabled)")
 	storeMB := flag.Int64("store-mb", 1024,
 		"byte budget (MiB) of the experiment store; LRU eviction above it (0 = unlimited)")
+	flag.DurationVar(&cfg.SelfInterval, "self-interval", 0,
+		"period between self-telemetry snapshots committed to the store (0 = off; needs -store-dir)")
+	flag.IntVar(&cfg.SelfKeep, "self-keep", 0,
+		"self-telemetry runs kept pinned in the store (0 = default 32)")
 	flag.BoolVar(&cfg.DigestStrict, "digest-strict", false,
 		"reject uploads whose Content-Digest header mismatches the received bytes (default: log and count only)")
 	readEngine := flag.String("read-engine", "auto", "CUBE XML parser: auto | fast | legacy")
@@ -118,9 +136,6 @@ func main() {
 	cfg.ExprCacheBytes = *exprCacheMB << 20
 	var err error
 	if cfg.ReadEngine, err = cubexml.ParseReadEngine(*readEngine); err != nil {
-		cli.Fatal("cube-server", err)
-	}
-	if err := cfg.Validate(); err != nil {
 		cli.Fatal("cube-server", err)
 	}
 
@@ -157,6 +172,12 @@ func main() {
 			slog.Int("blobs", st.Len()),
 			slog.Int64("bytes", st.Bytes()),
 			slog.Int("quarantined", st.Recovery.Quarantined))
+	}
+
+	// Validated after the store opens: the self-telemetry flags need
+	// Config.Store to judge -self-interval/-self-keep without -store-dir.
+	if err := cfg.Validate(); err != nil {
+		cli.Fatal("cube-server", err)
 	}
 
 	// Bind before logging so the address printed is the one actually

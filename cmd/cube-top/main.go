@@ -13,6 +13,12 @@
 // last -interval, not the process lifetime. -once prints a single frame
 // from cumulative counters and exits (useful in scripts and for
 // snapshotting an incident).
+//
+// cube-top outlives the server it watches: before the first successful
+// scrape it waits and retries (a note per attempt on stderr), and when a
+// later scrape fails it keeps the last good frame on screen under a
+// "STALE DATA" banner and keeps retrying every -interval until the
+// server answers again. Only -once fails fast.
 package main
 
 import (
@@ -82,27 +88,50 @@ func main() {
 	base := strings.TrimRight(*addr, "/")
 	client := &http.Client{Timeout: 10 * time.Second}
 
-	cur, err := poll(client, base)
+	cur, err := firstSample(client, base, *interval, *once, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cube-top: %v\n", err)
 		os.Exit(1)
 	}
 	if *once {
-		render(os.Stdout, nil, cur, 0)
+		render(os.Stdout, nil, cur, 0, "")
 		return
 	}
 	prev := cur
 	for {
 		time.Sleep(*interval)
-		cur, err = poll(client, base)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cube-top: %v\n", err)
-			continue
-		}
+		next, err := poll(client, base)
 		// Clear and home before each frame, like top(1).
 		fmt.Print("\x1b[2J\x1b[H")
-		render(os.Stdout, prev, cur, cur.at.Sub(prev.at))
-		prev = cur
+		if err != nil {
+			// Transient scrape failure (server restarting, network blip):
+			// keep the last good frame on screen under a STALE banner and
+			// keep retrying, instead of tearing the display or exiting.
+			render(os.Stdout, prev, cur, cur.at.Sub(prev.at),
+				fmt.Sprintf("last scrape %s ago: %v", time.Since(cur.at).Round(time.Second), err))
+			continue
+		}
+		render(os.Stdout, cur, next, next.at.Sub(cur.at), "")
+		prev, cur = cur, next
+	}
+}
+
+// firstSample polls until the first scrape succeeds — cube-top is often
+// started before or alongside the server it watches, so a refused
+// connection at startup is a note and a retry, not an exit. failFast
+// (the -once path) returns the first error instead, keeping scripts
+// deterministic.
+func firstSample(client *http.Client, base string, interval time.Duration, failFast bool, errw io.Writer) (*sample, error) {
+	for {
+		s, err := poll(client, base)
+		if err == nil {
+			return s, nil
+		}
+		if failFast {
+			return nil, err
+		}
+		fmt.Fprintf(errw, "cube-top: waiting for first scrape: %v\n", err)
+		time.Sleep(interval)
 	}
 }
 
@@ -168,8 +197,10 @@ func delta(prev, cur promtext.Metrics) promtext.Metrics {
 
 // render writes one frame. With prev == nil (the -once path) counters
 // are cumulative and rates are omitted; otherwise counters are deltas
-// over the given interval.
-func render(w io.Writer, prev *sample, cur *sample, interval time.Duration) {
+// over the given interval. A non-empty stale reason means the frame is
+// a re-render of the last good scrape after a poll failure; the banner
+// says so instead of letting old numbers pass as current.
+func render(w io.Writer, prev *sample, cur *sample, interval time.Duration, stale string) {
 	m := cur.metrics
 	mode := "totals since start"
 	if prev != nil {
@@ -177,7 +208,11 @@ func render(w io.Writer, prev *sample, cur *sample, interval time.Duration) {
 		mode = fmt.Sprintf("last %s", interval.Round(time.Millisecond))
 	}
 
-	fmt.Fprintf(w, "cube-top  %s  (%s)\n\n", cur.at.Format(time.RFC3339), mode)
+	fmt.Fprintf(w, "cube-top  %s  (%s)\n", cur.at.Format(time.RFC3339), mode)
+	if stale != "" {
+		fmt.Fprintf(w, "** STALE DATA — %s; retrying **\n", stale)
+	}
+	fmt.Fprintln(w)
 
 	// Requests: one roll-up line, then a per-route table.
 	total := m.Sum("cube_http_requests_total", nil)

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -78,7 +80,7 @@ func TestRenderDeltaFrame(t *testing.T) {
 	cur.at = prev.at.Add(10 * time.Second)
 
 	var sb strings.Builder
-	render(&sb, prev, cur, 10*time.Second)
+	render(&sb, prev, cur, 10*time.Second, "")
 	frame := sb.String()
 
 	for _, w := range []string{
@@ -116,7 +118,7 @@ func TestRenderOnceFrame(t *testing.T) {
 	defer srv.Close()
 	cur := mustPoll(t, srv.URL)
 	var sb strings.Builder
-	render(&sb, nil, cur, 0)
+	render(&sb, nil, cur, 0, "")
 	frame := sb.String()
 	for _, w := range []string{"totals since start", "102 req", "hit 80.0%"} {
 		if !strings.Contains(frame, w) {
@@ -138,12 +140,70 @@ func TestRenderWithoutDebug(t *testing.T) {
 		t.Fatalf("notes = %v, want two degradation notes", cur.notes)
 	}
 	var sb strings.Builder
-	render(&sb, nil, cur, 0)
+	render(&sb, nil, cur, 0, "")
 	frame := sb.String()
 	for _, w := range []string{"slo       (unavailable)", "store     (unavailable)", "/op/{op}"} {
 		if !strings.Contains(frame, w) {
 			t.Errorf("frame missing %q:\n%s", w, frame)
 		}
+	}
+}
+
+// TestRenderStaleBanner: a re-rendered frame after a failed poll must
+// announce itself as stale instead of letting old numbers pass as live.
+func TestRenderStaleBanner(t *testing.T) {
+	srv := testServer(metricsT0, true)
+	defer srv.Close()
+	cur := mustPoll(t, srv.URL)
+	var sb strings.Builder
+	render(&sb, nil, cur, 0, "last scrape 6s ago: connection refused")
+	frame := sb.String()
+	for _, w := range []string{
+		"** STALE DATA — last scrape 6s ago: connection refused; retrying **",
+		"/op/{op}", // the old frame still renders under the banner
+	} {
+		if !strings.Contains(frame, w) {
+			t.Errorf("stale frame missing %q:\n%s", w, frame)
+		}
+	}
+	var live strings.Builder
+	render(&live, nil, cur, 0, "")
+	if strings.Contains(live.String(), "STALE") {
+		t.Error("live frame carries a stale banner")
+	}
+}
+
+// TestFirstSampleRetries: a server that is not up yet is a wait-and-note,
+// not an exit — except under -once, which stays fail-fast for scripts.
+func TestFirstSampleRetries(t *testing.T) {
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "starting up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(metricsT0))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var notes strings.Builder
+	s, err := firstSample(http.DefaultClient, srv.URL, time.Millisecond, false, &notes)
+	if err != nil || s == nil {
+		t.Fatalf("firstSample = %v, %v; want a sample after retries", s, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("scrape attempts = %d, want 3", got)
+	}
+	if n := strings.Count(notes.String(), "waiting for first scrape"); n != 2 {
+		t.Errorf("stderr notes = %d, want 2:\n%s", n, notes.String())
+	}
+
+	// -once against a still-failing server: first error straight back.
+	calls.Store(-100)
+	if _, err := firstSample(http.DefaultClient, srv.URL, time.Millisecond, true, io.Discard); err == nil {
+		t.Error("fail-fast firstSample returned nil error from a 503 server")
 	}
 }
 

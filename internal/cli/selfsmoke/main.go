@@ -1,0 +1,167 @@
+// Command selfsmoke is the assertion half of `make self-smoke`: it
+// stands up an in-process cube-server with a store, drives operator
+// traffic, takes two self-telemetry snapshots around a second burst of
+// traffic, and then checks the closed loop from the outside, the way an
+// operator would:
+//
+//   - both snapshots land in the run series with distinct digests and
+//     parse back as schema-valid CUBE XML (Validate passes),
+//   - the server-side Difference of the two runs (one POST /expr with
+//     digest: leaves) is nonzero exactly where the between-runs traffic
+//     went: the request counter for the operator route moved by the
+//     number of requests driven between the snapshots,
+//   - GET /debug/self/experiment.xml serves the newest snapshot.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"cube"
+	"cube/client"
+	"cube/internal/cubexml"
+	"cube/internal/obs"
+	"cube/internal/server"
+	"cube/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "selfsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("selfsmoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "selfsmoke-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	cfg := server.DefaultConfig()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Store = st
+	cfg.Debug = true
+	cfg.SelfKeep = 8
+	cfg.SelfProcess = "selfsmoke"
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	srv := httptest.NewServer(server.NewHandler(cfg))
+	defer srv.Close()
+
+	ctx := context.Background()
+	cl := client.New(srv.URL)
+	a, b := buildExp("smoke-a", 3), buildExp("smoke-b", 1)
+
+	// Warm-up traffic, then the baseline snapshot.
+	if _, err := cl.Sum(ctx, nil, a, b); err != nil {
+		return err
+	}
+	run1, err := cl.SelfSnapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("first snapshot: %w", err)
+	}
+
+	// The between-runs burst the diff must localize.
+	const burst = 5
+	for i := 0; i < burst; i++ {
+		if _, err := cl.Difference(ctx, a, b, nil); err != nil {
+			return err
+		}
+	}
+	run2, err := cl.SelfSnapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("second snapshot: %w", err)
+	}
+	if run2.Seq != run1.Seq+1 || run1.Digest == run2.Digest {
+		return fmt.Errorf("runs did not advance: %+v then %+v", run1, run2)
+	}
+
+	// Both runs are retained and the newest is served as XML that parses
+	// and validates.
+	series, err := cl.SelfSeries(ctx)
+	if err != nil {
+		return err
+	}
+	if !series.Enabled || len(series.Runs) != 2 {
+		return fmt.Errorf("series = %+v, want 2 retained runs", series)
+	}
+	latest, err := fetchLatest(ctx, srv.URL)
+	if err != nil {
+		return err
+	}
+	if latest.Title != run2.Title {
+		return fmt.Errorf("experiment.xml is %q, want the newest run %q", latest.Title, run2.Title)
+	}
+	if err := latest.Validate(); err != nil {
+		return fmt.Errorf("newest snapshot fails validation: %w", err)
+	}
+
+	// The server diffs its own history: run2 − run1 via POST /expr.
+	d, err := cl.SelfDiff(ctx, run2.Digest, run1.Digest, nil)
+	if err != nil {
+		return fmt.Errorf("self diff: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("diff fails validation: %w", err)
+	}
+	reqs := familyTotal(d, "cube_http_requests_total")
+	if reqs < burst {
+		return fmt.Errorf("request-counter delta = %v, want >= %d (the between-runs burst)", reqs, burst)
+	}
+	if familyTotal(d, "cube_op_invocations_total") < burst {
+		return fmt.Errorf("operator-invocation delta < %d: the burst is invisible in the diff", burst)
+	}
+	return nil
+}
+
+// familyTotal sums the between-runs delta over every series of one
+// metric family in the diff.
+func familyTotal(e *cube.Experiment, family string) float64 {
+	for _, root := range e.MetricRoots() {
+		if root.Name == family {
+			return e.MetricInclusive(root)
+		}
+	}
+	return 0
+}
+
+// fetchLatest downloads and parses GET /debug/self/experiment.xml.
+func fetchLatest(ctx context.Context, base string) (*cube.Experiment, error) {
+	resp, err := http.Get(base + "/debug/self/experiment.xml")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("experiment.xml: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return cubexml.ReadBytes(ctx, data, cubexml.ReadOptions{})
+}
+
+// buildExp makes a minimal single-metric experiment so the operator
+// endpoints have real work to do.
+func buildExp(title string, seed float64) *cube.Experiment {
+	e := cube.New(title)
+	m := e.NewMetric("Time", cube.Seconds, "")
+	root := e.NewCallRoot(e.NewCallSite("", 0, e.NewRegion("main", "app", 0, 0)))
+	for i, th := range e.SingleThreadedSystem("m", 1, 4) {
+		e.SetSeverity(m, root, th, seed+float64(i))
+	}
+	return e
+}

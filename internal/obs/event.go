@@ -34,7 +34,7 @@ import (
 // The field-by-field catalog lives in the README's Observability section.
 type EventFields struct {
 	// Identity.
-	Kind      string `json:"kind"`                 // "http" | "client" | "cli" | "store"
+	Kind      string `json:"kind"`                 // "http" | "client" | "cli" | "store" | "self"
 	Time      string `json:"time"`                 // RFC3339Nano UTC start of the unit of work
 	RequestID string `json:"request_id,omitempty"` // X-Request-ID (HTTP, client)
 	TraceID   string `json:"trace_id,omitempty"`   // trace ID when the unit was traced
@@ -101,7 +101,7 @@ func ValidateEvent(f *EventFields) error {
 		return fmt.Errorf("event: nil")
 	}
 	switch f.Kind {
-	case "http", "client", "cli", "store":
+	case "http", "client", "cli", "store", "self":
 	default:
 		return fmt.Errorf("event: unknown kind %q", f.Kind)
 	}
@@ -139,6 +139,12 @@ func ValidateEvent(f *EventFields) error {
 	case "store":
 		if !storeEventNames[f.StoreEvent] {
 			return fmt.Errorf("event: store event with store_event %q", f.StoreEvent)
+		}
+	case "self":
+		// Self-telemetry snapshots (internal/selfcube): route names the
+		// operation, e.g. "self.snapshot".
+		if f.Route == "" {
+			return fmt.Errorf("event: self event without route")
 		}
 	}
 	return nil

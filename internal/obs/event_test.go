@@ -345,3 +345,57 @@ func TestContextWithEvent(t *testing.T) {
 		t.Errorf("EventFromContext after nil carry = %p, want nil", got)
 	}
 }
+
+// TestEventNDJSONOrderAfterWraparound: once the ring has lapped, the
+// NDJSON dump must still read oldest-to-newest — the wrap point in the
+// backing array must not show as a seam in the output.
+func TestEventNDJSONOrderAfterWraparound(t *testing.T) {
+	sink := NewEventSink(4)
+	for i := 0; i < 11; i++ { // 11 emits into 4 slots: 7 overwrites, seam mid-array
+		ev := sink.NewEvent("http", fmt.Sprintf("/r%02d", i))
+		ev.SetStatus(200)
+		ev.Emit()
+	}
+	if got := sink.Total(); got != 11 {
+		t.Fatalf("Total = %d, want 11 (overwritten events still counted)", got)
+	}
+
+	var buf bytes.Buffer
+	n, err := sink.WriteNDJSON(&buf, EventFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("wrote %d lines, want the 4 retained", n)
+	}
+	var routes, times []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var f EventFields
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatal(err)
+		}
+		routes = append(routes, f.Route)
+		times = append(times, f.Time)
+	}
+	want := []string{"/r07", "/r08", "/r09", "/r10"}
+	for i := range want {
+		if routes[i] != want[i] {
+			t.Fatalf("dump order = %v, want %v (oldest first across the wrap)", routes, want)
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Errorf("timestamps go backwards at line %d: %v", i, times)
+		}
+	}
+
+	// Limit composes with the wrap: the newest two, still in order.
+	buf.Reset()
+	sink.WriteNDJSON(&buf, EventFilter{Limit: 2})
+	out := strings.TrimSpace(buf.String())
+	lines := strings.Split(out, "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "/r09") || !strings.Contains(lines[1], "/r10") {
+		t.Errorf("Limit=2 after wrap kept %q, want /r09 then /r10", out)
+	}
+}

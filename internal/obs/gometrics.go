@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// Go runtime telemetry: GoRuntimeSampler projects the stdlib
+// runtime/metrics estimates into the registry as cube_go_* series, so GC
+// pauses, scheduler latency, and heap pressure appear on /metrics next to
+// the request metrics (until now only the expvar JSON snapshot carried a
+// runtime.ReadMemStats dump). The runtime exposes its distributions as
+// cumulative Float64Histograms with its own bucket layout; Sample replays
+// the per-bucket count deltas since the previous call into fixed-bucket
+// obs histograms at the bucket midpoints (Histogram.ObserveN), which keeps
+// the exposition format, Delta semantics in promtext, and the selfcube
+// projection identical to every hand-instrumented histogram.
+
+// GoRuntimeBuckets is the bucket layout of the replayed runtime
+// distributions. GC pauses and scheduler latencies live well below the
+// request-latency range, so the layout starts at 1µs rather than
+// DefLatencyBuckets' 100µs.
+var GoRuntimeBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 1,
+}
+
+type goKind int
+
+const (
+	goGauge goKind = iota
+	goCounter
+	goHistogram
+)
+
+// goSpec maps one runtime/metrics name onto one registry series and holds
+// the per-series replay state (previous cumulative readings).
+type goSpec struct {
+	kind goKind
+	name string // registry series name
+
+	prevCount int64    // counters: last cumulative reading
+	prevHist  []uint64 // histograms: last cumulative bucket counts
+}
+
+// GoRuntimeSampler reads a fixed set of runtime/metrics samples and
+// updates the corresponding cube_go_* series. Construct once per registry
+// and call Sample whenever fresh numbers are wanted (the server does it on
+// every /metrics scrape and before each self-telemetry snapshot); Sample
+// is cheap (one metrics.Read over ~8 samples) and safe for concurrent use.
+type GoRuntimeSampler struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	samples []metrics.Sample
+	specs   []*goSpec
+}
+
+// NewGoRuntimeSampler returns a sampler feeding reg. Runtime metrics the
+// running toolchain does not provide are silently skipped, so the mapping
+// can prefer newer metric names with older spellings as fallbacks.
+func NewGoRuntimeSampler(reg *Registry) *GoRuntimeSampler {
+	have := map[string]bool{}
+	for _, d := range metrics.All() {
+		have[d.Name] = true
+	}
+	g := &GoRuntimeSampler{reg: reg}
+	add := func(runtimeName, seriesName string, kind goKind) bool {
+		if !have[runtimeName] {
+			return false
+		}
+		g.samples = append(g.samples, metrics.Sample{Name: runtimeName})
+		g.specs = append(g.specs, &goSpec{kind: kind, name: seriesName})
+		return true
+	}
+	add("/memory/classes/heap/objects:bytes", "cube_go_heap_alloc_bytes", goGauge)
+	add("/gc/heap/live:bytes", "cube_go_heap_live_bytes", goGauge)
+	add("/memory/classes/total:bytes", "cube_go_mem_total_bytes", goGauge)
+	add("/sched/goroutines:goroutines", "cube_go_goroutines", goGauge)
+	add("/sched/gomaxprocs:threads", "cube_go_gomaxprocs", goGauge)
+	add("/gc/cycles/total:gc-cycles", "cube_go_gc_cycles_total", goCounter)
+	// /sched/pauses/total/gc:seconds superseded /gc/pauses:seconds in Go
+	// 1.22; keep the old name as the fallback spelling.
+	if !add("/sched/pauses/total/gc:seconds", "cube_go_gc_pause_seconds", goHistogram) {
+		add("/gc/pauses:seconds", "cube_go_gc_pause_seconds", goHistogram)
+	}
+	add("/sched/latencies:seconds", "cube_go_sched_latency_seconds", goHistogram)
+	return g
+}
+
+// Sample reads the runtime metrics once and updates the registry: gauges
+// are set to the current reading, counters advance by the cumulative
+// delta, and histograms replay the per-bucket count deltas. The first
+// Sample replays the process-lifetime history, so a first scrape already
+// sees cumulative totals, matching counter semantics.
+func (g *GoRuntimeSampler) Sample() {
+	if g == nil || g.reg == nil || len(g.samples) == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	metrics.Read(g.samples)
+	for i, sp := range g.specs {
+		v := g.samples[i].Value
+		switch sp.kind {
+		case goGauge:
+			g.reg.Gauge(sp.name).Set(goValueInt64(v))
+		case goCounter:
+			cur := goValueInt64(v)
+			if d := cur - sp.prevCount; d > 0 {
+				g.reg.Counter(sp.name).Add(d)
+			}
+			sp.prevCount = cur
+		case goHistogram:
+			if h := v.Float64Histogram(); h != nil {
+				g.replayHistogram(sp, h)
+			}
+		}
+	}
+}
+
+// goValueInt64 converts a runtime metric reading to int64 for gauges and
+// counters (the runtime reports Uint64 or Float64 depending on the metric).
+func goValueInt64(v metrics.Value) int64 {
+	switch v.Kind() {
+	case metrics.KindUint64:
+		u := v.Uint64()
+		if u > math.MaxInt64 {
+			return math.MaxInt64
+		}
+		return int64(u)
+	case metrics.KindFloat64:
+		return int64(v.Float64())
+	}
+	return 0
+}
+
+// replayHistogram feeds the cumulative runtime histogram's growth since the
+// previous sample into the registry histogram, one ObserveN per grown
+// bucket at the bucket's midpoint. A bucket-layout change (possible across
+// runtime-internal reconfiguration) resets the baseline rather than
+// replaying garbage deltas.
+func (g *GoRuntimeSampler) replayHistogram(sp *goSpec, h *metrics.Float64Histogram) {
+	if len(sp.prevHist) != len(h.Counts) {
+		sp.prevHist = make([]uint64, len(h.Counts))
+	}
+	out := g.reg.Histogram(sp.name, GoRuntimeBuckets)
+	for i, c := range h.Counts {
+		if c > sp.prevHist[i] {
+			out.ObserveN(goBucketMid(h.Buckets[i], h.Buckets[i+1]), int64(c-sp.prevHist[i]))
+		}
+		sp.prevHist[i] = c
+	}
+}
+
+// goBucketMid picks the representative value of a runtime histogram bucket
+// (lo, hi]: the midpoint, or the finite edge when the other is infinite.
+func goBucketMid(lo, hi float64) float64 {
+	loInf, hiInf := math.IsInf(lo, 0), math.IsInf(hi, 0)
+	switch {
+	case loInf && hiInf:
+		return 0
+	case loInf:
+		return hi
+	case hiInf:
+		return lo
+	}
+	return lo + (hi-lo)/2
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestObserveN(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	h.ObserveN(0.5, 3)
+	h.ObserveN(5, 2)
+	h.ObserveN(100, 1)
+	h.ObserveN(1, -4) // no-op
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 0.5*3+5*2+100; got != want {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+	for i, want := range []int64{3, 2, 1} {
+		if got := h.counts[i].Load(); got != want {
+			t.Fatalf("bucket %d count = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestGoRuntimeSamplerGauges(t *testing.T) {
+	reg := NewRegistry()
+	g := NewGoRuntimeSampler(reg)
+	g.Sample()
+	if v := reg.Gauge("cube_go_heap_alloc_bytes").Value(); v <= 0 {
+		t.Errorf("cube_go_heap_alloc_bytes = %d, want > 0", v)
+	}
+	if v := reg.Gauge("cube_go_goroutines").Value(); v <= 0 {
+		t.Errorf("cube_go_goroutines = %d, want > 0", v)
+	}
+	if v := reg.Gauge("cube_go_gomaxprocs").Value(); v <= 0 {
+		t.Errorf("cube_go_gomaxprocs = %d, want > 0", v)
+	}
+}
+
+func TestGoRuntimeSamplerGCDeltas(t *testing.T) {
+	reg := NewRegistry()
+	g := NewGoRuntimeSampler(reg)
+	g.Sample()
+	before := reg.CounterValue("cube_go_gc_cycles_total")
+	runtime.GC()
+	runtime.GC()
+	g.Sample()
+	after := reg.CounterValue("cube_go_gc_cycles_total")
+	if after < before+2 {
+		t.Errorf("gc cycles went %d -> %d, want +2 at least", before, after)
+	}
+	// Two forced GCs must have recorded pauses in the replayed histogram.
+	var pauses int64
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == "cube_go_gc_pause_seconds" {
+			pauses = h.Count
+			if math.IsNaN(h.Sum) || h.Sum < 0 {
+				t.Errorf("pause sum = %g, want finite >= 0", h.Sum)
+			}
+		}
+	}
+	if pauses <= 0 {
+		t.Errorf("cube_go_gc_pause_seconds count = %d, want > 0 after forced GC", pauses)
+	}
+}
+
+func TestGoRuntimeSamplerExposition(t *testing.T) {
+	reg := NewRegistry()
+	NewGoRuntimeSampler(reg).Sample()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cube_go_heap_alloc_bytes", "cube_go_goroutines", "cube_go_gc_pause_seconds_bucket"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("/metrics exposition missing %s", want)
+		}
+	}
+}
+
+func TestGoBucketMid(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct{ lo, hi, want float64 }{
+		{1, 3, 2},
+		{math.Inf(-1), 4, 4},
+		{2, inf, 2},
+		{math.Inf(-1), inf, 0},
+	}
+	for _, c := range cases {
+		if got := goBucketMid(c.lo, c.hi); got != c.want {
+			t.Errorf("goBucketMid(%g, %g) = %g, want %g", c.lo, c.hi, got, c.want)
+		}
+	}
+}

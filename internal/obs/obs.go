@@ -132,6 +132,23 @@ func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	}
 }
 
+// ObserveN records n identical observations of v in one update — the bulk
+// path for replaying externally aggregated histograms (the Go runtime's GC
+// pause and scheduler latency distributions, gometrics.go) without O(n)
+// per-sample loops. n <= 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * float64(n))
+}
+
 func (h *Histogram) observe(v float64) int {
 	// Buckets are few (tens); linear scan beats binary search at this size
 	// and keeps the code branch-predictable.

@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"syscall"
 	"testing"
@@ -470,5 +471,72 @@ func TestSLOEndToEnd(t *testing.T) {
 	body := readAll(t, mresp)
 	if !strings.Contains(body, "cube_slo_availability_burn_ppm") {
 		t.Errorf("metrics exposition missing cube_slo_availability_burn_ppm:\n%.400s", body)
+	}
+}
+
+// TestDebugEventsCombinedFilters: kind, route, status, and
+// min_duration_ms given together must intersect — of four requests that
+// each match some of the filters, only the slow successful operator
+// request matches all of them.
+func TestDebugEventsCombinedFilters(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Debug = true
+	sink := obs.NewEventSink(32)
+	cfg.Events = sink
+	srv := httptest.NewServer(NewHandler(cfg))
+	defer srv.Close()
+
+	readAll(t, post(t, srv, "/op/flatten", buildExp("fast", 0))) // 200, fast: fails min_duration_ms
+	postDifference(t, srv, 120*time.Millisecond)                 // 200, slow: matches everything
+	// Same route, non-200: difference needs two operands.
+	readAll(t, post(t, srv, "/op/difference", buildExp("lonely", 0)))
+	if resp, err := http.Get(srv.URL + "/nope"); err != nil { // 404, different route
+		t.Fatal(err)
+	} else {
+		readAll(t, resp)
+	}
+	waitEvents(t, sink, 4)
+
+	query := "?kind=http&route=" + url.QueryEscape("/op/{op}") + "&status=200&min_duration_ms=80"
+	resp, err := http.Get(srv.URL + "/debug/events" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("combined filter: status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var docs []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var doc map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &doc); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", len(docs)+1, err, sc.Text())
+		}
+		docs = append(docs, doc)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("combined filter matched %d events, want exactly the slow 200:\n%v", len(docs), docs)
+	}
+	doc := docs[0]
+	if doc["kind"] != "http" || doc["route"] != "/op/{op}" {
+		t.Errorf("survivor = kind %v route %v, want http /op/{op}", doc["kind"], doc["route"])
+	}
+	if int(doc["status"].(float64)) != 200 {
+		t.Errorf("survivor status = %v, want 200", doc["status"])
+	}
+	if ms := doc["duration_ms"].(float64); ms < 80 {
+		t.Errorf("survivor duration_ms = %v, want >= 80", ms)
+	}
+
+	// The same conjunction with an unsatisfiable member answers an empty
+	// (but well-formed) dump, not an error.
+	resp2, err := http.Get(srv.URL + "/debug/events" + query + "&class=5xx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp2); resp2.StatusCode != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("unsatisfiable conjunction: status %d body %q, want 200 and empty", resp2.StatusCode, body)
 	}
 }

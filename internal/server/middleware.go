@@ -15,6 +15,7 @@ import (
 	"cube/internal/cubexml"
 	"cube/internal/expr"
 	"cube/internal/obs"
+	"cube/internal/selfcube"
 	"cube/internal/store"
 )
 
@@ -128,9 +129,27 @@ type Config struct {
 	TraceSampleRate float64
 	TraceSlow       time.Duration
 
+	// Self-telemetry (internal/selfcube): with a Store configured and
+	// SelfInterval or SelfKeep set, the service periodically materialises
+	// its own metrics, runtime estimates, and span taxonomy as a CUBE
+	// experiment and commits it to the store under the run series
+	// self:<SelfProcess>:<seq>. SelfInterval is the snapshot period for
+	// Serve's background loop (zero: manual snapshots only, via POST
+	// /debug/self/snapshot); SelfKeep bounds how many runs stay pinned
+	// (zero: selfcube.DefaultKeep); SelfProcess names the series
+	// ("cube-server" by default).
+	SelfInterval time.Duration
+	SelfKeep     int
+	SelfProcess  string
+
 	// handler overrides the service mux inside Serve; tests use it to
 	// exercise shutdown draining with controllable handlers.
 	handler http.Handler
+
+	// self is the snapshotter NewHandler built from the fields above;
+	// Serve reads it back to start the periodic loop with its own
+	// lifetime. Tests reach it through the same backpointer.
+	self *selfcube.Snapshotter
 }
 
 // DefaultConfig returns the production defaults documented in the README.
@@ -197,18 +216,33 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("server: unknown read engine %d", int(c.ReadEngine))
 	}
+	if c.SelfInterval < 0 {
+		return fmt.Errorf("server: self-telemetry interval %v is negative", c.SelfInterval)
+	}
+	if c.SelfKeep < 0 {
+		return fmt.Errorf("server: self-telemetry keep %d is negative", c.SelfKeep)
+	}
+	if c.selfEnabled() && c.Store == nil {
+		return fmt.Errorf("server: self-telemetry needs the experiment store (-store-dir)")
+	}
 	return nil
 }
+
+// selfEnabled reports whether the self-telemetry snapshotter is requested
+// (it additionally needs a store to commit into).
+func (c *Config) selfEnabled() bool { return c.SelfInterval > 0 || c.SelfKeep > 0 }
 
 // service binds the handlers to their configuration.
 type service struct {
 	cfg    *Config
-	reg    *obs.Registry   // resolved metrics registry (may be nil in bare tests)
-	tracer *obs.Tracer     // request tracer (nil unless configured)
-	cache  *parseCache     // content-addressed operand cache (nil when disabled)
-	expr   *expr.Engine    // expression evaluation engine (POST /expr)
-	events *obs.EventSink  // wide-event ring; every request emits exactly one
-	slo    *obs.SLOTracker // windowed SLO burn tracker (nil unless configured)
+	reg    *obs.Registry         // resolved metrics registry (may be nil in bare tests)
+	tracer *obs.Tracer           // request tracer (nil unless configured)
+	cache  *parseCache           // content-addressed operand cache (nil when disabled)
+	expr   *expr.Engine          // expression evaluation engine (POST /expr)
+	events *obs.EventSink        // wide-event ring; every request emits exactly one
+	slo    *obs.SLOTracker       // windowed SLO burn tracker (nil unless configured)
+	gor    *obs.GoRuntimeSampler // cube_go_* runtime series, sampled per scrape
+	self   *selfcube.Snapshotter // self-telemetry run series (nil unless configured)
 }
 
 // debugEnabled reports whether the /debug/* routes are mounted.
@@ -331,6 +365,8 @@ func routeLabel(path string) string {
 		return "/debug/pprof"
 	case strings.HasPrefix(path, "/debug/traces"):
 		return "/debug/traces"
+	case strings.HasPrefix(path, "/debug/self"):
+		return "/debug/self"
 	default:
 		return "other"
 	}

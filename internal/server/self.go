@@ -1,0 +1,98 @@
+package server
+
+// The self-telemetry routes, mounted with Config.Debug:
+//
+//	GET  /debug/self                 the run series as JSON: every retained
+//	                                 self-snapshot with its seq, title,
+//	                                 digest, size, and time. enabled: false
+//	                                 when self-telemetry is not configured.
+//	GET  /debug/self/experiment.xml  the newest snapshot's CUBE XML, with a
+//	                                 Content-Digest header, so a client can
+//	                                 eyeball (or re-hash) the latest run
+//	                                 without knowing its digest.
+//	POST /debug/self/snapshot        take one snapshot right now and return
+//	                                 the new run as JSON. This is how tests
+//	                                 and operators bracket an experiment
+//	                                 ("snapshot, apply load, snapshot,
+//	                                 diff") without waiting for the
+//	                                 interval.
+//
+// The snapshots are ordinary store blobs: clients diff them with
+// cube-diff digest:<a> digest:<b>, or POST /expr over any algebra DAG of
+// the series.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"cube/internal/selfcube"
+	"cube/internal/store"
+)
+
+// selfSeries is the GET /debug/self response body.
+type selfSeries struct {
+	Enabled bool           `json:"enabled"`
+	Process string         `json:"process,omitempty"`
+	Runs    []selfcube.Run `json:"runs,omitempty"`
+}
+
+func (s *service) handleSelf(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if s.self == nil {
+		json.NewEncoder(w).Encode(selfSeries{Enabled: false})
+		return
+	}
+	process := s.cfg.SelfProcess
+	if process == "" {
+		process = "cube-server"
+	}
+	json.NewEncoder(w).Encode(selfSeries{Enabled: true, Process: process, Runs: s.self.Runs()})
+}
+
+// handleSelfSnapshot takes one snapshot synchronously. A degraded store
+// maps to 503 + Retry-After like every other store write.
+func (s *service) handleSelfSnapshot(w http.ResponseWriter, r *http.Request) {
+	run, err := s.self.Snapshot(r.Context())
+	if err != nil {
+		if errors.Is(err, store.ErrDegraded) {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			httpError(w, r, http.StatusServiceUnavailable, "store degraded: %v", err)
+			return
+		}
+		s.logError(r.Context(), "self snapshot", "err", err)
+		httpError(w, r, http.StatusInternalServerError, "snapshot failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(run)
+}
+
+// handleSelfLatest serves the newest snapshot's XML straight from the
+// store blob, so what the caller reads is byte-identical to what
+// digest:<latest> resolves to in operand references.
+func (s *service) handleSelfLatest(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.self.Latest()
+	if !ok {
+		httpError(w, r, http.StatusNotFound, "no self-snapshot taken yet")
+		return
+	}
+	d, ok := store.ParseDigest(run.Digest)
+	if !ok {
+		httpError(w, r, http.StatusInternalServerError, "corrupt run digest %q", run.Digest)
+		return
+	}
+	data, err := s.cfg.Store.GetContext(r.Context(), d)
+	if err != nil {
+		if errors.Is(err, store.ErrDegraded) {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			httpError(w, r, http.StatusServiceUnavailable, "store degraded: %v", err)
+			return
+		}
+		httpError(w, r, http.StatusNotFound, "snapshot blob unavailable: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Header().Set("Content-Digest", contentDigestHeader(d))
+	w.Write(data)
+}

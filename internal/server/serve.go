@@ -25,6 +25,11 @@ func Serve(ctx context.Context, ln net.Listener, cfg *Config) error {
 	if h == nil {
 		h = NewHandler(cfg)
 	}
+	// NewHandler left the self-telemetry snapshotter on cfg when
+	// configured; its periodic loop shares the server's lifetime.
+	if cfg.self != nil && cfg.SelfInterval > 0 {
+		go cfg.self.Loop(ctx)
+	}
 	var errorLog *log.Logger
 	if cfg.Logger != nil {
 		errorLog = slog.NewLogLogger(cfg.Logger.Handler(), slog.LevelError)

@@ -36,6 +36,7 @@ import (
 	"cube/internal/expr"
 	"cube/internal/obs"
 	"cube/internal/report"
+	"cube/internal/selfcube"
 	"cube/internal/store"
 )
 
@@ -89,6 +90,11 @@ var errTooLarge = errors.New("request exceeds limits")
 //	                    (?kind= &route= &status= &class=5xx &min_duration_ms= &limit=)
 //	GET  /debug/store   experiment-store inventory as JSON
 //	GET  /debug/slo     per-route SLO burn report as JSON
+//	GET  /debug/self    self-telemetry run series: the snapshots the server
+//	                    took of itself (digests, sizes, times) as JSON
+//	GET  /debug/self/experiment.xml  the newest self-snapshot as CUBE XML
+//	POST /debug/self/snapshot        take a snapshot now (also needs
+//	                    Config.SelfInterval/SelfKeep and a store)
 //	GET  /debug/traces       recent request traces (also needs tracing configured)
 //	GET  /debug/traces/{id}  one trace: Chrome trace-event JSON, ?format=tree for text
 func Handler() http.Handler {
@@ -141,6 +147,32 @@ func NewHandler(cfg *Config) http.Handler {
 			Logger:     cfg.Logger,
 		})
 	}
+	// Go runtime estimates (GC pauses, scheduler latency, heap) join the
+	// registry as cube_go_* series; each /metrics scrape and each
+	// self-telemetry snapshot samples them first, so the exposition is
+	// always current without a background poller.
+	s.gor = obs.NewGoRuntimeSampler(s.reg)
+	if cfg.Store != nil && cfg.selfEnabled() {
+		process := cfg.SelfProcess
+		if process == "" {
+			process = "cube-server"
+		}
+		snap, err := selfcube.NewSnapshotter(selfcube.SnapshotterConfig{
+			Collector: selfcube.NewCollector(s.reg, s.tracer, s.gor, process),
+			Store:     cfg.Store,
+			Interval:  cfg.SelfInterval,
+			Keep:      cfg.SelfKeep,
+			Logger:    cfg.Logger,
+			Metrics:   s.reg,
+		})
+		if err != nil {
+			// Config.Validate rejects every input that can get here; a
+			// programmatic caller who skipped it gets the loud version.
+			panic(err)
+		}
+		s.self = snap
+		cfg.self = snap // backpointer: Serve starts the loop, tests reach the series
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -155,7 +187,11 @@ func NewHandler(cfg *Config) http.Handler {
 	mux.HandleFunc("POST /view", s.handleView)
 	mux.HandleFunc("POST /report", s.handleReport)
 	mux.HandleFunc("POST /info", s.handleInfo)
-	mux.Handle("GET /metrics", s.reg.MetricsHandler())
+	metricsH := s.reg.MetricsHandler()
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.gor.Sample()
+		metricsH.ServeHTTP(w, r)
+	}))
 	// Everything under /debug/* is behind one gate (Config.Debug, with
 	// EnablePprof as the deprecated synonym): the routes expose internals
 	// and cost CPU, so production deployments opt in. Disabled debug
@@ -170,6 +206,11 @@ func NewHandler(cfg *Config) http.Handler {
 		mux.HandleFunc("GET /debug/events", s.handleEvents)
 		mux.HandleFunc("GET /debug/store", s.handleStore)
 		mux.HandleFunc("GET /debug/slo", s.handleSLO)
+		mux.HandleFunc("GET /debug/self", s.handleSelf)
+		if s.self != nil {
+			mux.HandleFunc("GET /debug/self/experiment.xml", s.handleSelfLatest)
+			mux.HandleFunc("POST /debug/self/snapshot", s.handleSelfSnapshot)
+		}
 		if s.tracer != nil {
 			mux.HandleFunc("GET /debug/traces", s.handleTraceList)
 			mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
