@@ -10,7 +10,7 @@ GO ?= go
 BENCH_PATTERN ?= .
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 
-.PHONY: build test vet race bench bench-json bench-io bench-expr bench-self bench-smoke trace-smoke obs-smoke expr-smoke self-smoke check
+.PHONY: build test vet race bench bench-json bench-io bench-expr bench-integrate bench-self bench-smoke trace-smoke obs-smoke expr-smoke self-smoke check
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,15 @@ BENCH_EXPR_OUT ?= BENCH_$(shell date +%F)-expr.json
 bench-expr:
 	$(GO) test -run='^$$' -bench='BenchmarkExpr' -benchmem -json ./internal/expr > $(BENCH_EXPR_OUT)
 	@echo wrote $(BENCH_EXPR_OUT)
+
+# Machine-readable metadata-integration benchmark record: the identity
+# fast path and the integration memo against the cold full treemerge
+# (internal/core BenchmarkIntegrate*). Writes BENCH_<date>-integrate.json.
+BENCH_INTEGRATE_OUT ?= BENCH_$(shell date +%F)-integrate.json
+
+bench-integrate:
+	$(GO) test -run='^$$' -bench='BenchmarkIntegrate' -benchmem -json ./internal/core > $(BENCH_INTEGRATE_OUT)
+	@echo wrote $(BENCH_INTEGRATE_OUT)
 
 # Quick CI-friendly sanity run: only the large 64x512x64 operator
 # benchmarks (kernel and legacy engines), one iteration set each.

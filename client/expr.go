@@ -17,9 +17,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"mime/multipart"
 	"net/http"
 	"net/textproto"
+	"strconv"
 	"strings"
 
 	"cube"
@@ -112,11 +115,50 @@ type exprWire struct {
 // as named defs and referenced as def:<name>, preserving the DAG shape on
 // the wire (and with it, linear document size for diamond-heavy graphs).
 func marshalExpr(n *ExprNode) ([]byte, error) {
-	if n == nil {
-		return nil, errors.New("nil expression")
+	defs, outs, err := marshalRoots([]*ExprNode{n})
+	if err != nil {
+		return nil, err
 	}
-	// First pass: count parents per node to find the shared ones.
+	if len(defs) == 0 {
+		return json.Marshal(outs[0])
+	}
+	return json.Marshal(struct {
+		Defs map[string]*exprWire `json:"defs"`
+		Expr *exprWire            `json:"expr"`
+	}{defs, outs[0]})
+}
+
+// marshalExprMulti encodes several roots over one shared DAG as the
+// batched `{"defs":{...},"roots":[...]}` request form.
+func marshalExprMulti(roots []*ExprNode) ([]byte, error) {
+	if len(roots) == 0 {
+		return nil, errors.New("no root expressions")
+	}
+	defs, outs, err := marshalRoots(roots)
+	if err != nil {
+		return nil, err
+	}
+	if len(defs) == 0 {
+		return json.Marshal(struct {
+			Roots []*exprWire `json:"roots"`
+		}{outs})
+	}
+	return json.Marshal(struct {
+		Defs  map[string]*exprWire `json:"defs"`
+		Roots []*exprWire          `json:"roots"`
+	}{defs, outs})
+}
+
+// marshalRoots wires a set of root DAGs into one shared defs namespace:
+// an operator node with several parents is emitted once as a named def
+// and referenced as def:<name> everywhere else, so the wire document
+// stays linear in the DAG size even for diamond-heavy graphs.
+func marshalRoots(rootNodes []*ExprNode) (map[string]*exprWire, []*exprWire, error) {
+	// First pass: count parents per node to find the shared ones. A node
+	// that appears under several roots counts once per occurrence, so
+	// cross-root sharing hoists exactly like within-root sharing.
 	parents := map[*ExprNode]int{}
+	isRoot := map[*ExprNode]bool{}
 	var count func(x *ExprNode)
 	count = func(x *ExprNode) {
 		if x == nil {
@@ -130,7 +172,13 @@ func marshalExpr(n *ExprNode) ([]byte, error) {
 			count(a)
 		}
 	}
-	count(n)
+	for _, n := range rootNodes {
+		if n == nil {
+			return nil, nil, errors.New("nil expression")
+		}
+		isRoot[n] = true
+		count(n)
+	}
 
 	defs := map[string]*exprWire{}
 	names := map[*ExprNode]string{}
@@ -151,9 +199,9 @@ func marshalExpr(n *ExprNode) ([]byte, error) {
 			}
 			w.Args = append(w.Args, cw)
 		}
-		// Hoist shared operator nodes (but not the root, and not bare
+		// Hoist shared operator nodes (but not roots, and not bare
 		// leaves — the server unifies leaves by content anyway).
-		if x != n && x.op != "" && parents[x] > 1 {
+		if !isRoot[x] && x.op != "" && parents[x] > 1 {
 			name := fmt.Sprintf("n%d", len(defs))
 			defs[name] = w
 			names[x] = name
@@ -161,17 +209,15 @@ func marshalExpr(n *ExprNode) ([]byte, error) {
 		}
 		return w, nil
 	}
-	root, err := wire(n)
-	if err != nil {
-		return nil, err
+	outs := make([]*exprWire, len(rootNodes))
+	for i, n := range rootNodes {
+		w, err := wire(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs[i] = w
 	}
-	if len(defs) == 0 {
-		return json.Marshal(root)
-	}
-	return json.Marshal(struct {
-		Defs map[string]*exprWire `json:"defs"`
-		Expr *exprWire            `json:"expr"`
-	}{defs, root})
+	return defs, outs, nil
 }
 
 // ExprStats is the server's evaluation summary, echoed in response
@@ -206,6 +252,72 @@ func (c *Client) ExprStats(ctx context.Context, root *ExprNode, opts *OpOptions,
 // the /expr endpoint accepts) — for callers like cube-expr that hold the
 // document as text rather than as an ExprNode DAG.
 func (c *Client) ExprRaw(ctx context.Context, doc []byte, opts *OpOptions, inline ...*cube.Experiment) (*cube.Experiment, ExprStats, error) {
+	data, _, st, err := c.exprPost(ctx, doc, opts, inline)
+	if err != nil {
+		return nil, st, err
+	}
+	res, err := cube.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, st, fmt.Errorf("decoding expression result: %w", err)
+	}
+	return res, st, nil
+}
+
+// ExprMulti evaluates several root expressions over one shared DAG in a
+// single POST /expr round trip and returns one experiment per root, in
+// root order. A subexpression shared between roots — or one root nested
+// inside another — is evaluated once on the server.
+func (c *Client) ExprMulti(ctx context.Context, roots []*ExprNode, opts *OpOptions, inline ...*cube.Experiment) ([]*cube.Experiment, ExprStats, error) {
+	doc, err := marshalExprMulti(roots)
+	if err != nil {
+		return nil, ExprStats{}, err
+	}
+	return c.ExprMultiRaw(ctx, doc, opts, inline...)
+}
+
+// ExprMultiRaw evaluates an already-marshalled batched expression
+// document (`{"roots":[...]}`), decoding the server's multipart/mixed
+// response into one experiment per root. A single-root batch comes back
+// as a plain XML body (the server only switches to multipart for two or
+// more roots) and decodes to a one-element slice.
+func (c *Client) ExprMultiRaw(ctx context.Context, doc []byte, opts *OpOptions, inline ...*cube.Experiment) ([]*cube.Experiment, ExprStats, error) {
+	data, hdr, st, err := c.exprPost(ctx, doc, opts, inline)
+	if err != nil {
+		return nil, st, err
+	}
+	mt, params, err := mime.ParseMediaType(hdr.Get("Content-Type"))
+	if err != nil || !strings.HasPrefix(mt, "multipart/") {
+		e, err := cube.Read(bytes.NewReader(data))
+		if err != nil {
+			return nil, st, fmt.Errorf("decoding expression result: %w", err)
+		}
+		return []*cube.Experiment{e}, st, nil
+	}
+	mr := multipart.NewReader(bytes.NewReader(data), params["boundary"])
+	var outs []*cube.Experiment
+	for {
+		p, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, st, fmt.Errorf("reading multipart response: %w", err)
+		}
+		e, err := cube.Read(p)
+		if err != nil {
+			return nil, st, fmt.Errorf("decoding root %d: %w", len(outs), err)
+		}
+		outs = append(outs, e)
+	}
+	if want := hdr.Get("X-Cube-Expr-Roots"); want != "" && want != strconv.Itoa(len(outs)) {
+		return nil, st, fmt.Errorf("response carries %d parts but X-Cube-Expr-Roots says %s", len(outs), want)
+	}
+	return outs, st, nil
+}
+
+// exprPost is the shared POST /expr transport of ExprRaw and
+// ExprMultiRaw: choose the body form, send, and decode the stat headers.
+func (c *Client) exprPost(ctx context.Context, doc []byte, opts *OpOptions, inline []*cube.Experiment) ([]byte, http.Header, ExprStats, error) {
 	path := "/expr" + encodeQuery(opts.query())
 	var err error
 	var ct string
@@ -213,25 +325,21 @@ func (c *Client) ExprRaw(ctx context.Context, doc []byte, opts *OpOptions, inlin
 	if len(inline) == 0 {
 		ct, body = "application/json", doc
 	} else if ct, body, err = marshalExprForm(doc, inline); err != nil {
-		return nil, ExprStats{}, err
+		return nil, nil, ExprStats{}, err
 	}
 	data, hdr, _, err := c.doFull(ctx, http.MethodPost, path, ct, body, nil)
 	if err != nil {
 		var serr *StatusError
 		if errors.As(err, &serr) && serr.Code == http.StatusNotFound {
-			return nil, ExprStats{}, fmt.Errorf("%w: %s", ErrNotStored, strings.TrimSpace(serr.Body))
+			return nil, nil, ExprStats{}, fmt.Errorf("%w: %s", ErrNotStored, strings.TrimSpace(serr.Body))
 		}
-		return nil, ExprStats{}, err
+		return nil, nil, ExprStats{}, err
 	}
 	var st ExprStats
 	fmt.Sscan(hdr.Get("X-Cube-Expr-Nodes"), &st.Nodes)
 	fmt.Sscan(hdr.Get("X-Cube-Expr-Cse-Hits"), &st.CSEHits)
 	st.Cached = hdr.Get("X-Cube-Expr-Cache") == "hit"
-	res, err := cube.Read(bytes.NewReader(data))
-	if err != nil {
-		return nil, st, fmt.Errorf("decoding expression result: %w", err)
-	}
-	return res, st, nil
+	return data, hdr, st, nil
 }
 
 // marshalExprForm builds the multipart body: the expression document in

@@ -169,3 +169,91 @@ func TestExprMarshalErrors(t *testing.T) {
 		t.Error("Expr(nil): want error")
 	}
 }
+
+// ExprMulti evaluates several roots over one shared DAG in a single
+// round trip: one experiment per root, in order, with shared
+// subexpressions hoisted into one def on the wire.
+func TestExprMulti(t *testing.T) {
+	a, b := testExp("a", 0.25), testExp("b", 0)
+	d, _ := cube.Difference(a, b, nil)
+	sc, _ := cube.Scale(d, 2, nil)
+
+	srv := httptest.NewServer(storeHandler(t))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	ctx := context.Background()
+
+	da, err := c.Put(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := c.Put(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diff := DifferenceExpr(DigestRef(da), DigestRef(db))
+	outs, st, err := c.ExprMulti(ctx, []*ExprNode{diff, ScaleExpr(diff, 2)}, nil)
+	if err != nil {
+		t.Fatalf("ExprMulti: %v", err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d results, want 2", len(outs))
+	}
+	if outs[0].Fingerprint() != d.Fingerprint() {
+		t.Error("root 0 differs from local difference")
+	}
+	if outs[1].Fingerprint() != sc.Fingerprint() {
+		t.Error("root 1 differs from local scale")
+	}
+	if st.Nodes == 0 {
+		t.Errorf("stats = %+v, want a populated node count", st)
+	}
+
+	// Inline operands work through the same batched path.
+	outs2, _, err := c.ExprMulti(ctx,
+		[]*ExprNode{DifferenceExpr(OperandRef(0), OperandRef(1)), SumExpr(OperandRef(0), OperandRef(1))},
+		nil, a, b)
+	if err != nil {
+		t.Fatalf("ExprMulti inline: %v", err)
+	}
+	sum, _ := cube.Sum(nil, a, b)
+	if outs2[0].Fingerprint() != d.Fingerprint() || outs2[1].Fingerprint() != sum.Fingerprint() {
+		t.Error("inline-operand batched results differ from local operators")
+	}
+
+	// A single-root batch answers as a plain XML body, not multipart —
+	// ExprMulti still returns it as a one-element slice.
+	outs3, _, err := c.ExprMulti(ctx, []*ExprNode{DifferenceExpr(DigestRef(da), DigestRef(db))}, nil)
+	if err != nil {
+		t.Fatalf("ExprMulti single root: %v", err)
+	}
+	if len(outs3) != 1 || outs3[0].Fingerprint() != d.Fingerprint() {
+		t.Fatalf("single-root batch: got %d results, want the local difference", len(outs3))
+	}
+}
+
+// The batched wire form hoists nodes shared across roots into defs.
+func TestExprMultiMarshalSharing(t *testing.T) {
+	shared := DifferenceExpr(DigestRef(strings.Repeat("ab", 32)), DigestRef(strings.Repeat("cd", 32)))
+	doc, err := marshalExprMulti([]*ExprNode{FlattenExpr(shared), ScaleExpr(shared, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Defs  map[string]json.RawMessage `json:"defs"`
+		Roots []json.RawMessage          `json:"roots"`
+	}
+	if err := json.Unmarshal(doc, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Defs) != 1 {
+		t.Errorf("shared cross-root node hoisted into %d defs, want 1", len(wire.Defs))
+	}
+	if len(wire.Roots) != 2 {
+		t.Errorf("wire carries %d roots, want 2", len(wire.Roots))
+	}
+	if n := strings.Count(string(doc), `"difference"`); n != 1 {
+		t.Errorf("difference emitted %d times on the wire, want 1", n)
+	}
+}

@@ -11,6 +11,11 @@
 // experiments already committed to the server store (`digest:<sha256>`).
 // `-f expr.json` reads the expression from a file, `-f -` from stdin.
 //
+// A `{"defs":{...},"roots":[...]}` document evaluates several
+// expressions over one shared DAG in a single request; each root is then
+// written to its own file derived from -o (`expr-0.cube`, `expr-1.cube`,
+// …), in root order.
+//
 // The server evaluates each distinct subexpression once and answers
 // repeated expressions from its result cache; -stats prints the summary
 // the server returns (node count, CSE hits, cache hit).
@@ -24,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"cube"
@@ -46,7 +53,7 @@ func main() {
 	}
 	flag.Parse()
 
-	doc, err := readExpr(*exprSrc, *exprFile)
+	doc, multi, err := readExpr(*exprSrc, *exprFile)
 	if err != nil {
 		cli.Fatal("cube-expr", err)
 	}
@@ -59,49 +66,77 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	result, st, err := postExpr(ctx, *server, doc, &client.OpOptions{CallMatch: *callMatch, System: *system}, operands)
+	opts := &client.OpOptions{CallMatch: *callMatch, System: *system}
+	if multi {
+		results, st, err := client.New(*server).ExprMultiRaw(ctx, doc, opts, operands...)
+		if err != nil {
+			cli.Fatal("cube-expr", err)
+		}
+		printStats(*stats, st)
+		for i, e := range results {
+			path := rootOutPath(*out, i)
+			if err := cube.WriteFile(path, e); err != nil {
+				cli.Fatal("cube-expr", err)
+			}
+			fmt.Printf("wrote %s: %s\n", path, e.Title)
+		}
+		return
+	}
+	result, st, err := postExpr(ctx, *server, doc, opts, operands)
 	if err != nil {
 		cli.Fatal("cube-expr", err)
 	}
-	if *stats {
-		cached := "miss"
-		if st.Cached {
-			cached = "hit"
-		}
-		fmt.Fprintf(os.Stderr, "nodes=%d cse_hits=%d result_cache=%s\n", st.Nodes, st.CSEHits, cached)
-	}
+	printStats(*stats, st)
 	if err := cube.WriteFile(*out, result); err != nil {
 		cli.Fatal("cube-expr", err)
 	}
 	fmt.Printf("wrote %s: %s\n", *out, result.Title)
 }
 
+func printStats(on bool, st client.ExprStats) {
+	if !on {
+		return
+	}
+	cached := "miss"
+	if st.Cached {
+		cached = "hit"
+	}
+	fmt.Fprintf(os.Stderr, "nodes=%d cse_hits=%d result_cache=%s\n", st.Nodes, st.CSEHits, cached)
+}
+
+// rootOutPath derives the i-th output file of a batched expression from
+// the -o flag: expr.cube becomes expr-0.cube, expr-1.cube, ….
+func rootOutPath(out string, i int) string {
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s-%d%s", strings.TrimSuffix(out, ext), i, ext)
+}
+
 // readExpr loads the expression document from -e, -f, or stdin, and
 // insists it is at least syntactically JSON before the bytes go on the
 // wire — a local error message beats a 400 round trip for typo'd shells.
-func readExpr(inline, file string) ([]byte, error) {
-	var doc []byte
+// multi reports whether the document is the batched `{"roots":[...]}`
+// form, which changes the response shape (one experiment per root).
+func readExpr(inline, file string) (doc []byte, multi bool, err error) {
 	switch {
 	case inline != "" && file != "":
-		return nil, errors.New("-e and -f are exclusive")
+		return nil, false, errors.New("-e and -f are exclusive")
 	case inline != "":
 		doc = []byte(inline)
 	case file == "" || file == "-":
-		var err error
 		if doc, err = io.ReadAll(os.Stdin); err != nil {
-			return nil, fmt.Errorf("reading expression from stdin: %w", err)
+			return nil, false, fmt.Errorf("reading expression from stdin: %w", err)
 		}
 	default:
-		var err error
 		if doc, err = os.ReadFile(file); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
-	var probe any
+	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(doc, &probe); err != nil {
-		return nil, fmt.Errorf("expression is not valid JSON: %w", err)
+		return nil, false, fmt.Errorf("expression is not valid JSON: %w", err)
 	}
-	return doc, nil
+	_, multi = probe["roots"]
+	return doc, multi, nil
 }
 
 // postExpr sends the raw expression document through the typed client's

@@ -75,6 +75,7 @@ import (
 	"os"
 
 	"cube/internal/cli"
+	"cube/internal/core"
 	"cube/internal/cubexml"
 	"cube/internal/obs"
 	"cube/internal/server"
@@ -115,6 +116,8 @@ func main() {
 		"byte budget (MiB) of the content-addressed operand parse cache (0 = disabled)")
 	exprCacheMB := flag.Int64("expr-cache-mb", cfg.ExprCacheBytes>>20,
 		"byte budget (MiB) of the expression-digest result cache behind POST /expr (0 = disabled)")
+	integrateMemoMB := flag.Int64("integrate-memo-mb", core.DefaultIntegrateMemoBytes>>20,
+		"byte budget (MiB) of the process-wide integration memo — cached metadata merge plans keyed by operand digests (0 = disabled)")
 	flag.IntVar(&cfg.MaxExprNodes, "expr-max-nodes", cfg.MaxExprNodes,
 		"max nodes per expression document (0 = default 1024)")
 	flag.IntVar(&cfg.MaxExprDepth, "expr-max-depth", cfg.MaxExprDepth,
@@ -134,6 +137,7 @@ func main() {
 	flag.Parse()
 	cfg.ParseCacheBytes = *parseCacheMB << 20
 	cfg.ExprCacheBytes = *exprCacheMB << 20
+	core.SetIntegrateMemoBudget(*integrateMemoMB << 20)
 	var err error
 	if cfg.ReadEngine, err = cubexml.ParseReadEngine(*readEngine); err != nil {
 		cli.Fatal("cube-server", err)

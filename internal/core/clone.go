@@ -94,6 +94,14 @@ func (e *Experiment) Clone() *Experiment {
 	if b := e.lowered; b != nil && e.loweredSevGen == e.sevGen && e.loweredMetaGen == e.metaGen && e.sev == nil {
 		out.dirty = true
 		out.reindex()
+		// The clone's metadata is structurally identical, so a valid
+		// cached metadata digest carries over (stamped with the clone's
+		// own generation). Parse-cache hits hand out clones; carrying the
+		// digest keeps integrate's fast-path check a pointer load instead
+		// of a re-serialisation per request.
+		if c := e.metaDigest.Load(); c != nil && c.gen == e.metaGen {
+			out.metaDigest.Store(&metaDigestCache{gen: out.metaGen, sum: c.sum})
+		}
 		out.sevGen++
 		out.sev = nil
 		out.lowered = &sevBlock{

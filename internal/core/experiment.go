@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Experiment is a valid instance of the CUBE data model: metadata (a metric
@@ -62,6 +63,11 @@ type Experiment struct {
 	lowered        *sevBlock
 	loweredSevGen  uint64
 	loweredMetaGen uint64
+
+	// Cached whole-forest metadata digest (metadigest.go). Valid only while
+	// its generation matches metaGen; the atomic pointer makes concurrent
+	// MetaDigest calls on an immutable (compacted, shared) experiment safe.
+	metaDigest atomic.Pointer[metaDigestCache]
 }
 
 type sevKey struct {

@@ -83,21 +83,48 @@ func AlmostEqual(a, b *Experiment, eps float64) bool {
 	if !a.topology.Equal(b.topology) {
 		return false
 	}
-	for i, m := range a.Metrics() {
-		bm := b.Metrics()[i]
-		for j, c := range a.CallNodes() {
-			bc := b.CallNodes()[j]
-			for k, t := range a.Threads() {
-				bt := b.Threads()[k]
-				va, vb := a.Severity(m, c, t), b.Severity(bm, bc, bt)
-				scale := math.Abs(va)
-				if s := math.Abs(vb); s > scale {
-					scale = s
-				}
-				if math.Abs(va-vb) > eps*(1+scale) {
-					return false
-				}
+	// Merge-join the two columnar severity stores instead of probing
+	// O(M·C·T) tuples through pointer-keyed map lookups: the dimension
+	// counts agree (checked above), so both blocks pack keys identically
+	// and equal keys mean corresponding tuples. Keys present on one side
+	// only compare against the zero extension.
+	within := func(va, vb float64) bool {
+		scale := math.Abs(va)
+		if s := math.Abs(vb); s > scale {
+			scale = s
+		}
+		return math.Abs(va-vb) <= eps*(1+scale)
+	}
+	ba, bb := a.loweredBlock(), b.loweredBlock()
+	i, j := 0, 0
+	for i < ba.len() && j < bb.len() {
+		switch ka, kb := ba.key[i], bb.key[j]; {
+		case ka == kb:
+			if !within(ba.val[i], bb.val[j]) {
+				return false
 			}
+			i++
+			j++
+		case ka < kb:
+			if !within(ba.val[i], 0) {
+				return false
+			}
+			i++
+		default:
+			if !within(0, bb.val[j]) {
+				return false
+			}
+			j++
+		}
+	}
+	for ; i < ba.len(); i++ {
+		if !within(ba.val[i], 0) {
+			return false
+		}
+	}
+	for ; j < bb.len(); j++ {
+		if !within(0, bb.val[j]) {
+			return false
 		}
 	}
 	return true

@@ -47,12 +47,14 @@ func Flatten(x *Experiment) (*Experiment, error) {
 	}
 
 	// Re-route severities through the flattening before swapping forests.
+	// EachSeverity streams the operand read-only (no map materialisation
+	// on columnar or shared experiments).
 	newSev := make(map[sevKey]float64, x.NonZeroCount())
 	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
-	for k, v := range x.sevMap() {
-		nk := sevKey{mf[k.m], flatFor[cf[k.c]], tf[k.t]}
+	x.EachSeverity(func(m *Metric, c *CallNode, t *Thread, v float64) {
+		nk := sevKey{mf[m], flatFor[cf[c]], tf[t]}
 		newSev[nk] += v
-	}
+	})
 	out.callRoots = flatRoots
 	out.callSites = sites
 	out.sev = newSev
@@ -101,12 +103,12 @@ func ExtractMetrics(x *Experiment, paths ...string) (*Experiment, error) {
 
 	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
 	newSev := make(map[sevKey]float64)
-	for k, v := range x.sevMap() {
-		rm := mf[k.m]
+	x.EachSeverity(func(m *Metric, c *CallNode, t *Thread, v float64) {
+		rm := mf[m]
 		if keep[rm] {
-			newSev[sevKey{rm, cf[k.c], tf[k.t]}] = v
+			newSev[sevKey{rm, cf[c], tf[t]}] = v
 		}
-	}
+	})
 	out.sev = newSev
 
 	out.Derived = true
@@ -140,12 +142,12 @@ func ExtractCallSubtree(x *Experiment, path string) (*Experiment, error) {
 
 	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
 	newSev := make(map[sevKey]float64)
-	for k, v := range x.sevMap() {
-		rc := cf[k.c]
+	x.EachSeverity(func(m *Metric, c *CallNode, t *Thread, v float64) {
+		rc := cf[c]
 		if keep[rc] {
-			newSev[sevKey{mf[k.m], rc, tf[k.t]}] = v
+			newSev[sevKey{mf[m], rc, tf[t]}] = v
 		}
-	}
+	})
 	out.sev = newSev
 
 	out.Derived = true

@@ -155,18 +155,34 @@ func (rec *opRecorder) done(out *Experiment) {
 }
 
 // tracedIntegrate wraps integrate in the invocation's "integrate" span,
-// annotated with the size of the merged metadata.
+// annotated with the size of the merged metadata and which fast path (if
+// any) produced it.
 func tracedIntegrate(rec *opRecorder, opts *Options, operands []*Experiment) (*integration, error) {
 	sp := rec.child("integrate")
 	in, err := integrate(opts, operands...)
 	if sp != nil {
 		if err == nil {
-			sp.SetAttr("metrics", len(in.metricSource))
-			sp.SetAttr("callnodes", len(in.cnodeSource))
+			// Enumeration lengths, not mapping sizes: the digest fast
+			// paths never build the pointer maps the old counts read.
+			sp.SetAttr("metrics", len(in.out.Metrics()))
+			sp.SetAttr("callnodes", len(in.out.CallNodes()))
+			sp.SetAttr("fastpath", in.fastpathLabel())
 		}
 		sp.End()
 	}
 	return in, err
+}
+
+// recordMetaFastpath publishes which integrate path served an invocation —
+// to the metrics registry and to the request's wide event when one rides
+// the options.
+func recordMetaFastpath(opts *Options, kind string) {
+	if opts != nil {
+		opts.Event.AddMetaFastpath(kind)
+	}
+	if reg := opRegistry.Load(); reg != nil {
+		reg.Counter("cube_meta_fastpath_total", obs.L("kind", kind)).Inc()
+	}
 }
 
 // Kernel-layer instrumentation (kernel.go). Each operator invocation on the
@@ -224,17 +240,25 @@ func recordIntegration(in *integration, operands []*Experiment) {
 	if reg == nil {
 		return
 	}
+	// Input sizes from the operands' enumerations (one entry per operand
+	// node, exactly what the mapping sizes used to count), output sizes
+	// from plain forest walks — the digest fast paths build neither the
+	// pointer maps nor the source attribution this used to read, and
+	// walking avoids eagerly building the result's index caches.
 	var inMetrics, inCNodes, inThreads int
-	for i := range operands {
-		inMetrics += len(in.metricFrom[i])
-		inCNodes += len(in.cnodeFrom[i])
-		inThreads += len(in.threadFrom[i])
+	for _, x := range operands {
+		x.reindex()
+		inMetrics += len(x.metrics)
+		inCNodes += len(x.cnodes)
+		inThreads += len(x.threads)
 	}
-	// Count result nodes from the integration's own bookkeeping (and a
-	// plain system-forest walk) rather than through the enumeration
-	// accessors: those would eagerly build the result's index caches,
-	// work the caller may never need.
-	var outThreads int
+	var outMetrics, outCNodes, outThreads int
+	for _, r := range in.out.metricRoots {
+		r.Walk(func(*Metric) { outMetrics++ })
+	}
+	for _, r := range in.out.callRoots {
+		r.Walk(func(*CallNode) { outCNodes++ })
+	}
 	for _, mach := range in.out.machines {
 		for _, nd := range mach.Nodes() {
 			for _, p := range nd.Processes() {
@@ -247,7 +271,7 @@ func recordIntegration(in *integration, operands []*Experiment) {
 	reg.Counter("cube_integrate_input_nodes_total", dimMetric).Add(int64(inMetrics))
 	reg.Counter("cube_integrate_input_nodes_total", dimCNode).Add(int64(inCNodes))
 	reg.Counter("cube_integrate_input_nodes_total", dimThread).Add(int64(inThreads))
-	reg.Counter("cube_integrate_output_nodes_total", dimMetric).Add(int64(len(in.metricSource)))
-	reg.Counter("cube_integrate_output_nodes_total", dimCNode).Add(int64(len(in.cnodeSource)))
+	reg.Counter("cube_integrate_output_nodes_total", dimMetric).Add(int64(outMetrics))
+	reg.Counter("cube_integrate_output_nodes_total", dimCNode).Add(int64(outCNodes))
 	reg.Counter("cube_integrate_output_nodes_total", dimThread).Add(int64(outThreads))
 }

@@ -83,13 +83,33 @@ func (o *Options) collapsedMachine() string {
 // ErrNoOperands is returned by operators invoked without operands.
 var ErrNoOperands = errors.New("core: operator requires at least one operand")
 
+// Fast-path kinds, used for the integrate span attribute, the
+// cube_meta_fastpath_total metric, and the wide-event columns.
+const (
+	fastpathFull     = "full"
+	fastpathIdentity = "identity"
+	fastpathMemo     = "memo"
+	fastpathMiss     = "miss" // full walk that populated the memo
+)
+
 // integration is the outcome of integrating the metadata of several operand
 // experiments: a fresh result experiment with merged metadata, plus mappings
 // from every operand's metadata nodes to the result's, which extend each
 // operand's severity function onto the integrated domain (undefined tuples
 // are implicitly zero).
+//
+// The mappings exist in two interchangeable forms. The full treemerge walk
+// produces pointer maps (metricFrom et al.); the digest fast paths produce
+// flat index tables (tabs, metricSrc) directly. Either form derives the
+// other on demand — tables() builds tabs from the maps, ensureMaps() builds
+// the maps from tabs — so the kernel layer (which wants tables) and the
+// legacy walk (which wants maps) both run unchanged on every path.
 type integration struct {
-	out *Experiment
+	out      *Experiment
+	operands []*Experiment
+	// fastpath records how the integration was obtained ("" means the full
+	// walk without memo involvement, i.e. single-operand or fastpath-off).
+	fastpath string
 	// metricFrom[i] maps operand i's metrics to result metrics.
 	metricFrom []map[*Metric]*Metric
 	// cnodeFrom[i] maps operand i's call nodes to result call nodes.
@@ -101,6 +121,121 @@ type integration struct {
 	metricSource map[*Metric]int
 	// cnodeSource likewise for call nodes.
 	cnodeSource map[*CallNode]int
+	// tabs[i] is the flat index form of the mappings for operand i; nil
+	// until built by tables(). Fast paths share one backing table across
+	// operands and across concurrent invocations — never mutate entries.
+	tabs []remapTable
+	// metricSrc is the flat index form of metricSource (result metric
+	// enumeration index -> operand index); nil until built.
+	metricSrc []int32
+}
+
+func newIntegration(operands []*Experiment) *integration {
+	return &integration{
+		operands:     operands,
+		metricFrom:   make([]map[*Metric]*Metric, len(operands)),
+		cnodeFrom:    make([]map[*CallNode]*CallNode, len(operands)),
+		threadFrom:   make([]map[*Thread]*Thread, len(operands)),
+		metricSource: map[*Metric]int{},
+		cnodeSource:  map[*CallNode]int{},
+	}
+}
+
+func (in *integration) fastpathLabel() string {
+	if in.fastpath == "" {
+		return fastpathFull
+	}
+	return in.fastpath
+}
+
+// tables returns the flat per-operand remap tables, deriving them from the
+// pointer maps on first use (one map lookup per metadata node, instead of
+// one per severity tuple — the kernel layer's whole point).
+func (in *integration) tables() []remapTable {
+	if in.tabs != nil {
+		return in.tabs
+	}
+	out := in.out
+	out.reindex()
+	tabs := make([]remapTable, len(in.operands))
+	for i, x := range in.operands {
+		x.reindex()
+		rt := remapTable{
+			m: make([]int32, len(x.metrics)),
+			c: make([]int32, len(x.cnodes)),
+			t: make([]int32, len(x.threads)),
+		}
+		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
+		for si, sm := range x.metrics {
+			rt.m[si] = int32(out.metricIndex[mf[sm]])
+		}
+		for si, sc := range x.cnodes {
+			rt.c[si] = int32(out.cnodeIndex[cf[sc]])
+		}
+		for si, st := range x.threads {
+			rt.t[si] = int32(out.threadIndex[tf[st]])
+		}
+		tabs[i] = rt
+	}
+	in.tabs = tabs
+	return tabs
+}
+
+// ensureMaps materialises the pointer maps for any operand that only has
+// the flat table form (digest fast paths), so the legacy engine and the
+// structural operators can run unchanged. Enumeration order is the bridge:
+// table entry (si -> ri) means operand node si maps to result node ri.
+func (in *integration) ensureMaps() {
+	out := in.out
+	out.reindex()
+	var tabs []remapTable
+	for i, x := range in.operands {
+		if in.metricFrom[i] != nil {
+			continue
+		}
+		if tabs == nil {
+			tabs = in.tables()
+		}
+		x.reindex()
+		mf := make(map[*Metric]*Metric, len(x.metrics))
+		for si, sm := range x.metrics {
+			mf[sm] = out.metrics[tabs[i].m[si]]
+		}
+		in.metricFrom[i] = mf
+		cf := make(map[*CallNode]*CallNode, len(x.cnodes))
+		for si, sc := range x.cnodes {
+			cf[sc] = out.cnodes[tabs[i].c[si]]
+		}
+		in.cnodeFrom[i] = cf
+		tf := make(map[*Thread]*Thread, len(x.threads))
+		for si, st := range x.threads {
+			tf[st] = out.threads[tabs[i].t[si]]
+		}
+		in.threadFrom[i] = tf
+	}
+	if len(in.metricSource) == 0 && in.metricSrc != nil {
+		for ri, m := range out.metrics {
+			in.metricSource[m] = int(in.metricSrc[ri])
+		}
+	}
+}
+
+// metricSrcs returns metricSource in flat index form, deriving it on first
+// use.
+func (in *integration) metricSrcs() []int32 {
+	if in.metricSrc != nil {
+		return in.metricSrc
+	}
+	out := in.out
+	out.reindex()
+	src := make([]int32, len(out.metrics))
+	for m, i := range in.metricSource {
+		if ri, ok := out.metricIndex[m]; ok {
+			src[ri] = int32(i)
+		}
+	}
+	in.metricSrc = src
+	return src
 }
 
 // integrate merges the metadata sets of the operands into a fresh
@@ -109,6 +244,18 @@ type integration struct {
 // relations, and the system dimension by matching processes and threads on
 // their application-level identifiers while copying or collapsing the upper
 // machine/node levels.
+//
+// Two digest-driven fast paths front the full walk (metadigest.go,
+// memo.go). When every operand carries the same metadata digest — the
+// dominant production case: runs of one instrumented binary, identical
+// trees, different severities — the merge is, provably, a structural copy
+// of operand 0 with positional mappings, built here in O(nodes) with no
+// treemerge forests and no pointer maps. Otherwise a byte-budgeted memo
+// keyed by the ordered digest tuple + options serves repeated mixed
+// pairings. Both paths are observable (integrate.fastpath span attribute,
+// cube_meta_* metrics, wide-event columns) and both are exactly invisible
+// in results — the property tests in metaprop_test.go hold Fingerprint
+// equality against the cold walk across all operators and engines.
 func integrate(opts *Options, operands ...*Experiment) (*integration, error) {
 	if len(operands) == 0 {
 		return nil, ErrNoOperands
@@ -119,14 +266,53 @@ func integrate(opts *Options, operands ...*Experiment) (*integration, error) {
 		}
 	}
 	opts = opts.orDefault()
-	in := &integration{
-		out:          New(""),
-		metricFrom:   make([]map[*Metric]*Metric, len(operands)),
-		cnodeFrom:    make([]map[*CallNode]*CallNode, len(operands)),
-		threadFrom:   make([]map[*Thread]*Thread, len(operands)),
-		metricSource: map[*Metric]int{},
-		cnodeSource:  map[*CallNode]int{},
+	if len(operands) >= 2 && !metaFastpathOff.Load() {
+		digs := make([][32]byte, len(operands))
+		same := true
+		for i, x := range operands {
+			digs[i] = x.MetaDigest()
+			if digs[i] != digs[0] {
+				same = false
+			}
+		}
+		if same {
+			in, err := integrateIdentity(opts, operands)
+			if err != nil {
+				return nil, err
+			}
+			recordMetaFastpath(opts, fastpathIdentity)
+			recordIntegration(in, operands)
+			return in, nil
+		}
+		memo := integrateMemoTable.Load()
+		var key memoKey
+		if memo != nil {
+			key = memoKeyOf(opts, digs)
+			if ent := memo.get(key); ent != nil {
+				in := ent.open(operands)
+				recordMetaFastpath(opts, fastpathMemo)
+				recordIntegration(in, operands)
+				return in, nil
+			}
+		}
+		in, err := integrateFull(opts, operands)
+		if err != nil {
+			return nil, err
+		}
+		if memo != nil {
+			in.fastpath = fastpathMiss
+			memo.put(newMemoEntry(key, in))
+		}
+		recordMetaFastpath(opts, fastpathMiss)
+		return in, nil
 	}
+	return integrateFull(opts, operands)
+}
+
+// integrateFull is the original treemerge walk over all operands.
+func integrateFull(opts *Options, operands []*Experiment) (*integration, error) {
+	in := newIntegration(operands)
+	in.out = New("")
 	in.mergeMetrics(operands)
 	in.mergeProgram(opts, operands)
 	if err := in.mergeSystem(opts, operands); err != nil {
@@ -144,6 +330,175 @@ func integrate(opts *Options, operands ...*Experiment) (*integration, error) {
 	in.out.topology = topo.Clone()
 	in.out.dirty = true
 	recordIntegration(in, operands)
+	return in, nil
+}
+
+// integrateIdentity merges operands whose metadata digests all agree.
+//
+// Why a plain copy of operand 0 is the correct merge: digest equality means
+// byte-identical metadata serialisations, so all operand forests are
+// structurally identical with identical keys in identical sibling order.
+// The treemerge of identical forests pairs nodes positionally (duplicate
+// sibling keys match first-with-first) and therefore reproduces operand 0's
+// structure exactly, mapping the i-th pre-order node of *every* operand to
+// the i-th pre-order node of the result — identity index tables, shared by
+// all operands. Region deduplication and call-site rebuilding see only
+// operand 0's entries, because later operands contribute nothing new. The
+// system dimension reuses the real mergeSystem on operands[:1]: the
+// (rank, id, name) union over n identical operands equals the union over
+// one, and SystemAuto resolves to copy-first both ways (all partition
+// signatures are equal). Threads still need a real table — mergeSystem
+// sorts thread IDs within each process, so the mapping is not positional
+// in general — but one table serves every operand.
+func integrateIdentity(opts *Options, operands []*Experiment) (*integration, error) {
+	in := newIntegration(operands)
+	out := New("")
+	in.out = out
+	first := operands[0]
+	first.reindex()
+
+	// Nodes are carved out of per-kind slabs — the counts are known exactly
+	// from operand 0's (clean) enumerations, so the whole copy costs one
+	// allocation per node kind instead of one per node. The slab guards
+	// below fall back to individual allocation rather than growing a slab:
+	// growth would move earlier elements and dangle their pointers.
+	mslab := make([]Metric, len(first.metrics))
+	cslab := make([]CallNode, len(first.cnodes))
+	sslab := make([]CallSite, 0, len(first.callSites))
+	rslab := make([]Region, 0, len(first.regions))
+
+	// Metric forest: structural pre-order copy.
+	var nm int
+	var copyMetric func(m *Metric, parent *Metric) *Metric
+	copyMetric = func(m *Metric, parent *Metric) *Metric {
+		var out *Metric
+		if nm < len(mslab) {
+			out = &mslab[nm]
+			nm++
+		} else {
+			out = new(Metric)
+		}
+		*out = Metric{Name: m.Name, Unit: m.Unit, Description: m.Description, parent: parent}
+		if len(m.children) > 0 {
+			out.children = make([]*Metric, len(m.children))
+			for i, c := range m.children {
+				out.children[i] = copyMetric(c, out)
+			}
+		}
+		return out
+	}
+	out.metricRoots = make([]*Metric, len(first.metricRoots))
+	for i, r := range first.metricRoots {
+		out.metricRoots[i] = copyMetric(r, nil)
+	}
+
+	// Regions: union by (name, module), first occurrence provides the
+	// prototype — the same rule mergeProgram applies, restricted to
+	// operand 0's registrations.
+	regionBy := make(map[string]*Region, len(first.regions))
+	regionOut := make(map[*Region]*Region, len(first.regions))
+	out.regions = make([]*Region, 0, len(first.regions))
+	internRegion := func(r *Region) *Region {
+		if r == nil {
+			return nil
+		}
+		if nr, ok := regionOut[r]; ok {
+			return nr
+		}
+		k := regionKey(r)
+		nr, ok := regionBy[k]
+		if !ok {
+			if len(rslab) < cap(rslab) {
+				rslab = append(rslab, *r)
+				nr = &rslab[len(rslab)-1]
+			} else {
+				cp := *r
+				nr = &cp
+			}
+			regionBy[k] = nr
+			out.regions = append(out.regions, nr)
+		}
+		regionOut[r] = nr
+		return nr
+	}
+	for _, r := range first.regions {
+		internRegion(r)
+	}
+
+	// Call forest: structural pre-order copy; call sites are rebuilt for
+	// reachable nodes only, in first-use order, shared between nodes that
+	// shared them in the operand.
+	siteFor := make(map[*CallSite]*CallSite, len(first.callSites))
+	out.callSites = make([]*CallSite, 0, len(first.callSites))
+	var nc int
+	var copyCall func(n *CallNode, parent *CallNode) *CallNode
+	copyCall = func(n *CallNode, parent *CallNode) *CallNode {
+		ns, ok := siteFor[n.Site]
+		if !ok {
+			if len(sslab) < cap(sslab) {
+				sslab = append(sslab, CallSite{File: n.Site.File, Line: n.Site.Line, Callee: internRegion(n.Site.Callee)})
+				ns = &sslab[len(sslab)-1]
+			} else {
+				ns = &CallSite{File: n.Site.File, Line: n.Site.Line, Callee: internRegion(n.Site.Callee)}
+			}
+			siteFor[n.Site] = ns
+			out.callSites = append(out.callSites, ns)
+		}
+		var nn *CallNode
+		if nc < len(cslab) {
+			nn = &cslab[nc]
+			nc++
+		} else {
+			nn = new(CallNode)
+		}
+		*nn = CallNode{Site: ns, parent: parent}
+		if len(n.children) > 0 {
+			nn.children = make([]*CallNode, len(n.children))
+			for i, c := range n.children {
+				nn.children[i] = copyCall(c, nn)
+			}
+		}
+		return nn
+	}
+	out.callRoots = make([]*CallNode, len(first.callRoots))
+	for i, r := range first.callRoots {
+		out.callRoots[i] = copyCall(r, nil)
+	}
+
+	// System dimension: the real merge over operand 0 alone (fills
+	// threadFrom[0]).
+	if err := in.mergeSystem(opts, operands[:1]); err != nil {
+		return nil, err
+	}
+	out.topology = first.topology.Clone()
+
+	out.dirty = true
+	out.reindex()
+
+	// Identity tables for metrics and call nodes; a real (sorted-ID) table
+	// for threads. One table backs every operand.
+	rt := remapTable{
+		m: make([]int32, len(first.metrics)),
+		c: make([]int32, len(first.cnodes)),
+		t: make([]int32, len(first.threads)),
+	}
+	for i := range rt.m {
+		rt.m[i] = int32(i)
+	}
+	for i := range rt.c {
+		rt.c[i] = int32(i)
+	}
+	tf := in.threadFrom[0]
+	for si, st := range first.threads {
+		rt.t[si] = int32(out.threadIndex[tf[st]])
+	}
+	in.tabs = make([]remapTable, len(operands))
+	for i := range in.tabs {
+		in.tabs[i] = rt
+	}
+	// Every result metric comes from operand 0 (Merge's ownership rule).
+	in.metricSrc = make([]int32, len(out.metrics))
+	in.fastpath = fastpathIdentity
 	return in, nil
 }
 

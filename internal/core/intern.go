@@ -1,0 +1,39 @@
+package core
+
+import (
+	"strings"
+	"sync"
+)
+
+// Global symbol table for metadata strings. Experiments from the same
+// instrumented binary repeat the same metric names, units, region names,
+// module paths, file names, and system labels across every run; a server
+// caching hundreds of parsed experiments would otherwise hold hundreds of
+// private copies of each. Interning collapses equal strings to a single
+// shared backing array, which both shrinks resident bytes per cached
+// experiment and makes equality checks on interned strings effectively a
+// pointer compare (Go compares length + data pointer first).
+//
+// The table is process-global and append-only — names of performance
+// metadata form a small, stable vocabulary, so unbounded growth is not a
+// practical concern (the same trade the constant-pool interning of class
+// loaders makes). sync.Map fits the workload exactly: almost always
+// read-hit after warm-up, written only on first sight of a string.
+
+var internTable sync.Map // string -> string (canonical copy)
+
+// Intern returns a canonical copy of s: all callers passing equal strings
+// receive the identical backing array. The empty string is returned as-is.
+// Intern clones s before publishing it, so callers may pass strings backed
+// by short-lived buffers (decoder scratch, mmap'd input).
+func Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if v, ok := internTable.Load(s); ok {
+		return v.(string)
+	}
+	c := strings.Clone(s)
+	v, _ := internTable.LoadOrStore(c, c)
+	return v.(string)
+}

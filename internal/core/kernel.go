@@ -241,27 +241,15 @@ func newKernelPlan(in *integration, opts *Options, operands []*Experiment, span 
 	}
 	p.cells = uint64(len(out.metrics)) * p.nC * p.nT
 	stage := startKernelStage()
+	// The remap tables come from the integration in flat form — identity
+	// or memoised tables on the digest fast paths, derived from the
+	// pointer maps otherwise (integrate.go tables()).
+	tabs := in.tables()
 	for i, x := range operands {
 		lsp := span.StartChild("lower")
 		p.blocks[i] = x.loweredBlock()
 		p.total += p.blocks[i].len()
-		x.reindex()
-		rt := remapTable{
-			m: make([]int32, len(x.metrics)),
-			c: make([]int32, len(x.cnodes)),
-			t: make([]int32, len(x.threads)),
-		}
-		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
-		for si, sm := range x.metrics {
-			rt.m[si] = int32(out.metricIndex[mf[sm]])
-		}
-		for si, sc := range x.cnodes {
-			rt.c[si] = int32(out.cnodeIndex[cf[sc]])
-		}
-		for si, st := range x.threads {
-			rt.t[si] = int32(out.threadIndex[tf[st]])
-		}
-		p.maps[i] = rt
+		p.maps[i] = tabs[i]
 		if lsp != nil {
 			lsp.SetAttr("operand", i)
 			lsp.SetAttr("cells", p.blocks[i].len())
@@ -606,15 +594,17 @@ func (p *kernelPlan) install(keys []uint64, vals []float64, sorted bool, parent 
 
 // mergeKeep builds Merge's per-operand ownership masks over source metric
 // indices: operand i keeps a source metric exactly when it is the first
-// operand providing the integrated metric.
+// operand providing the integrated metric. It runs on the flat index forms
+// so the digest fast paths never materialise pointer maps for it.
 func mergeKeep(in *integration, operands []*Experiment) [][]bool {
+	srcs := in.metricSrcs()
+	tabs := in.tables()
 	keep := make([][]bool, len(operands))
-	for i, x := range operands {
-		x.reindex()
-		k := make([]bool, len(x.metrics))
-		mf := in.metricFrom[i]
-		for si, sm := range x.metrics {
-			k[si] = in.metricSource[mf[sm]] == i
+	for i := range operands {
+		tm := tabs[i].m
+		k := make([]bool, len(tm))
+		for si, ri := range tm {
+			k[si] = srcs[ri] == int32(i)
 		}
 		keep[i] = k
 	}

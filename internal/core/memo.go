@@ -1,0 +1,189 @@
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Integration memoization. integrate's outcome is fully determined by the
+// ordered tuple of operand metadata digests plus the matching options
+// (CallMatch relation, System mode, collapsed-machine name) — severity data
+// never influences the merged metadata or the mappings. Repeated *mixed*
+// pairings (comparing this run against last week's baseline, over and over,
+// per operator call and per request) therefore re-derive the same merged
+// forests and remap tables every time. The memo cache stores, per key, a
+// severity-free skeleton of the merged experiment plus the flat per-operand
+// remap tables; a hit clones the skeleton (cheap: metadata only) and shares
+// the immutable tables, skipping the treemerge walk and all pointer-map
+// construction.
+//
+// Keying on digests alone would be unsound: the same operand tuple merges
+// differently under CallMatchCalleeLine than under CallMatchCallee, and the
+// system forest differs between collapse and copy-first — hence the Options
+// fingerprint in the key. Engine and Workers do not enter the key: they
+// select how severity arithmetic runs, not what the integration is.
+//
+// Entries never retain operand experiments — only the skeleton, index
+// tables, and source attribution — so the cache pins metadata bytes, not
+// severity payloads. It is byte-budgeted with LRU eviction; the budget is
+// process-wide (SetIntegrateMemoBudget, cube-server -integrate-memo-mb).
+
+// DefaultIntegrateMemoBytes is the initial process-wide memo budget.
+const DefaultIntegrateMemoBytes = 32 << 20
+
+// metaFastpathOff disables both the digest-equality fast path and the memo
+// cache, forcing every integration through the full treemerge walk. Tests
+// and benchmarks use it to obtain cold baselines and oracle results.
+var metaFastpathOff atomic.Bool
+
+var integrateMemoTable atomic.Pointer[integrateMemo]
+
+func init() {
+	SetIntegrateMemoBudget(DefaultIntegrateMemoBytes)
+}
+
+// SetIntegrateMemoBudget replaces the process-wide integration memo cache
+// with an empty one holding at most budgetBytes of skeleton metadata;
+// budgetBytes <= 0 disables memoization (the digest-equality fast path
+// stays active — it needs no storage).
+func SetIntegrateMemoBudget(budgetBytes int64) {
+	if budgetBytes <= 0 {
+		integrateMemoTable.Store(nil)
+		return
+	}
+	integrateMemoTable.Store(&integrateMemo{
+		budget: budgetBytes,
+		ll:     list.New(),
+		idx:    map[memoKey]*list.Element{},
+	})
+}
+
+type memoKey [32]byte
+
+// memoKeyOf condenses the ordered operand digest tuple and the
+// integration-relevant options into one key.
+func memoKeyOf(opts *Options, digs [][32]byte) memoKey {
+	h := sha256.New()
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(opts.CallMatch))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(opts.System))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(digs)))
+	h.Write(hdr[:])
+	h.Write([]byte(opts.collapsedMachine()))
+	h.Write([]byte{0})
+	for i := range digs {
+		h.Write(digs[i][:])
+	}
+	var k memoKey
+	h.Sum(k[:0])
+	return k
+}
+
+// memoEntry is one cached integration outcome. All fields are immutable
+// after construction: concurrent hits clone the skeleton (a read-only
+// operation) and share the tables.
+type memoEntry struct {
+	key       memoKey
+	skel      *Experiment // merged metadata, no severities; cloned per hit
+	tabs      []remapTable
+	metricSrc []int32
+	bytes     int64
+}
+
+// newMemoEntry snapshots a freshly computed full integration. The skeleton
+// is cloned *before* the caller runs kernels and stamps provenance onto
+// in.out, so the entry stays severity- and title-free.
+func newMemoEntry(key memoKey, in *integration) *memoEntry {
+	tabs := in.tables()
+	out := in.out
+	var tabBytes int64
+	for _, rt := range tabs {
+		tabBytes += int64(len(rt.m)+len(rt.c)+len(rt.t)) * 4
+	}
+	// Struct sizes dominate; strings are interned/shared and not charged.
+	nodes := int64(len(out.metrics) + len(out.cnodes) + len(out.threads) + len(out.procs))
+	meta := int64(len(out.regions)+len(out.callSites))*96 + nodes*112
+	return &memoEntry{
+		key:       key,
+		skel:      out.Clone(),
+		tabs:      tabs,
+		metricSrc: in.metricSrcs(),
+		bytes:     512 + meta + tabBytes + int64(len(in.metricSrc))*4,
+	}
+}
+
+// open instantiates a cached integration for a concrete operand tuple.
+func (ent *memoEntry) open(operands []*Experiment) *integration {
+	in := newIntegration(operands)
+	in.out = ent.skel.Clone()
+	in.tabs = ent.tabs
+	in.metricSrc = ent.metricSrc
+	in.fastpath = fastpathMemo
+	return in
+}
+
+type integrateMemo struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used; values are *memoEntry
+	idx    map[memoKey]*list.Element
+}
+
+func (mc *integrateMemo) get(key memoKey) *memoEntry {
+	mc.mu.Lock()
+	el, ok := mc.idx[key]
+	if ok {
+		mc.ll.MoveToFront(el)
+	}
+	mc.mu.Unlock()
+	if reg := opRegistry.Load(); reg != nil {
+		if ok {
+			reg.Counter("cube_meta_memo_hits_total").Inc()
+		} else {
+			reg.Counter("cube_meta_memo_misses_total").Inc()
+		}
+	}
+	if !ok {
+		return nil
+	}
+	return el.Value.(*memoEntry)
+}
+
+func (mc *integrateMemo) put(ent *memoEntry) {
+	if ent.bytes > mc.budget {
+		return // would evict everything and still not fit
+	}
+	evicted := 0
+	mc.mu.Lock()
+	if _, ok := mc.idx[ent.key]; ok {
+		// Lost a race against a concurrent identical integration; the
+		// resident entry is equivalent.
+		mc.mu.Unlock()
+		return
+	}
+	mc.idx[ent.key] = mc.ll.PushFront(ent)
+	mc.bytes += ent.bytes
+	for mc.bytes > mc.budget {
+		el := mc.ll.Back()
+		if el == nil {
+			break
+		}
+		old := el.Value.(*memoEntry)
+		mc.ll.Remove(el)
+		delete(mc.idx, old.key)
+		mc.bytes -= old.bytes
+		evicted++
+	}
+	bytes := mc.bytes
+	mc.mu.Unlock()
+	if reg := opRegistry.Load(); reg != nil {
+		if evicted > 0 {
+			reg.Counter("cube_meta_memo_evictions_total").Add(int64(evicted))
+		}
+		reg.Gauge("cube_meta_memo_bytes").Set(bytes)
+	}
+}

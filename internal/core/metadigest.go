@@ -1,0 +1,210 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// Metadata hash-consing. MetaDigest condenses an experiment's entire
+// metadata — the metric forest, the registered regions and call sites, the
+// call forest, the system forest, and the topology — into one 32-byte
+// structural digest, so whole-forest equality between experiments is a
+// single comparison. integrate uses it two ways (see integrate.go): when
+// all operands carry the same digest it skips the treemerge walk entirely,
+// and for repeated mixed pairings the digest tuple keys a memo cache.
+//
+// The digest is order-sensitive: forests are serialised in pre-order with
+// explicit depths, and siblings in insertion order. Insertion order is
+// semantically meaningful in this data model — it decides the enumeration
+// order of the merged result and hence Fingerprint text and columnar key
+// packing — so two experiments whose trees hold the same nodes in different
+// sibling order must *not* be conflated. (A sorted-children digest would be
+// a coarser, order-insensitive equivalence; it would admit operand sets the
+// identity fast path cannot actually map positionally.)
+//
+// Severity data never enters the digest: operands from the same
+// instrumented binary differ only in severities, and that is exactly the
+// case the fast path exists for. Option-dependent state (CallMatch, System
+// mode) does not enter either — equal serialisations are equal under every
+// matching relation, and option divergence is handled by the memo key.
+//
+// The cache lives on the experiment as an atomic {metaGen, sum} pair and is
+// invalidated through the existing dirty/reindex mechanism: any metadata
+// mutation marks the experiment dirty, the next reindex advances metaGen,
+// and a cached digest from an older generation is ignored. Concurrent
+// MetaDigest calls on a shared immutable experiment at worst recompute the
+// same value and store it twice — idempotent, and race-free because the
+// cache pointer is atomic.
+
+type metaDigestCache struct {
+	gen uint64
+	sum [32]byte
+}
+
+// MetaDigest returns the experiment's structural metadata digest,
+// computing and caching it on first use per metadata generation.
+func (e *Experiment) MetaDigest() [32]byte {
+	e.reindex()
+	if c := e.metaDigest.Load(); c != nil && c.gen == e.metaGen {
+		return c.sum
+	}
+	sum := e.computeMetaDigest()
+	e.metaDigest.Store(&metaDigestCache{gen: e.metaGen, sum: sum})
+	return sum
+}
+
+// digestWriter streams length-prefixed fields into a hash through a small
+// batch buffer, so serialising a large forest does not pay one hash.Write
+// per field.
+type digestWriter struct {
+	h   hash.Hash
+	buf []byte
+}
+
+func (w *digestWriter) flushIf() {
+	if len(w.buf) >= 4096 {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+func (w *digestWriter) tag(b byte) {
+	w.buf = append(w.buf, b)
+}
+
+func (w *digestWriter) str(s string) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(s)))
+	w.buf = append(w.buf, s...)
+	w.flushIf()
+}
+
+func (w *digestWriter) num(v int) {
+	w.buf = binary.AppendVarint(w.buf, int64(v))
+	w.flushIf()
+}
+
+func (w *digestWriter) sum() [32]byte {
+	w.h.Write(w.buf)
+	w.buf = w.buf[:0]
+	var out [32]byte
+	w.h.Sum(out[:0])
+	return out
+}
+
+func (e *Experiment) computeMetaDigest() [32]byte {
+	w := &digestWriter{h: sha256.New(), buf: make([]byte, 0, 4096)}
+
+	// Metric forest: pre-order with explicit depth (depth + length-prefixed
+	// fields make the serialisation unambiguous).
+	w.tag('M')
+	var walkMetric func(m *Metric, depth int)
+	walkMetric = func(m *Metric, depth int) {
+		w.num(depth)
+		w.str(m.Name)
+		w.str(string(m.Unit))
+		w.str(m.Description)
+		for _, c := range m.children {
+			walkMetric(c, depth+1)
+		}
+	}
+	for _, r := range e.metricRoots {
+		walkMetric(r, 0)
+	}
+
+	// Registered regions, in registration order. All fields participate:
+	// the first occurrence of a region key provides the integration
+	// prototype, so differing descriptions or line numbers must yield
+	// different digests.
+	w.tag('R')
+	w.num(len(e.regions))
+	region := func(r *Region) {
+		if r == nil {
+			w.num(-1)
+			return
+		}
+		w.str(r.Name)
+		w.str(r.Module)
+		w.num(r.BeginLine)
+		w.num(r.EndLine)
+		w.str(r.Description)
+	}
+	for _, r := range e.regions {
+		region(r)
+	}
+
+	// Registered call sites (by value, callee inline), then the call forest
+	// in pre-order. Sites are serialised per node rather than by reference:
+	// integration copies them structurally, so only their content matters.
+	w.tag('S')
+	w.num(len(e.callSites))
+	site := func(s *CallSite) {
+		if s == nil {
+			w.num(-1)
+			return
+		}
+		w.str(s.File)
+		w.num(s.Line)
+		region(s.Callee)
+	}
+	for _, s := range e.callSites {
+		site(s)
+	}
+	w.tag('C')
+	var walkCall func(n *CallNode, depth int)
+	walkCall = func(n *CallNode, depth int) {
+		w.num(depth)
+		site(n.Site)
+		for _, c := range n.children {
+			walkCall(c, depth+1)
+		}
+	}
+	for _, r := range e.callRoots {
+		walkCall(r, 0)
+	}
+
+	// System forest: machines, nodes, processes, threads in insertion
+	// order, with explicit child counts.
+	w.tag('Y')
+	w.num(len(e.machines))
+	for _, mach := range e.machines {
+		w.str(mach.Name)
+		w.num(len(mach.nodes))
+		for _, nd := range mach.nodes {
+			w.str(nd.Name)
+			w.num(len(nd.procs))
+			for _, p := range nd.procs {
+				w.num(p.Rank)
+				w.str(p.Name)
+				w.num(len(p.threads))
+				for _, t := range p.threads {
+					w.num(t.ID)
+					w.str(t.Name)
+				}
+			}
+		}
+	}
+
+	// Topology: a topology survives integration only when all operands
+	// agree on it, so it must separate digests.
+	w.tag('T')
+	if t := e.topology; t != nil {
+		w.str(t.Name)
+		w.num(len(t.Dims))
+		for _, d := range t.Dims {
+			w.num(d)
+		}
+		ranks := t.SortedRanks()
+		w.num(len(ranks))
+		for _, rank := range ranks {
+			w.num(rank)
+			for _, c := range t.Coords[rank] {
+				w.num(c)
+			}
+		}
+	} else {
+		w.num(-1)
+	}
+
+	return w.sum()
+}

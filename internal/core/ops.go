@@ -84,6 +84,7 @@ func linearCombine(op string, opts *Options, weights []float64, operands ...*Exp
 }
 
 func legacyLinearCombine(in *integration, weights []float64, operands []*Experiment) {
+	in.ensureMaps()
 	presize(in.out, operands)
 	for i, x := range operands {
 		w := weights[i]
@@ -91,9 +92,12 @@ func legacyLinearCombine(in *integration, weights []float64, operands []*Experim
 			continue
 		}
 		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
-		for k, v := range x.sevMap() {
-			in.out.AddSeverity(mf[k.m], cf[k.c], tf[k.t], w*v)
-		}
+		// EachSeverity streams the operand's columnar form read-only;
+		// sevMap() would materialise the pointer map on kernel results and
+		// on the server's shared cached masters.
+		x.EachSeverity(func(m *Metric, c *CallNode, t *Thread, v float64) {
+			in.out.AddSeverity(mf[m], cf[c], tf[t], w*v)
+		})
 	}
 }
 
@@ -191,18 +195,19 @@ func MergeAll(opts *Options, operands ...*Experiment) (*Experiment, error) {
 }
 
 func legacyMerge(in *integration, operands []*Experiment) {
+	in.ensureMaps()
 	presize(in.out, operands)
 	for i, x := range operands {
 		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
-		for k, v := range x.sevMap() {
-			rm := mf[k.m]
+		x.EachSeverity(func(m *Metric, c *CallNode, t *Thread, v float64) {
+			rm := mf[m]
 			// The merge rule operates at metric granularity: the operand
 			// that provides a metric first owns all of its values.
 			if in.metricSource[rm] != i {
-				continue
+				return
 			}
-			in.out.AddSeverity(rm, cf[k.c], tf[k.t], v)
-		}
+			in.out.AddSeverity(rm, cf[c], tf[t], v)
+		})
 	}
 }
 
@@ -308,6 +313,7 @@ func foldCombine(op string, opts *Options, fold func(acc, v float64) float64, op
 // it collects, per result tuple, the folded (collapse-summed) value of every
 // operand and applies finish to the per-operand vector.
 func legacyFold(in *integration, operands []*Experiment, finish func(folded []float64) float64) {
+	in.ensureMaps()
 	presize(in.out, operands)
 	type vec struct {
 		vals []float64
@@ -315,8 +321,8 @@ func legacyFold(in *integration, operands []*Experiment, finish func(folded []fl
 	tuples := map[sevKey]*vec{}
 	for i, x := range operands {
 		mf, cf, tf := in.metricFrom[i], in.cnodeFrom[i], in.threadFrom[i]
-		for k, v := range x.sevMap() {
-			rk := sevKey{mf[k.m], cf[k.c], tf[k.t]}
+		x.EachSeverity(func(m *Metric, c *CallNode, t *Thread, v float64) {
+			rk := sevKey{mf[m], cf[c], tf[t]}
 			tv, ok := tuples[rk]
 			if !ok {
 				tv = &vec{vals: make([]float64, len(operands))}
@@ -328,7 +334,7 @@ func legacyFold(in *integration, operands []*Experiment, finish func(folded []fl
 			// this wrong: two collapsed values v1, v2 contributed
 			// v1²+v2² instead of (v1+v2)² to the sum of squares.)
 			tv.vals[i] += v
-		}
+		})
 	}
 	for rk, tv := range tuples {
 		in.out.SetSeverity(rk.m, rk.c, rk.t, finish(tv.vals))

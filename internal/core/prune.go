@@ -36,9 +36,9 @@ func Prune(x *Experiment, metricPath string, threshold float64) (*Experiment, er
 	// inclusive values can be computed on out.
 	mf, cf, tf := in.metricFrom[0], in.cnodeFrom[0], in.threadFrom[0]
 	presize(out, []*Experiment{x})
-	for k, v := range x.sevMap() {
-		out.AddSeverity(mf[k.m], cf[k.c], tf[k.t], v)
-	}
+	x.EachSeverity(func(m *Metric, c *CallNode, t *Thread, v float64) {
+		out.AddSeverity(mf[m], cf[c], tf[t], v)
+	})
 
 	// |inclusive| of the selected metric subtree per call node.
 	absIncl := func(c *CallNode) float64 {

@@ -61,6 +61,10 @@ func StructuralDiff(a, b *Experiment, opts *Options) (*StructuralReport, error) 
 	if err != nil {
 		return nil, err
 	}
+	// The report is phrased in terms of the operand→result pointer maps;
+	// a fast-path integration carries flat tables only, so materialise
+	// the map form before reading it.
+	in.ensureMaps()
 	rep := &StructuralReport{}
 
 	fromA := map[*Metric]bool{}

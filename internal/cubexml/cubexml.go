@@ -557,29 +557,20 @@ func buildMeta(r io.Reader) (*core.Experiment, map[int]*core.Metric, map[int]*co
 	return buildFromDoc(&doc)
 }
 
-// interner deduplicates decoder-allocated strings that repeat across a
-// document (units, module paths, file names), so large metadata sections
-// retain one copy per distinct value.
-type interner map[string]string
-
-func (in interner) intern(s string) string {
-	if s == "" {
-		return ""
-	}
-	if v, ok := in[s]; ok {
-		return v
-	}
-	in[s] = s
-	return s
-}
-
 // buildFromDoc constructs the metadata dimensions of the experiment from
 // the decoded document: everything except the severity matrices.
+//
+// Metadata vocabulary — metric/region/machine/node/process/thread names,
+// units, module paths, call-site files — goes through the process-wide
+// core.Intern table rather than a per-document map. Experiments from the
+// same measurement campaign repeat the same small vocabulary, so a server
+// holding hundreds of parsed experiments retains one copy of each name,
+// and cross-experiment name comparisons in the merge hot path become
+// pointer-equal for the common case.
 func buildFromDoc(doc *xCube) (*core.Experiment, map[int]*core.Metric, map[int]*core.CallNode, error) {
 	if doc.Version != "" && doc.Version != Version {
 		return nil, nil, nil, fmt.Errorf("cubexml: unsupported version %q (want %q)", doc.Version, Version)
 	}
-	in := interner{}
 
 	e := core.New(doc.Doc.Title)
 	e.Derived = doc.Doc.Derived
@@ -596,15 +587,15 @@ func buildFromDoc(doc *xCube) (*core.Experiment, map[int]*core.Metric, map[int]*
 		if !core.ValidUnit(core.Unit(xm.UOM)) {
 			return fmt.Errorf("cubexml: metric %q has invalid unit %q", xm.Name, xm.UOM)
 		}
-		xm.UOM = in.intern(xm.UOM)
+		xm.UOM = core.Intern(xm.UOM)
 		var m *core.Metric
 		if parent == nil {
-			m = e.NewMetric(xm.Name, core.Unit(xm.UOM), xm.Descr)
+			m = e.NewMetric(core.Intern(xm.Name), core.Unit(xm.UOM), xm.Descr)
 		} else {
 			if core.Unit(xm.UOM) != parent.Unit {
 				return fmt.Errorf("cubexml: metric %q unit %q differs from parent unit %q", xm.Name, xm.UOM, parent.Unit)
 			}
-			m = parent.NewChild(xm.Name, xm.Descr)
+			m = parent.NewChild(core.Intern(xm.Name), xm.Descr)
 		}
 		if _, dup := metricByID[xm.ID]; dup {
 			return fmt.Errorf("cubexml: duplicate metric id %d", xm.ID)
@@ -629,7 +620,7 @@ func buildFromDoc(doc *xCube) (*core.Experiment, map[int]*core.Metric, map[int]*
 		if _, dup := regionByID[xr.ID]; dup {
 			return nil, nil, nil, fmt.Errorf("cubexml: duplicate region id %d", xr.ID)
 		}
-		rg := e.NewRegion(xr.Name, in.intern(xr.Mod), xr.Begin, xr.End)
+		rg := e.NewRegion(core.Intern(xr.Name), core.Intern(xr.Mod), xr.Begin, xr.End)
 		rg.Description = xr.Descr
 		regionByID[xr.ID] = rg
 	}
@@ -642,7 +633,7 @@ func buildFromDoc(doc *xCube) (*core.Experiment, map[int]*core.Metric, map[int]*
 		if _, dup := siteByID[xs.ID]; dup {
 			return nil, nil, nil, fmt.Errorf("cubexml: duplicate call site id %d", xs.ID)
 		}
-		siteByID[xs.ID] = e.NewCallSite(in.intern(xs.File), xs.Line, callee)
+		siteByID[xs.ID] = e.NewCallSite(core.Intern(xs.File), xs.Line, callee)
 	}
 	cnodeByID := map[int]*core.CallNode{}
 	var buildCNode func(xn xCNode, parent *core.CallNode) error
@@ -676,13 +667,13 @@ func buildFromDoc(doc *xCube) (*core.Experiment, map[int]*core.Metric, map[int]*
 
 	// System forest.
 	for _, xm := range doc.Machines {
-		mach := e.NewMachine(xm.Name)
+		mach := e.NewMachine(core.Intern(xm.Name))
 		for _, xn := range xm.Nodes {
-			nd := mach.NewNode(xn.Name)
+			nd := mach.NewNode(core.Intern(xn.Name))
 			for _, xp := range xn.Procs {
-				p := nd.NewProcess(xp.Rank, xp.Name)
+				p := nd.NewProcess(xp.Rank, core.Intern(xp.Name))
 				for _, xt := range xp.Threads {
-					p.NewThread(xt.ID, xt.Name)
+					p.NewThread(xt.ID, core.Intern(xt.Name))
 				}
 			}
 		}

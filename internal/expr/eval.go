@@ -60,9 +60,12 @@ type flight struct {
 }
 
 // Resolver supplies leaf operands: stored experiments by digest, inline
-// request operands by index. The experiments it returns must be private
-// to the caller (the server resolves through its parse cache, which
-// returns clones).
+// request operands by index. The engine only ever reads the experiments a
+// Resolver returns — operators never mutate operands — so a resolver may
+// hand out shared pre-lowered masters (the server's parse cache does) as
+// long as nothing else mutates them either. A bare-leaf root is the one
+// exception: it is compacted (CompactSeverities) before the response
+// clone, which a columnar-only master is indifferent to.
 type Resolver func(ctx context.Context, leaf Leaf) (*core.Experiment, error)
 
 // Stats reports what one evaluation did — the numbers the server folds
@@ -120,7 +123,11 @@ func (g *Engine) Eval(ctx context.Context, plan *Plan, opts *core.Options, resol
 	g.flights[rootKey] = fl
 	g.mu.Unlock()
 
-	master, err := g.eval(ctx, plan, fp, opts, resolve, &stats)
+	masters, err := g.evalAll(ctx, plan, fp, opts, resolve, &stats, []*Node{plan.Root})
+	var master *core.Experiment
+	if err == nil {
+		master = masters[plan.Root]
+	}
 	fl.e, fl.err = master, err
 	fl.wg.Done()
 	g.mu.Lock()
@@ -132,18 +139,51 @@ func (g *Engine) Eval(ctx context.Context, plan *Plan, opts *core.Options, resol
 	return master.Clone(), stats, nil
 }
 
-// eval walks the plan in topological order (children before parents), so
-// every unique subexpression is computed exactly once and its result —
+// EvalMulti evaluates every root of a batched plan in one pass over the
+// shared DAG and returns one experiment per root, in plan order, each
+// owned by the caller. A subexpression common to several roots — or one
+// root nested inside another — runs once. Batched evaluations skip the
+// whole-request singleflight (their identity is the root set, which the
+// node-granular result cache already deduplicates), so concurrent
+// identical batches race only on cache insertion, benignly.
+func (g *Engine) EvalMulti(ctx context.Context, plan *Plan, opts *core.Options, resolve Resolver) ([]*core.Experiment, Stats, error) {
+	stats := Stats{Nodes: len(plan.Nodes), CSEHits: plan.CSEHits}
+	g.count("cube_expr_requests_total", 1)
+	g.count("cube_expr_nodes_total", int64(stats.Nodes))
+	g.count("cube_expr_cse_hits_total", int64(stats.CSEHits))
+
+	fp := optsFingerprint(opts)
+	masters, err := g.evalAll(ctx, plan, fp, opts, resolve, &stats, plan.Roots)
+	if err != nil {
+		return nil, stats, err
+	}
+	outs := make([]*core.Experiment, len(plan.Roots))
+	for i, r := range plan.Roots {
+		outs[i] = masters[r].Clone()
+	}
+	stats.RootCached = stats.Evaluated == 0 && stats.CacheHits > 0
+	return outs, stats, nil
+}
+
+// evalAll walks the plan in topological order (children before parents),
+// so every unique subexpression is computed exactly once and its result —
 // including its lazily built columnar lowering — is reused by every
-// parent. The returned root is the compacted master shared with the
-// result cache; the caller clones it.
-func (g *Engine) eval(ctx context.Context, plan *Plan, fp string, opts *core.Options, resolve Resolver, stats *Stats) (*core.Experiment, error) {
-	// results holds each node's private, per-request experiment. One
-	// clone serves all parents of a node: within the single evaluation
-	// goroutine that is safe, and it means an operand feeding several
-	// operators is lowered to its columnar block once, not once per use.
+// parent. It returns the compacted master of each requested root; callers
+// clone them across the ownership boundary.
+func (g *Engine) evalAll(ctx context.Context, plan *Plan, fp string, opts *core.Options, resolve Resolver, stats *Stats, roots []*Node) (map[*Node]*core.Experiment, error) {
+	// results holds each node's experiment for use as an operand of its
+	// parents. Operators never mutate their operands — severity access
+	// streams the read-only columnar lowering — so one experiment serves
+	// every parent without per-parent cloning, and an operand feeding
+	// several operators is lowered to its columnar block once. The same
+	// contract is what lets leaf resolvers hand out shared pre-lowered
+	// masters (the server's parse cache) instead of per-request clones.
 	results := make(map[*Node]*core.Experiment, len(plan.Nodes))
-	var rootMaster *core.Experiment
+	isRoot := make(map[*Node]bool, len(roots))
+	for _, r := range roots {
+		isRoot[r] = true
+	}
+	masters := make(map[*Node]*core.Experiment, len(roots))
 	for _, n := range plan.Nodes {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -154,6 +194,12 @@ func (g *Engine) eval(ctx context.Context, plan *Plan, fp string, opts *core.Opt
 				return nil, fmt.Errorf("expr: resolving %s: %w", n.Leaf, err)
 			}
 			results[n] = e
+			if isRoot[n] {
+				// A bare-leaf root: compact so the boundary clone (and
+				// any flight waiter) takes the columnar path.
+				e.CompactSeverities()
+				masters[n] = e
+			}
 			continue
 		}
 		key := resultKey{node: n.Key, opts: fp}
@@ -161,8 +207,8 @@ func (g *Engine) eval(ctx context.Context, plan *Plan, fp string, opts *core.Opt
 			g.count("cube_expr_cache_hits_total", 1)
 			stats.CacheHits++
 			results[n] = e
-			if n == plan.Root {
-				rootMaster = e // already a private clone; see below
+			if isRoot[n] {
+				masters[n] = e
 			}
 			continue
 		}
@@ -194,24 +240,18 @@ func (g *Engine) eval(ctx context.Context, plan *Plan, fp string, opts *core.Opt
 		sp.End()
 		stats.Evaluated++
 		g.count("cube_expr_eval_nodes_total", 1)
-		// Compact and publish the master, then hand this request a
-		// clone: once the master is visible in the cache, concurrent
-		// requests clone it, so this request must not mutate it either.
+		// Compact and publish the master. Once it is visible in the
+		// cache, concurrent requests clone it; this request also only
+		// reads it — as an operand of parent nodes, and for roots
+		// through the boundary clone its caller receives.
 		master.CompactSeverities()
-		g.cache.put(resultKey{node: n.Key, opts: fp}, master)
-		if n == plan.Root {
-			rootMaster = master
-		} else {
-			results[n] = master.Clone()
+		g.cache.put(key, master)
+		results[n] = master
+		if isRoot[n] {
+			masters[n] = master
 		}
 	}
-	if rootMaster == nil {
-		// Root is a bare leaf (`{"ref": "digest:..."}`): the resolved
-		// operand, compacted so flight waiters can clone it safely.
-		rootMaster = results[plan.Root]
-		rootMaster.CompactSeverities()
-	}
-	return rootMaster, nil
+	return masters, nil
 }
 
 // applyOp dispatches one operator node to the core algebra.

@@ -472,3 +472,65 @@ func TestEvalCSENeverReevaluates(t *testing.T) {
 		}
 	}
 }
+
+// A batched plan evaluates every root over one shared DAG: the common
+// subexpression runs once, each root's result matches the sequential
+// composition, a bare-leaf root round-trips, and a replayed batch is
+// served entirely from the result cache.
+func TestEvalMulti(t *testing.T) {
+	a := evalExperiment("a", 4, 8, 12)
+	b := evalExperiment("b", 1, 2, 3)
+	store := newTestStore(map[string]*core.Experiment{"a": a, "b": b})
+	eng := NewEngine(Config{CacheBytes: 1 << 20})
+
+	d, _ := core.Difference(a, b, nil)
+	sc, _ := core.Scale(d, 2, nil)
+
+	src := fmt.Sprintf(`{"defs":{"d":{"op":"difference","args":[{"ref":%q},{"ref":%q}]}},
+		"roots":[{"ref":"def:d"},{"op":"scale","factor":2,"args":[{"ref":"def:d"}]},{"ref":%q}]}`,
+		digestFor("a"), digestFor("b"), digestFor("a"))
+	plan := planFor(t, src)
+	if len(plan.Roots) != 3 {
+		t.Fatalf("plan has %d roots, want 3", len(plan.Roots))
+	}
+
+	outs, stats, err := eng.EvalMulti(context.Background(), plan, nil, store.resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("got %d results, want 3", len(outs))
+	}
+	// difference once (shared by roots 0 and 1) + scale once.
+	if stats.Evaluated != 2 {
+		t.Errorf("Evaluated = %d, want 2 (difference shared across roots)", stats.Evaluated)
+	}
+	if outs[0].Fingerprint() != d.Fingerprint() {
+		t.Error("root 0 differs from sequential difference")
+	}
+	if outs[1].Fingerprint() != sc.Fingerprint() {
+		t.Error("root 1 differs from sequential scale")
+	}
+	if outs[2].Fingerprint() != a.Fingerprint() {
+		t.Error("bare-leaf root did not round-trip")
+	}
+
+	// Each result is a private clone: mutating one must not leak into a
+	// replay served from the result cache.
+	for _, th := range outs[0].Threads() {
+		outs[0].SetSeverity(outs[0].Metrics()[0], outs[0].CallNodes()[0], th, 999)
+	}
+	outs2, stats2, err := eng.EvalMulti(context.Background(), plan, nil, store.resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Evaluated != 0 {
+		t.Errorf("replay Evaluated = %d, want 0", stats2.Evaluated)
+	}
+	if !stats2.RootCached {
+		t.Error("replay RootCached = false, want true")
+	}
+	if outs2[0].Fingerprint() != d.Fingerprint() {
+		t.Error("replayed root 0 sees the caller's mutation (shared master leaked)")
+	}
+}

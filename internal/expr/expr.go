@@ -108,11 +108,13 @@ type wireNode struct {
 	Metrics   []string `json:"metrics,omitempty"`   // extract
 }
 
-// wireRequest is the JSON shape of a whole request: either a bare node,
-// or a node plus named definitions it may reference as `def:<name>`.
+// wireRequest is the JSON shape of a whole request: a bare node, a node
+// plus named definitions it may reference as `def:<name>`, or a batch of
+// root nodes (`{"roots": [...]}`') evaluated over one shared DAG.
 type wireRequest struct {
-	Defs map[string]*wireNode `json:"defs,omitempty"`
-	Expr *wireNode            `json:"expr,omitempty"`
+	Defs  map[string]*wireNode `json:"defs,omitempty"`
+	Expr  *wireNode            `json:"expr,omitempty"`
+	Roots []*wireNode          `json:"roots,omitempty"`
 	wireNode
 }
 
@@ -175,12 +177,17 @@ func (n *Node) Op() string {
 // KeyString is the hex form of the canonical digest.
 func (n *Node) KeyString() string { return hex.EncodeToString(n.Key[:]) }
 
-// Expr is a parsed (but not yet canonicalized) expression.
+// Expr is a parsed (but not yet canonicalized) expression — one root, or
+// several roots sharing one definition scope and one evaluation DAG.
 type Expr struct {
-	root      *Node
+	roots     []*Node
 	wireNodes int // node objects in the wire form, defs included
 	maxOp     int // largest inline operand index referenced, -1 if none
 }
+
+// NumRoots reports how many root expressions the request carried (1 for
+// the single-expression forms).
+func (e *Expr) NumRoots() int { return len(e.roots) }
 
 // MaxOperandRef returns the largest `operand:<i>` index the expression
 // references, or -1 when it references none — the carrying request must
@@ -211,25 +218,38 @@ func Parse(data []byte, lim Limits) (*Expr, error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, parseErrf("bad JSON: %v", err)
 	}
-	root := req.Expr
-	if root == nil {
+	var wireRoots []*wireNode
+	switch {
+	case len(req.Roots) > 0:
+		if req.Expr != nil || req.Op != "" || req.Ref != "" {
+			return nil, parseErrf(`request mixes "roots" with "expr" or top-level node fields`)
+		}
+		wireRoots = req.Roots
+	case req.Expr != nil:
+		if req.Op != "" || req.Ref != "" {
+			return nil, parseErrf(`request mixes "expr" with top-level node fields`)
+		}
+		wireRoots = []*wireNode{req.Expr}
+	default:
 		// Bare-node form: the top-level object is itself the expression.
 		if req.Op == "" && req.Ref == "" {
-			return nil, parseErrf(`request carries neither "expr" nor a top-level node`)
+			return nil, parseErrf(`request carries neither "expr", "roots", nor a top-level node`)
 		}
-		root = &req.wireNode
-	} else if req.Op != "" || req.Ref != "" {
-		return nil, parseErrf(`request mixes "expr" with top-level node fields`)
+		wireRoots = []*wireNode{&req.wireNode}
 	}
 	p := &parser{lim: lim, defs: req.Defs, resolving: map[string]bool{}, built: map[string]*Node{}, maxOp: -1}
-	n, err := p.build(root)
-	if err != nil {
-		return nil, err
+	roots := make([]*Node, len(wireRoots))
+	for i, w := range wireRoots {
+		n, err := p.build(w)
+		if err != nil {
+			return nil, err
+		}
+		if d := n.depth; d > lim.MaxDepth {
+			return nil, parseErrf("expression depth %d exceeds the limit of %d", d, lim.MaxDepth)
+		}
+		roots[i] = n
 	}
-	if d := n.depth; d > lim.MaxDepth {
-		return nil, parseErrf("expression depth %d exceeds the limit of %d", d, lim.MaxDepth)
-	}
-	return &Expr{root: n, wireNodes: p.count, maxOp: p.maxOp}, nil
+	return &Expr{roots: roots, wireNodes: p.count, maxOp: p.maxOp}, nil
 }
 
 type parser struct {
@@ -354,10 +374,16 @@ func (p *parser) buildRef(ref string) (*Node, error) {
 
 // Plan is the canonicalized, deduplicated evaluation plan: every
 // structurally distinct subexpression appears exactly once in Nodes, in a
-// topological order (children strictly before parents, root last).
+// topological order (children strictly before parents, roots last).
 type Plan struct {
 	Nodes []*Node
-	Root  *Node
+	// Root is the single root of the classic one-expression forms, and
+	// the first root of a batch request.
+	Root *Node
+	// Roots holds every requested root in request order. Batched roots
+	// share one DAG: a subexpression common to two roots — or one root
+	// that is a subexpression of another — plans and evaluates once.
+	Roots []*Node
 	// CSEHits counts references to operator subexpressions that were
 	// already planned — the evaluations the sharing pass eliminates.
 	// Deduplicated leaf references do not count.
@@ -381,11 +407,19 @@ func (e *Expr) Plan(digester LeafDigester) (*Plan, error) {
 		byPtr:    map[*Node]*Node{},
 		byKey:    map[[sha256.Size]byte]*Node{},
 	}
-	root, err := pl.canon(e.root)
-	if err != nil {
-		return nil, err
+	roots := make([]*Node, len(e.roots))
+	depth := 0
+	for i, r := range e.roots {
+		cr, err := pl.canon(r)
+		if err != nil {
+			return nil, err
+		}
+		roots[i] = cr
+		if cr.depth > depth {
+			depth = cr.depth
+		}
 	}
-	return &Plan{Nodes: pl.order, Root: root, CSEHits: pl.cseHits, Depth: root.depth}, nil
+	return &Plan{Nodes: pl.order, Root: roots[0], Roots: roots, CSEHits: pl.cseHits, Depth: depth}, nil
 }
 
 type planner struct {

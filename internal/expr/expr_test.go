@@ -110,8 +110,8 @@ func TestParseErrors(t *testing.T) {
 		{`{"ref":"bogus:x"}`, "want digest:"},
 		{`{"ref":"def:missing"}`, "names no definition"},
 		{`{"op":"mean","ref":"operand:0","args":[{"ref":"operand:1"}]}`, "mixes ref"},
-		{`{"args":[{"ref":"operand:0"}]}`, `neither "expr" nor a top-level node`},
-		{`{"defs":{}}`, `neither "expr" nor a top-level node`},
+		{`{"args":[{"ref":"operand:0"}]}`, `neither "expr", "roots", nor a top-level node`},
+		{`{"defs":{}}`, `neither "expr", "roots", nor a top-level node`},
 		{fmt.Sprintf(`{"expr":{"ref":%q},"op":"mean"}`, d), `mixes "expr"`},
 		{`{"op":"mean","argz":[{"ref":"operand:0"}]}`, "bad JSON"},
 		{`{"defs":{"a":{"op":"flatten","args":[{"ref":"def:b"}]},"b":{"op":"flatten","args":[{"ref":"def:a"}]}},"expr":{"ref":"def:a"}}`, "definition cycle"},

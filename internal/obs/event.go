@@ -71,6 +71,13 @@ type EventFields struct {
 	ExprCacheHits int `json:"expr_cache_hits,omitempty"` // node results served from the expression-digest cache
 	ExprEvaluated int `json:"expr_evaluated,omitempty"`  // operator nodes actually executed
 
+	// Metadata fast paths (integrate) and lowered-block reuse.
+	MetaIdentity     int `json:"meta_identity,omitempty"`      // integrations served by the identity fast path (all operand digests equal)
+	MetaMemoHits     int `json:"meta_memo_hits,omitempty"`     // integrations served from the integration memo
+	MetaMemoMisses   int `json:"meta_memo_misses,omitempty"`   // digest-eligible integrations that missed the memo
+	LowerCacheHits   int `json:"lower_cache_hits,omitempty"`   // operands served as shared pre-lowered masters
+	LowerCacheMisses int `json:"lower_cache_misses,omitempty"` // operands that had to be cloned / lowered per request
+
 	// Kernel execution.
 	KernelCells  int64  `json:"kernel_cells,omitempty"`  // result severity cells produced
 	KernelTuples int64  `json:"kernel_tuples,omitempty"` // operand tuples consumed
@@ -452,6 +459,36 @@ func (e *Event) SetExprStats(nodes, cseHits, cacheHits, evaluated int) {
 		f.ExprCSEHits = cseHits
 		f.ExprCacheHits = cacheHits
 		f.ExprEvaluated = evaluated
+	})
+}
+
+// AddMetaFastpath attributes one metadata fast-path outcome in integrate:
+// "identity" (all operand digests equal), "memo" (integration memo hit),
+// or "miss" (digest-eligible but not cached). Full-merge integrations with
+// fewer than two operands, or with the fast path disabled, report nothing.
+func (e *Event) AddMetaFastpath(kind string) {
+	e.set(func(f *EventFields) {
+		switch kind {
+		case "identity":
+			f.MetaIdentity++
+		case "memo":
+			f.MetaMemoHits++
+		case "miss":
+			f.MetaMemoMisses++
+		}
+	})
+}
+
+// LowerCache attributes one lowered-block reuse decision: whether an
+// operand was served as a shared pre-lowered master (hit) or required a
+// per-request clone (miss).
+func (e *Event) LowerCache(hit bool) {
+	e.set(func(f *EventFields) {
+		if hit {
+			f.LowerCacheHits++
+		} else {
+			f.LowerCacheMisses++
+		}
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/base64"
+	"encoding/hex"
 	"strings"
 	"sync"
 
@@ -45,13 +46,22 @@ type cacheEntry struct {
 	key  [sha256.Size]byte
 	size int64
 	e    *core.Experiment
+	// meta is e's metadata digest, recorded at ingest so lowered-block
+	// reuse across requests is keyed by (content digest, metadata digest)
+	// without re-walking the forests on every request.
+	meta [sha256.Size]byte
+	// shared reports whether e is columnar-only, i.e. its lowered
+	// severity block may be handed to read-only consumers without a copy.
+	shared bool
 }
 
 // flight is one in-progress parse other requests for the same key wait on.
 type flight struct {
-	wg  sync.WaitGroup
-	e   *core.Experiment
-	err error
+	wg     sync.WaitGroup
+	e      *core.Experiment
+	meta   [sha256.Size]byte
+	shared bool
+	err    error
 }
 
 func newParseCache(budget int64, lim cubexml.Limits, engine cubexml.ReadEngine, reg *obs.Registry) *parseCache {
@@ -75,42 +85,77 @@ func (pc *parseCache) count(name string) {
 // get returns an experiment for the operand bytes — a private clone the
 // caller may mutate freely — parsing at most once per distinct content.
 func (pc *parseCache) get(ctx context.Context, data []byte) (*core.Experiment, error) {
+	return pc.resolve(ctx, data, false)
+}
+
+// shared returns the cached master itself when it is columnar-only —
+// zero-copy reuse of its already-lowered severity block — falling back to
+// a private clone otherwise. The caller must treat the result as strictly
+// read-only; the expression engine's operand contract (operators never
+// mutate operands) is what makes this safe.
+func (pc *parseCache) shared(ctx context.Context, data []byte) (*core.Experiment, error) {
+	return pc.resolve(ctx, data, true)
+}
+
+func (pc *parseCache) resolve(ctx context.Context, data []byte, wantShared bool) (*core.Experiment, error) {
 	sp, _ := obs.StartSpanContext(ctx, "cubexml.cache")
-	e, outcome, err := pc.lookup(ctx, data)
+	ent, outcome, err := pc.lookup(ctx, data)
 	if sp != nil {
 		sp.SetAttr("outcome", outcome)
 		sp.SetAttr("bytes", int64(len(data)))
 		if err != nil {
 			sp.SetAttr("error", err.Error())
+		} else {
+			sp.SetAttr("meta", hex.EncodeToString(ent.meta[:6]))
 		}
 		sp.End()
 	}
+	ev := obs.EventFromContext(ctx)
 	// A "wait" shared another request's parse, which is a hit from this
 	// request's cost perspective.
-	obs.EventFromContext(ctx).ParseCache(outcome != "miss")
-	return e, err
+	ev.ParseCache(outcome != "miss")
+	if err != nil {
+		return nil, err
+	}
+	if wantShared {
+		// Lowered-block reuse: a repeat request over the same content
+		// digest serves the master's columnar block outright instead of
+		// copying it. The first parse necessarily builds the block, so it
+		// counts as the miss that populates the cache.
+		hit := ent.shared && outcome != "miss"
+		if hit {
+			pc.count("cube_lower_cache_hits_total")
+		} else {
+			pc.count("cube_lower_cache_misses_total")
+		}
+		ev.LowerCache(hit)
+		if ent.shared {
+			return ent.e, nil
+		}
+	}
+	// Cloning is pure reads on the master (columnar fast path), so
+	// concurrent resolves of the same entry may proceed in parallel.
+	return ent.e.Clone(), nil
 }
 
-func (pc *parseCache) lookup(ctx context.Context, data []byte) (*core.Experiment, string, error) {
+func (pc *parseCache) lookup(ctx context.Context, data []byte) (cacheEntry, string, error) {
 	key := sha256.Sum256(data)
 	pc.mu.Lock()
 	if el, ok := pc.entries[key]; ok {
 		pc.lru.MoveToFront(el)
-		master := el.Value.(*cacheEntry).e
+		ent := *el.Value.(*cacheEntry)
 		pc.mu.Unlock()
 		pc.count("cube_parse_cache_hits_total")
-		// Cloning is pure reads on the master (columnar fast path), so
-		// hits on the same entry may proceed concurrently.
-		return master.Clone(), "hit", nil
+		return ent, "hit", nil
 	}
 	if fl, ok := pc.flights[key]; ok {
 		pc.mu.Unlock()
 		fl.wg.Wait()
 		if fl.err != nil {
-			return nil, "wait", fl.err
+			return cacheEntry{}, "wait", fl.err
 		}
 		pc.count("cube_parse_cache_hits_total")
-		return fl.e.Clone(), "wait", nil
+		return cacheEntry{key: key, e: fl.e, meta: fl.meta, shared: fl.shared}, "wait", nil
 	}
 	fl := &flight{}
 	fl.wg.Add(1)
@@ -119,46 +164,50 @@ func (pc *parseCache) lookup(ctx context.Context, data []byte) (*core.Experiment
 
 	pc.count("cube_parse_cache_misses_total")
 	master, err := cubexml.ReadBytes(ctx, data, cubexml.ReadOptions{Limits: pc.limits, Engine: pc.engine})
+	ent := cacheEntry{key: key, size: int64(len(data)), e: master}
 	if err == nil {
-		// Columnar-only masters make Clone take its cheap path and are
-		// safe to clone concurrently.
-		master.CompactSeverities()
+		// Compact to the columnar store and record the metadata digest
+		// before the master becomes visible to anyone: from here on,
+		// every consumer — cloning or shared — only ever reads it.
+		ent.shared = master.CompactSeverities()
+		ent.meta = master.MetaDigest()
+		fl.e, fl.meta, fl.shared = master, ent.meta, ent.shared
 	}
-	fl.e, fl.err = master, err
+	fl.err = err
 	fl.wg.Done()
 
 	pc.mu.Lock()
 	delete(pc.flights, key)
 	if err == nil {
-		pc.insert(key, master, int64(len(data)))
+		pc.insert(&ent)
 	}
 	pc.mu.Unlock()
 	if err != nil {
-		return nil, "miss", err
+		return cacheEntry{}, "miss", err
 	}
-	return master.Clone(), "miss", nil
+	return ent, "miss", nil
 }
 
 // insert adds a parsed master under pc.mu, evicting from the LRU tail
 // until the budget holds. Entries larger than the whole budget are not
 // cached at all.
-func (pc *parseCache) insert(key [sha256.Size]byte, e *core.Experiment, size int64) {
-	if size > pc.budget {
+func (pc *parseCache) insert(ent *cacheEntry) {
+	if ent.size > pc.budget {
 		return
 	}
-	for pc.bytes+size > pc.budget {
+	for pc.bytes+ent.size > pc.budget {
 		back := pc.lru.Back()
 		if back == nil {
 			break
 		}
-		ent := back.Value.(*cacheEntry)
+		old := back.Value.(*cacheEntry)
 		pc.lru.Remove(back)
-		delete(pc.entries, ent.key)
-		pc.bytes -= ent.size
+		delete(pc.entries, old.key)
+		pc.bytes -= old.size
 		pc.count("cube_parse_cache_evictions_total")
 	}
-	pc.entries[key] = pc.lru.PushFront(&cacheEntry{key: key, size: size, e: e})
-	pc.bytes += size
+	pc.entries[ent.key] = pc.lru.PushFront(ent)
+	pc.bytes += ent.size
 	if pc.reg != nil {
 		pc.reg.Gauge("cube_parse_cache_bytes").Set(pc.bytes)
 	}

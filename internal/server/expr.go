@@ -15,8 +15,11 @@ package server
 // The document is a node tree — `{"op":"mean","args":[...]}` with
 // `{"ref":"digest:<sha256>"}` / `{"ref":"operand:<i>"}` leaves — or
 // `{"defs":{...},"expr":{...}}` naming shared subexpressions (see
-// internal/expr). Query params callmatch= and system= select integration
-// options exactly as on /op/{op}.
+// internal/expr). `{"defs":{...},"roots":[...]}` evaluates several
+// expressions over one shared DAG in a single request; the response is
+// then multipart/mixed with one CUBE XML part per root, in order, plus an
+// X-Cube-Expr-Roots count header. Query params callmatch= and system=
+// select integration options exactly as on /op/{op}.
 //
 // Identical subtrees are evaluated once (CSE), evaluated subexpressions
 // land in a byte-budgeted expression-digest result cache, and identical
@@ -26,12 +29,16 @@ package server
 // the sharing without scraping /metrics.
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"mime/multipart"
 	"net/http"
+	"net/textproto"
 	"strconv"
 	"strings"
 
@@ -94,7 +101,27 @@ func (s *service) handleExpr(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 	}
-	result, stats, err := s.expr.Eval(r.Context(), plan, opts, s.exprResolver(operands, &pinned))
+	resolve := s.exprResolver(operands, &pinned)
+	if len(plan.Roots) > 1 {
+		results, stats, err := s.expr.EvalMulti(r.Context(), plan, opts, resolve)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // the timeout middleware already answered
+			}
+			s.exprError(w, r, err, http.StatusUnprocessableEntity)
+			return
+		}
+		ev.SetOp(plan.Root.Op())
+		ev.SetExprStats(stats.Nodes, stats.CSEHits, stats.CacheHits, stats.Evaluated)
+		s.exprHeaders(w, stats)
+		w.Header().Set("X-Cube-Expr-Roots", strconv.Itoa(len(results)))
+		if ctxDone(w, r) {
+			return
+		}
+		s.writeExperimentParts(w, r, results)
+		return
+	}
+	result, stats, err := s.expr.Eval(r.Context(), plan, opts, resolve)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // the timeout middleware already answered
@@ -104,6 +131,16 @@ func (s *service) handleExpr(w http.ResponseWriter, r *http.Request) {
 	}
 	ev.SetOp(plan.Root.Op())
 	ev.SetExprStats(stats.Nodes, stats.CSEHits, stats.CacheHits, stats.Evaluated)
+	s.exprHeaders(w, stats)
+	if ctxDone(w, r) {
+		return
+	}
+	s.writeExperiment(w, r, result)
+}
+
+// exprHeaders stamps the evaluation-stat response headers shared by the
+// single-root and batched forms of POST /expr.
+func (s *service) exprHeaders(w http.ResponseWriter, stats expr.Stats) {
 	w.Header().Set("X-Cube-Expr-Nodes", strconv.Itoa(stats.Nodes))
 	w.Header().Set("X-Cube-Expr-Cse-Hits", strconv.Itoa(stats.CSEHits))
 	cacheState := "miss"
@@ -111,10 +148,37 @@ func (s *service) handleExpr(w http.ResponseWriter, r *http.Request) {
 		cacheState = "hit"
 	}
 	w.Header().Set("X-Cube-Expr-Cache", cacheState)
-	if ctxDone(w, r) {
-		return
+}
+
+// writeExperimentParts answers a batched expression with a multipart/mixed
+// body carrying one CUBE XML part per root, in root order. Like
+// writeExperiment, every document is encoded before the first response
+// byte, so encoding failures become a clean 500 rather than a truncated
+// multipart stream.
+func (s *service) writeExperimentParts(w http.ResponseWriter, r *http.Request, results []*core.Experiment) {
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for i, e := range results {
+		var buf bytes.Buffer
+		if err := cubexml.WriteContext(r.Context(), &buf, e); err != nil {
+			s.logError(r.Context(), "encoding result experiment",
+				slog.String("title", e.Title), slog.Any("err", err))
+			httpError(w, r, http.StatusInternalServerError, "encoding root %d: %v", i, err)
+			return
+		}
+		hdr := make(textproto.MIMEHeader)
+		hdr.Set("Content-Type", "application/xml; charset=utf-8")
+		pw, err := mw.CreatePart(hdr)
+		if err != nil {
+			httpError(w, r, http.StatusInternalServerError, "assembling multipart response: %v", err)
+			return
+		}
+		buf.WriteTo(pw)
 	}
-	s.writeExperiment(w, r, result)
+	mw.Close()
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	w.Header().Set("Content-Length", strconv.Itoa(body.Len()))
+	body.WriteTo(w)
 }
 
 // planExpr parses and canonicalizes the expression document against the
@@ -135,6 +199,10 @@ func (s *service) planExpr(src []byte, operands []exprOperand) (*expr.Plan, erro
 // exprResolver supplies leaf experiments to the evaluation engine: inline
 // operands parse through the content-addressed parse cache, digest leaves
 // resolve from the store (pinned into *pinned for the caller to release).
+// Leaves resolve through the cache's shared path: the engine's operators
+// never mutate operands, so a repeat request over the same content digest
+// reuses the cached master's lowered columnar block outright instead of
+// copying it (counted as cube_lower_cache_hits_total).
 func (s *service) exprResolver(operands []exprOperand, pinned *[]store.Digest) expr.Resolver {
 	return func(ctx context.Context, leaf expr.Leaf) (*core.Experiment, error) {
 		switch leaf.Kind {
@@ -144,7 +212,7 @@ func (s *service) exprResolver(operands []exprOperand, pinned *[]store.Digest) e
 				return s.resolveDigestLeaf(ctx, op.digest, pinned)
 			}
 			if s.cache != nil {
-				return s.cache.get(ctx, op.data)
+				return s.cache.shared(ctx, op.data)
 			}
 			return cubexml.ReadBytes(ctx, op.data, cubexml.ReadOptions{Limits: s.cfg.XML, Engine: s.cfg.ReadEngine})
 		case expr.LeafDigest:
@@ -182,7 +250,7 @@ func (s *service) resolveDigestLeaf(ctx context.Context, d store.Digest, pinned 
 	ev.AddOperand("digest", int64(len(data)))
 	statsFrom(ctx).add(int64(len(data)))
 	if s.cache != nil {
-		return s.cache.get(ctx, data)
+		return s.cache.shared(ctx, data)
 	}
 	return cubexml.ReadBytes(ctx, data, cubexml.ReadOptions{Limits: s.cfg.XML, Engine: s.cfg.ReadEngine})
 }

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"mime"
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
@@ -253,6 +254,138 @@ func TestExprErrorMapping(t *testing.T) {
 		t.Errorf(`missing "expr" field: status %d, want 400`, resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// A batched request evaluates several roots over one shared DAG in one
+// round trip: the response is multipart/mixed with one CUBE XML part per
+// root, the shared difference runs once, and repeated operands are served
+// from the shared lowered blocks (cube_lower_cache_hits_total).
+func TestExprMultiRoot(t *testing.T) {
+	a := buildExp("a", 0.25)
+	b := buildExp("b", 0)
+	d, _ := core.Difference(a, b, nil)
+	sc, _ := core.Scale(d, 2, nil)
+
+	reg := obs.NewRegistry()
+	cfg := quietConfig()
+	cfg.Metrics = reg
+	cfg.Events = obs.NewEventSink(64)
+	srv, _ := newStoreServer(t, cfg, store.Options{})
+
+	docA, docB := encodeExp(t, a), encodeExp(t, b)
+	digA, digB := store.DigestOf(docA).String(), store.DigestOf(docB).String()
+	for dig, doc := range map[string][]byte{digA: docA, digB: docB} {
+		resp := putExperiment(t, srv, dig, doc, "")
+		resp.Body.Close()
+	}
+
+	src := fmt.Sprintf(`{"defs":{"d":{"op":"difference","args":[{"ref":"digest:%s"},{"ref":"digest:%s"}]}},
+		"roots":[{"ref":"def:d"},{"op":"scale","factor":2,"args":[{"ref":"def:d"}]}]}`, digA, digB)
+
+	resp := postExprJSON(t, srv, src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	if got := resp.Header.Get("X-Cube-Expr-Roots"); got != "2" {
+		t.Errorf("X-Cube-Expr-Roots = %q, want 2", got)
+	}
+	mt, params, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil || mt != "multipart/mixed" {
+		t.Fatalf("Content-Type = %q, want multipart/mixed", resp.Header.Get("Content-Type"))
+	}
+	mr := multipart.NewReader(resp.Body, params["boundary"])
+	var parts []*core.Experiment
+	for {
+		p, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := cubexml.Read(p)
+		if err != nil {
+			t.Fatalf("part %d not a cube document: %v", len(parts), err)
+		}
+		parts = append(parts, e)
+	}
+	resp.Body.Close()
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts, want 2", len(parts))
+	}
+	if parts[0].Fingerprint() != d.Fingerprint() {
+		t.Error("root 0 differs from the sequential difference")
+	}
+	if parts[1].Fingerprint() != sc.Fingerprint() {
+		t.Error("root 1 differs from the sequential scale")
+	}
+	// The def shared by both roots ran exactly once.
+	if v := reg.CounterValue("cube_op_invocations_total", obs.L("op", "difference")); v != 1 {
+		t.Errorf("difference ran %d times, want 1 (shared across roots)", v)
+	}
+}
+
+// Repeated POST /expr over the same operand content reuses the parse
+// cache's lowered columnar blocks without copying them: the first request
+// populates (a lower-cache miss per leaf resolution), repeats hit.
+func TestExprLowerCacheReuse(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := quietConfig()
+	cfg.Metrics = reg
+	cfg.Events = obs.NewEventSink(64)
+	srv, _ := newStoreServer(t, cfg, store.Options{})
+
+	a := buildExp("a", 0.5)
+	b := buildExp("b", 0)
+	want, _ := core.Difference(a, b, nil)
+	src := `{"op":"difference","args":[{"ref":"operand:0"},{"ref":"operand:1"}]}`
+	parts := []operandPart{{literal: encodeExp(t, a)}, {literal: encodeExp(t, b)}}
+
+	got := decodeExpResponse(t, postExprMultipart(t, srv, src, parts...))
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("first /expr result differs from local operator")
+	}
+	if v := reg.CounterValue("cube_lower_cache_hits_total"); v != 0 {
+		t.Errorf("first request counted %d lower-cache hits, want 0", v)
+	}
+	misses := reg.CounterValue("cube_lower_cache_misses_total")
+	if misses != 2 {
+		t.Errorf("first request counted %d lower-cache misses, want 2", misses)
+	}
+
+	// Same operand bytes again — different expression, so the result
+	// cache cannot answer and the leaves must resolve again.
+	src2 := `{"op":"sum","args":[{"ref":"operand:0"},{"ref":"operand:1"}]}`
+	want2, _ := core.Sum(nil, a, b)
+	got2 := decodeExpResponse(t, postExprMultipart(t, srv, src2, parts...))
+	if got2.Fingerprint() != want2.Fingerprint() {
+		t.Error("second /expr result differs from local operator")
+	}
+	if v := reg.CounterValue("cube_lower_cache_hits_total"); v != 2 {
+		t.Errorf("repeat request counted %d lower-cache hits, want 2", v)
+	}
+	if v := reg.CounterValue("cube_lower_cache_misses_total"); v != misses {
+		t.Errorf("repeat request added %d lower-cache misses, want 0", v-misses)
+	}
+
+	// The wide events carry the same split.
+	var evs []*obs.EventFields
+	for _, ev := range cfg.Events.Events() {
+		if ev.Route == "/expr" {
+			evs = append(evs, ev)
+		}
+	}
+	if len(evs) != 2 {
+		t.Fatalf("expected 2 /expr wide events, got %d", len(evs))
+	}
+	if evs[0].LowerCacheMisses != 2 || evs[0].LowerCacheHits != 0 {
+		t.Errorf("first event: lower_cache hits=%d misses=%d, want 0/2",
+			evs[0].LowerCacheHits, evs[0].LowerCacheMisses)
+	}
+	if evs[1].LowerCacheHits != 2 || evs[1].LowerCacheMisses != 0 {
+		t.Errorf("repeat event: lower_cache hits=%d misses=%d, want 2/0",
+			evs[1].LowerCacheHits, evs[1].LowerCacheMisses)
+	}
 }
 
 // A bare digest leaf round-trips the stored experiment through the
